@@ -1,0 +1,92 @@
+//! Table IX microbenchmarks: scheduling-decision latency for 128 pending
+//! jobs — SJF's sort-and-pick vs the RLScheduler DNN forward pass — plus
+//! the MLP v1 baseline for architecture comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rlsched_sched::{HeuristicKind, PriorityScheduler};
+use rlsched_sim::{MetricKind, Policy, QueueView, WaitingJob};
+use rlsched_swf::Job;
+use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind};
+
+fn decision_view(jobs: &[Job]) -> QueueView<'_> {
+    QueueView {
+        time: 5000.0,
+        free_procs: 64,
+        total_procs: 256,
+        waiting: jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| WaitingJob {
+                job,
+                job_index: i,
+                wait: 5000.0 - job.submit_time,
+                can_run_now: job.procs() <= 64,
+            })
+            .collect(),
+    }
+}
+
+fn pending_jobs(n: usize) -> Vec<Job> {
+    (0..n as u32)
+        .map(|i| {
+            Job::new(i + 1, i as f64, 30.0 + (i % 37) as f64 * 120.0, 1 + i % 16, 60.0 + (i % 29) as f64 * 180.0)
+        })
+        .collect()
+}
+
+fn agent_of(kind: PolicyKind) -> Agent {
+    Agent::new(AgentConfig {
+        policy: kind,
+        obs: ObsConfig { max_obsv: 128, ..ObsConfig::default() },
+        metric: MetricKind::BoundedSlowdown,
+        seed: 1,
+        ..AgentConfig::paper_default()
+    })
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let jobs = pending_jobs(128);
+    let view = decision_view(&jobs);
+
+    let mut group = c.benchmark_group("decision_128_jobs");
+    let mut sjf = PriorityScheduler::new(HeuristicKind::Sjf);
+    group.bench_function("sjf_sort_pick", |b| b.iter(|| std::hint::black_box(sjf.select(&view))));
+
+    let kernel = agent_of(PolicyKind::Kernel);
+    group.bench_function("rl_kernel_dnn", |b| {
+        b.iter(|| std::hint::black_box(kernel.greedy_select(&view)))
+    });
+
+    let mlp = agent_of(PolicyKind::MlpV1);
+    group.bench_function("rl_mlp_v1_dnn", |b| {
+        b.iter(|| std::hint::black_box(mlp.greedy_select(&view)))
+    });
+    group.finish();
+}
+
+fn bench_queue_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_decision_vs_queue_len");
+    let kernel = agent_of(PolicyKind::Kernel);
+    for n in [16usize, 64, 128, 256] {
+        let jobs = pending_jobs(n);
+        let view = decision_view(&jobs);
+        // Past MAX_OBSV (128) the cost must plateau: extra jobs are cut off.
+        group.bench_function(format!("queue_{n}"), |b| {
+            b.iter(|| std::hint::black_box(kernel.greedy_select(&view)))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: these are latency gauges, not
+/// regression-grade statistics.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+criterion_group!{name = benches; config = short_config(); targets = bench_decisions, bench_queue_scaling}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! PPO update cost: one policy+value update over a fixed collected batch —
+//! the other half of the Table IX epoch time (sampling being the first).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rlsched_rl::{collect_rollouts, Env, PpoConfig};
+use rlsched_sim::{MetricKind, SimConfig};
+use rlsched_workload::NamedWorkload;
+use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind, SchedulingEnv};
+
+fn bench_update(c: &mut Criterion) {
+    let trace = std::sync::Arc::new(NamedWorkload::Lublin1.generate(1024, 3));
+    let cfg = AgentConfig {
+        policy: PolicyKind::Kernel,
+        obs: ObsConfig { max_obsv: 64, ..ObsConfig::default() },
+        metric: MetricKind::BoundedSlowdown,
+        ppo: PpoConfig {
+            train_pi_iters: 5,
+            train_v_iters: 5,
+            minibatch: Some(512),
+            ..PpoConfig::default()
+        },
+        seed: 5,
+    };
+    let mut agent = Agent::new(cfg);
+    let encoder = *agent.encoder();
+    let objective = agent.objective();
+
+    // Collect one reusable batch of 8 x 128-step episodes.
+    let mut envs: Vec<SchedulingEnv> = (0..8)
+        .map(|_| SchedulingEnv::new(trace.clone(), 128, SimConfig::default(), encoder, objective))
+        .collect();
+    let seeds: Vec<u64> = (0..8).collect();
+    let (batch, _stats) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
+
+    let mut group = c.benchmark_group("ppo");
+    group.sample_size(10);
+    group.bench_function("update_5x5_iters_mb512", |b| {
+        b.iter(|| std::hint::black_box(agent.ppo_mut().update(&batch)))
+    });
+
+    group.bench_function("rollout_8x128", |b| {
+        b.iter(|| {
+            let (batch, _s) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
+            std::hint::black_box(batch.len())
+        })
+    });
+
+    // Per-step env interaction without the network (simulator+encoding).
+    group.bench_function("env_step_random_policy", |b| {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::SeedableRng;
+        b.iter(|| {
+            let mut env = envs[0].clone();
+            let (_obs, mut mask) = env.reset(rng.gen());
+            let mut steps = 0usize;
+            loop {
+                let valid: Vec<usize> =
+                    (0..mask.len()).filter(|&i| mask[i] == 0.0).collect();
+                let a = valid[rng.gen_range(0..valid.len())];
+                let out = env.step(a);
+                steps += 1;
+                if out.done {
+                    break;
+                }
+                mask = out.mask;
+            }
+            std::hint::black_box(steps)
+        })
+    });
+    group.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: these are latency gauges, not
+/// regression-grade statistics.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+criterion_group!{name = benches; config = short_config(); targets = bench_update}
+criterion_main!(benches);

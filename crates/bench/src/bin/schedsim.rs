@@ -1,0 +1,177 @@
+//! `schedsim` — run any scheduler over any workload and report the paper's
+//! metrics. The day-to-day CLI for users of this library.
+//!
+//! ```text
+//! schedsim --workload lublin1 --jobs 2000 --sched sjf --backfill
+//! schedsim --trace path/to/trace.swf --sched f1 --window 0:1024
+//! schedsim --workload sdsc --jobs 3000 --sched all --seed 7
+//! schedsim --workload lublin2 --jobs 2000 --model model.json   # trained RL agent
+//! ```
+
+use std::process::ExitCode;
+
+use rlsched_sched::{HeuristicKind, PriorityScheduler};
+use rlsched_sim::{run_episode, Policy, SimConfig};
+use rlsched_swf::JobTrace;
+use rlsched_workload::NamedWorkload;
+use rlscheduler::Agent;
+
+struct Args {
+    trace_path: Option<String>,
+    workload: Option<String>,
+    jobs: usize,
+    sched: String,
+    model: Option<String>,
+    backfill: bool,
+    window: Option<(usize, usize)>,
+    seed: u64,
+}
+
+const USAGE: &str = "usage: schedsim (--trace FILE.swf | --workload NAME) [--jobs N] \
+(--sched fcfs|sjf|wfp3|unicep|f1|all | --model FILE.json) [--backfill] [--window START:LEN] [--seed N]\n\
+workloads: lublin1 lublin2 sdsc hpc2n pik anl";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        trace_path: None,
+        workload: None,
+        jobs: 2000,
+        sched: "all".to_string(),
+        model: None,
+        backfill: false,
+        window: None,
+        seed: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--trace" => args.trace_path = Some(next("--trace")?),
+            "--workload" => args.workload = Some(next("--workload")?),
+            "--jobs" => args.jobs = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--sched" => args.sched = next("--sched")?,
+            "--model" => args.model = Some(next("--model")?),
+            "--backfill" => args.backfill = true,
+            "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--window" => {
+                let v = next("--window")?;
+                let (s, l) = v.split_once(':').ok_or("--window wants START:LEN")?;
+                args.window = Some((
+                    s.parse().map_err(|e| format!("--window start: {e}"))?,
+                    l.parse().map_err(|e| format!("--window len: {e}"))?,
+                ));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if args.trace_path.is_none() && args.workload.is_none() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn load_trace(args: &Args) -> Result<JobTrace, String> {
+    let trace = if let Some(path) = &args.trace_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        rlsched_swf::parse_str(&text).map_err(|e| format!("parsing {path}: {e}"))?
+    } else {
+        let name = args.workload.as_deref().expect("validated");
+        let w = NamedWorkload::from_name(name)
+            .ok_or(format!("unknown workload {name}\n{USAGE}"))?;
+        w.generate(args.jobs, args.seed)
+    };
+    match args.window {
+        Some((start, len)) => trace.window(start, len).map_err(|e| e.to_string()),
+        None => Ok(trace),
+    }
+}
+
+fn report(name: &str, m: &rlsched_sim::EpisodeMetrics) {
+    println!(
+        "{:<10} bsld {:>10.2}   sld {:>10.2}   wait {:>9.0}s   resp {:>9.0}s   util {:>6.3}   makespan {:>9.0}s",
+        name,
+        m.avg_bounded_slowdown(),
+        m.avg_slowdown(),
+        m.avg_waiting_time(),
+        m.avg_turnaround(),
+        m.utilization(),
+        m.makespan()
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match load_trace(&args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sim = if args.backfill { SimConfig::with_backfill() } else { SimConfig::no_backfill() };
+    println!(
+        "{} jobs on {} processors, backfilling {}",
+        trace.len(),
+        trace.max_procs(),
+        if args.backfill { "EASY" } else { "off" }
+    );
+
+    if let Some(path) = &args.model {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let agent = match Agent::load_json(&json) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("loading model: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut policy = agent.as_policy();
+        match run_episode(&trace, sim, &mut policy) {
+            Ok(m) => report(policy.name(), &m),
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let kinds: Vec<HeuristicKind> = if args.sched == "all" {
+        HeuristicKind::table3().to_vec()
+    } else {
+        match HeuristicKind::table3()
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(&args.sched))
+        {
+            Some(k) => vec![k],
+            None => {
+                eprintln!("unknown scheduler {}\n{USAGE}", args.sched);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    for kind in kinds {
+        let mut sched = PriorityScheduler::new(kind);
+        match run_episode(&trace, sim, &mut sched) {
+            Ok(m) => report(sched.name(), &m),
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

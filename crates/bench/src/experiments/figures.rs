@@ -1,0 +1,236 @@
+//! Figure generators: Figs 3, 7, 8, 9, 10, 11, 12, 13 of the paper.
+//! Figures print as aligned series (epoch → value) plus JSON for plotting.
+
+use serde_json::json;
+
+use rlsched_sched::{HeuristicKind, PriorityScheduler};
+use rlsched_sim::{run_episode, MetricKind, SimConfig};
+use rlsched_workload::NamedWorkload;
+use rlscheduler::{FilterMode, PolicyKind, TrajectoryFilter, TrainingCurve};
+
+use crate::profile::Profile;
+use crate::report::{fmt_metric, Report};
+
+/// Fig 3: average bounded slowdown of SJF over consecutive 256-job windows
+/// of the PIK-IPLEX trace — the variance motivation (§III-2).
+pub fn fig3(p: &Profile, report: &mut Report) {
+    report.section("Fig 3: SJF bsld across the PIK-IPLEX timeline (256-job windows)");
+    let trace = p.trace(NamedWorkload::PikIplex);
+    let win = 256.min(trace.len() / 4);
+    let stride = win / 2;
+    let mut series = Vec::new();
+    let mut start = 0;
+    while start + win <= trace.len() {
+        let w = trace.window(start, win).expect("window in range");
+        let mut sjf = PriorityScheduler::new(HeuristicKind::Sjf);
+        let m = run_episode(&w, SimConfig::default(), &mut sjf).expect("schedulable");
+        series.push((start, m.avg_bounded_slowdown()));
+        start += stride;
+    }
+    let max = series.iter().cloned().fold((0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
+    let min = series.iter().cloned().fold((0, f64::MAX), |a, b| if b.1 < a.1 { b } else { a });
+    let near_one = series.iter().filter(|(_, v)| *v < 2.0).count();
+    println!(
+        "windows: {}   min bsld: {}   max bsld: {} (at job {})   windows with bsld<2: {}%",
+        series.len(),
+        fmt_metric(min.1),
+        fmt_metric(max.1),
+        max.0,
+        100 * near_one / series.len().max(1)
+    );
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .step_by((series.len() / 24).max(1))
+        .map(|(s, v)| vec![s.to_string(), fmt_metric(*v), bar(*v, max.1)])
+        .collect();
+    report.table(&["job-offset", "bsld", ""], &rows);
+    report.record(
+        "series",
+        json!(series.iter().map(|(s, v)| json!([s, v])).collect::<Vec<_>>()),
+    );
+    report.record("max", json!({"offset": max.0, "bsld": max.1}));
+}
+
+/// Fig 7: distribution of per-sequence SJF bsld on PIK-IPLEX with the
+/// median / mean / 2·mean markers that define the filter range R.
+pub fn fig7(p: &Profile, report: &mut Report) {
+    report.section("Fig 7: distribution of 256-job SJF bsld on PIK-IPLEX");
+    let trace = p.trace(NamedWorkload::PikIplex);
+    let seq = 256.min(trace.len() / 4);
+    let f = TrajectoryFilter::fit(
+        &trace,
+        seq,
+        p.filter_fit,
+        MetricKind::BoundedSlowdown,
+        SimConfig::default(),
+        p.seed ^ 0xF17,
+    );
+    println!(
+        "samples: {}   median: {}   mean: {}   2*mean: {}   accept-rate in R: {:.0}%",
+        f.samples().len(),
+        fmt_metric(f.median()),
+        fmt_metric(f.mean()),
+        fmt_metric(2.0 * f.mean()),
+        100.0 * f.acceptance_rate()
+    );
+    // Log-scale histogram.
+    let max = f.samples().last().copied().unwrap_or(1.0).max(2.0);
+    let buckets = 12usize;
+    let edges: Vec<f64> = (0..=buckets)
+        .map(|i| (max.ln() * i as f64 / buckets as f64).exp())
+        .collect();
+    let mut counts = vec![0usize; buckets];
+    for &v in f.samples() {
+        let mut b = buckets - 1;
+        for i in 0..buckets {
+            if v <= edges[i + 1] {
+                b = i;
+                break;
+            }
+        }
+        counts[b] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let rows: Vec<Vec<String>> = (0..buckets)
+        .map(|i| {
+            vec![
+                format!("{}..{}", fmt_metric(edges[i]), fmt_metric(edges[i + 1])),
+                counts[i].to_string(),
+                "#".repeat(40 * counts[i] / peak),
+            ]
+        })
+        .collect();
+    report.table(&["bsld range", "sequences", ""], &rows);
+    report.record(
+        "stats",
+        json!({"median": f.median(), "mean": f.mean(), "range": f.range(), "samples": f.samples()}),
+    );
+}
+
+/// Fig 8: training-efficiency comparison of the Table IV policy networks
+/// on Lublin-1 and SDSC-SP2.
+pub fn fig8(p: &Profile, report: &mut Report) {
+    report.section("Fig 8: policy-network architectures (Table IV) on Lublin-1 / SDSC-SP2");
+    for workload in [NamedWorkload::Lublin1, NamedWorkload::SdscSp2] {
+        println!("\n-- {} --", workload.name());
+        let mut curves: Vec<(String, TrainingCurve)> = Vec::new();
+        for (i, kind) in PolicyKind::all().into_iter().enumerate() {
+            let (_agent, curve) = p.train_agent(
+                workload,
+                kind,
+                MetricKind::BoundedSlowdown,
+                SimConfig::default(),
+                FilterMode::Off,
+                0xF18 ^ (i as u64) << 6,
+            );
+            curves.push((kind.name().to_string(), curve));
+        }
+        print_curves(report, &curves, "bsld");
+        report.record(
+            workload.name(),
+            json!(curves
+                .iter()
+                .map(|(n, c)| json!({
+                    "arch": n,
+                    "curve": c.iter().map(|e| e.mean_metric).collect::<Vec<_>>()
+                }))
+                .collect::<Vec<_>>()),
+        );
+    }
+}
+
+/// Fig 9: training on PIK-IPLEX with vs without trajectory filtering.
+pub fn fig9(p: &Profile, report: &mut Report) {
+    report.section("Fig 9: trajectory filtering on PIK-IPLEX (bsld)");
+    let phase1 = (p.epochs * 2 / 3).max(1);
+    let configs = [
+        ("without filtering", FilterMode::Off),
+        (
+            "with filtering",
+            FilterMode::two_phase(phase1, p.filter_fit),
+        ),
+    ];
+    let mut curves = Vec::new();
+    for (i, (name, filter)) in configs.into_iter().enumerate() {
+        let (_agent, curve) = p.train_agent(
+            NamedWorkload::PikIplex,
+            PolicyKind::Kernel,
+            MetricKind::BoundedSlowdown,
+            SimConfig::default(),
+            filter,
+            0xF19 ^ (i as u64) << 5,
+        );
+        curves.push((name.to_string(), curve));
+    }
+    print_curves(report, &curves, "bsld");
+    // Tail-stability comparison: variance of the last third of each curve.
+    let tail_cv = |c: &TrainingCurve| {
+        let tail: Vec<f64> = c[c.len() * 2 / 3..].iter().map(|e| e.mean_metric).collect();
+        let m = tail.iter().sum::<f64>() / tail.len() as f64;
+        let v = tail.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / tail.len() as f64;
+        (m, v.sqrt() / m.max(1e-9))
+    };
+    let (m0, cv0) = tail_cv(&curves[0].1);
+    let (m1, cv1) = tail_cv(&curves[1].1);
+    println!("tail mean/cv  without: {} / {:.2}   with: {} / {:.2}", fmt_metric(m0), cv0, fmt_metric(m1), cv1);
+    report.record(
+        "curves",
+        json!(curves
+            .iter()
+            .map(|(n, c)| json!({"mode": n, "curve": c.iter().map(|e| e.mean_metric).collect::<Vec<_>>()}))
+            .collect::<Vec<_>>()),
+    );
+    report.record("tail", json!({"without": {"mean": m0, "cv": cv0}, "with": {"mean": m1, "cv": cv1}}));
+}
+
+/// Figs 10–13: RLScheduler training curves on the four workloads for one
+/// metric (bsld / util / slowdown / wait).
+pub fn training_curves(p: &Profile, metric: MetricKind, fig_name: &str, report: &mut Report) {
+    report.section(&format!("{fig_name}: training curves toward {}", metric.name()));
+    let mut curves = Vec::new();
+    for (i, w) in NamedWorkload::training_four().into_iter().enumerate() {
+        let (_agent, curve) = p.train_agent(
+            w,
+            PolicyKind::Kernel,
+            metric,
+            SimConfig::default(),
+            FilterMode::Off,
+            0xF1A ^ (i as u64) << 7 ^ metric.name().len() as u64,
+        );
+        curves.push((w.name().to_string(), curve));
+    }
+    print_curves(report, &curves, metric.name());
+    for (n, c) in &curves {
+        report.record(
+            n,
+            json!(c.iter().map(|e| e.mean_metric).collect::<Vec<_>>()),
+        );
+    }
+}
+
+/// Print per-epoch series side by side.
+fn print_curves(report: &Report, curves: &[(String, TrainingCurve)], unit: &str) {
+    let epochs = curves.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+    let mut headers: Vec<String> = vec![format!("epoch ({unit})")];
+    headers.extend(curves.iter().map(|(n, _)| n.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rows = Vec::new();
+    let step = (epochs / 25).max(1);
+    for e in (0..epochs).step_by(step) {
+        let mut row = vec![e.to_string()];
+        for (_, c) in curves {
+            row.push(c.get(e).map(|s| fmt_metric(s.mean_metric)).unwrap_or_default());
+        }
+        rows.push(row);
+    }
+    report.table(&header_refs, &rows);
+}
+
+/// ASCII bar for quick visual scanning of series.
+fn bar(v: f64, max: f64) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((v / max) * 30.0).round() as usize;
+    "#".repeat(n.min(30))
+}

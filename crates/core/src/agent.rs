@@ -1,0 +1,231 @@
+//! The RLScheduler agent: policy + value networks behind a PPO trainer,
+//! with checkpointing and a [`rlsched_sim::Policy`] adapter so a trained
+//! model schedules jobs exactly like any heuristic (Tables V–XI).
+
+use serde::{Deserialize, Serialize};
+
+use rlsched_rl::{PolicyModel, Ppo, PpoConfig};
+use rlsched_sim::{MetricKind, Policy, QueueView};
+
+use crate::nets::{PolicyKind, PolicyNet, ValueNet};
+use crate::obs::{ObsConfig, ObsEncoder};
+use crate::reward::Objective;
+
+/// Everything needed to reconstruct an agent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Policy architecture (Table IV).
+    pub policy: PolicyKind,
+    /// Observation encoding.
+    pub obs: ObsConfig,
+    /// The optimization goal the agent is trained for.
+    pub metric: MetricKind,
+    /// PPO hyperparameters.
+    pub ppo: PpoConfig,
+    /// Weight-initialization / update seed.
+    pub seed: u64,
+}
+
+impl AgentConfig {
+    /// The paper's default agent: kernel policy over 128 observable jobs,
+    /// trained for average bounded slowdown.
+    pub fn paper_default() -> Self {
+        AgentConfig {
+            policy: PolicyKind::Kernel,
+            obs: ObsConfig::default(),
+            metric: MetricKind::BoundedSlowdown,
+            ppo: PpoConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Same defaults with a different metric.
+    pub fn for_metric(metric: MetricKind) -> Self {
+        AgentConfig { metric, ..Self::paper_default() }
+    }
+}
+
+/// A (possibly trained) RLScheduler agent.
+pub struct Agent {
+    cfg: AgentConfig,
+    encoder: ObsEncoder,
+    ppo: Ppo<PolicyNet, ValueNet>,
+}
+
+/// On-disk checkpoint layout.
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    cfg: AgentConfig,
+    policy: PolicyNet,
+    value: ValueNet,
+}
+
+impl Agent {
+    /// Fresh agent with randomly initialized networks.
+    pub fn new(cfg: AgentConfig) -> Self {
+        let encoder = ObsEncoder::new(cfg.obs);
+        let mut ppo_cfg = cfg.ppo;
+        ppo_cfg.update_seed = cfg.seed;
+        let policy = PolicyNet::build(cfg.policy, cfg.obs.max_obsv, cfg.seed);
+        let value = ValueNet::new(cfg.obs.max_obsv, cfg.seed.wrapping_add(1));
+        let ppo = Ppo::new(policy, value, ppo_cfg);
+        Agent { cfg, encoder, ppo }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.cfg
+    }
+
+    /// The observation encoder.
+    pub fn encoder(&self) -> &ObsEncoder {
+        &self.encoder
+    }
+
+    /// The objective derived from the configured metric.
+    pub fn objective(&self) -> Objective {
+        Objective::new(self.cfg.metric)
+    }
+
+    /// The underlying PPO trainer.
+    pub fn ppo(&self) -> &Ppo<PolicyNet, ValueNet> {
+        &self.ppo
+    }
+
+    /// Mutable access for the training loop.
+    pub fn ppo_mut(&mut self) -> &mut Ppo<PolicyNet, ValueNet> {
+        &mut self.ppo
+    }
+
+    /// Policy parameter count (Table IV / §IV-B1).
+    pub fn policy_param_count(&self) -> usize {
+        self.ppo.policy.param_count()
+    }
+
+    /// Greedy (test-time) action for a raw queue view.
+    pub fn greedy_select(&self, view: &QueueView<'_>) -> usize {
+        let (obs, mask) = self.encoder.encode(view);
+        let a = self.ppo.greedy(&obs, &mask);
+        // Masking guarantees a < waiting.len(); clamp defensively anyway.
+        a.min(view.waiting.len().saturating_sub(1))
+    }
+
+    /// Borrow the agent as a simulator policy (inference only).
+    pub fn as_policy(&self) -> RlPolicy<'_> {
+        RlPolicy { agent: self, name: format!("RL-{}", self.cfg.metric.name()) }
+    }
+
+    /// Serialize configuration and weights to JSON.
+    pub fn save_json(&self) -> String {
+        let ckpt = Checkpoint {
+            cfg: self.cfg.clone(),
+            policy: self.ppo.policy.clone(),
+            value: self.ppo.value.clone(),
+        };
+        serde_json::to_string(&ckpt).expect("agent serialization is infallible")
+    }
+
+    /// Restore an agent (fresh optimizer state) from [`Agent::save_json`]
+    /// output.
+    pub fn load_json(s: &str) -> Result<Agent, serde_json::Error> {
+        let ckpt: Checkpoint = serde_json::from_str(s)?;
+        let encoder = ObsEncoder::new(ckpt.cfg.obs);
+        let mut ppo_cfg = ckpt.cfg.ppo;
+        ppo_cfg.update_seed = ckpt.cfg.seed;
+        let ppo = Ppo::new(ckpt.policy, ckpt.value, ppo_cfg);
+        Ok(Agent { cfg: ckpt.cfg, encoder, ppo })
+    }
+}
+
+/// A trained agent plugged into the episode driver: selects greedily, no
+/// exploration (§IV-B1's test path).
+pub struct RlPolicy<'a> {
+    agent: &'a Agent,
+    name: String,
+}
+
+impl Policy for RlPolicy<'_> {
+    fn select(&mut self, view: &QueueView<'_>) -> usize {
+        self.agent.greedy_select(view)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlsched_sim::{run_episode, SimConfig};
+    use rlsched_swf::{Job, JobTrace};
+
+    fn small_cfg() -> AgentConfig {
+        AgentConfig {
+            policy: PolicyKind::Kernel,
+            obs: ObsConfig { max_obsv: 8, ..ObsConfig::default() },
+            metric: MetricKind::BoundedSlowdown,
+            ppo: PpoConfig::default(),
+            seed: 7,
+        }
+    }
+
+    fn toy_trace() -> JobTrace {
+        let jobs = (0..30u32)
+            .map(|i| Job::new(i + 1, i as f64 * 20.0, 50.0 + (i % 4) as f64 * 200.0, 1 + (i % 3), 900.0))
+            .collect();
+        JobTrace::new(jobs, 4)
+    }
+
+    #[test]
+    fn fresh_agent_schedules_a_trace() {
+        let agent = Agent::new(small_cfg());
+        let mut policy = agent.as_policy();
+        let m = run_episode(&toy_trace(), SimConfig::default(), &mut policy).unwrap();
+        assert_eq!(m.outcomes().len(), 30);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_decisions() {
+        let agent = Agent::new(small_cfg());
+        let json = agent.save_json();
+        let loaded = Agent::load_json(&json).unwrap();
+        let t = toy_trace();
+        let m1 = run_episode(&t, SimConfig::default(), &mut agent.as_policy()).unwrap();
+        let m2 = run_episode(&t, SimConfig::default(), &mut loaded.as_policy()).unwrap();
+        assert_eq!(m1, m2, "loaded agent must schedule identically");
+    }
+
+    #[test]
+    fn greedy_is_deterministic_across_calls() {
+        let agent = Agent::new(small_cfg());
+        let t = toy_trace();
+        let a = run_episode(&t, SimConfig::with_backfill(), &mut agent.as_policy()).unwrap();
+        let b = run_episode(&t, SimConfig::with_backfill(), &mut agent.as_policy()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn policy_name_reflects_metric() {
+        let agent = Agent::new(AgentConfig {
+            metric: MetricKind::Utilization,
+            obs: ObsConfig { max_obsv: 8, ..ObsConfig::default() },
+            ..AgentConfig::paper_default()
+        });
+        assert_eq!(agent.as_policy().name(), "RL-util");
+    }
+
+    #[test]
+    fn paper_default_matches_section_4() {
+        let cfg = AgentConfig::paper_default();
+        assert_eq!(cfg.obs.max_obsv, 128);
+        assert_eq!(cfg.policy, PolicyKind::Kernel);
+        let agent = Agent::new(cfg);
+        assert!(agent.policy_param_count() < 1000);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Agent::load_json("{}").is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Trajectory filtering (§IV-C of the paper).
+//!
+//! High-variance traces (PIK-IPLEX-2009) contain "easy sequences" where
+//! any policy scores well — teaching nothing — and rare "hard sequences"
+//! whose enormous slowdowns wreck whatever the agent has learned. The
+//! paper's remedy: schedule randomly sampled sequences with a *known*
+//! heuristic (SJF), look at the distribution of the resulting metric
+//! (Fig 7), and train phase 1 only on sequences whose SJF metric falls in
+//! `R = (median, 2·mean)`; phase 2 then trains on everything.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use rlsched_sched::{HeuristicKind, PriorityScheduler};
+use rlsched_sim::{run_episode, MetricKind, SimConfig};
+use rlsched_swf::{JobTrace, SequenceSampler};
+
+/// The fitted filter: the SJF-metric distribution over sampled sequences
+/// and the acceptance range derived from it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryFilter {
+    metric: MetricKind,
+    /// SJF metric of every sampled sequence, sorted ascending.
+    samples: Vec<f64>,
+    median: f64,
+    mean: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl TrajectoryFilter {
+    /// Fit the filter: sample `n_samples` windows of `seq_len` jobs from
+    /// `trace`, schedule each with SJF under `sim_cfg`, and derive
+    /// `R = (median, 2·mean)` from the metric distribution.
+    pub fn fit(
+        trace: &JobTrace,
+        seq_len: usize,
+        n_samples: usize,
+        metric: MetricKind,
+        sim_cfg: SimConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(n_samples >= 2, "need at least two samples to fit a range");
+        let sampler = SequenceSampler::new(trace.len(), seq_len)
+            .expect("trace long enough for the requested sequences");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples: Vec<f64> = (0..n_samples)
+            .map(|_| {
+                let off = sampler.offset_from_draw(rng.gen());
+                let window = trace.window(off, seq_len).expect("offset in range");
+                sjf_metric(&window, metric, sim_cfg)
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        TrajectoryFilter { metric, samples, median, mean, lo: median, hi: 2.0 * mean }
+    }
+
+    /// Does a sequence (by its SJF metric value) pass the phase-1 filter?
+    /// The range is `(median, 2·mean)`, both exclusive, per §IV-C.
+    pub fn accepts(&self, sjf_metric_value: f64) -> bool {
+        sjf_metric_value > self.lo && sjf_metric_value < self.hi
+    }
+
+    /// The acceptance range `R`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Override the acceptance range (ablation benches).
+    pub fn set_range(&mut self, lo: f64, hi: f64) {
+        assert!(lo <= hi);
+        self.lo = lo;
+        self.hi = hi;
+    }
+
+    /// Median of the fitted SJF-metric distribution.
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// Mean of the fitted SJF-metric distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The sorted per-sequence SJF metrics (the Fig 7 histogram data).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The metric the filter was fitted for.
+    pub fn metric(&self) -> MetricKind {
+        self.metric
+    }
+
+    /// Fraction of fitted samples the range accepts.
+    pub fn acceptance_rate(&self) -> f64 {
+        let n = self.samples.iter().filter(|&&v| self.accepts(v)).count();
+        n as f64 / self.samples.len() as f64
+    }
+}
+
+/// Schedule a window with SJF and return the metric — the filter's
+/// yardstick ("we use a known heuristic scheduling algorithm, i.e.,
+/// Shortest Job First", §IV-C).
+pub fn sjf_metric(window: &JobTrace, metric: MetricKind, sim_cfg: SimConfig) -> f64 {
+    let mut sjf = PriorityScheduler::new(HeuristicKind::Sjf);
+    let m = run_episode(window, sim_cfg, &mut sjf).expect("window is schedulable");
+    m.metric(metric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlsched_swf::Job;
+
+    /// A trace with calm stretches and one catastrophic burst, so sampled
+    /// windows have very different SJF slowdowns.
+    fn bimodal_trace() -> JobTrace {
+        let mut jobs = Vec::new();
+        let mut id = 0;
+        let mut t = 0.0;
+        // calm: arrivals far apart
+        for _ in 0..300 {
+            id += 1;
+            t += 500.0;
+            jobs.push(Job::new(id, t, 100.0, 1, 100.0));
+        }
+        // burst: long jobs all at once
+        for i in 0..100 {
+            id += 1;
+            jobs.push(Job::new(id, t + 1.0 + i as f64 * 0.01, 5000.0, 4, 5000.0));
+        }
+        // calm again
+        for _ in 0..300 {
+            id += 1;
+            t += 500.0;
+            jobs.push(Job::new(id, t + 600_000.0, 100.0, 1, 100.0));
+        }
+        JobTrace::new(jobs, 4)
+    }
+
+    #[test]
+    fn fit_produces_ordered_range() {
+        let t = bimodal_trace();
+        let f = TrajectoryFilter::fit(&t, 64, 50, MetricKind::BoundedSlowdown, SimConfig::default(), 1);
+        let (lo, hi) = f.range();
+        assert_eq!(lo, f.median());
+        assert!((hi - 2.0 * f.mean()).abs() < 1e-9);
+        assert!(f.samples().windows(2).all(|w| w[0] <= w[1]), "samples sorted");
+        assert_eq!(f.samples().len(), 50);
+    }
+
+    #[test]
+    fn skewed_distribution_median_below_mean() {
+        // The Fig 7 shape: median ~1, mean pulled up by the burst tail.
+        let t = bimodal_trace();
+        let f = TrajectoryFilter::fit(&t, 64, 60, MetricKind::BoundedSlowdown, SimConfig::default(), 2);
+        assert!(
+            f.median() < f.mean(),
+            "median {} should sit below mean {} in a right-skewed distribution",
+            f.median(),
+            f.mean()
+        );
+    }
+
+    #[test]
+    fn accepts_mid_range_rejects_extremes() {
+        let t = bimodal_trace();
+        let f = TrajectoryFilter::fit(&t, 64, 60, MetricKind::BoundedSlowdown, SimConfig::default(), 3);
+        let (lo, hi) = f.range();
+        assert!(!f.accepts(lo), "exactly-median ('easy') sequences are filtered");
+        assert!(!f.accepts(hi + 1.0), "beyond-2·mean ('hard') sequences are filtered");
+        if hi > lo {
+            assert!(f.accepts((lo + hi) / 2.0));
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_is_a_fraction() {
+        let t = bimodal_trace();
+        let f = TrajectoryFilter::fit(&t, 64, 60, MetricKind::BoundedSlowdown, SimConfig::default(), 4);
+        let r = f.acceptance_rate();
+        assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn set_range_overrides() {
+        let t = bimodal_trace();
+        let mut f = TrajectoryFilter::fit(&t, 64, 20, MetricKind::BoundedSlowdown, SimConfig::default(), 5);
+        f.set_range(0.0, f64::INFINITY);
+        assert!(f.accepts(1e12));
+    }
+
+    #[test]
+    fn sjf_metric_matches_direct_episode() {
+        let t = bimodal_trace();
+        let w = t.window(10, 64).unwrap();
+        let v = sjf_metric(&w, MetricKind::BoundedSlowdown, SimConfig::default());
+        let mut sjf = PriorityScheduler::new(HeuristicKind::Sjf);
+        let direct = run_episode(&w, SimConfig::default(), &mut sjf)
+            .unwrap()
+            .avg_bounded_slowdown();
+        assert_eq!(v, direct);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let t = bimodal_trace();
+        let a = TrajectoryFilter::fit(&t, 64, 30, MetricKind::BoundedSlowdown, SimConfig::default(), 7);
+        let b = TrajectoryFilter::fit(&t, 64, 30, MetricKind::BoundedSlowdown, SimConfig::default(), 7);
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.range(), b.range());
+    }
+}

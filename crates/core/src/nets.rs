@@ -1,0 +1,464 @@
+//! The RLScheduler networks.
+//!
+//! * [`KernelPolicy`] — the paper's contribution (Fig 5): a small shared
+//!   MLP applied to every job vector independently ("like a window"),
+//!   producing one score per job, followed by a masked softmax. Because
+//!   the same weights score every slot, the network is *order-equivariant*
+//!   by construction: permuting job rows permutes the output distribution
+//!   identically (§III-1).
+//! * [`FlatMlpPolicy`] — the MLP v1/v2/v3 baselines of Table IV: a plain
+//!   MLP over the flattened observation, order-sensitive.
+//! * [`LeNetPolicy`] — the CNN baseline of Table IV ("2x(conv2d,
+//!   maxpooling2d), dense"). Its pooling and dense layers mix job
+//!   positions, which is exactly why the paper finds it converges worse.
+//! * [`ValueNet`] — the critic (Fig 6): an MLP over the flattened
+//!   observation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use rlsched_nn::{Activation, Conv2dLayer, Dense, Graph, Mlp, Network, ParamBinds, Tensor, Var};
+use rlsched_rl::{PolicyModel, ValueModel};
+
+use crate::obs::JOB_FEATURES;
+
+/// The policy-network architectures of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The kernel-based network (the paper's design; hidden 32/16/8).
+    Kernel,
+    /// MLP with hidden layers 128/128/128.
+    MlpV1,
+    /// MLP with hidden layers 32/16/8.
+    MlpV2,
+    /// MLP with five hidden layers of 32.
+    MlpV3,
+    /// LeNet-style CNN.
+    LeNet,
+}
+
+impl PolicyKind {
+    /// All Table IV variants, kernel first.
+    pub fn all() -> [PolicyKind; 5] {
+        [
+            PolicyKind::Kernel,
+            PolicyKind::MlpV1,
+            PolicyKind::MlpV2,
+            PolicyKind::MlpV3,
+            PolicyKind::LeNet,
+        ]
+    }
+
+    /// Display name as in Table IV.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Kernel => "RLScheduler",
+            PolicyKind::MlpV1 => "MLP v1",
+            PolicyKind::MlpV2 => "MLP v2",
+            PolicyKind::MlpV3 => "MLP v3",
+            PolicyKind::LeNet => "LeNet",
+        }
+    }
+}
+
+/// The kernel-based policy network (Fig 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelPolicy {
+    kernel: Mlp,
+    max_obsv: usize,
+}
+
+impl KernelPolicy {
+    /// Build with the paper's 32/16/8 kernel dimensions.
+    pub fn new(max_obsv: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = Mlp::new(
+            &[JOB_FEATURES, 32, 16, 8, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        KernelPolicy { kernel, max_obsv }
+    }
+
+    /// Observation window size.
+    pub fn max_obsv(&self) -> usize {
+        self.max_obsv
+    }
+}
+
+impl PolicyModel for KernelPolicy {
+    fn log_probs(&self, g: &mut Graph, obs: Var, mask: Var, binds: &mut ParamBinds) -> Var {
+        let batch = g.value(obs).rows();
+        // Slide the kernel over the job axis: [batch, K*F] -> [batch*K, F],
+        // shared-weight score per job, back to [batch, K].
+        let per_job = g.reshape(obs, &[batch * self.max_obsv, JOB_FEATURES]);
+        let scores = self.kernel.forward(g, per_job, binds);
+        let logits = g.reshape(scores, &[batch, self.max_obsv]);
+        let masked = g.add(logits, mask);
+        g.log_softmax(masked)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        self.kernel.params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.kernel.params_mut()
+    }
+}
+
+/// A flattened-observation MLP policy (MLP v1–v3 of Table IV).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatMlpPolicy {
+    net: Mlp,
+}
+
+impl FlatMlpPolicy {
+    /// Build with explicit hidden sizes.
+    pub fn new(max_obsv: usize, hidden: &[usize], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![max_obsv * JOB_FEATURES];
+        dims.extend_from_slice(hidden);
+        dims.push(max_obsv);
+        FlatMlpPolicy {
+            net: Mlp::new(&dims, Activation::Relu, Activation::Identity, &mut rng),
+        }
+    }
+}
+
+impl PolicyModel for FlatMlpPolicy {
+    fn log_probs(&self, g: &mut Graph, obs: Var, mask: Var, binds: &mut ParamBinds) -> Var {
+        let logits = self.net.forward(g, obs, binds);
+        let masked = g.add(logits, mask);
+        g.log_softmax(masked)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        self.net.params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.net.params_mut()
+    }
+}
+
+/// The LeNet-style CNN policy of Table IV.
+///
+/// The flat observation reshapes to a near-square single-channel image
+/// `[batch, 1, max_obsv/4, JOB_FEATURES*4]`, then LeNet's classic stack:
+/// two (conv 5×5 → max-pool 2) stages, a dense hidden layer, and a dense
+/// head over the `max_obsv` action slots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeNetPolicy {
+    conv1: Conv2dLayer,
+    conv2: Conv2dLayer,
+    fc1: Dense,
+    fc2: Dense,
+    max_obsv: usize,
+    h: usize,
+    w: usize,
+}
+
+impl LeNetPolicy {
+    /// Build the CNN; `max_obsv` must be a multiple of 4 and at least 64
+    /// so both conv/pool stages fit.
+    pub fn new(max_obsv: usize, seed: u64) -> Self {
+        assert!(max_obsv % 4 == 0 && max_obsv >= 64, "LeNet needs max_obsv % 4 == 0 and >= 64");
+        let (h, w) = (max_obsv / 4, JOB_FEATURES * 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv1 = Conv2dLayer::new(1, 6, 5, 5, 1, &mut rng);
+        let conv2 = Conv2dLayer::new(6, 16, 5, 5, 1, &mut rng);
+        let (h1, w1) = ((h - 4) / 2, (w - 4) / 2); // conv1 + pool
+        let (h2, w2) = ((h1 - 4) / 2, (w1 - 4) / 2); // conv2 + pool
+        let flat = 16 * h2 * w2;
+        let fc1 = Dense::new(flat, 120, &mut rng);
+        let fc2 = Dense::new(120, max_obsv, &mut rng);
+        LeNetPolicy { conv1, conv2, fc1, fc2, max_obsv, h, w }
+    }
+}
+
+impl PolicyModel for LeNetPolicy {
+    fn log_probs(&self, g: &mut Graph, obs: Var, mask: Var, binds: &mut ParamBinds) -> Var {
+        let batch = g.value(obs).rows();
+        let img = g.reshape(obs, &[batch, 1, self.h, self.w]);
+        let c1 = self.conv1.forward(g, img, binds);
+        let c1 = g.relu(c1);
+        let p1 = g.max_pool2d(c1, 2);
+        let c2 = self.conv2.forward(g, p1, binds);
+        let c2 = g.relu(c2);
+        let p2 = g.max_pool2d(c2, 2);
+        let shape = g.value(p2).shape().to_vec();
+        let flat = g.reshape(p2, &[batch, shape[1] * shape[2] * shape[3]]);
+        let h = self.fc1.forward(g, flat, binds);
+        let h = g.relu(h);
+        let logits = self.fc2.forward(g, h, binds);
+        let masked = g.add(logits, mask);
+        g.log_softmax(masked)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        let mut p = vec![&self.conv1.w, &self.conv1.b, &self.conv2.w, &self.conv2.b];
+        p.extend([&self.fc1.w, &self.fc1.b, &self.fc2.w, &self.fc2.b]);
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.conv1.w,
+            &mut self.conv1.b,
+            &mut self.conv2.w,
+            &mut self.conv2.b,
+            &mut self.fc1.w,
+            &mut self.fc1.b,
+            &mut self.fc2.w,
+            &mut self.fc2.b,
+        ]
+    }
+}
+
+/// One policy of any Table IV architecture (enum dispatch keeps the PPO
+/// agent monomorphic and serde-friendly).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PolicyNet {
+    /// Kernel-based (the paper's design).
+    Kernel(KernelPolicy),
+    /// Flat MLP (v1/v2/v3).
+    Mlp(FlatMlpPolicy),
+    /// LeNet CNN.
+    LeNet(LeNetPolicy),
+}
+
+impl PolicyNet {
+    /// Instantiate a Table IV architecture.
+    pub fn build(kind: PolicyKind, max_obsv: usize, seed: u64) -> Self {
+        match kind {
+            PolicyKind::Kernel => PolicyNet::Kernel(KernelPolicy::new(max_obsv, seed)),
+            PolicyKind::MlpV1 => {
+                PolicyNet::Mlp(FlatMlpPolicy::new(max_obsv, &[128, 128, 128], seed))
+            }
+            PolicyKind::MlpV2 => PolicyNet::Mlp(FlatMlpPolicy::new(max_obsv, &[32, 16, 8], seed)),
+            PolicyKind::MlpV3 => {
+                PolicyNet::Mlp(FlatMlpPolicy::new(max_obsv, &[32, 32, 32, 32, 32], seed))
+            }
+            PolicyKind::LeNet => PolicyNet::LeNet(LeNetPolicy::new(max_obsv, seed)),
+        }
+    }
+}
+
+impl PolicyModel for PolicyNet {
+    fn log_probs(&self, g: &mut Graph, obs: Var, mask: Var, binds: &mut ParamBinds) -> Var {
+        match self {
+            PolicyNet::Kernel(p) => p.log_probs(g, obs, mask, binds),
+            PolicyNet::Mlp(p) => p.log_probs(g, obs, mask, binds),
+            PolicyNet::LeNet(p) => p.log_probs(g, obs, mask, binds),
+        }
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        match self {
+            PolicyNet::Kernel(p) => p.params(),
+            PolicyNet::Mlp(p) => p.params(),
+            PolicyNet::LeNet(p) => p.params(),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        match self {
+            PolicyNet::Kernel(p) => p.params_mut(),
+            PolicyNet::Mlp(p) => p.params_mut(),
+            PolicyNet::LeNet(p) => p.params_mut(),
+        }
+    }
+}
+
+/// The critic (Fig 6): a 3-hidden-layer MLP over the flat observation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValueNet {
+    net: Mlp,
+}
+
+impl ValueNet {
+    /// Build for a given observation window.
+    pub fn new(max_obsv: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ValueNet {
+            net: Mlp::new(
+                &[max_obsv * JOB_FEATURES, 32, 16, 8, 1],
+                Activation::Relu,
+                Activation::Identity,
+                &mut rng,
+            ),
+        }
+    }
+}
+
+impl ValueModel for ValueNet {
+    fn values(&self, g: &mut Graph, obs: Var, binds: &mut ParamBinds) -> Var {
+        self.net.forward(g, obs, binds)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        self.net.params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.net.params_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlsched_rl::categorical::MASK_OFF;
+
+    fn forward(policy: &dyn PolicyModel, obs: &[f32], mask: &[f32], k: usize) -> Vec<f32> {
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let o = g.input(Tensor::from_vec(obs.to_vec(), &[1, obs.len()]));
+        let m = g.input(Tensor::from_vec(mask.to_vec(), &[1, k]));
+        let lp = policy.log_probs(&mut g, o, m, &mut binds);
+        g.value(lp).data().to_vec()
+    }
+
+    fn random_obs(k: usize, valid: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut obs = vec![0.0f32; k * JOB_FEATURES];
+        let mut mask = vec![MASK_OFF; k];
+        for s in 0..valid {
+            for f in 0..JOB_FEATURES {
+                obs[s * JOB_FEATURES + f] = rng.gen_range(0.0..1.0);
+            }
+            obs[s * JOB_FEATURES + JOB_FEATURES - 1] = 1.0;
+            mask[s] = 0.0;
+        }
+        (obs, mask)
+    }
+
+    #[test]
+    fn kernel_param_count_under_1000() {
+        // §IV-B1: "we are able to control the parameter size of the policy
+        // network less than 1,000".
+        let p = KernelPolicy::new(128, 0);
+        assert!(p.param_count() < 1000, "kernel params = {}", p.param_count());
+    }
+
+    #[test]
+    fn kernel_is_order_equivariant() {
+        // Swapping two job rows must swap their probabilities exactly and
+        // leave everyone else's unchanged — the Fig 2 requirement.
+        let k = 16;
+        let p = KernelPolicy::new(k, 3);
+        let (mut obs, mask) = random_obs(k, 8, 42);
+        let before = forward(&p, &obs, &mask, k);
+        // swap job rows 2 and 5
+        for f in 0..JOB_FEATURES {
+            obs.swap(2 * JOB_FEATURES + f, 5 * JOB_FEATURES + f);
+        }
+        let after = forward(&p, &obs, &mask, k);
+        assert!((before[2] - after[5]).abs() < 1e-5);
+        assert!((before[5] - after[2]).abs() < 1e-5);
+        for s in 0..8 {
+            if s != 2 && s != 5 {
+                assert!((before[s] - after[s]).abs() < 1e-5, "slot {s} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_mlp_is_order_sensitive() {
+        // The counterpoint: MLP baselines change other slots' scores when
+        // rows swap (that is the paper's argument for the kernel design).
+        let k = 16;
+        let p = FlatMlpPolicy::new(k, &[32, 16, 8], 3);
+        let (mut obs, mask) = random_obs(k, 8, 42);
+        let before = forward(&p, &obs, &mask, k);
+        for f in 0..JOB_FEATURES {
+            obs.swap(2 * JOB_FEATURES + f, 5 * JOB_FEATURES + f);
+        }
+        let after = forward(&p, &obs, &mask, k);
+        let moved: f32 = (0..8)
+            .filter(|&s| s != 2 && s != 5)
+            .map(|s| (before[s] - after[s]).abs())
+            .sum();
+        assert!(moved > 1e-4, "flat MLP unexpectedly equivariant (moved {moved})");
+    }
+
+    #[test]
+    fn all_variants_emit_normalized_masked_distributions() {
+        let k = 64;
+        for kind in PolicyKind::all() {
+            let p = PolicyNet::build(kind, k, 7);
+            let (obs, mask) = random_obs(k, 10, 9);
+            let lp = forward(&p, &obs, &mask, k);
+            let sum: f32 = lp.iter().map(|l| l.exp()).sum();
+            assert!((sum - 1.0).abs() < 1e-4, "{}: sum {sum}", kind.name());
+            for s in 10..k {
+                assert!(lp[s] < -1e8, "{}: padding slot {s} not masked", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn table4_sizes_are_ordered_as_expected() {
+        let k = 128;
+        let kernel = PolicyNet::build(PolicyKind::Kernel, k, 0).param_count();
+        let v1 = PolicyNet::build(PolicyKind::MlpV1, k, 0).param_count();
+        let v2 = PolicyNet::build(PolicyKind::MlpV2, k, 0).param_count();
+        assert!(kernel < v2, "kernel {kernel} smaller than MLP v2 {v2}");
+        assert!(v2 < v1, "MLP v2 {v2} smaller than MLP v1 {v1}");
+    }
+
+    #[test]
+    fn value_net_emits_one_scalar_per_row() {
+        let k = 32;
+        let v = ValueNet::new(k, 1);
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let o = g.input(Tensor::zeros(&[5, k * JOB_FEATURES]));
+        let out = v.values(&mut g, o, &mut binds);
+        assert_eq!(g.value(out).shape(), &[5, 1]);
+    }
+
+    #[test]
+    fn policy_nets_serialize_round_trip() {
+        let p = PolicyNet::build(PolicyKind::Kernel, 32, 5);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: PolicyNet = serde_json::from_str(&json).unwrap();
+        let (obs, mask) = random_obs(32, 6, 11);
+        assert_eq!(forward(&p, &obs, &mask, 32), forward(&q, &obs, &mask, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_obsv % 4")]
+    fn lenet_rejects_tiny_windows() {
+        let _ = LeNetPolicy::new(20, 0);
+    }
+
+    #[test]
+    fn batch_forward_matches_single_rows() {
+        let k = 16;
+        let p = KernelPolicy::new(k, 13);
+        let (obs1, mask1) = random_obs(k, 5, 1);
+        let (obs2, mask2) = random_obs(k, 9, 2);
+        let single1 = forward(&p, &obs1, &mask1, k);
+        let single2 = forward(&p, &obs2, &mask2, k);
+        // Batch the two observations together.
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let mut obs = obs1.clone();
+        obs.extend_from_slice(&obs2);
+        let mut mask = mask1.clone();
+        mask.extend_from_slice(&mask2);
+        let o = g.input(Tensor::from_vec(obs, &[2, k * JOB_FEATURES]));
+        let m = g.input(Tensor::from_vec(mask, &[2, k]));
+        let lp = p.log_probs(&mut g, o, m, &mut binds);
+        let batched = g.value(lp);
+        for j in 0..k {
+            assert!((batched.at(0, j) - single1[j]).abs() < 1e-5);
+            assert!((batched.at(1, j) - single2[j]).abs() < 1e-5);
+        }
+    }
+}

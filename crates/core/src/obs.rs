@@ -1,0 +1,198 @@
+//! Observation encoding (§IV-B3 of the paper).
+//!
+//! RLScheduler observes at most `MAX_OBSV_SIZE` waiting jobs (default 128,
+//! "as many HPC job management systems, such as Slurm, also limit the
+//! number of pending jobs to the same order of magnitude"). Each job is
+//! embedded as a fixed vector of normalized, *schedule-time* attributes —
+//! never the actual runtime — plus cluster-availability context ("the
+//! vector also contains available resources", §IV-B3). Overflowing jobs
+//! are cut off in FCFS order; missing slots are zero-padded and masked.
+
+use rlsched_rl::categorical::{additive_mask, MASK_OFF};
+use rlsched_sim::QueueView;
+use serde::{Deserialize, Serialize};
+
+/// Features per job vector. See [`ObsEncoder::encode`] for the layout.
+pub const JOB_FEATURES: usize = 7;
+
+/// Default observation window, as in the paper.
+pub const DEFAULT_MAX_OBSV: usize = 128;
+
+/// Normalization constants and window size for observation encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Maximum jobs observed (`MAX_OBSV_SIZE`).
+    pub max_obsv: usize,
+    /// Wait-time normalization cap, seconds.
+    pub max_wait: f64,
+    /// Requested-runtime normalization cap, seconds.
+    pub max_request_time: f64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            max_obsv: DEFAULT_MAX_OBSV,
+            max_wait: 12.0 * 3600.0,
+            max_request_time: 3.0 * 24.0 * 3600.0,
+        }
+    }
+}
+
+/// Encodes a [`QueueView`] into the fixed `[max_obsv × JOB_FEATURES]`
+/// observation plus the additive action mask.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObsEncoder {
+    /// The active configuration.
+    pub cfg: ObsConfig,
+}
+
+impl ObsEncoder {
+    /// Build an encoder.
+    pub fn new(cfg: ObsConfig) -> Self {
+        ObsEncoder { cfg }
+    }
+
+    /// Flattened observation width.
+    pub fn obs_dim(&self) -> usize {
+        self.cfg.max_obsv * JOB_FEATURES
+    }
+
+    /// Action-space size (= observation window).
+    pub fn n_actions(&self) -> usize {
+        self.cfg.max_obsv
+    }
+
+    /// Encode the decision point.
+    ///
+    /// Per-job feature layout (all in `[0, 1]`):
+    /// `[wait_norm, request_time_norm, procs_norm, can_run_now,
+    /// free_frac, queue_pressure, valid]`. The returned mask is additive
+    /// (0 for selectable slots, very negative otherwise); because the
+    /// queue view is already FCFS-ordered, observation slot `i` *is*
+    /// queue position `i`, so an agent action maps directly to
+    /// `SchedSession::step(action)`.
+    pub fn encode(&self, view: &QueueView<'_>) -> (Vec<f32>, Vec<f32>) {
+        let k = self.cfg.max_obsv;
+        let mut obs = vec![0.0f32; k * JOB_FEATURES];
+        let mut valid = vec![false; k];
+        let free_frac = view.free_fraction() as f32;
+        let pressure = (view.waiting.len() as f64 / k as f64).min(1.0) as f32;
+        for (slot, w) in view.waiting.iter().take(k).enumerate() {
+            let base = slot * JOB_FEATURES;
+            obs[base] = (w.wait / self.cfg.max_wait).min(1.0) as f32;
+            obs[base + 1] = (w.job.time_bound() / self.cfg.max_request_time).min(1.0) as f32;
+            obs[base + 2] = (w.job.procs() as f64 / view.total_procs as f64).min(1.0) as f32;
+            obs[base + 3] = if w.can_run_now { 1.0 } else { 0.0 };
+            obs[base + 4] = free_frac;
+            obs[base + 5] = pressure;
+            obs[base + 6] = 1.0;
+            valid[slot] = true;
+        }
+        (obs, additive_mask(&valid))
+    }
+}
+
+/// Re-exported for convenience of downstream mask assertions.
+pub const MASK_OFFSET: f32 = MASK_OFF;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlsched_sim::WaitingJob;
+    use rlsched_swf::Job;
+
+    fn view_with(jobs: &[Job], time: f64, free: u32, total: u32) -> QueueView<'_> {
+        QueueView {
+            time,
+            free_procs: free,
+            total_procs: total,
+            waiting: jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| WaitingJob {
+                    job,
+                    job_index: i,
+                    wait: time - job.submit_time,
+                    can_run_now: job.procs() <= free,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn dims_follow_config() {
+        let e = ObsEncoder::new(ObsConfig { max_obsv: 16, ..ObsConfig::default() });
+        assert_eq!(e.obs_dim(), 16 * JOB_FEATURES);
+        assert_eq!(e.n_actions(), 16);
+    }
+
+    #[test]
+    fn encodes_features_in_layout_order() {
+        let jobs = vec![Job::new(1, 0.0, 100.0, 8, 3600.0)];
+        let v = view_with(&jobs, 7200.0, 16, 32);
+        let e = ObsEncoder::new(ObsConfig { max_obsv: 4, max_wait: 14400.0, max_request_time: 7200.0 });
+        let (obs, mask) = e.encode(&v);
+        assert_eq!(obs.len(), 4 * JOB_FEATURES);
+        assert!((obs[0] - 0.5).abs() < 1e-6, "wait 7200/14400");
+        assert!((obs[1] - 0.5).abs() < 1e-6, "request 3600/7200");
+        assert!((obs[2] - 0.25).abs() < 1e-6, "procs 8/32");
+        assert_eq!(obs[3], 1.0, "fits in 16 free");
+        assert!((obs[4] - 0.5).abs() < 1e-6, "free fraction");
+        assert!((obs[5] - 0.25).abs() < 1e-6, "1 of 4 slots used");
+        assert_eq!(obs[6], 1.0, "valid flag");
+        assert_eq!(mask[0], 0.0);
+        assert_eq!(mask[1], MASK_OFFSET);
+    }
+
+    #[test]
+    fn padding_slots_are_zero_and_masked() {
+        let jobs = vec![Job::new(1, 0.0, 10.0, 1, 10.0)];
+        let v = view_with(&jobs, 0.0, 4, 4);
+        let e = ObsEncoder::new(ObsConfig { max_obsv: 3, ..ObsConfig::default() });
+        let (obs, mask) = e.encode(&v);
+        for slot in 1..3 {
+            for f in 0..JOB_FEATURES {
+                assert_eq!(obs[slot * JOB_FEATURES + f], 0.0);
+            }
+            assert_eq!(mask[slot], MASK_OFFSET);
+        }
+    }
+
+    #[test]
+    fn overflow_is_cut_off_fcfs() {
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| Job::new(i + 1, i as f64, 10.0, 1, 10.0))
+            .collect();
+        let v = view_with(&jobs, 10.0, 4, 4);
+        let e = ObsEncoder::new(ObsConfig { max_obsv: 3, ..ObsConfig::default() });
+        let (obs, mask) = e.encode(&v);
+        // All three slots valid; they are the three earliest arrivals
+        // (queue order), with strictly decreasing wait times.
+        assert!(mask.iter().all(|&m| m == 0.0));
+        let w0 = obs[0];
+        let w1 = obs[JOB_FEATURES];
+        let w2 = obs[2 * JOB_FEATURES];
+        assert!(w0 > w1 && w1 > w2, "waits {w0} {w1} {w2}");
+    }
+
+    #[test]
+    fn normalization_caps_at_one() {
+        let jobs = vec![Job::new(1, 0.0, 1e9, 1000, 1e9)];
+        let v = view_with(&jobs, 1e9, 4, 4);
+        let e = ObsEncoder::new(ObsConfig { max_obsv: 2, ..ObsConfig::default() });
+        let (obs, _) = e.encode(&v);
+        for f in 0..3 {
+            assert!(obs[f] <= 1.0, "feature {f} = {}", obs[f]);
+        }
+    }
+
+    #[test]
+    fn cannot_run_flag_when_cluster_busy() {
+        let jobs = vec![Job::new(1, 0.0, 10.0, 8, 10.0)];
+        let v = view_with(&jobs, 0.0, 4, 16);
+        let e = ObsEncoder::new(ObsConfig { max_obsv: 2, ..ObsConfig::default() });
+        let (obs, _) = e.encode(&v);
+        assert_eq!(obs[3], 0.0, "8 procs do not fit 4 free");
+    }
+}

@@ -1,0 +1,110 @@
+//! Reward functions (§IV-A of the paper).
+//!
+//! "Reward is a function addressing a user-given optimization goal. For
+//! instance, if the optimization goal is to minimize average bounded
+//! slowdown, the reward can simply be `reward = −bsld`; … if the goal is
+//! to maximize resource utilization, the reward can be `reward = util`."
+//!
+//! All metrics are computable only once the whole sequence is scheduled,
+//! so intermediate actions receive reward 0 and the final action carries
+//! the full value — "this does not affect RL training as only the
+//! accumulated rewards are used".
+//!
+//! The fairness objectives of §V-F are conjugated metrics: a per-user
+//! aggregation (the `Maximal` aggregator) applied over per-user average
+//! bounded slowdowns.
+
+use rlsched_sim::{EpisodeMetrics, MetricKind};
+use serde::{Deserialize, Serialize};
+
+/// A trainable optimization goal: a metric plus its orientation, with a
+/// reward scale to keep value-network targets in a tractable range
+/// (slowdowns reach 10⁴–10⁵ on bursty traces; advantages are normalized
+/// per batch, but the critic regresses raw magnitudes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// The metric to optimize.
+    pub metric: MetricKind,
+    /// Multiplier applied to the signed metric to form the reward.
+    pub scale: f64,
+}
+
+impl Objective {
+    /// An objective with the metric's default scale.
+    pub fn new(metric: MetricKind) -> Self {
+        let scale = match metric {
+            // Slowdown-type metrics span 1..~1e5.
+            MetricKind::BoundedSlowdown | MetricKind::Slowdown => 0.01,
+            MetricKind::FairMaxBoundedSlowdown => 0.01,
+            // Seconds-type metrics span 0..~1e6.
+            MetricKind::WaitTime | MetricKind::Turnaround => 1e-4,
+            // Utilization is already in [0, 1].
+            MetricKind::Utilization => 1.0,
+        };
+        Objective { metric, scale }
+    }
+
+    /// The reward for a finished episode: `+metric` for maximization
+    /// goals, `−metric` otherwise, times the scale.
+    pub fn reward(&self, m: &EpisodeMetrics) -> f64 {
+        let v = m.metric(self.metric);
+        let signed = if self.metric.maximize() { v } else { -v };
+        signed * self.scale
+    }
+
+    /// The raw (unscaled, unsigned) metric value, for curves and tables.
+    pub fn raw(&self, m: &EpisodeMetrics) -> f64 {
+        m.metric(self.metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlsched_sim::JobOutcome;
+
+    fn metrics() -> EpisodeMetrics {
+        // One job: submit 0, start 100, end 200 => wait 100, exec 100:
+        // bsld 2, slowdown 2, wait 100, turnaround 200; util on 4 procs
+        // with 1 proc busy 100 of 200 seconds = 0.125.
+        EpisodeMetrics::new(
+            vec![JobOutcome { job_index: 0, submit: 0.0, start: 100.0, end: 200.0, procs: 1, user: 3 }],
+            4,
+        )
+    }
+
+    #[test]
+    fn minimization_metrics_are_negated() {
+        let m = metrics();
+        assert!((Objective::new(MetricKind::BoundedSlowdown).reward(&m) - (-0.02)).abs() < 1e-12);
+        assert!((Objective::new(MetricKind::WaitTime).reward(&m) - (-0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_positive_reward() {
+        let m = metrics();
+        let r = Objective::new(MetricKind::Utilization).reward(&m);
+        assert!((r - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_uses_max_user_aggregate() {
+        let m = EpisodeMetrics::new(
+            vec![
+                JobOutcome { job_index: 0, submit: 0.0, start: 0.0, end: 100.0, procs: 1, user: 1 },
+                JobOutcome { job_index: 1, submit: 0.0, start: 300.0, end: 400.0, procs: 1, user: 2 },
+            ],
+            4,
+        );
+        let o = Objective::new(MetricKind::FairMaxBoundedSlowdown);
+        // user 1 bsld 1, user 2 bsld 4 -> max 4, reward -0.04.
+        assert!((o.reward(&m) + 0.04).abs() < 1e-12);
+        assert!((o.raw(&m) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_is_unsigned_unscaled() {
+        let m = metrics();
+        assert_eq!(Objective::new(MetricKind::Turnaround).raw(&m), 200.0);
+    }
+}

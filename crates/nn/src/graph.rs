@@ -1,0 +1,900 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! Define-by-run: every op evaluates eagerly and records itself on the tape
+//! (an arena `Vec<Node>`); [`Graph::backward`] runs the tape in reverse.
+//! Because [`Var`] ids are handed out in construction order, the tape is
+//! already topologically sorted — backpropagation is a single reverse scan
+//! with no pointer chasing, the arena idiom the perf guides recommend over
+//! `Rc<RefCell<…>>` graphs.
+//!
+//! The op set is exactly what the RLScheduler networks need: dense algebra
+//! and activations for the kernel/MLP networks (Figs 5–6 of the paper),
+//! `conv2d`/`max_pool2d` for the LeNet comparison of Fig 8 / Table IV, and
+//! `log_softmax`/`select_cols`/`clamp`/`min_elem` for the PPO clipped
+//! surrogate objective.
+
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf; `requires_grad` marks parameters.
+    Leaf { requires_grad: bool },
+    MatMul(usize, usize),
+    /// `a + b` where `b` is a vector broadcast over the rows of `a`.
+    AddBias(usize, usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    MinElem(usize, usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    Relu(usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    Exp(usize),
+    Clamp(usize, f32, f32),
+    LogSoftmax(usize),
+    SelectCols(usize, Vec<usize>),
+    SumRows(usize),
+    Mean(usize),
+    Sum(usize),
+    Reshape(usize),
+    Conv2d { x: usize, w: usize, b: usize, stride: usize },
+    MaxPool2d { x: usize, size: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// The autodiff tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(64) }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after [`Graph::backward`]; zeros if untouched.
+    pub fn grad(&self, v: Var) -> Tensor {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => Tensor::zeros(self.nodes[v.0].value.shape()),
+        }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// A constant input (no gradient tracked through optimizers).
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf { requires_grad: false })
+    }
+
+    /// A parameter leaf (gradient wanted).
+    pub fn param(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf { requires_grad: true })
+    }
+
+    // ------------------------------------------------------------------- ops
+
+    /// Matrix product `a @ b` of 2-D tensors.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// Row-broadcast `a + bias` where `bias` has `a.cols()` elements.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[bias.0].value;
+        assert_eq!(av.shape().len(), 2, "add_bias lhs must be 2-D");
+        assert_eq!(bv.len(), av.cols(), "bias length must equal columns");
+        let (m, n) = (av.rows(), av.cols());
+        let mut out = av.clone();
+        for i in 0..m {
+            for j in 0..n {
+                *out.at_mut(i, j) += bv.data()[j];
+            }
+        }
+        self.push(out, Op::AddBias(a.0, bias.0))
+    }
+
+    fn zip_ew(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32, op: Op) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "elementwise shape mismatch");
+        let data = av
+            .data()
+            .iter()
+            .zip(bv.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        let t = Tensor::from_vec(data, av.shape());
+        self.push(t, op)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.zip_ew(a, b, |x, y| x + y, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.zip_ew(a, b, |x, y| x - y, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.zip_ew(a, b, |x, y| x * y, Op::Mul(a.0, b.0))
+    }
+
+    /// Elementwise minimum (the PPO clipped-objective combiner).
+    pub fn min_elem(&mut self, a: Var, b: Var) -> Var {
+        self.zip_ew(a, b, f32::min, Op::MinElem(a.0, b.0))
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * c);
+        self.push(v, Op::Scale(a.0, c))
+    }
+
+    /// Add a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + c);
+        self.push(v, Op::AddScalar(a.0))
+    }
+
+    /// True when the node is a parameter leaf (created via [`Graph::param`]).
+    pub fn is_param(&self, v: Var) -> bool {
+        matches!(self.nodes[v.0].op, Op::Leaf { requires_grad: true })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::exp);
+        self.push(v, Op::Exp(a.0))
+    }
+
+    /// Clamp to `[lo, hi]`; gradient passes only strictly inside the range.
+    pub fn clamp(&mut self, a: Var, lo: f32, hi: f32) -> Var {
+        assert!(lo <= hi);
+        let v = self.nodes[a.0].value.map(|x| x.clamp(lo, hi));
+        self.push(v, Op::Clamp(a.0, lo, hi))
+    }
+
+    /// Row-wise log-softmax of a 2-D tensor (numerically stabilized).
+    pub fn log_softmax(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.shape().len(), 2, "log_softmax requires 2-D");
+        let (m, n) = (av.rows(), av.cols());
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let row = &av.data()[i * n..(i + 1) * n];
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = mx + row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln();
+            for j in 0..n {
+                *out.at_mut(i, j) = row[j] - lse;
+            }
+        }
+        self.push(out, Op::LogSoftmax(a.0))
+    }
+
+    /// Pick one column per row: `out[i] = a[i, idx[i]]`.
+    pub fn select_cols(&mut self, a: Var, idx: &[usize]) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.shape().len(), 2, "select_cols requires 2-D");
+        assert_eq!(idx.len(), av.rows(), "one index per row");
+        let n = av.cols();
+        let data: Vec<f32> = idx
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| {
+                assert!(j < n, "column index {j} out of range");
+                av.at(i, j)
+            })
+            .collect();
+        let t = Tensor::from_vec(data, &[idx.len()]);
+        self.push(t, Op::SelectCols(a.0, idx.to_vec()))
+    }
+
+    /// Row sums of a 2-D tensor: `[m, n] -> [m]`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.shape().len(), 2, "sum_rows requires 2-D");
+        let (m, n) = (av.rows(), av.cols());
+        let data: Vec<f32> = (0..m)
+            .map(|i| av.data()[i * n..(i + 1) * n].iter().sum())
+            .collect();
+        let t = Tensor::from_vec(data, &[m]);
+        self.push(t, Op::SumRows(a.0))
+    }
+
+    /// Mean over all elements (scalar output).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let v = Tensor::scalar(av.sum() / av.len() as f32);
+        self.push(v, Op::Mean(a.0))
+    }
+
+    /// Sum over all elements (scalar output).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        self.push(v, Op::Sum(a.0))
+    }
+
+    /// View with a different shape (volume preserved).
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let v = self.nodes[a.0].value.reshaped(shape);
+        self.push(v, Op::Reshape(a.0))
+    }
+
+    /// Valid (unpadded) 2-D convolution.
+    ///
+    /// `x`: `[B, C, H, W]`, `w`: `[O, C, KH, KW]`, `b`: `[O]`; output
+    /// `[B, O, OH, OW]` with `OH = (H-KH)/stride + 1`.
+    pub fn conv2d(&mut self, x: Var, w: Var, b: Var, stride: usize) -> Var {
+        assert!(stride >= 1);
+        let xv = &self.nodes[x.0].value;
+        let wv = &self.nodes[w.0].value;
+        let bv = &self.nodes[b.0].value;
+        let (bs, c, h, wd) = dims4(xv.shape());
+        let (o, c2, kh, kw) = dims4(wv.shape());
+        assert_eq!(c, c2, "conv2d channel mismatch");
+        assert_eq!(bv.len(), o, "conv2d bias length");
+        assert!(h >= kh && wd >= kw, "kernel larger than input");
+        let oh = (h - kh) / stride + 1;
+        let ow = (wd - kw) / stride + 1;
+        let mut out = Tensor::zeros(&[bs, o, oh, ow]);
+        let xd = xv.data();
+        let wdv = wv.data();
+        let od = out.data_mut();
+        for bi in 0..bs {
+            for oi in 0..o {
+                for y in 0..oh {
+                    for xj in 0..ow {
+                        let mut acc = bv.data()[oi];
+                        for ci in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let xi = xd[idx4(bi, ci, y * stride + ky, xj * stride + kx, c, h, wd)];
+                                    let wi = wdv[idx4(oi, ci, ky, kx, c, kh, kw)];
+                                    acc += xi * wi;
+                                }
+                            }
+                        }
+                        od[idx4(bi, oi, y, xj, o, oh, ow)] = acc;
+                    }
+                }
+            }
+        }
+        self.push(out, Op::Conv2d { x: x.0, w: w.0, b: b.0, stride })
+    }
+
+    /// Non-overlapping max pooling with window = stride = `size`.
+    pub fn max_pool2d(&mut self, x: Var, size: usize) -> Var {
+        assert!(size >= 1);
+        let xv = &self.nodes[x.0].value;
+        let (bs, c, h, w) = dims4(xv.shape());
+        let (oh, ow) = (h / size, w / size);
+        assert!(oh >= 1 && ow >= 1, "pool window larger than input");
+        let mut out = Tensor::zeros(&[bs, c, oh, ow]);
+        let xd = xv.data();
+        let od = out.data_mut();
+        for bi in 0..bs {
+            for ci in 0..c {
+                for y in 0..oh {
+                    for xj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..size {
+                            for kx in 0..size {
+                                let v = xd[idx4(bi, ci, y * size + ky, xj * size + kx, c, h, w)];
+                                best = best.max(v);
+                            }
+                        }
+                        od[idx4(bi, ci, y, xj, c, oh, ow)] = best;
+                    }
+                }
+            }
+        }
+        self.push(out, Op::MaxPool2d { x: x.0, size })
+    }
+
+    // -------------------------------------------------------------- backward
+
+    fn accum(grads: &mut [Option<Tensor>], values: &[Node], id: usize, delta: &Tensor) {
+        let slot = &mut grads[id];
+        match slot {
+            Some(g) => g.axpy(1.0, delta),
+            None => {
+                let mut g = Tensor::zeros(values[id].value.shape());
+                // delta may carry a different (reshaped) shape; volumes match.
+                assert_eq!(g.len(), delta.len(), "gradient volume mismatch");
+                for (gd, &dd) in g.data_mut().iter_mut().zip(delta.data()) {
+                    *gd += dd;
+                }
+                *slot = Some(g);
+            }
+        }
+    }
+
+    /// Backpropagate from a scalar `loss` node, filling gradients for every
+    /// node that influences it.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward needs a scalar loss");
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for id in (0..n).rev() {
+            let Some(gout) = grads[id].take() else { continue };
+            // Re-stash: callers may query any node's grad afterwards.
+            let op = self.nodes[id].op.clone();
+            match op {
+                Op::Leaf { .. } => {}
+                Op::MatMul(a, b) => {
+                    let gout2 = gout.reshaped(self.nodes[id].value.shape());
+                    let da = gout2.matmul(&self.nodes[b].value.transposed());
+                    let db = self.nodes[a].value.transposed().matmul(&gout2);
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                    Self::accum(&mut grads, &self.nodes, b, &db);
+                }
+                Op::AddBias(a, bias) => {
+                    Self::accum(&mut grads, &self.nodes, a, &gout);
+                    let g2 = gout.reshaped(self.nodes[a].value.shape());
+                    let (m, ncol) = (g2.rows(), g2.cols());
+                    let mut db = Tensor::zeros(&[ncol]);
+                    for i in 0..m {
+                        for j in 0..ncol {
+                            db.data_mut()[j] += g2.at(i, j);
+                        }
+                    }
+                    Self::accum(&mut grads, &self.nodes, bias, &db);
+                }
+                Op::Add(a, b) => {
+                    Self::accum(&mut grads, &self.nodes, a, &gout);
+                    Self::accum(&mut grads, &self.nodes, b, &gout);
+                }
+                Op::Sub(a, b) => {
+                    Self::accum(&mut grads, &self.nodes, a, &gout);
+                    let neg = gout.map(|x| -x);
+                    Self::accum(&mut grads, &self.nodes, b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let da = ew(&gout, &self.nodes[b].value, |g, y| g * y);
+                    let db = ew(&gout, &self.nodes[a].value, |g, x| g * x);
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                    Self::accum(&mut grads, &self.nodes, b, &db);
+                }
+                Op::MinElem(a, b) => {
+                    let av = &self.nodes[a].value;
+                    let bv = &self.nodes[b].value;
+                    let mut da = Tensor::zeros(av.shape());
+                    let mut db = Tensor::zeros(bv.shape());
+                    for i in 0..gout.len() {
+                        if av.data()[i] <= bv.data()[i] {
+                            da.data_mut()[i] = gout.data()[i];
+                        } else {
+                            db.data_mut()[i] = gout.data()[i];
+                        }
+                    }
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                    Self::accum(&mut grads, &self.nodes, b, &db);
+                }
+                Op::Scale(a, c) => {
+                    let da = gout.map(|x| x * c);
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::AddScalar(a) => {
+                    Self::accum(&mut grads, &self.nodes, a, &gout);
+                }
+                Op::Relu(a) => {
+                    let da = ew(&gout, &self.nodes[a].value, |g, x| if x > 0.0 { g } else { 0.0 });
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::Tanh(a) => {
+                    let da = ew(&gout, &self.nodes[id].value, |g, y| g * (1.0 - y * y));
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::Sigmoid(a) => {
+                    let da = ew(&gout, &self.nodes[id].value, |g, y| g * y * (1.0 - y));
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::Exp(a) => {
+                    let da = ew(&gout, &self.nodes[id].value, |g, y| g * y);
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::Clamp(a, lo, hi) => {
+                    let da = ew(&gout, &self.nodes[a].value, |g, x| {
+                        if x > lo && x < hi {
+                            g
+                        } else {
+                            0.0
+                        }
+                    });
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::LogSoftmax(a) => {
+                    // dx = dy - softmax(x) * rowsum(dy)
+                    let y = &self.nodes[id].value;
+                    let (m, ncol) = (y.rows(), y.cols());
+                    let g2 = gout.reshaped(&[m, ncol]);
+                    let mut da = Tensor::zeros(&[m, ncol]);
+                    for i in 0..m {
+                        let row_sum: f32 = (0..ncol).map(|j| g2.at(i, j)).sum();
+                        for j in 0..ncol {
+                            *da.at_mut(i, j) = g2.at(i, j) - y.at(i, j).exp() * row_sum;
+                        }
+                    }
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::SelectCols(a, idx) => {
+                    let av = &self.nodes[a].value;
+                    let mut da = Tensor::zeros(av.shape());
+                    let ncol = av.cols();
+                    for (i, &j) in idx.iter().enumerate() {
+                        da.data_mut()[i * ncol + j] += gout.data()[i];
+                    }
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::SumRows(a) => {
+                    let av = &self.nodes[a].value;
+                    let (m, ncol) = (av.rows(), av.cols());
+                    let mut da = Tensor::zeros(&[m, ncol]);
+                    for i in 0..m {
+                        for j in 0..ncol {
+                            *da.at_mut(i, j) = gout.data()[i];
+                        }
+                    }
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::Mean(a) => {
+                    let len = self.nodes[a].value.len() as f32;
+                    let g = gout.item() / len;
+                    let da = Tensor::full(self.nodes[a].value.shape(), g);
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::Sum(a) => {
+                    let da = Tensor::full(self.nodes[a].value.shape(), gout.item());
+                    Self::accum(&mut grads, &self.nodes, a, &da);
+                }
+                Op::Reshape(a) => {
+                    Self::accum(&mut grads, &self.nodes, a, &gout);
+                }
+                Op::Conv2d { x, w, b, stride } => {
+                    let xv = &self.nodes[x].value;
+                    let wv = &self.nodes[w].value;
+                    let (bs, c, h, wd) = dims4(xv.shape());
+                    let (o, _, kh, kw) = dims4(wv.shape());
+                    let (_, _, oh, ow) = dims4(self.nodes[id].value.shape());
+                    let mut dx = Tensor::zeros(xv.shape());
+                    let mut dw = Tensor::zeros(wv.shape());
+                    let mut db = Tensor::zeros(&[o]);
+                    let gd = gout.data();
+                    for bi in 0..bs {
+                        for oi in 0..o {
+                            for y in 0..oh {
+                                for xj in 0..ow {
+                                    let g = gd[idx4(bi, oi, y, xj, o, oh, ow)];
+                                    if g == 0.0 {
+                                        continue;
+                                    }
+                                    db.data_mut()[oi] += g;
+                                    for ci in 0..c {
+                                        for ky in 0..kh {
+                                            for kx in 0..kw {
+                                                let xi = idx4(bi, ci, y * stride + ky, xj * stride + kx, c, h, wd);
+                                                let wi = idx4(oi, ci, ky, kx, c, kh, kw);
+                                                dx.data_mut()[xi] += g * wv.data()[wi];
+                                                dw.data_mut()[wi] += g * xv.data()[xi];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Self::accum(&mut grads, &self.nodes, x, &dx);
+                    Self::accum(&mut grads, &self.nodes, w, &dw);
+                    Self::accum(&mut grads, &self.nodes, b, &db);
+                }
+                Op::MaxPool2d { x, size } => {
+                    let xv = &self.nodes[x].value;
+                    let (bs, c, h, w) = dims4(xv.shape());
+                    let (_, _, oh, ow) = dims4(self.nodes[id].value.shape());
+                    let mut dx = Tensor::zeros(xv.shape());
+                    let gd = gout.data();
+                    let xd = xv.data();
+                    for bi in 0..bs {
+                        for ci in 0..c {
+                            for y in 0..oh {
+                                for xj in 0..ow {
+                                    // Recompute the argmax; first maximum
+                                    // wins on ties (deterministic).
+                                    let mut best = f32::NEG_INFINITY;
+                                    let mut best_i = 0;
+                                    for ky in 0..size {
+                                        for kx in 0..size {
+                                            let i = idx4(bi, ci, y * size + ky, xj * size + kx, c, h, w);
+                                            if xd[i] > best {
+                                                best = xd[i];
+                                                best_i = i;
+                                            }
+                                        }
+                                    }
+                                    dx.data_mut()[best_i] += gd[idx4(bi, ci, y, xj, c, oh, ow)];
+                                }
+                            }
+                        }
+                    }
+                    Self::accum(&mut grads, &self.nodes, x, &dx);
+                }
+            }
+            grads[id] = Some(gout);
+        }
+
+        for (node, g) in self.nodes.iter_mut().zip(grads) {
+            node.grad = g;
+        }
+    }
+}
+
+/// Elementwise combine of `g` and `x` with volumes (not necessarily shapes,
+/// reshape nodes pass through) matching.
+fn ew(g: &Tensor, x: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(g.len(), x.len());
+    let data = g.data().iter().zip(x.data()).map(|(&a, &b)| f(a, b)).collect();
+    Tensor::from_vec(data, x.shape())
+}
+
+fn dims4(shape: &[usize]) -> (usize, usize, usize, usize) {
+    assert_eq!(shape.len(), 4, "expected a 4-D tensor, got {shape:?}");
+    (shape[0], shape[1], shape[2], shape[3])
+}
+
+#[inline]
+fn idx4(a: usize, b: usize, c: usize, d: usize, nb: usize, nc: usize, nd: usize) -> usize {
+    ((a * nb + b) * nc + c) * nd + d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check of `d loss / d input` for every
+    /// element of the chosen leaf.
+    fn gradcheck<F>(input: Tensor, build: F, tol: f32)
+    where
+        F: Fn(&mut Graph, Var) -> Var,
+    {
+        let mut g = Graph::new();
+        let x = g.param(input.clone());
+        let loss = build(&mut g, x);
+        g.backward(loss);
+        let analytic = g.grad(x);
+
+        let eps = 1e-3f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let f = |t: Tensor| {
+                let mut g = Graph::new();
+                let x = g.param(t);
+                let l = build(&mut g, x);
+                g.value(l).item()
+            };
+            let numeric = (f(plus) - f(minus)) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad[{i}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn demo_input() -> Tensor {
+        Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.05, -1.4, 0.9], &[2, 3])
+    }
+
+    #[test]
+    fn gradcheck_matmul_bias_relu_mean() {
+        let w = Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.7, -0.3, 0.4], &[3, 2]);
+        let b = Tensor::from_vec(vec![0.1, -0.1], &[2]);
+        gradcheck(
+            demo_input(),
+            move |g, x| {
+                let wv = g.input(w.clone());
+                let bv = g.input(b.clone());
+                let h = g.matmul(x, wv);
+                let h = g.add_bias(h, bv);
+                let h = g.relu(h);
+                g.mean(h)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_matmul_weight_side() {
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.05, -1.4, 0.9], &[2, 3]);
+        gradcheck(
+            Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.7, -0.3, 0.4], &[3, 2]),
+            move |g, w| {
+                let xv = g.input(x.clone());
+                let h = g.matmul(xv, w);
+                let h = g.tanh(h);
+                g.mean(h)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_tanh_sigmoid_exp() {
+        gradcheck(
+            demo_input(),
+            |g, x| {
+                let a = g.tanh(x);
+                let b = g.sigmoid(a);
+                let c = g.exp(b);
+                g.mean(c)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_log_softmax_select() {
+        gradcheck(
+            demo_input(),
+            |g, x| {
+                let ls = g.log_softmax(x);
+                let picked = g.select_cols(ls, &[2, 0]);
+                g.mean(picked)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_clamp_min_mul() {
+        let other = Tensor::from_vec(vec![0.2, -0.3, 0.8, -0.9, 0.4, 1.1], &[2, 3]);
+        gradcheck(
+            demo_input(),
+            move |g, x| {
+                let o = g.input(other.clone());
+                let c = g.clamp(x, -1.0, 1.0);
+                let m = g.min_elem(c, o);
+                let p = g.mul(m, o);
+                g.mean(p)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_sum_rows_and_arith() {
+        gradcheck(
+            demo_input(),
+            |g, x| {
+                let s = g.scale(x, 1.7);
+                let s = g.add_scalar(s, 0.3);
+                let r = g.sum_rows(s);
+                let sq = g.mul(r, r);
+                g.sum(sq)
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_sub_add() {
+        let other = Tensor::from_vec(vec![0.2, -0.3, 0.8, -0.9, 0.4, 1.1], &[2, 3]);
+        gradcheck(
+            demo_input(),
+            move |g, x| {
+                let o = g.input(other.clone());
+                let d = g.sub(x, o);
+                let e = g.add(d, x);
+                let f = g.mul(e, e);
+                g.mean(f)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_reshape_pipeline() {
+        gradcheck(
+            demo_input(),
+            |g, x| {
+                let r = g.reshape(x, &[3, 2]);
+                let t = g.tanh(r);
+                g.mean(t)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_conv_and_pool() {
+        // 1 batch, 1 channel, 4x4 input; 1 output channel, 2x2 kernel.
+        let x = Tensor::from_vec(
+            (0..16).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &[1, 1, 4, 4],
+        );
+        gradcheck(
+            x,
+            |g, xin| {
+                let w = g.param(Tensor::from_vec(vec![0.4, -0.2, 0.3, 0.1], &[1, 1, 2, 2]));
+                let b = g.param(Tensor::from_vec(vec![0.05], &[1]));
+                let c = g.conv2d(xin, w, b, 1); // [1,1,3,3]
+                let t = g.tanh(c);
+                g.mean(t)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_conv_weights() {
+        let x = Tensor::from_vec(
+            (0..32).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.2).collect(),
+            &[1, 2, 4, 4],
+        );
+        gradcheck(
+            Tensor::from_vec(
+                (0..16).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.1).collect(),
+                &[2, 2, 2, 2],
+            ),
+            move |g, w| {
+                let xin = g.input(x.clone());
+                let b = g.input(Tensor::from_vec(vec![0.0, 0.1], &[2]));
+                let c = g.conv2d(xin, w, b, 2); // [1,2,2,2]
+                let p = g.max_pool2d(c, 2); // [1,2,1,1]
+                let r = g.reshape(p, &[1, 2]);
+                let s = g.sum_rows(r);
+                g.sum(s)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn log_softmax_rows_are_normalized() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        let ls = g.log_softmax(x);
+        for i in 0..2 {
+            let s: f32 = (0..3).map(|j| g.value(ls).at(i, j).exp()).sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_handles_extreme_logits() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1000.0, -1000.0, 0.0], &[1, 3]));
+        let ls = g.log_softmax(x);
+        assert!(g.value(ls).data().iter().all(|v| v.is_finite()));
+        assert!((g.value(ls).at(0, 0)).abs() < 1e-5, "dominant logit has logprob ~0");
+    }
+
+    #[test]
+    fn gradients_accumulate_over_reused_nodes() {
+        // loss = mean(x * x): d/dx = 2x/len, uses x twice via Mul(a,a).
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![3.0, -2.0], &[2]));
+        let sq = g.mul(x, x);
+        let loss = g.mean(sq);
+        g.backward(loss);
+        let gr = g.grad(x);
+        assert!((gr.data()[0] - 3.0).abs() < 1e-5);
+        assert!((gr.data()[1] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv_output_shape_and_value() {
+        // Uniform input, unit kernel: every output equals k*k*mean + bias.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::full(&[1, 1, 4, 4], 2.0));
+        let w = g.input(Tensor::full(&[1, 1, 2, 2], 1.0));
+        let b = g.input(Tensor::from_vec(vec![0.5], &[1]));
+        let c = g.conv2d(x, w, b, 2);
+        assert_eq!(g.value(c).shape(), &[1, 1, 2, 2]);
+        assert!(g.value(c).data().iter().all(|&v| (v - 8.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn max_pool_takes_window_max() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        ));
+        let p = g.max_pool2d(x, 2);
+        assert_eq!(g.value(p).data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::zeros(&[2, 2]));
+        let y = g.relu(x);
+        g.backward(y);
+    }
+
+    #[test]
+    fn is_param_distinguishes_leaves() {
+        let mut g = Graph::new();
+        let p = g.param(Tensor::zeros(&[1]));
+        let i = g.input(Tensor::zeros(&[1]));
+        let s = g.add(p, i);
+        assert!(g.is_param(p));
+        assert!(!g.is_param(i));
+        assert!(!g.is_param(s));
+    }
+
+    #[test]
+    fn grad_of_untouched_node_is_zero() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::zeros(&[3]));
+        let y = g.param(Tensor::from_vec(vec![1.0], &[1]));
+        let loss = g.mean(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(g.grad(y).data(), &[1.0]);
+    }
+}

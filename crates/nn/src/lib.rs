@@ -1,0 +1,31 @@
+//! Minimal deep-learning substrate for the RLScheduler reproduction.
+//!
+//! The paper implements its networks in TensorFlow; no equivalent is
+//! available offline in Rust, and the models are tiny (the kernel policy
+//! network stays under 1 000 parameters, §IV-B1), so this crate provides a
+//! self-contained substrate:
+//!
+//! * [`Tensor`] — dense row-major `f32` tensors.
+//! * [`Graph`] — tape-based reverse-mode autodiff (define-by-run, arena
+//!   tape, single reverse scan). The op set covers the dense nets of
+//!   Figs 5–6, the LeNet CNN baseline of Table IV (`conv2d`,
+//!   `max_pool2d`), and the PPO objective (`log_softmax`, `select_cols`,
+//!   `clamp`, `min_elem`).
+//! * [`layers`] — `Dense`, `Mlp`, `Conv2dLayer`, the [`Network`] trait and
+//!   parameter-binding machinery.
+//! * [`optim`] — Adam / SGD / global-norm clipping.
+//! * [`serialize`] — JSON checkpoints for the Table VII transfer study.
+//!
+//! Gradient correctness is enforced by finite-difference tests on every op
+//! (see `graph::tests` and `tests/gradcheck_prop.rs`).
+
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+
+pub use graph::{Graph, Var};
+pub use layers::{Activation, Conv2dLayer, Dense, Mlp, Network, ParamBinds};
+pub use optim::{clip_global_norm, Adam, Sgd};
+pub use tensor::Tensor;

@@ -1,0 +1,186 @@
+//! First-order optimizers: Adam (the paper trains with learning rate 1e-3,
+//! §V-A) and plain SGD, plus global-norm gradient clipping.
+
+use crate::tensor::Tensor;
+
+/// Adam optimizer (Kingma & Ba) with per-parameter moment state.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999, 1e-8) moments.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Change the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Apply one update step. `params` and `grads` must be index-aligned
+    /// and keep the same shapes across calls.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads must align");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.shape())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter set changed size");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.shape(), g.shape(), "parameter/gradient shape mismatch");
+            for i in 0..p.len() {
+                let gi = g.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / b1t;
+                let vhat = vi / b2t;
+                p.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// SGD with fixed learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Apply one descent step.
+    pub fn step(&self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, g) in params.iter_mut().zip(grads) {
+            p.axpy(-self.lr, g);
+        }
+    }
+}
+
+/// Scale all gradients down so their joint L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    let total: f32 = grads.iter().map(|g| g.norm().powi(2)).sum::<f32>().sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for g in grads.iter_mut() {
+            for x in g.data_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 elementwise with each optimizer.
+    fn quadratic_grad(p: &Tensor) -> Tensor {
+        p.map(|x| 2.0 * (x - 3.0))
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = Tensor::from_vec(vec![-5.0, 10.0], &[2]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut [&mut p], &[g]);
+        }
+        for &x in p.data() {
+            assert!((x - 3.0).abs() < 1e-2, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = Tensor::from_vec(vec![-5.0, 10.0], &[2]);
+        let opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut [&mut p], &[g]);
+        }
+        for &x in p.data() {
+            assert!((x - 3.0).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn adam_bias_correction_makes_first_step_lr_sized() {
+        // With a constant gradient, the very first Adam step is ~lr.
+        let mut p = Tensor::from_vec(vec![0.0], &[1]);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p], &[Tensor::from_vec(vec![42.0], &[1])]);
+        assert!((p.data()[0] + 0.01).abs() < 1e-4, "step was {}", p.data()[0]);
+    }
+
+    #[test]
+    fn adam_multiple_params() {
+        let mut a = Tensor::from_vec(vec![0.0], &[1]);
+        let mut b = Tensor::from_vec(vec![10.0], &[1]);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..400 {
+            let ga = quadratic_grad(&a);
+            let gb = quadratic_grad(&b);
+            opt.step(&mut [&mut a, &mut b], &[ga, gb]);
+        }
+        assert!((a.data()[0] - 3.0).abs() < 1e-2);
+        assert!((b.data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_rejected() {
+        let mut p = Tensor::zeros(&[1]);
+        Adam::new(0.1).step(&mut [&mut p], &[]);
+    }
+
+    #[test]
+    fn clip_scales_down_only_when_needed() {
+        let mut grads = vec![Tensor::from_vec(vec![3.0], &[1]), Tensor::from_vec(vec![4.0], &[1])];
+        let norm = clip_global_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let clipped: f32 = grads.iter().map(|g| g.norm().powi(2)).sum::<f32>().sqrt();
+        assert!((clipped - 1.0).abs() < 1e-5);
+
+        let mut small = vec![Tensor::from_vec(vec![0.1], &[1])];
+        clip_global_norm(&mut small, 1.0);
+        assert_eq!(small[0].data(), &[0.1], "under-norm gradients untouched");
+    }
+
+    #[test]
+    fn set_lr_takes_effect() {
+        let mut opt = Adam::new(0.1);
+        opt.set_lr(0.5);
+        assert_eq!(opt.lr(), 0.5);
+    }
+}

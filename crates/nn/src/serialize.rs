@@ -1,0 +1,84 @@
+//! Checkpoint (de)serialization for parameter sets.
+//!
+//! The transfer experiments of the paper (Table VII: train RL-X on trace X,
+//! schedule trace Y) require saving a trained model and reloading it
+//! elsewhere. Parameters serialize to JSON — human-inspectable and free of
+//! endianness concerns; the tensors involved are tiny.
+
+use crate::tensor::Tensor;
+
+/// Serialize a parameter list to a JSON string.
+pub fn params_to_json(params: &[&Tensor]) -> String {
+    serde_json::to_string(&params).expect("tensor serialization is infallible")
+}
+
+/// Parse a parameter list back from JSON.
+pub fn params_from_json(s: &str) -> Result<Vec<Tensor>, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+/// Copy a loaded parameter list into live storage, validating shapes.
+pub fn load_into(targets: &mut [&mut Tensor], loaded: &[Tensor]) -> Result<(), String> {
+    if targets.len() != loaded.len() {
+        return Err(format!(
+            "parameter count mismatch: model has {}, checkpoint has {}",
+            targets.len(),
+            loaded.len()
+        ));
+    }
+    for (i, (t, l)) in targets.iter().zip(loaded).enumerate() {
+        if t.shape() != l.shape() {
+            return Err(format!(
+                "parameter {i} shape mismatch: model {:?}, checkpoint {:?}",
+                t.shape(),
+                l.shape()
+            ));
+        }
+    }
+    for (t, l) in targets.iter_mut().zip(loaded) {
+        **t = l.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let a = Tensor::from_vec(vec![1.5, -2.5], &[2]);
+        let b = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[2, 2]);
+        let json = params_to_json(&[&a, &b]);
+        let back = params_from_json(&json).unwrap();
+        assert_eq!(back, vec![a, b]);
+    }
+
+    #[test]
+    fn load_into_validates_count() {
+        let mut t = Tensor::zeros(&[2]);
+        let err = load_into(&mut [&mut t], &[]).unwrap_err();
+        assert!(err.contains("count mismatch"));
+    }
+
+    #[test]
+    fn load_into_validates_shape() {
+        let mut t = Tensor::zeros(&[2]);
+        let l = Tensor::zeros(&[3]);
+        let err = load_into(&mut [&mut t], &[l]).unwrap_err();
+        assert!(err.contains("shape mismatch"));
+    }
+
+    #[test]
+    fn load_into_copies_values() {
+        let mut t = Tensor::zeros(&[2]);
+        let l = Tensor::from_vec(vec![7.0, 8.0], &[2]);
+        load_into(&mut [&mut t], &[l.clone()]).unwrap();
+        assert_eq!(t, l);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(params_from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Dense row-major f32 tensors.
+//!
+//! Shapes are small in this system (the paper's kernel policy network has
+//! fewer than 1 000 parameters), so the representation favors clarity over
+//! blocking/SIMD tricks: contiguous `Vec<f32>` plus an explicit shape.
+//! `matmul` is the only routine warranting an inner-loop layout: it iterates
+//! `i-k-j` so the innermost loop walks both operands contiguously.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![0.0; n], shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![value; n], shape: shape.to_vec() }
+    }
+
+    /// Build from data and shape; panics when lengths disagree.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length {} != shape volume {}", data.len(), n);
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// A 1-element scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor { data: vec![v], shape: vec![1] }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The single value of a scalar tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() requires a 1-element tensor");
+        self.data[0]
+    }
+
+    /// Rows of a 2-D tensor.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() requires 2-D");
+        self.shape[0]
+    }
+
+    /// Columns of a 2-D tensor.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() requires 2-D");
+        self.shape[1]
+    }
+
+    /// Element accessor for 2-D tensors.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable element accessor for 2-D tensors.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Same data, different shape (must preserve volume).
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.len(), "reshape must preserve volume");
+        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+    }
+
+    /// Matrix product of two 2-D tensors.
+    ///
+    /// The `i-k-j` loop order walks both operands contiguously; large
+    /// products (PPO update batches) split across rows with rayon.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimensions {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+
+        let row_op = |i: usize, o_row: &mut [f32]| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+
+        // Parallelize only when the product is big enough to amortize the
+        // fork/join overhead (threshold ~1 Mflop).
+        if m * k * n >= 512 * 1024 && m >= 2 {
+            use rayon::prelude::*;
+            out.par_chunks_mut(n).enumerate().for_each(|(i, o_row)| row_op(i, o_row));
+        } else {
+            for (i, o_row) in out.chunks_mut(n).enumerate() {
+                row_op(i, o_row);
+            }
+        }
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires 2-D");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { data: out, shape: vec![n, m] }
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// In-place `self += alpha * other` (shapes must match).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.at(0, 2), 3.0);
+        assert_eq!(t.at(1, 0), 4.0);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn bad_shape_rejected() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3, 3]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 2.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[1, 2]);
+        assert_eq!(c.data(), &[11.0, 14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transposed();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(2, 1), 6.0);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = a.reshaped(&[4]);
+        assert_eq!(r.shape(), &[4]);
+        assert_eq!(r.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "volume")]
+    fn reshape_volume_checked() {
+        let _ = Tensor::zeros(&[2, 2]).reshaped(&[5]);
+    }
+
+    #[test]
+    fn axpy_and_sum_and_norm() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        assert_eq!(a.sum(), 18.0);
+        let n = Tensor::from_vec(vec![3.0, 4.0], &[2]).norm();
+        assert!((n - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let a = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        assert_eq!(a.map(|x| x.max(0.0)).data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-element")]
+    fn item_rejects_non_scalar() {
+        let _ = Tensor::zeros(&[2]).item();
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based gradient checks: for random tensors and random op
+//! pipelines, the tape's analytic gradients must match central finite
+//! differences. This is the load-bearing correctness test for everything
+//! PPO-side.
+
+use proptest::prelude::*;
+
+use rlsched_nn::{Graph, Tensor, Var};
+
+fn finite_diff_check<F>(input: Tensor, build: F, tol: f32) -> Result<(), TestCaseError>
+where
+    F: Fn(&mut Graph, Var) -> Var,
+{
+    let mut g = Graph::new();
+    let x = g.param(input.clone());
+    let loss = build(&mut g, x);
+    g.backward(loss);
+    let analytic = g.grad(x);
+
+    let eps = 1e-2f32;
+    for i in 0..input.len() {
+        let f = |delta: f32| {
+            let mut t = input.clone();
+            t.data_mut()[i] += delta;
+            let mut g = Graph::new();
+            let x = g.param(t);
+            let l = build(&mut g, x);
+            g.value(l).item()
+        };
+        let numeric = (f(eps) - f(-eps)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        prop_assert!(
+            (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+            "grad[{}]: analytic {} vs numeric {}",
+            i,
+            a,
+            numeric
+        );
+    }
+    Ok(())
+}
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_relu_pipeline_grads(x in arb_matrix(3, 4), w in arb_matrix(4, 2)) {
+        finite_diff_check(
+            x,
+            move |g, xv| {
+                let wv = g.input(w.clone());
+                let h = g.matmul(xv, wv);
+                let r = g.tanh(h); // tanh: smooth, no kink issues at random points
+                g.mean(r)
+            },
+            0.05,
+        )?;
+    }
+
+    #[test]
+    fn weight_side_grads(x in arb_matrix(3, 4), w in arb_matrix(4, 2)) {
+        finite_diff_check(
+            w,
+            move |g, wv| {
+                let xv = g.input(x.clone());
+                let h = g.matmul(xv, wv);
+                let s = g.sigmoid(h);
+                g.sum(s)
+            },
+            0.05,
+        )?;
+    }
+
+    #[test]
+    fn log_softmax_select_grads(x in arb_matrix(3, 5), picks in prop::collection::vec(0usize..5, 3)) {
+        finite_diff_check(
+            x,
+            move |g, xv| {
+                let ls = g.log_softmax(xv);
+                let sel = g.select_cols(ls, &picks);
+                g.mean(sel)
+            },
+            0.05,
+        )?;
+    }
+
+    #[test]
+    fn ppo_objective_grads(
+        x in arb_matrix(4, 3),
+        adv in prop::collection::vec(-2.0f32..2.0, 4),
+        old in prop::collection::vec(-2.0f32..-0.1, 4),
+        picks in prop::collection::vec(0usize..3, 4),
+    ) {
+        // The exact loss PPO builds: masked log-softmax, selected actions,
+        // ratio, clip, min, negated mean.
+        finite_diff_check(
+            x,
+            move |g, xv| {
+                let ls = g.log_softmax(xv);
+                let logp = g.select_cols(ls, &picks);
+                let oldv = g.input(Tensor::from_vec(old.clone(), &[4]));
+                let diff = g.sub(logp, oldv);
+                let ratio = g.exp(diff);
+                let advv = g.input(Tensor::from_vec(adv.clone(), &[4]));
+                let s1 = g.mul(ratio, advv);
+                let clipped = g.clamp(ratio, 0.8, 1.2);
+                let s2 = g.mul(clipped, advv);
+                let obj = g.min_elem(s1, s2);
+                let m = g.mean(obj);
+                g.scale(m, -1.0)
+            },
+            0.08,
+        )?;
+    }
+
+    #[test]
+    fn exp_sub_mul_grads(a in arb_matrix(2, 3), b in arb_matrix(2, 3)) {
+        finite_diff_check(
+            a,
+            move |g, av| {
+                let bv = g.input(b.clone());
+                let d = g.sub(av, bv);
+                let e = g.exp(d);
+                let p = g.mul(e, bv);
+                g.mean(p)
+            },
+            0.05,
+        )?;
+    }
+
+    #[test]
+    fn log_softmax_is_shift_invariant(x in arb_matrix(2, 4), shift in -5.0f32..5.0) {
+        let mut g = Graph::new();
+        let a = g.input(x.clone());
+        let la = g.log_softmax(a);
+        let shifted = g.add_scalar(a, shift);
+        let lb = g.log_softmax(shifted);
+        for (p, q) in g.value(la).data().iter().zip(g.value(lb).data()) {
+            prop_assert!((p - q).abs() < 1e-4, "{} vs {}", p, q);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in arb_matrix(2, 3), b in arb_matrix(2, 3), w in arb_matrix(3, 2)) {
+        // (A + B) W == A W + B W on the tape's forward values.
+        let mut g = Graph::new();
+        let av = g.input(a);
+        let bv = g.input(b);
+        let wv = g.input(w);
+        let sum_first = {
+            let s = g.add(av, bv);
+            g.matmul(s, wv)
+        };
+        let mul_first = {
+            let x = g.matmul(av, wv);
+            let y = g.matmul(bv, wv);
+            g.add(x, y)
+        };
+        for (p, q) in g.value(sum_first).data().iter().zip(g.value(mul_first).data()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+}

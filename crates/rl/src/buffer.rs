@@ -1,0 +1,311 @@
+//! Rollout storage with Generalized Advantage Estimation.
+//!
+//! Mirrors the Spinning Up `PPOBuffer`: during an episode, per-step
+//! observations, masks, actions, rewards, value estimates and sampled
+//! log-probs are appended; `finish_path` closes the episode and computes
+//! GAE-λ advantages and reward-to-go returns. The batch-job reward
+//! structure of the paper — zero intermediate rewards, full metric at the
+//! last action (§IV-A) — is just a special case.
+
+use rlsched_nn::Tensor;
+
+/// One merged, advantage-normalized training batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Observations, `[n, obs_dim]`.
+    pub obs: Tensor,
+    /// Additive action masks, `[n, n_actions]`.
+    pub masks: Tensor,
+    /// Chosen actions.
+    pub actions: Vec<usize>,
+    /// Normalized GAE advantages.
+    pub advantages: Vec<f32>,
+    /// Reward-to-go returns (value-function targets).
+    pub returns: Vec<f32>,
+    /// Behavior-policy log-probs at sampling time.
+    pub logp_old: Vec<f32>,
+}
+
+impl Batch {
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// Episode-granular rollout buffer.
+#[derive(Debug, Clone)]
+pub struct RolloutBuffer {
+    obs_dim: usize,
+    n_actions: usize,
+    gamma: f64,
+    lam: f64,
+    obs: Vec<f32>,
+    masks: Vec<f32>,
+    actions: Vec<usize>,
+    rewards: Vec<f64>,
+    values: Vec<f64>,
+    logps: Vec<f32>,
+    advantages: Vec<f64>,
+    returns: Vec<f64>,
+    path_start: usize,
+}
+
+impl RolloutBuffer {
+    /// An empty buffer for `(obs_dim, n_actions)` transitions.
+    pub fn new(obs_dim: usize, n_actions: usize, gamma: f64, lam: f64) -> Self {
+        RolloutBuffer {
+            obs_dim,
+            n_actions,
+            gamma,
+            lam,
+            obs: Vec::new(),
+            masks: Vec::new(),
+            actions: Vec::new(),
+            rewards: Vec::new(),
+            values: Vec::new(),
+            logps: Vec::new(),
+            advantages: Vec::new(),
+            returns: Vec::new(),
+            path_start: 0,
+        }
+    }
+
+    /// Append one step of the current episode.
+    pub fn store(
+        &mut self,
+        obs: &[f32],
+        mask: &[f32],
+        action: usize,
+        reward: f64,
+        value: f64,
+        logp: f32,
+    ) {
+        assert_eq!(obs.len(), self.obs_dim, "observation width");
+        assert_eq!(mask.len(), self.n_actions, "mask width");
+        assert!(action < self.n_actions, "action out of range");
+        self.obs.extend_from_slice(obs);
+        self.masks.extend_from_slice(mask);
+        self.actions.push(action);
+        self.rewards.push(reward);
+        self.values.push(value);
+        self.logps.push(logp);
+    }
+
+    /// Close the current episode. `last_value` bootstraps a truncated
+    /// episode (0.0 for terminal states, as in scheduling episodes that
+    /// always run to completion).
+    pub fn finish_path(&mut self, last_value: f64) {
+        let start = self.path_start;
+        let end = self.rewards.len();
+        assert!(end > start, "finish_path on an empty episode");
+        let n = end - start;
+
+        // GAE-λ: delta_t = r_t + γ V_{t+1} − V_t;
+        // A_t = Σ_k (γλ)^k delta_{t+k}.
+        let mut adv = vec![0.0f64; n];
+        let mut next_adv = 0.0f64;
+        for i in (0..n).rev() {
+            let v = self.values[start + i];
+            let next_v = if i + 1 < n { self.values[start + i + 1] } else { last_value };
+            let delta = self.rewards[start + i] + self.gamma * next_v - v;
+            next_adv = delta + self.gamma * self.lam * next_adv;
+            adv[i] = next_adv;
+        }
+        self.advantages.extend_from_slice(&adv);
+
+        // Reward-to-go returns, bootstrapped with last_value.
+        let mut ret = vec![0.0f64; n];
+        let mut running = last_value;
+        for i in (0..n).rev() {
+            running = self.rewards[start + i] + self.gamma * running;
+            ret[i] = running;
+        }
+        self.returns.extend_from_slice(&ret);
+        self.path_start = end;
+    }
+
+    /// Steps stored so far (finished or not).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Sum of rewards of all finished episodes.
+    pub fn total_reward(&self) -> f64 {
+        self.rewards[..self.path_start].iter().sum()
+    }
+
+    /// Merge finished episodes from several buffers into one training
+    /// batch, normalizing advantages to zero mean / unit variance across
+    /// the whole batch (the Spinning Up "advantage normalization trick").
+    pub fn into_batch(buffers: Vec<RolloutBuffer>) -> Batch {
+        assert!(!buffers.is_empty());
+        let obs_dim = buffers[0].obs_dim;
+        let n_actions = buffers[0].n_actions;
+        let mut obs = Vec::new();
+        let mut masks = Vec::new();
+        let mut actions = Vec::new();
+        let mut advantages: Vec<f64> = Vec::new();
+        let mut returns = Vec::new();
+        let mut logp_old = Vec::new();
+        for b in &buffers {
+            assert_eq!(b.obs_dim, obs_dim);
+            assert_eq!(b.n_actions, n_actions);
+            assert_eq!(
+                b.path_start,
+                b.actions.len(),
+                "all episodes must be finished before batching"
+            );
+            let n = b.path_start;
+            obs.extend_from_slice(&b.obs[..n * obs_dim]);
+            masks.extend_from_slice(&b.masks[..n * n_actions]);
+            actions.extend_from_slice(&b.actions[..n]);
+            advantages.extend_from_slice(&b.advantages[..n]);
+            returns.extend(b.returns[..n].iter().map(|&r| r as f32));
+            logp_old.extend_from_slice(&b.logps[..n]);
+        }
+        let n = actions.len();
+        assert!(n > 0, "empty batch");
+
+        let mean = advantages.iter().sum::<f64>() / n as f64;
+        let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
+        let std = var.sqrt().max(1e-8);
+        let advantages: Vec<f32> = advantages.iter().map(|a| ((a - mean) / std) as f32).collect();
+
+        Batch {
+            obs: Tensor::from_vec(obs, &[n, obs_dim]),
+            masks: Tensor::from_vec(masks, &[n, n_actions]),
+            actions,
+            advantages,
+            returns,
+            logp_old,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_buffer(rewards: &[f64], values: &[f64], gamma: f64, lam: f64) -> RolloutBuffer {
+        let mut b = RolloutBuffer::new(2, 3, gamma, lam);
+        for (i, (&r, &v)) in rewards.iter().zip(values).enumerate() {
+            b.store(&[i as f32, 0.0], &[0.0, 0.0, 0.0], i % 3, r, v, -1.0);
+        }
+        b.finish_path(0.0);
+        b
+    }
+
+    #[test]
+    fn returns_are_rewards_to_go() {
+        let b = simple_buffer(&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0], 1.0, 1.0);
+        assert_eq!(b.returns, vec![6.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn discounted_returns() {
+        let b = simple_buffer(&[1.0, 1.0], &[0.0, 0.0], 0.5, 1.0);
+        assert_eq!(b.returns, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn gae_with_lambda_one_gamma_one_is_return_minus_value() {
+        // With γ=λ=1 and terminal bootstrap 0: A_t = G_t − V_t
+        // (telescoping identity).
+        let rewards = [0.0, 0.0, -5.0];
+        let values = [1.0, 2.0, 3.0];
+        let b = simple_buffer(&rewards, &values, 1.0, 1.0);
+        let expect = [-5.0 - 1.0, -5.0 - 2.0, -5.0 - 3.0];
+        for (a, e) in b.advantages.iter().zip(expect) {
+            assert!((a - e).abs() < 1e-9, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn gae_lambda_zero_is_one_step_td() {
+        // λ=0: A_t = r_t + γ V_{t+1} − V_t.
+        let rewards = [1.0, 2.0];
+        let values = [0.5, 0.25];
+        let b = simple_buffer(&rewards, &values, 0.9, 0.0);
+        let e0 = 1.0 + 0.9 * 0.25 - 0.5;
+        let e1 = 2.0 + 0.0 - 0.25;
+        assert!((b.advantages[0] - e0).abs() < 1e-9);
+        assert!((b.advantages[1] - e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delayed_reward_structure_of_the_paper() {
+        // Rewards all zero except the last step (−bsld): every action in
+        // the episode receives the same return with γ=1.
+        let b = simple_buffer(&[0.0, 0.0, 0.0, -42.0], &[0.0; 4], 1.0, 1.0);
+        assert!(b.returns.iter().all(|&r| (r + 42.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn batch_merges_and_normalizes() {
+        let b1 = simple_buffer(&[0.0, -10.0], &[0.0, 0.0], 1.0, 1.0);
+        let b2 = simple_buffer(&[0.0, -20.0], &[0.0, 0.0], 1.0, 1.0);
+        let batch = RolloutBuffer::into_batch(vec![b1, b2]);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.obs.shape(), &[4, 2]);
+        assert_eq!(batch.masks.shape(), &[4, 3]);
+        let mean: f32 = batch.advantages.iter().sum::<f32>() / 4.0;
+        let var: f32 = batch.advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-3, "var {var}");
+    }
+
+    #[test]
+    fn multi_episode_buffer() {
+        let mut b = RolloutBuffer::new(1, 2, 1.0, 1.0);
+        b.store(&[0.0], &[0.0, 0.0], 0, 0.0, 0.0, -0.5);
+        b.store(&[1.0], &[0.0, 0.0], 1, -1.0, 0.0, -0.5);
+        b.finish_path(0.0);
+        b.store(&[2.0], &[0.0, 0.0], 0, -2.0, 0.0, -0.5);
+        b.finish_path(0.0);
+        assert_eq!(b.returns, vec![-1.0, -1.0, -2.0]);
+        assert!((b.total_reward() + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty episode")]
+    fn finish_empty_path_panics() {
+        let mut b = RolloutBuffer::new(1, 2, 1.0, 1.0);
+        b.finish_path(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finished")]
+    fn unfinished_episode_cannot_batch() {
+        let mut b = RolloutBuffer::new(1, 2, 1.0, 1.0);
+        b.store(&[0.0], &[0.0, 0.0], 0, 0.0, 0.0, -0.5);
+        let _ = RolloutBuffer::into_batch(vec![b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation width")]
+    fn store_checks_widths() {
+        let mut b = RolloutBuffer::new(2, 2, 1.0, 1.0);
+        b.store(&[0.0], &[0.0, 0.0], 0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn bootstrap_value_used_for_truncated_paths() {
+        let mut b = RolloutBuffer::new(1, 2, 1.0, 1.0);
+        b.store(&[0.0], &[0.0, 0.0], 0, 1.0, 0.5, -0.5);
+        b.finish_path(10.0); // truncated: bootstrap with V=10
+        assert_eq!(b.returns, vec![11.0]);
+        // A_0 = r + γ·V_boot − V_0 = 1 + 10 − 0.5
+        assert!((b.advantages[0] - 10.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,99 @@
+//! The environment abstraction: a masked discrete-action episodic
+//! environment, the SchedGym contract of §IV-D seen from the agent's side.
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Next observation (flattened, `obs_dim` long). Meaningless when
+    /// `done` is true.
+    pub obs: Vec<f32>,
+    /// Next additive action mask (`n_actions` long; 0 valid, very negative
+    /// invalid). Meaningless when `done` is true.
+    pub mask: Vec<f32>,
+    /// Reward for the action just taken. In batch-job scheduling this is 0
+    /// until the final action, which carries the whole episode metric
+    /// (§IV-A of the paper).
+    pub reward: f64,
+    /// True when the episode just ended.
+    pub done: bool,
+    /// The episode's raw objective value (e.g. average bounded slowdown),
+    /// reported once at `done` for logging/curves.
+    pub episode_metric: Option<f64>,
+}
+
+/// A masked discrete-action episodic environment.
+pub trait Env {
+    /// Observation width (flattened).
+    fn obs_dim(&self) -> usize;
+
+    /// Action-space size (the paper's `MAX_OBSV_SIZE`, default 128).
+    fn n_actions(&self) -> usize;
+
+    /// Start a new episode derived from `seed` (the seed selects the job
+    /// sequence; implementations must be reproducible). Returns the first
+    /// observation and mask.
+    fn reset(&mut self, seed: u64) -> (Vec<f32>, Vec<f32>);
+
+    /// Apply an action.
+    fn step(&mut self, action: usize) -> StepOutcome;
+}
+
+#[cfg(test)]
+pub(crate) mod test_env {
+    use super::*;
+
+    /// A tiny bandit-style environment for substrate tests: `n_actions`
+    /// arms, reward = arm index / n (higher arm, higher reward), episode
+    /// length fixed. The optimal policy always picks the last arm; some
+    /// arms are masked off to exercise masking.
+    pub struct BanditEnv {
+        pub n_actions: usize,
+        pub episode_len: usize,
+        pub t: usize,
+        pub masked: Vec<usize>,
+        pub acc: f64,
+    }
+
+    impl BanditEnv {
+        pub fn new(n_actions: usize, episode_len: usize, masked: Vec<usize>) -> Self {
+            BanditEnv { n_actions, episode_len, t: 0, masked, acc: 0.0 }
+        }
+
+        fn mask(&self) -> Vec<f32> {
+            (0..self.n_actions)
+                .map(|i| if self.masked.contains(&i) { crate::categorical::MASK_OFF } else { 0.0 })
+                .collect()
+        }
+
+        fn obs(&self) -> Vec<f32> {
+            vec![self.t as f32 / self.episode_len as f32, 1.0]
+        }
+    }
+
+    impl Env for BanditEnv {
+        fn obs_dim(&self) -> usize {
+            2
+        }
+        fn n_actions(&self) -> usize {
+            self.n_actions
+        }
+        fn reset(&mut self, _seed: u64) -> (Vec<f32>, Vec<f32>) {
+            self.t = 0;
+            self.acc = 0.0;
+            (self.obs(), self.mask())
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            assert!(!self.masked.contains(&action), "masked action selected");
+            self.t += 1;
+            self.acc += action as f64 / self.n_actions as f64;
+            let done = self.t >= self.episode_len;
+            StepOutcome {
+                obs: self.obs(),
+                mask: self.mask(),
+                reward: if done { self.acc } else { 0.0 },
+                done,
+                episode_metric: if done { Some(self.acc) } else { None },
+            }
+        }
+    }
+}

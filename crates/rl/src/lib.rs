@@ -1,0 +1,32 @@
+//! Reinforcement-learning substrate: the PPO actor–critic machinery the
+//! RLScheduler paper builds on (§II-B, §V-A: "We implement RLScheduler
+//! based on the Proximal Policy Optimization (PPO) algorithm from OpenAI
+//! Spinning Up").
+//!
+//! The crate is environment-agnostic: anything implementing [`Env`] (a
+//! masked discrete-action episodic environment) can be trained. The
+//! scheduling environment itself lives in the `rlscheduler` crate.
+//!
+//! Components:
+//!
+//! * [`categorical`] — masked categorical action distributions over
+//!   log-probabilities (sampling during training, argmax during testing —
+//!   §IV-B1 of the paper).
+//! * [`buffer`] — per-episode rollout storage with GAE(γ, λ) advantage
+//!   estimation and reward-to-go returns.
+//! * [`ppo`] — the clipped-surrogate PPO update with early stopping on
+//!   approximate KL, separate Adam optimizers for policy and value nets.
+//! * [`sampler`] — parallel trajectory collection across environments
+//!   (rayon), the "100 trajectories per epoch" of §V-A.
+
+pub mod buffer;
+pub mod categorical;
+pub mod env;
+pub mod ppo;
+pub mod sampler;
+
+pub use buffer::{Batch, RolloutBuffer};
+pub use categorical::MaskedCategorical;
+pub use env::{Env, StepOutcome};
+pub use ppo::{PolicyModel, Ppo, PpoConfig, UpdateStats, ValueModel};
+pub use sampler::{collect_rollouts, RolloutStats};

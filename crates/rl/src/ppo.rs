@@ -1,0 +1,565 @@
+//! Proximal Policy Optimization with the clipped surrogate objective —
+//! the algorithm of Schulman et al. [30] as packaged by OpenAI Spinning Up,
+//! which the paper builds RLScheduler on (§V-A).
+//!
+//! One [`Ppo`] owns an actor (any [`PolicyModel`]) and a critic (any
+//! [`ValueModel`]) with separate Adam optimizers. Per §V-A, each epoch runs
+//! up to 80 policy-gradient iterations (early-stopped on approximate KL)
+//! and 80 value iterations at learning rate 1e-3.
+
+use rand::Rng;
+
+use rlsched_nn::{clip_global_norm, Adam, Graph, ParamBinds, Tensor, Var};
+
+use crate::buffer::Batch;
+use crate::categorical::MaskedCategorical;
+
+/// The actor: maps observations + additive masks to per-action
+/// log-probabilities.
+pub trait PolicyModel {
+    /// Build the forward pass on the tape. `obs` is `[batch, obs_dim]`,
+    /// `mask` is `[batch, n_actions]` additive (0 valid / ~-1e9 invalid);
+    /// the result must be `[batch, n_actions]` log-probabilities.
+    fn log_probs(&self, g: &mut Graph, obs: Var, mask: Var, binds: &mut ParamBinds) -> Var;
+
+    /// Parameter tensors in bind order.
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable parameter access in the same order.
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Total scalar parameter count.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|t| t.len()).sum()
+    }
+}
+
+/// The critic: maps observations to scalar state values.
+pub trait ValueModel {
+    /// Build the forward pass; result must be `[batch, 1]`.
+    fn values(&self, g: &mut Graph, obs: Var, binds: &mut ParamBinds) -> Var;
+
+    /// Parameter tensors in bind order.
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable parameter access in the same order.
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+}
+
+/// PPO hyperparameters. Defaults follow §V-A of the paper (lr 1e-3, 80
+/// update iterations per epoch) and Spinning Up conventions elsewhere.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct PpoConfig {
+    /// Clipping radius ε of the surrogate objective.
+    pub clip_ratio: f32,
+    /// Policy learning rate.
+    pub pi_lr: f32,
+    /// Value-function learning rate.
+    pub vf_lr: f32,
+    /// Max policy iterations per update.
+    pub train_pi_iters: usize,
+    /// Value iterations per update.
+    pub train_v_iters: usize,
+    /// Discount γ (1.0: episodic scheduling with terminal reward).
+    pub gamma: f64,
+    /// GAE λ.
+    pub lam: f64,
+    /// Early-stop threshold: stop policy iterations when approximate KL
+    /// exceeds 1.5× this.
+    pub target_kl: f64,
+    /// Entropy bonus coefficient.
+    pub ent_coef: f32,
+    /// Optional global-norm gradient clip.
+    pub max_grad_norm: Option<f32>,
+    /// When set, each update iteration works on a random minibatch of this
+    /// size instead of the full batch (PPO-style minibatching; keeps the
+    /// 80-iteration schedule affordable on large rollouts).
+    pub minibatch: Option<usize>,
+    /// Seed for minibatch shuffling (updates stay reproducible).
+    pub update_seed: u64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            clip_ratio: 0.2,
+            pi_lr: 1e-3,
+            vf_lr: 1e-3,
+            train_pi_iters: 80,
+            train_v_iters: 80,
+            gamma: 1.0,
+            lam: 0.97,
+            target_kl: 0.01,
+            ent_coef: 0.0,
+            max_grad_norm: None,
+            minibatch: None,
+            update_seed: 0,
+        }
+    }
+}
+
+/// Diagnostics of one [`Ppo::update`].
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct UpdateStats {
+    /// Surrogate loss before the first policy step.
+    pub pi_loss_before: f32,
+    /// Surrogate loss after the last policy step.
+    pub pi_loss_after: f32,
+    /// Value loss before the first value step.
+    pub v_loss_before: f32,
+    /// Value loss after the last value step.
+    pub v_loss_after: f32,
+    /// Final approximate KL(old ‖ new).
+    pub approx_kl: f64,
+    /// Mean policy entropy over the batch (at the first iteration).
+    pub entropy: f32,
+    /// Policy iterations actually executed before KL early stop.
+    pub pi_iters: usize,
+}
+
+/// The PPO agent: actor, critic, optimizers, config.
+pub struct Ppo<P: PolicyModel, V: ValueModel> {
+    /// The actor network.
+    pub policy: P,
+    /// The critic network.
+    pub value: V,
+    /// Hyperparameters.
+    pub cfg: PpoConfig,
+    pi_opt: Adam,
+    vf_opt: Adam,
+    update_rng: rand::rngs::StdRng,
+}
+
+impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
+    /// Assemble an agent.
+    pub fn new(policy: P, value: V, cfg: PpoConfig) -> Self {
+        use rand::SeedableRng;
+        let pi_opt = Adam::new(cfg.pi_lr);
+        let vf_opt = Adam::new(cfg.vf_lr);
+        let update_rng = rand::rngs::StdRng::seed_from_u64(cfg.update_seed);
+        Ppo { policy, value, cfg, pi_opt, vf_opt, update_rng }
+    }
+
+    /// Forward the policy on a single observation; returns the log-prob row.
+    pub fn logp_row(&self, obs: &[f32], mask: &[f32]) -> Vec<f32> {
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let o = g.input(Tensor::from_vec(obs.to_vec(), &[1, obs.len()]));
+        let m = g.input(Tensor::from_vec(mask.to_vec(), &[1, mask.len()]));
+        let lp = self.policy.log_probs(&mut g, o, m, &mut binds);
+        g.value(lp).data().to_vec()
+    }
+
+    /// Forward the critic on a single observation.
+    pub fn value_of(&self, obs: &[f32]) -> f64 {
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let o = g.input(Tensor::from_vec(obs.to_vec(), &[1, obs.len()]));
+        let v = self.value.values(&mut g, o, &mut binds);
+        g.value(v).data()[0] as f64
+    }
+
+    /// Sample an action (training path). Returns `(action, logp, value)`.
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        obs: &[f32],
+        mask: &[f32],
+        rng: &mut R,
+    ) -> (usize, f32, f64) {
+        let logp = self.logp_row(obs, mask);
+        let dist = MaskedCategorical::new(&logp);
+        let a = dist.sample(rng);
+        (a, dist.log_prob(a), self.value_of(obs))
+    }
+
+    /// Deterministic argmax action (testing path, §IV-B1).
+    pub fn greedy(&self, obs: &[f32], mask: &[f32]) -> usize {
+        let logp = self.logp_row(obs, mask);
+        MaskedCategorical::new(&logp).argmax()
+    }
+
+    /// Pick the working set for one update iteration: the whole batch, or
+    /// a random minibatch when configured and the batch is larger.
+    fn iteration_view(&mut self, batch: &Batch) -> MiniView {
+        let n = batch.len();
+        match self.cfg.minibatch {
+            Some(mb) if mb < n => {
+                use rand::Rng;
+                let idx: Vec<usize> =
+                    (0..mb).map(|_| self.update_rng.gen_range(0..n)).collect();
+                MiniView::subset(batch, &idx)
+            }
+            _ => MiniView::full(batch),
+        }
+    }
+
+    /// One PPO update over a collected batch.
+    pub fn update(&mut self, batch: &Batch) -> UpdateStats {
+        assert!(!batch.is_empty(), "cannot update on an empty batch");
+
+        let mut pi_loss_before = 0.0;
+        let mut pi_loss_after = 0.0;
+        let mut entropy = 0.0;
+        let mut approx_kl = 0.0;
+        let mut pi_iters = 0;
+
+        let eps = self.cfg.clip_ratio;
+        for it in 0..self.cfg.train_pi_iters {
+            let view = self.iteration_view(batch);
+            let n = view.actions.len();
+            let mut g = Graph::new();
+            let mut binds = ParamBinds::new();
+            let o = g.input(view.obs);
+            let m = g.input(view.masks);
+            let logp_all = self.policy.log_probs(&mut g, o, m, &mut binds);
+            let logp = g.select_cols(logp_all, &view.actions);
+
+            // ratio = exp(logp − logp_old)
+            let old = g.input(Tensor::from_vec(view.logp_old.clone(), &[n]));
+            let diff = g.sub(logp, old);
+            let ratio = g.exp(diff);
+            let advv = g.input(Tensor::from_vec(view.advantages, &[n]));
+            let surr1 = g.mul(ratio, advv);
+            let clipped = g.clamp(ratio, 1.0 - eps, 1.0 + eps);
+            let surr2 = g.mul(clipped, advv);
+            let obj = g.min_elem(surr1, surr2);
+            let mean_obj = g.mean(obj);
+            let mut loss = g.scale(mean_obj, -1.0);
+
+            if self.cfg.ent_coef != 0.0 {
+                // entropy = −Σ p·logp per row; masked slots contribute 0.
+                let p = g.exp(logp_all);
+                let plogp = g.mul(p, logp_all);
+                let row = g.sum_rows(plogp);
+                let ent = g.mean(row); // = −entropy
+                let weighted = g.scale(ent, self.cfg.ent_coef);
+                loss = g.add(loss, weighted);
+            }
+
+            // Diagnostics before stepping.
+            let kl: f64 = view
+                .logp_old
+                .iter()
+                .zip(g.value(logp).data())
+                .map(|(&o, &nw)| (o - nw) as f64)
+                .sum::<f64>()
+                / n as f64;
+            approx_kl = kl;
+            if it == 0 {
+                pi_loss_before = g.value(loss).item();
+                entropy = mean_entropy(g.value(logp_all));
+            }
+            if kl > 1.5 * self.cfg.target_kl && it > 0 {
+                break;
+            }
+            g.backward(loss);
+            pi_loss_after = g.value(loss).item();
+            let mut grads = binds.grads(&g);
+            if let Some(mx) = self.cfg.max_grad_norm {
+                clip_global_norm(&mut grads, mx);
+            }
+            self.pi_opt.step(&mut self.policy.params_mut(), &grads);
+            pi_iters = it + 1;
+        }
+
+        let mut v_loss_before = 0.0;
+        let mut v_loss_after = 0.0;
+        for it in 0..self.cfg.train_v_iters {
+            let view = self.iteration_view(batch);
+            let n = view.actions.len();
+            let mut g = Graph::new();
+            let mut binds = ParamBinds::new();
+            let o = g.input(view.obs);
+            let v = self.value.values(&mut g, o, &mut binds);
+            let r = g.input(Tensor::from_vec(view.returns, &[n, 1]));
+            let d = g.sub(v, r);
+            let sq = g.mul(d, d);
+            let loss = g.mean(sq);
+            if it == 0 {
+                v_loss_before = g.value(loss).item();
+            }
+            g.backward(loss);
+            v_loss_after = g.value(loss).item();
+            let mut grads = binds.grads(&g);
+            if let Some(mx) = self.cfg.max_grad_norm {
+                clip_global_norm(&mut grads, mx);
+            }
+            self.vf_opt.step(&mut self.value.params_mut(), &grads);
+        }
+
+        UpdateStats {
+            pi_loss_before,
+            pi_loss_after,
+            v_loss_before,
+            v_loss_after,
+            approx_kl,
+            entropy,
+            pi_iters,
+        }
+    }
+}
+
+/// One update iteration's working set (full batch or minibatch).
+struct MiniView {
+    obs: Tensor,
+    masks: Tensor,
+    actions: Vec<usize>,
+    advantages: Vec<f32>,
+    returns: Vec<f32>,
+    logp_old: Vec<f32>,
+}
+
+impl MiniView {
+    fn full(batch: &Batch) -> Self {
+        MiniView {
+            obs: batch.obs.clone(),
+            masks: batch.masks.clone(),
+            actions: batch.actions.clone(),
+            advantages: batch.advantages.clone(),
+            returns: batch.returns.clone(),
+            logp_old: batch.logp_old.clone(),
+        }
+    }
+
+    fn subset(batch: &Batch, idx: &[usize]) -> Self {
+        let obs_dim = batch.obs.cols();
+        let n_actions = batch.masks.cols();
+        let mut obs = Vec::with_capacity(idx.len() * obs_dim);
+        let mut masks = Vec::with_capacity(idx.len() * n_actions);
+        let mut actions = Vec::with_capacity(idx.len());
+        let mut advantages = Vec::with_capacity(idx.len());
+        let mut returns = Vec::with_capacity(idx.len());
+        let mut logp_old = Vec::with_capacity(idx.len());
+        for &i in idx {
+            obs.extend_from_slice(&batch.obs.data()[i * obs_dim..(i + 1) * obs_dim]);
+            masks.extend_from_slice(&batch.masks.data()[i * n_actions..(i + 1) * n_actions]);
+            actions.push(batch.actions[i]);
+            advantages.push(batch.advantages[i]);
+            returns.push(batch.returns[i]);
+            logp_old.push(batch.logp_old[i]);
+        }
+        MiniView {
+            obs: Tensor::from_vec(obs, &[idx.len(), obs_dim]),
+            masks: Tensor::from_vec(masks, &[idx.len(), n_actions]),
+            actions,
+            advantages,
+            returns,
+            logp_old,
+        }
+    }
+}
+
+fn mean_entropy(logp_all: &Tensor) -> f32 {
+    let (m, n) = (logp_all.rows(), logp_all.cols());
+    let mut total = 0.0;
+    for i in 0..m {
+        let row = &logp_all.data()[i * n..(i + 1) * n];
+        total += MaskedCategorical::new(row).entropy();
+    }
+    total / m as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::RolloutBuffer;
+    use crate::categorical::MASK_OFF;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlsched_nn::{Activation, Mlp, Network};
+
+    /// A plain MLP policy over flat observations (the "MLP v2" baseline of
+    /// Table IV in miniature).
+    struct MlpPolicy {
+        net: Mlp,
+    }
+
+    impl MlpPolicy {
+        fn new(obs_dim: usize, n_actions: usize, seed: u64) -> Self {
+            let mut rng = StdRng::seed_from_u64(seed);
+            MlpPolicy {
+                net: Mlp::new(&[obs_dim, 16, n_actions], Activation::Tanh, Activation::Identity, &mut rng),
+            }
+        }
+    }
+
+    impl PolicyModel for MlpPolicy {
+        fn log_probs(&self, g: &mut Graph, obs: Var, mask: Var, binds: &mut ParamBinds) -> Var {
+            let logits = self.net.forward(g, obs, binds);
+            let masked = g.add(logits, mask);
+            g.log_softmax(masked)
+        }
+        fn params(&self) -> Vec<&Tensor> {
+            self.net.params()
+        }
+        fn params_mut(&mut self) -> Vec<&mut Tensor> {
+            self.net.params_mut()
+        }
+    }
+
+    struct MlpValue {
+        net: Mlp,
+    }
+
+    impl MlpValue {
+        fn new(obs_dim: usize, seed: u64) -> Self {
+            let mut rng = StdRng::seed_from_u64(seed);
+            MlpValue {
+                net: Mlp::new(&[obs_dim, 16, 1], Activation::Tanh, Activation::Identity, &mut rng),
+            }
+        }
+    }
+
+    impl ValueModel for MlpValue {
+        fn values(&self, g: &mut Graph, obs: Var, binds: &mut ParamBinds) -> Var {
+            self.net.forward(g, obs, binds)
+        }
+        fn params(&self) -> Vec<&Tensor> {
+            self.net.params()
+        }
+        fn params_mut(&mut self) -> Vec<&mut Tensor> {
+            self.net.params_mut()
+        }
+    }
+
+    fn agent(n_actions: usize) -> Ppo<MlpPolicy, MlpValue> {
+        let cfg = PpoConfig { train_pi_iters: 20, train_v_iters: 20, ..PpoConfig::default() };
+        Ppo::new(MlpPolicy::new(2, n_actions, 1), MlpValue::new(2, 2), cfg)
+    }
+
+    #[test]
+    fn logp_rows_are_normalized_and_masked() {
+        let ppo = agent(4);
+        let mask = vec![0.0, MASK_OFF, 0.0, 0.0];
+        let logp = ppo.logp_row(&[0.5, 1.0], &mask);
+        let sum: f32 = logp.iter().map(|l| l.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        assert!(logp[1] < -1e8, "masked slot has ~zero probability");
+    }
+
+    #[test]
+    fn select_never_picks_masked() {
+        let ppo = agent(4);
+        let mask = vec![MASK_OFF, 0.0, MASK_OFF, 0.0];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let (a, logp, _v) = ppo.select(&[0.1, 0.2], &mask, &mut rng);
+            assert!(a == 1 || a == 3);
+            assert!(logp.is_finite());
+        }
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let ppo = agent(4);
+        let mask = vec![0.0; 4];
+        let a = ppo.greedy(&[0.3, -0.2], &mask);
+        for _ in 0..10 {
+            assert_eq!(ppo.greedy(&[0.3, -0.2], &mask), a);
+        }
+    }
+
+    /// The contextual-bandit learning test: rewards favor action
+    /// `n_actions-1`; after a few updates the policy should, too.
+    #[test]
+    fn ppo_learns_a_bandit() {
+        use crate::env::test_env::BanditEnv;
+        use crate::env::Env;
+        let n_actions = 4;
+        let mut ppo = agent(n_actions);
+        let mut env = BanditEnv::new(n_actions, 8, vec![]);
+        let mut rng = StdRng::seed_from_u64(3);
+
+        let mut last_mean = 0.0;
+        for _epoch in 0..30 {
+            let mut buf = RolloutBuffer::new(2, n_actions, ppo.cfg.gamma, ppo.cfg.lam);
+            let mut metrics = Vec::new();
+            for ep in 0..8 {
+                let (mut obs, mut mask) = env.reset(ep);
+                loop {
+                    let (a, logp, v) = ppo.select(&obs, &mask, &mut rng);
+                    let out = env.step(a);
+                    buf.store(&obs, &mask, a, out.reward, v, logp);
+                    if out.done {
+                        buf.finish_path(0.0);
+                        metrics.push(out.episode_metric.unwrap());
+                        break;
+                    }
+                    obs = out.obs;
+                    mask = out.mask;
+                }
+            }
+            last_mean = metrics.iter().sum::<f64>() / metrics.len() as f64;
+            let batch = RolloutBuffer::into_batch(vec![buf]);
+            ppo.update(&batch);
+        }
+        // Max achievable per episode is 8 * 3/4 = 6; random is ~3.
+        assert!(last_mean > 4.5, "bandit mean reward {last_mean}");
+        // And greedy should pick the best arm.
+        let a = ppo.greedy(&[0.0, 1.0], &vec![0.0; n_actions]);
+        assert_eq!(a, n_actions - 1, "greedy should pick the best arm");
+    }
+
+    #[test]
+    fn update_reports_sane_stats() {
+        let mut ppo = agent(3);
+        let mut buf = RolloutBuffer::new(2, 3, 1.0, 0.97);
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..32 {
+            let obs = [i as f32 / 32.0, 0.5];
+            let mask = vec![0.0, 0.0, 0.0];
+            let (a, logp, v) = ppo.select(&obs, &mask, &mut rng);
+            let r = if i % 8 == 7 { -(i as f64) } else { 0.0 };
+            buf.store(&obs, &mask, a, r, v, logp);
+            if i % 8 == 7 {
+                buf.finish_path(0.0);
+            }
+        }
+        let batch = RolloutBuffer::into_batch(vec![buf]);
+        let stats = ppo.update(&batch);
+        assert!(stats.pi_iters >= 1);
+        assert!(stats.entropy > 0.0 && stats.entropy <= (3.0f32).ln() + 1e-4);
+        assert!(stats.v_loss_after <= stats.v_loss_before, "value net must improve on its batch");
+        assert!(stats.approx_kl.is_finite());
+    }
+
+    #[test]
+    fn value_function_fits_constant_returns() {
+        let cfg = PpoConfig {
+            train_pi_iters: 5,
+            train_v_iters: 40,
+            vf_lr: 0.05,
+            ..PpoConfig::default()
+        };
+        let mut ppo = Ppo::new(MlpPolicy::new(2, 3, 1), MlpValue::new(2, 2), cfg);
+        let mut buf = RolloutBuffer::new(2, 3, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..16 {
+            let obs = [0.5, 0.5];
+            let (a, logp, v) = ppo.select(&obs, &[0.0, 0.0, 0.0], &mut rng);
+            buf.store(&obs, &[0.0, 0.0, 0.0], a, -7.0, v, logp);
+            buf.finish_path(0.0);
+        }
+        let batch = RolloutBuffer::into_batch(vec![buf]);
+        for _ in 0..5 {
+            ppo.update(&batch);
+        }
+        let v = ppo.value_of(&[0.5, 0.5]);
+        assert!((v + 7.0).abs() < 1.5, "value {v} should approach -7");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn update_rejects_empty_batch() {
+        let mut ppo = agent(3);
+        let batch = Batch {
+            obs: Tensor::zeros(&[0, 2]),
+            masks: Tensor::zeros(&[0, 3]),
+            actions: vec![],
+            advantages: vec![],
+            returns: vec![],
+            logp_old: vec![],
+        };
+        ppo.update(&batch);
+    }
+}

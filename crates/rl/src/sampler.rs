@@ -1,0 +1,217 @@
+//! Parallel trajectory collection.
+//!
+//! Each PPO epoch samples many complete episodes (the paper uses 100
+//! trajectories of 256 scheduling decisions, §V-A). Episodes are
+//! independent given the frozen policy, so they parallelize perfectly:
+//! every environment rolls out on its own rayon task with a thread-local
+//! RNG, and the per-episode buffers merge into one normalized batch.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::buffer::{Batch, RolloutBuffer};
+use crate::env::Env;
+use crate::ppo::{PolicyModel, Ppo, ValueModel};
+
+/// Summary of one collection round.
+#[derive(Debug, Clone)]
+pub struct RolloutStats {
+    /// Episodes collected.
+    pub episodes: usize,
+    /// Total transitions collected.
+    pub steps: usize,
+    /// Mean episodic reward sum.
+    pub mean_return: f64,
+    /// Per-episode objective values (e.g. average bounded slowdown),
+    /// as reported by the environments.
+    pub metrics: Vec<f64>,
+}
+
+impl RolloutStats {
+    /// Mean of the per-episode objective values.
+    pub fn mean_metric(&self) -> f64 {
+        if self.metrics.is_empty() {
+            return 0.0;
+        }
+        self.metrics.iter().sum::<f64>() / self.metrics.len() as f64
+    }
+}
+
+/// Roll out one full episode of `env` under the current policy.
+fn run_episode<E, P, V>(
+    ppo: &Ppo<P, V>,
+    env: &mut E,
+    seed: u64,
+) -> (RolloutBuffer, f64, Option<f64>)
+where
+    E: Env,
+    P: PolicyModel,
+    V: ValueModel,
+{
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut buf = RolloutBuffer::new(env.obs_dim(), env.n_actions(), ppo.cfg.gamma, ppo.cfg.lam);
+    let (mut obs, mut mask) = env.reset(seed);
+    let mut ep_return = 0.0;
+    let metric = loop {
+        let (a, logp, v) = ppo.select(&obs, &mask, &mut rng);
+        let out = env.step(a);
+        buf.store(&obs, &mask, a, out.reward, v, logp);
+        ep_return += out.reward;
+        if out.done {
+            buf.finish_path(0.0);
+            break out.episode_metric;
+        }
+        obs = out.obs;
+        mask = out.mask;
+    };
+    (buf, ep_return, metric)
+}
+
+/// Collect one episode per `(env, seed)` pair, in parallel, and merge into
+/// a training batch.
+pub fn collect_rollouts<E, P, V>(
+    ppo: &Ppo<P, V>,
+    envs: &mut [E],
+    seeds: &[u64],
+) -> (Batch, RolloutStats)
+where
+    E: Env + Send,
+    P: PolicyModel + Sync,
+    V: ValueModel + Sync,
+{
+    assert_eq!(envs.len(), seeds.len(), "one seed per environment");
+    assert!(!envs.is_empty(), "need at least one environment");
+
+    let results: Vec<(RolloutBuffer, f64, Option<f64>)> = envs
+        .par_iter_mut()
+        .zip(seeds.par_iter())
+        .map(|(env, &seed)| run_episode(ppo, env, seed))
+        .collect();
+
+    let episodes = results.len();
+    let mut buffers = Vec::with_capacity(episodes);
+    let mut returns = 0.0;
+    let mut metrics = Vec::new();
+    let mut steps = 0;
+    for (buf, ret, metric) in results {
+        steps += buf.len();
+        returns += ret;
+        if let Some(m) = metric {
+            metrics.push(m);
+        }
+        buffers.push(buf);
+    }
+    let batch = RolloutBuffer::into_batch(buffers);
+    let stats = RolloutStats {
+        episodes,
+        steps,
+        mean_return: returns / episodes as f64,
+        metrics,
+    };
+    (batch, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_env::BanditEnv;
+    use crate::ppo::PpoConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlsched_nn::{Activation, Graph, Mlp, Network, ParamBinds, Tensor, Var};
+
+    struct P(Mlp);
+    impl PolicyModel for P {
+        fn log_probs(&self, g: &mut Graph, obs: Var, mask: Var, binds: &mut ParamBinds) -> Var {
+            let logits = self.0.forward(g, obs, binds);
+            let masked = g.add(logits, mask);
+            g.log_softmax(masked)
+        }
+        fn params(&self) -> Vec<&Tensor> {
+            self.0.params()
+        }
+        fn params_mut(&mut self) -> Vec<&mut Tensor> {
+            self.0.params_mut()
+        }
+    }
+    struct C(Mlp);
+    impl ValueModel for C {
+        fn values(&self, g: &mut Graph, obs: Var, binds: &mut ParamBinds) -> Var {
+            self.0.forward(g, obs, binds)
+        }
+        fn params(&self) -> Vec<&Tensor> {
+            self.0.params()
+        }
+        fn params_mut(&mut self) -> Vec<&mut Tensor> {
+            self.0.params_mut()
+        }
+    }
+
+    fn make_ppo() -> Ppo<P, C> {
+        let mut rng = StdRng::seed_from_u64(5);
+        Ppo::new(
+            P(Mlp::new(&[2, 8, 3], Activation::Tanh, Activation::Identity, &mut rng)),
+            C(Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, &mut rng)),
+            PpoConfig::default(),
+        )
+    }
+
+    #[test]
+    fn collects_one_episode_per_env() {
+        let ppo = make_ppo();
+        let mut envs: Vec<BanditEnv> = (0..6).map(|_| BanditEnv::new(3, 5, vec![])).collect();
+        let seeds: Vec<u64> = (0..6).collect();
+        let (batch, stats) = collect_rollouts(&ppo, &mut envs, &seeds);
+        assert_eq!(stats.episodes, 6);
+        assert_eq!(stats.steps, 30, "6 episodes x 5 steps");
+        assert_eq!(batch.len(), 30);
+        assert_eq!(stats.metrics.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let ppo = make_ppo();
+        let run = || {
+            let mut envs: Vec<BanditEnv> = (0..4).map(|_| BanditEnv::new(3, 4, vec![])).collect();
+            let seeds: Vec<u64> = (10..14).collect();
+            collect_rollouts(&ppo, &mut envs, &seeds)
+        };
+        let (b1, s1) = run();
+        let (b2, s2) = run();
+        assert_eq!(b1.actions, b2.actions);
+        assert_eq!(b1.logp_old, b2.logp_old);
+        assert_eq!(s1.mean_return, s2.mean_return);
+    }
+
+    #[test]
+    fn respects_masks_during_collection() {
+        let ppo = make_ppo();
+        // Arm 2 is masked; BanditEnv panics if a masked arm is selected.
+        let mut envs: Vec<BanditEnv> = (0..4).map(|_| BanditEnv::new(3, 6, vec![2])).collect();
+        let seeds: Vec<u64> = (0..4).collect();
+        let (_batch, stats) = collect_rollouts(&ppo, &mut envs, &seeds);
+        assert_eq!(stats.episodes, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per environment")]
+    fn seed_count_must_match() {
+        let ppo = make_ppo();
+        let mut envs: Vec<BanditEnv> = vec![BanditEnv::new(3, 4, vec![])];
+        let _ = collect_rollouts(&ppo, &mut envs, &[1, 2]);
+    }
+
+    #[test]
+    fn mean_metric_matches_manual_average() {
+        let stats = RolloutStats {
+            episodes: 2,
+            steps: 10,
+            mean_return: 0.0,
+            metrics: vec![2.0, 4.0],
+        };
+        assert_eq!(stats.mean_metric(), 3.0);
+        let empty = RolloutStats { episodes: 0, steps: 0, mean_return: 0.0, metrics: vec![] };
+        assert_eq!(empty.mean_metric(), 0.0);
+    }
+}

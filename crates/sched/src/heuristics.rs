@@ -1,0 +1,302 @@
+//! The priority functions of Table III, plus two auxiliary heuristics used
+//! in tests and ablations.
+
+use rlsched_sim::{Policy, QueueView, WaitingJob};
+
+/// Which priority function a [`PriorityScheduler`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// First Come First Served: `score = s_t`.
+    Fcfs,
+    /// Shortest Job First (by requested runtime): `score = r_t`.
+    Sjf,
+    /// `score = -(w_t/r_t)^3 * n_t` (Tang et al. [3]).
+    Wfp3,
+    /// `score = -w_t / (log2(n_t) * r_t)` (Tang et al. [3]).
+    Unicep,
+    /// `score = log10(r_t)*n_t + 870*log10(s_t)` (Carastan-Santos et al. [4]).
+    F1,
+    /// Longest Job First — the SJF mirror, used in tests/ablations only.
+    Ljf,
+    /// Fewest requested processors first — used in tests/ablations only.
+    SmallestFirst,
+}
+
+impl HeuristicKind {
+    /// The five schedulers of Table III, in the paper's column order.
+    pub fn table3() -> [HeuristicKind; 5] {
+        [
+            HeuristicKind::Fcfs,
+            HeuristicKind::Wfp3,
+            HeuristicKind::Unicep,
+            HeuristicKind::Sjf,
+            HeuristicKind::F1,
+        ]
+    }
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            HeuristicKind::Fcfs => "FCFS",
+            HeuristicKind::Sjf => "SJF",
+            HeuristicKind::Wfp3 => "WFP3",
+            HeuristicKind::Unicep => "UNICEP",
+            HeuristicKind::F1 => "F1",
+            HeuristicKind::Ljf => "LJF",
+            HeuristicKind::SmallestFirst => "SmallestFirst",
+        }
+    }
+
+    /// The raw priority score; **smaller is scheduled first**.
+    ///
+    /// Guards: `log2(n)` is evaluated on `max(n, 2)` (a 1-processor job
+    /// would otherwise divide by zero — the reference implementation
+    /// produces `-inf`, i.e. top priority, so the clamp only softens an
+    /// already-degenerate case) and `log10(s)` on `max(s, 1)` (windowed
+    /// sequences start at `s = 0`).
+    pub fn score(self, w: &WaitingJob<'_>) -> f64 {
+        let wt = w.wait.max(0.0);
+        let rt = w.job.time_bound();
+        let nt = w.job.procs() as f64;
+        let st = w.job.submit_time;
+        match self {
+            HeuristicKind::Fcfs => st,
+            HeuristicKind::Sjf => rt,
+            HeuristicKind::Wfp3 => -(wt / rt).powi(3) * nt,
+            HeuristicKind::Unicep => -wt / ((nt.max(2.0)).log2() * rt),
+            HeuristicKind::F1 => rt.log10() * nt + 870.0 * st.max(1.0).log10(),
+            HeuristicKind::Ljf => -rt,
+            HeuristicKind::SmallestFirst => nt,
+        }
+    }
+}
+
+/// A [`Policy`] that schedules the waiting job with the smallest priority
+/// score, breaking ties by submit time then trace index (deterministic).
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityScheduler {
+    kind: HeuristicKind,
+}
+
+impl PriorityScheduler {
+    /// Build a scheduler applying `kind`'s priority function.
+    pub fn new(kind: HeuristicKind) -> Self {
+        PriorityScheduler { kind }
+    }
+
+    /// The underlying priority function.
+    pub fn kind(&self) -> HeuristicKind {
+        self.kind
+    }
+
+    /// All Table III schedulers, ready to run.
+    pub fn table3() -> Vec<PriorityScheduler> {
+        HeuristicKind::table3().into_iter().map(Self::new).collect()
+    }
+}
+
+impl Policy for PriorityScheduler {
+    fn select(&mut self, view: &QueueView<'_>) -> usize {
+        debug_assert!(!view.waiting.is_empty());
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, usize::MAX);
+        for (i, w) in view.waiting.iter().enumerate() {
+            let key = (self.kind.score(w), w.job.submit_time, w.job_index);
+            if key.0 < best_key.0
+                || (key.0 == best_key.0
+                    && (key.1 < best_key.1 || (key.1 == best_key.1 && key.2 < best_key.2)))
+            {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &str {
+        self.kind.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlsched_swf::Job;
+
+    fn view_of(jobs: &[Job], time: f64, free: u32, total: u32) -> QueueView<'_> {
+        QueueView {
+            time,
+            free_procs: free,
+            total_procs: total,
+            waiting: jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| WaitingJob {
+                    job,
+                    job_index: i,
+                    wait: time - job.submit_time,
+                    can_run_now: job.procs() <= free,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fcfs_picks_earliest_submit() {
+        let jobs = vec![
+            Job::new(1, 30.0, 10.0, 1, 10.0),
+            Job::new(2, 10.0, 10.0, 1, 10.0),
+            Job::new(3, 20.0, 10.0, 1, 10.0),
+        ];
+        let v = view_of(&jobs, 40.0, 4, 4);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::Fcfs).select(&v), 1);
+    }
+
+    #[test]
+    fn sjf_picks_shortest_request() {
+        let jobs = vec![
+            Job::new(1, 0.0, 500.0, 1, 500.0),
+            Job::new(2, 0.0, 50.0, 1, 50.0),
+            Job::new(3, 0.0, 5000.0, 1, 5000.0),
+        ];
+        let v = view_of(&jobs, 0.0, 4, 4);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::Sjf).select(&v), 1);
+    }
+
+    #[test]
+    fn sjf_uses_requested_not_actual_runtime() {
+        // Job 0 actually runs 1s but requested 1000s; job 1 actually runs
+        // 500s but requested 10s. SJF must look at requests only.
+        let jobs = vec![
+            Job::new(1, 0.0, 1.0, 1, 1000.0),
+            Job::new(2, 0.0, 500.0, 1, 10.0),
+        ];
+        let v = view_of(&jobs, 0.0, 4, 4);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::Sjf).select(&v), 1);
+    }
+
+    #[test]
+    fn wfp3_favors_long_waiting_short_jobs() {
+        // Same runtime/procs; the job waiting longer wins.
+        let jobs = vec![
+            Job::new(1, 90.0, 10.0, 2, 100.0),
+            Job::new(2, 0.0, 10.0, 2, 100.0),
+        ];
+        let v = view_of(&jobs, 100.0, 4, 4);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::Wfp3).select(&v), 1);
+    }
+
+    #[test]
+    fn wfp3_weighs_processor_count() {
+        // Equal wait and runtime: more processors => more negative score
+        // => scheduled first (the n_t factor scales the whole term).
+        let jobs = vec![
+            Job::new(1, 0.0, 10.0, 1, 100.0),
+            Job::new(2, 0.0, 10.0, 8, 100.0),
+        ];
+        let v = view_of(&jobs, 50.0, 8, 8);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::Wfp3).select(&v), 1);
+    }
+
+    #[test]
+    fn unicep_favors_fewer_procs_for_equal_wait_runtime() {
+        // score = -w/(log2(n)*r): smaller n => bigger magnitude => first.
+        let jobs = vec![
+            Job::new(1, 0.0, 10.0, 16, 100.0),
+            Job::new(2, 0.0, 10.0, 4, 100.0),
+        ];
+        let v = view_of(&jobs, 50.0, 16, 16);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::Unicep).select(&v), 1);
+    }
+
+    #[test]
+    fn unicep_single_proc_job_does_not_panic() {
+        let jobs = vec![
+            Job::new(1, 0.0, 10.0, 1, 100.0),
+            Job::new(2, 0.0, 10.0, 4, 100.0),
+        ];
+        let v = view_of(&jobs, 50.0, 4, 4);
+        let pick = PriorityScheduler::new(HeuristicKind::Unicep).select(&v);
+        assert_eq!(pick, 0, "1-proc job gets top priority under the clamp");
+    }
+
+    #[test]
+    fn f1_prefers_short_small_early_jobs() {
+        let jobs = vec![
+            Job::new(1, 0.0, 10.0, 1, 36000.0),
+            Job::new(2, 0.0, 10.0, 1, 60.0),
+        ];
+        let v = view_of(&jobs, 0.0, 4, 4);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::F1).select(&v), 1);
+        // Submit time dominates via the 870x weight: a much later job loses
+        // even with a shorter runtime.
+        let jobs = vec![
+            Job::new(1, 1.0, 10.0, 1, 36000.0),
+            Job::new(2, 100000.0, 10.0, 1, 60.0),
+        ];
+        let v = view_of(&jobs, 100000.0, 4, 4);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::F1).select(&v), 0);
+    }
+
+    #[test]
+    fn f1_zero_submit_time_is_finite() {
+        let jobs = vec![Job::new(1, 0.0, 10.0, 1, 60.0)];
+        let v = view_of(&jobs, 0.0, 4, 4);
+        let s = HeuristicKind::F1.score(&v.waiting[0]);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn ljf_mirrors_sjf() {
+        let jobs = vec![
+            Job::new(1, 0.0, 500.0, 1, 500.0),
+            Job::new(2, 0.0, 50.0, 1, 50.0),
+        ];
+        let v = view_of(&jobs, 0.0, 4, 4);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::Ljf).select(&v), 0);
+        assert_eq!(PriorityScheduler::new(HeuristicKind::SmallestFirst).select(&v), 0);
+    }
+
+    #[test]
+    fn ties_break_by_submit_then_index() {
+        let jobs = vec![
+            Job::new(2, 5.0, 10.0, 1, 10.0),
+            Job::new(1, 5.0, 10.0, 1, 10.0),
+        ];
+        let v = view_of(&jobs, 10.0, 4, 4);
+        // Equal SJF scores and submit times: the lower trace index wins.
+        assert_eq!(PriorityScheduler::new(HeuristicKind::Sjf).select(&v), 0);
+    }
+
+    #[test]
+    fn table3_lists_five_named_schedulers() {
+        let scheds = PriorityScheduler::table3();
+        let names: Vec<&str> = scheds.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["FCFS", "WFP3", "UNICEP", "SJF", "F1"]);
+    }
+
+    #[test]
+    fn full_episode_with_each_table3_scheduler() {
+        use rlsched_sim::{run_episode, SimConfig};
+        use rlsched_swf::JobTrace;
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| {
+                Job::new(
+                    i + 1,
+                    (i as f64) * 7.0,
+                    30.0 + (i % 7) as f64 * 100.0,
+                    1 + (i % 4) as u32,
+                    40.0 + (i % 7) as f64 * 110.0,
+                )
+            })
+            .collect();
+        let t = JobTrace::new(jobs, 6);
+        for mut s in PriorityScheduler::table3() {
+            for cfg in [SimConfig::no_backfill(), SimConfig::with_backfill()] {
+                let m = run_episode(&t, cfg, &mut s).unwrap();
+                assert_eq!(m.outcomes().len(), 40, "{} scheduled all jobs", s.name());
+                assert!(m.avg_bounded_slowdown() >= 1.0);
+            }
+        }
+    }
+}

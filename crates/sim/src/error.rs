@@ -1,0 +1,75 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors raised by [`crate::SchedSession`] and the episode driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// `step` was called with no job waiting.
+    EmptyQueue,
+    /// `step` was called with a queue position past the end of the queue.
+    BadQueuePosition {
+        /// The offending position.
+        pos: usize,
+        /// Current queue length.
+        queue_len: usize,
+    },
+    /// A job requests more processors than the whole cluster owns, so it can
+    /// never be scheduled. Clamp the trace first (`JobTrace::clamp_to_cluster`).
+    JobTooLarge {
+        /// Trace-order index of the job.
+        job_index: usize,
+        /// Processors requested.
+        procs: u32,
+        /// Cluster size.
+        cluster: u32,
+    },
+    /// Metrics were requested before every job was scheduled.
+    NotDone {
+        /// Jobs scheduled so far.
+        scheduled: usize,
+        /// Total jobs in the episode.
+        total: usize,
+    },
+    /// The episode trace has no jobs.
+    EmptyTrace,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyQueue => write!(f, "step called with an empty wait queue"),
+            SimError::BadQueuePosition { pos, queue_len } => {
+                write!(f, "queue position {pos} out of range (queue has {queue_len} jobs)")
+            }
+            SimError::JobTooLarge { job_index, procs, cluster } => write!(
+                f,
+                "job #{job_index} requests {procs} processors but the cluster has only {cluster}"
+            ),
+            SimError::NotDone { scheduled, total } => write!(
+                f,
+                "episode not finished: {scheduled}/{total} jobs scheduled"
+            ),
+            SimError::EmptyTrace => write!(f, "cannot simulate an empty trace"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_numbers() {
+        let e = SimError::BadQueuePosition { pos: 9, queue_len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        let e = SimError::JobTooLarge { job_index: 1, procs: 100, cluster: 64 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+        let e = SimError::NotDone { scheduled: 2, total: 5 };
+        assert!(e.to_string().contains("2/5"));
+    }
+}

@@ -1,0 +1,34 @@
+//! SchedGym: the discrete-event HPC cluster simulator of the RLScheduler
+//! paper (§IV-D), reimplemented as a Rust library.
+//!
+//! The simulator replays an SWF job trace against a homogeneous cluster of
+//! `P` processors. Whenever at least one job is waiting, a *policy* (a
+//! heuristic priority function or the RL agent) is asked to pick one; the
+//! simulator then either starts the job immediately or — when resources are
+//! insufficient — reserves it and advances virtual time, optionally
+//! backfilling smaller jobs into the holes (EASY backfilling, §II-A4).
+//!
+//! Two views are provided:
+//!
+//! * [`SchedSession`] — a gym-style `reset`/`observe`/`step` interface used
+//!   by the RL trainer, which needs to interleave decisions with learning.
+//! * [`run_episode`] — a driver that runs a [`Policy`] over an entire trace
+//!   and returns the [`EpisodeMetrics`] the paper's tables report.
+//!
+//! Scheduling-relevant knowledge is strictly separated: policies observe
+//! only submit-time attributes and the user's *requested* runtime
+//! ([`rlsched_swf::Job::time_bound`]); actual runtimes drive completion
+//! events inside the simulator only, mirroring §IV-D ("the accurate runtime
+//! will not be available to the schedulers").
+
+pub mod episode;
+pub mod error;
+pub mod metrics;
+pub mod policy;
+pub mod session;
+
+pub use episode::run_episode;
+pub use error::SimError;
+pub use metrics::{EpisodeMetrics, JobOutcome, MetricKind, BSLD_THRESHOLD};
+pub use policy::{Policy, QueueView, WaitingJob};
+pub use session::{BackfillMode, SchedSession, SimConfig};

@@ -1,0 +1,109 @@
+//! The policy abstraction: anything that can pick the next job to run.
+//!
+//! Both the heuristic priority schedulers (Table III of the paper) and the
+//! trained RLScheduler agent implement [`Policy`]; the episode driver and
+//! the evaluation harness treat them uniformly, which is exactly how the
+//! paper compares them (Tables V–XI).
+
+use rlsched_swf::Job;
+
+/// One waiting job as a policy sees it: the job's submit-time attributes
+/// plus its current wait and whether it fits in the free processors.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitingJob<'a> {
+    /// The job record (schedulers must use `time_bound()`, never `run_time`).
+    pub job: &'a Job,
+    /// Index of the job in the episode trace.
+    pub job_index: usize,
+    /// How long the job has been waiting, in seconds.
+    pub wait: f64,
+    /// True when the job's processor request fits right now.
+    pub can_run_now: bool,
+}
+
+/// A decision point: the waiting jobs (FCFS order) and the cluster state.
+#[derive(Debug, Clone)]
+pub struct QueueView<'a> {
+    /// Current virtual time.
+    pub time: f64,
+    /// Idle processors.
+    pub free_procs: u32,
+    /// Cluster size.
+    pub total_procs: u32,
+    /// Waiting jobs in arrival order. Never empty when a policy is asked.
+    pub waiting: Vec<WaitingJob<'a>>,
+}
+
+impl QueueView<'_> {
+    /// Fraction of the cluster currently idle.
+    pub fn free_fraction(&self) -> f64 {
+        self.free_procs as f64 / self.total_procs as f64
+    }
+}
+
+/// A scheduling policy: selects which waiting job runs next.
+pub trait Policy {
+    /// Pick a queue position in `view.waiting`. Must be `< view.waiting.len()`.
+    fn select(&mut self, view: &QueueView<'_>) -> usize;
+
+    /// Human-readable name for tables and logs.
+    fn name(&self) -> &str;
+}
+
+impl<P: Policy + ?Sized> Policy for &mut P {
+    fn select(&mut self, view: &QueueView<'_>) -> usize {
+        (**self).select(view)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn select(&mut self, view: &QueueView<'_>) -> usize {
+        (**self).select(view)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlsched_swf::Job;
+
+    struct Head;
+    impl Policy for Head {
+        fn select(&mut self, _: &QueueView<'_>) -> usize {
+            0
+        }
+        fn name(&self) -> &str {
+            "head"
+        }
+    }
+
+    #[test]
+    fn free_fraction() {
+        let v = QueueView { time: 0.0, free_procs: 16, total_procs: 64, waiting: vec![] };
+        assert!((v.free_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_blanket_impls_delegate() {
+        let job = Job::new(1, 0.0, 1.0, 1, 1.0);
+        let view = QueueView {
+            time: 0.0,
+            free_procs: 1,
+            total_procs: 1,
+            waiting: vec![WaitingJob { job: &job, job_index: 0, wait: 0.0, can_run_now: true }],
+        };
+        let mut p = Head;
+        let by_ref: &mut Head = &mut p;
+        assert_eq!(by_ref.select(&view), 0);
+        assert_eq!(by_ref.name(), "head");
+        let mut boxed: Box<dyn Policy> = Box::new(Head);
+        assert_eq!(boxed.select(&view), 0);
+        assert_eq!(boxed.name(), "head");
+    }
+}

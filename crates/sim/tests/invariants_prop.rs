@@ -1,0 +1,154 @@
+//! Property tests of the SchedGym conservation invariants under random
+//! traces, random scheduling orders, and both backfilling modes.
+
+use proptest::prelude::*;
+
+use rlsched_sim::{BackfillMode, SchedSession, SimConfig};
+use rlsched_swf::{Job, JobTrace};
+
+prop_compose! {
+    fn arb_sim_job()(
+        submit in 0.0f64..5_000.0,
+        run in 1.0f64..2_000.0,
+        procs in 1u32..8,
+        over in 1.0f64..3.0,
+    ) -> (f64, f64, u32, f64) {
+        (submit, run, procs, run * over)
+    }
+}
+
+fn trace_of(jobs: Vec<(f64, f64, u32, f64)>) -> JobTrace {
+    let jobs = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (s, r, p, req))| Job::new(i as u32 + 1, s, r, p, req))
+        .collect();
+    JobTrace::new(jobs, 8)
+}
+
+/// Drive a whole episode choosing queue positions from `picks` (wrapped
+/// into range), verifying machine invariants at every step.
+fn run_with_picks(
+    trace: &JobTrace,
+    cfg: SimConfig,
+    picks: &[usize],
+) -> rlsched_sim::EpisodeMetrics {
+    let mut s = SchedSession::new(trace, cfg).unwrap();
+    let mut i = 0;
+    while !s.done() {
+        let pos = picks[i % picks.len()] % s.queue().len();
+        i += 1;
+        s.step(pos).unwrap();
+        assert!(s.free_procs() <= s.total_procs());
+    }
+    s.metrics().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_job_runs_exactly_once(
+        jobs in prop::collection::vec(arb_sim_job(), 1..50),
+        picks in prop::collection::vec(0usize..64, 1..32),
+        easy in any::<bool>(),
+    ) {
+        let trace = trace_of(jobs);
+        let cfg = SimConfig {
+            backfill: if easy { BackfillMode::Easy } else { BackfillMode::None },
+        };
+        let m = run_with_picks(&trace, cfg, &picks);
+        prop_assert_eq!(m.outcomes().len(), trace.len());
+        let mut seen: Vec<usize> = m.outcomes().iter().map(|o| o.job_index).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), trace.len(), "duplicate or missing jobs");
+    }
+
+    #[test]
+    fn causality_and_duration_hold(
+        jobs in prop::collection::vec(arb_sim_job(), 1..50),
+        picks in prop::collection::vec(0usize..64, 1..32),
+        easy in any::<bool>(),
+    ) {
+        let trace = trace_of(jobs);
+        let cfg = SimConfig {
+            backfill: if easy { BackfillMode::Easy } else { BackfillMode::None },
+        };
+        let m = run_with_picks(&trace, cfg, &picks);
+        let sanitized = trace.sanitized();
+        for o in m.outcomes() {
+            let job = &sanitized.jobs()[o.job_index];
+            prop_assert!(o.start >= job.submit_time, "job started before submission");
+            prop_assert!((o.end - o.start - job.actual_runtime()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn processors_never_oversubscribed(
+        jobs in prop::collection::vec(arb_sim_job(), 1..40),
+        picks in prop::collection::vec(0usize..64, 1..16),
+        easy in any::<bool>(),
+    ) {
+        let trace = trace_of(jobs);
+        let cfg = SimConfig {
+            backfill: if easy { BackfillMode::Easy } else { BackfillMode::None },
+        };
+        let m = run_with_picks(&trace, cfg, &picks);
+        // Reconstruct concurrent usage at every start instant.
+        for probe in m.outcomes() {
+            let t = probe.start;
+            let used: u64 = m
+                .outcomes()
+                .iter()
+                .filter(|o| o.start <= t && t < o.end)
+                .map(|o| o.procs as u64)
+                .sum();
+            prop_assert!(used <= 8, "{used} procs in use at t={t}");
+        }
+    }
+
+    #[test]
+    fn same_picks_same_schedule(
+        jobs in prop::collection::vec(arb_sim_job(), 1..30),
+        picks in prop::collection::vec(0usize..64, 1..16),
+    ) {
+        let trace = trace_of(jobs);
+        let a = run_with_picks(&trace, SimConfig::with_backfill(), &picks);
+        let b = run_with_picks(&trace, SimConfig::with_backfill(), &picks);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fcfs_order_preserves_queue_fifo_starts(
+        jobs in prop::collection::vec(arb_sim_job(), 2..40),
+    ) {
+        // Under FCFS *without backfilling*, start times are monotone in
+        // submit order for jobs the scheduler actually ordered (head picks).
+        let trace = trace_of(jobs);
+        let m = run_with_picks(&trace, SimConfig::no_backfill(), &[0]);
+        let mut outcomes = m.outcomes().to_vec();
+        outcomes.sort_by(|a, b| a.submit.partial_cmp(&b.submit).unwrap()
+            .then(a.job_index.cmp(&b.job_index)));
+        for w in outcomes.windows(2) {
+            prop_assert!(w[0].start <= w[1].start + 1e-9,
+                "FCFS/no-backfill must start jobs in arrival order");
+        }
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent(
+        jobs in prop::collection::vec(arb_sim_job(), 1..40),
+        picks in prop::collection::vec(0usize..64, 1..16),
+    ) {
+        let trace = trace_of(jobs);
+        let m = run_with_picks(&trace, SimConfig::with_backfill(), &picks);
+        prop_assert!(m.avg_bounded_slowdown() >= 1.0 - 1e-12);
+        prop_assert!(m.avg_slowdown() >= 1.0 - 1e-12);
+        prop_assert!(m.avg_turnaround() >= m.avg_waiting_time());
+        let u = m.utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+        prop_assert!(m.max_user_bounded_slowdown() >= m.avg_bounded_slowdown() - 1e-9,
+            "the max user's average bounds the global average from above");
+    }
+}

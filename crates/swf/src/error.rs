@@ -1,0 +1,109 @@
+//! Error type for SWF parsing and trace manipulation.
+
+use std::fmt;
+
+/// Errors produced while reading or validating SWF data.
+#[derive(Debug)]
+pub enum SwfError {
+    /// An I/O error while reading the underlying stream.
+    Io(std::io::Error),
+    /// A data line did not have the 18 whitespace-separated SWF fields.
+    FieldCount {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Number of fields actually found.
+        found: usize,
+    },
+    /// A field failed to parse as a number.
+    BadField {
+        /// 1-based line number in the input.
+        line: usize,
+        /// 0-based field index (see the SWF spec field order).
+        field: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A semantic validation failed (e.g. negative submit time).
+    Invalid {
+        /// Job id of the offending record, when known.
+        job: Option<u32>,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwfError::Io(e) => write!(f, "I/O error: {e}"),
+            SwfError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 18 SWF fields, found {found}")
+            }
+            SwfError::BadField { line, field, token } => {
+                write!(f, "line {line}: field {field} is not numeric: {token:?}")
+            }
+            SwfError::Invalid { job, reason } => match job {
+                Some(id) => write!(f, "job {id}: {reason}"),
+                None => write!(f, "invalid trace: {reason}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for SwfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SwfError {
+    fn from(e: std::io::Error) -> Self {
+        SwfError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_field_count() {
+        let e = SwfError::FieldCount { line: 3, found: 5 };
+        assert_eq!(e.to_string(), "line 3: expected 18 SWF fields, found 5");
+    }
+
+    #[test]
+    fn display_bad_field() {
+        let e = SwfError::BadField {
+            line: 7,
+            field: 2,
+            token: "abc".into(),
+        };
+        assert!(e.to_string().contains("field 2"));
+        assert!(e.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn display_invalid_with_and_without_job() {
+        let e = SwfError::Invalid {
+            job: Some(9),
+            reason: "negative submit".into(),
+        };
+        assert!(e.to_string().starts_with("job 9:"));
+        let e = SwfError::Invalid {
+            job: None,
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().starts_with("invalid trace:"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: SwfError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,31 @@
+//! Standard Workload Format (SWF) substrate for the RLScheduler reproduction.
+//!
+//! The paper (Zhang et al., SC'20) drives both training and evaluation from
+//! SWF job traces: real traces from the Parallel Workloads Archive and
+//! synthetic traces from the Lublin–Feitelson model. This crate provides the
+//! pieces every other crate builds on:
+//!
+//! * [`Job`] — the job record with the attributes of Table I of the paper
+//!   (submit time, requested processors, requested time, user/group ids, …).
+//! * [`parse`] / [`write`] — a lossless SWF v2.2 reader and writer, including
+//!   header comment handling.
+//! * [`JobTrace`] — an owned trace with slicing, windowing and random
+//!   sequence-sampling used by the trainer and the evaluation harness.
+//! * [`stats`] — the per-trace characteristics reported in Table II
+//!   (processor count, mean interarrival, mean requested runtime, mean
+//!   requested processors) plus per-user job counts used by the fairness
+//!   experiments.
+
+pub mod error;
+pub mod job;
+pub mod parse;
+pub mod stats;
+pub mod trace;
+pub mod write;
+
+pub use error::SwfError;
+pub use job::{Job, JobStatus};
+pub use parse::{parse_reader, parse_str, SwfHeader};
+pub use stats::TraceStats;
+pub use trace::{JobTrace, SequenceSampler};
+pub use write::{write_string, write_writer};

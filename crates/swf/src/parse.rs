@@ -1,0 +1,238 @@
+//! SWF v2.2 parser.
+//!
+//! An SWF file is line-oriented: header comment lines start with `;` and
+//! carry `Key: Value` metadata (`MaxProcs`, `MaxNodes`, `UnixStartTime`, …);
+//! every other non-empty line is one job record with 18 whitespace-separated
+//! numeric fields. Unknown values are `-1`.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+use crate::error::SwfError;
+use crate::job::{Job, JobStatus};
+use crate::trace::JobTrace;
+
+/// Parsed header comments of an SWF file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwfHeader {
+    /// `Key: Value` pairs from `;` comment lines, in insertion order of keys.
+    pub fields: BTreeMap<String, String>,
+    /// Comment lines that did not look like `Key: Value`.
+    pub comments: Vec<String>,
+}
+
+impl SwfHeader {
+    /// Look up a numeric header field such as `MaxProcs`.
+    pub fn get_i64(&self, key: &str) -> Option<i64> {
+        self.fields.get(key).and_then(|v| v.trim().parse().ok())
+    }
+
+    /// The cluster size: `MaxProcs`, falling back to `MaxNodes`.
+    pub fn max_procs(&self) -> Option<u32> {
+        self.get_i64("MaxProcs")
+            .or_else(|| self.get_i64("MaxNodes"))
+            .filter(|&v| v > 0)
+            .map(|v| v as u32)
+    }
+}
+
+fn parse_field_f64(tok: &str, line: usize, field: usize) -> Result<f64, SwfError> {
+    tok.parse::<f64>().map_err(|_| SwfError::BadField {
+        line,
+        field,
+        token: tok.to_string(),
+    })
+}
+
+fn parse_field_i64(tok: &str, line: usize, field: usize) -> Result<i64, SwfError> {
+    // Some archive traces store integral fields with a decimal point.
+    if let Ok(v) = tok.parse::<i64>() {
+        return Ok(v);
+    }
+    tok.parse::<f64>()
+        .map(|v| v as i64)
+        .map_err(|_| SwfError::BadField {
+            line,
+            field,
+            token: tok.to_string(),
+        })
+}
+
+/// Parse one SWF data line (18 fields) into a [`Job`].
+pub fn parse_line(line: &str, lineno: usize) -> Result<Job, SwfError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() != 18 {
+        return Err(SwfError::FieldCount {
+            line: lineno,
+            found: toks.len(),
+        });
+    }
+    Ok(Job {
+        id: parse_field_i64(toks[0], lineno, 0)?.max(0) as u32,
+        submit_time: parse_field_f64(toks[1], lineno, 1)?,
+        trace_wait_time: parse_field_f64(toks[2], lineno, 2)?,
+        run_time: parse_field_f64(toks[3], lineno, 3)?,
+        used_procs: parse_field_i64(toks[4], lineno, 4)?,
+        avg_cpu_time: parse_field_f64(toks[5], lineno, 5)?,
+        used_memory: parse_field_f64(toks[6], lineno, 6)?,
+        requested_procs: parse_field_i64(toks[7], lineno, 7)?,
+        requested_time: parse_field_f64(toks[8], lineno, 8)?,
+        requested_memory: parse_field_f64(toks[9], lineno, 9)?,
+        status: JobStatus::from_swf(parse_field_i64(toks[10], lineno, 10)?),
+        user_id: parse_field_i64(toks[11], lineno, 11)?,
+        group_id: parse_field_i64(toks[12], lineno, 12)?,
+        executable_id: parse_field_i64(toks[13], lineno, 13)?,
+        queue_id: parse_field_i64(toks[14], lineno, 14)?,
+        partition_id: parse_field_i64(toks[15], lineno, 15)?,
+        preceding_job: parse_field_i64(toks[16], lineno, 16)?,
+        think_time: parse_field_f64(toks[17], lineno, 17)?,
+    })
+}
+
+fn parse_header_line(line: &str, header: &mut SwfHeader) {
+    let body = line.trim_start_matches(';').trim();
+    if let Some((key, value)) = body.split_once(':') {
+        let key = key.trim();
+        // Header keys are single words or CamelCase identifiers; anything
+        // with internal whitespace is prose, not metadata.
+        if !key.is_empty() && !key.contains(char::is_whitespace) {
+            header
+                .fields
+                .insert(key.to_string(), value.trim().to_string());
+            return;
+        }
+    }
+    if !body.is_empty() {
+        header.comments.push(body.to_string());
+    }
+}
+
+/// Parse a complete SWF document from a buffered reader.
+pub fn parse_reader<R: BufRead>(reader: R) -> Result<JobTrace, SwfError> {
+    let mut header = SwfHeader::default();
+    let mut jobs = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with(';') {
+            parse_header_line(trimmed, &mut header);
+            continue;
+        }
+        jobs.push(parse_line(trimmed, lineno)?);
+    }
+    let max_procs = header.max_procs().unwrap_or_else(|| {
+        jobs.iter()
+            .map(|j| j.procs())
+            .max()
+            .unwrap_or(1)
+    });
+    Ok(JobTrace::with_header(jobs, max_procs, header))
+}
+
+/// Parse a complete SWF document from a string.
+pub fn parse_str(s: &str) -> Result<JobTrace, SwfError> {
+    parse_reader(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; MaxProcs: 128
+; MaxNodes: 64
+; just a prose comment
+1 0 5 100 4 -1 -1 4 120 -1 1 3 2 7 1 0 -1 -1
+2 10 -1 50 -1 -1 -1 8 60 -1 0 4 2 7 1 0 -1 -1
+";
+
+    #[test]
+    fn parses_header_and_jobs() {
+        let t = parse_str(SAMPLE).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.max_procs(), 128);
+        assert_eq!(t.header().fields.get("Version").unwrap(), "2.2");
+        assert_eq!(t.header().comments, vec!["just a prose comment"]);
+    }
+
+    #[test]
+    fn job_fields_land_in_the_right_place() {
+        let t = parse_str(SAMPLE).unwrap();
+        let j = &t.jobs()[0];
+        assert_eq!(j.id, 1);
+        assert_eq!(j.submit_time, 0.0);
+        assert_eq!(j.trace_wait_time, 5.0);
+        assert_eq!(j.run_time, 100.0);
+        assert_eq!(j.used_procs, 4);
+        assert_eq!(j.requested_procs, 4);
+        assert_eq!(j.requested_time, 120.0);
+        assert_eq!(j.status, JobStatus::Completed);
+        assert_eq!(j.user_id, 3);
+        assert_eq!(j.group_id, 2);
+        assert_eq!(j.executable_id, 7);
+    }
+
+    #[test]
+    fn unknown_markers_survive() {
+        let t = parse_str(SAMPLE).unwrap();
+        let j = &t.jobs()[1];
+        assert_eq!(j.used_procs, -1);
+        assert_eq!(j.trace_wait_time, -1.0);
+        assert_eq!(j.status, JobStatus::Failed);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = parse_str("1 2 3\n").unwrap_err();
+        match err {
+            SwfError::FieldCount { line, found } => {
+                assert_eq!(line, 1);
+                assert_eq!(found, 3);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric_field() {
+        let line = "x 0 0 1 1 -1 -1 1 1 -1 1 1 1 1 1 1 -1 -1";
+        let err = parse_str(line).unwrap_err();
+        match err {
+            SwfError::BadField { field, .. } => assert_eq!(field, 0),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn max_procs_falls_back_to_observed_jobs() {
+        let t = parse_str("1 0 0 10 16 -1 -1 16 10 -1 1 1 1 1 1 1 -1 -1\n").unwrap();
+        assert_eq!(t.max_procs(), 16);
+    }
+
+    #[test]
+    fn integral_fields_accept_decimal_notation() {
+        let line = "1.0 0 0 10 16.0 -1 -1 16 10 -1 1 1 1 1 1 1 -1 -1";
+        let t = parse_str(line).unwrap();
+        assert_eq!(t.jobs()[0].id, 1);
+        assert_eq!(t.jobs()[0].used_procs, 16);
+    }
+
+    #[test]
+    fn max_nodes_fallback_for_cluster_size() {
+        let src = "; MaxNodes: 77\n1 0 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\n";
+        let t = parse_str(src).unwrap();
+        assert_eq!(t.max_procs(), 77);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_trace() {
+        let t = parse_str("").unwrap();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.max_procs(), 1);
+    }
+}

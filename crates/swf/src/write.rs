@@ -1,0 +1,104 @@
+//! SWF writer: emits traces in a form [`crate::parse`] reads back losslessly.
+
+use std::io::Write;
+
+use crate::error::SwfError;
+use crate::trace::JobTrace;
+
+fn fmt_time(v: f64) -> String {
+    // SWF times are seconds; archives use integers where possible. Keep
+    // fractional values when present so round-trips are exact.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serialize a trace to SWF text.
+pub fn write_string(trace: &JobTrace) -> String {
+    let mut out = String::new();
+    for (k, v) in &trace.header().fields {
+        out.push_str(&format!("; {k}: {v}\n"));
+    }
+    if !trace.header().fields.contains_key("MaxProcs") {
+        out.push_str(&format!("; MaxProcs: {}\n", trace.max_procs()));
+    }
+    for c in &trace.header().comments {
+        out.push_str(&format!("; {c}\n"));
+    }
+    for j in trace.jobs() {
+        out.push_str(&format!(
+            "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            j.id,
+            fmt_time(j.submit_time),
+            fmt_time(j.trace_wait_time),
+            fmt_time(j.run_time),
+            j.used_procs,
+            fmt_time(j.avg_cpu_time),
+            fmt_time(j.used_memory),
+            j.requested_procs,
+            fmt_time(j.requested_time),
+            fmt_time(j.requested_memory),
+            j.status.to_swf(),
+            j.user_id,
+            j.group_id,
+            j.executable_id,
+            j.queue_id,
+            j.partition_id,
+            j.preceding_job,
+            fmt_time(j.think_time),
+        ));
+    }
+    out
+}
+
+/// Serialize a trace to any [`Write`] sink.
+pub fn write_writer<W: Write>(trace: &JobTrace, mut w: W) -> Result<(), SwfError> {
+    w.write_all(write_string(trace).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::parse::parse_str;
+
+    #[test]
+    fn round_trip_simple_trace() {
+        let jobs = vec![
+            Job::new(1, 0.0, 100.0, 4, 120.0).with_user(3),
+            Job::new(2, 10.5, 50.0, 8, 60.0).with_user(4),
+        ];
+        let t = JobTrace::new(jobs, 128);
+        let text = write_string(&t);
+        let back = parse_str(&text).unwrap();
+        assert_eq!(back.max_procs(), 128);
+        assert_eq!(back.jobs(), t.jobs());
+    }
+
+    #[test]
+    fn writes_maxprocs_header() {
+        let t = JobTrace::new(vec![Job::new(1, 0.0, 1.0, 1, 1.0)], 99);
+        let text = write_string(&t);
+        assert!(text.contains("; MaxProcs: 99"));
+    }
+
+    #[test]
+    fn fractional_times_preserved() {
+        let t = JobTrace::new(vec![Job::new(1, 1.25, 2.5, 1, 3.75)], 4);
+        let back = parse_str(&write_string(&t)).unwrap();
+        assert_eq!(back.jobs()[0].submit_time, 1.25);
+        assert_eq!(back.jobs()[0].run_time, 2.5);
+        assert_eq!(back.jobs()[0].requested_time, 3.75);
+    }
+
+    #[test]
+    fn writer_to_sink_matches_string() {
+        let t = JobTrace::new(vec![Job::new(1, 0.0, 1.0, 1, 1.0)], 4);
+        let mut buf = Vec::new();
+        write_writer(&t, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), write_string(&t));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: SWF serialization is lossless for arbitrary job
+//! records, and trace invariants hold under random inputs.
+
+use proptest::prelude::*;
+
+use rlsched_swf::{parse_str, write_string, Job, JobStatus, JobTrace};
+
+fn arb_status() -> impl Strategy<Value = JobStatus> {
+    prop_oneof![
+        Just(JobStatus::Failed),
+        Just(JobStatus::Completed),
+        Just(JobStatus::Partial),
+        Just(JobStatus::Cancelled),
+        Just(JobStatus::Unknown),
+    ]
+}
+
+prop_compose! {
+    fn arb_job()(
+        id in 1u32..1_000_000,
+        submit in 0.0f64..1e8,
+        run in prop_oneof![Just(-1.0f64), 0.0f64..1e6],
+        procs in prop_oneof![Just(-1i64), 1i64..10_000],
+        req_time in prop_oneof![Just(-1.0f64), 1.0f64..1e6],
+        used_procs in prop_oneof![Just(-1i64), 1i64..10_000],
+        user in prop_oneof![Just(-1i64), 0i64..5_000],
+        group in prop_oneof![Just(-1i64), 0i64..500],
+        status in arb_status(),
+    ) -> Job {
+        let mut j = Job::new(id, submit, run, 1, req_time);
+        j.requested_procs = procs;
+        j.used_procs = used_procs;
+        j.user_id = user;
+        j.group_id = group;
+        j.status = status;
+        j
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn swf_round_trip_is_lossless(jobs in prop::collection::vec(arb_job(), 1..40), procs in 1u32..100_000) {
+        let trace = JobTrace::new(jobs, procs);
+        let text = write_string(&trace);
+        let back = parse_str(&text).unwrap();
+        prop_assert_eq!(back.jobs(), trace.jobs());
+        prop_assert_eq!(back.max_procs(), trace.max_procs());
+    }
+
+    #[test]
+    fn traces_are_sorted_by_submit(jobs in prop::collection::vec(arb_job(), 1..40)) {
+        let trace = JobTrace::new(jobs, 64);
+        for w in trace.jobs().windows(2) {
+            prop_assert!(w[0].submit_time <= w[1].submit_time);
+        }
+    }
+
+    #[test]
+    fn sanitized_jobs_are_simulatable(jobs in prop::collection::vec(arb_job(), 1..40)) {
+        let trace = JobTrace::new(jobs, 64).sanitized().clamp_to_cluster();
+        for j in trace.jobs() {
+            prop_assert!(j.run_time >= 1.0);
+            prop_assert!(j.requested_time >= 1.0);
+            prop_assert!(j.procs() >= 1 && j.procs() <= 64);
+            prop_assert!(j.submit_time >= 0.0);
+        }
+    }
+
+    #[test]
+    fn windows_always_start_at_zero(
+        jobs in prop::collection::vec(arb_job(), 5..40),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.1f64..1.0,
+    ) {
+        let trace = JobTrace::new(jobs, 64);
+        let n = trace.len();
+        let len = ((n as f64 * len_frac) as usize).clamp(1, n);
+        let start = ((n - len) as f64 * start_frac) as usize;
+        let w = trace.window(start, len).unwrap();
+        prop_assert_eq!(w.len(), len);
+        prop_assert_eq!(w.jobs()[0].submit_time, 0.0);
+        for j in w.jobs() {
+            prop_assert!(j.submit_time >= 0.0);
+        }
+    }
+}

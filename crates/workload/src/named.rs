@@ -1,0 +1,429 @@
+//! The six named workloads of Table II, with exact-moment calibration.
+//!
+//! | Name        | size    | it (s) | rt (s) | nt   |
+//! |-------------|---------|--------|--------|------|
+//! | SDSC-SP2    | 128     | 1055   | 6687   | 11   |
+//! | HPC2N       | 240     | 538    | 17024  | 6    |
+//! | PIK-IPLEX   | 2560    | 140    | 30889  | 12   |
+//! | ANL Intrepid| 163840  | 301    | 5176   | 5063 |
+//! | Lublin-1    | 256     | 771    | 4862   | 22   |
+//! | Lublin-2    | 256     | 460    | 1695   | 39   |
+//!
+//! Generation is two-phase: a structural model (Lublin or trace-alike)
+//! produces the distributional shape, then [`calibrate`] rescales submit
+//! gaps and runtimes linearly so the mean interarrival (`it`) and mean
+//! actual runtime (`rt` — see [`calibrate`] for why `rt` reads as actual)
+//! match Table II exactly. The processor-count mean (`nt`) is structural
+//! (a discrete size menu) and lands within a few percent of the target.
+
+use rlsched_swf::{JobTrace, TraceStats};
+
+use crate::lublin::{LublinModel, LublinParams};
+use crate::tracealike::{ArrivalProcess, TraceAlikeModel, TraceAlikeParams};
+use crate::users::UserModel;
+
+/// Table II targets for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Targets {
+    /// Cluster size (processors).
+    pub size: u32,
+    /// Mean interarrival time, seconds.
+    pub it: f64,
+    /// Mean runtime, seconds (calibrated against actual runtimes; see
+    /// [`calibrate`]).
+    pub rt: f64,
+    /// Mean requested processors.
+    pub nt: f64,
+}
+
+/// The six evaluation workloads of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamedWorkload {
+    /// Synthetic Lublin model, parameterization 1.
+    Lublin1,
+    /// Synthetic Lublin model, parameterization 2 (bigger, shorter jobs).
+    Lublin2,
+    /// SDSC-SP2-alike (1998, 128 processors).
+    SdscSp2,
+    /// HPC2N-alike (2002, 240 processors, dominant user).
+    Hpc2n,
+    /// PIK-IPLEX-2009-alike (2560 processors, extremely bursty arrivals).
+    PikIplex,
+    /// ANL-Intrepid-alike (2009, Blue Gene/P, 163 840 cores).
+    AnlIntrepid,
+}
+
+impl NamedWorkload {
+    /// All six workloads in Table II order.
+    pub fn all() -> [NamedWorkload; 6] {
+        [
+            NamedWorkload::SdscSp2,
+            NamedWorkload::Hpc2n,
+            NamedWorkload::PikIplex,
+            NamedWorkload::AnlIntrepid,
+            NamedWorkload::Lublin1,
+            NamedWorkload::Lublin2,
+        ]
+    }
+
+    /// The four training workloads of Figs 8–13 / Tables V–VI.
+    pub fn training_four() -> [NamedWorkload; 4] {
+        [
+            NamedWorkload::Lublin1,
+            NamedWorkload::SdscSp2,
+            NamedWorkload::Hpc2n,
+            NamedWorkload::Lublin2,
+        ]
+    }
+
+    /// Display name as the paper writes it.
+    pub fn name(self) -> &'static str {
+        match self {
+            NamedWorkload::Lublin1 => "Lublin-1",
+            NamedWorkload::Lublin2 => "Lublin-2",
+            NamedWorkload::SdscSp2 => "SDSC-SP2",
+            NamedWorkload::Hpc2n => "HPC2N",
+            NamedWorkload::PikIplex => "PIK-IPLEX",
+            NamedWorkload::AnlIntrepid => "ANL-Intrepid",
+        }
+    }
+
+    /// Parse a display or CLI name.
+    pub fn from_name(s: &str) -> Option<NamedWorkload> {
+        let k = s.to_ascii_lowercase().replace(['-', '_', ' '], "");
+        Some(match k.as_str() {
+            "lublin1" => NamedWorkload::Lublin1,
+            "lublin2" => NamedWorkload::Lublin2,
+            "sdscsp2" | "sdsc" => NamedWorkload::SdscSp2,
+            "hpc2n" => NamedWorkload::Hpc2n,
+            "pikiplex" | "pik" | "pikiplex2009" => NamedWorkload::PikIplex,
+            "anlintrepid" | "anl" | "intrepid" => NamedWorkload::AnlIntrepid,
+            _ => return None,
+        })
+    }
+
+    /// Table II targets.
+    pub fn targets(self) -> Table2Targets {
+        match self {
+            NamedWorkload::SdscSp2 => Table2Targets { size: 128, it: 1055.0, rt: 6687.0, nt: 11.0 },
+            NamedWorkload::Hpc2n => Table2Targets { size: 240, it: 538.0, rt: 17024.0, nt: 6.0 },
+            NamedWorkload::PikIplex => Table2Targets { size: 2560, it: 140.0, rt: 30889.0, nt: 12.0 },
+            NamedWorkload::AnlIntrepid => {
+                Table2Targets { size: 163_840, it: 301.0, rt: 5176.0, nt: 5063.0 }
+            }
+            NamedWorkload::Lublin1 => Table2Targets { size: 256, it: 771.0, rt: 4862.0, nt: 22.0 },
+            NamedWorkload::Lublin2 => Table2Targets { size: 256, it: 460.0, rt: 1695.0, nt: 39.0 },
+        }
+    }
+
+    /// Generate `n` jobs of this workload, calibrated to Table II moments.
+    pub fn generate(self, n: usize, seed: u64) -> JobTrace {
+        let raw = self.generate_raw(n, seed);
+        calibrate(&raw, self.targets())
+    }
+
+    /// Generate without the final moment calibration (used by calibration
+    /// tests and the Table II harness).
+    pub fn generate_raw(self, n: usize, seed: u64) -> JobTrace {
+        match self {
+            NamedWorkload::Lublin1 => LublinModel::new(LublinParams::lublin1()).generate(n, seed),
+            NamedWorkload::Lublin2 => LublinModel::new(LublinParams::lublin2()).generate(n, seed),
+            NamedWorkload::SdscSp2 => TraceAlikeModel::new(sdsc_sp2_params()).generate(n, seed),
+            NamedWorkload::Hpc2n => TraceAlikeModel::new(hpc2n_params()).generate(n, seed),
+            NamedWorkload::PikIplex => TraceAlikeModel::new(pik_params()).generate(n, seed),
+            NamedWorkload::AnlIntrepid => TraceAlikeModel::new(anl_params()).generate(n, seed),
+        }
+    }
+}
+
+/// SDSC-SP2-alike: a small 128-way SP2 with mid-sized power-of-two jobs and
+/// heavy-tailed runtimes. Its mean request (11 procs) is large relative to
+/// the machine, so ordering decisions are consequential — the property that
+/// makes it the paper's most RL-favorable trace.
+fn sdsc_sp2_params() -> TraceAlikeParams {
+    TraceAlikeParams {
+        cluster_size: 128,
+        arrival: ArrivalProcess::LogNormal { mean: 1055.0, cv: 2.6 },
+        runtime_mean: 9500.0,
+        runtime_cv: 2.2,
+        short_frac: 0.30,
+        short_mean: 120.0,
+        big_job_runtime_mult: 2.0,
+        estimates: true,
+        overestimate: (1.3, 3.4),
+        max_runtime: 18.0 * 3600.0,
+        size_menu: vec![
+            (1, 2.6),
+            (2, 1.2),
+            (4, 1.6),
+            (8, 1.6),
+            (16, 1.1),
+            (32, 0.8),
+            (64, 0.45),
+            (128, 0.12),
+        ],
+        users: UserModel::zipf(96, 0.8),
+    }
+}
+
+/// HPC2N-alike: 240 processors, small (mean 6 procs) but very long jobs,
+/// and one dominant user (~40% of submissions) — the §V-F fairness setup.
+fn hpc2n_params() -> TraceAlikeParams {
+    TraceAlikeParams {
+        cluster_size: 240,
+        arrival: ArrivalProcess::LogNormal { mean: 538.0, cv: 2.2 },
+        runtime_mean: 22600.0,
+        runtime_cv: 2.2,
+        short_frac: 0.25,
+        short_mean: 180.0,
+        big_job_runtime_mult: 1.5,
+        estimates: true,
+        overestimate: (1.3, 3.0),
+        max_runtime: 120.0 * 3600.0,
+        size_menu: vec![
+            (1, 4.5),
+            (2, 1.8),
+            (4, 1.6),
+            (8, 1.1),
+            (16, 0.7),
+            (32, 0.35),
+            (64, 0.12),
+            (128, 0.04),
+        ],
+        users: UserModel::zipf_with_dominant(256, 0.9, 0.40),
+    }
+}
+
+/// PIK-IPLEX-2009-alike: 2560 cores, very long jobs, and Markov-modulated
+/// arrival bursts. The bursts produce the rare catastrophic 256-job windows
+/// of Fig 3 (average bounded slowdowns in the tens of thousands) that make
+/// trajectory filtering necessary (§IV-C).
+fn pik_params() -> TraceAlikeParams {
+    TraceAlikeParams {
+        cluster_size: 2560,
+        // Bursts are rare (every ~100 calm arrivals) but long (~125
+        // arrivals at ~15 s gaps): most 256-job windows are calm and
+        // schedule at bsld ≈ 1, while windows hitting a burst overload the
+        // machine by an order of magnitude — the Fig 3 shape.
+        arrival: ArrivalProcess::Mmpp {
+            calm_gap: 330.0,
+            burst_gap: 15.0,
+            enter_burst: 0.002,
+            exit_burst: 0.004,
+        },
+        runtime_mean: 56000.0,
+        runtime_cv: 1.8,
+        short_frac: 0.45,
+        short_mean: 60.0,
+        big_job_runtime_mult: 4.0,
+        estimates: false,
+        overestimate: (1.2, 2.8),
+        max_runtime: 30.0 * 24.0 * 3600.0,
+        // Mostly small jobs, but a whale tail (1024–2048 procs) that can
+        // serialize the 2560-core machine for hours during a burst.
+        size_menu: vec![
+            (1, 3.2),
+            (2, 1.6),
+            (4, 1.6),
+            (8, 1.4),
+            (16, 0.9),
+            (32, 0.45),
+            (64, 0.2),
+            (128, 0.1),
+            (256, 0.05),
+            (512, 0.03),
+            (1024, 0.020),
+            (2048, 0.008),
+        ],
+        users: UserModel::zipf(128, 0.9),
+    }
+}
+
+/// ANL-Intrepid-alike: Blue Gene/P. Allocations are partition-sized
+/// (multiples of 512 nodes) and huge (mean 5063), runtimes moderate.
+fn anl_params() -> TraceAlikeParams {
+    TraceAlikeParams {
+        cluster_size: 163_840,
+        arrival: ArrivalProcess::LogNormal { mean: 301.0, cv: 2.0 },
+        runtime_mean: 6800.0,
+        runtime_cv: 1.5,
+        short_frac: 0.25,
+        short_mean: 240.0,
+        big_job_runtime_mult: 1.5,
+        estimates: true,
+        overestimate: (1.2, 2.5),
+        max_runtime: 24.0 * 3600.0,
+        size_menu: vec![
+            (512, 3.6),
+            (1024, 2.4),
+            (2048, 1.7),
+            (4096, 1.3),
+            (8192, 1.0),
+            (16384, 0.6),
+            (32768, 0.35),
+            (65536, 0.13),
+            (131072, 0.03),
+        ],
+        users: UserModel::zipf(64, 0.8),
+    }
+}
+
+/// Linearly rescale submit gaps and runtimes so the trace's mean
+/// interarrival and mean **actual** runtime equal the targets exactly.
+///
+/// Table II's `rt` is taken as the actual-runtime mean: the archive traces
+/// with the paper's load levels are only consistent with that reading
+/// (PIK-IPLEX records no user estimates at all, so its requested times
+/// *are* the actual runtimes; for the others the demand ratio
+/// `nt·rt/(it·size)` matches their documented utilization only on actual
+/// runtimes). Rescaling actual and requested runtimes by the same factor
+/// keeps `requested >= actual` and every ratio-based metric consistent.
+pub fn calibrate(trace: &JobTrace, targets: Table2Targets) -> JobTrace {
+    let stats = TraceStats::from_trace(trace);
+    let it_scale = if stats.mean_interarrival > 0.0 {
+        targets.it / stats.mean_interarrival
+    } else {
+        1.0
+    };
+    let rt_scale = if stats.mean_run_time > 0.0 {
+        targets.rt / stats.mean_run_time
+    } else {
+        1.0
+    };
+    let t0 = trace.jobs().first().map(|j| j.submit_time).unwrap_or(0.0);
+    let jobs = trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            j.submit_time = t0 + (j.submit_time - t0) * it_scale;
+            j.run_time = (j.run_time * rt_scale).max(1.0);
+            j.requested_time = (j.requested_time * rt_scale).max(j.run_time);
+            j
+        })
+        .collect();
+    JobTrace::new(jobs, targets.size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_moments_match_table2() {
+        for w in NamedWorkload::all() {
+            let t = w.generate(4_000, 100);
+            let s = TraceStats::from_trace(&t);
+            let tg = w.targets();
+            assert!(
+                (s.mean_interarrival - tg.it).abs() / tg.it < 1e-9,
+                "{}: it {} vs {}",
+                w.name(),
+                s.mean_interarrival,
+                tg.it
+            );
+            assert!(
+                (s.mean_run_time - tg.rt).abs() / tg.rt < 1e-9,
+                "{}: rt {} vs {}",
+                w.name(),
+                s.mean_run_time,
+                tg.rt
+            );
+            assert_eq!(s.max_procs, tg.size);
+        }
+    }
+
+    #[test]
+    fn nt_is_structurally_close() {
+        for w in NamedWorkload::all() {
+            let s = TraceStats::from_trace(&w.generate(8_000, 101));
+            let tg = w.targets();
+            let rel = (s.mean_requested_procs - tg.nt).abs() / tg.nt;
+            assert!(
+                rel < 0.30,
+                "{}: nt {} vs target {} (rel {rel:.2})",
+                w.name(),
+                s.mean_requested_procs,
+                tg.nt
+            );
+        }
+    }
+
+    /// Per-window offered load: Σ procs·runtime / (arrival span · cluster).
+    fn window_demands(t: &JobTrace, win: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + win <= t.len() {
+            let jobs = &t.jobs()[start..start + win];
+            let span = (jobs.last().unwrap().submit_time - jobs[0].submit_time).max(1.0);
+            let work: f64 = jobs.iter().map(|j| j.procs() as f64 * j.run_time).sum();
+            out.push(work / (span * t.max_procs() as f64));
+            start += win;
+        }
+        out
+    }
+
+    #[test]
+    fn pik_window_load_is_extreme_and_dispersed() {
+        // The property Figs 3/7/9 need: PIK 256-job windows vary wildly in
+        // offered load — quiet stretches plus burst windows that overload
+        // the machine severely — and far more so than SDSC's.
+        let pik = NamedWorkload::PikIplex.generate(8_000, 102);
+        let mut d = window_demands(&pik, 256);
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = d[d.len() / 2];
+        let peak = *d.last().unwrap();
+        eprintln!("PIK window demand: median {median:.2} peak {peak:.2}");
+        assert!(peak > 3.0, "PIK peak window demand {peak}");
+        assert!(peak / median > 4.0, "PIK dispersion {}", peak / median);
+
+        let sdsc = NamedWorkload::SdscSp2.generate(8_000, 102);
+        let ds = window_demands(&sdsc, 256);
+        let peak_s = ds.iter().cloned().fold(0.0, f64::max);
+        assert!(peak > 2.0 * peak_s, "PIK peak {peak} vs SDSC peak {peak_s}");
+    }
+
+    #[test]
+    fn hpc2n_has_a_dominant_user() {
+        let t = NamedWorkload::Hpc2n.generate(8_000, 103);
+        let s = TraceStats::from_trace(&t);
+        let share = s.max_user_jobs as f64 / s.jobs as f64;
+        assert!(share > 0.30, "dominant share {share}");
+        // SDSC by contrast is balanced.
+        let s2 = TraceStats::from_trace(&NamedWorkload::SdscSp2.generate(8_000, 103));
+        let share2 = s2.max_user_jobs as f64 / s2.jobs as f64;
+        assert!(share2 < 0.15, "SDSC share {share2}");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for w in NamedWorkload::all() {
+            assert_eq!(NamedWorkload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(NamedWorkload::from_name("pik"), Some(NamedWorkload::PikIplex));
+        assert_eq!(NamedWorkload::from_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn anl_sizes_are_partition_multiples() {
+        let t = NamedWorkload::AnlIntrepid.generate(2_000, 104);
+        for j in t.jobs() {
+            assert_eq!(j.procs() % 512, 0, "size {}", j.procs());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = NamedWorkload::SdscSp2.generate(500, 7);
+        let b = NamedWorkload::SdscSp2.generate(500, 7);
+        assert_eq!(a.jobs(), b.jobs());
+    }
+
+    #[test]
+    fn calibrate_preserves_request_dominates_runtime() {
+        let t = NamedWorkload::Hpc2n.generate(3_000, 105);
+        for j in t.jobs() {
+            assert!(j.requested_time >= j.run_time);
+        }
+    }
+}

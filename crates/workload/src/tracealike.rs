@@ -1,0 +1,322 @@
+//! Trace-alike generators: synthetic stand-ins for the four archive traces
+//! of Table II (SDSC-SP2, HPC2N, PIK-IPLEX-2009, ANL Intrepid).
+//!
+//! Each generator is a small stochastic model with three pluggable parts —
+//! an arrival process (stationary lognormal gaps, or a two-state
+//! Markov-modulated process for bursty traces), a lognormal runtime body
+//! with user-style overestimated *requested* times, and a discrete
+//! job-size menu — plus a user population. Parameters for the concrete
+//! traces live in [`crate::named`]; this module is the machinery.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rlsched_swf::{Job, JobTrace};
+
+use crate::dist::{quantize_request, LogNormalByMoments};
+use crate::users::UserModel;
+
+/// How submit-time gaps are produced.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Stationary lognormal gaps with the given mean and coefficient of
+    /// variation.
+    LogNormal {
+        /// Mean gap, seconds.
+        mean: f64,
+        /// Coefficient of variation of the gaps.
+        cv: f64,
+    },
+    /// Two-state Markov-modulated arrivals: calm stretches with long gaps,
+    /// burst episodes with very short gaps. This reproduces the
+    /// "most-of-the-time idle, occasionally catastrophic" shape of
+    /// PIK-IPLEX-2009 (Fig 3 of the paper).
+    Mmpp {
+        /// Mean gap in the calm state, seconds.
+        calm_gap: f64,
+        /// Mean gap inside a burst, seconds.
+        burst_gap: f64,
+        /// Per-arrival probability of entering a burst from calm.
+        enter_burst: f64,
+        /// Per-arrival probability of leaving a burst.
+        exit_burst: f64,
+    },
+}
+
+/// Parameters of one trace-alike model.
+#[derive(Debug, Clone)]
+pub struct TraceAlikeParams {
+    /// Cluster size (processors).
+    pub cluster_size: u32,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Mean of the *long-job* runtime component, seconds.
+    pub runtime_mean: f64,
+    /// Coefficient of variation of the long-job component (archive traces
+    /// are heavy-tailed: 2–5 is typical).
+    pub runtime_cv: f64,
+    /// Fraction of very short jobs (debug runs, failures, array stubs —
+    /// ubiquitous in archives and the jobs whose bounded slowdown explodes
+    /// when they queue behind whales).
+    pub short_frac: f64,
+    /// Mean runtime of the short component, seconds (CV fixed at 2).
+    pub short_mean: f64,
+    /// Runtime multiplier for "whale" jobs (procs ≥ cluster/8): big jobs
+    /// run longer in real traces (the size–runtime correlation the Lublin
+    /// model encodes via `p = pa·n + pb`). 1.0 disables.
+    pub big_job_runtime_mult: f64,
+    /// Whether users file runtime estimates. When true, requested time =
+    /// quantized `actual × U(lo, hi)`; when false the archive records no
+    /// estimates (PIK-IPLEX), so schedulers see the actual runtime, exactly
+    /// as SWF `-1` request fields replay in the reference simulator.
+    pub estimates: bool,
+    /// Requested time = quantized `actual × U(lo, hi)` — users overestimate.
+    pub overestimate: (f64, f64),
+    /// Maximum runtime, seconds (queue limit of the machine).
+    pub max_runtime: f64,
+    /// Job-size menu: (processors, weight). Archive machines allocate from
+    /// a small set of typical sizes.
+    pub size_menu: Vec<(u32, f64)>,
+    /// User population.
+    pub users: UserModel,
+}
+
+/// A ready-to-sample trace-alike model.
+#[derive(Debug, Clone)]
+pub struct TraceAlikeModel {
+    params: TraceAlikeParams,
+    runtime: LogNormalByMoments,
+    short_runtime: LogNormalByMoments,
+    size_total_weight: f64,
+}
+
+/// Internal MMPP arrival state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Calm,
+    Burst,
+}
+
+impl TraceAlikeModel {
+    /// Validate parameters and precompute samplers.
+    pub fn new(params: TraceAlikeParams) -> Self {
+        assert!(!params.size_menu.is_empty(), "size menu must not be empty");
+        assert!(
+            params
+                .size_menu
+                .iter()
+                .all(|&(s, w)| s >= 1 && s <= params.cluster_size && w >= 0.0),
+            "menu sizes must fit the cluster and have non-negative weights"
+        );
+        assert!(params.overestimate.0 >= 1.0 && params.overestimate.1 >= params.overestimate.0);
+        assert!((0.0..1.0).contains(&params.short_frac), "short_frac in [0,1)");
+        let runtime = LogNormalByMoments::new(params.runtime_mean, params.runtime_cv);
+        let short_runtime = LogNormalByMoments::new(params.short_mean.max(1.0), 2.0);
+        let size_total_weight = params.size_menu.iter().map(|&(_, w)| w).sum();
+        assert!(size_total_weight > 0.0);
+        TraceAlikeModel { params, runtime, short_runtime, size_total_weight }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &TraceAlikeParams {
+        &self.params
+    }
+
+    fn sample_size<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let mut x = rng.gen::<f64>() * self.size_total_weight;
+        for &(s, w) in &self.params.size_menu {
+            if x < w {
+                return s;
+            }
+            x -= w;
+        }
+        self.params.size_menu.last().expect("menu non-empty").0
+    }
+
+    /// Generate a trace of `n` jobs, reproducibly from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> JobTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut jobs = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        let mut phase = Phase::Calm;
+
+        // Pre-build the calm/burst gap samplers once.
+        let gap_sampler = |rng: &mut StdRng, phase: &mut Phase| -> f64 {
+            match &self.params.arrival {
+                ArrivalProcess::LogNormal { mean, cv } => {
+                    LogNormalByMoments::new(*mean, *cv).sample(rng)
+                }
+                ArrivalProcess::Mmpp { calm_gap, burst_gap, enter_burst, exit_burst } => {
+                    match phase {
+                        Phase::Calm if rng.gen::<f64>() < *enter_burst => *phase = Phase::Burst,
+                        Phase::Burst if rng.gen::<f64>() < *exit_burst => *phase = Phase::Calm,
+                        _ => {}
+                    }
+                    let mean = match phase {
+                        Phase::Calm => *calm_gap,
+                        Phase::Burst => *burst_gap,
+                    };
+                    // Exponential gaps inside each phase.
+                    -mean * (1.0 - rng.gen::<f64>()).ln()
+                }
+            }
+        };
+
+        for i in 0..n {
+            t += gap_sampler(&mut rng, &mut phase).max(1e-3);
+            let size = self.sample_size(&mut rng);
+            let mut base = if rng.gen::<f64>() < self.params.short_frac {
+                self.short_runtime.sample(&mut rng)
+            } else {
+                self.runtime.sample(&mut rng)
+            };
+            if size >= self.params.cluster_size / 8 {
+                base *= self.params.big_job_runtime_mult;
+            }
+            let actual = base.clamp(1.0, self.params.max_runtime);
+            let requested = if self.params.estimates {
+                let over = rng.gen_range(self.params.overestimate.0..=self.params.overestimate.1);
+                quantize_request(actual * over).min(self.params.max_runtime * 2.0)
+            } else {
+                actual
+            };
+            let user = self.params.users.sample(&mut rng);
+            let mut job = Job::new(i as u32 + 1, t, actual, size, requested).with_user(user);
+            job.group_id = (user / 8) as i64; // coarse group structure
+            jobs.push(job);
+        }
+        JobTrace::new(jobs, self.params.cluster_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlsched_swf::TraceStats;
+
+    fn base_params() -> TraceAlikeParams {
+        TraceAlikeParams {
+            cluster_size: 128,
+            arrival: ArrivalProcess::LogNormal { mean: 1000.0, cv: 2.0 },
+            runtime_mean: 3000.0,
+            runtime_cv: 2.5,
+            short_frac: 0.2,
+            short_mean: 120.0,
+            big_job_runtime_mult: 1.0,
+            estimates: true,
+            overestimate: (1.2, 3.0),
+            max_runtime: 48.0 * 3600.0,
+            size_menu: vec![(1, 3.0), (2, 1.0), (4, 2.0), (8, 2.0), (16, 1.5), (32, 1.0), (64, 0.5)],
+            users: UserModel::zipf(40, 1.0),
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = TraceAlikeModel::new(base_params());
+        assert_eq!(m.generate(300, 11).jobs(), m.generate(300, 11).jobs());
+        assert_ne!(m.generate(300, 11).jobs(), m.generate(300, 12).jobs());
+    }
+
+    #[test]
+    fn sizes_come_from_menu() {
+        let m = TraceAlikeModel::new(base_params());
+        let menu: Vec<u32> = base_params().size_menu.iter().map(|&(s, _)| s).collect();
+        for j in m.generate(2_000, 13).jobs() {
+            assert!(menu.contains(&j.procs()), "size {} not in menu", j.procs());
+        }
+    }
+
+    #[test]
+    fn requested_time_is_overestimated_and_quantized() {
+        let m = TraceAlikeModel::new(base_params());
+        for j in m.generate(2_000, 14).jobs() {
+            assert!(j.requested_time >= j.run_time);
+            let q = j.requested_time;
+            assert!(
+                (q % 900.0).abs() < 1e-6 || (q % 3600.0).abs() < 1e-6,
+                "request {q} not quantized"
+            );
+        }
+    }
+
+    #[test]
+    fn lognormal_arrival_mean_is_close() {
+        let m = TraceAlikeModel::new(base_params());
+        let s = TraceStats::from_trace(&m.generate(20_000, 15));
+        assert!(
+            (s.mean_interarrival - 1000.0).abs() / 1000.0 < 0.1,
+            "it={}",
+            s.mean_interarrival
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_lognormal() {
+        let mut p = base_params();
+        // Bursts dominate arrivals; calm gaps are rare and huge — the
+        // high-CV regime (see the PIK parameters in named.rs).
+        p.arrival = ArrivalProcess::Mmpp {
+            calm_gap: 3000.0,
+            burst_gap: 30.0,
+            enter_burst: 0.40,
+            exit_burst: 0.02,
+        };
+        let bursty = TraceAlikeModel::new(p);
+        let smooth = TraceAlikeModel::new(base_params());
+        let sb = TraceStats::from_trace(&bursty.generate(20_000, 16));
+        let ss = TraceStats::from_trace(&smooth.generate(20_000, 16));
+        assert!(
+            sb.cv_interarrival > 1.3 * ss.cv_interarrival,
+            "bursty cv {} vs smooth cv {}",
+            sb.cv_interarrival,
+            ss.cv_interarrival
+        );
+    }
+
+    #[test]
+    fn mmpp_produces_tight_burst_episodes() {
+        let mut p = base_params();
+        p.arrival = ArrivalProcess::Mmpp {
+            calm_gap: 500.0,
+            burst_gap: 2.0,
+            enter_burst: 0.02,
+            exit_burst: 0.05,
+        };
+        let m = TraceAlikeModel::new(p);
+        let t = m.generate(10_000, 17);
+        // Somewhere there must be a run of 10 consecutive gaps under 20s.
+        let gaps: Vec<f64> = t.jobs().windows(2).map(|w| w[1].submit_time - w[0].submit_time).collect();
+        let has_burst = gaps.windows(10).any(|w| w.iter().all(|&g| g < 20.0));
+        assert!(has_burst, "no burst episode found");
+    }
+
+    #[test]
+    fn runtime_mean_is_roughly_calibrated() {
+        let m = TraceAlikeModel::new(base_params());
+        let t = m.generate(20_000, 18);
+        let mean_actual: f64 =
+            t.jobs().iter().map(|j| j.run_time).sum::<f64>() / t.len() as f64;
+        // Clamping to max_runtime biases the mean down a little.
+        assert!(
+            (mean_actual - 3000.0).abs() / 3000.0 < 0.25,
+            "actual mean {mean_actual}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "menu")]
+    fn empty_menu_rejected() {
+        let mut p = base_params();
+        p.size_menu.clear();
+        let _ = TraceAlikeModel::new(p);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit the cluster")]
+    fn oversized_menu_entry_rejected() {
+        let mut p = base_params();
+        p.size_menu.push((1024, 1.0));
+        let _ = TraceAlikeModel::new(p);
+    }
+}

@@ -1,0 +1,141 @@
+//! User population models.
+//!
+//! Fairness experiments (§V-F, Table VIII) need realistic user structure:
+//! the paper notes that in HPC2N "one user (u17) submitted around 40K jobs
+//! while the average number of jobs per-user is only 700", i.e. a heavily
+//! skewed popularity distribution, while SDSC-SP2's users are more
+//! balanced. [`UserModel`] captures both shapes: a Zipf-like base
+//! population with an optional dominant user holding a fixed share.
+
+use rand::Rng;
+
+/// A categorical distribution over user ids.
+#[derive(Debug, Clone)]
+pub struct UserModel {
+    /// Cumulative probabilities; `cumulative[i]` closes user `i`'s slot.
+    cumulative: Vec<f64>,
+}
+
+impl UserModel {
+    /// A Zipf-like population of `n_users` with exponent `alpha`
+    /// (`alpha = 0` is uniform; larger is more skewed).
+    pub fn zipf(n_users: usize, alpha: f64) -> Self {
+        assert!(n_users > 0, "need at least one user");
+        let weights: Vec<f64> = (1..=n_users).map(|k| (k as f64).powf(-alpha)).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// A Zipf population where user 0 additionally owns `share` of all
+    /// submissions (the HPC2N shape).
+    pub fn zipf_with_dominant(n_users: usize, alpha: f64, share: f64) -> Self {
+        assert!((0.0..1.0).contains(&share), "dominant share must be in [0,1)");
+        assert!(n_users > 1, "a dominant user needs company");
+        let mut weights: Vec<f64> = (1..=n_users).map(|k| (k as f64).powf(-alpha)).collect();
+        let rest: f64 = weights.iter().skip(1).sum();
+        // Scale user 0 so its final probability is exactly `share`.
+        weights[0] = rest * share / (1.0 - share);
+        Self::from_weights(&weights)
+    }
+
+    /// Build from arbitrary positive weights.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "weights must be non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0 && total.is_finite(), "weights must sum to a positive total");
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        UserModel { cumulative }
+    }
+
+    /// Number of users in the population.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the model has no users (never: constructors forbid it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw a user id in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let x: f64 = rng.gen();
+        // First slot whose cumulative probability covers x.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite cumulative"))
+        {
+            Ok(i) => i as u32,
+            Err(i) => (i.min(self.cumulative.len() - 1)) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn freq(model: &UserModel, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; model.len()];
+        for _ in 0..n {
+            counts[model.sample(&mut rng) as usize] += 1;
+        }
+        counts.into_iter().map(|c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let m = UserModel::zipf(4, 0.0);
+        let f = freq(&m, 40_000, 1);
+        for p in f {
+            assert!((p - 0.25).abs() < 0.02, "p={p}");
+        }
+    }
+
+    #[test]
+    fn zipf_orders_users_by_popularity() {
+        let m = UserModel::zipf(10, 1.2);
+        let f = freq(&m, 100_000, 2);
+        assert!(f[0] > f[1] && f[1] > f[2]);
+        assert!(f[0] > 3.0 * f[9]);
+    }
+
+    #[test]
+    fn dominant_user_gets_requested_share() {
+        let m = UserModel::zipf_with_dominant(50, 1.0, 0.40);
+        let f = freq(&m, 200_000, 3);
+        assert!((f[0] - 0.40).abs() < 0.01, "dominant share {}", f[0]);
+    }
+
+    #[test]
+    fn samples_cover_all_users() {
+        let m = UserModel::zipf(5, 0.5);
+        let f = freq(&m, 50_000, 4);
+        assert!(f.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_rejected() {
+        let _ = UserModel::zipf(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let _ = UserModel::from_weights(&[1.0, -1.0]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: train a small RLScheduler agent on a synthetic Lublin
+//! workload, then compare it against the classic heuristics on held-out
+//! job sequences.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rlsched_repro::core::prelude::*;
+use rlsched_repro::sched::{HeuristicKind, PriorityScheduler};
+use rlsched_repro::workload::NamedWorkload;
+
+fn main() {
+    // 1. A workload: 1 500 jobs from the Lublin-Feitelson model, calibrated
+    //    to the paper's Table II moments (256-processor cluster).
+    let trace = NamedWorkload::Lublin1.generate(1500, 42);
+    println!("workload: {} jobs on {} processors", trace.len(), trace.max_procs());
+
+    // 2. An agent: the paper's kernel-based policy network, shrunk a little
+    //    (32 observable jobs, 10 epochs) so this example runs in ~a minute.
+    let mut cfg = AgentConfig::paper_default();
+    cfg.obs.max_obsv = 32;
+    cfg.ppo.train_pi_iters = 15;
+    cfg.ppo.train_v_iters = 15;
+    cfg.ppo.minibatch = Some(512);
+    let mut agent = Agent::new(cfg);
+    println!("policy parameters: {} (<1000, §IV-B1)", agent.policy_param_count());
+
+    // 3. Train toward minimizing average bounded slowdown.
+    let train_cfg = TrainConfig {
+        epochs: 10,
+        trajectories_per_epoch: 12,
+        seq_len: 128,
+        sim: SimConfig::default(),
+        filter: FilterMode::Off,
+        seed: 7,
+    };
+    println!("\ntraining ({} epochs)…", train_cfg.epochs);
+    let curve = train(&mut agent, &trace, &train_cfg);
+    for e in &curve {
+        println!("  epoch {:>2}: mean bsld {:>10.2}", e.epoch, e.mean_metric);
+    }
+
+    // 4. Evaluate on five held-out 256-job sequences — the *same* sequences
+    //    for every scheduler, as the paper's protocol requires.
+    let windows = sample_eval_windows(&trace, 5, 256, 99);
+    println!("\nscheduling 5 held-out sequences of 256 jobs (avg bounded slowdown):");
+    for kind in HeuristicKind::table3() {
+        let mut sched = PriorityScheduler::new(kind);
+        let results = evaluate_policy(&windows, SimConfig::default(), &mut sched);
+        println!(
+            "  {:<10} {:>10.2}",
+            kind.name(),
+            mean_metric(&results, MetricKind::BoundedSlowdown)
+        );
+    }
+    let results = evaluate_policy(&windows, SimConfig::default(), &mut agent.as_policy());
+    println!(
+        "  {:<10} {:>10.2}",
+        "RL",
+        mean_metric(&results, MetricKind::BoundedSlowdown)
+    );
+
+    // 5. Persist the trained model (Table VII transfer-style usage).
+    let json = agent.save_json();
+    let restored = Agent::load_json(&json).expect("checkpoint is valid");
+    let again = evaluate_policy(&windows, SimConfig::default(), &mut restored.as_policy());
+    assert_eq!(
+        mean_metric(&results, MetricKind::BoundedSlowdown),
+        mean_metric(&again, MetricKind::BoundedSlowdown),
+        "restored model schedules identically"
+    );
+    println!("\ncheckpoint round-trip OK ({} bytes of JSON)", json.len());
+}

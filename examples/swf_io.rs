@@ -1,0 +1,56 @@
+//! Working with Standard Workload Format traces: generate a synthetic
+//! workload, write it as SWF, parse it back, inspect its Table II-style
+//! statistics, and schedule a slice of it.
+//!
+//! This is the integration path for real archive traces: download any SWF
+//! file from the Parallel Workloads Archive, `parse_str` it, and every API
+//! in this workspace accepts it.
+//!
+//! ```text
+//! cargo run --release --example swf_io
+//! ```
+
+use rlsched_repro::sched::{HeuristicKind, PriorityScheduler};
+use rlsched_repro::sim::{run_episode, SimConfig};
+use rlsched_repro::swf::{parse_str, write_string, TraceStats};
+use rlsched_repro::workload::NamedWorkload;
+
+fn main() {
+    // 1. Generate and serialize.
+    let trace = NamedWorkload::Hpc2n.generate(800, 9);
+    let text = write_string(&trace);
+    println!("serialized {} jobs to {} bytes of SWF", trace.len(), text.len());
+    println!("first lines:\n{}", text.lines().take(4).collect::<Vec<_>>().join("\n"));
+
+    // 2. Parse back (lossless) and verify.
+    let parsed = parse_str(&text).expect("own output parses");
+    assert_eq!(parsed.jobs(), trace.jobs(), "round trip is lossless");
+    assert_eq!(parsed.max_procs(), trace.max_procs());
+
+    // 3. Trace statistics (the Table II columns).
+    let stats = TraceStats::from_trace(&parsed);
+    println!("\ntrace statistics:");
+    println!("  processors        {:>10}", stats.max_procs);
+    println!("  mean interarrival {:>10.0} s", stats.mean_interarrival);
+    println!("  mean runtime      {:>10.0} s", stats.mean_run_time);
+    println!("  mean req. procs   {:>10.1}", stats.mean_requested_procs);
+    println!("  users             {:>10}", stats.users);
+    println!(
+        "  dominant user     {:>9.0}% of jobs (HPC2N's u17 effect, §V-F)",
+        100.0 * stats.max_user_jobs as f64 / stats.jobs as f64
+    );
+
+    // 4. Schedule a 200-job slice with two heuristics.
+    let window = parsed.window(100, 200).expect("window");
+    for kind in [HeuristicKind::Fcfs, HeuristicKind::Sjf] {
+        let mut sched = PriorityScheduler::new(kind);
+        let m = run_episode(&window, SimConfig::with_backfill(), &mut sched).expect("episode");
+        println!(
+            "\n  {} on 200 jobs: bsld {:.2}, avg wait {:.0} s, util {:.3}",
+            kind.name(),
+            m.avg_bounded_slowdown(),
+            m.avg_waiting_time(),
+            m.utilization()
+        );
+    }
+}

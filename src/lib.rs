@@ -1,0 +1,13 @@
+//! Workspace umbrella crate.
+//!
+//! Re-exports every crate of the RLScheduler reproduction so the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/` can reach the whole system through one dependency.
+
+pub use rlsched_nn as nn;
+pub use rlsched_rl as rl;
+pub use rlsched_sched as sched;
+pub use rlsched_sim as sim;
+pub use rlsched_swf as swf;
+pub use rlsched_workload as workload;
+pub use rlscheduler as core;

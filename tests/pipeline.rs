@@ -1,0 +1,105 @@
+//! Cross-crate integration: workload generation → SWF round trip →
+//! simulation → heuristic scheduling, over all six named workloads.
+
+use rlsched_repro::sched::{HeuristicKind, PriorityScheduler, RandomPolicy};
+use rlsched_repro::sim::{run_episode, MetricKind, SimConfig};
+use rlsched_repro::swf::{parse_str, write_string, TraceStats};
+use rlsched_repro::workload::NamedWorkload;
+
+#[test]
+fn every_workload_round_trips_through_swf() {
+    for w in NamedWorkload::all() {
+        let t = w.generate(300, 5);
+        let parsed = parse_str(&write_string(&t)).expect("own SWF parses");
+        assert_eq!(parsed.jobs(), t.jobs(), "{}", w.name());
+        assert_eq!(parsed.max_procs(), t.max_procs());
+    }
+}
+
+#[test]
+fn every_workload_schedules_under_every_heuristic() {
+    for w in NamedWorkload::all() {
+        let t = w.generate(250, 6);
+        for kind in HeuristicKind::table3() {
+            for sim in [SimConfig::no_backfill(), SimConfig::with_backfill()] {
+                let mut sched = PriorityScheduler::new(kind);
+                let m = run_episode(&t, sim, &mut sched)
+                    .unwrap_or_else(|e| panic!("{} / {}: {e}", w.name(), kind.name()));
+                assert_eq!(m.outcomes().len(), t.sanitized().len());
+                for o in m.outcomes() {
+                    assert!(o.start >= o.submit, "{}: job started early", w.name());
+                    assert!(o.end > o.start);
+                }
+                assert!(m.avg_bounded_slowdown() >= 1.0);
+                let u = m.utilization();
+                assert!((0.0..=1.0 + 1e-9).contains(&u), "{}: util {u}", w.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_moments_match_table2_targets() {
+    for w in NamedWorkload::all() {
+        let t = w.generate(2000, 7);
+        let s = TraceStats::from_trace(&t);
+        let tg = w.targets();
+        assert!((s.mean_interarrival - tg.it).abs() / tg.it < 1e-6, "{} it", w.name());
+        assert!((s.mean_run_time - tg.rt).abs() / tg.rt < 1e-6, "{} rt", w.name());
+        assert_eq!(s.max_procs, tg.size, "{} size", w.name());
+    }
+}
+
+#[test]
+fn backfilling_helps_fcfs_on_congested_traces() {
+    // EASY backfilling exists to fill reservation holes; on a congested
+    // small machine it must not hurt FCFS's bounded slowdown materially,
+    // and across several seeds it should win on average.
+    let mut wins = 0;
+    let mut total_no = 0.0;
+    let mut total_bf = 0.0;
+    for seed in 0..5 {
+        let t = NamedWorkload::SdscSp2.generate(400, 100 + seed);
+        let mut fcfs = PriorityScheduler::new(HeuristicKind::Fcfs);
+        let no = run_episode(&t, SimConfig::no_backfill(), &mut fcfs).unwrap();
+        let bf = run_episode(&t, SimConfig::with_backfill(), &mut fcfs).unwrap();
+        let (n, b) = (no.avg_bounded_slowdown(), bf.avg_bounded_slowdown());
+        total_no += n;
+        total_bf += b;
+        if b <= n {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 3, "backfilling won only {wins}/5 runs");
+    assert!(
+        total_bf < total_no,
+        "backfilling should reduce mean bsld: {total_bf} vs {total_no}"
+    );
+}
+
+#[test]
+fn informed_heuristics_beat_random_on_average() {
+    let t = NamedWorkload::Lublin1.generate(600, 8);
+    let windows: Vec<_> = (0..4)
+        .map(|i| t.window(i * 120, 150).unwrap())
+        .collect();
+    let mean_of = |policy: &mut dyn rlsched_repro::sim::Policy| -> f64 {
+        windows
+            .iter()
+            .map(|w| {
+                run_episode(w, SimConfig::default(), policy)
+                    .unwrap()
+                    .metric(MetricKind::BoundedSlowdown)
+            })
+            .sum::<f64>()
+            / windows.len() as f64
+    };
+    let mut sjf = PriorityScheduler::new(HeuristicKind::Sjf);
+    let mut rnd = RandomPolicy::new(3);
+    let sjf_score = mean_of(&mut sjf);
+    let rnd_score = mean_of(&mut rnd);
+    assert!(
+        sjf_score < rnd_score,
+        "SJF ({sjf_score:.2}) should beat Random ({rnd_score:.2}) on bsld"
+    );
+}
