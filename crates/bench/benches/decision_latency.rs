@@ -1,6 +1,13 @@
 //! Table IX microbenchmarks: scheduling-decision latency for 128 pending
 //! jobs — SJF's sort-and-pick vs the RLScheduler DNN forward pass — plus
 //! the MLP v1 baseline for architecture comparison.
+//!
+//! Every network decision is measured twice: through the autodiff tape
+//! (`*_tape`, the seed's only path: fresh graph + parameter copies +
+//! node bookkeeping per decision) and through the allocation-free
+//! inference fast path (`*_fast`, `nn::infer` via `Agent::as_policy`
+//! buffers). The gap between the two is the price of carrying training
+//! machinery onto the serving path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -30,7 +37,13 @@ fn decision_view(jobs: &[Job]) -> QueueView<'_> {
 fn pending_jobs(n: usize) -> Vec<Job> {
     (0..n as u32)
         .map(|i| {
-            Job::new(i + 1, i as f64, 30.0 + (i % 37) as f64 * 120.0, 1 + i % 16, 60.0 + (i % 29) as f64 * 180.0)
+            Job::new(
+                i + 1,
+                i as f64,
+                30.0 + (i % 37) as f64 * 120.0,
+                1 + i % 16,
+                60.0 + (i % 29) as f64 * 180.0,
+            )
         })
         .collect()
 }
@@ -38,7 +51,10 @@ fn pending_jobs(n: usize) -> Vec<Job> {
 fn agent_of(kind: PolicyKind) -> Agent {
     Agent::new(AgentConfig {
         policy: kind,
-        obs: ObsConfig { max_obsv: 128, ..ObsConfig::default() },
+        obs: ObsConfig {
+            max_obsv: 128,
+            ..ObsConfig::default()
+        },
         metric: MetricKind::BoundedSlowdown,
         seed: 1,
         ..AgentConfig::paper_default()
@@ -51,16 +67,26 @@ fn bench_decisions(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("decision_128_jobs");
     let mut sjf = PriorityScheduler::new(HeuristicKind::Sjf);
-    group.bench_function("sjf_sort_pick", |b| b.iter(|| std::hint::black_box(sjf.select(&view))));
+    group.bench_function("sjf_sort_pick", |b| {
+        b.iter(|| std::hint::black_box(sjf.select(&view)))
+    });
 
     let kernel = agent_of(PolicyKind::Kernel);
-    group.bench_function("rl_kernel_dnn", |b| {
-        b.iter(|| std::hint::black_box(kernel.greedy_select(&view)))
+    group.bench_function("rl_kernel_dnn_tape", |b| {
+        b.iter(|| std::hint::black_box(kernel.greedy_select_tape(&view)))
+    });
+    group.bench_function("rl_kernel_dnn_fast", |b| {
+        let mut policy = kernel.as_policy();
+        b.iter(|| std::hint::black_box(policy.select(&view)))
     });
 
     let mlp = agent_of(PolicyKind::MlpV1);
-    group.bench_function("rl_mlp_v1_dnn", |b| {
-        b.iter(|| std::hint::black_box(mlp.greedy_select(&view)))
+    group.bench_function("rl_mlp_v1_dnn_tape", |b| {
+        b.iter(|| std::hint::black_box(mlp.greedy_select_tape(&view)))
+    });
+    group.bench_function("rl_mlp_v1_dnn_fast", |b| {
+        let mut policy = mlp.as_policy();
+        b.iter(|| std::hint::black_box(policy.select(&view)))
     });
     group.finish();
 }
@@ -73,12 +99,12 @@ fn bench_queue_scaling(c: &mut Criterion) {
         let view = decision_view(&jobs);
         // Past MAX_OBSV (128) the cost must plateau: extra jobs are cut off.
         group.bench_function(format!("queue_{n}"), |b| {
-            b.iter(|| std::hint::black_box(kernel.greedy_select(&view)))
+            let mut policy = kernel.as_policy();
+            b.iter(|| std::hint::black_box(policy.select(&view)))
         });
     }
     group.finish();
 }
-
 
 /// Short, CI-friendly measurement settings: these are latency gauges, not
 /// regression-grade statistics.
@@ -88,5 +114,5 @@ fn short_config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(20)
 }
-criterion_group!{name = benches; config = short_config(); targets = bench_decisions, bench_queue_scaling}
+criterion_group! {name = benches; config = short_config(); targets = bench_decisions, bench_queue_scaling}
 criterion_main!(benches);

@@ -1,5 +1,14 @@
 //! PPO update cost: one policy+value update over a fixed collected batch —
 //! the other half of the Table IX epoch time (sampling being the first).
+//!
+//! Besides wall-clock medians, this bench counts **heap allocations** via
+//! a wrapping global allocator: the reusable-`Graph` update loop and the
+//! fast-path rollouts exist to drive allocations/iteration toward zero,
+//! so the count is printed next to each measurement (`allocs/call`) and
+//! is the number to watch across PRs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -8,11 +17,45 @@ use rlsched_sim::{MetricKind, SimConfig};
 use rlsched_workload::NamedWorkload;
 use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind, SchedulingEnv};
 
+/// Counts every heap allocation so benches can report allocs/call.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` once and return how many heap allocations it performed.
+fn count_allocs<T>(mut f: impl FnMut() -> T) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    std::hint::black_box(f());
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
 fn bench_update(c: &mut Criterion) {
     let trace = std::sync::Arc::new(NamedWorkload::Lublin1.generate(1024, 3));
     let cfg = AgentConfig {
         policy: PolicyKind::Kernel,
-        obs: ObsConfig { max_obsv: 64, ..ObsConfig::default() },
+        obs: ObsConfig {
+            max_obsv: 64,
+            ..ObsConfig::default()
+        },
         metric: MetricKind::BoundedSlowdown,
         ppo: PpoConfig {
             train_pi_iters: 5,
@@ -33,6 +76,25 @@ fn bench_update(c: &mut Criterion) {
     let seeds: Vec<u64> = (0..8).collect();
     let (batch, _stats) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
 
+    // Allocation profile, measured after one warm run of each path so
+    // graph pools and scratch buffers are at steady state.
+    let _ = agent.ppo_mut().update(&batch);
+    let update_allocs = count_allocs(|| agent.ppo_mut().update(&batch));
+    let rollout_allocs = count_allocs(|| collect_rollouts(agent.ppo(), &mut envs, &seeds));
+    let (obs, mask) = {
+        let mut env = envs[0].clone();
+        env.reset(42)
+    };
+    let mut scratch = rlsched_rl::ActorScratch::new();
+    let _ = agent.ppo().greedy_with(&obs, &mask, &mut scratch);
+    let fast_allocs = count_allocs(|| agent.ppo().greedy_with(&obs, &mask, &mut scratch));
+    let tape_allocs = count_allocs(|| agent.ppo().greedy_tape(&obs, &mask));
+    println!("\nallocation profile (heap allocations per call):");
+    println!("  ppo_update (5+5 iters, mb512):   {update_allocs}");
+    println!("  rollout_8x128:                   {rollout_allocs}");
+    println!("  greedy decision, fast path:      {fast_allocs}");
+    println!("  greedy decision, tape path:      {tape_allocs}");
+
     let mut group = c.benchmark_group("ppo");
     group.sample_size(10);
     group.bench_function("update_5x5_iters_mb512", |b| {
@@ -46,6 +108,15 @@ fn bench_update(c: &mut Criterion) {
         })
     });
 
+    // One action selection: the tape path (fresh graph + parameter
+    // copies, the seed's only option) vs the allocation-free fast path.
+    group.bench_function("select_tape_single", |b| {
+        b.iter(|| std::hint::black_box(agent.ppo().greedy_tape(&obs, &mask)))
+    });
+    group.bench_function("select_fast_single", |b| {
+        b.iter(|| std::hint::black_box(agent.ppo().greedy_with(&obs, &mask, &mut scratch)))
+    });
+
     // Per-step env interaction without the network (simulator+encoding).
     group.bench_function("env_step_random_policy", |b| {
         use rand::Rng;
@@ -56,8 +127,7 @@ fn bench_update(c: &mut Criterion) {
             let (_obs, mut mask) = env.reset(rng.gen());
             let mut steps = 0usize;
             loop {
-                let valid: Vec<usize> =
-                    (0..mask.len()).filter(|&i| mask[i] == 0.0).collect();
+                let valid: Vec<usize> = (0..mask.len()).filter(|&i| mask[i] == 0.0).collect();
                 let a = valid[rng.gen_range(0..valid.len())];
                 let out = env.step(a);
                 steps += 1;
@@ -72,7 +142,6 @@ fn bench_update(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short, CI-friendly measurement settings: these are latency gauges, not
 /// regression-grade statistics.
 fn short_config() -> Criterion {
@@ -81,5 +150,5 @@ fn short_config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(20)
 }
-criterion_group!{name = benches; config = short_config(); targets = bench_update}
+criterion_group! {name = benches; config = short_config(); targets = bench_update}
 criterion_main!(benches);

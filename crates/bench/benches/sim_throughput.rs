@@ -24,7 +24,10 @@ fn bench_episode(c: &mut Criterion) {
             })
         });
     }
-    for (name, kind) in [("sjf_easy", HeuristicKind::Sjf), ("f1_easy", HeuristicKind::F1)] {
+    for (name, kind) in [
+        ("sjf_easy", HeuristicKind::Sjf),
+        ("f1_easy", HeuristicKind::F1),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut sched = PriorityScheduler::new(kind);
@@ -39,7 +42,11 @@ fn bench_episode(c: &mut Criterion) {
 
 fn bench_workload_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_generation_1k_jobs");
-    for w in [NamedWorkload::Lublin1, NamedWorkload::PikIplex, NamedWorkload::AnlIntrepid] {
+    for w in [
+        NamedWorkload::Lublin1,
+        NamedWorkload::PikIplex,
+        NamedWorkload::AnlIntrepid,
+    ] {
         group.bench_function(w.name(), |b| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -51,7 +58,6 @@ fn bench_workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short, CI-friendly measurement settings: these are latency gauges, not
 /// regression-grade statistics.
 fn short_config() -> Criterion {
@@ -60,5 +66,5 @@ fn short_config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(20)
 }
-criterion_group!{name = benches; config = short_config(); targets = bench_episode, bench_workload_generation}
+criterion_group! {name = benches; config = short_config(); targets = bench_episode, bench_workload_generation}
 criterion_main!(benches);

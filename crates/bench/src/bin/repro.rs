@@ -92,8 +92,23 @@ fn run_one(id: &str, p: &Profile, out: &str) -> Result<(), String> {
 }
 
 const ALL: &[&str] = &[
-    "table2", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table5",
-    "table6", "table7", "table8", "table9", "table10", "table11", "ablate-obs",
+    "table2",
+    "fig3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "ablate-obs",
     "ablate-filter-range",
 ];
 
@@ -122,7 +137,8 @@ fn main() -> ExitCode {
 
     let t0 = std::time::Instant::now();
     let result = if args.experiment == "all" {
-        ALL.iter().try_for_each(|id| run_one(id, &profile, &args.out))
+        ALL.iter()
+            .try_for_each(|id| run_one(id, &profile, &args.out))
     } else {
         run_one(&args.experiment, &profile, &args.out)
     };

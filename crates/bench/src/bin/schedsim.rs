@@ -48,11 +48,19 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--trace" => args.trace_path = Some(next("--trace")?),
             "--workload" => args.workload = Some(next("--workload")?),
-            "--jobs" => args.jobs = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--jobs" => {
+                args.jobs = next("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
             "--sched" => args.sched = next("--sched")?,
             "--model" => args.model = Some(next("--model")?),
             "--backfill" => args.backfill = true,
-            "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--window" => {
                 let v = next("--window")?;
                 let (s, l) = v.split_once(':').ok_or("--window wants START:LEN")?;
@@ -77,8 +85,8 @@ fn load_trace(args: &Args) -> Result<JobTrace, String> {
         rlsched_swf::parse_str(&text).map_err(|e| format!("parsing {path}: {e}"))?
     } else {
         let name = args.workload.as_deref().expect("validated");
-        let w = NamedWorkload::from_name(name)
-            .ok_or(format!("unknown workload {name}\n{USAGE}"))?;
+        let w =
+            NamedWorkload::from_name(name).ok_or(format!("unknown workload {name}\n{USAGE}"))?;
         w.generate(args.jobs, args.seed)
     };
     match args.window {
@@ -115,7 +123,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let sim = if args.backfill { SimConfig::with_backfill() } else { SimConfig::no_backfill() };
+    let sim = if args.backfill {
+        SimConfig::with_backfill()
+    } else {
+        SimConfig::no_backfill()
+    };
     println!(
         "{} jobs on {} processors, backfilling {}",
         trace.len(),

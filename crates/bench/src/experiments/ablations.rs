@@ -22,14 +22,25 @@ pub fn ablate_obs(p: &Profile, report: &mut Report) {
     let mut rows = Vec::new();
     for (i, max_obsv) in [16usize, 32, 64, 128].into_iter().enumerate() {
         let mut agent = {
-            let mut a = p.agent(PolicyKind::Kernel, MetricKind::BoundedSlowdown, 0xAB1 ^ (i as u64) << 2);
+            let mut a = p.agent(
+                PolicyKind::Kernel,
+                MetricKind::BoundedSlowdown,
+                0xAB1 ^ (i as u64) << 2,
+            );
             // Rebuild with the swept window size.
             let mut cfg = a.config().clone();
-            cfg.obs = ObsConfig { max_obsv, ..cfg.obs };
+            cfg.obs = ObsConfig {
+                max_obsv,
+                ..cfg.obs
+            };
             a = rlscheduler::Agent::new(cfg);
             a
         };
-        let curve = train(&mut agent, &trace, &p.train_cfg(SimConfig::default(), FilterMode::Off));
+        let curve = train(
+            &mut agent,
+            &trace,
+            &p.train_cfg(SimConfig::default(), FilterMode::Off),
+        );
         let results = evaluate_policy(&windows, SimConfig::default(), &mut agent.as_policy());
         let final_metric = mean_metric(&results, MetricKind::BoundedSlowdown);
         let last_train = curve.last().map(|e| e.mean_metric).unwrap_or(f64::NAN);
@@ -45,7 +56,10 @@ pub fn ablate_obs(p: &Profile, report: &mut Report) {
             fmt_metric(final_metric),
         ]);
     }
-    report.table(&["MAX_OBSV", "policy params", "train tail bsld", "eval bsld"], &rows);
+    report.table(
+        &["MAX_OBSV", "policy params", "train tail bsld", "eval bsld"],
+        &rows,
+    );
 }
 
 /// Filter-range sweep on PIK-IPLEX: R ∈ {(med, mean), (med, 2·mean),
@@ -99,7 +113,10 @@ pub fn ablate_filter_range(p: &Profile, report: &mut Report) {
             filter,
             0xAB3 ^ (i as u64) << 3,
         );
-        let tail: Vec<f64> = curve[curve.len() * 2 / 3..].iter().map(|e| e.mean_metric).collect();
+        let tail: Vec<f64> = curve[curve.len() * 2 / 3..]
+            .iter()
+            .map(|e| e.mean_metric)
+            .collect();
         let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
         report.record(
             &format!("variant{i}"),

@@ -6,7 +6,7 @@ use serde_json::json;
 use rlsched_sched::{HeuristicKind, PriorityScheduler};
 use rlsched_sim::{run_episode, MetricKind, SimConfig};
 use rlsched_workload::NamedWorkload;
-use rlscheduler::{FilterMode, PolicyKind, TrajectoryFilter, TrainingCurve};
+use rlscheduler::{FilterMode, PolicyKind, TrainingCurve, TrajectoryFilter};
 
 use crate::profile::Profile;
 use crate::report::{fmt_metric, Report};
@@ -27,8 +27,14 @@ pub fn fig3(p: &Profile, report: &mut Report) {
         series.push((start, m.avg_bounded_slowdown()));
         start += stride;
     }
-    let max = series.iter().cloned().fold((0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
-    let min = series.iter().cloned().fold((0, f64::MAX), |a, b| if b.1 < a.1 { b } else { a });
+    let max = series
+        .iter()
+        .cloned()
+        .fold((0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
+    let min = series
+        .iter()
+        .cloned()
+        .fold((0, f64::MAX), |a, b| if b.1 < a.1 { b } else { a });
     let near_one = series.iter().filter(|(_, v)| *v < 2.0).count();
     println!(
         "windows: {}   min bsld: {}   max bsld: {} (at job {})   windows with bsld<2: {}%",
@@ -46,7 +52,10 @@ pub fn fig3(p: &Profile, report: &mut Report) {
     report.table(&["job-offset", "bsld", ""], &rows);
     report.record(
         "series",
-        json!(series.iter().map(|(s, v)| json!([s, v])).collect::<Vec<_>>()),
+        json!(series
+            .iter()
+            .map(|(s, v)| json!([s, v]))
+            .collect::<Vec<_>>()),
     );
     report.record("max", json!({"offset": max.0, "bsld": max.1}));
 }
@@ -172,7 +181,13 @@ pub fn fig9(p: &Profile, report: &mut Report) {
     };
     let (m0, cv0) = tail_cv(&curves[0].1);
     let (m1, cv1) = tail_cv(&curves[1].1);
-    println!("tail mean/cv  without: {} / {:.2}   with: {} / {:.2}", fmt_metric(m0), cv0, fmt_metric(m1), cv1);
+    println!(
+        "tail mean/cv  without: {} / {:.2}   with: {} / {:.2}",
+        fmt_metric(m0),
+        cv0,
+        fmt_metric(m1),
+        cv1
+    );
     report.record(
         "curves",
         json!(curves
@@ -180,13 +195,19 @@ pub fn fig9(p: &Profile, report: &mut Report) {
             .map(|(n, c)| json!({"mode": n, "curve": c.iter().map(|e| e.mean_metric).collect::<Vec<_>>()}))
             .collect::<Vec<_>>()),
     );
-    report.record("tail", json!({"without": {"mean": m0, "cv": cv0}, "with": {"mean": m1, "cv": cv1}}));
+    report.record(
+        "tail",
+        json!({"without": {"mean": m0, "cv": cv0}, "with": {"mean": m1, "cv": cv1}}),
+    );
 }
 
 /// Figs 10–13: RLScheduler training curves on the four workloads for one
 /// metric (bsld / util / slowdown / wait).
 pub fn training_curves(p: &Profile, metric: MetricKind, fig_name: &str, report: &mut Report) {
-    report.section(&format!("{fig_name}: training curves toward {}", metric.name()));
+    report.section(&format!(
+        "{fig_name}: training curves toward {}",
+        metric.name()
+    ));
     let mut curves = Vec::new();
     for (i, w) in NamedWorkload::training_four().into_iter().enumerate() {
         let (_agent, curve) = p.train_agent(
@@ -219,7 +240,11 @@ fn print_curves(report: &Report, curves: &[(String, TrainingCurve)], unit: &str)
     for e in (0..epochs).step_by(step) {
         let mut row = vec![e.to_string()];
         for (_, c) in curves {
-            row.push(c.get(e).map(|s| fmt_metric(s.mean_metric)).unwrap_or_default());
+            row.push(
+                c.get(e)
+                    .map(|s| fmt_metric(s.mean_metric))
+                    .unwrap_or_default(),
+            );
         }
         rows.push(row);
     }

@@ -73,7 +73,12 @@ mod tests {
             .collect();
         let t = JobTrace::new(jobs, 4);
         let windows = vec![t];
-        let row = scheduler_row(&windows, SimConfig::default(), MetricKind::BoundedSlowdown, None);
+        let row = scheduler_row(
+            &windows,
+            SimConfig::default(),
+            MetricKind::BoundedSlowdown,
+            None,
+        );
         let names: Vec<&str> = row.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["FCFS", "WFP3", "UNICEP", "SJF", "F1"]);
         assert!(row.iter().all(|(_, v)| *v >= 1.0));

@@ -41,7 +41,10 @@ pub fn table2(p: &Profile, report: &mut Report) {
             }),
         );
     }
-    report.table(&["Trace", "size", "it(s)", "rt(s)", "nt", "paper (it/rt/nt)"], &rows);
+    report.table(
+        &["Trace", "size", "it(s)", "rt(s)", "nt", "paper (it/rt/nt)"],
+        &rows,
+    );
 }
 
 /// The scheduling-grid tables: V (bsld), VI (util), X (slowdown),
@@ -67,13 +70,19 @@ pub fn scheduling_grid(p: &Profile, metric: MetricKind, table_name: &str, report
                 metric,
                 sim,
                 FilterMode::Off,
-                0x7AB1E ^ (wi as u64) << 8 ^ metric.name().len() as u64 ^ (sim.backfill == rlsched_sim::BackfillMode::Easy) as u64,
+                0x7AB1E
+                    ^ (wi as u64) << 8
+                    ^ metric.name().len() as u64
+                    ^ (sim.backfill == rlsched_sim::BackfillMode::Easy) as u64,
             );
             let row = scheduler_row(&windows, sim, metric, Some(&agent));
             let best = best_of(&row, metric);
             report.record(
                 &format!("{}/{}", mode_name, w.name()),
-                json!(row.iter().map(|(n, v)| json!({"sched": n, "value": v})).collect::<Vec<_>>()),
+                json!(row
+                    .iter()
+                    .map(|(n, v)| json!({"sched": n, "value": v}))
+                    .collect::<Vec<_>>()),
             );
             let mut cells = vec![w.name().to_string()];
             cells.extend(row.iter().map(|(n, v)| {
@@ -87,7 +96,10 @@ pub fn scheduling_grid(p: &Profile, metric: MetricKind, table_name: &str, report
             rows.push(cells);
         }
         println!("\n-- {mode_name} (* = best) --");
-        report.table(&["Trace", "FCFS", "WFP3", "UNICEP", "SJF", "F1", "RL"], &rows);
+        report.table(
+            &["Trace", "FCFS", "WFP3", "UNICEP", "SJF", "F1", "RL"],
+            &rows,
+        );
     }
 }
 
@@ -119,7 +131,9 @@ pub fn table7(p: &Profile, report: &mut Report) {
                     metric,
                     sim,
                     FilterMode::Off,
-                    0x77AB ^ (i as u64) << 4 ^ (sim.backfill == rlsched_sim::BackfillMode::Easy) as u64,
+                    0x77AB
+                        ^ (i as u64) << 4
+                        ^ (sim.backfill == rlsched_sim::BackfillMode::Easy) as u64,
                 );
                 agent
             })
@@ -182,7 +196,10 @@ pub fn table8(p: &Profile, report: &mut Report) {
         ("with backfilling", SimConfig::with_backfill()),
     ] {
         let mut rows = Vec::new();
-        for (i, w) in [NamedWorkload::SdscSp2, NamedWorkload::Hpc2n].iter().enumerate() {
+        for (i, w) in [NamedWorkload::SdscSp2, NamedWorkload::Hpc2n]
+            .iter()
+            .enumerate()
+        {
             let trace = p.trace(*w);
             let windows = sample_eval_windows(&trace, p.eval_seqs, p.eval_len, p.seed ^ 0xFA1E);
             let (agent, _) = p.train_agent(
@@ -197,7 +214,10 @@ pub fn table8(p: &Profile, report: &mut Report) {
             let best = best_of(&row, metric);
             report.record(
                 &format!("{}/{}", mode_name, w.name()),
-                json!(row.iter().map(|(n, v)| json!({"sched": n, "value": v})).collect::<Vec<_>>()),
+                json!(row
+                    .iter()
+                    .map(|(n, v)| json!({"sched": n, "value": v}))
+                    .collect::<Vec<_>>()),
             );
             let mut cells = vec![w.name().to_string()];
             cells.extend(row.iter().map(|(n, v)| {
@@ -211,7 +231,10 @@ pub fn table8(p: &Profile, report: &mut Report) {
             rows.push(cells);
         }
         println!("\n-- {mode_name} (* = best) --");
-        report.table(&["Trace", "FCFS", "WFP3", "UNICEP", "SJF", "F1", "RL"], &rows);
+        report.table(
+            &["Trace", "FCFS", "WFP3", "UNICEP", "SJF", "F1", "RL"],
+            &rows,
+        );
     }
 }
 
@@ -222,7 +245,15 @@ pub fn table9(p: &Profile, report: &mut Report) {
 
     // A 128-job decision point.
     let jobs: Vec<Job> = (0..128u32)
-        .map(|i| Job::new(i + 1, i as f64, 60.0 + i as f64 * 7.0, 1 + i % 16, 100.0 + i as f64 * 9.0))
+        .map(|i| {
+            Job::new(
+                i + 1,
+                i as f64,
+                60.0 + i as f64 * 7.0,
+                1 + i % 16,
+                100.0 + i as f64 * 9.0,
+            )
+        })
         .collect();
     let view = QueueView {
         time: 1000.0,
@@ -231,7 +262,12 @@ pub fn table9(p: &Profile, report: &mut Report) {
         waiting: jobs
             .iter()
             .enumerate()
-            .map(|(i, job)| WaitingJob { job, job_index: i, wait: 1000.0 - job.submit_time, can_run_now: job.procs() <= 64 })
+            .map(|(i, job)| WaitingJob {
+                job,
+                job_index: i,
+                wait: 1000.0 - job.submit_time,
+                can_run_now: job.procs() <= 64,
+            })
             .collect(),
     };
 
@@ -244,7 +280,11 @@ pub fn table9(p: &Profile, report: &mut Report) {
     let sjf_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
 
     // The paper times the 128-slot DNN; build the full-size agent.
-    let full_agent = Profile { max_obsv: 128, ..*p }.agent(PolicyKind::Kernel, MetricKind::BoundedSlowdown, 0x71ED);
+    let full_agent = Profile {
+        max_obsv: 128,
+        ..*p
+    }
+    .agent(PolicyKind::Kernel, MetricKind::BoundedSlowdown, 0x71ED);
     let t0 = Instant::now();
     for _ in 0..reps {
         std::hint::black_box(full_agent.greedy_select(&view));
@@ -261,8 +301,14 @@ pub fn table9(p: &Profile, report: &mut Report) {
     let epoch_s = t0.elapsed().as_secs_f64();
 
     let rows = vec![
-        vec!["SJF sorts 128 jobs and picks one".to_string(), format!("{sjf_ms:.3} ms")],
-        vec!["RLScheduler DNN makes a decision (128 jobs)".to_string(), format!("{rl_ms:.3} ms")],
+        vec![
+            "SJF sorts 128 jobs and picks one".to_string(),
+            format!("{sjf_ms:.3} ms"),
+        ],
+        vec![
+            "RLScheduler DNN makes a decision (128 jobs)".to_string(),
+            format!("{rl_ms:.3} ms"),
+        ],
         vec![
             format!(
                 "RLScheduler training, one epoch ({} traj x {} jobs)",
@@ -272,7 +318,11 @@ pub fn table9(p: &Profile, report: &mut Report) {
         ],
         vec![
             "Estimated convergence (x epochs-to-converge)".to_string(),
-            format!("{:.1} min for ~{} epochs", epoch_s * p.epochs as f64 / 60.0, p.epochs),
+            format!(
+                "{:.1} min for ~{} epochs",
+                epoch_s * p.epochs as f64 / 60.0,
+                p.epochs
+            ),
         ],
     ];
     report.table(&["Operation", "Time"], &rows);

@@ -103,7 +103,10 @@ impl Profile {
     pub fn agent(&self, kind: PolicyKind, metric: MetricKind, seed_offset: u64) -> Agent {
         Agent::new(AgentConfig {
             policy: kind,
-            obs: ObsConfig { max_obsv: self.max_obsv, ..ObsConfig::default() },
+            obs: ObsConfig {
+                max_obsv: self.max_obsv,
+                ..ObsConfig::default()
+            },
             metric,
             ppo: self.ppo(),
             seed: self.seed ^ seed_offset,

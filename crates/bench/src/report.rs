@@ -1,9 +1,43 @@
 //! Console tables and JSON result files.
+//!
+//! Two kinds of machine-readable output exist:
+//!
+//! * Experiment results — `results/<experiment>.json`, written by
+//!   [`Report::save`] from the `repro` binary's table/figure generators.
+//! * Microbenchmark medians — `BENCH_<bench-name>.json` (e.g.
+//!   `BENCH_decision_latency.json`, `BENCH_ppo_update.json`), written
+//!   automatically by the criterion shim when `cargo bench` finishes:
+//!   one entry per benchmark id with `median_ns` and the calibrated
+//!   iterations per sample. Files land in the working directory (or
+//!   `$BENCH_OUT_DIR`); committing or archiving them per PR gives a
+//!   perf trajectory that can be diffed without parsing console logs.
+//!   [`load_bench_report`] reads one back.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use serde_json::Value;
+
+/// Parse a `BENCH_<name>.json` file produced by `cargo bench` into
+/// `(benchmark id, median ns/iter)` pairs, sorted by id.
+pub fn load_bench_report(path: &Path) -> std::io::Result<Vec<(String, f64)>> {
+    let text = fs::read_to_string(path)?;
+    let v: Value = serde_json::from_str(&text)?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "not an object"))?;
+    let mut out: Vec<(String, f64)> = obj
+        .iter()
+        .filter_map(|(k, entry)| {
+            entry
+                .get("median_ns")
+                .and_then(Value::as_f64)
+                .map(|m| (k.clone(), m))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
 
 /// Collects one experiment's output: a human-readable table on stdout and
 /// a machine-readable JSON file under `results/`.
@@ -61,7 +95,10 @@ impl Report {
     pub fn save(&self) -> std::io::Result<PathBuf> {
         fs::create_dir_all(&self.out_dir)?;
         let path = self.out_dir.join(format!("{}.json", self.experiment));
-        fs::write(&path, serde_json::to_string_pretty(&Value::Object(self.json.clone()))?)?;
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(&Value::Object(self.json.clone()))?,
+        )?;
         println!("\n[saved {}]", path.display());
         Ok(path)
     }
@@ -104,11 +141,30 @@ mod tests {
     }
 
     #[test]
+    fn bench_report_round_trip() {
+        let dir = std::env::temp_dir().join("rlsched-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_unit.json");
+        std::fs::write(
+            &path,
+            "{\n  \"g/a\": {\"median_ns\": 120.5, \"iters_per_sample\": 10},\n  \"g/b\": {\"median_ns\": 80.0, \"iters_per_sample\": 5}\n}\n",
+        )
+        .unwrap();
+        let entries = load_bench_report(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "g/a");
+        assert!((entries[0].1 - 120.5).abs() < 1e-9);
+    }
+
+    #[test]
     fn table_prints_without_panic() {
         let r = Report::new("t", "/tmp");
         r.table(
             &["a", "metric"],
-            &[vec!["x".into(), "1.0".into()], vec!["yyyy".into(), "2.5".into()]],
+            &[
+                vec!["x".into(), "1.0".into()],
+                vec!["yyyy".into(), "2.5".into()],
+            ],
         );
     }
 }

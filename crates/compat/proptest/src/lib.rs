@@ -1,0 +1,504 @@
+//! Offline shim for `proptest`: strategy-based randomized testing with the
+//! macro surface this workspace uses (`proptest!`, `prop_compose!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`), minus shrinking.
+//!
+//! A failing case panics with the generated inputs' `Debug` rendering and
+//! the case's seed, which is enough to reproduce: cases are derived
+//! deterministically from the test body's code location, so a failure
+//! recurs on re-run until the code or the shim's RNG changes.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a test case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion inside the case body failed.
+    Fail(String),
+    /// The case asked to be discarded (unused here, kept for parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values (no shrinking in this shim).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erase for heterogeneous composition (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy from a plain sampling closure.
+pub struct FnStrategy<F>(pub F);
+
+impl<T: Debug, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// The canonical strategy of a type (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// Strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range integer/bool strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+any_impl!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod sample {
+    //! Index-into-a-collection support (`any::<prop::sample::Index>()`).
+
+    use super::{AnyStrategy, Arbitrary, Strategy, TestRng};
+    use rand::Rng;
+
+    /// A deferred collection index: a raw draw mapped onto `0..len` at use
+    /// time, so one generated value can index collections of any size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map onto `0..len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Strategy for AnyStrategy<Index> {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.gen())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyStrategy<Index>;
+        fn arbitrary() -> Self::Strategy {
+            AnyStrategy(std::marker::PhantomData)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count specification: an exact count or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Run one proptest-style test body over `cases` generated inputs.
+/// Called by the `proptest!` macro expansion; panics on the first failure
+/// with the inputs that produced it.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+{
+    // Deterministic per-test seed: stable across runs, different per test.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case_idx in 0..config.cases {
+        let seed = h ^ (case_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err((err, inputs)) = case(&mut rng) {
+            panic!(
+                "proptest case {case_idx}/{} failed for `{test_name}`:\n  {err}\n  inputs: {inputs}\n  (deterministic; re-run reproduces)",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Uniform index draw used by `prop_oneof!` expansions (kept here so the
+/// macro works in crates that do not themselves depend on `rand`).
+pub fn pick_index(rng: &mut TestRng, len: usize) -> usize {
+    rng.gen_range(0..len)
+}
+
+/// Choose uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options = vec![$($crate::Strategy::boxed($strategy)),+];
+        $crate::FnStrategy(move |rng: &mut $crate::TestRng| {
+            let pick = $crate::pick_index(rng, options.len());
+            $crate::Strategy::generate(&options[pick], rng)
+        })
+    }};
+}
+
+/// Define a named strategy-composing function:
+/// `prop_compose! { fn name()(x in sx, y in sy) -> T { body } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ($($outer:tt)*) ($($arg:ident in $strategy:expr),+ $(,)?) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $out> {
+            $(let $arg = $strategy;)+
+            $crate::FnStrategy(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::generate(&$arg, rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Define proptest-style test functions.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest_tests!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest_tests!{ config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] test items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! proptest_tests {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                let mut __inputs = String::new();
+                $(
+                    let __val = $crate::Strategy::generate(&($strategy), __rng);
+                    __inputs.push_str(&format!("{} = {:?}; ", stringify!($arg), __val));
+                    let $arg = __val;
+                )+
+                let mut __case = || -> Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                __case().map_err(|e| (e, __inputs))
+            });
+        }
+        $crate::proptest_tests!{ config = $config; $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching upstream.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest, BoxedStrategy,
+        FnStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// The `prop::` module path (`prop::collection::vec`,
+    /// `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(xs in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_only_picks_given(v in prop_oneof![Just(1u8), Just(4u8), Just(9u8)]) {
+            prop_assert!(v == 1 || v == 4 || v == 9);
+        }
+
+        #[test]
+        fn index_maps_into_range(ix in any::<crate::sample::Index>(), len in 1usize..50) {
+            prop_assert!(ix.index(len) < len);
+        }
+    }
+
+    prop_compose! {
+        fn point()(x in 0i32..10, y in 0i32..10) -> (i32, i32) {
+            (x, y)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy_works(p in point()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_panics_with_context() {
+        crate::run_cases(&ProptestConfig::with_cases(5), "demo", |_rng| {
+            Err((TestCaseError::fail("boom"), "x = 1".to_string()))
+        });
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        use rand::SeedableRng;
+        let s = (0u32..5).prop_map(|x| x * 100);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v % 100 == 0 && v < 500);
+        }
+    }
+}

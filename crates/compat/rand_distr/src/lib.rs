@@ -1,0 +1,183 @@
+//! Offline shim for `rand_distr`: the continuous distributions the
+//! workload generators use (`Normal`, `LogNormal`, `Gamma`), implemented
+//! over `f64` with the standard algorithms (Box–Muller polar method for
+//! normals, Marsaglia–Tsang squeeze for gammas).
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Parameter-validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistrError(&'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+#[inline]
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Marsaglia polar method: no trig, two uniforms per pair (one value
+    // discarded for statelessness — throughput is irrelevant here).
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal(mean, std_dev).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistrError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(DistrError("normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// LogNormal(mu, sigma) of the underlying normal.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal<F> {
+    norm: Normal<F>,
+}
+
+impl LogNormal<f64> {
+    /// `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistrError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)
+                .map_err(|_| DistrError("lognormal requires finite mu and sigma >= 0"))?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Gamma(shape k, scale θ).
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma<F> {
+    shape: F,
+    scale: F,
+}
+
+impl Gamma<f64> {
+    /// Both parameters must be finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistrError> {
+        if shape <= 0.0 || scale <= 0.0 || !shape.is_finite() || !scale.is_finite() {
+            return Err(DistrError("gamma requires shape > 0 and scale > 0"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+impl Distribution<f64> for Gamma<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia & Tsang (2000). For k < 1 boost with U^(1/k).
+        let (k, boost) = if self.shape < 1.0 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            (self.shape + 1.0, u.powf(1.0 / self.shape))
+        } else {
+            (self.shape, 1.0)
+        };
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return boost * d * v * self.scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.1, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut r = StdRng::seed_from_u64(2);
+        let d = Gamma::new(4.0, 1.5).unwrap();
+        let xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 6.0).abs() < 0.1, "mean {m}"); // k*theta
+        assert!((v - 9.0).abs() < 0.4, "var {v}"); // k*theta^2
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut r = StdRng::seed_from_u64(3);
+        let d = Gamma::new(0.5, 2.0).unwrap();
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut r)).collect();
+        let (m, _v) = moments(&xs);
+        assert!((m - 1.0).abs() < 0.05, "mean {m}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let mut r = StdRng::seed_from_u64(4);
+        // mu=0, sigma=0.5: mean = exp(sigma^2/2)
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        let (m, _) = moments(&xs);
+        let expect = (0.125f64).exp();
+        assert!((m - expect).abs() / expect < 0.02, "mean {m} vs {expect}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline shim for `rayon`: typed parallel-iterator combinators for the
+//! patterns this workspace uses, executed with real `std::thread::scope`
+//! fan-out.
+//!
+//! Supported shapes:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! * `slice.par_iter_mut().zip(other.par_iter()).map(f).collect::<Vec<_>>()`
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//!
+//! Work is partitioned into contiguous index ranges, one per worker
+//! thread (`available_parallelism`, capped by item count); results are
+//! stitched back in order, so `collect` preserves input order exactly
+//! like rayon. Small inputs run inline to skip thread start-up cost.
+
+use std::num::NonZeroUsize;
+
+fn workers(n_items: usize) -> usize {
+    if n_items < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n_items)
+}
+
+/// Evenly split `n` items into `parts` contiguous ranges.
+fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Parallel shared iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Parallel exclusive iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+/// `par_iter_mut().zip(par_iter())`.
+pub struct ParZip<'a, 'b, A, B> {
+    left: &'a mut [A],
+    right: &'b [B],
+}
+
+/// A mapped parallel iterator, ready to `collect`.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each `&T` through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Zip with another shared parallel iterator of equal length.
+    pub fn zip<'b, B>(self, other: ParIter<'b, B>) -> ParZipRef<'a, 'b, T, B> {
+        assert_eq!(self.items.len(), other.items.len(), "zip length mismatch");
+        ParZipRef {
+            left: self.items,
+            right: other.items,
+        }
+    }
+}
+
+/// `par_iter().zip(par_iter())`.
+pub struct ParZipRef<'a, 'b, A, B> {
+    left: &'a [A],
+    right: &'b [B],
+}
+
+impl<'a, 'b, A: Sync, B: Sync> ParZipRef<'a, 'b, A, B> {
+    /// Map each `(&A, &B)` pair through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn((&'a A, &'b B)) -> R + Sync,
+        R: Send,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<'a, 'b, A: Send, B: Sync> ParZip<'a, 'b, A, B> {
+    /// Map each `(&mut A, &B)` pair through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn((&'a mut A, &'b B)) -> R + Sync,
+        R: Send,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Zip with a shared parallel iterator of equal length.
+    pub fn zip<'b, B>(self, other: ParIter<'b, B>) -> ParZip<'a, 'b, T, B> {
+        assert_eq!(self.items.len(), other.items.len(), "zip length mismatch");
+        ParZip {
+            left: self.items,
+            right: other.items,
+        }
+    }
+
+    /// Map each `&mut T` through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(&'a mut T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+/// Run `per_range` over each worker's index range on its own thread and
+/// return the per-range outputs in range order.
+fn fan_out<R, F>(n: usize, per_range: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let w = workers(n);
+    if w <= 1 {
+        return vec![per_range(0..n)];
+    }
+    let ranges = split_ranges(n, w);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(|| per_range(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+impl<'a, T, F, R> ParMap<ParIter<'a, T>, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Gather results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let items = self.inner.items;
+        let f = &self.f;
+        let parts = fan_out(items.len(), |range| {
+            items[range].iter().map(f).collect::<Vec<R>>()
+        });
+        C::from(parts.into_iter().flatten().collect())
+    }
+}
+
+impl<'a, 'b, A, B, F, R> ParMap<ParZipRef<'a, 'b, A, B>, F>
+where
+    A: Sync,
+    B: Sync,
+    F: Fn((&'a A, &'b B)) -> R + Sync,
+    R: Send,
+{
+    /// Gather results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let (left, right) = (self.inner.left, self.inner.right);
+        let f = &self.f;
+        let parts = fan_out(left.len(), |range| {
+            left[range.clone()]
+                .iter()
+                .zip(&right[range])
+                .map(f)
+                .collect::<Vec<R>>()
+        });
+        C::from(parts.into_iter().flatten().collect())
+    }
+}
+
+impl<'a, 'b, A, B, F, R> ParMap<ParZip<'a, 'b, A, B>, F>
+where
+    A: Send,
+    B: Sync,
+    F: Fn((&'a mut A, &'b B)) -> R + Sync,
+    R: Send,
+{
+    /// Gather results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let ParZip { left, right } = self.inner;
+        let n = left.len();
+        let f = &self.f;
+        let w = workers(n);
+        if w <= 1 {
+            let out: Vec<R> = left.iter_mut().zip(right).map(f).collect();
+            return C::from(out);
+        }
+        let ranges = split_ranges(n, w);
+        // Split the &mut slice into disjoint chunks, one per worker.
+        let mut chunks: Vec<&mut [A]> = Vec::with_capacity(w);
+        let mut rest = left;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            chunks.push(head);
+            rest = tail;
+        }
+        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .zip(&ranges)
+                .map(|(chunk, r)| {
+                    let right = &right[r.clone()];
+                    scope.spawn(move || chunk.iter_mut().zip(right).map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        C::from(parts.into_iter().flatten().collect())
+    }
+}
+
+/// Parallel exclusive chunk iterator.
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    chunk: usize,
+}
+
+/// Enumerated form of [`ParChunksMut`].
+pub struct EnumChunksMut<'a, T> {
+    items: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Attach chunk indices.
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut {
+            items: self.items,
+            chunk: self.chunk,
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+impl<'a, T: Send> EnumChunksMut<'a, T> {
+    /// Apply `f` to every `(index, chunk)` in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk = self.chunk;
+        assert!(chunk > 0, "chunk size must be positive");
+        let n_chunks = self.items.len().div_ceil(chunk);
+        let w = workers(n_chunks);
+        if w <= 1 {
+            for (i, c) in self.items.chunks_mut(chunk).enumerate() {
+                f((i, c));
+            }
+            return;
+        }
+        let ranges = split_ranges(n_chunks, w);
+        let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(w);
+        let mut rest = self.items;
+        for r in &ranges {
+            let elems = (r.len() * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(elems);
+            parts.push((r.start, head));
+            rest = tail;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (first_chunk, part) in parts {
+                scope.spawn(move || {
+                    for (i, c) in part.chunks_mut(chunk).enumerate() {
+                        f((first_chunk + i, c));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Entry points, attached to slices and `Vec`s via extension traits.
+pub mod prelude {
+    use super::*;
+
+    /// `par_iter` on shared slices.
+    pub trait IntoParRefIterator<'a> {
+        /// Shared item type.
+        type Item: 'a;
+        /// A parallel iterator of `&Item`.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` on exclusive slices.
+    pub trait IntoParMutIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// A parallel iterator of `&mut Item`.
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+        /// A parallel iterator of `&mut [Item]` chunks of length `chunk`
+        /// (last one possibly shorter).
+        fn par_chunks_mut(&'a mut self, chunk: usize) -> ParChunksMut<'a, Self::Item>;
+    }
+
+    impl<'a, T: 'a> IntoParRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: 'a> IntoParRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: 'a> IntoParMutIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { items: self }
+        }
+        fn par_chunks_mut(&'a mut self, chunk: usize) -> ParChunksMut<'a, T> {
+            ParChunksMut { items: self, chunk }
+        }
+    }
+
+    impl<'a, T: 'a> IntoParMutIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { items: self }
+        }
+        fn par_chunks_mut(&'a mut self, chunk: usize) -> ParChunksMut<'a, T> {
+            ParChunksMut { items: self, chunk }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_mut_mutates_and_collects_in_order() {
+        let mut xs: Vec<u64> = vec![0; 500];
+        let seeds: Vec<u64> = (0..500).collect();
+        let out: Vec<u64> = xs
+            .par_iter_mut()
+            .zip(seeds.par_iter())
+            .map(|(x, &s)| {
+                *x = s + 1;
+                s * 10
+            })
+            .collect();
+        assert_eq!(out, (0..500).map(|s| s * 10).collect::<Vec<_>>());
+        assert_eq!(xs, (1..=500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerated() {
+        let mut xs = vec![0u32; 103];
+        xs.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as u32;
+            }
+        });
+        for (i, &v) in xs.iter().enumerate() {
+            assert_eq!(v, (i / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn single_and_empty_inputs() {
+        let xs: Vec<u32> = vec![];
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+        let one = [7u32];
+        let ys: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, vec![8]);
+    }
+
+    #[test]
+    fn zip_ref_map_collect() {
+        let a: Vec<u32> = (0..64).collect();
+        let b: Vec<u32> = (0..64).map(|x| x * 3).collect();
+        let out: Vec<u32> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x + y)
+            .collect();
+        assert_eq!(out, (0..64).map(|x| x * 4).collect::<Vec<_>>());
+    }
+}

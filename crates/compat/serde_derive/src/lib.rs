@@ -1,0 +1,407 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` without syn/quote.
+//!
+//! The input item is parsed directly from the `proc_macro::TokenStream`
+//! (attributes skipped, field/variant names collected, types ignored —
+//! the generated code lets inference pick the right `Serialize`/
+//! `Deserialize` impl per field). Generics and `#[serde(...)]` attributes
+//! are unsupported and rejected loudly; the workspace uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    /// `struct S;`
+    Unit,
+    /// `struct S { a: T, b: U }` / `V { a: T }`
+    Named(Vec<String>),
+    /// `struct S(T, U);` / `V(T, U)`
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip any number of `#[...]` attribute groups starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in …)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle-bracket depth
+/// tracked; parenthesized/bracketed groups are atomic tokens already).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, …` bodies (struct or enum-variant braces).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde_derive shim: expected field name, got {:?}",
+                tokens[i]
+            );
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+        }
+        i = skip_type(&tokens, i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Count the `Type, …` entries of a tuple body.
+fn parse_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde_derive shim: expected variant name, got {:?}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            match p.as_char() {
+                ',' => i += 1,
+                '=' => panic!("serde_derive shim: explicit discriminants are unsupported"),
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive shim: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are unsupported (deriving {name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive shim: expected enum body");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g),
+            }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ "
+            ));
+            out.push_str(&serialize_fields_expr(fields, "self.", None));
+            out.push_str(" } }");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ match self {{ "
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(\"{vn}\".to_string()), "
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut __m = serde::Map::new(); __m.insert(\"{vn}\".to_string(), {inner}); serde::Value::Object(__m) }}, ",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let body = serialize_fields_expr(&Fields::Named(fs.clone()), "", None);
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ let mut __m = serde::Map::new(); __m.insert(\"{vn}\".to_string(), {body}); serde::Value::Object(__m) }}, "
+                        ));
+                    }
+                }
+            }
+            out.push_str(" } } }");
+        }
+    }
+    out
+}
+
+/// Expression producing the `Value` of a field set. `prefix` is `self.`
+/// for structs and empty for bound enum-variant fields.
+fn serialize_fields_expr(fields: &Fields, prefix: &str, _ctx: Option<&str>) -> String {
+    match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let mut s = String::from("{ let mut __m = serde::Map::new(); ");
+            for f in fs {
+                s.push_str(&format!(
+                    "__m.insert(\"{f}\".to_string(), serde::Serialize::to_value(&{prefix}{f})); "
+                ));
+            }
+            s.push_str("serde::Value::Object(__m) }");
+            s
+        }
+        Fields::Tuple(n) => {
+            if *n == 1 {
+                format!("serde::Serialize::to_value(&{prefix}0)")
+            } else {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("serde::Serialize::to_value(&{prefix}{k})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+        }
+    }
+}
+
+fn deserialize_named_expr(type_path: &str, fs: &[String], src: &str) -> String {
+    let mut s = format!(
+        "{{ let __m = {src}.as_object().ok_or_else(|| serde::Error::expected(\"object\", {src}))?; Ok({type_path} {{ "
+    );
+    for f in fs {
+        s.push_str(&format!(
+            "{f}: serde::Deserialize::from_value(__m.get(\"{f}\").ok_or_else(|| serde::Error::missing_field(\"{f}\"))?)?, "
+        ));
+    }
+    s.push_str("}) }");
+    s
+}
+
+fn deserialize_tuple_expr(type_path: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        return format!("Ok({type_path}(serde::Deserialize::from_value({src})?))");
+    }
+    let mut s = format!(
+        "{{ let __a = {src}.as_array().ok_or_else(|| serde::Error::expected(\"array\", {src}))?; if __a.len() != {n} {{ return Err(serde::Error::custom(\"wrong tuple length\")); }} Ok({type_path}("
+    );
+    for k in 0..n {
+        s.push_str(&format!("serde::Deserialize::from_value(&__a[{k}])?, "));
+    }
+    s.push_str(")) }");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{ fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ "
+            ));
+            match fields {
+                Fields::Unit => out.push_str(&format!("Ok({name})")),
+                Fields::Named(fs) => out.push_str(&deserialize_named_expr(name, fs, "__v")),
+                Fields::Tuple(n) => out.push_str(&deserialize_tuple_expr(name, *n, "__v")),
+            }
+            out.push_str(" } }");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{ fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ match __v {{ "
+            ));
+            // Unit variants arrive as plain strings.
+            out.push_str("serde::Value::String(__s) => match __s.as_str() { ");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    out.push_str(&format!("\"{0}\" => Ok({name}::{0}), ", v.name));
+                }
+            }
+            out.push_str(&format!(
+                "__other => Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))), }}, "
+            ));
+            // Data-carrying variants arrive as single-key objects.
+            out.push_str("serde::Value::Object(__m) => { let (__k, __inner) = __m.iter().next().ok_or_else(|| serde::Error::custom(\"empty enum object\"))?; match __k.as_str() { ");
+            for v in variants {
+                let vn = &v.name;
+                let path = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Named(fs) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {},\n",
+                            deserialize_named_expr(&path, fs, "__inner")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {},\n",
+                            deserialize_tuple_expr(&path, *n, "__inner")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))), }} }}, "
+            ));
+            out.push_str(&format!(
+                "__other => Err(serde::Error::expected(\"enum representation for {name}\", __other)), }} }} }}"
+            ));
+        }
+    }
+    out
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

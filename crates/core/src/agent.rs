@@ -4,7 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use rlsched_rl::{PolicyModel, Ppo, PpoConfig};
+use rlsched_rl::{ActorScratch, PolicyModel, Ppo, PpoConfig};
 use rlsched_sim::{MetricKind, Policy, QueueView};
 
 use crate::nets::{PolicyKind, PolicyNet, ValueNet};
@@ -41,7 +41,10 @@ impl AgentConfig {
 
     /// Same defaults with a different metric.
     pub fn for_metric(metric: MetricKind) -> Self {
-        AgentConfig { metric, ..Self::paper_default() }
+        AgentConfig {
+            metric,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -102,17 +105,63 @@ impl Agent {
         self.ppo.policy.param_count()
     }
 
-    /// Greedy (test-time) action for a raw queue view.
-    pub fn greedy_select(&self, view: &QueueView<'_>) -> usize {
-        let (obs, mask) = self.encoder.encode(view);
-        let a = self.ppo.greedy(&obs, &mask);
-        // Masking guarantees a < waiting.len(); clamp defensively anyway.
+    /// Inference entry point: greedy action for an already-encoded
+    /// observation window, through the allocation-free fast path (no
+    /// autodiff tape). Implemented for every Table IV `PolicyKind`.
+    pub fn score(&self, obs: &[f32], mask: &[f32], scratch: &mut ActorScratch) -> usize {
+        self.ppo.greedy_with(obs, mask, scratch)
+    }
+
+    /// Masking guarantees the chosen slot `< waiting.len()`; clamp
+    /// defensively anyway (shared by every decision entry point).
+    fn clamp_to_queue(view: &QueueView<'_>, a: usize) -> usize {
         a.min(view.waiting.len().saturating_sub(1))
     }
 
-    /// Borrow the agent as a simulator policy (inference only).
+    /// Greedy (test-time) action for a raw queue view through
+    /// caller-owned buffers: encode, score, clamp — the single decision
+    /// path every other entry point delegates to.
+    pub fn greedy_select_with(
+        &self,
+        view: &QueueView<'_>,
+        obs: &mut Vec<f32>,
+        mask: &mut Vec<f32>,
+        scratch: &mut ActorScratch,
+    ) -> usize {
+        self.encoder.encode_into(view, obs, mask);
+        Self::clamp_to_queue(view, self.score(obs, mask, scratch))
+    }
+
+    /// Greedy (test-time) action for a raw queue view. Allocates per
+    /// call; scheduling loops should use [`Agent::as_policy`] (which
+    /// carries its own buffers) or [`Agent::greedy_select_with`].
+    pub fn greedy_select(&self, view: &QueueView<'_>) -> usize {
+        self.greedy_select_with(
+            view,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut ActorScratch::new(),
+        )
+    }
+
+    /// Greedy action through the full autodiff tape — the benchmark
+    /// baseline the fast path is measured against (`decision_latency`).
+    pub fn greedy_select_tape(&self, view: &QueueView<'_>) -> usize {
+        let (obs, mask) = self.encoder.encode(view);
+        Self::clamp_to_queue(view, self.ppo.greedy_tape(&obs, &mask))
+    }
+
+    /// Borrow the agent as a simulator policy (inference only). The
+    /// returned policy owns encode and network scratch buffers, so
+    /// repeated decisions allocate nothing.
     pub fn as_policy(&self) -> RlPolicy<'_> {
-        RlPolicy { agent: self, name: format!("RL-{}", self.cfg.metric.name()) }
+        RlPolicy {
+            agent: self,
+            name: format!("RL-{}", self.cfg.metric.name()),
+            scratch: ActorScratch::new(),
+            obs: Vec::new(),
+            mask: Vec::new(),
+        }
     }
 
     /// Serialize configuration and weights to JSON.
@@ -133,20 +182,29 @@ impl Agent {
         let mut ppo_cfg = ckpt.cfg.ppo;
         ppo_cfg.update_seed = ckpt.cfg.seed;
         let ppo = Ppo::new(ckpt.policy, ckpt.value, ppo_cfg);
-        Ok(Agent { cfg: ckpt.cfg, encoder, ppo })
+        Ok(Agent {
+            cfg: ckpt.cfg,
+            encoder,
+            ppo,
+        })
     }
 }
 
 /// A trained agent plugged into the episode driver: selects greedily, no
-/// exploration (§IV-B1's test path).
+/// exploration (§IV-B1's test path). Owns the encode and inference
+/// buffers, so steady-state decisions are allocation-free.
 pub struct RlPolicy<'a> {
     agent: &'a Agent,
     name: String,
+    scratch: ActorScratch,
+    obs: Vec<f32>,
+    mask: Vec<f32>,
 }
 
 impl Policy for RlPolicy<'_> {
     fn select(&mut self, view: &QueueView<'_>) -> usize {
-        self.agent.greedy_select(view)
+        self.agent
+            .greedy_select_with(view, &mut self.obs, &mut self.mask, &mut self.scratch)
     }
 
     fn name(&self) -> &str {
@@ -163,7 +221,10 @@ mod tests {
     fn small_cfg() -> AgentConfig {
         AgentConfig {
             policy: PolicyKind::Kernel,
-            obs: ObsConfig { max_obsv: 8, ..ObsConfig::default() },
+            obs: ObsConfig {
+                max_obsv: 8,
+                ..ObsConfig::default()
+            },
             metric: MetricKind::BoundedSlowdown,
             ppo: PpoConfig::default(),
             seed: 7,
@@ -172,7 +233,15 @@ mod tests {
 
     fn toy_trace() -> JobTrace {
         let jobs = (0..30u32)
-            .map(|i| Job::new(i + 1, i as f64 * 20.0, 50.0 + (i % 4) as f64 * 200.0, 1 + (i % 3), 900.0))
+            .map(|i| {
+                Job::new(
+                    i + 1,
+                    i as f64 * 20.0,
+                    50.0 + (i % 4) as f64 * 200.0,
+                    1 + (i % 3),
+                    900.0,
+                )
+            })
             .collect();
         JobTrace::new(jobs, 4)
     }
@@ -209,7 +278,10 @@ mod tests {
     fn policy_name_reflects_metric() {
         let agent = Agent::new(AgentConfig {
             metric: MetricKind::Utilization,
-            obs: ObsConfig { max_obsv: 8, ..ObsConfig::default() },
+            obs: ObsConfig {
+                max_obsv: 8,
+                ..ObsConfig::default()
+            },
             ..AgentConfig::paper_default()
         });
         assert_eq!(agent.as_policy().name(), "RL-util");

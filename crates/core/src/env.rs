@@ -47,7 +47,15 @@ impl SchedulingEnv {
         objective: Objective,
     ) -> Self {
         assert!(trace.len() >= seq_len, "trace shorter than one episode");
-        SchedulingEnv { trace, seq_len, sim_cfg, encoder, objective, filter: None, session: None }
+        SchedulingEnv {
+            trace,
+            seq_len,
+            sim_cfg,
+            encoder,
+            objective,
+            filter: None,
+            session: None,
+        }
     }
 
     /// Install (or remove) a trajectory filter for subsequent resets.
@@ -61,8 +69,8 @@ impl SchedulingEnv {
     }
 
     fn draw_window(&self, seed: u64) -> JobTrace {
-        let sampler = SequenceSampler::new(self.trace.len(), self.seq_len)
-            .expect("validated in constructor");
+        let sampler =
+            SequenceSampler::new(self.trace.len(), self.seq_len).expect("validated in constructor");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
         match &self.filter {
             None => {
@@ -102,9 +110,7 @@ impl Env for SchedulingEnv {
 
     fn reset(&mut self, seed: u64) -> (Vec<f32>, Vec<f32>) {
         let window = self.draw_window(seed);
-        self.session = Some(
-            SchedSession::new(&window, self.sim_cfg).expect("non-empty window"),
-        );
+        self.session = Some(SchedSession::new(&window, self.sim_cfg).expect("non-empty window"));
         self.observe()
     }
 
@@ -126,7 +132,13 @@ impl Env for SchedulingEnv {
             }
         } else {
             let (obs, mask) = self.observe();
-            StepOutcome { obs, mask, reward: 0.0, done: false, episode_metric: None }
+            StepOutcome {
+                obs,
+                mask,
+                reward: 0.0,
+                done: false,
+                episode_metric: None,
+            }
         }
     }
 }
@@ -140,7 +152,15 @@ mod tests {
 
     fn base_trace(n: usize) -> Arc<JobTrace> {
         let jobs = (0..n as u32)
-            .map(|i| Job::new(i + 1, i as f64 * 50.0, 60.0 + (i % 5) as f64 * 100.0, 1 + (i % 3), 400.0))
+            .map(|i| {
+                Job::new(
+                    i + 1,
+                    i as f64 * 50.0,
+                    60.0 + (i % 5) as f64 * 100.0,
+                    1 + (i % 3),
+                    400.0,
+                )
+            })
             .collect();
         Arc::new(JobTrace::new(jobs, 4))
     }
@@ -150,7 +170,10 @@ mod tests {
             base_trace(100),
             seq_len,
             SimConfig::default(),
-            ObsEncoder::new(ObsConfig { max_obsv: 8, ..ObsConfig::default() }),
+            ObsEncoder::new(ObsConfig {
+                max_obsv: 8,
+                ..ObsConfig::default()
+            }),
             Objective::new(MetricKind::BoundedSlowdown),
         )
     }
@@ -230,7 +253,10 @@ mod tests {
             trace.clone(),
             16,
             SimConfig::default(),
-            ObsEncoder::new(ObsConfig { max_obsv: 8, ..ObsConfig::default() }),
+            ObsEncoder::new(ObsConfig {
+                max_obsv: 8,
+                ..ObsConfig::default()
+            }),
             Objective::new(MetricKind::BoundedSlowdown),
         );
         e.set_filter(Some(f.clone()));
@@ -246,7 +272,10 @@ mod tests {
             trace,
             12,
             SimConfig::default(),
-            ObsEncoder::new(ObsConfig { max_obsv: 8, ..ObsConfig::default() }),
+            ObsEncoder::new(ObsConfig {
+                max_obsv: 8,
+                ..ObsConfig::default()
+            }),
             Objective::new(MetricKind::Utilization),
         );
         e.reset(2);

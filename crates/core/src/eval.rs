@@ -59,7 +59,15 @@ mod tests {
 
     fn trace() -> JobTrace {
         let jobs = (0..200u32)
-            .map(|i| Job::new(i + 1, i as f64 * 30.0, 100.0 + (i % 7) as f64 * 150.0, 1 + (i % 4), 1500.0))
+            .map(|i| {
+                Job::new(
+                    i + 1,
+                    i as f64 * 30.0,
+                    100.0 + (i % 7) as f64 * 150.0,
+                    1 + (i % 4),
+                    1500.0,
+                )
+            })
             .collect();
         JobTrace::new(jobs, 8)
     }

@@ -55,7 +55,14 @@ impl TrajectoryFilter {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
         let median = samples[samples.len() / 2];
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        TrajectoryFilter { metric, samples, median, mean, lo: median, hi: 2.0 * mean }
+        TrajectoryFilter {
+            metric,
+            samples,
+            median,
+            mean,
+            lo: median,
+            hi: 2.0 * mean,
+        }
     }
 
     /// Does a sequence (by its SJF metric value) pass the phase-1 filter?
@@ -146,11 +153,21 @@ mod tests {
     #[test]
     fn fit_produces_ordered_range() {
         let t = bimodal_trace();
-        let f = TrajectoryFilter::fit(&t, 64, 50, MetricKind::BoundedSlowdown, SimConfig::default(), 1);
+        let f = TrajectoryFilter::fit(
+            &t,
+            64,
+            50,
+            MetricKind::BoundedSlowdown,
+            SimConfig::default(),
+            1,
+        );
         let (lo, hi) = f.range();
         assert_eq!(lo, f.median());
         assert!((hi - 2.0 * f.mean()).abs() < 1e-9);
-        assert!(f.samples().windows(2).all(|w| w[0] <= w[1]), "samples sorted");
+        assert!(
+            f.samples().windows(2).all(|w| w[0] <= w[1]),
+            "samples sorted"
+        );
         assert_eq!(f.samples().len(), 50);
     }
 
@@ -158,7 +175,14 @@ mod tests {
     fn skewed_distribution_median_below_mean() {
         // The Fig 7 shape: median ~1, mean pulled up by the burst tail.
         let t = bimodal_trace();
-        let f = TrajectoryFilter::fit(&t, 64, 60, MetricKind::BoundedSlowdown, SimConfig::default(), 2);
+        let f = TrajectoryFilter::fit(
+            &t,
+            64,
+            60,
+            MetricKind::BoundedSlowdown,
+            SimConfig::default(),
+            2,
+        );
         assert!(
             f.median() < f.mean(),
             "median {} should sit below mean {} in a right-skewed distribution",
@@ -170,10 +194,23 @@ mod tests {
     #[test]
     fn accepts_mid_range_rejects_extremes() {
         let t = bimodal_trace();
-        let f = TrajectoryFilter::fit(&t, 64, 60, MetricKind::BoundedSlowdown, SimConfig::default(), 3);
+        let f = TrajectoryFilter::fit(
+            &t,
+            64,
+            60,
+            MetricKind::BoundedSlowdown,
+            SimConfig::default(),
+            3,
+        );
         let (lo, hi) = f.range();
-        assert!(!f.accepts(lo), "exactly-median ('easy') sequences are filtered");
-        assert!(!f.accepts(hi + 1.0), "beyond-2·mean ('hard') sequences are filtered");
+        assert!(
+            !f.accepts(lo),
+            "exactly-median ('easy') sequences are filtered"
+        );
+        assert!(
+            !f.accepts(hi + 1.0),
+            "beyond-2·mean ('hard') sequences are filtered"
+        );
         if hi > lo {
             assert!(f.accepts((lo + hi) / 2.0));
         }
@@ -182,7 +219,14 @@ mod tests {
     #[test]
     fn acceptance_rate_is_a_fraction() {
         let t = bimodal_trace();
-        let f = TrajectoryFilter::fit(&t, 64, 60, MetricKind::BoundedSlowdown, SimConfig::default(), 4);
+        let f = TrajectoryFilter::fit(
+            &t,
+            64,
+            60,
+            MetricKind::BoundedSlowdown,
+            SimConfig::default(),
+            4,
+        );
         let r = f.acceptance_rate();
         assert!((0.0..=1.0).contains(&r));
     }
@@ -190,7 +234,14 @@ mod tests {
     #[test]
     fn set_range_overrides() {
         let t = bimodal_trace();
-        let mut f = TrajectoryFilter::fit(&t, 64, 20, MetricKind::BoundedSlowdown, SimConfig::default(), 5);
+        let mut f = TrajectoryFilter::fit(
+            &t,
+            64,
+            20,
+            MetricKind::BoundedSlowdown,
+            SimConfig::default(),
+            5,
+        );
         f.set_range(0.0, f64::INFINITY);
         assert!(f.accepts(1e12));
     }
@@ -210,8 +261,22 @@ mod tests {
     #[test]
     fn deterministic_fit() {
         let t = bimodal_trace();
-        let a = TrajectoryFilter::fit(&t, 64, 30, MetricKind::BoundedSlowdown, SimConfig::default(), 7);
-        let b = TrajectoryFilter::fit(&t, 64, 30, MetricKind::BoundedSlowdown, SimConfig::default(), 7);
+        let a = TrajectoryFilter::fit(
+            &t,
+            64,
+            30,
+            MetricKind::BoundedSlowdown,
+            SimConfig::default(),
+            7,
+        );
+        let b = TrajectoryFilter::fit(
+            &t,
+            64,
+            30,
+            MetricKind::BoundedSlowdown,
+            SimConfig::default(),
+            7,
+        );
         assert_eq!(a.samples(), b.samples());
         assert_eq!(a.range(), b.range());
     }

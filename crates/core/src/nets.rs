@@ -18,10 +18,26 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use rlsched_nn::{Activation, Conv2dLayer, Dense, Graph, Mlp, Network, ParamBinds, Tensor, Var};
+use rlsched_nn::infer;
+use rlsched_nn::{
+    Activation, Conv2dLayer, Dense, Graph, Mlp, Network, ParamBinds, Scratch, Tensor, Var,
+};
 use rlsched_rl::{PolicyModel, ValueModel};
 
 use crate::obs::JOB_FEATURES;
+
+/// Shared tail of every policy's fast path: add the additive mask onto
+/// the logits and log-softmax in place (same arithmetic as the tape's
+/// `add` + `log_softmax`).
+fn mask_and_log_softmax(out: &mut [f32], mask: &[f32]) {
+    // Hard assert (the tape path panics on shape mismatch too): a short
+    // mask must never silently leave padding logits unmasked.
+    assert_eq!(out.len(), mask.len(), "mask length must equal logit width");
+    for (o, &m) in out.iter_mut().zip(mask) {
+        *o += m;
+    }
+    infer::log_softmax_inplace(out);
+}
 
 /// The policy-network architectures of Table IV.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -100,6 +116,14 @@ impl PolicyModel for KernelPolicy {
         g.log_softmax(masked)
     }
 
+    fn log_probs_fast(&self, obs: &[f32], mask: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
+        // The whole job window is one batched matmul: the [K, F] job
+        // matrix flows through the shared kernel in a single pass, so one
+        // decision costs one MLP forward — not MAX_OBSV separate ones.
+        infer::mlp_forward(&self.kernel, obs, self.max_obsv, scratch, out);
+        mask_and_log_softmax(out, mask);
+    }
+
     fn params(&self) -> Vec<&Tensor> {
         self.kernel.params()
     }
@@ -135,6 +159,11 @@ impl PolicyModel for FlatMlpPolicy {
         g.log_softmax(masked)
     }
 
+    fn log_probs_fast(&self, obs: &[f32], mask: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
+        infer::mlp_forward(&self.net, obs, 1, scratch, out);
+        mask_and_log_softmax(out, mask);
+    }
+
     fn params(&self) -> Vec<&Tensor> {
         self.net.params()
     }
@@ -165,7 +194,10 @@ impl LeNetPolicy {
     /// Build the CNN; `max_obsv` must be a multiple of 4 and at least 64
     /// so both conv/pool stages fit.
     pub fn new(max_obsv: usize, seed: u64) -> Self {
-        assert!(max_obsv % 4 == 0 && max_obsv >= 64, "LeNet needs max_obsv % 4 == 0 and >= 64");
+        assert!(
+            max_obsv.is_multiple_of(4) && max_obsv >= 64,
+            "LeNet needs max_obsv % 4 == 0 and >= 64"
+        );
         let (h, w) = (max_obsv / 4, JOB_FEATURES * 4);
         let mut rng = StdRng::seed_from_u64(seed);
         let conv1 = Conv2dLayer::new(1, 6, 5, 5, 1, &mut rng);
@@ -175,7 +207,15 @@ impl LeNetPolicy {
         let flat = 16 * h2 * w2;
         let fc1 = Dense::new(flat, 120, &mut rng);
         let fc2 = Dense::new(120, max_obsv, &mut rng);
-        LeNetPolicy { conv1, conv2, fc1, fc2, max_obsv, h, w }
+        LeNetPolicy {
+            conv1,
+            conv2,
+            fc1,
+            fc2,
+            max_obsv,
+            h,
+            w,
+        }
     }
 }
 
@@ -196,6 +236,52 @@ impl PolicyModel for LeNetPolicy {
         let logits = self.fc2.forward(g, h, binds);
         let masked = g.add(logits, mask);
         g.log_softmax(masked)
+    }
+
+    fn log_probs_fast(&self, obs: &[f32], mask: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
+        let (buf_a, buf_b, buf_c) = infer::scratch_triple(scratch);
+        // conv1 + relu + pool
+        let c1 = &self.conv1;
+        let (o1, kh1, kw1) = (c1.w.shape()[0], c1.w.shape()[2], c1.w.shape()[3]);
+        let (h1c, w1c) = infer::conv2d_forward(
+            obs,
+            c1.w.data(),
+            c1.b.data(),
+            1,
+            1,
+            self.h,
+            self.w,
+            o1,
+            kh1,
+            kw1,
+            c1.stride,
+            buf_a,
+        );
+        infer::relu_inplace(buf_a);
+        let (h1, w1) = infer::max_pool2d_forward(buf_a, 1, o1, h1c, w1c, 2, buf_b);
+        // conv2 + relu + pool
+        let c2 = &self.conv2;
+        let (o2, kh2, kw2) = (c2.w.shape()[0], c2.w.shape()[2], c2.w.shape()[3]);
+        let (h2c, w2c) = infer::conv2d_forward(
+            buf_b,
+            c2.w.data(),
+            c2.b.data(),
+            1,
+            o1,
+            h1,
+            w1,
+            o2,
+            kh2,
+            kw2,
+            c2.stride,
+            buf_c,
+        );
+        infer::relu_inplace(buf_c);
+        infer::max_pool2d_forward(buf_c, 1, o2, h2c, w2c, 2, buf_a);
+        // dense head
+        infer::dense_layer_forward(&self.fc1, buf_a, 1, Activation::Relu, buf_b);
+        infer::dense_layer_forward(&self.fc2, buf_b, 1, Activation::Identity, out);
+        mask_and_log_softmax(out, mask);
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -220,6 +306,7 @@ impl PolicyModel for LeNetPolicy {
 
 /// One policy of any Table IV architecture (enum dispatch keeps the PPO
 /// agent monomorphic and serde-friendly).
+#[allow(clippy::large_enum_variant)] // one instance per agent; boxing buys nothing
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum PolicyNet {
     /// Kernel-based (the paper's design).
@@ -253,6 +340,14 @@ impl PolicyModel for PolicyNet {
             PolicyNet::Kernel(p) => p.log_probs(g, obs, mask, binds),
             PolicyNet::Mlp(p) => p.log_probs(g, obs, mask, binds),
             PolicyNet::LeNet(p) => p.log_probs(g, obs, mask, binds),
+        }
+    }
+
+    fn log_probs_fast(&self, obs: &[f32], mask: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
+        match self {
+            PolicyNet::Kernel(p) => p.log_probs_fast(obs, mask, scratch, out),
+            PolicyNet::Mlp(p) => p.log_probs_fast(obs, mask, scratch, out),
+            PolicyNet::LeNet(p) => p.log_probs_fast(obs, mask, scratch, out),
         }
     }
 
@@ -299,6 +394,16 @@ impl ValueModel for ValueNet {
         self.net.forward(g, obs, binds)
     }
 
+    fn value_fast(&self, obs: &[f32], scratch: &mut Scratch) -> f64 {
+        // Borrow the third scratch buffer as the output row (the MLP's
+        // internal ping-pong uses the first two).
+        let mut out = std::mem::take(infer::scratch_extra(scratch));
+        infer::mlp_forward(&self.net, obs, 1, scratch, &mut out);
+        let v = out[0] as f64;
+        *infer::scratch_extra(scratch) = out;
+        v
+    }
+
     fn params(&self) -> Vec<&Tensor> {
         self.net.params()
     }
@@ -342,7 +447,11 @@ mod tests {
         // §IV-B1: "we are able to control the parameter size of the policy
         // network less than 1,000".
         let p = KernelPolicy::new(128, 0);
-        assert!(p.param_count() < 1000, "kernel params = {}", p.param_count());
+        assert!(
+            p.param_count() < 1000,
+            "kernel params = {}",
+            p.param_count()
+        );
     }
 
     #[test]
@@ -383,7 +492,10 @@ mod tests {
             .filter(|&s| s != 2 && s != 5)
             .map(|s| (before[s] - after[s]).abs())
             .sum();
-        assert!(moved > 1e-4, "flat MLP unexpectedly equivariant (moved {moved})");
+        assert!(
+            moved > 1e-4,
+            "flat MLP unexpectedly equivariant (moved {moved})"
+        );
     }
 
     #[test]
@@ -395,8 +507,8 @@ mod tests {
             let lp = forward(&p, &obs, &mask, k);
             let sum: f32 = lp.iter().map(|l| l.exp()).sum();
             assert!((sum - 1.0).abs() < 1e-4, "{}: sum {sum}", kind.name());
-            for s in 10..k {
-                assert!(lp[s] < -1e8, "{}: padding slot {s} not masked", kind.name());
+            for (s, &l) in lp.iter().enumerate().skip(10) {
+                assert!(l < -1e8, "{}: padding slot {s} not masked", kind.name());
             }
         }
     }

@@ -8,7 +8,7 @@
 //! vector also contains available resources", §IV-B3). Overflowing jobs
 //! are cut off in FCFS order; missing slots are zero-padded and masked.
 
-use rlsched_rl::categorical::{additive_mask, MASK_OFF};
+use rlsched_rl::categorical::MASK_OFF;
 use rlsched_sim::QueueView;
 use serde::{Deserialize, Serialize};
 
@@ -73,9 +73,21 @@ impl ObsEncoder {
     /// queue position `i`, so an agent action maps directly to
     /// `SchedSession::step(action)`.
     pub fn encode(&self, view: &QueueView<'_>) -> (Vec<f32>, Vec<f32>) {
+        let mut obs = Vec::new();
+        let mut mask = Vec::new();
+        self.encode_into(view, &mut obs, &mut mask);
+        (obs, mask)
+    }
+
+    /// [`ObsEncoder::encode`] into caller-owned buffers — the
+    /// allocation-free variant for inference loops (one pair of buffers
+    /// per policy/worker, reused across every decision).
+    pub fn encode_into(&self, view: &QueueView<'_>, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
         let k = self.cfg.max_obsv;
-        let mut obs = vec![0.0f32; k * JOB_FEATURES];
-        let mut valid = vec![false; k];
+        obs.clear();
+        obs.resize(k * JOB_FEATURES, 0.0);
+        mask.clear();
+        mask.resize(k, MASK_OFF);
         let free_frac = view.free_fraction() as f32;
         let pressure = (view.waiting.len() as f64 / k as f64).min(1.0) as f32;
         for (slot, w) in view.waiting.iter().take(k).enumerate() {
@@ -87,9 +99,8 @@ impl ObsEncoder {
             obs[base + 4] = free_frac;
             obs[base + 5] = pressure;
             obs[base + 6] = 1.0;
-            valid[slot] = true;
+            mask[slot] = 0.0;
         }
-        (obs, additive_mask(&valid))
     }
 }
 
@@ -122,7 +133,10 @@ mod tests {
 
     #[test]
     fn dims_follow_config() {
-        let e = ObsEncoder::new(ObsConfig { max_obsv: 16, ..ObsConfig::default() });
+        let e = ObsEncoder::new(ObsConfig {
+            max_obsv: 16,
+            ..ObsConfig::default()
+        });
         assert_eq!(e.obs_dim(), 16 * JOB_FEATURES);
         assert_eq!(e.n_actions(), 16);
     }
@@ -131,7 +145,11 @@ mod tests {
     fn encodes_features_in_layout_order() {
         let jobs = vec![Job::new(1, 0.0, 100.0, 8, 3600.0)];
         let v = view_with(&jobs, 7200.0, 16, 32);
-        let e = ObsEncoder::new(ObsConfig { max_obsv: 4, max_wait: 14400.0, max_request_time: 7200.0 });
+        let e = ObsEncoder::new(ObsConfig {
+            max_obsv: 4,
+            max_wait: 14400.0,
+            max_request_time: 7200.0,
+        });
         let (obs, mask) = e.encode(&v);
         assert_eq!(obs.len(), 4 * JOB_FEATURES);
         assert!((obs[0] - 0.5).abs() < 1e-6, "wait 7200/14400");
@@ -149,7 +167,10 @@ mod tests {
     fn padding_slots_are_zero_and_masked() {
         let jobs = vec![Job::new(1, 0.0, 10.0, 1, 10.0)];
         let v = view_with(&jobs, 0.0, 4, 4);
-        let e = ObsEncoder::new(ObsConfig { max_obsv: 3, ..ObsConfig::default() });
+        let e = ObsEncoder::new(ObsConfig {
+            max_obsv: 3,
+            ..ObsConfig::default()
+        });
         let (obs, mask) = e.encode(&v);
         for slot in 1..3 {
             for f in 0..JOB_FEATURES {
@@ -165,7 +186,10 @@ mod tests {
             .map(|i| Job::new(i + 1, i as f64, 10.0, 1, 10.0))
             .collect();
         let v = view_with(&jobs, 10.0, 4, 4);
-        let e = ObsEncoder::new(ObsConfig { max_obsv: 3, ..ObsConfig::default() });
+        let e = ObsEncoder::new(ObsConfig {
+            max_obsv: 3,
+            ..ObsConfig::default()
+        });
         let (obs, mask) = e.encode(&v);
         // All three slots valid; they are the three earliest arrivals
         // (queue order), with strictly decreasing wait times.
@@ -180,10 +204,13 @@ mod tests {
     fn normalization_caps_at_one() {
         let jobs = vec![Job::new(1, 0.0, 1e9, 1000, 1e9)];
         let v = view_with(&jobs, 1e9, 4, 4);
-        let e = ObsEncoder::new(ObsConfig { max_obsv: 2, ..ObsConfig::default() });
+        let e = ObsEncoder::new(ObsConfig {
+            max_obsv: 2,
+            ..ObsConfig::default()
+        });
         let (obs, _) = e.encode(&v);
-        for f in 0..3 {
-            assert!(obs[f] <= 1.0, "feature {f} = {}", obs[f]);
+        for (f, &v) in obs.iter().enumerate().take(3) {
+            assert!(v <= 1.0, "feature {f} = {v}");
         }
     }
 
@@ -191,7 +218,10 @@ mod tests {
     fn cannot_run_flag_when_cluster_busy() {
         let jobs = vec![Job::new(1, 0.0, 10.0, 8, 10.0)];
         let v = view_with(&jobs, 0.0, 4, 16);
-        let e = ObsEncoder::new(ObsConfig { max_obsv: 2, ..ObsConfig::default() });
+        let e = ObsEncoder::new(ObsConfig {
+            max_obsv: 2,
+            ..ObsConfig::default()
+        });
         let (obs, _) = e.encode(&v);
         assert_eq!(obs[3], 0.0, "8 procs do not fit 4 free");
     }

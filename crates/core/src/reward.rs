@@ -68,7 +68,14 @@ mod tests {
         // bsld 2, slowdown 2, wait 100, turnaround 200; util on 4 procs
         // with 1 proc busy 100 of 200 seconds = 0.125.
         EpisodeMetrics::new(
-            vec![JobOutcome { job_index: 0, submit: 0.0, start: 100.0, end: 200.0, procs: 1, user: 3 }],
+            vec![JobOutcome {
+                job_index: 0,
+                submit: 0.0,
+                start: 100.0,
+                end: 200.0,
+                procs: 1,
+                user: 3,
+            }],
             4,
         )
     }
@@ -91,8 +98,22 @@ mod tests {
     fn fairness_uses_max_user_aggregate() {
         let m = EpisodeMetrics::new(
             vec![
-                JobOutcome { job_index: 0, submit: 0.0, start: 0.0, end: 100.0, procs: 1, user: 1 },
-                JobOutcome { job_index: 1, submit: 0.0, start: 300.0, end: 400.0, procs: 1, user: 2 },
+                JobOutcome {
+                    job_index: 0,
+                    submit: 0.0,
+                    start: 0.0,
+                    end: 100.0,
+                    procs: 1,
+                    user: 1,
+                },
+                JobOutcome {
+                    job_index: 1,
+                    submit: 0.0,
+                    start: 300.0,
+                    end: 400.0,
+                    procs: 1,
+                    user: 2,
+                },
             ],
             4,
         );

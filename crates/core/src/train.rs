@@ -36,7 +36,11 @@ pub enum FilterMode {
 impl FilterMode {
     /// The paper's two-phase schedule with `R = (median, 2·mean)`.
     pub fn two_phase(phase1_epochs: usize, fit_samples: usize) -> Self {
-        FilterMode::TwoPhase { phase1_epochs, fit_samples, hi_mult: 2.0 }
+        FilterMode::TwoPhase {
+            phase1_epochs,
+            fit_samples,
+            hi_mult: 2.0,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
 
     let filter: Option<Arc<TrajectoryFilter>> = match cfg.filter {
         FilterMode::Off => None,
-        FilterMode::TwoPhase { fit_samples, hi_mult, .. } => {
+        FilterMode::TwoPhase {
+            fit_samples,
+            hi_mult,
+            ..
+        } => {
             let mut f = TrajectoryFilter::fit(
                 &trace,
                 cfg.seq_len,
@@ -131,7 +139,9 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
         }
 
         let seeds: Vec<u64> = (0..cfg.trajectories_per_epoch as u64)
-            .map(|i| cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9) ^ i.wrapping_mul(0x85EB_CA6B))
+            .map(|i| {
+                cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9) ^ i.wrapping_mul(0x85EB_CA6B)
+            })
             .collect();
         let (batch, stats) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
         // Safety: collect_rollouts borrows the agent immutably; the update
@@ -179,7 +189,10 @@ mod tests {
     fn tiny_agent(seed: u64) -> Agent {
         Agent::new(AgentConfig {
             policy: PolicyKind::Kernel,
-            obs: ObsConfig { max_obsv: 8, ..ObsConfig::default() },
+            obs: ObsConfig {
+                max_obsv: 8,
+                ..ObsConfig::default()
+            },
             metric: MetricKind::BoundedSlowdown,
             ppo: PpoConfig {
                 train_pi_iters: 15,
@@ -208,7 +221,11 @@ mod tests {
         let curve = train(&mut agent, &trace, &cfg);
         assert_eq!(curve.len(), 12);
         let first = curve[..3].iter().map(|e| e.mean_metric).sum::<f64>() / 3.0;
-        let last = curve[curve.len() - 3..].iter().map(|e| e.mean_metric).sum::<f64>() / 3.0;
+        let last = curve[curve.len() - 3..]
+            .iter()
+            .map(|e| e.mean_metric)
+            .sum::<f64>()
+            / 3.0;
         assert!(
             last < first,
             "mean bsld should fall during training: first {first:.2} vs last {last:.2}"

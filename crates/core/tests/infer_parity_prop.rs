@@ -1,0 +1,136 @@
+//! Property tests: the allocation-free inference fast path must agree
+//! with the autodiff tape for every Table IV architecture.
+//!
+//! The SIMD microkernel reorders float accumulation (FMA), so log-probs
+//! are compared within tolerance and the greedy *decision* (masked
+//! argmax — what actually schedules jobs) must match exactly whenever
+//! the top two logits are not a floating-point near-tie.
+
+use proptest::prelude::*;
+
+use rlsched_nn::{Graph, ParamBinds, Scratch, Tensor};
+use rlsched_rl::categorical::MASK_OFF;
+use rlsched_rl::{PolicyModel, ValueModel};
+use rlscheduler::{PolicyKind, PolicyNet, ValueNet, JOB_FEATURES};
+
+/// Window size: the smallest that every architecture accepts (LeNet
+/// needs `max_obsv % 4 == 0 && >= 64`).
+const K: usize = 64;
+
+fn tape_log_probs(policy: &PolicyNet, obs: &[f32], mask: &[f32]) -> Vec<f32> {
+    let mut g = Graph::new();
+    let mut binds = ParamBinds::new();
+    let o = g.input(Tensor::from_vec(obs.to_vec(), &[1, obs.len()]));
+    let m = g.input(Tensor::from_vec(mask.to_vec(), &[1, mask.len()]));
+    let lp = policy.log_probs(&mut g, o, m, &mut binds);
+    g.value(lp).data().to_vec()
+}
+
+fn fast_log_probs(policy: &PolicyNet, obs: &[f32], mask: &[f32]) -> Vec<f32> {
+    let mut scratch = Scratch::new();
+    let mut out = Vec::new();
+    policy.log_probs_fast(obs, mask, &mut scratch, &mut out);
+    out
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Gap between the largest and second-largest entries.
+fn top2_gap(xs: &[f32]) -> f32 {
+    let mut top = f32::NEG_INFINITY;
+    let mut second = f32::NEG_INFINITY;
+    for &x in xs {
+        if x > top {
+            second = top;
+            top = x;
+        } else if x > second {
+            second = x;
+        }
+    }
+    top - second
+}
+
+fn build_obs(features: &[f32], valid: usize) -> (Vec<f32>, Vec<f32>) {
+    let mut obs = vec![0.0f32; K * JOB_FEATURES];
+    let mut mask = vec![MASK_OFF; K];
+    for s in 0..valid {
+        for f in 0..JOB_FEATURES {
+            obs[s * JOB_FEATURES + f] = features[(s * JOB_FEATURES + f) % features.len()];
+        }
+        obs[s * JOB_FEATURES + JOB_FEATURES - 1] = 1.0;
+        mask[s] = 0.0;
+    }
+    (obs, mask)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole acceptance property: for all five `PolicyKind`s, the
+    /// `score` fast path and the tape's `log_probs` argmax pick the same
+    /// job on random observations.
+    #[test]
+    fn fast_score_agrees_with_tape_argmax_all_kinds(
+        features in prop::collection::vec(0.0f32..1.0, K * JOB_FEATURES),
+        valid in 1usize..=K,
+        seed in 0u64..50,
+    ) {
+        let (obs, mask) = build_obs(&features, valid);
+        for kind in PolicyKind::all() {
+            let policy = PolicyNet::build(kind, K, seed);
+            let tape = tape_log_probs(&policy, &obs, &mask);
+            let fast = fast_log_probs(&policy, &obs, &mask);
+            prop_assert_eq!(fast.len(), tape.len());
+            // Log-probs agree within float-reassociation tolerance.
+            for (slot, (f, t)) in fast.iter().zip(&tape).enumerate() {
+                if mask[slot] == 0.0 {
+                    prop_assert!(
+                        (f - t).abs() <= 1e-3 * (1.0 + t.abs()),
+                        "{}: slot {} fast {} vs tape {}", kind.name(), slot, f, t
+                    );
+                }
+            }
+            // The decision itself matches whenever it is not a near-tie.
+            if top2_gap(&tape) > 1e-4 {
+                prop_assert_eq!(
+                    argmax(&fast),
+                    argmax(&tape),
+                    "{}: fast/tape argmax diverged", kind.name()
+                );
+            }
+            // Masked slots can never win.
+            prop_assert!(argmax(&fast) < valid, "{}: picked a padded slot", kind.name());
+        }
+    }
+
+    /// The critic's fast path agrees with its tape forward.
+    #[test]
+    fn value_fast_agrees_with_tape(
+        features in prop::collection::vec(0.0f32..1.0, K * JOB_FEATURES),
+        valid in 1usize..=K,
+        seed in 0u64..50,
+    ) {
+        let (obs, _mask) = build_obs(&features, valid);
+        let net = ValueNet::new(K, seed);
+
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let o = g.input(Tensor::from_vec(obs.clone(), &[1, obs.len()]));
+        let v = net.values(&mut g, o, &mut binds);
+        let tape = g.value(v).data()[0] as f64;
+
+        let fast = net.value_fast(&obs, &mut Scratch::new());
+        prop_assert!(
+            (fast - tape).abs() <= 1e-4 * (1.0 + tape.abs()),
+            "value fast {} vs tape {}", fast, tape
+        );
+    }
+}

@@ -35,6 +35,17 @@ impl Activation {
             Activation::Identity => x,
         }
     }
+
+    /// The fused-op activation code for [`Graph::linear`] and the
+    /// allocation-free [`crate::infer`] forwards.
+    pub fn to_act(self) -> crate::graph::Act {
+        match self {
+            Activation::Relu => crate::graph::Act::Relu,
+            Activation::Tanh => crate::graph::Act::Tanh,
+            Activation::Sigmoid => crate::graph::Act::Sigmoid,
+            Activation::Identity => crate::graph::Act::Identity,
+        }
+    }
 }
 
 /// Records, in order, the tape vars bound to each parameter tensor during
@@ -62,9 +73,23 @@ impl ParamBinds {
         &self.vars
     }
 
-    /// Collect the gradient of every bound parameter after `backward`.
+    /// Collect (clone) the gradient of every bound parameter after
+    /// `backward`. Prefer [`ParamBinds::take_grads`] in hot loops.
     pub fn grads(&self, g: &Graph) -> Vec<Tensor> {
-        self.vars.iter().map(|&v| g.grad(v)).collect()
+        self.vars.iter().map(|&v| g.grad_or_zeros(v)).collect()
+    }
+
+    /// Move the gradients of every bound parameter out of the tape
+    /// without copying. Each gradient is consumed exactly once per
+    /// backward pass; combined with [`Graph::reset`] this makes the
+    /// update loop allocation-free at steady state.
+    pub fn take_grads(&self, g: &mut Graph) -> Vec<Tensor> {
+        self.vars.iter().map(|&v| g.take_grad(v)).collect()
+    }
+
+    /// Forget all bindings (for graph reuse across iterations).
+    pub fn clear(&mut self) {
+        self.vars.clear();
     }
 }
 
@@ -105,7 +130,10 @@ impl Dense {
                 .collect(),
             &[in_dim, out_dim],
         );
-        Dense { w, b: Tensor::zeros(&[out_dim]) }
+        Dense {
+            w,
+            b: Tensor::zeros(&[out_dim]),
+        }
     }
 
     /// Input width.
@@ -118,12 +146,23 @@ impl Dense {
         self.w.shape()[1]
     }
 
-    /// Tape-forward through this layer.
+    /// Tape-forward through this layer (no activation).
     pub fn forward(&self, g: &mut Graph, x: Var, binds: &mut ParamBinds) -> Var {
+        self.forward_fused(g, x, binds, Activation::Identity)
+    }
+
+    /// Tape-forward with the activation fused into the dense node: one
+    /// tape node and one output allocation instead of three.
+    pub fn forward_fused(
+        &self,
+        g: &mut Graph,
+        x: Var,
+        binds: &mut ParamBinds,
+        act: Activation,
+    ) -> Var {
         let w = binds.bind(g, &self.w);
         let b = binds.bind(g, &self.b);
-        let h = g.matmul(x, w);
-        g.add_bias(h, b)
+        g.linear(x, w, b, act.to_act())
     }
 }
 
@@ -155,12 +194,19 @@ impl Mlp {
         output: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Dense::new(w[0], w[1], rng))
             .collect();
-        Mlp { layers, hidden, output }
+        Mlp {
+            layers,
+            hidden,
+            output,
+        }
     }
 
     /// Input width.
@@ -179,12 +225,8 @@ impl Network for Mlp {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, h, binds);
-            h = if i == last {
-                self.output.apply(g, h)
-            } else {
-                self.hidden.apply(g, h)
-            };
+            let act = if i == last { self.output } else { self.hidden };
+            h = layer.forward_fused(g, h, binds, act);
         }
         h
     }
@@ -230,7 +272,11 @@ impl Conv2dLayer {
                 .collect(),
             &[out_c, in_c, kh, kw],
         );
-        Conv2dLayer { w, b: Tensor::zeros(&[out_c]), stride }
+        Conv2dLayer {
+            w,
+            b: Tensor::zeros(&[out_c]),
+            stride,
+        }
     }
 
     /// Tape-forward through this layer.
@@ -268,7 +314,12 @@ mod tests {
     fn mlp_matches_paper_kernel_dims() {
         // The RLScheduler kernel network is a 3-layer MLP 32/16/8 with a
         // scalar head; parameter count must stay under 1 000 (§IV-B1).
-        let m = Mlp::new(&[7, 32, 16, 8, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let m = Mlp::new(
+            &[7, 32, 16, 8, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng(),
+        );
         assert!(m.param_count() < 1000, "param count {}", m.param_count());
         assert_eq!(m.in_dim(), 7);
         assert_eq!(m.out_dim(), 1);
@@ -276,7 +327,12 @@ mod tests {
 
     #[test]
     fn mlp_forward_shapes() {
-        let m = Mlp::new(&[5, 8, 2], Activation::Tanh, Activation::Identity, &mut rng());
+        let m = Mlp::new(
+            &[5, 8, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        );
         let mut g = Graph::new();
         let mut binds = ParamBinds::new();
         let x = g.input(Tensor::zeros(&[3, 5]));
@@ -287,7 +343,12 @@ mod tests {
 
     #[test]
     fn params_and_binds_align() {
-        let m = Mlp::new(&[3, 4, 2], Activation::Relu, Activation::Identity, &mut rng());
+        let m = Mlp::new(
+            &[3, 4, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng(),
+        );
         let mut g = Graph::new();
         let mut binds = ParamBinds::new();
         let x = g.input(Tensor::zeros(&[1, 3]));

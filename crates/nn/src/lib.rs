@@ -20,12 +20,14 @@
 //! (see `graph::tests` and `tests/gradcheck_prop.rs`).
 
 pub mod graph;
+pub mod infer;
 pub mod layers;
 pub mod optim;
 pub mod serialize;
 pub mod tensor;
 
-pub use graph::{Graph, Var};
+pub use graph::{Act, Graph, Var};
+pub use infer::Scratch;
 pub use layers::{Activation, Conv2dLayer, Dense, Mlp, Network, ParamBinds};
 pub use optim::{clip_global_norm, Adam, Sgd};
 pub use tensor::Tensor;

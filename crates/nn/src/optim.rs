@@ -18,7 +18,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard (0.9, 0.999, 1e-8) moments.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -140,7 +148,11 @@ mod tests {
         let mut p = Tensor::from_vec(vec![0.0], &[1]);
         let mut opt = Adam::new(0.01);
         opt.step(&mut [&mut p], &[Tensor::from_vec(vec![42.0], &[1])]);
-        assert!((p.data()[0] + 0.01).abs() < 1e-4, "step was {}", p.data()[0]);
+        assert!(
+            (p.data()[0] + 0.01).abs() < 1e-4,
+            "step was {}",
+            p.data()[0]
+        );
     }
 
     #[test]
@@ -166,7 +178,10 @@ mod tests {
 
     #[test]
     fn clip_scales_down_only_when_needed() {
-        let mut grads = vec![Tensor::from_vec(vec![3.0], &[1]), Tensor::from_vec(vec![4.0], &[1])];
+        let mut grads = vec![
+            Tensor::from_vec(vec![3.0], &[1]),
+            Tensor::from_vec(vec![4.0], &[1]),
+        ];
         let norm = clip_global_norm(&mut grads, 1.0);
         assert!((norm - 5.0).abs() < 1e-6);
         let clipped: f32 = grads.iter().map(|g| g.norm().powi(2)).sum::<f32>().sqrt();

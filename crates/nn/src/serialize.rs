@@ -73,7 +73,7 @@ mod tests {
     fn load_into_copies_values() {
         let mut t = Tensor::zeros(&[2]);
         let l = Tensor::from_vec(vec![7.0, 8.0], &[2]);
-        load_into(&mut [&mut t], &[l.clone()]).unwrap();
+        load_into(&mut [&mut t], std::slice::from_ref(&l)).unwrap();
         assert_eq!(t, l);
     }
 

@@ -8,41 +8,127 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Maximum tensor rank (conv activations `[B, C, H, W]` are the deepest
+/// shapes in the system).
+pub const MAX_RANK: usize = 4;
+
+/// An inline (non-allocating) shape: up to [`MAX_RANK`] dimensions.
+///
+/// Shapes used to be `Vec<usize>`, which made every gradient temporary
+/// pay a second heap allocation its data buffer pool couldn't absorb;
+/// inlining them is what lets the reused-graph training loop reach zero
+/// steady-state allocations.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    /// Build from a dims slice (panics above [`MAX_RANK`]).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut s = Shape {
+            dims: [0; MAX_RANK],
+            rank: dims.len() as u8,
+        };
+        s.dims[..dims.len()].copy_from_slice(dims);
+        s
+    }
+
+    /// The dimensions.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    /// Total element count.
+    pub fn volume(&self) -> usize {
+        self.as_slice().iter().product()
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl Serialize for Shape {
+    fn to_value(&self) -> serde::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl Deserialize for Shape {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let dims: Vec<usize> = Deserialize::from_value(v)?;
+        if dims.len() > MAX_RANK {
+            return Err(serde::Error::custom(format!(
+                "shape rank {} exceeds MAX_RANK {MAX_RANK}",
+                dims.len()
+            )));
+        }
+        Ok(Shape::new(&dims))
+    }
+}
+
 /// A dense row-major tensor of `f32`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     data: Vec<f32>,
-    shape: Vec<usize>,
+    shape: Shape,
 }
 
 impl Tensor {
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { data: vec![0.0; n], shape: shape.to_vec() }
+        Tensor {
+            data: vec![0.0; n],
+            shape: Shape::new(shape),
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { data: vec![value; n], shape: shape.to_vec() }
+        Tensor {
+            data: vec![value; n],
+            shape: Shape::new(shape),
+        }
     }
 
     /// Build from data and shape; panics when lengths disagree.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(data.len(), n, "data length {} != shape volume {}", data.len(), n);
-        Tensor { data, shape: shape.to_vec() }
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} != shape volume {}",
+            data.len(),
+            n
+        );
+        Tensor {
+            data,
+            shape: Shape::new(shape),
+        }
     }
 
     /// A 1-element scalar tensor.
     pub fn scalar(v: f32) -> Self {
-        Tensor { data: vec![v], shape: vec![1] }
+        Tensor {
+            data: vec![v],
+            shape: Shape::new(&[1]),
+        }
     }
 
     /// The shape.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Total number of elements.
@@ -73,33 +159,50 @@ impl Tensor {
 
     /// Rows of a 2-D tensor.
     pub fn rows(&self) -> usize {
-        assert_eq!(self.shape.len(), 2, "rows() requires 2-D");
-        self.shape[0]
+        assert_eq!(self.shape.as_slice().len(), 2, "rows() requires 2-D");
+        self.shape.as_slice()[0]
     }
 
     /// Columns of a 2-D tensor.
     pub fn cols(&self) -> usize {
-        assert_eq!(self.shape.len(), 2, "cols() requires 2-D");
-        self.shape[1]
+        assert_eq!(self.shape.as_slice().len(), 2, "cols() requires 2-D");
+        self.shape.as_slice()[1]
     }
 
     /// Element accessor for 2-D tensors.
     pub fn at(&self, r: usize, c: usize) -> f32 {
-        debug_assert_eq!(self.shape.len(), 2);
-        self.data[r * self.shape[1] + c]
+        debug_assert_eq!(self.shape.as_slice().len(), 2);
+        self.data[r * self.shape.as_slice()[1] + c]
     }
 
     /// Mutable element accessor for 2-D tensors.
     pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
-        debug_assert_eq!(self.shape.len(), 2);
-        &mut self.data[r * self.shape[1] + c]
+        debug_assert_eq!(self.shape.as_slice().len(), 2);
+        &mut self.data[r * self.shape.as_slice()[1] + c]
     }
 
     /// Same data, different shape (must preserve volume).
     pub fn reshaped(&self, shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
         assert_eq!(n, self.len(), "reshape must preserve volume");
-        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::new(shape),
+        }
+    }
+
+    /// Consume the tensor, handing its backing buffer to the caller (the
+    /// [`crate::Graph`] arena recycles buffers through this).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret in place with a different shape (volume preserved; no
+    /// copy — the owned-buffer counterpart of [`Tensor::reshaped`]).
+    pub fn set_shape(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.len(), "set_shape must preserve volume");
+        self.shape = Shape::new(shape);
     }
 
     /// Matrix product of two 2-D tensors.
@@ -107,12 +210,25 @@ impl Tensor {
     /// The `i-k-j` loop order walks both operands contiguously; large
     /// products (PPO update batches) split across rows with rayon.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
-        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
+        let mut out = Vec::new();
+        self.matmul_into(other, &mut out);
+        let (m, n) = (self.shape.as_slice()[0], other.shape.as_slice()[1]);
+        Tensor {
+            data: out,
+            shape: Shape::new(&[m, n]),
+        }
+    }
+
+    /// [`Tensor::matmul`] into a caller-supplied buffer (cleared and
+    /// resized), so arena-managed graphs can recycle allocations.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Vec<f32>) {
+        assert_eq!(self.shape.as_slice().len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape.as_slice().len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape.as_slice()[0], self.shape.as_slice()[1]);
+        let (k2, n) = (other.shape.as_slice()[0], other.shape.as_slice()[1]);
         assert_eq!(k, k2, "matmul inner dimensions {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
+        out.clear();
+        out.resize(m * n, 0.0);
 
         let row_op = |i: usize, o_row: &mut [f32]| {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -131,33 +247,106 @@ impl Tensor {
         // fork/join overhead (threshold ~1 Mflop).
         if m * k * n >= 512 * 1024 && m >= 2 {
             use rayon::prelude::*;
-            out.par_chunks_mut(n).enumerate().for_each(|(i, o_row)| row_op(i, o_row));
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, o_row)| row_op(i, o_row));
         } else {
             for (i, o_row) in out.chunks_mut(n).enumerate() {
                 row_op(i, o_row);
             }
         }
-        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// `self @ otherᵀ` without materializing the transpose: `self` is
+    /// `[m, k]`, `other` is `[n, k]`, result `[m, n]`. Used by backward
+    /// passes (`dX = dY Wᵀ`).
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Vec::new();
+        self.matmul_nt_into(other, &mut out);
+        Tensor {
+            data: out,
+            shape: Shape::new(&[self.shape.as_slice()[0], other.shape.as_slice()[0]]),
+        }
+    }
+
+    /// [`Tensor::matmul_nt`] into a caller-supplied buffer (cleared and
+    /// resized).
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Vec<f32>) {
+        assert_eq!(self.shape.as_slice().len(), 2, "matmul_nt lhs must be 2-D");
+        assert_eq!(other.shape.as_slice().len(), 2, "matmul_nt rhs must be 2-D");
+        let (m, k) = (self.shape.as_slice()[0], self.shape.as_slice()[1]);
+        let (n, k2) = (other.shape.as_slice()[0], other.shape.as_slice()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dimensions {k} vs {k2}");
+        out.clear();
+        out.resize(m * n, 0.0);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                *o = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+            }
+        }
+    }
+
+    /// `selfᵀ @ other` without materializing the transpose: `self` is
+    /// `[r, m]`, `other` is `[r, n]`, result `[m, n]`. Used by backward
+    /// passes (`dW = Xᵀ dY`).
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Vec::new();
+        self.matmul_tn_into(other, &mut out);
+        Tensor {
+            data: out,
+            shape: Shape::new(&[self.shape.as_slice()[1], other.shape.as_slice()[1]]),
+        }
+    }
+
+    /// [`Tensor::matmul_tn`] into a caller-supplied buffer (cleared and
+    /// resized).
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Vec<f32>) {
+        assert_eq!(self.shape.as_slice().len(), 2, "matmul_tn lhs must be 2-D");
+        assert_eq!(other.shape.as_slice().len(), 2, "matmul_tn rhs must be 2-D");
+        let (r, m) = (self.shape.as_slice()[0], self.shape.as_slice()[1]);
+        let (r2, n) = (other.shape.as_slice()[0], other.shape.as_slice()[1]);
+        assert_eq!(r, r2, "matmul_tn outer dimensions {r} vs {r2}");
+        out.clear();
+        out.resize(m * n, 0.0);
+        for row in 0..r {
+            let a_row = &self.data[row * m..(row + 1) * m];
+            let b_row = &other.data[row * n..(row + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
     }
 
     /// Transpose of a 2-D tensor.
     pub fn transposed(&self) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "transpose requires 2-D");
-        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(self.shape.as_slice().len(), 2, "transpose requires 2-D");
+        let (m, n) = (self.shape.as_slice()[0], self.shape.as_slice()[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor { data: out, shape: vec![n, m] }
+        Tensor {
+            data: out,
+            shape: Shape::new(&[n, m]),
+        }
     }
 
     /// Elementwise map into a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         Tensor {
             data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
+            shape: self.shape,
         }
     }
 
@@ -268,6 +457,29 @@ mod tests {
     #[test]
     fn scalar_item() {
         assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32 * 0.5 - 1.0).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32).sin()).collect(), &[4, 3]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transposed()));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32 * 0.3 - 0.7).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32).cos()).collect(), &[3, 4]);
+        assert_eq!(a.matmul_tn(&b), a.transposed().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let mut buf = vec![99.0; 16];
+        a.matmul_into(&b, &mut buf);
+        assert_eq!(buf, vec![19.0, 22.0, 43.0, 50.0]);
     }
 
     #[test]

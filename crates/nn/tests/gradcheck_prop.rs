@@ -15,7 +15,7 @@ where
     let x = g.param(input.clone());
     let loss = build(&mut g, x);
     g.backward(loss);
-    let analytic = g.grad(x);
+    let analytic = g.grad_or_zeros(x);
 
     let eps = 1e-2f32;
     for i in 0..input.len() {
@@ -98,6 +98,20 @@ proptest! {
     ) {
         // The exact loss PPO builds: masked log-softmax, selected actions,
         // ratio, clip, min, negated mean.
+        //
+        // clamp/min are piecewise-linear: central differences straddling a
+        // kink (a ratio at a clip boundary) disagree with the one-sided
+        // analytic gradient by construction, so such draws are skipped —
+        // the standard gradcheck treatment of non-differentiable points.
+        for (i, &pick) in picks.iter().enumerate() {
+            let row: Vec<f32> = (0..3).map(|j| x.at(i, j)).collect();
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = mx + row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln();
+            let ratio = (row[pick] - lse - old[i]).exp();
+            if (ratio - 0.8).abs() < 0.1 || (ratio - 1.2).abs() < 0.1 {
+                return Ok(());
+            }
+        }
         finite_diff_check(
             x,
             move |g, xv| {

@@ -112,7 +112,11 @@ impl RolloutBuffer {
         let mut next_adv = 0.0f64;
         for i in (0..n).rev() {
             let v = self.values[start + i];
-            let next_v = if i + 1 < n { self.values[start + i + 1] } else { last_value };
+            let next_v = if i + 1 < n {
+                self.values[start + i + 1]
+            } else {
+                last_value
+            };
             let delta = self.rewards[start + i] + self.gamma * next_v - v;
             next_adv = delta + self.gamma * self.lam * next_adv;
             adv[i] = next_adv;
@@ -178,9 +182,16 @@ impl RolloutBuffer {
         assert!(n > 0, "empty batch");
 
         let mean = advantages.iter().sum::<f64>() / n as f64;
-        let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
+        let var = advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / n as f64;
         let std = var.sqrt().max(1e-8);
-        let advantages: Vec<f32> = advantages.iter().map(|a| ((a - mean) / std) as f32).collect();
+        let advantages: Vec<f32> = advantages
+            .iter()
+            .map(|a| ((a - mean) / std) as f32)
+            .collect();
 
         Batch {
             obs: Tensor::from_vec(obs, &[n, obs_dim]),
@@ -260,7 +271,12 @@ mod tests {
         assert_eq!(batch.obs.shape(), &[4, 2]);
         assert_eq!(batch.masks.shape(), &[4, 3]);
         let mean: f32 = batch.advantages.iter().sum::<f32>() / 4.0;
-        let var: f32 = batch.advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+        let var: f32 = batch
+            .advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5, "mean {mean}");
         assert!((var - 1.0).abs() < 1e-3, "var {var}");
     }

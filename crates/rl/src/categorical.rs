@@ -85,7 +85,10 @@ impl<'a> MaskedCategorical<'a> {
 
 /// Build an additive mask row: 0.0 where valid, [`MASK_OFF`] where not.
 pub fn additive_mask(valid: &[bool]) -> Vec<f32> {
-    valid.iter().map(|&v| if v { 0.0 } else { MASK_OFF }).collect()
+    valid
+        .iter()
+        .map(|&v| if v { 0.0 } else { MASK_OFF })
+        .collect()
 }
 
 #[cfg(test)]

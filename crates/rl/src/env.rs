@@ -56,12 +56,24 @@ pub(crate) mod test_env {
 
     impl BanditEnv {
         pub fn new(n_actions: usize, episode_len: usize, masked: Vec<usize>) -> Self {
-            BanditEnv { n_actions, episode_len, t: 0, masked, acc: 0.0 }
+            BanditEnv {
+                n_actions,
+                episode_len,
+                t: 0,
+                masked,
+                acc: 0.0,
+            }
         }
 
         fn mask(&self) -> Vec<f32> {
             (0..self.n_actions)
-                .map(|i| if self.masked.contains(&i) { crate::categorical::MASK_OFF } else { 0.0 })
+                .map(|i| {
+                    if self.masked.contains(&i) {
+                        crate::categorical::MASK_OFF
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         }
 

@@ -28,5 +28,5 @@ pub mod sampler;
 pub use buffer::{Batch, RolloutBuffer};
 pub use categorical::MaskedCategorical;
 pub use env::{Env, StepOutcome};
-pub use ppo::{PolicyModel, Ppo, PpoConfig, UpdateStats, ValueModel};
+pub use ppo::{ActorScratch, PolicyModel, Ppo, PpoConfig, UpdateStats, ValueModel};
 pub use sampler::{collect_rollouts, RolloutStats};

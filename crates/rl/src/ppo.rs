@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use rlsched_nn::{clip_global_norm, Adam, Graph, ParamBinds, Tensor, Var};
+use rlsched_nn::{clip_global_norm, Adam, Graph, ParamBinds, Scratch, Tensor, Var};
 
 use crate::buffer::Batch;
 use crate::categorical::MaskedCategorical;
@@ -21,6 +21,25 @@ pub trait PolicyModel {
     /// `mask` is `[batch, n_actions]` additive (0 valid / ~-1e9 invalid);
     /// the result must be `[batch, n_actions]` log-probabilities.
     fn log_probs(&self, g: &mut Graph, obs: Var, mask: Var, binds: &mut ParamBinds) -> Var;
+
+    /// Inference fast path: write the masked log-prob row for one
+    /// observation into `out`, with no tape bookkeeping.
+    ///
+    /// The default falls back to building a throwaway tape, so existing
+    /// policies keep working; models that matter override it with an
+    /// allocation-free forward over `scratch` (see `rlscheduler`'s
+    /// `PolicyNet`). Implementations must produce the same numbers as
+    /// [`PolicyModel::log_probs`] on a 1-row batch.
+    fn log_probs_fast(&self, obs: &[f32], mask: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
+        let _ = scratch;
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let o = g.input_from(obs, &[1, obs.len()]);
+        let m = g.input_from(mask, &[1, mask.len()]);
+        let lp = self.log_probs(&mut g, o, m, &mut binds);
+        out.clear();
+        out.extend_from_slice(g.value(lp).data());
+    }
 
     /// Parameter tensors in bind order.
     fn params(&self) -> Vec<&Tensor>;
@@ -39,11 +58,46 @@ pub trait ValueModel {
     /// Build the forward pass; result must be `[batch, 1]`.
     fn values(&self, g: &mut Graph, obs: Var, binds: &mut ParamBinds) -> Var;
 
+    /// Inference fast path: the state value of one observation with no
+    /// tape bookkeeping. Default falls back to a throwaway tape; override
+    /// with an allocation-free forward (must match [`ValueModel::values`]
+    /// on a 1-row batch).
+    fn value_fast(&self, obs: &[f32], scratch: &mut Scratch) -> f64 {
+        let _ = scratch;
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let o = g.input_from(obs, &[1, obs.len()]);
+        let v = self.values(&mut g, o, &mut binds);
+        g.value(v).data()[0] as f64
+    }
+
     /// Parameter tensors in bind order.
     fn params(&self) -> Vec<&Tensor>;
 
     /// Mutable parameter access in the same order.
     fn params_mut(&mut self) -> Vec<&mut Tensor>;
+}
+
+/// Per-worker reusable buffers for the inference fast path: network
+/// scratch plus the log-prob row. One per rollout worker; reused across
+/// every step of every episode.
+#[derive(Debug, Default)]
+pub struct ActorScratch {
+    /// Layer scratch for the underlying networks.
+    pub nn: Scratch,
+    logp: Vec<f32>,
+}
+
+impl ActorScratch {
+    /// Fresh scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recently computed log-prob row.
+    pub fn logp(&self) -> &[f32] {
+        &self.logp
+    }
 }
 
 /// PPO hyperparameters. Defaults follow §V-A of the paper (lr 1e-3, 80
@@ -137,11 +191,31 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
         let pi_opt = Adam::new(cfg.pi_lr);
         let vf_opt = Adam::new(cfg.vf_lr);
         let update_rng = rand::rngs::StdRng::seed_from_u64(cfg.update_seed);
-        Ppo { policy, value, cfg, pi_opt, vf_opt, update_rng }
+        Ppo {
+            policy,
+            value,
+            cfg,
+            pi_opt,
+            vf_opt,
+            update_rng,
+        }
     }
 
-    /// Forward the policy on a single observation; returns the log-prob row.
+    /// Forward the policy on a single observation via the inference fast
+    /// path; returns the log-prob row (allocates — prefer
+    /// [`Ppo::select_with`]/[`Ppo::greedy_with`] in loops).
     pub fn logp_row(&self, obs: &[f32], mask: &[f32]) -> Vec<f32> {
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        self.policy
+            .log_probs_fast(obs, mask, &mut scratch, &mut out);
+        out
+    }
+
+    /// Forward the policy through the full autodiff tape (the training
+    /// graph). Kept for gradient work and as the benchmark baseline the
+    /// fast path is measured against.
+    pub fn logp_row_tape(&self, obs: &[f32], mask: &[f32]) -> Vec<f32> {
         let mut g = Graph::new();
         let mut binds = ParamBinds::new();
         let o = g.input(Tensor::from_vec(obs.to_vec(), &[1, obs.len()]));
@@ -150,52 +224,100 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
         g.value(lp).data().to_vec()
     }
 
-    /// Forward the critic on a single observation.
+    /// Forward the critic on a single observation (fast path).
     pub fn value_of(&self, obs: &[f32]) -> f64 {
-        let mut g = Graph::new();
-        let mut binds = ParamBinds::new();
-        let o = g.input(Tensor::from_vec(obs.to_vec(), &[1, obs.len()]));
-        let v = self.value.values(&mut g, o, &mut binds);
-        g.value(v).data()[0] as f64
+        self.value.value_fast(obs, &mut Scratch::new())
     }
 
     /// Sample an action (training path). Returns `(action, logp, value)`.
+    /// Allocates per call; rollout loops should hold an [`ActorScratch`]
+    /// and use [`Ppo::select_with`].
     pub fn select<R: Rng + ?Sized>(
         &self,
         obs: &[f32],
         mask: &[f32],
         rng: &mut R,
     ) -> (usize, f32, f64) {
-        let logp = self.logp_row(obs, mask);
-        let dist = MaskedCategorical::new(&logp);
+        self.select_with(obs, mask, &mut ActorScratch::new(), rng)
+    }
+
+    /// Sample an action through caller-owned scratch: zero allocation at
+    /// steady state. Returns `(action, logp, value)`.
+    pub fn select_with<R: Rng + ?Sized>(
+        &self,
+        obs: &[f32],
+        mask: &[f32],
+        scratch: &mut ActorScratch,
+        rng: &mut R,
+    ) -> (usize, f32, f64) {
+        self.policy
+            .log_probs_fast(obs, mask, &mut scratch.nn, &mut scratch.logp);
+        let dist = MaskedCategorical::new(&scratch.logp);
         let a = dist.sample(rng);
-        (a, dist.log_prob(a), self.value_of(obs))
+        let logp = dist.log_prob(a);
+        let v = self.value.value_fast(obs, &mut scratch.nn);
+        (a, logp, v)
     }
 
     /// Deterministic argmax action (testing path, §IV-B1).
     pub fn greedy(&self, obs: &[f32], mask: &[f32]) -> usize {
-        let logp = self.logp_row(obs, mask);
+        self.greedy_with(obs, mask, &mut ActorScratch::new())
+    }
+
+    /// Argmax action through caller-owned scratch (zero allocation at
+    /// steady state) — the scheduling-decision hot path of Table IX.
+    pub fn greedy_with(&self, obs: &[f32], mask: &[f32], scratch: &mut ActorScratch) -> usize {
+        self.policy
+            .log_probs_fast(obs, mask, &mut scratch.nn, &mut scratch.logp);
+        MaskedCategorical::new(&scratch.logp).argmax()
+    }
+
+    /// Argmax action through the full tape (benchmark baseline).
+    pub fn greedy_tape(&self, obs: &[f32], mask: &[f32]) -> usize {
+        let logp = self.logp_row_tape(obs, mask);
         MaskedCategorical::new(&logp).argmax()
     }
 
-    /// Pick the working set for one update iteration: the whole batch, or
-    /// a random minibatch when configured and the batch is larger.
-    fn iteration_view(&mut self, batch: &Batch) -> MiniView {
+    /// Pick the working set for one update iteration: borrowed slices of
+    /// the whole batch, or a random minibatch refilled into `mb`'s
+    /// reusable buffers when configured and the batch is larger.
+    fn iteration_view<'a>(&mut self, batch: &'a Batch, mb: &'a mut MiniBuf) -> ViewRef<'a> {
         let n = batch.len();
         match self.cfg.minibatch {
-            Some(mb) if mb < n => {
+            Some(size) if size < n => {
                 use rand::Rng;
-                let idx: Vec<usize> =
-                    (0..mb).map(|_| self.update_rng.gen_range(0..n)).collect();
-                MiniView::subset(batch, &idx)
+                mb.fill(batch, size, |hi| self.update_rng.gen_range(0..hi));
+                ViewRef {
+                    obs: &mb.obs,
+                    masks: &mb.masks,
+                    actions: &mb.actions,
+                    advantages: &mb.advantages,
+                    returns: &mb.returns,
+                    logp_old: &mb.logp_old,
+                }
             }
-            _ => MiniView::full(batch),
+            _ => ViewRef {
+                obs: batch.obs.data(),
+                masks: batch.masks.data(),
+                actions: &batch.actions,
+                advantages: &batch.advantages,
+                returns: &batch.returns,
+                logp_old: &batch.logp_old,
+            },
         }
     }
 
     /// One PPO update over a collected batch.
+    ///
+    /// One [`Graph`] arena serves every iteration: [`Graph::reset`]
+    /// recycles all tape buffers between iterations, minibatch rows are
+    /// gathered into reusable buffers, and gradients are moved (not
+    /// cloned) out of the tape — at steady state the loop performs no
+    /// per-iteration heap allocation beyond the op metadata.
     pub fn update(&mut self, batch: &Batch) -> UpdateStats {
         assert!(!batch.is_empty(), "cannot update on an empty batch");
+        let obs_dim = batch.obs.cols();
+        let n_actions = batch.masks.cols();
 
         let mut pi_loss_before = 0.0;
         let mut pi_loss_after = 0.0;
@@ -203,22 +325,26 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
         let mut approx_kl = 0.0;
         let mut pi_iters = 0;
 
+        let mut g = Graph::new();
+        let mut binds = ParamBinds::new();
+        let mut mb = MiniBuf::default();
+
         let eps = self.cfg.clip_ratio;
         for it in 0..self.cfg.train_pi_iters {
-            let view = self.iteration_view(batch);
+            let view = self.iteration_view(batch, &mut mb);
             let n = view.actions.len();
-            let mut g = Graph::new();
-            let mut binds = ParamBinds::new();
-            let o = g.input(view.obs);
-            let m = g.input(view.masks);
+            g.reset();
+            binds.clear();
+            let o = g.input_from(view.obs, &[n, obs_dim]);
+            let m = g.input_from(view.masks, &[n, n_actions]);
             let logp_all = self.policy.log_probs(&mut g, o, m, &mut binds);
-            let logp = g.select_cols(logp_all, &view.actions);
+            let logp = g.select_cols(logp_all, view.actions);
 
             // ratio = exp(logp − logp_old)
-            let old = g.input(Tensor::from_vec(view.logp_old.clone(), &[n]));
+            let old = g.input_from(view.logp_old, &[n]);
             let diff = g.sub(logp, old);
             let ratio = g.exp(diff);
-            let advv = g.input(Tensor::from_vec(view.advantages, &[n]));
+            let advv = g.input_from(view.advantages, &[n]);
             let surr1 = g.mul(ratio, advv);
             let clipped = g.clamp(ratio, 1.0 - eps, 1.0 + eps);
             let surr2 = g.mul(clipped, advv);
@@ -254,7 +380,7 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             }
             g.backward(loss);
             pi_loss_after = g.value(loss).item();
-            let mut grads = binds.grads(&g);
+            let mut grads = binds.take_grads(&mut g);
             if let Some(mx) = self.cfg.max_grad_norm {
                 clip_global_norm(&mut grads, mx);
             }
@@ -265,13 +391,13 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
         let mut v_loss_before = 0.0;
         let mut v_loss_after = 0.0;
         for it in 0..self.cfg.train_v_iters {
-            let view = self.iteration_view(batch);
+            let view = self.iteration_view(batch, &mut mb);
             let n = view.actions.len();
-            let mut g = Graph::new();
-            let mut binds = ParamBinds::new();
-            let o = g.input(view.obs);
+            g.reset();
+            binds.clear();
+            let o = g.input_from(view.obs, &[n, obs_dim]);
             let v = self.value.values(&mut g, o, &mut binds);
-            let r = g.input(Tensor::from_vec(view.returns, &[n, 1]));
+            let r = g.input_from(view.returns, &[n, 1]);
             let d = g.sub(v, r);
             let sq = g.mul(d, d);
             let loss = g.mean(sq);
@@ -280,7 +406,7 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             }
             g.backward(loss);
             v_loss_after = g.value(loss).item();
-            let mut grads = binds.grads(&g);
+            let mut grads = binds.take_grads(&mut g);
             if let Some(mx) = self.cfg.max_grad_norm {
                 clip_global_norm(&mut grads, mx);
             }
@@ -299,52 +425,51 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
     }
 }
 
-/// One update iteration's working set (full batch or minibatch).
-struct MiniView {
-    obs: Tensor,
-    masks: Tensor,
+/// Borrowed view of one update iteration's working set.
+struct ViewRef<'a> {
+    obs: &'a [f32],
+    masks: &'a [f32],
+    actions: &'a [usize],
+    advantages: &'a [f32],
+    returns: &'a [f32],
+    logp_old: &'a [f32],
+}
+
+/// Reusable minibatch gather buffers (filled once per iteration, never
+/// reallocated at steady state).
+#[derive(Default)]
+struct MiniBuf {
+    obs: Vec<f32>,
+    masks: Vec<f32>,
     actions: Vec<usize>,
     advantages: Vec<f32>,
     returns: Vec<f32>,
     logp_old: Vec<f32>,
 }
 
-impl MiniView {
-    fn full(batch: &Batch) -> Self {
-        MiniView {
-            obs: batch.obs.clone(),
-            masks: batch.masks.clone(),
-            actions: batch.actions.clone(),
-            advantages: batch.advantages.clone(),
-            returns: batch.returns.clone(),
-            logp_old: batch.logp_old.clone(),
-        }
-    }
-
-    fn subset(batch: &Batch, idx: &[usize]) -> Self {
+impl MiniBuf {
+    /// Gather `size` random rows of `batch` (with replacement, drawn via
+    /// `draw(n)`) into the buffers.
+    fn fill(&mut self, batch: &Batch, size: usize, mut draw: impl FnMut(usize) -> usize) {
         let obs_dim = batch.obs.cols();
         let n_actions = batch.masks.cols();
-        let mut obs = Vec::with_capacity(idx.len() * obs_dim);
-        let mut masks = Vec::with_capacity(idx.len() * n_actions);
-        let mut actions = Vec::with_capacity(idx.len());
-        let mut advantages = Vec::with_capacity(idx.len());
-        let mut returns = Vec::with_capacity(idx.len());
-        let mut logp_old = Vec::with_capacity(idx.len());
-        for &i in idx {
-            obs.extend_from_slice(&batch.obs.data()[i * obs_dim..(i + 1) * obs_dim]);
-            masks.extend_from_slice(&batch.masks.data()[i * n_actions..(i + 1) * n_actions]);
-            actions.push(batch.actions[i]);
-            advantages.push(batch.advantages[i]);
-            returns.push(batch.returns[i]);
-            logp_old.push(batch.logp_old[i]);
-        }
-        MiniView {
-            obs: Tensor::from_vec(obs, &[idx.len(), obs_dim]),
-            masks: Tensor::from_vec(masks, &[idx.len(), n_actions]),
-            actions,
-            advantages,
-            returns,
-            logp_old,
+        let n = batch.len();
+        self.obs.clear();
+        self.masks.clear();
+        self.actions.clear();
+        self.advantages.clear();
+        self.returns.clear();
+        self.logp_old.clear();
+        for _ in 0..size {
+            let i = draw(n);
+            self.obs
+                .extend_from_slice(&batch.obs.data()[i * obs_dim..(i + 1) * obs_dim]);
+            self.masks
+                .extend_from_slice(&batch.masks.data()[i * n_actions..(i + 1) * n_actions]);
+            self.actions.push(batch.actions[i]);
+            self.advantages.push(batch.advantages[i]);
+            self.returns.push(batch.returns[i]);
+            self.logp_old.push(batch.logp_old[i]);
         }
     }
 }
@@ -378,7 +503,12 @@ mod tests {
         fn new(obs_dim: usize, n_actions: usize, seed: u64) -> Self {
             let mut rng = StdRng::seed_from_u64(seed);
             MlpPolicy {
-                net: Mlp::new(&[obs_dim, 16, n_actions], Activation::Tanh, Activation::Identity, &mut rng),
+                net: Mlp::new(
+                    &[obs_dim, 16, n_actions],
+                    Activation::Tanh,
+                    Activation::Identity,
+                    &mut rng,
+                ),
             }
         }
     }
@@ -405,7 +535,12 @@ mod tests {
         fn new(obs_dim: usize, seed: u64) -> Self {
             let mut rng = StdRng::seed_from_u64(seed);
             MlpValue {
-                net: Mlp::new(&[obs_dim, 16, 1], Activation::Tanh, Activation::Identity, &mut rng),
+                net: Mlp::new(
+                    &[obs_dim, 16, 1],
+                    Activation::Tanh,
+                    Activation::Identity,
+                    &mut rng,
+                ),
             }
         }
     }
@@ -423,7 +558,11 @@ mod tests {
     }
 
     fn agent(n_actions: usize) -> Ppo<MlpPolicy, MlpValue> {
-        let cfg = PpoConfig { train_pi_iters: 20, train_v_iters: 20, ..PpoConfig::default() };
+        let cfg = PpoConfig {
+            train_pi_iters: 20,
+            train_v_iters: 20,
+            ..PpoConfig::default()
+        };
         Ppo::new(MlpPolicy::new(2, n_actions, 1), MlpValue::new(2, 2), cfg)
     }
 
@@ -519,7 +658,10 @@ mod tests {
         let stats = ppo.update(&batch);
         assert!(stats.pi_iters >= 1);
         assert!(stats.entropy > 0.0 && stats.entropy <= (3.0f32).ln() + 1e-4);
-        assert!(stats.v_loss_after <= stats.v_loss_before, "value net must improve on its batch");
+        assert!(
+            stats.v_loss_after <= stats.v_loss_before,
+            "value net must improve on its batch"
+        );
         assert!(stats.approx_kl.is_finite());
     }
 

@@ -4,7 +4,10 @@
 //! trajectories of 256 scheduling decisions, §V-A). Episodes are
 //! independent given the frozen policy, so they parallelize perfectly:
 //! every environment rolls out on its own rayon task with a thread-local
-//! RNG, and the per-episode buffers merge into one normalized batch.
+//! RNG and a per-worker [`crate::ppo::ActorScratch`] (action selection
+//! runs through the allocation-free inference fast path, not the
+//! autodiff tape), and the per-episode buffers merge into one normalized
+//! batch.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,10 +54,13 @@ where
 {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut buf = RolloutBuffer::new(env.obs_dim(), env.n_actions(), ppo.cfg.gamma, ppo.cfg.lam);
+    // One scratch per worker-episode: every action selection inside the
+    // episode runs through the allocation-free inference fast path.
+    let mut scratch = crate::ppo::ActorScratch::new();
     let (mut obs, mut mask) = env.reset(seed);
     let mut ep_return = 0.0;
     let metric = loop {
-        let (a, logp, v) = ppo.select(&obs, &mask, &mut rng);
+        let (a, logp, v) = ppo.select_with(&obs, &mask, &mut scratch, &mut rng);
         let out = env.step(a);
         buf.store(&obs, &mask, a, out.reward, v, logp);
         ep_return += out.reward;
@@ -151,8 +157,18 @@ mod tests {
     fn make_ppo() -> Ppo<P, C> {
         let mut rng = StdRng::seed_from_u64(5);
         Ppo::new(
-            P(Mlp::new(&[2, 8, 3], Activation::Tanh, Activation::Identity, &mut rng)),
-            C(Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, &mut rng)),
+            P(Mlp::new(
+                &[2, 8, 3],
+                Activation::Tanh,
+                Activation::Identity,
+                &mut rng,
+            )),
+            C(Mlp::new(
+                &[2, 8, 1],
+                Activation::Tanh,
+                Activation::Identity,
+                &mut rng,
+            )),
             PpoConfig::default(),
         )
     }
@@ -211,7 +227,12 @@ mod tests {
             metrics: vec![2.0, 4.0],
         };
         assert_eq!(stats.mean_metric(), 3.0);
-        let empty = RolloutStats { episodes: 0, steps: 0, mean_return: 0.0, metrics: vec![] };
+        let empty = RolloutStats {
+            episodes: 0,
+            steps: 0,
+            mean_return: 0.0,
+            metrics: vec![],
+        };
         assert_eq!(empty.mean_metric(), 0.0);
     }
 }

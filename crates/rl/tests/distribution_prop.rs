@@ -31,9 +31,9 @@ proptest! {
             g[i] = acc;
         }
         // returns must equal rewards-to-go
-        for i in 0..n {
-            prop_assert!((batch.returns[i] as f64 - g[i]).abs() < 1e-3,
-                "return[{}] {} vs {}", i, batch.returns[i], g[i]);
+        for (i, (&r, &gi)) in batch.returns.iter().zip(&g).enumerate() {
+            prop_assert!((r as f64 - gi).abs() < 1e-3,
+                "return[{}] {} vs {}", i, r, gi);
         }
     }
 

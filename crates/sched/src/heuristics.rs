@@ -254,7 +254,10 @@ mod tests {
         ];
         let v = view_of(&jobs, 0.0, 4, 4);
         assert_eq!(PriorityScheduler::new(HeuristicKind::Ljf).select(&v), 0);
-        assert_eq!(PriorityScheduler::new(HeuristicKind::SmallestFirst).select(&v), 0);
+        assert_eq!(
+            PriorityScheduler::new(HeuristicKind::SmallestFirst).select(&v),
+            0
+        );
     }
 
     #[test]
@@ -285,7 +288,7 @@ mod tests {
                     i + 1,
                     (i as f64) * 7.0,
                     30.0 + (i % 7) as f64 * 100.0,
-                    1 + (i % 4) as u32,
+                    1 + (i % 4),
                     40.0 + (i % 7) as f64 * 110.0,
                 )
             })

@@ -14,7 +14,9 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// Build from a seed.
     pub fn new(seed: u64) -> Self {
-        RandomPolicy { rng: StdRng::seed_from_u64(seed) }
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -36,7 +38,15 @@ mod tests {
 
     fn mk_trace() -> JobTrace {
         let jobs = (0..30)
-            .map(|i| Job::new(i + 1, i as f64 * 5.0, 20.0 + (i % 5) as f64 * 30.0, 1 + (i % 3) as u32, 50.0))
+            .map(|i| {
+                Job::new(
+                    i + 1,
+                    i as f64 * 5.0,
+                    20.0 + (i % 5) as f64 * 30.0,
+                    1 + (i % 3),
+                    50.0,
+                )
+            })
             .collect();
         JobTrace::new(jobs, 4)
     }

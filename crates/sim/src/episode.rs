@@ -18,7 +18,10 @@ pub fn run_episode<P: Policy + ?Sized>(
     let mut session = SchedSession::new(trace, cfg)?;
     while !session.done() {
         let view = session.view();
-        debug_assert!(!view.waiting.is_empty(), "decision points always have waiting jobs");
+        debug_assert!(
+            !view.waiting.is_empty(),
+            "decision points always have waiting jobs"
+        );
         let pos = policy.select(&view);
         session.step(pos)?;
     }
@@ -50,10 +53,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    a.job
-                        .time_bound()
-                        .partial_cmp(&b.job.time_bound())
-                        .unwrap()
+                    a.job.time_bound().partial_cmp(&b.job.time_bound()).unwrap()
                 })
                 .map(|(i, _)| i)
                 .unwrap()

@@ -40,9 +40,16 @@ impl fmt::Display for SimError {
         match self {
             SimError::EmptyQueue => write!(f, "step called with an empty wait queue"),
             SimError::BadQueuePosition { pos, queue_len } => {
-                write!(f, "queue position {pos} out of range (queue has {queue_len} jobs)")
+                write!(
+                    f,
+                    "queue position {pos} out of range (queue has {queue_len} jobs)"
+                )
             }
-            SimError::JobTooLarge { job_index, procs, cluster } => write!(
+            SimError::JobTooLarge {
+                job_index,
+                procs,
+                cluster,
+            } => write!(
                 f,
                 "job #{job_index} requests {procs} processors but the cluster has only {cluster}"
             ),
@@ -63,13 +70,23 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_numbers() {
-        let e = SimError::BadQueuePosition { pos: 9, queue_len: 3 };
+        let e = SimError::BadQueuePosition {
+            pos: 9,
+            queue_len: 3,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('3'));
-        let e = SimError::JobTooLarge { job_index: 1, procs: 100, cluster: 64 };
+        let e = SimError::JobTooLarge {
+            job_index: 1,
+            procs: 100,
+            cluster: 64,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("64"));
-        let e = SimError::NotDone { scheduled: 2, total: 5 };
+        let e = SimError::NotDone {
+            scheduled: 2,
+            total: 5,
+        };
         assert!(e.to_string().contains("2/5"));
     }
 }

@@ -106,7 +106,10 @@ pub struct EpisodeMetrics {
 impl EpisodeMetrics {
     /// Assemble metrics from per-job outcomes and the cluster size.
     pub fn new(outcomes: Vec<JobOutcome>, total_procs: u32) -> Self {
-        EpisodeMetrics { outcomes, total_procs }
+        EpisodeMetrics {
+            outcomes,
+            total_procs,
+        }
     }
 
     /// Per-job outcomes, in trace order.
@@ -227,7 +230,14 @@ mod tests {
     use super::*;
 
     fn outcome(submit: f64, start: f64, end: f64, procs: u32, user: i64) -> JobOutcome {
-        JobOutcome { job_index: 0, submit, start, end, procs, user }
+        JobOutcome {
+            job_index: 0,
+            submit,
+            start,
+            end,
+            procs,
+            user,
+        }
     }
 
     #[test]
@@ -270,7 +280,10 @@ mod tests {
     fn utilization_full_cluster() {
         // Two jobs back to back occupying the whole 4-proc cluster.
         let m = EpisodeMetrics::new(
-            vec![outcome(0.0, 0.0, 50.0, 4, 1), outcome(0.0, 50.0, 100.0, 4, 1)],
+            vec![
+                outcome(0.0, 0.0, 50.0, 4, 1),
+                outcome(0.0, 50.0, 100.0, 4, 1),
+            ],
             4,
         );
         assert!((m.utilization() - 1.0).abs() < 1e-12);
@@ -304,7 +317,10 @@ mod tests {
         assert_eq!(m.metric(MetricKind::WaitTime), m.avg_waiting_time());
         assert_eq!(m.metric(MetricKind::Turnaround), m.avg_turnaround());
         assert_eq!(m.metric(MetricKind::Slowdown), m.avg_slowdown());
-        assert_eq!(m.metric(MetricKind::BoundedSlowdown), m.avg_bounded_slowdown());
+        assert_eq!(
+            m.metric(MetricKind::BoundedSlowdown),
+            m.avg_bounded_slowdown()
+        );
         assert_eq!(m.metric(MetricKind::Utilization), m.utilization());
         assert_eq!(
             m.metric(MetricKind::FairMaxBoundedSlowdown),

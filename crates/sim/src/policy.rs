@@ -85,7 +85,12 @@ mod tests {
 
     #[test]
     fn free_fraction() {
-        let v = QueueView { time: 0.0, free_procs: 16, total_procs: 64, waiting: vec![] };
+        let v = QueueView {
+            time: 0.0,
+            free_procs: 16,
+            total_procs: 64,
+            waiting: vec![],
+        };
         assert!((v.free_fraction() - 0.25).abs() < 1e-12);
     }
 
@@ -96,7 +101,12 @@ mod tests {
             time: 0.0,
             free_procs: 1,
             total_procs: 1,
-            waiting: vec![WaitingJob { job: &job, job_index: 0, wait: 0.0, can_run_now: true }],
+            waiting: vec![WaitingJob {
+                job: &job,
+                job_index: 0,
+                wait: 0.0,
+                can_run_now: true,
+            }],
         };
         let mut p = Head;
         let by_ref: &mut Head = &mut p;

@@ -25,9 +25,7 @@ use crate::metrics::{EpisodeMetrics, JobOutcome};
 use crate::policy::{QueueView, WaitingJob};
 
 /// Whether the simulator backfills around a blocked reservation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum BackfillMode {
     /// No backfilling: while the selected job waits for resources, the queue
     /// simply waits with it.
@@ -50,12 +48,16 @@ pub struct SimConfig {
 impl SimConfig {
     /// Configuration with EASY backfilling enabled.
     pub fn with_backfill() -> Self {
-        SimConfig { backfill: BackfillMode::Easy }
+        SimConfig {
+            backfill: BackfillMode::Easy,
+        }
     }
 
     /// Configuration without backfilling.
     pub fn no_backfill() -> Self {
-        SimConfig { backfill: BackfillMode::None }
+        SimConfig {
+            backfill: BackfillMode::None,
+        }
     }
 }
 
@@ -236,7 +238,10 @@ impl SchedSession {
     fn start_job(&mut self, job_index: usize) {
         let job = &self.jobs[job_index];
         let procs = job.procs();
-        debug_assert!(procs <= self.free_procs, "start_job must only run when the job fits");
+        debug_assert!(
+            procs <= self.free_procs,
+            "start_job must only run when the job fits"
+        );
         self.free_procs -= procs;
         self.running.push(RunningJob {
             end_time: self.time + job.actual_runtime(),
@@ -257,10 +262,7 @@ impl SchedSession {
     /// running, no future arrivals).
     fn advance_one_event(&mut self) -> bool {
         let next_completion = self.running.peek().map(|r| r.end_time);
-        let next_arrival = self
-            .jobs
-            .get(self.next_arrival)
-            .map(|j| j.submit_time);
+        let next_arrival = self.jobs.get(self.next_arrival).map(|j| j.submit_time);
         let t = match (next_completion, next_arrival) {
             (Some(c), Some(a)) => c.min(a),
             (Some(c), None) => c,
@@ -346,7 +348,10 @@ impl SchedSession {
             return Err(SimError::EmptyQueue);
         }
         if pos >= self.queue.len() {
-            return Err(SimError::BadQueuePosition { pos, queue_len: self.queue.len() });
+            return Err(SimError::BadQueuePosition {
+                pos,
+                queue_len: self.queue.len(),
+            });
         }
         let job_index = self.queue.remove(pos);
 
@@ -531,15 +536,18 @@ mod tests {
         // backfill: D requests 60s but the hole is only 50s wide.
         let t = trace(
             vec![
-                Job::new(1, 0.0, 50.0, 3, 50.0),  // A: leaves 1 proc free
+                Job::new(1, 0.0, 50.0, 3, 50.0),   // A: leaves 1 proc free
                 Job::new(2, 1.0, 100.0, 4, 100.0), // B: reservation, shadow t=50
-                Job::new(3, 2.0, 60.0, 1, 60.0),  // D: fits but too long
+                Job::new(3, 2.0, 60.0, 1, 60.0),   // D: fits but too long
             ],
             4,
         );
         let m = run_fcfs(&t, SimConfig::with_backfill());
         assert_eq!(m.outcomes()[1].start, 50.0, "reservation honored");
-        assert!(m.outcomes()[2].start >= 50.0, "overlong job did not backfill");
+        assert!(
+            m.outcomes()[2].start >= 50.0,
+            "overlong job did not backfill"
+        );
     }
 
     #[test]
@@ -566,7 +574,10 @@ mod tests {
         let mut s = SchedSession::new(&t, SimConfig::default()).unwrap();
         assert!(matches!(
             s.step(3),
-            Err(SimError::BadQueuePosition { pos: 3, queue_len: 1 })
+            Err(SimError::BadQueuePosition {
+                pos: 3,
+                queue_len: 1
+            })
         ));
         s.step(0).unwrap();
         assert_eq!(s.step(0).unwrap_err(), SimError::EmptyQueue);
@@ -576,12 +587,21 @@ mod tests {
     #[test]
     fn metrics_before_done_errors() {
         let t = trace(
-            vec![Job::new(1, 0.0, 10.0, 1, 10.0), Job::new(2, 0.0, 10.0, 1, 10.0)],
+            vec![
+                Job::new(1, 0.0, 10.0, 1, 10.0),
+                Job::new(2, 0.0, 10.0, 1, 10.0),
+            ],
             4,
         );
         let mut s = SchedSession::new(&t, SimConfig::default()).unwrap();
         s.step(0).unwrap();
-        assert!(matches!(s.metrics(), Err(SimError::NotDone { scheduled: 1, total: 2 })));
+        assert!(matches!(
+            s.metrics(),
+            Err(SimError::NotDone {
+                scheduled: 1,
+                total: 2
+            })
+        ));
     }
 
     #[test]

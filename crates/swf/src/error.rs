@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn io_error_source_is_preserved() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: SwfError = io.into();
         assert!(std::error::Error::source(&e).is_some());
     }

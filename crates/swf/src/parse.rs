@@ -124,12 +124,9 @@ pub fn parse_reader<R: BufRead>(reader: R) -> Result<JobTrace, SwfError> {
         }
         jobs.push(parse_line(trimmed, lineno)?);
     }
-    let max_procs = header.max_procs().unwrap_or_else(|| {
-        jobs.iter()
-            .map(|j| j.procs())
-            .max()
-            .unwrap_or(1)
-    });
+    let max_procs = header
+        .max_procs()
+        .unwrap_or_else(|| jobs.iter().map(|j| j.procs()).max().unwrap_or(1));
     Ok(JobTrace::with_header(jobs, max_procs, header))
 }
 

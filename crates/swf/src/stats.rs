@@ -64,10 +64,7 @@ impl TraceStats {
         let req_time: Vec<f64> = jobs.iter().map(|j| j.time_bound()).collect();
         let run_time: Vec<f64> = jobs.iter().map(|j| j.actual_runtime()).collect();
         let req_procs: Vec<f64> = jobs.iter().map(|j| j.procs() as f64).collect();
-        let pow2 = jobs
-            .iter()
-            .filter(|j| j.procs().is_power_of_two())
-            .count();
+        let pow2 = jobs.iter().filter(|j| j.procs().is_power_of_two()).count();
 
         let mut per_user: HashMap<i64, usize> = HashMap::new();
         for j in jobs {

@@ -134,9 +134,7 @@ mod tests {
     fn hyper_gamma_interpolates_between_components() {
         let mut r = rng();
         let hg = HyperGamma::new(4.0, 1.0, 100.0, 1.0); // means 4 and 100
-        let m = |p: f64, r: &mut StdRng| {
-            (0..20000).map(|_| hg.sample(p, r)).sum::<f64>() / 20000.0
-        };
+        let m = |p: f64, r: &mut StdRng| (0..20000).map(|_| hg.sample(p, r)).sum::<f64>() / 20000.0;
         let m1 = m(1.0, &mut r);
         let m0 = m(0.0, &mut r);
         let mh = m(0.5, &mut r);

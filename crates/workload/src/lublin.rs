@@ -31,8 +31,8 @@ use crate::users::UserModel;
 /// mornings ramp up, afternoons peak, nights are quiet. Normalized to mean
 /// 1 in [`LublinModel::new`].
 const HOURLY_INTENSITY: [f64; 24] = [
-    0.35, 0.25, 0.20, 0.20, 0.25, 0.35, 0.55, 0.90, 1.30, 1.60, 1.75, 1.75, 1.65, 1.70, 1.75,
-    1.65, 1.55, 1.35, 1.10, 0.90, 0.75, 0.60, 0.50, 0.40,
+    0.35, 0.25, 0.20, 0.20, 0.25, 0.35, 0.55, 0.90, 1.30, 1.60, 1.75, 1.75, 1.65, 1.70, 1.75, 1.65,
+    1.55, 1.35, 1.10, 0.90, 0.75, 0.60, 0.50, 0.40,
 ];
 
 /// Parameters of the Lublin–Feitelson model.
@@ -147,7 +147,13 @@ impl LublinModel {
         for c in &mut cycle {
             *c /= mean;
         }
-        LublinModel { params, runtime, arrival, users, cycle }
+        LublinModel {
+            params,
+            runtime,
+            arrival,
+            users,
+            cycle,
+        }
     }
 
     /// The model parameters.
@@ -219,9 +225,21 @@ mod tests {
         let s = TraceStats::from_trace(&m.generate(10_000, 1));
         // Targets: it=771, rt=4862, nt=22. Structural sampling, so allow
         // generous tolerances; named.rs calibrates it/rt exactly.
-        assert!((s.mean_interarrival - 771.0).abs() / 771.0 < 0.35, "it={}", s.mean_interarrival);
-        assert!((s.mean_requested_time - 4862.0).abs() / 4862.0 < 0.35, "rt={}", s.mean_requested_time);
-        assert!((s.mean_requested_procs - 22.0).abs() / 22.0 < 0.35, "nt={}", s.mean_requested_procs);
+        assert!(
+            (s.mean_interarrival - 771.0).abs() / 771.0 < 0.35,
+            "it={}",
+            s.mean_interarrival
+        );
+        assert!(
+            (s.mean_requested_time - 4862.0).abs() / 4862.0 < 0.35,
+            "rt={}",
+            s.mean_requested_time
+        );
+        assert!(
+            (s.mean_requested_procs - 22.0).abs() / 22.0 < 0.35,
+            "nt={}",
+            s.mean_requested_procs
+        );
     }
 
     #[test]

@@ -105,14 +105,42 @@ impl NamedWorkload {
     /// Table II targets.
     pub fn targets(self) -> Table2Targets {
         match self {
-            NamedWorkload::SdscSp2 => Table2Targets { size: 128, it: 1055.0, rt: 6687.0, nt: 11.0 },
-            NamedWorkload::Hpc2n => Table2Targets { size: 240, it: 538.0, rt: 17024.0, nt: 6.0 },
-            NamedWorkload::PikIplex => Table2Targets { size: 2560, it: 140.0, rt: 30889.0, nt: 12.0 },
-            NamedWorkload::AnlIntrepid => {
-                Table2Targets { size: 163_840, it: 301.0, rt: 5176.0, nt: 5063.0 }
-            }
-            NamedWorkload::Lublin1 => Table2Targets { size: 256, it: 771.0, rt: 4862.0, nt: 22.0 },
-            NamedWorkload::Lublin2 => Table2Targets { size: 256, it: 460.0, rt: 1695.0, nt: 39.0 },
+            NamedWorkload::SdscSp2 => Table2Targets {
+                size: 128,
+                it: 1055.0,
+                rt: 6687.0,
+                nt: 11.0,
+            },
+            NamedWorkload::Hpc2n => Table2Targets {
+                size: 240,
+                it: 538.0,
+                rt: 17024.0,
+                nt: 6.0,
+            },
+            NamedWorkload::PikIplex => Table2Targets {
+                size: 2560,
+                it: 140.0,
+                rt: 30889.0,
+                nt: 12.0,
+            },
+            NamedWorkload::AnlIntrepid => Table2Targets {
+                size: 163_840,
+                it: 301.0,
+                rt: 5176.0,
+                nt: 5063.0,
+            },
+            NamedWorkload::Lublin1 => Table2Targets {
+                size: 256,
+                it: 771.0,
+                rt: 4862.0,
+                nt: 22.0,
+            },
+            NamedWorkload::Lublin2 => Table2Targets {
+                size: 256,
+                it: 460.0,
+                rt: 1695.0,
+                nt: 39.0,
+            },
         }
     }
 
@@ -143,7 +171,10 @@ impl NamedWorkload {
 fn sdsc_sp2_params() -> TraceAlikeParams {
     TraceAlikeParams {
         cluster_size: 128,
-        arrival: ArrivalProcess::LogNormal { mean: 1055.0, cv: 2.6 },
+        arrival: ArrivalProcess::LogNormal {
+            mean: 1055.0,
+            cv: 2.6,
+        },
         runtime_mean: 9500.0,
         runtime_cv: 2.2,
         short_frac: 0.30,
@@ -171,7 +202,10 @@ fn sdsc_sp2_params() -> TraceAlikeParams {
 fn hpc2n_params() -> TraceAlikeParams {
     TraceAlikeParams {
         cluster_size: 240,
-        arrival: ArrivalProcess::LogNormal { mean: 538.0, cv: 2.2 },
+        arrival: ArrivalProcess::LogNormal {
+            mean: 538.0,
+            cv: 2.2,
+        },
         runtime_mean: 22600.0,
         runtime_cv: 2.2,
         short_frac: 0.25,
@@ -244,7 +278,10 @@ fn pik_params() -> TraceAlikeParams {
 fn anl_params() -> TraceAlikeParams {
     TraceAlikeParams {
         cluster_size: 163_840,
-        arrival: ArrivalProcess::LogNormal { mean: 301.0, cv: 2.0 },
+        arrival: ArrivalProcess::LogNormal {
+            mean: 301.0,
+            cv: 2.0,
+        },
         runtime_mean: 6800.0,
         runtime_cv: 1.5,
         short_frac: 0.25,
@@ -400,7 +437,10 @@ mod tests {
         for w in NamedWorkload::all() {
             assert_eq!(NamedWorkload::from_name(w.name()), Some(w));
         }
-        assert_eq!(NamedWorkload::from_name("pik"), Some(NamedWorkload::PikIplex));
+        assert_eq!(
+            NamedWorkload::from_name("pik"),
+            Some(NamedWorkload::PikIplex)
+        );
         assert_eq!(NamedWorkload::from_name("nonesuch"), None);
     }
 

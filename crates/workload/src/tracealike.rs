@@ -109,12 +109,20 @@ impl TraceAlikeModel {
             "menu sizes must fit the cluster and have non-negative weights"
         );
         assert!(params.overestimate.0 >= 1.0 && params.overestimate.1 >= params.overestimate.0);
-        assert!((0.0..1.0).contains(&params.short_frac), "short_frac in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&params.short_frac),
+            "short_frac in [0,1)"
+        );
         let runtime = LogNormalByMoments::new(params.runtime_mean, params.runtime_cv);
         let short_runtime = LogNormalByMoments::new(params.short_mean.max(1.0), 2.0);
         let size_total_weight = params.size_menu.iter().map(|&(_, w)| w).sum();
         assert!(size_total_weight > 0.0);
-        TraceAlikeModel { params, runtime, short_runtime, size_total_weight }
+        TraceAlikeModel {
+            params,
+            runtime,
+            short_runtime,
+            size_total_weight,
+        }
     }
 
     /// The model parameters.
@@ -146,7 +154,12 @@ impl TraceAlikeModel {
                 ArrivalProcess::LogNormal { mean, cv } => {
                     LogNormalByMoments::new(*mean, *cv).sample(rng)
                 }
-                ArrivalProcess::Mmpp { calm_gap, burst_gap, enter_burst, exit_burst } => {
+                ArrivalProcess::Mmpp {
+                    calm_gap,
+                    burst_gap,
+                    enter_burst,
+                    exit_burst,
+                } => {
                     match phase {
                         Phase::Calm if rng.gen::<f64>() < *enter_burst => *phase = Phase::Burst,
                         Phase::Burst if rng.gen::<f64>() < *exit_burst => *phase = Phase::Calm,
@@ -197,7 +210,10 @@ mod tests {
     fn base_params() -> TraceAlikeParams {
         TraceAlikeParams {
             cluster_size: 128,
-            arrival: ArrivalProcess::LogNormal { mean: 1000.0, cv: 2.0 },
+            arrival: ArrivalProcess::LogNormal {
+                mean: 1000.0,
+                cv: 2.0,
+            },
             runtime_mean: 3000.0,
             runtime_cv: 2.5,
             short_frac: 0.2,
@@ -206,7 +222,15 @@ mod tests {
             estimates: true,
             overestimate: (1.2, 3.0),
             max_runtime: 48.0 * 3600.0,
-            size_menu: vec![(1, 3.0), (2, 1.0), (4, 2.0), (8, 2.0), (16, 1.5), (32, 1.0), (64, 0.5)],
+            size_menu: vec![
+                (1, 3.0),
+                (2, 1.0),
+                (4, 2.0),
+                (8, 2.0),
+                (16, 1.5),
+                (32, 1.0),
+                (64, 0.5),
+            ],
             users: UserModel::zipf(40, 1.0),
         }
     }
@@ -286,7 +310,11 @@ mod tests {
         let m = TraceAlikeModel::new(p);
         let t = m.generate(10_000, 17);
         // Somewhere there must be a run of 10 consecutive gaps under 20s.
-        let gaps: Vec<f64> = t.jobs().windows(2).map(|w| w[1].submit_time - w[0].submit_time).collect();
+        let gaps: Vec<f64> = t
+            .jobs()
+            .windows(2)
+            .map(|w| w[1].submit_time - w[0].submit_time)
+            .collect();
         let has_burst = gaps.windows(10).any(|w| w.iter().all(|&g| g < 20.0));
         assert!(has_burst, "no burst episode found");
     }
@@ -295,8 +323,7 @@ mod tests {
     fn runtime_mean_is_roughly_calibrated() {
         let m = TraceAlikeModel::new(base_params());
         let t = m.generate(20_000, 18);
-        let mean_actual: f64 =
-            t.jobs().iter().map(|j| j.run_time).sum::<f64>() / t.len() as f64;
+        let mean_actual: f64 = t.jobs().iter().map(|j| j.run_time).sum::<f64>() / t.len() as f64;
         // Clamping to max_runtime biases the mean down a little.
         assert!(
             (mean_actual - 3000.0).abs() / 3000.0 < 0.25,

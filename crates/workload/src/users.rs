@@ -28,7 +28,10 @@ impl UserModel {
     /// A Zipf population where user 0 additionally owns `share` of all
     /// submissions (the HPC2N shape).
     pub fn zipf_with_dominant(n_users: usize, alpha: f64, share: f64) -> Self {
-        assert!((0.0..1.0).contains(&share), "dominant share must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&share),
+            "dominant share must be in [0,1)"
+        );
         assert!(n_users > 1, "a dominant user needs company");
         let mut weights: Vec<f64> = (1..=n_users).map(|k| (k as f64).powf(-alpha)).collect();
         let rest: f64 = weights.iter().skip(1).sum();
@@ -45,7 +48,10 @@ impl UserModel {
             "weights must be non-negative"
         );
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0 && total.is_finite(), "weights must sum to a positive total");
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive total"
+        );
         let mut acc = 0.0;
         let cumulative = weights
             .iter()

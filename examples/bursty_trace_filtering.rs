@@ -30,8 +30,14 @@ fn main() {
     );
     let (lo, hi) = filter.range();
     println!("SJF bsld over 120 sampled sequences:");
-    println!("  median       {:>10.2}   <- 'easy' sequences below this teach nothing", filter.median());
-    println!("  mean         {:>10.2}   <- dragged up by rare catastrophic sequences", filter.mean());
+    println!(
+        "  median       {:>10.2}   <- 'easy' sequences below this teach nothing",
+        filter.median()
+    );
+    println!(
+        "  mean         {:>10.2}   <- dragged up by rare catastrophic sequences",
+        filter.mean()
+    );
     println!("  range R      ({lo:.2}, {hi:.2})");
     println!("  acceptance   {:>9.0}%", filter.acceptance_rate() * 100.0);
 

@@ -14,7 +14,11 @@ fn main() {
     // 1. A workload: 1 500 jobs from the Lublin-Feitelson model, calibrated
     //    to the paper's Table II moments (256-processor cluster).
     let trace = NamedWorkload::Lublin1.generate(1500, 42);
-    println!("workload: {} jobs on {} processors", trace.len(), trace.max_procs());
+    println!(
+        "workload: {} jobs on {} processors",
+        trace.len(),
+        trace.max_procs()
+    );
 
     // 2. An agent: the paper's kernel-based policy network, shrunk a little
     //    (32 observable jobs, 10 epochs) so this example runs in ~a minute.
@@ -24,7 +28,10 @@ fn main() {
     cfg.ppo.train_v_iters = 15;
     cfg.ppo.minibatch = Some(512);
     let mut agent = Agent::new(cfg);
-    println!("policy parameters: {} (<1000, §IV-B1)", agent.policy_param_count());
+    println!(
+        "policy parameters: {} (<1000, §IV-B1)",
+        agent.policy_param_count()
+    );
 
     // 3. Train toward minimizing average bounded slowdown.
     let train_cfg = TrainConfig {

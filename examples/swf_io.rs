@@ -19,8 +19,15 @@ fn main() {
     // 1. Generate and serialize.
     let trace = NamedWorkload::Hpc2n.generate(800, 9);
     let text = write_string(&trace);
-    println!("serialized {} jobs to {} bytes of SWF", trace.len(), text.len());
-    println!("first lines:\n{}", text.lines().take(4).collect::<Vec<_>>().join("\n"));
+    println!(
+        "serialized {} jobs to {} bytes of SWF",
+        trace.len(),
+        text.len()
+    );
+    println!(
+        "first lines:\n{}",
+        text.lines().take(4).collect::<Vec<_>>().join("\n")
+    );
 
     // 2. Parse back (lossless) and verify.
     let parsed = parse_str(&text).expect("own output parses");

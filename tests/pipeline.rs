@@ -44,8 +44,16 @@ fn generated_moments_match_table2_targets() {
         let t = w.generate(2000, 7);
         let s = TraceStats::from_trace(&t);
         let tg = w.targets();
-        assert!((s.mean_interarrival - tg.it).abs() / tg.it < 1e-6, "{} it", w.name());
-        assert!((s.mean_run_time - tg.rt).abs() / tg.rt < 1e-6, "{} rt", w.name());
+        assert!(
+            (s.mean_interarrival - tg.it).abs() / tg.it < 1e-6,
+            "{} it",
+            w.name()
+        );
+        assert!(
+            (s.mean_run_time - tg.rt).abs() / tg.rt < 1e-6,
+            "{} rt",
+            w.name()
+        );
         assert_eq!(s.max_procs, tg.size, "{} size", w.name());
     }
 }
@@ -80,9 +88,7 @@ fn backfilling_helps_fcfs_on_congested_traces() {
 #[test]
 fn informed_heuristics_beat_random_on_average() {
     let t = NamedWorkload::Lublin1.generate(600, 8);
-    let windows: Vec<_> = (0..4)
-        .map(|i| t.window(i * 120, 150).unwrap())
-        .collect();
+    let windows: Vec<_> = (0..4).map(|i| t.window(i * 120, 150).unwrap()).collect();
     let mean_of = |policy: &mut dyn rlsched_repro::sim::Policy| -> f64 {
         windows
             .iter()

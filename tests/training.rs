@@ -81,7 +81,11 @@ fn checkpoint_transfer_matches_original_everywhere() {
         let trace = target.generate(500, 24);
         let windows = sample_eval_windows(&trace, 3, 100, 50);
         let a = evaluate_policy(&windows, SimConfig::with_backfill(), &mut agent.as_policy());
-        let b = evaluate_policy(&windows, SimConfig::with_backfill(), &mut loaded.as_policy());
+        let b = evaluate_policy(
+            &windows,
+            SimConfig::with_backfill(),
+            &mut loaded.as_policy(),
+        );
         assert_eq!(a, b, "transfer decisions differ on {}", target.name());
     }
 }
