@@ -88,6 +88,25 @@ fn bench_decisions(c: &mut Criterion) {
         let mut policy = mlp.as_policy();
         b.iter(|| std::hint::black_box(policy.select(&view)))
     });
+
+    // Batched multi-view scoring: 16 concurrent scheduling requests
+    // through one forward, amortizing the weight stream (divide the
+    // median by 16 for the per-decision cost).
+    let views: Vec<_> = (0..16).map(|_| decision_view(&jobs)).collect();
+    for (name, agent) in [
+        ("rl_kernel_score_batch16", &kernel),
+        ("rl_mlp_v1_score_batch16", &mlp),
+    ] {
+        group.bench_function(name, |b| {
+            let (mut obs, mut mask) = (Vec::new(), Vec::new());
+            let mut scratch = rlsched_rl::ActorScratch::new();
+            let mut actions = Vec::new();
+            b.iter(|| {
+                agent.score_batch_with(&views, &mut obs, &mut mask, &mut scratch, &mut actions);
+                std::hint::black_box(actions.len())
+            })
+        });
+    }
     group.finish();
 }
 

@@ -7,46 +7,13 @@
 //! so the count is printed next to each measurement (`allocs/call`) and
 //! is the number to watch across PRs.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use rlsched_bench::alloc::count_allocs;
 use rlsched_rl::{collect_rollouts, Env, PpoConfig};
 use rlsched_sim::{MetricKind, SimConfig};
 use rlsched_workload::NamedWorkload;
 use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind, SchedulingEnv};
-
-/// Counts every heap allocation so benches can report allocs/call.
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
-#[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Run `f` once and return how many heap allocations it performed.
-fn count_allocs<T>(mut f: impl FnMut() -> T) -> u64 {
-    let before = ALLOCS.load(Ordering::Relaxed);
-    std::hint::black_box(f());
-    ALLOCS.load(Ordering::Relaxed) - before
-}
 
 fn bench_update(c: &mut Criterion) {
     let trace = std::sync::Arc::new(NamedWorkload::Lublin1.generate(1024, 3));
@@ -83,7 +50,9 @@ fn bench_update(c: &mut Criterion) {
     let rollout_allocs = count_allocs(|| collect_rollouts(agent.ppo(), &mut envs, &seeds));
     let (obs, mask) = {
         let mut env = envs[0].clone();
-        env.reset(42)
+        let (mut o, mut m) = (Vec::new(), Vec::new());
+        env.reset(42, &mut o, &mut m);
+        (o, m)
     };
     let mut scratch = rlsched_rl::ActorScratch::new();
     let _ = agent.ppo().greedy_with(&obs, &mask, &mut scratch);
@@ -117,24 +86,39 @@ fn bench_update(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(agent.ppo().greedy_with(&obs, &mask, &mut scratch)))
     });
 
-    // Per-step env interaction without the network (simulator+encoding).
+    // Per-step env interaction without the network (simulator+encoding),
+    // through the caller-owned buffers the sampler uses.
     group.bench_function("env_step_random_policy", |b| {
         use rand::Rng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         use rand::SeedableRng;
+        let mut env = envs[0].clone();
+        let (mut obs, mut mask) = (Vec::new(), Vec::new());
         b.iter(|| {
-            let mut env = envs[0].clone();
-            let (_obs, mut mask) = env.reset(rng.gen());
+            env.reset(rng.gen(), &mut obs, &mut mask);
             let mut steps = 0usize;
             loop {
-                let valid: Vec<usize> = (0..mask.len()).filter(|&i| mask[i] == 0.0).collect();
-                let a = valid[rng.gen_range(0..valid.len())];
-                let out = env.step(a);
+                let valid = mask.iter().filter(|&&m| m == 0.0).count();
+                let mut pick = rng.gen_range(0..valid);
+                let a = mask
+                    .iter()
+                    .position(|&m| {
+                        if m != 0.0 {
+                            return false;
+                        }
+                        if pick == 0 {
+                            true
+                        } else {
+                            pick -= 1;
+                            false
+                        }
+                    })
+                    .expect("a valid slot always exists");
+                let out = env.step(a, &mut obs, &mut mask);
                 steps += 1;
                 if out.done {
                     break;
                 }
-                mask = out.mask;
             }
             std::hint::black_box(steps)
         })

@@ -14,6 +14,7 @@
 //! Shapes — who wins, by roughly what factor — are expected to hold in
 //! both; absolute numbers are profile-dependent.
 
+pub mod alloc;
 pub mod experiments;
 pub mod profile;
 pub mod report;

@@ -1,0 +1,122 @@
+//! Allocation-regression tests: the zero-allocation fast paths are load
+//! bearing (they are the PR-over-PR performance story), so pin them with
+//! hard bounds from the same counting allocator the benches report with.
+//!
+//! Everything runs inside ONE test: the counter is process-global, so
+//! concurrent tests would inflate each other's measurements.
+
+use rlsched_bench::alloc::count_allocs;
+use rlsched_rl::{collect_rollouts, ActorScratch, Env, PpoConfig};
+use rlsched_sim::{MetricKind, SimConfig};
+use rlsched_workload::NamedWorkload;
+use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind, SchedulingEnv};
+
+const SEQ_LEN: usize = 48;
+
+fn agent() -> Agent {
+    Agent::new(AgentConfig {
+        policy: PolicyKind::Kernel,
+        obs: ObsConfig {
+            max_obsv: 16,
+            ..ObsConfig::default()
+        },
+        metric: MetricKind::BoundedSlowdown,
+        ppo: PpoConfig {
+            train_pi_iters: 3,
+            train_v_iters: 3,
+            minibatch: Some(256),
+            ..PpoConfig::default()
+        },
+        seed: 5,
+    })
+}
+
+fn env_for(agent: &Agent, sim: SimConfig) -> SchedulingEnv {
+    let trace = std::sync::Arc::new(NamedWorkload::Lublin1.generate(512, 3));
+    SchedulingEnv::new(trace, SEQ_LEN, sim, *agent.encoder(), agent.objective())
+}
+
+/// Drive one full episode with a head-of-queue policy.
+fn run_episode(env: &mut SchedulingEnv, seed: u64, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
+    env.reset(seed, obs, mask);
+    while !env.step(0, obs, mask).done {}
+}
+
+/// Warm an env, then count allocations across every non-terminal step of
+/// a fresh episode (the terminal step computes the episode metrics and
+/// may allocate the outcome table — that is reset-scale work, not
+/// stepping).
+fn steady_state_step_allocs(
+    env: &mut SchedulingEnv,
+    obs: &mut Vec<f32>,
+    mask: &mut Vec<f32>,
+) -> (u64, u64) {
+    run_episode(env, 1, obs, mask);
+    run_episode(env, 2, obs, mask);
+    env.reset(3, obs, mask);
+    let mut steps = 0u64;
+    let mut allocs = 0u64;
+    loop {
+        let mut done = false;
+        let step_allocs = count_allocs(|| done = env.step(0, obs, mask).done);
+        if done {
+            break;
+        }
+        allocs += step_allocs;
+        steps += 1;
+    }
+    (steps, allocs)
+}
+
+#[test]
+fn fast_paths_do_not_regress_allocations() {
+    let mut agent = agent();
+    let (mut obs, mut mask) = (Vec::new(), Vec::new());
+
+    // ---- env stepping: 0 heap allocations per step at steady state ----
+    let mut env = env_for(&agent, SimConfig::default());
+    let (steps, step_allocs) = steady_state_step_allocs(&mut env, &mut obs, &mut mask);
+    assert!(steps >= 40, "episode long enough to be a real measurement");
+    assert_eq!(
+        step_allocs, 0,
+        "env.step must not allocate at steady state ({step_allocs} allocations over {steps} steps)"
+    );
+
+    // Same property with EASY backfilling (exercises the reservation /
+    // shadow-time path and its reusable release buffer).
+    let mut bf_env = env_for(&agent, SimConfig::with_backfill());
+    let (_, bf_allocs) = steady_state_step_allocs(&mut bf_env, &mut obs, &mut mask);
+    assert_eq!(bf_allocs, 0, "backfilling env.step must not allocate");
+
+    // ---- greedy decision fast path: 0 allocations ----
+    env.reset(4, &mut obs, &mut mask);
+    let mut scratch = ActorScratch::new();
+    let _ = agent.ppo().greedy_with(&obs, &mask, &mut scratch);
+    let greedy_allocs = count_allocs(|| agent.ppo().greedy_with(&obs, &mask, &mut scratch));
+    assert_eq!(greedy_allocs, 0, "greedy fast path must not allocate");
+
+    // ---- PPO update: bounded by the measured baseline ----
+    let mut envs: Vec<SchedulingEnv> = (0..4).map(|_| env.clone()).collect();
+    let seeds: Vec<u64> = (0..4).collect();
+    let (batch, _stats) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
+    let _ = agent.ppo_mut().update(&batch); // warm graph pools + optimizer state
+    let update_allocs = count_allocs(|| agent.ppo_mut().update(&batch));
+    // Measured baseline for this configuration (3+3 iterations,
+    // minibatch 256) is ~200 allocations — op metadata (`SelectCols`
+    // index vectors) and per-iteration gradient collections. The bound
+    // leaves ~50% headroom for noise; a real regression (e.g. losing the
+    // graph buffer pool) is an order of magnitude.
+    assert!(
+        update_allocs <= 300,
+        "Ppo::update allocations regressed: {update_allocs} > 300"
+    );
+
+    // ---- rollout collection: with the per-step terms gone, a whole
+    // 4-episode round must fit a small per-episode budget ----
+    let rollout_allocs = count_allocs(|| collect_rollouts(agent.ppo(), &mut envs, &seeds));
+    assert!(
+        rollout_allocs <= 600,
+        "collect_rollouts allocations regressed: {rollout_allocs} > 600 \
+         (per-step allocations must stay out of the rollout loop)"
+    );
+}

@@ -4,10 +4,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use rlsched_rl::{ActorScratch, PolicyModel, Ppo, PpoConfig};
+use rlsched_nn::PackedMlp;
+use rlsched_rl::{ActorScratch, MaskedCategorical, PolicyModel, Ppo, PpoConfig};
 use rlsched_sim::{MetricKind, Policy, QueueView};
 
-use crate::nets::{PolicyKind, PolicyNet, ValueNet};
+use crate::nets::{mask_and_log_softmax, PolicyKind, PolicyNet, ValueNet};
 use crate::obs::{ObsConfig, ObsEncoder};
 use crate::reward::Objective;
 
@@ -144,6 +145,52 @@ impl Agent {
         )
     }
 
+    /// Greedy actions for several concurrent queue views through **one**
+    /// batched forward: the views stack into a `[views, obs_dim]` matrix,
+    /// so the policy's weight stream is amortized across all of them —
+    /// what a sharded scheduling server wants for simultaneous requests.
+    /// All buffers are caller-owned; for the kernel and flat-MLP policies
+    /// the call is allocation-free at steady state (the CNN has no
+    /// batched forward and loops per view with a temporary row buffer).
+    /// Row `i` of `actions` matches [`Agent::score`] on view `i` alone,
+    /// except on floating-point near-ties: the batched forward can take a
+    /// different SIMD row-blocking path, which reorders accumulation by
+    /// a few ulps.
+    pub fn score_batch_with(
+        &self,
+        views: &[QueueView<'_>],
+        obs: &mut Vec<f32>,
+        mask: &mut Vec<f32>,
+        scratch: &mut ActorScratch,
+        actions: &mut Vec<usize>,
+    ) {
+        assert!(!views.is_empty(), "score_batch needs at least one view");
+        obs.clear();
+        mask.clear();
+        for view in views {
+            self.encoder.encode_extend(view, obs, mask);
+        }
+        self.ppo
+            .greedy_batch_with(obs, mask, views.len(), scratch, actions);
+        for (a, view) in actions.iter_mut().zip(views) {
+            *a = Self::clamp_to_queue(view, *a);
+        }
+    }
+
+    /// [`Agent::score_batch_with`] with throwaway buffers (allocates per
+    /// call — serving loops should hold the buffers).
+    pub fn score_batch(&self, views: &[QueueView<'_>]) -> Vec<usize> {
+        let mut actions = Vec::new();
+        self.score_batch_with(
+            views,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut ActorScratch::new(),
+            &mut actions,
+        );
+        actions
+    }
+
     /// Greedy action through the full autodiff tape — the benchmark
     /// baseline the fast path is measured against (`decision_latency`).
     pub fn greedy_select_tape(&self, view: &QueueView<'_>) -> usize {
@@ -153,7 +200,10 @@ impl Agent {
 
     /// Borrow the agent as a simulator policy (inference only). The
     /// returned policy owns encode and network scratch buffers, so
-    /// repeated decisions allocate nothing.
+    /// repeated decisions allocate nothing. Flat-MLP policies also take a
+    /// weight-transposed snapshot here (safe: the borrow freezes the
+    /// agent's weights for the policy's lifetime) so their single-row
+    /// decisions run the cache-friendly transposed layout.
     pub fn as_policy(&self) -> RlPolicy<'_> {
         RlPolicy {
             agent: self,
@@ -161,6 +211,8 @@ impl Agent {
             scratch: ActorScratch::new(),
             obs: Vec::new(),
             mask: Vec::new(),
+            packed: self.ppo.policy.packed(),
+            logits: Vec::new(),
         }
     }
 
@@ -192,19 +244,42 @@ impl Agent {
 
 /// A trained agent plugged into the episode driver: selects greedily, no
 /// exploration (§IV-B1's test path). Owns the encode and inference
-/// buffers, so steady-state decisions are allocation-free.
+/// buffers, so steady-state decisions are allocation-free. For flat-MLP
+/// agents it also carries a weight-transposed snapshot (taken while the
+/// agent borrow freezes the weights) and serves single-row decisions
+/// through it.
 pub struct RlPolicy<'a> {
     agent: &'a Agent,
     name: String,
     scratch: ActorScratch,
     obs: Vec<f32>,
     mask: Vec<f32>,
+    packed: Option<PackedMlp>,
+    logits: Vec<f32>,
 }
 
 impl Policy for RlPolicy<'_> {
     fn select(&mut self, view: &QueueView<'_>) -> usize {
+        let Some(packed) = &self.packed else {
+            return self.agent.greedy_select_with(
+                view,
+                &mut self.obs,
+                &mut self.mask,
+                &mut self.scratch,
+            );
+        };
+        // Transposed-layout serving path: same encode, same masked
+        // log-softmax tail, but the dense forwards read `[out, in]`
+        // weights as contiguous dot products (NT kernel). The packed
+        // accumulation order can differ from the tape's in the last few
+        // ulps, so decisions match the unpacked path except on
+        // floating-point near-ties.
         self.agent
-            .greedy_select_with(view, &mut self.obs, &mut self.mask, &mut self.scratch)
+            .encoder
+            .encode_into(view, &mut self.obs, &mut self.mask);
+        packed.forward_row(&self.obs, &mut self.scratch.nn, &mut self.logits);
+        mask_and_log_softmax(&mut self.logits, &self.mask);
+        Agent::clamp_to_queue(view, MaskedCategorical::new(&self.logits).argmax())
     }
 
     fn name(&self) -> &str {

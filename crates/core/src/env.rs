@@ -93,9 +93,22 @@ impl SchedulingEnv {
         }
     }
 
-    fn observe(&self) -> (Vec<f32>, Vec<f32>) {
+    /// Encode the current decision point straight from the session into
+    /// caller buffers: the waiting jobs stream through
+    /// [`rlsched_sim::SchedSession::waiting_jobs`] without materializing
+    /// a `QueueView`, so a steady-state step allocates nothing.
+    fn observe_into(&self, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
         let session = self.session.as_ref().expect("reset before observe");
-        self.encoder.encode(&session.view())
+        obs.clear();
+        mask.clear();
+        self.encoder.encode_jobs_extend(
+            session.free_procs(),
+            session.total_procs(),
+            session.queue().len(),
+            session.waiting_jobs(),
+            obs,
+            mask,
+        );
     }
 }
 
@@ -108,13 +121,13 @@ impl Env for SchedulingEnv {
         self.encoder.n_actions()
     }
 
-    fn reset(&mut self, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    fn reset(&mut self, seed: u64, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
         let window = self.draw_window(seed);
         self.session = Some(SchedSession::new(&window, self.sim_cfg).expect("non-empty window"));
-        self.observe()
+        self.observe_into(obs, mask);
     }
 
-    fn step(&mut self, action: usize) -> StepOutcome {
+    fn step(&mut self, action: usize, obs: &mut Vec<f32>, mask: &mut Vec<f32>) -> StepOutcome {
         let session = self.session.as_mut().expect("reset before step");
         session
             .step(action)
@@ -124,17 +137,13 @@ impl Env for SchedulingEnv {
             let reward = self.objective.reward(&metrics);
             let raw = self.objective.raw(&metrics);
             StepOutcome {
-                obs: Vec::new(),
-                mask: Vec::new(),
                 reward,
                 done: true,
                 episode_metric: Some(raw),
             }
         } else {
-            let (obs, mask) = self.observe();
+            self.observe_into(obs, mask);
             StepOutcome {
-                obs,
-                mask,
                 reward: 0.0,
                 done: false,
                 episode_metric: None,
@@ -180,10 +189,11 @@ mod tests {
 
     /// Drive an episode with a fixed "always head of queue" policy.
     fn run_episode_fcfs(env: &mut SchedulingEnv, seed: u64) -> (usize, f64) {
-        let (_obs, _mask) = env.reset(seed);
+        let (mut obs, mut mask) = (Vec::new(), Vec::new());
+        env.reset(seed, &mut obs, &mut mask);
         let mut steps = 0;
         loop {
-            let out = env.step(0);
+            let out = env.step(0, &mut obs, &mut mask);
             steps += 1;
             if out.done {
                 return (steps, out.episode_metric.unwrap());
@@ -209,21 +219,27 @@ mod tests {
     #[test]
     fn reset_is_reproducible_and_seed_sensitive() {
         let mut e = env(16);
-        let (o1, m1) = e.reset(42);
-        let (o2, m2) = e.reset(42);
+        let reset = |e: &mut SchedulingEnv, seed| {
+            let (mut o, mut m) = (Vec::new(), Vec::new());
+            e.reset(seed, &mut o, &mut m);
+            (o, m)
+        };
+        let (o1, m1) = reset(&mut e, 42);
+        let (o2, m2) = reset(&mut e, 42);
         assert_eq!(o1, o2);
         assert_eq!(m1, m2);
         // Different seeds usually pick different windows.
-        let (o3, _) = e.reset(43);
+        let (o3, _) = reset(&mut e, 43);
         assert_ne!(o1, o3);
     }
 
     #[test]
     fn rewards_are_zero_until_done() {
         let mut e = env(12);
-        e.reset(1);
+        let (mut obs, mut mask) = (Vec::new(), Vec::new());
+        e.reset(1, &mut obs, &mut mask);
         for i in 0..12 {
-            let out = e.step(0);
+            let out = e.step(0, &mut obs, &mut mask);
             if i < 11 {
                 assert_eq!(out.reward, 0.0, "intermediate step {i}");
                 assert!(!out.done);
@@ -262,7 +278,8 @@ mod tests {
         e.set_filter(Some(f.clone()));
         // If the filter accepts nothing (degenerate distribution), reset
         // still terminates thanks to MAX_FILTER_TRIES.
-        let (_o, _m) = e.reset(5);
+        let (mut o, mut m) = (Vec::new(), Vec::new());
+        e.reset(5, &mut o, &mut m);
     }
 
     #[test]
@@ -278,10 +295,11 @@ mod tests {
             }),
             Objective::new(MetricKind::Utilization),
         );
-        e.reset(2);
+        let (mut obs, mut mask) = (Vec::new(), Vec::new());
+        e.reset(2, &mut obs, &mut mask);
         let mut last = None;
         for _ in 0..12 {
-            let out = e.step(0);
+            let out = e.step(0, &mut obs, &mut mask);
             if out.done {
                 last = Some(out);
                 break;

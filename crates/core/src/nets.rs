@@ -20,7 +20,8 @@ use serde::{Deserialize, Serialize};
 
 use rlsched_nn::infer;
 use rlsched_nn::{
-    Activation, Conv2dLayer, Dense, Graph, Mlp, Network, ParamBinds, Scratch, Tensor, Var,
+    Activation, Conv2dLayer, Dense, Graph, Mlp, Network, PackedMlp, ParamBinds, Scratch, Tensor,
+    Var,
 };
 use rlsched_rl::{PolicyModel, ValueModel};
 
@@ -29,7 +30,7 @@ use crate::obs::JOB_FEATURES;
 /// Shared tail of every policy's fast path: add the additive mask onto
 /// the logits and log-softmax in place (same arithmetic as the tape's
 /// `add` + `log_softmax`).
-fn mask_and_log_softmax(out: &mut [f32], mask: &[f32]) {
+pub(crate) fn mask_and_log_softmax(out: &mut [f32], mask: &[f32]) {
     // Hard assert (the tape path panics on shape mismatch too): a short
     // mask must never silently leave padding logits unmasked.
     assert_eq!(out.len(), mask.len(), "mask length must equal logit width");
@@ -37,6 +38,16 @@ fn mask_and_log_softmax(out: &mut [f32], mask: &[f32]) {
         *o += m;
     }
     infer::log_softmax_inplace(out);
+}
+
+/// Row-wise [`mask_and_log_softmax`] over a `[rows, n]` logit matrix and
+/// its stacked masks — the batched-scoring tail.
+fn mask_and_log_softmax_rows(out: &mut [f32], masks: &[f32], rows: usize, n: usize) {
+    assert_eq!(out.len(), rows * n, "logit matrix volume");
+    assert_eq!(masks.len(), rows * n, "mask matrix volume");
+    for (o_row, m_row) in out.chunks_mut(n).zip(masks.chunks(n)) {
+        mask_and_log_softmax(o_row, m_row);
+    }
 }
 
 /// The policy-network architectures of Table IV.
@@ -124,6 +135,20 @@ impl PolicyModel for KernelPolicy {
         mask_and_log_softmax(out, mask);
     }
 
+    fn log_probs_fast_batch(
+        &self,
+        obs: &[f32],
+        masks: &[f32],
+        rows: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        // All views' job windows stack into one [rows * K, F] matrix and
+        // flow through the shared kernel in a single batched pass.
+        infer::mlp_forward(&self.kernel, obs, rows * self.max_obsv, scratch, out);
+        mask_and_log_softmax_rows(out, masks, rows, self.max_obsv);
+    }
+
     fn params(&self) -> Vec<&Tensor> {
         self.kernel.params()
     }
@@ -150,6 +175,15 @@ impl FlatMlpPolicy {
             net: Mlp::new(&dims, Activation::Relu, Activation::Identity, &mut rng),
         }
     }
+
+    /// A weight-transposed snapshot for the single-row serving path: the
+    /// flat MLP streams its full weight matrix (≈458 KB for v1 at
+    /// `max_obsv` 128) per decision, and the `[out, in]` layout reads it
+    /// with full cache-line use. The pack does not track later weight
+    /// updates — take it only while the policy is frozen.
+    pub fn packed(&self) -> PackedMlp {
+        PackedMlp::pack(&self.net)
+    }
 }
 
 impl PolicyModel for FlatMlpPolicy {
@@ -162,6 +196,21 @@ impl PolicyModel for FlatMlpPolicy {
     fn log_probs_fast(&self, obs: &[f32], mask: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
         infer::mlp_forward(&self.net, obs, 1, scratch, out);
         mask_and_log_softmax(out, mask);
+    }
+
+    fn log_probs_fast_batch(
+        &self,
+        obs: &[f32],
+        masks: &[f32],
+        rows: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        // One forward over [rows, obs_dim]: the weight matrices stream
+        // once for the whole batch instead of once per request.
+        let n = self.net.out_dim();
+        infer::mlp_forward(&self.net, obs, rows, scratch, out);
+        mask_and_log_softmax_rows(out, masks, rows, n);
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -332,6 +381,18 @@ impl PolicyNet {
             PolicyKind::LeNet => PolicyNet::LeNet(LeNetPolicy::new(max_obsv, seed)),
         }
     }
+
+    /// Weight-transposed snapshot for the rows==1 serving path, for the
+    /// architectures where the layout pays off: the flat MLPs stream
+    /// hundreds of KB of weights per decision. The kernel network's
+    /// weights are L1-resident (layout is irrelevant) and the CNN is not
+    /// dense-dominated, so those return `None` and serve unpacked.
+    pub fn packed(&self) -> Option<PackedMlp> {
+        match self {
+            PolicyNet::Mlp(p) => Some(p.packed()),
+            PolicyNet::Kernel(_) | PolicyNet::LeNet(_) => None,
+        }
+    }
 }
 
 impl PolicyModel for PolicyNet {
@@ -348,6 +409,23 @@ impl PolicyModel for PolicyNet {
             PolicyNet::Kernel(p) => p.log_probs_fast(obs, mask, scratch, out),
             PolicyNet::Mlp(p) => p.log_probs_fast(obs, mask, scratch, out),
             PolicyNet::LeNet(p) => p.log_probs_fast(obs, mask, scratch, out),
+        }
+    }
+
+    fn log_probs_fast_batch(
+        &self,
+        obs: &[f32],
+        masks: &[f32],
+        rows: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        match self {
+            PolicyNet::Kernel(p) => p.log_probs_fast_batch(obs, masks, rows, scratch, out),
+            PolicyNet::Mlp(p) => p.log_probs_fast_batch(obs, masks, rows, scratch, out),
+            // The CNN forward is per-image; rows loop through the single
+            // fast path (the trait default's behavior).
+            PolicyNet::LeNet(p) => p.log_probs_fast_batch(obs, masks, rows, scratch, out),
         }
     }
 

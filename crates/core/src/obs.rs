@@ -9,7 +9,7 @@
 //! are cut off in FCFS order; missing slots are zero-padded and masked.
 
 use rlsched_rl::categorical::MASK_OFF;
-use rlsched_sim::QueueView;
+use rlsched_sim::{QueueView, WaitingJob};
 use serde::{Deserialize, Serialize};
 
 /// Features per job vector. See [`ObsEncoder::encode`] for the layout.
@@ -83,18 +83,53 @@ impl ObsEncoder {
     /// allocation-free variant for inference loops (one pair of buffers
     /// per policy/worker, reused across every decision).
     pub fn encode_into(&self, view: &QueueView<'_>, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
-        let k = self.cfg.max_obsv;
         obs.clear();
-        obs.resize(k * JOB_FEATURES, 0.0);
         mask.clear();
-        mask.resize(k, MASK_OFF);
-        let free_frac = view.free_fraction() as f32;
-        let pressure = (view.waiting.len() as f64 / k as f64).min(1.0) as f32;
-        for (slot, w) in view.waiting.iter().take(k).enumerate() {
+        self.encode_extend(view, obs, mask);
+    }
+
+    /// Append one view's window (`max_obsv × JOB_FEATURES` observation
+    /// values and `max_obsv` mask values) onto the buffers without
+    /// clearing them — the building block for stacking several views into
+    /// one batched forward ([`crate::Agent::score_batch`]).
+    pub fn encode_extend(&self, view: &QueueView<'_>, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
+        self.encode_jobs_extend(
+            view.free_procs,
+            view.total_procs,
+            view.waiting.len(),
+            view.waiting.iter().copied(),
+            obs,
+            mask,
+        );
+    }
+
+    /// Append one decision point streamed straight from the simulator —
+    /// no [`QueueView`] (and no per-step `Vec` of waiting jobs) is ever
+    /// materialized. `queue_len` is the total number of waiting jobs the
+    /// iterator would yield (used for the queue-pressure feature).
+    pub fn encode_jobs_extend<'a>(
+        &self,
+        free_procs: u32,
+        total_procs: u32,
+        queue_len: usize,
+        waiting: impl Iterator<Item = WaitingJob<'a>>,
+        obs: &mut Vec<f32>,
+        mask: &mut Vec<f32>,
+    ) {
+        let k = self.cfg.max_obsv;
+        let obs_base = obs.len();
+        let mask_base = mask.len();
+        obs.resize(obs_base + k * JOB_FEATURES, 0.0);
+        mask.resize(mask_base + k, MASK_OFF);
+        let obs = &mut obs[obs_base..];
+        let mask = &mut mask[mask_base..];
+        let free_frac = (free_procs as f64 / total_procs as f64) as f32;
+        let pressure = (queue_len as f64 / k as f64).min(1.0) as f32;
+        for (slot, w) in waiting.take(k).enumerate() {
             let base = slot * JOB_FEATURES;
             obs[base] = (w.wait / self.cfg.max_wait).min(1.0) as f32;
             obs[base + 1] = (w.job.time_bound() / self.cfg.max_request_time).min(1.0) as f32;
-            obs[base + 2] = (w.job.procs() as f64 / view.total_procs as f64).min(1.0) as f32;
+            obs[base + 2] = (w.job.procs() as f64 / total_procs as f64).min(1.0) as f32;
             obs[base + 3] = if w.can_run_now { 1.0 } else { 0.0 };
             obs[base + 4] = free_frac;
             obs[base + 5] = pressure;

@@ -111,6 +111,58 @@ proptest! {
         }
     }
 
+    /// Batched scoring ≡ per-view scoring for all five `PolicyKind`s:
+    /// row `i` of `log_probs_fast_batch` must match `log_probs_fast` on
+    /// view `i` alone (within float-reassociation tolerance — the batch
+    /// can take a different row-blocking path through the SIMD kernel),
+    /// and the argmax decision must match away from near-ties.
+    #[test]
+    fn batched_scores_agree_with_per_view_scores(
+        features in prop::collection::vec(0.0f32..1.0, K * JOB_FEATURES),
+        valids in prop::collection::vec(1usize..=K, 3),
+        seed in 0u64..50,
+    ) {
+        let rows = valids.len();
+        for kind in PolicyKind::all() {
+            let policy = PolicyNet::build(kind, K, seed);
+            let mut obs_all = Vec::new();
+            let mut mask_all = Vec::new();
+            let mut singles = Vec::new();
+            for (i, &valid) in valids.iter().enumerate() {
+                // Rotate the feature pool so the stacked views differ.
+                let mut rotated = features.clone();
+                rotated.rotate_left((i * 13) % features.len());
+                let (obs, mask) = build_obs(&rotated, valid);
+                singles.push(fast_log_probs(&policy, &obs, &mask));
+                obs_all.extend_from_slice(&obs);
+                mask_all.extend_from_slice(&mask);
+            }
+            let mut scratch = Scratch::new();
+            let mut batched = Vec::new();
+            policy.log_probs_fast_batch(&obs_all, &mask_all, rows, &mut scratch, &mut batched);
+            prop_assert_eq!(batched.len(), rows * K, "{}: batch shape", kind.name());
+            for (i, single) in singles.iter().enumerate() {
+                let row = &batched[i * K..(i + 1) * K];
+                for (slot, (b, s)) in row.iter().zip(single).enumerate() {
+                    if s.is_finite() || b.is_finite() {
+                        prop_assert!(
+                            (b - s).abs() <= 1e-3 * (1.0 + s.abs()),
+                            "{}: view {} slot {} batched {} vs single {}",
+                            kind.name(), i, slot, b, s
+                        );
+                    }
+                }
+                if top2_gap(single) > 1e-4 {
+                    prop_assert_eq!(
+                        argmax(row),
+                        argmax(single),
+                        "{}: view {} batched/single argmax diverged", kind.name(), i
+                    );
+                }
+            }
+        }
+    }
+
     /// The critic's fast path agrees with its tape forward.
     #[test]
     fn value_fast_agrees_with_tape(
@@ -132,5 +184,77 @@ proptest! {
             (fast - tape).abs() <= 1e-4 * (1.0 + tape.abs()),
             "value fast {} vs tape {}", fast, tape
         );
+    }
+}
+
+/// Agent-level contract: `score_batch` over concurrent queue views picks
+/// the same jobs as `greedy_select` on each view alone, for every policy
+/// architecture (the kernel's window width is a multiple of the SIMD row
+/// block, so its batched forward is bit-identical; the others are checked
+/// away from log-prob near-ties via the per-view gap).
+#[test]
+fn score_batch_matches_per_view_greedy_select() {
+    use rlsched_sim::{MetricKind, QueueView, WaitingJob};
+    use rlsched_swf::Job;
+    use rlscheduler::{Agent, AgentConfig, ObsConfig};
+
+    let jobs: Vec<Job> = (0..40u32)
+        .map(|i| {
+            Job::new(
+                i + 1,
+                i as f64 * 10.0,
+                30.0 + (i % 7) as f64 * 120.0,
+                1 + i % 5,
+                60.0 + (i % 11) as f64 * 180.0,
+            )
+        })
+        .collect();
+    // Three views over different queue prefixes (different lengths and
+    // cluster states).
+    let views: Vec<QueueView<'_>> = [(40usize, 16u32), (13, 4), (27, 40)]
+        .iter()
+        .map(|&(len, free)| QueueView {
+            time: 5000.0,
+            free_procs: free,
+            total_procs: 64,
+            waiting: jobs[..len]
+                .iter()
+                .enumerate()
+                .map(|(i, job)| WaitingJob {
+                    job,
+                    job_index: i,
+                    wait: 5000.0 - job.submit_time,
+                    can_run_now: job.procs() <= free,
+                })
+                .collect(),
+        })
+        .collect();
+
+    for kind in PolicyKind::all() {
+        let agent = Agent::new(AgentConfig {
+            policy: kind,
+            obs: ObsConfig {
+                max_obsv: K,
+                ..ObsConfig::default()
+            },
+            metric: MetricKind::BoundedSlowdown,
+            ppo: Default::default(),
+            seed: 11,
+        });
+        let batched = agent.score_batch(&views);
+        assert_eq!(batched.len(), views.len());
+        for (i, view) in views.iter().enumerate() {
+            let (obs, mask) = agent.encoder().encode(view);
+            let single = agent.ppo().logp_row(&obs, &mask);
+            if top2_gap(&single) > 1e-4 {
+                assert_eq!(
+                    batched[i],
+                    agent.greedy_select(view),
+                    "{}: view {i} batched/single decision diverged",
+                    kind.name()
+                );
+            }
+            assert!(batched[i] < view.waiting.len(), "decision clamped to queue");
+        }
     }
 }

@@ -135,6 +135,36 @@ enum Op {
     },
 }
 
+impl Op {
+    /// Tape indices this op reads (up to three).
+    fn inputs(&self) -> [Option<usize>; 3] {
+        match *self {
+            Op::Leaf { .. } => [None, None, None],
+            Op::MatMul(a, b)
+            | Op::AddBias(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::MinElem(a, b) => [Some(a), Some(b), None],
+            Op::Linear { x, w, b, .. } | Op::Conv2d { x, w, b, .. } => [Some(x), Some(w), Some(b)],
+            Op::Scale(a, _)
+            | Op::AddScalar(a)
+            | Op::Relu(a)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::Exp(a)
+            | Op::Clamp(a, _, _)
+            | Op::LogSoftmax(a)
+            | Op::SelectCols(a, _)
+            | Op::SumRows(a)
+            | Op::Mean(a)
+            | Op::Sum(a)
+            | Op::Reshape(a)
+            | Op::MaxPool2d { x: a, .. } => [Some(a), None, None],
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Node {
     value: Tensor,
@@ -153,6 +183,11 @@ pub struct Graph {
     pool: Vec<Vec<f32>>,
     /// Reused gradient-slot vector for [`Graph::backward`].
     slots: Vec<Option<Tensor>>,
+    /// Reused needs-gradient marks for [`Graph::backward`]: `true` iff a
+    /// parameter leaf is reachable from the node, so gradient work on
+    /// constant-input paths (e.g. `dX` into the observation matrix) is
+    /// skipped entirely.
+    needs: Vec<bool>,
 }
 
 impl Graph {
@@ -162,6 +197,7 @@ impl Graph {
             nodes: Vec::with_capacity(64),
             pool: Vec::new(),
             slots: Vec::new(),
+            needs: Vec::new(),
         }
     }
 
@@ -340,11 +376,10 @@ impl Graph {
             let wv = &self.nodes[w.0].value;
             let bv = &self.nodes[b.0].value;
             out.resize(m * n, 0.0);
-            // The same kernel `infer::dense_forward` falls back to, so
-            // tape and portable fast path agree bit-for-bit by
-            // construction (the SIMD fast path differs only in FMA
-            // rounding).
-            crate::infer::dense_portable(xv.data(), m, wv.data(), bv.data(), k, n, &mut out);
+            // The same kernel dispatch `infer::dense_forward` runs, so
+            // tape and fast path agree bit-for-bit by construction on
+            // either dispatch arm (AVX2/FMA or scalar).
+            crate::simd::dense_any(xv.data(), m, wv.data(), bv.data(), k, n, &mut out);
             act.apply_slice(&mut out);
         }
         self.push(
@@ -489,7 +524,12 @@ impl Graph {
             for i in 0..m {
                 let row = &av.data()[i * n..(i + 1) * n];
                 let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let lse = mx + row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln();
+                let lse = mx
+                    + row
+                        .iter()
+                        .map(|&x| crate::infer::exp_or_zero(x - mx))
+                        .sum::<f32>()
+                        .ln();
                 out.extend(row.iter().map(|&x| x - lse));
             }
         }
@@ -626,7 +666,17 @@ impl Graph {
     // -------------------------------------------------------------- backward
 
     /// Backpropagate from a scalar `loss` node, filling gradients for every
-    /// node that influences it.
+    /// node that both influences the loss and can reach a parameter leaf.
+    ///
+    /// Gradient work is skipped wholesale on constant-input paths: a
+    /// forward needs-gradient scan marks every node from which a
+    /// [`Graph::param`] leaf is reachable, and the reverse scan only
+    /// accumulates into marked nodes — so e.g. `dX` of the first dense
+    /// layer (the observation matrix, often the largest single matmul of
+    /// a PPO value update) is never computed. Parameter gradients are
+    /// bit-identical either way; [`Graph::grad`] of a node on a
+    /// constants-only path is `None`, exactly like a node the loss does
+    /// not depend on.
     ///
     /// All gradient temporaries are drawn from (and returned to) the
     /// graph's buffer pool, and the per-node slot vector is retained
@@ -639,7 +689,21 @@ impl Graph {
             "backward needs a scalar loss"
         );
         let n = self.nodes.len();
-        let Graph { nodes, pool, slots } = self;
+        let Graph {
+            nodes,
+            pool,
+            slots,
+            needs,
+        } = self;
+        needs.clear();
+        needs.resize(n, false);
+        for id in 0..n {
+            needs[id] = match &nodes[id].op {
+                Op::Leaf { requires_grad } => *requires_grad,
+                op => op.inputs().into_iter().flatten().any(|input| needs[input]),
+            };
+        }
+        let needs = &needs[..];
         let grads = slots;
         grads.clear();
         grads.resize(n, None);
@@ -649,6 +713,13 @@ impl Graph {
             let Some(gout) = grads[id].take() else {
                 continue;
             };
+            if !needs[id] {
+                // The loss seed itself can land here when no parameter is
+                // reachable at all; recycle it and move on.
+                pool_put(pool, gout.into_data());
+                grads[id] = None;
+                continue;
+            }
             // The match borrows `nodes` immutably; gradient accumulation
             // writes only into the separate `grads` vector, so the op needs
             // no clone (the seed cloned every op here, `Vec` payloads
@@ -657,104 +728,188 @@ impl Graph {
             match &nodes[id].op {
                 Op::Leaf { .. } => {}
                 &Op::MatMul(a, b) => {
-                    let mut da = pool_take(pool, 0);
-                    gout.matmul_nt_into(&nodes[b].value, &mut da);
-                    let mut db = pool_take(pool, 0);
-                    nodes[a].value.matmul_tn_into(&gout, &mut db);
-                    accum_owned(
-                        grads,
-                        nodes,
-                        pool,
-                        a,
-                        Tensor::from_vec(da, nodes[a].value.shape()),
-                    );
-                    accum_owned(
-                        grads,
-                        nodes,
-                        pool,
-                        b,
-                        Tensor::from_vec(db, nodes[b].value.shape()),
-                    );
+                    if needs[a] {
+                        let mut da = pool_take(pool, 0);
+                        gout.matmul_nt_into(&nodes[b].value, &mut da);
+                        accum_owned(
+                            grads,
+                            nodes,
+                            pool,
+                            a,
+                            Tensor::from_vec(da, nodes[a].value.shape()),
+                        );
+                    }
+                    if needs[b] {
+                        let mut db = pool_take(pool, 0);
+                        nodes[a].value.matmul_tn_into(&gout, &mut db);
+                        accum_owned(
+                            grads,
+                            nodes,
+                            pool,
+                            b,
+                            Tensor::from_vec(db, nodes[b].value.shape()),
+                        );
+                    }
                 }
                 &Op::Linear { x, w, b, act } => {
                     let y = &nodes[id].value;
                     let (m, ncol) = (y.rows(), y.cols());
-                    // dpre = dy ∘ act'(y)
+                    // dpre = dy ∘ act'(y). One loop per activation (the
+                    // enum match must not run per element — this buffer is
+                    // the largest elementwise pass of a PPO update).
                     let mut dpre_buf = pool_take(pool, m * ncol);
-                    dpre_buf.extend(
-                        gout.data()
-                            .iter()
-                            .zip(y.data())
-                            .map(|(&g, &yv)| g * act.derivative_from_output(yv)),
-                    );
-                    let dpre = Tensor::from_vec(dpre_buf, &[m, ncol]);
-                    let mut dx = pool_take(pool, 0);
-                    dpre.matmul_nt_into(&nodes[w].value, &mut dx);
-                    let mut dw = pool_take(pool, 0);
-                    nodes[x].value.matmul_tn_into(&dpre, &mut dw);
-                    let mut db = pooled_full(pool, &[ncol], 0.0);
-                    for i in 0..m {
-                        for j in 0..ncol {
-                            db.data_mut()[j] += dpre.at(i, j);
+                    let pairs = gout.data().iter().zip(y.data());
+                    match act {
+                        Act::Identity => dpre_buf.extend_from_slice(gout.data()),
+                        Act::Relu => {
+                            dpre_buf.extend(pairs.map(|(&g, &yv)| if yv > 0.0 { g } else { 0.0 }))
                         }
+                        Act::Tanh => dpre_buf.extend(pairs.map(|(&g, &yv)| g * (1.0 - yv * yv))),
+                        Act::Sigmoid => dpre_buf.extend(pairs.map(|(&g, &yv)| g * yv * (1.0 - yv))),
+                    }
+                    let dpre = Tensor::from_vec(dpre_buf, &[m, ncol]);
+                    if needs[x] {
+                        // dX = dpre · Wᵀ. The NT dot kernel is horizontal-
+                        // sum-bound when the layer width (the dot length)
+                        // is small, which is exactly the kernel-network
+                        // case — so transpose W (tiny) through the pool
+                        // and run the broadcast gemm kernel instead.
+                        let wv = &nodes[w].value;
+                        let (k_in, n_out) = (wv.rows(), wv.cols());
+                        let mut dx = pool_take(pool, m * k_in);
+                        dx.resize(m * k_in, 0.0);
+                        let mut dispatched = false;
+                        if crate::simd::simd_enabled() && k_in >= 8 {
+                            let mut wt = pool_take(pool, k_in * n_out);
+                            wt.resize(k_in * n_out, 0.0);
+                            crate::simd::transpose(wv.data(), k_in, n_out, &mut wt);
+                            dispatched =
+                                crate::simd::gemm(dpre.data(), m, n_out, &wt, k_in, None, &mut dx);
+                            pool_put(pool, wt);
+                        }
+                        if !dispatched {
+                            crate::simd::gemm_nt_scalar(
+                                dpre.data(),
+                                m,
+                                n_out,
+                                wv.data(),
+                                k_in,
+                                &mut dx,
+                            );
+                        }
+                        accum_owned(
+                            grads,
+                            nodes,
+                            pool,
+                            x,
+                            Tensor::from_vec(dx, nodes[x].value.shape()),
+                        );
+                    }
+                    if needs[w] {
+                        let mut dw = pool_take(pool, 0);
+                        nodes[x].value.matmul_tn_into(&dpre, &mut dw);
+                        accum_owned(
+                            grads,
+                            nodes,
+                            pool,
+                            w,
+                            Tensor::from_vec(dw, nodes[w].value.shape()),
+                        );
+                    }
+                    if needs[b] {
+                        let mut db = pooled_full(pool, &[ncol], 0.0);
+                        let dbd = db.data_mut();
+                        for row in dpre.data().chunks_exact(ncol) {
+                            for (d, &v) in dbd.iter_mut().zip(row) {
+                                *d += v;
+                            }
+                        }
+                        accum_owned(grads, nodes, pool, b, db);
                     }
                     pool_put(pool, dpre.into_data());
-                    accum_owned(
-                        grads,
-                        nodes,
-                        pool,
-                        x,
-                        Tensor::from_vec(dx, nodes[x].value.shape()),
-                    );
-                    accum_owned(
-                        grads,
-                        nodes,
-                        pool,
-                        w,
-                        Tensor::from_vec(dw, nodes[w].value.shape()),
-                    );
-                    accum_owned(grads, nodes, pool, b, db);
                 }
                 &Op::AddBias(a, bias) => {
-                    let (m, ncol) = (nodes[a].value.rows(), nodes[a].value.cols());
-                    let mut db = pooled_full(pool, &[ncol], 0.0);
-                    for i in 0..m {
-                        for j in 0..ncol {
-                            db.data_mut()[j] += gout.data()[i * ncol + j];
+                    if needs[bias] {
+                        let ncol = nodes[a].value.cols();
+                        let mut db = pooled_full(pool, &[ncol], 0.0);
+                        let dbd = db.data_mut();
+                        for row in gout.data().chunks_exact(ncol) {
+                            for (d, &v) in dbd.iter_mut().zip(row) {
+                                *d += v;
+                            }
                         }
+                        accum_owned(grads, nodes, pool, bias, db);
                     }
-                    accum_ref(grads, nodes, pool, a, &gout);
-                    accum_owned(grads, nodes, pool, bias, db);
+                    if needs[a] {
+                        accum_ref(grads, nodes, pool, a, &gout);
+                    }
                 }
                 &Op::Add(a, b) => {
-                    accum_ref(grads, nodes, pool, a, &gout);
-                    accum_ref(grads, nodes, pool, b, &gout);
+                    if needs[a] {
+                        accum_ref(grads, nodes, pool, a, &gout);
+                    }
+                    if needs[b] {
+                        accum_ref(grads, nodes, pool, b, &gout);
+                    }
                 }
                 &Op::Sub(a, b) => {
-                    accum_ref(grads, nodes, pool, a, &gout);
-                    let neg = pooled_map(pool, &gout, |x| -x);
-                    accum_owned(grads, nodes, pool, b, neg);
+                    if needs[a] {
+                        accum_ref(grads, nodes, pool, a, &gout);
+                    }
+                    if needs[b] {
+                        let neg = pooled_map(pool, &gout, |x| -x);
+                        accum_owned(grads, nodes, pool, b, neg);
+                    }
                 }
                 &Op::Mul(a, b) => {
-                    let da = pooled_zip(pool, &gout, &nodes[b].value, |g, y| g * y);
-                    let db = pooled_zip(pool, &gout, &nodes[a].value, |g, x| g * x);
-                    accum_owned(grads, nodes, pool, a, da);
-                    accum_owned(grads, nodes, pool, b, db);
+                    if needs[a] {
+                        let da = pooled_zip(pool, &gout, &nodes[b].value, |g, y| g * y);
+                        accum_owned(grads, nodes, pool, a, da);
+                    }
+                    if needs[b] {
+                        let db = pooled_zip(pool, &gout, &nodes[a].value, |g, x| g * x);
+                        accum_owned(grads, nodes, pool, b, db);
+                    }
                 }
                 &Op::MinElem(a, b) => {
-                    let av = &nodes[a].value;
-                    let bv = &nodes[b].value;
-                    let mut da = pooled_full(pool, av.shape(), 0.0);
-                    let mut db = pooled_full(pool, bv.shape(), 0.0);
-                    for i in 0..gout.len() {
-                        if av.data()[i] <= bv.data()[i] {
-                            da.data_mut()[i] = gout.data()[i];
-                        } else {
-                            db.data_mut()[i] = gout.data()[i];
-                        }
+                    // Gradient routes to whichever side won the min; ties
+                    // go to `a`, matching the forward's `f32::min`.
+                    if needs[a] {
+                        let av = &nodes[a].value;
+                        let bv = &nodes[b].value;
+                        let da = pooled_zip3(
+                            pool,
+                            &gout,
+                            av,
+                            bv,
+                            |g, x, y| {
+                                if x <= y {
+                                    g
+                                } else {
+                                    0.0
+                                }
+                            },
+                        );
+                        accum_owned(grads, nodes, pool, a, da);
                     }
-                    accum_owned(grads, nodes, pool, a, da);
-                    accum_owned(grads, nodes, pool, b, db);
+                    if needs[b] {
+                        let av = &nodes[a].value;
+                        let bv = &nodes[b].value;
+                        let db = pooled_zip3(
+                            pool,
+                            &gout,
+                            av,
+                            bv,
+                            |g, x, y| {
+                                if x <= y {
+                                    0.0
+                                } else {
+                                    g
+                                }
+                            },
+                        );
+                        accum_owned(grads, nodes, pool, b, db);
+                    }
                 }
                 &Op::Scale(a, c) => {
                     let da = pooled_map(pool, &gout, |x| x * c);
@@ -796,15 +951,21 @@ impl Graph {
                     accum_owned(grads, nodes, pool, a, da);
                 }
                 &Op::LogSoftmax(a) => {
-                    // dx = dy - softmax(x) * rowsum(dy)
+                    // dx = dy - softmax(x) * rowsum(dy); masked slots hold
+                    // log-probs of ~-1e9 whose exp is exactly 0, so the
+                    // underflow short-circuit is bit-exact.
                     let y = &nodes[id].value;
                     let (m, ncol) = (y.rows(), y.cols());
                     let mut da = pooled_full(pool, &[m, ncol], 0.0);
-                    for i in 0..m {
-                        let row = &gout.data()[i * ncol..(i + 1) * ncol];
-                        let row_sum: f32 = row.iter().sum();
-                        for (j, &rj) in row.iter().enumerate() {
-                            *da.at_mut(i, j) = rj - y.at(i, j).exp() * row_sum;
+                    for ((g_row, y_row), da_row) in gout
+                        .data()
+                        .chunks_exact(ncol)
+                        .zip(y.data().chunks_exact(ncol))
+                        .zip(da.data_mut().chunks_exact_mut(ncol))
+                    {
+                        let row_sum: f32 = g_row.iter().sum();
+                        for ((d, &rj), &yj) in da_row.iter_mut().zip(g_row).zip(y_row) {
+                            *d = rj - crate::infer::exp_or_zero(yj) * row_sum;
                         }
                     }
                     accum_owned(grads, nodes, pool, a, da);
@@ -849,9 +1010,14 @@ impl Graph {
                     let (bs, c, h, wd) = dims4(xv.shape());
                     let (o, _, kh, kw) = dims4(wv.shape());
                     let (_, _, oh, ow) = dims4(nodes[id].value.shape());
-                    let mut dx = pooled_full(pool, xv.shape(), 0.0);
-                    let mut dw = pooled_full(pool, wv.shape(), 0.0);
-                    let mut db = pooled_full(pool, &[o], 0.0);
+                    // Each side is allocated and computed only when a
+                    // parameter is reachable through it (dX of the first
+                    // conv — the observation image — is half the FLOPs
+                    // and never needed). The per-element branches hoist:
+                    // the Options are loop-invariant.
+                    let mut dx = needs[x].then(|| pooled_full(pool, xv.shape(), 0.0));
+                    let mut dw = needs[w].then(|| pooled_full(pool, wv.shape(), 0.0));
+                    let mut db = needs[b].then(|| pooled_full(pool, &[o], 0.0));
                     let gd = gout.data();
                     for bi in 0..bs {
                         for oi in 0..o {
@@ -861,7 +1027,9 @@ impl Graph {
                                     if g == 0.0 {
                                         continue;
                                     }
-                                    db.data_mut()[oi] += g;
+                                    if let Some(db) = &mut db {
+                                        db.data_mut()[oi] += g;
+                                    }
                                     for ci in 0..c {
                                         for ky in 0..kh {
                                             for kx in 0..kw {
@@ -875,8 +1043,12 @@ impl Graph {
                                                     wd,
                                                 );
                                                 let wi = idx4(oi, ci, ky, kx, c, kh, kw);
-                                                dx.data_mut()[xi] += g * wv.data()[wi];
-                                                dw.data_mut()[wi] += g * xv.data()[xi];
+                                                if let Some(dx) = &mut dx {
+                                                    dx.data_mut()[xi] += g * wv.data()[wi];
+                                                }
+                                                if let Some(dw) = &mut dw {
+                                                    dw.data_mut()[wi] += g * xv.data()[xi];
+                                                }
                                             }
                                         }
                                     }
@@ -884,9 +1056,11 @@ impl Graph {
                             }
                         }
                     }
-                    accum_owned(grads, nodes, pool, x, dx);
-                    accum_owned(grads, nodes, pool, w, dw);
-                    accum_owned(grads, nodes, pool, b, db);
+                    for (input, delta) in [(x, dx), (w, dw), (b, db)] {
+                        if let Some(delta) = delta {
+                            accum_owned(grads, nodes, pool, input, delta);
+                        }
+                    }
                 }
                 &Op::MaxPool2d { x, size } => {
                     let xv = &nodes[x].value;
@@ -972,6 +1146,28 @@ fn pooled_map(pool: &mut Vec<Vec<f32>>, src: &Tensor, f: impl Fn(f32) -> f32) ->
     let mut buf = pool_take(pool, src.len());
     buf.extend(src.data().iter().map(|&x| f(x)));
     Tensor::from_vec(buf, src.shape())
+}
+
+/// A pooled three-way elementwise combine (volumes must match; the
+/// result carries `x`'s shape).
+fn pooled_zip3(
+    pool: &mut Vec<Vec<f32>>,
+    g: &Tensor,
+    x: &Tensor,
+    y: &Tensor,
+    f: impl Fn(f32, f32, f32) -> f32,
+) -> Tensor {
+    assert_eq!(g.len(), x.len());
+    assert_eq!(g.len(), y.len());
+    let mut buf = pool_take(pool, g.len());
+    buf.extend(
+        g.data()
+            .iter()
+            .zip(x.data())
+            .zip(y.data())
+            .map(|((&a, &b), &c)| f(a, b, c)),
+    );
+    Tensor::from_vec(buf, x.shape())
 }
 
 /// A pooled elementwise combine of `g` and `x` (volumes must match; the

@@ -10,19 +10,32 @@
 //! needed to *act*: scheduling decisions (RLScheduler §IV-B1's test path,
 //! Table IX's latency comparison vs SJF) and rollout sampling only need
 //! output values. This module touches no memory beyond a caller-owned
-//! [`Scratch`] and, on x86-64 with AVX2+FMA (runtime-detected), runs
-//! dense layers through a register-blocked FMA microkernel.
+//! [`Scratch`].
 //!
-//! Numerics: the SIMD kernel fuses multiply-adds and reorders the
-//! accumulation, so outputs can differ from the tape in the last few
-//! ulps; the portable fallback matches the tape's accumulation order
-//! exactly. Either way the masked-argmax decision agrees with the tape
-//! except on floating-point near-ties (see the `infer_parity` property
-//! tests in `rlscheduler`).
+//! # Dispatch and layout rules
 //!
-//! Use the tape when you will call `backward`; use `infer` everywhere
-//! else. The PPO update keeps the tape (it needs gradients); action
-//! selection in rollouts and greedy evaluation route through here.
+//! Dense layers run through the runtime-dispatched microkernels in
+//! [`crate::simd`] — the *same* kernels the tape's `Graph::linear` and
+//! `Tensor::matmul*` use — so tape and fast path compute bit-identical
+//! values on whichever dispatch arm (AVX2/FMA or scalar) is active.
+//! Dispatch is per shape: ≥8 output columns vectorize on the broadcast
+//! kernel, `out_dim == 1` heads take a scalar-dot specialization, and
+//! everything else falls back to the tape-order portable loop. Setting
+//! `RLSCHED_FORCE_SCALAR` pins every caller to the scalar arm.
+//!
+//! Weight layout is `[in, out]` row-major everywhere. That layout is
+//! ideal with many input rows (each weight row broadcasts across the row
+//! block) but wastes cache-line bandwidth for a *single* row streaming a
+//! large matrix — the MLP v1 serving case. [`PackedMlp`] covers it: a
+//! weight-transposed (`[out, in]`) copy of an `Mlp` whose single-row
+//! forward runs each output as one contiguous dot product on the NT
+//! kernel. Pack once while weights are frozen (e.g. for the lifetime of a
+//! borrowed serving policy); a pack is a snapshot, not a view.
+//!
+//! Numerics: the SIMD kernels fuse multiply-adds and reorder the
+//! accumulation, so outputs can differ from the scalar arm in the last
+//! few ulps; the masked-argmax decision agrees except on floating-point
+//! near-ties (see the `infer_parity` property tests in `rlscheduler`).
 //!
 //! The functions are free-standing and layer-shaped (dense / conv /
 //! pool / log-softmax) so downstream crates can compose them for any
@@ -30,6 +43,7 @@
 //! a 128-job window through these in one batched pass.
 
 use crate::layers::{Activation, Dense, Mlp};
+use crate::simd;
 
 /// Reusable scratch buffers for inference. One per worker/thread; cheap
 /// to create, free to reuse. Buffers only ever grow to the high-water
@@ -52,156 +66,12 @@ impl Scratch {
     }
 }
 
-/// True when the AVX2+FMA microkernel can run on this machine
-/// (runtime-detected once, cached).
-#[cfg(target_arch = "x86_64")]
-fn simd_available() -> bool {
-    use std::sync::OnceLock;
-    static AVAILABLE: OnceLock<bool> = OnceLock::new();
-    *AVAILABLE.get_or_init(|| {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-    })
-}
-
-/// Register-blocked AVX2/FMA dense kernel: 4 rows × 8 columns per block,
-/// weights loaded once per (k, tile) and four independent FMA chains to
-/// hide latency (~25-30 MAC/ns vs ~3 for the scalar loop on the same
-/// hardware). Requires `out_dim % 8 == 0`; `out` must be presized to
-/// `rows * out_dim` (contents overwritten).
-///
-/// # Safety
-/// Caller must ensure AVX2 and FMA are available (see
-/// [`simd_available`]) and slice lengths match the dims.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2,fma")]
-unsafe fn dense_avx2(
-    x: &[f32],
-    rows: usize,
-    w: &[f32],
-    b: &[f32],
-    in_dim: usize,
-    out_dim: usize,
-    out: &mut [f32],
-) {
-    use std::arch::x86_64::*;
-    debug_assert_eq!(out_dim % 8, 0);
-    assert!(x.len() >= rows * in_dim && w.len() >= in_dim * out_dim);
-    assert!(b.len() >= out_dim && out.len() >= rows * out_dim);
-    unsafe {
-        let mut i = 0;
-        while i + 4 <= rows {
-            let mut j = 0;
-            while j < out_dim {
-                let bj = _mm256_loadu_ps(b.as_ptr().add(j));
-                let (mut a0, mut a1, mut a2, mut a3) = (bj, bj, bj, bj);
-                for k in 0..in_dim {
-                    let wr = _mm256_loadu_ps(w.as_ptr().add(k * out_dim + j));
-                    a0 = _mm256_fmadd_ps(_mm256_set1_ps(*x.get_unchecked(i * in_dim + k)), wr, a0);
-                    a1 = _mm256_fmadd_ps(
-                        _mm256_set1_ps(*x.get_unchecked((i + 1) * in_dim + k)),
-                        wr,
-                        a1,
-                    );
-                    a2 = _mm256_fmadd_ps(
-                        _mm256_set1_ps(*x.get_unchecked((i + 2) * in_dim + k)),
-                        wr,
-                        a2,
-                    );
-                    a3 = _mm256_fmadd_ps(
-                        _mm256_set1_ps(*x.get_unchecked((i + 3) * in_dim + k)),
-                        wr,
-                        a3,
-                    );
-                }
-                _mm256_storeu_ps(out.as_mut_ptr().add(i * out_dim + j), a0);
-                _mm256_storeu_ps(out.as_mut_ptr().add((i + 1) * out_dim + j), a1);
-                _mm256_storeu_ps(out.as_mut_ptr().add((i + 2) * out_dim + j), a2);
-                _mm256_storeu_ps(out.as_mut_ptr().add((i + 3) * out_dim + j), a3);
-                j += 8;
-            }
-            i += 4;
-        }
-        // Row remainder: single-row 8-wide blocks with four k-interleaved
-        // accumulators (a single FMA chain would be latency-bound on long
-        // inputs like the flat-MLP's 896-wide observation).
-        while i < rows {
-            let mut j = 0;
-            while j < out_dim {
-                let mut acc0 = _mm256_loadu_ps(b.as_ptr().add(j));
-                let mut acc1 = _mm256_setzero_ps();
-                let mut acc2 = _mm256_setzero_ps();
-                let mut acc3 = _mm256_setzero_ps();
-                let mut k = 0;
-                while k + 4 <= in_dim {
-                    let x0 = _mm256_set1_ps(*x.get_unchecked(i * in_dim + k));
-                    let x1 = _mm256_set1_ps(*x.get_unchecked(i * in_dim + k + 1));
-                    let x2 = _mm256_set1_ps(*x.get_unchecked(i * in_dim + k + 2));
-                    let x3 = _mm256_set1_ps(*x.get_unchecked(i * in_dim + k + 3));
-                    acc0 =
-                        _mm256_fmadd_ps(x0, _mm256_loadu_ps(w.as_ptr().add(k * out_dim + j)), acc0);
-                    acc1 = _mm256_fmadd_ps(
-                        x1,
-                        _mm256_loadu_ps(w.as_ptr().add((k + 1) * out_dim + j)),
-                        acc1,
-                    );
-                    acc2 = _mm256_fmadd_ps(
-                        x2,
-                        _mm256_loadu_ps(w.as_ptr().add((k + 2) * out_dim + j)),
-                        acc2,
-                    );
-                    acc3 = _mm256_fmadd_ps(
-                        x3,
-                        _mm256_loadu_ps(w.as_ptr().add((k + 3) * out_dim + j)),
-                        acc3,
-                    );
-                    k += 4;
-                }
-                while k < in_dim {
-                    let wr = _mm256_loadu_ps(w.as_ptr().add(k * out_dim + j));
-                    acc0 =
-                        _mm256_fmadd_ps(_mm256_set1_ps(*x.get_unchecked(i * in_dim + k)), wr, acc0);
-                    k += 1;
-                }
-                let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
-                _mm256_storeu_ps(out.as_mut_ptr().add(i * out_dim + j), acc);
-                j += 8;
-            }
-            i += 1;
-        }
-    }
-}
-
-/// Portable dense kernel: bias-seeded rows, k ascending. This is the
-/// *same function* [`crate::Graph::linear`] computes its forward with,
-/// so the fallback matches the tape bit-for-bit by construction.
-pub(crate) fn dense_portable(
-    x: &[f32],
-    rows: usize,
-    w: &[f32],
-    b: &[f32],
-    in_dim: usize,
-    out_dim: usize,
-    out: &mut [f32],
-) {
-    for i in 0..rows {
-        let x_row = &x[i * in_dim..(i + 1) * in_dim];
-        let o_row = &mut out[i * out_dim..(i + 1) * out_dim];
-        o_row.copy_from_slice(b);
-        for (k, &xa) in x_row.iter().enumerate() {
-            let w_row = &w[k * out_dim..(k + 1) * out_dim];
-            for (o, &wv) in o_row.iter_mut().zip(w_row) {
-                *o += xa * wv;
-            }
-        }
-    }
-}
-
 /// Dense layer forward: `out = act(x @ w + b)` where `x` is `[rows, in]`
 /// row-major, `w` `[in, out_dim]`, `b` `[out_dim]`.
 ///
-/// Dispatches to the AVX2/FMA microkernel when available and the width
-/// allows (`out_dim % 8 == 0`); scalar-dot specialization for
-/// `out_dim == 1` heads; portable tape-order kernel otherwise.
+/// Runs [`crate::simd::dense_any`] — the exact kernel dispatch the tape's
+/// [`crate::Graph::linear`] uses — so fast path and tape agree
+/// bit-for-bit on either dispatch arm.
 #[allow(clippy::too_many_arguments)] // mirrors the raw (x, w, b, dims) BLAS-style signature
 pub fn dense_forward(
     x: &[f32],
@@ -214,35 +84,9 @@ pub fn dense_forward(
     out: &mut Vec<f32>,
 ) {
     debug_assert_eq!(x.len(), rows * in_dim, "input volume");
-    debug_assert_eq!(w.len(), in_dim * out_dim, "weight volume");
-    debug_assert_eq!(b.len(), out_dim, "bias length");
     out.clear();
     out.resize(rows * out_dim, 0.0);
-    if out_dim == 1 {
-        // Scalar-head specialization: a dot product per row, vectorizable
-        // over k with no strided weight access.
-        for i in 0..rows {
-            let x_row = &x[i * in_dim..(i + 1) * in_dim];
-            let mut acc = b[0];
-            for (&xa, &wv) in x_row.iter().zip(w) {
-                acc += xa * wv;
-            }
-            out[i] = acc;
-        }
-    } else {
-        #[cfg(target_arch = "x86_64")]
-        let used_simd = if out_dim.is_multiple_of(8) && simd_available() {
-            unsafe { dense_avx2(x, rows, w, b, in_dim, out_dim, out) };
-            true
-        } else {
-            false
-        };
-        #[cfg(not(target_arch = "x86_64"))]
-        let used_simd = false;
-        if !used_simd {
-            dense_portable(x, rows, w, b, in_dim, out_dim, out);
-        }
-    }
+    simd::dense_any(x, rows, w, b, in_dim, out_dim, out);
     act.to_act().apply_slice(out);
 }
 
@@ -266,6 +110,102 @@ pub fn mlp_forward(mlp: &Mlp, x: &[f32], rows: usize, scratch: &mut Scratch, out
             std::mem::swap(&mut scratch.a, &mut scratch.b);
         }
     }
+}
+
+/// One layer of a [`PackedMlp`]: weights stored transposed (`[out, in]`
+/// row-major) so a single-row forward reads each output's weights as one
+/// contiguous dot product.
+#[derive(Debug, Clone)]
+struct PackedDense {
+    wt: Vec<f32>,
+    b: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// A weight-transposed snapshot of an [`Mlp`] for single-row inference.
+///
+/// The standard `[in, out]` layout streams a large weight matrix with
+/// partial cache-line use when there is only one input row (the flat
+/// MLP v1 serving case: ~458 KB per decision). Packing the weights
+/// `[out, in]` turns every output into a contiguous dot product on the
+/// [`crate::simd::gemm_nt`] kernel.
+///
+/// A pack is a *copy*: it does not observe later weight updates. Pack
+/// while the network is frozen (e.g. for the lifetime of a serving
+/// policy that borrows its agent immutably) and repack after training.
+#[derive(Debug, Clone)]
+pub struct PackedMlp {
+    layers: Vec<PackedDense>,
+    hidden: Activation,
+    output: Activation,
+}
+
+impl PackedMlp {
+    /// Snapshot `mlp` with every weight matrix transposed.
+    pub fn pack(mlp: &Mlp) -> Self {
+        let layers = mlp
+            .layers
+            .iter()
+            .map(|layer| {
+                let (din, dout) = (layer.in_dim(), layer.out_dim());
+                let mut wt = vec![0.0f32; din * dout];
+                simd::transpose(layer.w.data(), din, dout, &mut wt);
+                PackedDense {
+                    wt,
+                    b: layer.b.data().to_vec(),
+                    in_dim: din,
+                    out_dim: dout,
+                }
+            })
+            .collect();
+        PackedMlp {
+            layers,
+            hidden: mlp.hidden,
+            output: mlp.output,
+        }
+    }
+
+    /// Output width of the packed network.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+
+    /// Forward one input row; the final activations land in `out`.
+    /// Allocation-free at steady state (scratch and `out` only grow to
+    /// their high-water mark).
+    pub fn forward_row(&self, x: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let act = if i == last { self.output } else { self.hidden };
+            if i == 0 {
+                let dst = if last == 0 { &mut *out } else { &mut scratch.a };
+                dense_row_t(x, layer, act, dst);
+            } else if i == last {
+                dense_row_t(&scratch.a, layer, act, out);
+            } else {
+                let Scratch { a, b: pong, .. } = scratch;
+                dense_row_t(a, layer, act, pong);
+                std::mem::swap(&mut scratch.a, &mut scratch.b);
+            }
+        }
+    }
+}
+
+/// Single-row dense forward over transposed (`[out, in]`) weights: each
+/// output is one contiguous dot product (the NT kernel), bias added after
+/// the dot.
+fn dense_row_t(x: &[f32], layer: &PackedDense, act: Activation, out: &mut Vec<f32>) {
+    debug_assert_eq!(x.len(), layer.in_dim, "input width");
+    out.clear();
+    out.resize(layer.out_dim, 0.0);
+    if !simd::gemm_nt(x, 1, layer.in_dim, &layer.wt, layer.out_dim, out) {
+        simd::gemm_nt_scalar(x, 1, layer.in_dim, &layer.wt, layer.out_dim, out);
+    }
+    for (o, &b) in out.iter_mut().zip(&layer.b) {
+        *o += b;
+    }
+    act.to_act().apply_slice(out);
 }
 
 /// Single-dense-layer convenience over a [`Dense`].
@@ -410,11 +350,27 @@ pub fn relu_inplace(xs: &mut [f32]) {
     }
 }
 
+/// `exp(x)` underflows to exactly `0.0f32` below this, so skipping the
+/// libm call for such inputs is bit-exact — and masked action slots sit
+/// at ~-1e9, so a PPO batch is full of them.
+pub(crate) const EXP_UNDERFLOW: f32 = -104.0;
+
+/// `exp(x)` with the underflow short-circuit (bit-identical to
+/// `x.exp()` for every input).
+#[inline]
+pub(crate) fn exp_or_zero(x: f32) -> f32 {
+    if x <= EXP_UNDERFLOW {
+        0.0
+    } else {
+        x.exp()
+    }
+}
+
 /// Numerically-stabilized log-softmax of one row, in place. Matches the
 /// tape's [`crate::Graph::log_softmax`] arithmetic exactly.
 pub fn log_softmax_inplace(row: &mut [f32]) {
     let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let lse = mx + row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln();
+    let lse = mx + row.iter().map(|&x| exp_or_zero(x - mx)).sum::<f32>().ln();
     for x in row {
         *x -= lse;
     }
@@ -488,7 +444,11 @@ mod tests {
     }
 
     #[test]
-    fn portable_kernel_matches_tape_bitwise() {
+    fn dispatched_kernel_matches_tape_bitwise() {
+        // Tape (`Graph::linear`) and fast path (`dense_forward`) share the
+        // same `simd::dense_any` dispatch, so on EITHER dispatch arm the
+        // two must agree bit-for-bit — including the ragged out_dim 4
+        // (portable) and SIMD-eligible out_dim 16 layers here.
         let mut rng = StdRng::seed_from_u64(9);
         let mlp = Mlp::new(
             &[5, 16, 4],
@@ -506,33 +466,43 @@ mod tests {
         let xin = g.input(Tensor::from_vec(x.clone(), &[rows, 5]));
         let y = mlp.forward(&mut g, xin, &mut binds);
 
-        // Drive the portable path directly (out_dim 4 is not a SIMD width).
-        let mut h = vec![0.0f32; rows * 16];
-        super::dense_portable(
-            &x,
-            rows,
-            mlp.layers[0].w.data(),
-            mlp.layers[0].b.data(),
-            5,
-            16,
-            &mut h,
-        );
-        Activation::Tanh.to_act().apply_slice(&mut h);
-        let mut out = vec![0.0f32; rows * 4];
-        super::dense_portable(
-            &h,
-            rows,
-            mlp.layers[1].w.data(),
-            mlp.layers[1].b.data(),
-            16,
-            4,
-            &mut out,
-        );
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        mlp_forward(&mlp, &x, rows, &mut scratch, &mut out);
         assert_eq!(
             out.as_slice(),
             g.value(y).data(),
-            "portable kernel is tape-order exact"
+            "tape and fast path share one kernel dispatch"
         );
+    }
+
+    #[test]
+    fn packed_mlp_matches_unpacked_forward() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mlp = Mlp::new(
+            &[9, 24, 13, 5],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let x: Vec<f32> = (0..9)
+            .map(|i| ((i * 11 % 23) as f32 - 11.0) * 0.07)
+            .collect();
+
+        let mut scratch = Scratch::new();
+        let mut plain = Vec::new();
+        mlp_forward(&mlp, &x, 1, &mut scratch, &mut plain);
+
+        let packed = PackedMlp::pack(&mlp);
+        assert_eq!(packed.out_dim(), 5);
+        let mut fast = Vec::new();
+        packed.forward_row(&x, &mut scratch, &mut fast);
+        // The NT kernel reorders the accumulation vs the broadcast kernel,
+        // so compare within ulp-scale tolerance.
+        assert_eq!(fast.len(), plain.len());
+        for (a, b) in fast.iter().zip(&plain) {
+            assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "{a} vs {b}");
+        }
     }
 
     #[test]

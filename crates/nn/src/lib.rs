@@ -13,6 +13,8 @@
 //!   `clamp`, `min_elem`).
 //! * [`layers`] — `Dense`, `Mlp`, `Conv2dLayer`, the [`Network`] trait and
 //!   parameter-binding machinery.
+//! * [`simd`] — runtime-dispatched AVX2/FMA dense microkernels shared by
+//!   the tape, its backward passes, and the inference fast path.
 //! * [`optim`] — Adam / SGD / global-norm clipping.
 //! * [`serialize`] — JSON checkpoints for the Table VII transfer study.
 //!
@@ -24,10 +26,11 @@ pub mod infer;
 pub mod layers;
 pub mod optim;
 pub mod serialize;
+pub mod simd;
 pub mod tensor;
 
 pub use graph::{Act, Graph, Var};
-pub use infer::Scratch;
+pub use infer::{PackedMlp, Scratch};
 pub use layers::{Activation, Conv2dLayer, Dense, Mlp, Network, ParamBinds};
 pub use optim::{clip_global_norm, Adam, Sgd};
 pub use tensor::Tensor;

@@ -1,0 +1,664 @@
+//! Runtime-dispatched dense microkernels shared by the whole stack.
+//!
+//! One set of register-blocked AVX2/FMA kernels serves the inference fast
+//! path ([`crate::infer`]), the autodiff tape forward
+//! ([`crate::Graph::linear`], [`crate::Tensor::matmul_into`]) and the
+//! backward passes (`dA = dC·Bᵀ` via [`gemm_nt`], `dB = Aᵀ·dC` via
+//! [`gemm_tn`]). Keeping every caller on the same kernels means the tape
+//! and the fast path compute *bit-identical* values on both dispatch arms.
+//!
+//! # Dispatch rules
+//!
+//! * [`simd_enabled`] gates everything: x86-64 with AVX2+FMA detected at
+//!   runtime (checked once, cached), unless the `RLSCHED_FORCE_SCALAR`
+//!   environment variable is set — CI runs the whole test suite once with
+//!   it set so the scalar arm stays green.
+//! * Each `gemm*` entry point returns `false` (having written nothing)
+//!   when it does not dispatch; the caller then runs the matching
+//!   `*_scalar` reference kernel. [`gemm`]/[`gemm_tn`] need at least 8
+//!   output columns to fill a vector lane; [`gemm_nt`] needs an inner
+//!   dimension of at least 8. Ragged shapes are handled with scalar
+//!   column/row tails inside the SIMD kernels.
+//!
+//! # Layout rules
+//!
+//! All matrices are dense row-major `f32`. [`gemm`] walks `B` row-major
+//! (broadcast-A × row-of-B), which is the natural layout for `[in, out]`
+//! weight matrices with many input rows. For a *single* input row that
+//! access pattern touches every cache line of `B` but uses only part of
+//! each; the transposed layout (`B` stored `[n, k]`, each output one
+//! contiguous dot product) fixes that, and is exactly what [`gemm_nt`]
+//! computes — see [`crate::infer::PackedMlp`] for the rows==1 serving
+//! path that packs weights transposed and runs on the NT kernel.
+//!
+//! # Numerics
+//!
+//! The scalar kernels accumulate in the same order as the original tape
+//! loops, so the scalar arm is bit-for-bit the pre-SIMD behavior. The
+//! AVX2 kernels fuse multiply-adds (no intermediate rounding) and widen
+//! the accumulation, so values can drift by a few ulps; see
+//! `tests/simd_parity_prop.rs` for the tolerance contract. That contract
+//! assumes finite inputs: [`gemm_scalar`]/[`gemm_tn_scalar`] skip
+//! zero-valued contributions (so `0 × inf` drops out) while the SIMD
+//! kernels compute them (`0 × inf → NaN`) — a diverged model with
+//! non-finite weights can therefore NaN on one arm and not the other.
+
+use std::sync::OnceLock;
+
+/// True when the AVX2+FMA kernels may run: detected at runtime once and
+/// cached, and forced off by setting `RLSCHED_FORCE_SCALAR` (to anything
+/// but `0`/empty) before the first dispatch.
+pub fn simd_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        if std::env::var_os("RLSCHED_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0") {
+            return false;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+// ------------------------------------------------------------- C = A·B
+
+/// SIMD `C[m,n] = A[m,k] @ B[k,n]`, optionally seeded with a broadcast
+/// `bias[n]` row (otherwise zero). Returns `false` without touching `out`
+/// when SIMD is unavailable or `n < 8`; `out` must hold `m * n` elements.
+pub fn gemm(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) -> bool {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    if n < 8 || !simd_enabled() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        unsafe { gemm_avx2(a, m, k, b, n, bias, out) };
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Scalar reference for [`gemm`] (zero-seed variant): the tape's original
+/// `i-k-j` loop, zero-contribution rows skipped. Bit-identical to the
+/// pre-SIMD [`crate::Tensor::matmul`].
+pub fn gemm_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        o_row.fill(0.0);
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Register-blocked AVX2/FMA kernel: 4 rows × 8 columns per block, each
+/// weight row loaded once per tile with four independent FMA chains to
+/// hide latency. Column tail (`n % 8`) runs scalar; row tail runs a
+/// 1×8 kernel with four k-interleaved accumulators.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available and slice lengths cover the
+/// dims (`a ≥ m*k`, `b ≥ k*n`, `out ≥ m*n`, `bias ≥ n` when given).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_avx2(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    if let Some(bv) = bias {
+        assert!(bv.len() >= n);
+    }
+    let n8 = n - n % 8;
+    unsafe {
+        let seed = |j: usize| -> __m256 {
+            match bias {
+                Some(bv) => _mm256_loadu_ps(bv.as_ptr().add(j)),
+                None => _mm256_setzero_ps(),
+            }
+        };
+        let mut i = 0;
+        while i + 4 <= m {
+            let mut j = 0;
+            while j < n8 {
+                let s = seed(j);
+                let (mut a0, mut a1, mut a2, mut a3) = (s, s, s, s);
+                for kk in 0..k {
+                    let wr = _mm256_loadu_ps(b.as_ptr().add(kk * n + j));
+                    a0 = _mm256_fmadd_ps(_mm256_set1_ps(*a.get_unchecked(i * k + kk)), wr, a0);
+                    a1 =
+                        _mm256_fmadd_ps(_mm256_set1_ps(*a.get_unchecked((i + 1) * k + kk)), wr, a1);
+                    a2 =
+                        _mm256_fmadd_ps(_mm256_set1_ps(*a.get_unchecked((i + 2) * k + kk)), wr, a2);
+                    a3 =
+                        _mm256_fmadd_ps(_mm256_set1_ps(*a.get_unchecked((i + 3) * k + kk)), wr, a3);
+                }
+                _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j), a0);
+                _mm256_storeu_ps(out.as_mut_ptr().add((i + 1) * n + j), a1);
+                _mm256_storeu_ps(out.as_mut_ptr().add((i + 2) * n + j), a2);
+                _mm256_storeu_ps(out.as_mut_ptr().add((i + 3) * n + j), a3);
+                j += 8;
+            }
+            i += 4;
+        }
+        // Row remainder: 1×8 tiles with four k-interleaved accumulators (a
+        // single FMA chain would be latency-bound on long inputs).
+        while i < m {
+            let mut j = 0;
+            while j < n8 {
+                let mut acc0 = seed(j);
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                let mut kk = 0;
+                while kk + 4 <= k {
+                    let x0 = _mm256_set1_ps(*a.get_unchecked(i * k + kk));
+                    let x1 = _mm256_set1_ps(*a.get_unchecked(i * k + kk + 1));
+                    let x2 = _mm256_set1_ps(*a.get_unchecked(i * k + kk + 2));
+                    let x3 = _mm256_set1_ps(*a.get_unchecked(i * k + kk + 3));
+                    acc0 = _mm256_fmadd_ps(x0, _mm256_loadu_ps(b.as_ptr().add(kk * n + j)), acc0);
+                    acc1 = _mm256_fmadd_ps(
+                        x1,
+                        _mm256_loadu_ps(b.as_ptr().add((kk + 1) * n + j)),
+                        acc1,
+                    );
+                    acc2 = _mm256_fmadd_ps(
+                        x2,
+                        _mm256_loadu_ps(b.as_ptr().add((kk + 2) * n + j)),
+                        acc2,
+                    );
+                    acc3 = _mm256_fmadd_ps(
+                        x3,
+                        _mm256_loadu_ps(b.as_ptr().add((kk + 3) * n + j)),
+                        acc3,
+                    );
+                    kk += 4;
+                }
+                while kk < k {
+                    let wr = _mm256_loadu_ps(b.as_ptr().add(kk * n + j));
+                    acc0 = _mm256_fmadd_ps(_mm256_set1_ps(*a.get_unchecked(i * k + kk)), wr, acc0);
+                    kk += 1;
+                }
+                let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+                _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j), acc);
+                j += 8;
+            }
+            i += 1;
+        }
+        // Column tail: plain bias-seeded dots (per row, k ascending).
+        for j in n8..n {
+            for i in 0..m {
+                let mut acc = bias.map_or(0.0, |bv| bv[j]);
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- C = A·Bᵀ (NT)
+
+/// SIMD `C[m,n] = A[m,k] @ B[n,k]ᵀ` without materializing the transpose:
+/// every output is a dot product of two contiguous k-long rows — the
+/// "transposed layout" kernel. Returns `false` (nothing written) when
+/// SIMD is unavailable or `k < 8`.
+pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) -> bool {
+    debug_assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
+    if k < 8 || !simd_enabled() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        unsafe { gemm_nt_avx2(a, m, k, b, n, out) };
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Scalar reference for [`gemm_nt`]: one dot product per output element,
+/// k ascending — bit-identical to the pre-SIMD `matmul_nt`.
+pub fn gemm_nt_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+        }
+    }
+}
+
+/// Dot-product kernel: per output row, 4 B-rows at a time, each dot
+/// vectorized 8 lanes over k with a scalar k-tail.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available and slice lengths cover the
+/// dims.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_nt_avx2(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
+    let k8 = k - k % 8;
+    unsafe {
+        #[inline]
+        unsafe fn hsum(v: __m256) -> f32 {
+            unsafe {
+                let hi = _mm256_extractf128_ps(v, 1);
+                let lo = _mm256_castps256_ps128(v);
+                let s = _mm_add_ps(lo, hi);
+                let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+                let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+                _mm_cvtss_f32(s)
+            }
+        }
+        for i in 0..m {
+            let a_row = a.as_ptr().add(i * k);
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = b.as_ptr().add(j * k);
+                let b1 = b.as_ptr().add((j + 1) * k);
+                let b2 = b.as_ptr().add((j + 2) * k);
+                let b3 = b.as_ptr().add((j + 3) * k);
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                let mut kk = 0;
+                while kk < k8 {
+                    let av = _mm256_loadu_ps(a_row.add(kk));
+                    acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0.add(kk)), acc0);
+                    acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1.add(kk)), acc1);
+                    acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2.add(kk)), acc2);
+                    acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3.add(kk)), acc3);
+                    kk += 8;
+                }
+                let (mut s0, mut s1) = (hsum(acc0), hsum(acc1));
+                let (mut s2, mut s3) = (hsum(acc2), hsum(acc3));
+                while kk < k {
+                    let av = *a_row.add(kk);
+                    s0 += av * *b0.add(kk);
+                    s1 += av * *b1.add(kk);
+                    s2 += av * *b2.add(kk);
+                    s3 += av * *b3.add(kk);
+                    kk += 1;
+                }
+                let o = out.as_mut_ptr().add(i * n + j);
+                *o = s0;
+                *o.add(1) = s1;
+                *o.add(2) = s2;
+                *o.add(3) = s3;
+                j += 4;
+            }
+            while j < n {
+                let b_row = b.as_ptr().add(j * k);
+                let mut acc = _mm256_setzero_ps();
+                let mut kk = 0;
+                while kk < k8 {
+                    acc = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(a_row.add(kk)),
+                        _mm256_loadu_ps(b_row.add(kk)),
+                        acc,
+                    );
+                    kk += 8;
+                }
+                let mut s = hsum(acc);
+                while kk < k {
+                    s += *a_row.add(kk) * *b_row.add(kk);
+                    kk += 1;
+                }
+                out[i * n + j] = s;
+                j += 1;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- C = Aᵀ·B (TN)
+
+/// SIMD `C[m,n] = A[r,m]ᵀ @ B[r,n]` without materializing the transpose
+/// (the `dW = Xᵀ·dY` backward kernel): rank-1 updates blocked 4 deep over
+/// `r` so each read-modify-write of an output row absorbs four FMAs.
+/// Returns `false` (nothing written) when SIMD is unavailable or `n < 8`.
+pub fn gemm_tn(a: &[f32], r: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) -> bool {
+    debug_assert!(a.len() >= r * m && b.len() >= r * n && out.len() >= m * n);
+    if n < 8 || !simd_enabled() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        unsafe { gemm_tn_avx2(a, r, m, b, n, out) };
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Scalar reference for [`gemm_tn`]: r-outer rank-1 updates with
+/// zero-contribution skips — bit-identical to the pre-SIMD `matmul_tn`.
+pub fn gemm_tn_scalar(a: &[f32], r: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    out[..m * n].fill(0.0);
+    for row in 0..r {
+        let a_row = &a[row * m..(row + 1) * m];
+        let b_row = &b[row * n..(row + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Outer-product kernel with register-resident accumulators: a 2-row ×
+/// 16-column output tile accumulates across a whole r-chunk before a
+/// single read-modify-write of `out`, so B's column slice streams from
+/// cache and A contributes two broadcasts per r. The r-chunking (512)
+/// keeps the streamed slice L1/L2-resident; 8-wide and scalar tails
+/// handle ragged n, a 1-row variant handles odd m.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available and slice lengths cover the
+/// dims.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_tn_avx2(a: &[f32], r: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    assert!(a.len() >= r * m && b.len() >= r * n && out.len() >= m * n);
+    const R_CHUNK: usize = 512;
+    let n16 = n - n % 16;
+    let n8 = n - n % 8;
+    let m2 = m - m % 2;
+    out[..m * n].fill(0.0);
+    unsafe {
+        let mut r0 = 0;
+        while r0 < r {
+            let r1 = (r0 + R_CHUNK).min(r);
+            let mut j = 0;
+            while j < n16 {
+                let mut i = 0;
+                while i < m2 {
+                    let mut acc00 = _mm256_setzero_ps();
+                    let mut acc01 = _mm256_setzero_ps();
+                    let mut acc10 = _mm256_setzero_ps();
+                    let mut acc11 = _mm256_setzero_ps();
+                    for row in r0..r1 {
+                        let bp = b.as_ptr().add(row * n + j);
+                        let b0 = _mm256_loadu_ps(bp);
+                        let b1 = _mm256_loadu_ps(bp.add(8));
+                        let x0 = _mm256_set1_ps(*a.get_unchecked(row * m + i));
+                        let x1 = _mm256_set1_ps(*a.get_unchecked(row * m + i + 1));
+                        acc00 = _mm256_fmadd_ps(x0, b0, acc00);
+                        acc01 = _mm256_fmadd_ps(x0, b1, acc01);
+                        acc10 = _mm256_fmadd_ps(x1, b0, acc10);
+                        acc11 = _mm256_fmadd_ps(x1, b1, acc11);
+                    }
+                    let o0 = out.as_mut_ptr().add(i * n + j);
+                    let o1 = out.as_mut_ptr().add((i + 1) * n + j);
+                    _mm256_storeu_ps(o0, _mm256_add_ps(_mm256_loadu_ps(o0), acc00));
+                    _mm256_storeu_ps(o0.add(8), _mm256_add_ps(_mm256_loadu_ps(o0.add(8)), acc01));
+                    _mm256_storeu_ps(o1, _mm256_add_ps(_mm256_loadu_ps(o1), acc10));
+                    _mm256_storeu_ps(o1.add(8), _mm256_add_ps(_mm256_loadu_ps(o1.add(8)), acc11));
+                    i += 2;
+                }
+                while i < m {
+                    let mut acc0 = _mm256_setzero_ps();
+                    let mut acc1 = _mm256_setzero_ps();
+                    for row in r0..r1 {
+                        let bp = b.as_ptr().add(row * n + j);
+                        let x0 = _mm256_set1_ps(*a.get_unchecked(row * m + i));
+                        acc0 = _mm256_fmadd_ps(x0, _mm256_loadu_ps(bp), acc0);
+                        acc1 = _mm256_fmadd_ps(x0, _mm256_loadu_ps(bp.add(8)), acc1);
+                    }
+                    let o = out.as_mut_ptr().add(i * n + j);
+                    _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(o), acc0));
+                    _mm256_storeu_ps(o.add(8), _mm256_add_ps(_mm256_loadu_ps(o.add(8)), acc1));
+                    i += 1;
+                }
+                j += 16;
+            }
+            while j < n8 {
+                let mut i = 0;
+                while i < m2 {
+                    let mut acc0 = _mm256_setzero_ps();
+                    let mut acc1 = _mm256_setzero_ps();
+                    for row in r0..r1 {
+                        let b0 = _mm256_loadu_ps(b.as_ptr().add(row * n + j));
+                        let x0 = _mm256_set1_ps(*a.get_unchecked(row * m + i));
+                        let x1 = _mm256_set1_ps(*a.get_unchecked(row * m + i + 1));
+                        acc0 = _mm256_fmadd_ps(x0, b0, acc0);
+                        acc1 = _mm256_fmadd_ps(x1, b0, acc1);
+                    }
+                    let o0 = out.as_mut_ptr().add(i * n + j);
+                    let o1 = out.as_mut_ptr().add((i + 1) * n + j);
+                    _mm256_storeu_ps(o0, _mm256_add_ps(_mm256_loadu_ps(o0), acc0));
+                    _mm256_storeu_ps(o1, _mm256_add_ps(_mm256_loadu_ps(o1), acc1));
+                    i += 2;
+                }
+                while i < m {
+                    let mut acc = _mm256_setzero_ps();
+                    for row in r0..r1 {
+                        acc = _mm256_fmadd_ps(
+                            _mm256_set1_ps(*a.get_unchecked(row * m + i)),
+                            _mm256_loadu_ps(b.as_ptr().add(row * n + j)),
+                            acc,
+                        );
+                    }
+                    let o = out.as_mut_ptr().add(i * n + j);
+                    _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(o), acc));
+                    i += 1;
+                }
+                j += 8;
+            }
+            for jj in n8..n {
+                for i in 0..m {
+                    let mut s = 0.0f32;
+                    for row in r0..r1 {
+                        s += a[row * m + i] * b[row * n + jj];
+                    }
+                    out[i * n + jj] += s;
+                }
+            }
+            r0 = r1;
+        }
+    }
+}
+
+/// Transpose a `[rows, cols]` row-major matrix into `dst` as
+/// `[cols, rows]`. Shared by the packed serving layout
+/// ([`crate::infer::PackedMlp`]) and the Linear backward's
+/// dX-via-transposed-W gemm, so the layout convention lives in one place.
+pub fn transpose(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    debug_assert!(src.len() >= rows * cols, "transpose source volume");
+    debug_assert!(dst.len() >= rows * cols, "transpose destination volume");
+    for i in 0..rows {
+        for j in 0..cols {
+            dst[j * rows + i] = src[i * cols + j];
+        }
+    }
+}
+
+// ------------------------------------------------- shared dense forward
+
+/// Portable dense-layer kernel: bias-seeded rows, k ascending — the tape's
+/// original accumulation order, kept as the scalar arm of [`dense_any`].
+pub fn dense_portable(
+    x: &[f32],
+    rows: usize,
+    w: &[f32],
+    b: &[f32],
+    in_dim: usize,
+    out_dim: usize,
+    out: &mut [f32],
+) {
+    for i in 0..rows {
+        let x_row = &x[i * in_dim..(i + 1) * in_dim];
+        let o_row = &mut out[i * out_dim..(i + 1) * out_dim];
+        o_row.copy_from_slice(b);
+        for (k, &xa) in x_row.iter().enumerate() {
+            let w_row = &w[k * out_dim..(k + 1) * out_dim];
+            for (o, &wv) in o_row.iter_mut().zip(w_row) {
+                *o += xa * wv;
+            }
+        }
+    }
+}
+
+/// The one dense forward both the tape ([`crate::Graph::linear`]) and the
+/// inference fast path (`infer::dense_forward`) call, so the two compute
+/// bit-identical values on whichever dispatch arm is active:
+/// `out = x @ w + b` (no activation), `x` `[rows, in]`, `w` `[in, out]`.
+///
+/// `out_dim == 1` heads take a scalar-dot specialization (same
+/// accumulation order as [`dense_portable`], vectorizable over k without
+/// strided weight access).
+pub fn dense_any(
+    x: &[f32],
+    rows: usize,
+    w: &[f32],
+    b: &[f32],
+    in_dim: usize,
+    out_dim: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(x.len() >= rows * in_dim, "input volume");
+    debug_assert_eq!(w.len(), in_dim * out_dim, "weight volume");
+    debug_assert_eq!(b.len(), out_dim, "bias length");
+    debug_assert!(out.len() >= rows * out_dim, "output volume");
+    if out_dim == 1 {
+        for i in 0..rows {
+            let x_row = &x[i * in_dim..(i + 1) * in_dim];
+            let mut acc = b[0];
+            for (&xa, &wv) in x_row.iter().zip(w) {
+                acc += xa * wv;
+            }
+            out[i] = acc;
+        }
+    } else if !gemm(x, rows, in_dim, w, out_dim, Some(b), out) {
+        dense_portable(x, rows, w, b, in_dim, out_dim, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_scalar_on_ragged_shapes() {
+        for &(m, k, n) in &[(1, 3, 9), (4, 8, 8), (5, 7, 11), (9, 16, 24), (2, 1, 8)] {
+            let a = filled(m * k, |i| (i as f32 * 0.37).sin());
+            let b = filled(k * n, |i| (i as f32 * 0.21).cos());
+            let mut simd = vec![f32::NAN; m * n];
+            let mut scalar = vec![f32::NAN; m * n];
+            gemm_scalar(&a, m, k, &b, n, &mut scalar);
+            if gemm(&a, m, k, &b, n, None, &mut simd) {
+                assert_close(&simd, &scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bias_seed_matches_portable() {
+        let (m, k, n) = (6, 5, 13);
+        let a = filled(m * k, |i| (i as f32 * 0.11).sin());
+        let w = filled(k * n, |i| (i as f32 * 0.07).cos());
+        let b = filled(n, |i| i as f32 * 0.01 - 0.05);
+        let mut simd = vec![f32::NAN; m * n];
+        let mut portable = vec![f32::NAN; m * n];
+        dense_portable(&a, m, &w, &b, k, n, &mut portable);
+        if gemm(&a, m, k, &w, n, Some(&b), &mut simd) {
+            assert_close(&simd, &portable);
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_scalar_including_single_row() {
+        for &(m, k, n) in &[(1, 8, 5), (1, 29, 128), (3, 12, 4), (7, 9, 10)] {
+            let a = filled(m * k, |i| (i as f32 * 0.19).sin());
+            let b = filled(n * k, |i| (i as f32 * 0.13).cos());
+            let mut simd = vec![f32::NAN; m * n];
+            let mut scalar = vec![f32::NAN; m * n];
+            gemm_nt_scalar(&a, m, k, &b, n, &mut scalar);
+            if gemm_nt(&a, m, k, &b, n, &mut simd) {
+                assert_close(&simd, &scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_scalar() {
+        for &(r, m, n) in &[(4, 3, 8), (5, 7, 11), (16, 2, 32), (3, 1, 9)] {
+            let a = filled(r * m, |i| (i as f32 * 0.23).sin());
+            let b = filled(r * n, |i| (i as f32 * 0.31).cos());
+            let mut simd = vec![f32::NAN; m * n];
+            let mut scalar = vec![f32::NAN; m * n];
+            gemm_tn_scalar(&a, r, m, &b, n, &mut scalar);
+            if gemm_tn(&a, r, m, &b, n, &mut simd) {
+                assert_close(&simd, &scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn small_widths_fall_back() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut out = [0.0f32; 1];
+        assert!(
+            !gemm(&a, 1, 2, &b, 1, None, &mut out),
+            "n=1 must not dispatch"
+        );
+        assert!(!gemm_nt(&a, 1, 2, &b, 1, &mut out), "k=2 must not dispatch");
+    }
+}

@@ -1,12 +1,17 @@
 //! Dense row-major f32 tensors.
 //!
-//! Shapes are small in this system (the paper's kernel policy network has
-//! fewer than 1 000 parameters), so the representation favors clarity over
-//! blocking/SIMD tricks: contiguous `Vec<f32>` plus an explicit shape.
-//! `matmul` is the only routine warranting an inner-loop layout: it iterates
-//! `i-k-j` so the innermost loop walks both operands contiguously.
+//! Networks are small in this system (the paper's kernel policy network
+//! has fewer than 1 000 parameters) but PPO batches are not: the update
+//! is matmul-bound, so the three matmul flavors the tape needs — plain
+//! (`A·B`), NT (`A·Bᵀ`, the `dX = dY·Wᵀ` backward) and TN (`Aᵀ·B`, the
+//! `dW = Xᵀ·dY` backward) — dispatch to the register-blocked AVX2/FMA
+//! kernels in [`crate::simd`] when the shape allows, and otherwise run
+//! the original scalar loops (`i-k-j` so the innermost loop walks both
+//! operands contiguously).
 
 use serde::{Deserialize, Serialize};
+
+use crate::simd;
 
 /// Maximum tensor rank (conv activations `[B, C, H, W]` are the deepest
 /// shapes in the system).
@@ -221,6 +226,11 @@ impl Tensor {
 
     /// [`Tensor::matmul`] into a caller-supplied buffer (cleared and
     /// resized), so arena-managed graphs can recycle allocations.
+    ///
+    /// Dispatches to the AVX2/FMA kernel ([`simd::gemm`]) when the shape
+    /// allows, the scalar `i-k-j` loop otherwise; large products split
+    /// across row blocks with rayon either way (fixed-size chunks, so the
+    /// result is independent of thread scheduling).
     pub fn matmul_into(&self, other: &Tensor, out: &mut Vec<f32>) {
         assert_eq!(self.shape.as_slice().len(), 2, "matmul lhs must be 2-D");
         assert_eq!(other.shape.as_slice().len(), 2, "matmul rhs must be 2-D");
@@ -230,30 +240,24 @@ impl Tensor {
         out.clear();
         out.resize(m * n, 0.0);
 
-        let row_op = |i: usize, o_row: &mut [f32]| {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+        let block = |r0: usize, rows: usize, chunk: &mut [f32]| {
+            let a = &self.data[r0 * k..(r0 + rows) * k];
+            if !simd::gemm(a, rows, k, &other.data, n, None, chunk) {
+                simd::gemm_scalar(a, rows, k, &other.data, n, chunk);
             }
         };
 
         // Parallelize only when the product is big enough to amortize the
-        // fork/join overhead (threshold ~1 Mflop).
+        // fork/join overhead (threshold ~1 Mflop). 64-row blocks keep the
+        // 4-row SIMD blocking intact within every task but the last.
         if m * k * n >= 512 * 1024 && m >= 2 {
             use rayon::prelude::*;
-            out.par_chunks_mut(n)
+            const ROWS_PER_TASK: usize = 64;
+            out.par_chunks_mut(ROWS_PER_TASK * n)
                 .enumerate()
-                .for_each(|(i, o_row)| row_op(i, o_row));
+                .for_each(|(ci, chunk)| block(ci * ROWS_PER_TASK, chunk.len() / n, chunk));
         } else {
-            for (i, o_row) in out.chunks_mut(n).enumerate() {
-                row_op(i, o_row);
-            }
+            block(0, m, out);
         }
     }
 
@@ -270,7 +274,8 @@ impl Tensor {
     }
 
     /// [`Tensor::matmul_nt`] into a caller-supplied buffer (cleared and
-    /// resized).
+    /// resized). Dispatches to the dot-product SIMD kernel
+    /// ([`simd::gemm_nt`]) when the inner dimension allows.
     pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Vec<f32>) {
         assert_eq!(self.shape.as_slice().len(), 2, "matmul_nt lhs must be 2-D");
         assert_eq!(other.shape.as_slice().len(), 2, "matmul_nt rhs must be 2-D");
@@ -279,13 +284,8 @@ impl Tensor {
         assert_eq!(k, k2, "matmul_nt inner dimensions {k} vs {k2}");
         out.clear();
         out.resize(m * n, 0.0);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                *o = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
-            }
+        if !simd::gemm_nt(&self.data, m, k, &other.data, n, out) {
+            simd::gemm_nt_scalar(&self.data, m, k, &other.data, n, out);
         }
     }
 
@@ -302,7 +302,8 @@ impl Tensor {
     }
 
     /// [`Tensor::matmul_tn`] into a caller-supplied buffer (cleared and
-    /// resized).
+    /// resized). Dispatches to the rank-1-update SIMD kernel
+    /// ([`simd::gemm_tn`]) when the output width allows.
     pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Vec<f32>) {
         assert_eq!(self.shape.as_slice().len(), 2, "matmul_tn lhs must be 2-D");
         assert_eq!(other.shape.as_slice().len(), 2, "matmul_tn rhs must be 2-D");
@@ -311,18 +312,8 @@ impl Tensor {
         assert_eq!(r, r2, "matmul_tn outer dimensions {r} vs {r2}");
         out.clear();
         out.resize(m * n, 0.0);
-        for row in 0..r {
-            let a_row = &self.data[row * m..(row + 1) * m];
-            let b_row = &other.data[row * n..(row + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if !simd::gemm_tn(&self.data, r, m, &other.data, n, out) {
+            simd::gemm_tn_scalar(&self.data, r, m, &other.data, n, out);
         }
     }
 

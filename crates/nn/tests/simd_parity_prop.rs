@@ -1,0 +1,160 @@
+//! Property tests: the runtime-dispatched SIMD kernels must agree with
+//! the scalar reference loops for every matmul flavor the training path
+//! uses — forward (`C = A·B`, bias-seeded dense included), `dA = dC·Bᵀ`
+//! (NT) and `dB = Aᵀ·dC` (TN) — across ragged shapes (rows/cols not
+//! multiples of the 4×8 block), including rows == 1 and the transposed
+//! weight layout.
+//!
+//! The kernels fuse multiply-adds and reorder accumulation, so values are
+//! compared within an ulp-scale relative tolerance; on machines (or CI
+//! arms) where SIMD is unavailable the dispatch falls back to the very
+//! loops we compare against and the properties hold trivially.
+
+use proptest::prelude::*;
+
+use rlsched_nn::infer::{self, PackedMlp, Scratch};
+use rlsched_nn::layers::{Activation, Mlp};
+use rlsched_nn::simd;
+use rlsched_nn::Tensor;
+
+const TOL: f32 = 1e-4;
+
+fn assert_close(simd: &[f32], scalar: &[f32]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(simd.len(), scalar.len());
+    for (i, (a, b)) in simd.iter().zip(scalar).enumerate() {
+        prop_assert!(
+            (a - b).abs() <= TOL * (1.0 + b.abs()),
+            "element {}: dispatched {} vs scalar {}",
+            i,
+            a,
+            b
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forward: `Tensor::matmul_into` (the tape's MatMul op) ≡ the scalar
+    /// i-k-j loop on ragged shapes, including single-row products.
+    #[test]
+    fn matmul_dispatch_matches_scalar(
+        m in 1usize..10,
+        k in 1usize..34,
+        n in 1usize..40,
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000,
+    ) {
+        let a = pseudo(m, k, seed_a);
+        let b = pseudo(k, n, seed_b);
+        let mut dispatched = Vec::new();
+        a.matmul_into(&b, &mut dispatched);
+        let mut scalar = vec![0.0f32; m * n];
+        simd::gemm_scalar(a.data(), m, k, b.data(), n, &mut scalar);
+        assert_close(&dispatched, &scalar)?;
+    }
+
+    /// Backward dA: `matmul_nt_into` (`dA = dC·Bᵀ`) ≡ per-element dot
+    /// products, including the rows == 1 transposed-layout case that the
+    /// packed serving path runs.
+    #[test]
+    fn matmul_nt_dispatch_matches_scalar(
+        m in 1usize..10,
+        k in 1usize..34,
+        n in 1usize..40,
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000,
+    ) {
+        let a = pseudo(m, k, seed_a);
+        let b = pseudo(n, k, seed_b);
+        let mut dispatched = Vec::new();
+        a.matmul_nt_into(&b, &mut dispatched);
+        let mut scalar = vec![0.0f32; m * n];
+        simd::gemm_nt_scalar(a.data(), m, k, b.data(), n, &mut scalar);
+        assert_close(&dispatched, &scalar)?;
+    }
+
+    /// Backward dB: `matmul_tn_into` (`dB = Aᵀ·dC`) ≡ the scalar rank-1
+    /// update loop.
+    #[test]
+    fn matmul_tn_dispatch_matches_scalar(
+        r in 1usize..34,
+        m in 1usize..12,
+        n in 1usize..40,
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000,
+    ) {
+        let a = pseudo(r, m, seed_a);
+        let b = pseudo(r, n, seed_b);
+        let mut dispatched = Vec::new();
+        a.matmul_tn_into(&b, &mut dispatched);
+        let mut scalar = vec![0.0f32; m * n];
+        simd::gemm_tn_scalar(a.data(), r, m, b.data(), n, &mut scalar);
+        assert_close(&dispatched, &scalar)?;
+    }
+
+    /// The bias-seeded dense forward (shared by tape `linear` and the
+    /// inference fast path) ≡ the portable tape-order kernel.
+    #[test]
+    fn dense_dispatch_matches_portable(
+        rows in 1usize..10,
+        in_dim in 1usize..20,
+        out_dim in 1usize..40,
+        seed_x in 0u64..1000,
+        seed_w in 0u64..1000,
+    ) {
+        let x = pseudo(rows, in_dim, seed_x);
+        let w = pseudo(in_dim, out_dim, seed_w);
+        let b: Vec<f32> = (0..out_dim).map(|j| (j as f32 * 0.3).sin() * 0.1).collect();
+        let mut dispatched = vec![0.0f32; rows * out_dim];
+        simd::dense_any(x.data(), rows, w.data(), &b, in_dim, out_dim, &mut dispatched);
+        let mut portable = vec![0.0f32; rows * out_dim];
+        simd::dense_portable(x.data(), rows, w.data(), &b, in_dim, out_dim, &mut portable);
+        assert_close(&dispatched, &portable)?;
+    }
+
+    /// The transposed-weight single-row path (`PackedMlp`, NT kernel) ≡
+    /// the standard-layout forward on the same weights.
+    #[test]
+    fn packed_single_row_matches_standard_layout(
+        in_dim in 1usize..24,
+        hidden in 1usize..40,
+        out_dim in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(
+            &[in_dim, hidden, out_dim],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
+        let x = pseudo(1, in_dim, seed ^ 0xabcd);
+
+        let mut scratch = Scratch::new();
+        let mut standard = Vec::new();
+        infer::mlp_forward(&mlp, x.data(), 1, &mut scratch, &mut standard);
+
+        let packed = PackedMlp::pack(&mlp);
+        let mut transposed = Vec::new();
+        packed.forward_row(x.data(), &mut scratch, &mut transposed);
+        assert_close(&transposed, &standard)?;
+    }
+}
+
+/// Deterministic pseudo-random matrix (keeps the strategy space on the
+/// shape dims, where the block-boundary edge cases live).
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            ((h >> 33) as f32 / (1u64 << 31) as f32) * 3.0 - 1.5
+        })
+        .collect();
+    Tensor::from_vec(data, &[rows, cols])
+}

@@ -1,15 +1,16 @@
 //! The environment abstraction: a masked discrete-action episodic
 //! environment, the SchedGym contract of §IV-D seen from the agent's side.
+//!
+//! Observations and masks flow through *caller-owned* buffers: `reset`
+//! and `step` write into `&mut Vec<f32>`s the rollout worker reuses for
+//! every step of every episode, so steady-state environment stepping
+//! performs no heap allocation (the allocation-regression tests in
+//! `rlsched-bench` pin this down).
 
-/// Result of one environment step.
-#[derive(Debug, Clone)]
+/// Result of one environment step. The next observation and mask are
+/// written into the buffers passed to [`Env::step`], not returned here.
+#[derive(Debug, Clone, Copy)]
 pub struct StepOutcome {
-    /// Next observation (flattened, `obs_dim` long). Meaningless when
-    /// `done` is true.
-    pub obs: Vec<f32>,
-    /// Next additive action mask (`n_actions` long; 0 valid, very negative
-    /// invalid). Meaningless when `done` is true.
-    pub mask: Vec<f32>,
     /// Reward for the action just taken. In batch-job scheduling this is 0
     /// until the final action, which carries the whole episode metric
     /// (§IV-A of the paper).
@@ -30,12 +31,16 @@ pub trait Env {
     fn n_actions(&self) -> usize;
 
     /// Start a new episode derived from `seed` (the seed selects the job
-    /// sequence; implementations must be reproducible). Returns the first
-    /// observation and mask.
-    fn reset(&mut self, seed: u64) -> (Vec<f32>, Vec<f32>);
+    /// sequence; implementations must be reproducible). Writes the first
+    /// observation (`obs_dim` long) and additive mask (`n_actions` long;
+    /// 0 valid, very negative invalid) into the caller's buffers.
+    fn reset(&mut self, seed: u64, obs: &mut Vec<f32>, mask: &mut Vec<f32>);
 
-    /// Apply an action.
-    fn step(&mut self, action: usize) -> StepOutcome;
+    /// Apply an action, writing the next observation and mask into the
+    /// caller's buffers (their contents are unspecified when the returned
+    /// outcome has `done == true`). Implementations must not allocate at
+    /// steady state.
+    fn step(&mut self, action: usize, obs: &mut Vec<f32>, mask: &mut Vec<f32>) -> StepOutcome;
 }
 
 #[cfg(test)]
@@ -65,20 +70,18 @@ pub(crate) mod test_env {
             }
         }
 
-        fn mask(&self) -> Vec<f32> {
-            (0..self.n_actions)
-                .map(|i| {
-                    if self.masked.contains(&i) {
-                        crate::categorical::MASK_OFF
-                    } else {
-                        0.0
-                    }
-                })
-                .collect()
-        }
-
-        fn obs(&self) -> Vec<f32> {
-            vec![self.t as f32 / self.episode_len as f32, 1.0]
+        fn write_obs(&self, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
+            obs.clear();
+            obs.push(self.t as f32 / self.episode_len as f32);
+            obs.push(1.0);
+            mask.clear();
+            mask.extend((0..self.n_actions).map(|i| {
+                if self.masked.contains(&i) {
+                    crate::categorical::MASK_OFF
+                } else {
+                    0.0
+                }
+            }));
         }
     }
 
@@ -89,19 +92,20 @@ pub(crate) mod test_env {
         fn n_actions(&self) -> usize {
             self.n_actions
         }
-        fn reset(&mut self, _seed: u64) -> (Vec<f32>, Vec<f32>) {
+        fn reset(&mut self, _seed: u64, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
             self.t = 0;
             self.acc = 0.0;
-            (self.obs(), self.mask())
+            self.write_obs(obs, mask);
         }
-        fn step(&mut self, action: usize) -> StepOutcome {
+        fn step(&mut self, action: usize, obs: &mut Vec<f32>, mask: &mut Vec<f32>) -> StepOutcome {
             assert!(!self.masked.contains(&action), "masked action selected");
             self.t += 1;
             self.acc += action as f64 / self.n_actions as f64;
             let done = self.t >= self.episode_len;
+            if !done {
+                self.write_obs(obs, mask);
+            }
             StepOutcome {
-                obs: self.obs(),
-                mask: self.mask(),
                 reward: if done { self.acc } else { 0.0 },
                 done,
                 episode_metric: if done { Some(self.acc) } else { None },

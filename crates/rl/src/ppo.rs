@@ -41,6 +41,46 @@ pub trait PolicyModel {
         out.extend_from_slice(g.value(lp).data());
     }
 
+    /// Batched inference fast path: write `rows` masked log-prob rows
+    /// (`[rows, n_actions]` row-major) into `out`, with no tape
+    /// bookkeeping. `obs` is `[rows, obs_dim]` row-major and `masks`
+    /// `[rows, n_actions]`.
+    ///
+    /// The default loops over rows through [`PolicyModel::log_probs_fast`]
+    /// (correct for any policy, but pays the weight stream per row);
+    /// models that serve concurrent requests override it with one batched
+    /// forward — the dense kernels already take a `rows` parameter — so
+    /// weight traffic is amortized across the batch. Row `i` of the
+    /// result must match `log_probs_fast` on row `i` alone up to float
+    /// reassociation (SIMD row-blocking can differ between batched and
+    /// single rows), so argmax decisions agree except on floating-point
+    /// near-ties.
+    fn log_probs_fast_batch(
+        &self,
+        obs: &[f32],
+        masks: &[f32],
+        rows: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(rows > 0, "batched forward needs at least one row");
+        assert_eq!(obs.len() % rows, 0, "obs volume must divide into rows");
+        assert_eq!(masks.len() % rows, 0, "mask volume must divide into rows");
+        let obs_dim = obs.len() / rows;
+        let n_actions = masks.len() / rows;
+        out.clear();
+        let mut row = Vec::new();
+        for i in 0..rows {
+            self.log_probs_fast(
+                &obs[i * obs_dim..(i + 1) * obs_dim],
+                &masks[i * n_actions..(i + 1) * n_actions],
+                scratch,
+                &mut row,
+            );
+            out.extend_from_slice(&row);
+        }
+    }
+
     /// Parameter tensors in bind order.
     fn params(&self) -> Vec<&Tensor>;
 
@@ -270,6 +310,32 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
         self.policy
             .log_probs_fast(obs, mask, &mut scratch.nn, &mut scratch.logp);
         MaskedCategorical::new(&scratch.logp).argmax()
+    }
+
+    /// Argmax actions for a whole batch of observations through one
+    /// batched forward: `obs` is `[rows, obs_dim]` row-major, `masks`
+    /// `[rows, n_actions]`. Amortizes the policy's weight stream across
+    /// concurrent decisions; allocation-free at steady state when the
+    /// policy overrides [`PolicyModel::log_probs_fast_batch`] (the
+    /// default falls back to a per-row loop with a temporary buffer).
+    pub fn greedy_batch_with(
+        &self,
+        obs: &[f32],
+        masks: &[f32],
+        rows: usize,
+        scratch: &mut ActorScratch,
+        actions: &mut Vec<usize>,
+    ) {
+        assert!(rows > 0, "batched selection needs at least one row");
+        assert_eq!(obs.len() % rows, 0, "obs volume must divide into rows");
+        assert_eq!(masks.len() % rows, 0, "mask volume must divide into rows");
+        let n_actions = masks.len() / rows;
+        self.policy
+            .log_probs_fast_batch(obs, masks, rows, &mut scratch.nn, &mut scratch.logp);
+        actions.clear();
+        actions.extend((0..rows).map(|i| {
+            MaskedCategorical::new(&scratch.logp[i * n_actions..(i + 1) * n_actions]).argmax()
+        }));
     }
 
     /// Argmax action through the full tape (benchmark baseline).
@@ -613,19 +679,21 @@ mod tests {
         for _epoch in 0..30 {
             let mut buf = RolloutBuffer::new(2, n_actions, ppo.cfg.gamma, ppo.cfg.lam);
             let mut metrics = Vec::new();
+            let (mut obs, mut mask) = (Vec::new(), Vec::new());
+            let (mut next_obs, mut next_mask) = (Vec::new(), Vec::new());
             for ep in 0..8 {
-                let (mut obs, mut mask) = env.reset(ep);
+                env.reset(ep, &mut obs, &mut mask);
                 loop {
                     let (a, logp, v) = ppo.select(&obs, &mask, &mut rng);
-                    let out = env.step(a);
+                    let out = env.step(a, &mut next_obs, &mut next_mask);
                     buf.store(&obs, &mask, a, out.reward, v, logp);
                     if out.done {
                         buf.finish_path(0.0);
                         metrics.push(out.episode_metric.unwrap());
                         break;
                     }
-                    obs = out.obs;
-                    mask = out.mask;
+                    std::mem::swap(&mut obs, &mut next_obs);
+                    std::mem::swap(&mut mask, &mut next_mask);
                 }
             }
             last_mean = metrics.iter().sum::<f64>() / metrics.len() as f64;

@@ -55,21 +55,26 @@ where
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut buf = RolloutBuffer::new(env.obs_dim(), env.n_actions(), ppo.cfg.gamma, ppo.cfg.lam);
     // One scratch per worker-episode: every action selection inside the
-    // episode runs through the allocation-free inference fast path.
+    // episode runs through the allocation-free inference fast path. The
+    // env writes observations/masks into this double-buffered pair (the
+    // step's outputs land in `next_*` while `obs`/`mask` are still needed
+    // for the store), so steady-state stepping allocates nothing.
     let mut scratch = crate::ppo::ActorScratch::new();
-    let (mut obs, mut mask) = env.reset(seed);
+    let (mut obs, mut mask) = (Vec::new(), Vec::new());
+    let (mut next_obs, mut next_mask) = (Vec::new(), Vec::new());
+    env.reset(seed, &mut obs, &mut mask);
     let mut ep_return = 0.0;
     let metric = loop {
         let (a, logp, v) = ppo.select_with(&obs, &mask, &mut scratch, &mut rng);
-        let out = env.step(a);
+        let out = env.step(a, &mut next_obs, &mut next_mask);
         buf.store(&obs, &mask, a, out.reward, v, logp);
         ep_return += out.reward;
         if out.done {
             buf.finish_path(0.0);
             break out.episode_metric;
         }
-        obs = out.obs;
-        mask = out.mask;
+        std::mem::swap(&mut obs, &mut next_obs);
+        std::mem::swap(&mut mask, &mut next_mask);
     };
     (buf, ep_return, metric)
 }

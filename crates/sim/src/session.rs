@@ -108,6 +108,9 @@ pub struct SchedSession {
     /// `start[i]` is `Some(t)` once job `i` has started.
     start_times: Vec<Option<f64>>,
     scheduled: usize,
+    /// Reused scratch for [`SchedSession::estimated_start`]'s release
+    /// schedule, so blocked-reservation steps stay allocation-free.
+    release_buf: Vec<(f64, u32)>,
 }
 
 impl SchedSession {
@@ -142,6 +145,9 @@ impl SchedSession {
             running: BinaryHeap::with_capacity(64),
             start_times: vec![None; n],
             scheduled: 0,
+            // Sized with the running heap so the first blocked-reservation
+            // step doesn't have to grow it mid-episode.
+            release_buf: Vec::with_capacity(64),
         };
         s.absorb_arrivals();
         s.advance_to_decision();
@@ -188,26 +194,31 @@ impl SchedSession {
         &self.jobs[index]
     }
 
-    /// A policy-facing snapshot of the current decision point.
+    /// The waiting jobs as a policy would see them, in FCFS order,
+    /// without materializing a [`QueueView`] — the allocation-free way to
+    /// walk the queue each decision (observation encoders stream this
+    /// straight into their buffers).
+    pub fn waiting_jobs(&self) -> impl Iterator<Item = WaitingJob<'_>> + '_ {
+        self.queue.iter().map(move |&i| {
+            let job = &self.jobs[i];
+            WaitingJob {
+                job,
+                job_index: i,
+                wait: self.time - job.submit_time,
+                can_run_now: job.procs() <= self.free_procs,
+            }
+        })
+    }
+
+    /// A policy-facing snapshot of the current decision point. Allocates
+    /// the waiting vector; per-step hot paths should iterate
+    /// [`SchedSession::waiting_jobs`] instead.
     pub fn view(&self) -> QueueView<'_> {
-        let waiting: Vec<WaitingJob<'_>> = self
-            .queue
-            .iter()
-            .map(|&i| {
-                let job = &self.jobs[i];
-                WaitingJob {
-                    job,
-                    job_index: i,
-                    wait: self.time - job.submit_time,
-                    can_run_now: job.procs() <= self.free_procs,
-                }
-            })
-            .collect();
         QueueView {
             time: self.time,
             free_procs: self.free_procs,
             total_procs: self.total_procs,
-            waiting,
+            waiting: self.waiting_jobs().collect(),
         }
     }
 
@@ -283,33 +294,41 @@ impl SchedSession {
         true
     }
 
-    /// Estimated earliest start time of `job`, assuming running jobs release
-    /// their processors at their *requested* completion times. This is the
-    /// EASY "shadow time": backfilled jobs must finish (by request) before it.
-    fn estimated_start(&self, job: &Job) -> f64 {
-        let needed = job.procs();
+    /// Estimated earliest start time of the job at `job_index`, assuming
+    /// running jobs release their processors at their *requested*
+    /// completion times. This is the EASY "shadow time": backfilled jobs
+    /// must finish (by request) before it. Uses the session's reusable
+    /// release buffer, so repeated blocked steps allocate nothing.
+    fn estimated_start(&mut self, job_index: usize) -> f64 {
+        let needed = self.jobs[job_index].procs();
         if needed <= self.free_procs {
             return self.time;
         }
-        let mut releases: Vec<(f64, u32)> = self
-            .running
-            .iter()
-            .map(|r| (r.est_end_time, r.procs))
-            .collect();
-        releases.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite estimates"));
+        let mut releases = std::mem::take(&mut self.release_buf);
+        releases.clear();
+        releases.extend(self.running.iter().map(|r| (r.est_end_time, r.procs)));
+        // Unstable sort (no allocation); ties on time yield the same
+        // shadow value regardless of their relative order.
+        releases.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite estimates"));
         let mut free = self.free_procs;
-        for (t, p) in releases {
+        let mut shadow = None;
+        for &(t, p) in &releases {
             free += p;
             if free >= needed {
-                return t;
+                shadow = Some(t);
+                break;
             }
         }
-        // Unreachable for clamped traces (every job fits in an empty
-        // cluster), but stay total: never before all running jobs end.
-        self.running
-            .iter()
-            .map(|r| r.est_end_time)
-            .fold(self.time, f64::max)
+        self.release_buf = releases;
+        // The fallback is unreachable for clamped traces (every job fits
+        // in an empty cluster), but stay total: never before all running
+        // jobs end.
+        shadow.unwrap_or_else(|| {
+            self.running
+                .iter()
+                .map(|r| r.est_end_time)
+                .fold(self.time, f64::max)
+        })
     }
 
     /// EASY backfilling pass: start queued jobs (FCFS order) that fit now
@@ -360,7 +379,7 @@ impl SchedSession {
         } else {
             // The selected job becomes the reservation; compute its shadow
             // start once from requested runtimes, as EASY does.
-            let shadow = self.estimated_start(&self.jobs[job_index]);
+            let shadow = self.estimated_start(job_index);
             while self.jobs[job_index].procs() > self.free_procs {
                 if self.cfg.backfill == BackfillMode::Easy {
                     self.backfill_pass(shadow);

@@ -109,6 +109,30 @@ fn training_is_reproducible() {
 }
 
 #[test]
+fn training_yields_bit_identical_params_for_identical_seeds() {
+    // The SIMD-training-path determinism contract: with the same seed,
+    // two training runs must produce *bit-identical* trained parameters
+    // and episode metrics — on whichever kernel dispatch arm is active
+    // (CI runs the suite on both: default, and RLSCHED_FORCE_SCALAR=1).
+    // Dispatch is decided once per process from CPU features, never from
+    // data, and the rayon matmul split uses fixed-size chunks, so thread
+    // scheduling cannot perturb a single bit.
+    let trace = NamedWorkload::Lublin1.generate(600, 27);
+    let mut a = small_agent(9);
+    let ca = train(&mut a, &trace, &train_cfg(3));
+    let mut b = small_agent(9);
+    let cb = train(&mut b, &trace, &train_cfg(3));
+    assert_eq!(
+        a.save_json(),
+        b.save_json(),
+        "trained checkpoints (policy + value weights) must be bit-identical"
+    );
+    let ma: Vec<f64> = ca.iter().map(|e| e.mean_metric).collect();
+    let mb: Vec<f64> = cb.iter().map(|e| e.mean_metric).collect();
+    assert_eq!(ma, mb, "per-epoch episode metrics must be bit-identical");
+}
+
+#[test]
 fn fairness_objective_trains_and_reports() {
     let trace = NamedWorkload::Hpc2n.generate(800, 26);
     let mut cfg = AgentConfig::for_metric(MetricKind::FairMaxBoundedSlowdown);
