@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use rlsched_bench::alloc::count_allocs;
-use rlsched_rl::{collect_rollouts, Env, PpoConfig};
+use rlsched_rl::{collect_episodes, collect_rollouts, Env, PpoConfig, RolloutBuffer, VecEnv};
 use rlsched_sim::{MetricKind, SimConfig};
 use rlsched_workload::NamedWorkload;
 use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind, SchedulingEnv};
@@ -70,9 +70,27 @@ fn bench_update(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(agent.ppo_mut().update(&batch)))
     });
 
+    // Lockstep batched collection (all 8 envs scored through one stacked
+    // forward per tick — the path training uses) vs the per-env baseline
+    // (8 sequential single-env rollouts; bit-identical trajectories).
     group.bench_function("rollout_8x128", |b| {
         b.iter(|| {
             let (batch, _s) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
+            std::hint::black_box(batch.len())
+        })
+    });
+    group.bench_function("rollout_8x128_perenv", |b| {
+        b.iter(|| {
+            // Same merged, normalized batch as the lockstep arm (the
+            // parity tests pin bit-identity) — only the stepping/scoring
+            // strategy differs.
+            let mut bufs = Vec::with_capacity(envs.len());
+            for (env, &seed) in envs.iter_mut().zip(&seeds) {
+                let mut venv: VecEnv<&mut SchedulingEnv> = VecEnv::new(vec![env]);
+                let (mut episode_bufs, _s) = collect_episodes(agent.ppo(), &mut venv, &[seed]);
+                bufs.append(&mut episode_bufs);
+            }
+            let batch = RolloutBuffer::into_batch(bufs);
             std::hint::black_box(batch.len())
         })
     });
@@ -95,6 +113,8 @@ fn bench_update(c: &mut Criterion) {
         let mut env = envs[0].clone();
         let (mut obs, mut mask) = (Vec::new(), Vec::new());
         b.iter(|| {
+            obs.clear();
+            mask.clear();
             env.reset(rng.gen(), &mut obs, &mut mask);
             let mut steps = 0usize;
             loop {
@@ -114,6 +134,8 @@ fn bench_update(c: &mut Criterion) {
                         }
                     })
                     .expect("a valid slot always exists");
+                obs.clear();
+                mask.clear();
                 let out = env.step(a, &mut obs, &mut mask);
                 steps += 1;
                 if out.done {

@@ -122,6 +122,7 @@ impl Profile {
             sim,
             filter,
             seed: self.seed,
+            n_envs: 16,
         }
     }
 

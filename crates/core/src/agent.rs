@@ -4,11 +4,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use rlsched_nn::PackedMlp;
-use rlsched_rl::{ActorScratch, MaskedCategorical, PolicyModel, Ppo, PpoConfig};
+use rlsched_rl::{greedy_batch, ActorScratch, PolicyModel, Ppo, PpoConfig};
 use rlsched_sim::{MetricKind, Policy, QueueView};
 
-use crate::nets::{mask_and_log_softmax, PolicyKind, PolicyNet, ValueNet};
+use crate::nets::{PackedScorer, PolicyKind, PolicyNet, ValueNet};
 use crate::obs::{ObsConfig, ObsEncoder};
 use crate::reward::Objective;
 
@@ -149,13 +148,13 @@ impl Agent {
     /// batched forward: the views stack into a `[views, obs_dim]` matrix,
     /// so the policy's weight stream is amortized across all of them —
     /// what a sharded scheduling server wants for simultaneous requests.
-    /// All buffers are caller-owned; for the kernel and flat-MLP policies
-    /// the call is allocation-free at steady state (the CNN has no
-    /// batched forward and loops per view with a temporary row buffer).
-    /// Row `i` of `actions` matches [`Agent::score`] on view `i` alone,
-    /// except on floating-point near-ties: the batched forward can take a
-    /// different SIMD row-blocking path, which reorders accumulation by
-    /// a few ulps.
+    /// The scoring runs through the same [`rlsched_rl::BatchPolicy`] path as training
+    /// rollouts and greedy evaluation. All buffers are caller-owned; for
+    /// the kernel and flat-MLP policies the call is allocation-free at
+    /// steady state (the CNN has no batched forward and loops per view
+    /// with a temporary row buffer). Since the forward kernels are
+    /// row-count invariant, row `i` of `actions` is exactly
+    /// [`Agent::score`] on view `i` alone.
     pub fn score_batch_with(
         &self,
         views: &[QueueView<'_>],
@@ -201,9 +200,10 @@ impl Agent {
     /// Borrow the agent as a simulator policy (inference only). The
     /// returned policy owns encode and network scratch buffers, so
     /// repeated decisions allocate nothing. Flat-MLP policies also take a
-    /// weight-transposed snapshot here (safe: the borrow freezes the
-    /// agent's weights for the policy's lifetime) so their single-row
-    /// decisions run the cache-friendly transposed layout.
+    /// weight-transposed [`PackedScorer`] snapshot here (safe: the borrow
+    /// freezes the agent's weights for the policy's lifetime) so their
+    /// decisions run the cache-friendly transposed layout — through the
+    /// same [`rlsched_rl::BatchPolicy`] scoring path as batch serving.
     pub fn as_policy(&self) -> RlPolicy<'_> {
         RlPolicy {
             agent: self,
@@ -211,8 +211,8 @@ impl Agent {
             scratch: ActorScratch::new(),
             obs: Vec::new(),
             mask: Vec::new(),
-            packed: self.ppo.policy.packed(),
-            logits: Vec::new(),
+            packed: self.ppo.policy.packed_scorer(),
+            actions: Vec::new(),
         }
     }
 
@@ -245,17 +245,17 @@ impl Agent {
 /// A trained agent plugged into the episode driver: selects greedily, no
 /// exploration (§IV-B1's test path). Owns the encode and inference
 /// buffers, so steady-state decisions are allocation-free. For flat-MLP
-/// agents it also carries a weight-transposed snapshot (taken while the
-/// agent borrow freezes the weights) and serves single-row decisions
-/// through it.
+/// agents it also carries a weight-transposed [`PackedScorer`] snapshot
+/// (taken while the agent borrow freezes the weights) and serves
+/// decisions through it as 1-row [`rlsched_rl::BatchPolicy`] scoring calls.
 pub struct RlPolicy<'a> {
     agent: &'a Agent,
     name: String,
     scratch: ActorScratch,
     obs: Vec<f32>,
     mask: Vec<f32>,
-    packed: Option<PackedMlp>,
-    logits: Vec<f32>,
+    packed: Option<PackedScorer>,
+    actions: Vec<usize>,
 }
 
 impl Policy for RlPolicy<'_> {
@@ -270,16 +270,22 @@ impl Policy for RlPolicy<'_> {
         };
         // Transposed-layout serving path: same encode, same masked
         // log-softmax tail, but the dense forwards read `[out, in]`
-        // weights as contiguous dot products (NT kernel). The packed
-        // accumulation order can differ from the tape's in the last few
-        // ulps, so decisions match the unpacked path except on
-        // floating-point near-ties.
+        // weights as contiguous dot products (NT kernel), batch size 1.
+        // The packed accumulation order can differ from the tape's in
+        // the last few ulps, so decisions match the unpacked path except
+        // on floating-point near-ties.
         self.agent
             .encoder
             .encode_into(view, &mut self.obs, &mut self.mask);
-        packed.forward_row(&self.obs, &mut self.scratch.nn, &mut self.logits);
-        mask_and_log_softmax(&mut self.logits, &self.mask);
-        Agent::clamp_to_queue(view, MaskedCategorical::new(&self.logits).argmax())
+        greedy_batch(
+            packed,
+            &self.obs,
+            &self.mask,
+            1,
+            &mut self.scratch,
+            &mut self.actions,
+        );
+        Agent::clamp_to_queue(view, self.actions[0])
     }
 
     fn name(&self) -> &str {

@@ -68,6 +68,18 @@ impl SchedulingEnv {
         self.objective
     }
 
+    /// Full episode metrics of the finished episode, if the current
+    /// session has run to completion (the session survives until the
+    /// next `reset`, so lockstep drivers — e.g. batched greedy evaluation
+    /// over a `VecEnv` — can pull the whole metric table after the env's
+    /// slot retires).
+    pub fn metrics(&self) -> Option<rlsched_sim::EpisodeMetrics> {
+        self.session
+            .as_ref()
+            .filter(|s| s.done())
+            .and_then(|s| s.metrics().ok())
+    }
+
     fn draw_window(&self, seed: u64) -> JobTrace {
         let sampler =
             SequenceSampler::new(self.trace.len(), self.seq_len).expect("validated in constructor");
@@ -93,14 +105,14 @@ impl SchedulingEnv {
         }
     }
 
-    /// Encode the current decision point straight from the session into
-    /// caller buffers: the waiting jobs stream through
+    /// Encode the current decision point straight from the session,
+    /// **appending** one observation row and one mask row to the caller
+    /// buffers (the [`Env`] append contract — a `VecEnv` passes its
+    /// stacked matrix here directly): the waiting jobs stream through
     /// [`rlsched_sim::SchedSession::waiting_jobs`] without materializing
     /// a `QueueView`, so a steady-state step allocates nothing.
     fn observe_into(&self, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
         let session = self.session.as_ref().expect("reset before observe");
-        obs.clear();
-        mask.clear();
         self.encoder.encode_jobs_extend(
             session.free_procs(),
             session.total_procs(),
@@ -187,12 +199,15 @@ mod tests {
         )
     }
 
-    /// Drive an episode with a fixed "always head of queue" policy.
+    /// Drive an episode with a fixed "always head of queue" policy
+    /// (manual single-env driving: buffers cleared before each append).
     fn run_episode_fcfs(env: &mut SchedulingEnv, seed: u64) -> (usize, f64) {
         let (mut obs, mut mask) = (Vec::new(), Vec::new());
         env.reset(seed, &mut obs, &mut mask);
         let mut steps = 0;
         loop {
+            obs.clear();
+            mask.clear();
             let out = env.step(0, &mut obs, &mut mask);
             steps += 1;
             if out.done {
@@ -239,6 +254,8 @@ mod tests {
         let (mut obs, mut mask) = (Vec::new(), Vec::new());
         e.reset(1, &mut obs, &mut mask);
         for i in 0..12 {
+            obs.clear();
+            mask.clear();
             let out = e.step(0, &mut obs, &mut mask);
             if i < 11 {
                 assert_eq!(out.reward, 0.0, "intermediate step {i}");
@@ -299,6 +316,8 @@ mod tests {
         e.reset(2, &mut obs, &mut mask);
         let mut last = None;
         for _ in 0..12 {
+            obs.clear();
+            mask.clear();
             let out = e.step(0, &mut obs, &mut mask);
             if out.done {
                 last = Some(out);

@@ -67,9 +67,11 @@ pub mod train;
 
 pub use agent::{Agent, AgentConfig, RlPolicy};
 pub use env::SchedulingEnv;
-pub use eval::{evaluate_policy, mean_metric, sample_eval_windows};
+pub use eval::{evaluate_agent, evaluate_policy, mean_metric, sample_eval_windows};
 pub use filter::TrajectoryFilter;
-pub use nets::{FlatMlpPolicy, KernelPolicy, LeNetPolicy, PolicyKind, PolicyNet, ValueNet};
+pub use nets::{
+    FlatMlpPolicy, KernelPolicy, LeNetPolicy, PackedScorer, PolicyKind, PolicyNet, ValueNet,
+};
 pub use obs::{ObsConfig, ObsEncoder, JOB_FEATURES};
 pub use reward::Objective;
 pub use train::{train, EpochStats, FilterMode, TrainConfig, TrainingCurve};
@@ -77,7 +79,7 @@ pub use train::{train, EpochStats, FilterMode, TrainConfig, TrainingCurve};
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
     pub use crate::agent::{Agent, AgentConfig};
-    pub use crate::eval::{evaluate_policy, mean_metric, sample_eval_windows};
+    pub use crate::eval::{evaluate_agent, evaluate_policy, mean_metric, sample_eval_windows};
     pub use crate::filter::TrajectoryFilter;
     pub use crate::nets::PolicyKind;
     pub use crate::obs::ObsConfig;

@@ -23,7 +23,7 @@ use rlsched_nn::{
     Activation, Conv2dLayer, Dense, Graph, Mlp, Network, PackedMlp, ParamBinds, Scratch, Tensor,
     Var,
 };
-use rlsched_rl::{PolicyModel, ValueModel};
+use rlsched_rl::{BatchPolicy, PolicyModel, ValueModel};
 
 use crate::obs::JOB_FEATURES;
 
@@ -89,6 +89,25 @@ impl PolicyKind {
     }
 }
 
+/// Batched kernel scoring processes this many views per dispatch (each
+/// view contributes `max_obsv` job rows, so a block is ~a thousand rows
+/// at the paper's K = 128). Tunable via `RLSCHED_KERNEL_VIEW_BLOCK` for
+/// experiments (read once, cached); see
+/// `KernelPolicy::log_probs_fast_batch` for why blocks beat one
+/// monolithic stack.
+const KERNEL_VIEW_BLOCK: usize = 8;
+
+fn kernel_view_block() -> usize {
+    static BLOCK: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BLOCK.get_or_init(|| {
+        std::env::var("RLSCHED_KERNEL_VIEW_BLOCK")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(KERNEL_VIEW_BLOCK)
+    })
+}
+
 /// The kernel-based policy network (Fig 5).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelPolicy {
@@ -144,8 +163,32 @@ impl PolicyModel for KernelPolicy {
         out: &mut Vec<f32>,
     ) {
         // All views' job windows stack into one [rows * K, F] matrix and
-        // flow through the shared kernel in a single batched pass.
-        infer::mlp_forward(&self.kernel, obs, rows * self.max_obsv, scratch, out);
+        // flow through the shared kernel batched — in blocks of
+        // KERNEL_VIEW_BLOCK views. The kernel net's weights are
+        // L1-resident (batching buys dispatch amortization, not weight
+        // traffic), so what limits large stacks is the *intermediate
+        // activation* working set (`rows * K` rows through every hidden
+        // width); blocking keeps it cache-resident while still scoring
+        // ~a thousand job rows per dispatch. Row-count invariance of the
+        // dense kernels makes the blocking invisible: every row computes
+        // the same bits at any block size.
+        let chunk = kernel_view_block();
+        let k = self.max_obsv;
+        let obs_per_view = obs.len() / rows;
+        out.clear();
+        let mut tmp = std::mem::take(infer::scratch_extra(scratch));
+        for start in (0..rows).step_by(chunk) {
+            let n_views = chunk.min(rows - start);
+            infer::mlp_forward(
+                &self.kernel,
+                &obs[start * obs_per_view..(start + n_views) * obs_per_view],
+                n_views * k,
+                scratch,
+                &mut tmp,
+            );
+            out.extend_from_slice(&tmp);
+        }
+        *infer::scratch_extra(scratch) = tmp;
         mask_and_log_softmax_rows(out, masks, rows, self.max_obsv);
     }
 
@@ -382,7 +425,7 @@ impl PolicyNet {
         }
     }
 
-    /// Weight-transposed snapshot for the rows==1 serving path, for the
+    /// Weight-transposed snapshot for the serving path, for the
     /// architectures where the layout pays off: the flat MLPs stream
     /// hundreds of KB of weights per decision. The kernel network's
     /// weights are L1-resident (layout is irrelevant) and the CNN is not
@@ -392,6 +435,12 @@ impl PolicyNet {
             PolicyNet::Mlp(p) => Some(p.packed()),
             PolicyNet::Kernel(_) | PolicyNet::LeNet(_) => None,
         }
+    }
+
+    /// [`PolicyNet::packed`] wrapped as a [`BatchPolicy`] scorer, serving
+    /// single decisions and coalesced batches through one code path.
+    pub fn packed_scorer(&self) -> Option<PackedScorer> {
+        self.packed().map(PackedScorer::new)
     }
 }
 
@@ -446,6 +495,47 @@ impl PolicyModel for PolicyNet {
     }
 }
 
+/// A weight-transposed serving scorer: a [`PackedMlp`] snapshot behind
+/// the [`BatchPolicy`] interface, so the packed `[out, in]` layout serves
+/// single decisions (`rows == 1`) and coalesced batches through the
+/// *same* code path as every other scorer. The NT kernel computes each
+/// output row independently, so batch size never changes a row's bits.
+///
+/// A pack is a snapshot: build it while the agent's weights are frozen
+/// (e.g. for the lifetime of a borrowed serving policy) and rebuild
+/// after training.
+#[derive(Debug, Clone)]
+pub struct PackedScorer {
+    packed: PackedMlp,
+}
+
+impl PackedScorer {
+    /// Wrap a packed network whose final layer emits one logit per
+    /// action slot.
+    pub fn new(packed: PackedMlp) -> Self {
+        PackedScorer { packed }
+    }
+
+    /// Action-slot count (the packed head width).
+    pub fn n_actions(&self) -> usize {
+        self.packed.out_dim()
+    }
+}
+
+impl BatchPolicy for PackedScorer {
+    fn log_probs_batch(
+        &self,
+        obs: &[f32],
+        masks: &[f32],
+        rows: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        self.packed.forward(obs, rows, scratch, out);
+        mask_and_log_softmax_rows(out, masks, rows, self.packed.out_dim());
+    }
+}
+
 /// The critic (Fig 6): a 3-hidden-layer MLP over the flat observation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ValueNet {
@@ -480,6 +570,24 @@ impl ValueModel for ValueNet {
         let v = out[0] as f64;
         *infer::scratch_extra(scratch) = out;
         v
+    }
+
+    fn value_fast_batch(
+        &self,
+        obs: &[f32],
+        rows: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<f64>,
+    ) {
+        // One stacked forward for every live environment's state value —
+        // the critic half of the lockstep rollout tick. Row-count
+        // invariance of the dense kernels keeps element `i` bit-identical
+        // to `value_fast` on row `i` alone.
+        let mut tmp = std::mem::take(infer::scratch_extra(scratch));
+        infer::mlp_forward(&self.net, obs, rows, scratch, &mut tmp);
+        out.clear();
+        out.extend(tmp.iter().map(|&v| v as f64));
+        *infer::scratch_extra(scratch) = tmp;
     }
 
     fn params(&self) -> Vec<&Tensor> {

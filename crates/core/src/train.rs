@@ -1,12 +1,14 @@
-//! The training loop (§V-A of the paper): epochs of parallel trajectory
-//! collection followed by PPO updates, with the optional two-phase
-//! trajectory-filter schedule of §IV-C.
+//! The training loop (§V-A of the paper): epochs of vectorized
+//! trajectory collection (a lockstep `VecEnv` scoring every live episode
+//! through one stacked policy forward per simulator tick) followed by
+//! PPO updates, with the optional two-phase trajectory-filter schedule
+//! of §IV-C.
 
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use rlsched_rl::{collect_rollouts, UpdateStats};
+use rlsched_rl::{collect_rollouts_vec, UpdateStats, VecEnv};
 use rlsched_sim::SimConfig;
 use rlsched_swf::JobTrace;
 
@@ -61,6 +63,14 @@ pub struct TrainConfig {
     pub filter: FilterMode,
     /// Base seed; every epoch/trajectory derives its own stream.
     pub seed: u64,
+    /// Lockstep width: how many environment slots step in parallel
+    /// through the vectorized sampler (clamped to
+    /// `trajectories_per_epoch`). Slots auto-reset onto the next
+    /// trajectory seed as episodes finish, so the epoch's trajectory set
+    /// — and, thanks to row-count-invariant batched forwards, every
+    /// collected bit — is independent of this knob; it only trades
+    /// per-tick batch size against env-slot memory.
+    pub n_envs: usize,
 }
 
 impl Default for TrainConfig {
@@ -72,6 +82,7 @@ impl Default for TrainConfig {
             sim: SimConfig::default(),
             filter: FilterMode::Off,
             seed: 0,
+            n_envs: 16,
         }
     }
 }
@@ -123,7 +134,11 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
         }
     };
 
-    let mut envs: Vec<SchedulingEnv> = (0..cfg.trajectories_per_epoch)
+    // Lockstep env slots: far fewer than trajectories_per_epoch — slots
+    // auto-reset onto the next trajectory seed as episodes finish, and
+    // every tick scores all live slots through one stacked forward.
+    let n_slots = cfg.n_envs.max(1).min(cfg.trajectories_per_epoch);
+    let mut envs: Vec<SchedulingEnv> = (0..n_slots)
         .map(|_| SchedulingEnv::new(trace.clone(), cfg.seq_len, cfg.sim, encoder, objective))
         .collect();
 
@@ -143,7 +158,9 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
                 cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9) ^ i.wrapping_mul(0x85EB_CA6B)
             })
             .collect();
-        let (batch, stats) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
+        let mut venv: VecEnv<&mut SchedulingEnv> = VecEnv::new(envs.iter_mut().collect());
+        let (batch, stats) = collect_rollouts_vec(agent.ppo(), &mut venv, &seeds);
+        drop(venv);
         // Safety: collect_rollouts borrows the agent immutably; the update
         // needs it mutably. The borrow ends before this line.
         let update = agent.ppo_mut().update(&batch);
@@ -217,6 +234,7 @@ mod tests {
             sim: SimConfig::default(),
             filter: FilterMode::Off,
             seed: 11,
+            n_envs: 8,
         };
         let curve = train(&mut agent, &trace, &cfg);
         assert_eq!(curve.len(), 12);
@@ -242,6 +260,7 @@ mod tests {
             sim: SimConfig::default(),
             filter: FilterMode::Off,
             seed: 5,
+            n_envs: 8,
         };
         let mut a1 = tiny_agent(9);
         let c1 = train(&mut a1, &trace, &cfg);
@@ -264,6 +283,7 @@ mod tests {
             sim: SimConfig::default(),
             filter: FilterMode::two_phase(2, 20),
             seed: 2,
+            n_envs: 8,
         };
         let curve = train(&mut agent, &trace, &cfg);
         assert!(curve[0].filtered && curve[1].filtered);
@@ -281,6 +301,7 @@ mod tests {
             sim: SimConfig::default(),
             filter: FilterMode::Off,
             seed: 3,
+            n_envs: 8,
         };
         let curve = train(&mut agent, &trace, &cfg);
         let u = &curve[0].update;

@@ -175,35 +175,48 @@ impl PackedMlp {
     /// Allocation-free at steady state (scratch and `out` only grow to
     /// their high-water mark).
     pub fn forward_row(&self, x: &[f32], scratch: &mut Scratch, out: &mut Vec<f32>) {
+        self.forward(x, 1, scratch, out);
+    }
+
+    /// Forward `rows` stacked input rows (`[rows, in]` row-major); the
+    /// final activations land in `out` (`[rows, out_dim]`). The NT kernel
+    /// computes every output as an independent contiguous dot product, so
+    /// row `i` of the result is bit-identical to [`PackedMlp::forward_row`]
+    /// on row `i` alone — a packed scorer can serve one request or a
+    /// coalesced batch through the same arithmetic. Allocation-free at
+    /// steady state.
+    pub fn forward(&self, x: &[f32], rows: usize, scratch: &mut Scratch, out: &mut Vec<f32>) {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             let act = if i == last { self.output } else { self.hidden };
             if i == 0 {
                 let dst = if last == 0 { &mut *out } else { &mut scratch.a };
-                dense_row_t(x, layer, act, dst);
+                dense_t(x, rows, layer, act, dst);
             } else if i == last {
-                dense_row_t(&scratch.a, layer, act, out);
+                dense_t(&scratch.a, rows, layer, act, out);
             } else {
                 let Scratch { a, b: pong, .. } = scratch;
-                dense_row_t(a, layer, act, pong);
+                dense_t(a, rows, layer, act, pong);
                 std::mem::swap(&mut scratch.a, &mut scratch.b);
             }
         }
     }
 }
 
-/// Single-row dense forward over transposed (`[out, in]`) weights: each
-/// output is one contiguous dot product (the NT kernel), bias added after
-/// the dot.
-fn dense_row_t(x: &[f32], layer: &PackedDense, act: Activation, out: &mut Vec<f32>) {
-    debug_assert_eq!(x.len(), layer.in_dim, "input width");
+/// Dense forward over transposed (`[out, in]`) weights: each output is
+/// one contiguous dot product (the NT kernel), bias added after the dot.
+/// Per-row arithmetic is independent of `rows`.
+fn dense_t(x: &[f32], rows: usize, layer: &PackedDense, act: Activation, out: &mut Vec<f32>) {
+    debug_assert_eq!(x.len(), rows * layer.in_dim, "input volume");
     out.clear();
-    out.resize(layer.out_dim, 0.0);
-    if !simd::gemm_nt(x, 1, layer.in_dim, &layer.wt, layer.out_dim, out) {
-        simd::gemm_nt_scalar(x, 1, layer.in_dim, &layer.wt, layer.out_dim, out);
+    out.resize(rows * layer.out_dim, 0.0);
+    if !simd::gemm_nt(x, rows, layer.in_dim, &layer.wt, layer.out_dim, out) {
+        simd::gemm_nt_scalar(x, rows, layer.in_dim, &layer.wt, layer.out_dim, out);
     }
-    for (o, &b) in out.iter_mut().zip(&layer.b) {
-        *o += b;
+    for row in out.chunks_mut(layer.out_dim) {
+        for (o, &b) in row.iter_mut().zip(&layer.b) {
+            *o += b;
+        }
     }
     act.to_act().apply_slice(out);
 }
@@ -502,6 +515,35 @@ mod tests {
         assert_eq!(fast.len(), plain.len());
         for (a, b) in fast.iter().zip(&plain) {
             assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn packed_batch_forward_matches_rows() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mlp = Mlp::new(
+            &[11, 24, 16, 6],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let packed = PackedMlp::pack(&mlp);
+        let rows = 5;
+        let x: Vec<f32> = (0..rows * 11)
+            .map(|i| ((i * 19 % 31) as f32 - 15.0) * 0.04)
+            .collect();
+        let mut scratch = Scratch::new();
+        let mut batched = Vec::new();
+        packed.forward(&x, rows, &mut scratch, &mut batched);
+        assert_eq!(batched.len(), rows * 6);
+        let mut single = Vec::new();
+        for r in 0..rows {
+            packed.forward_row(&x[r * 11..(r + 1) * 11], &mut scratch, &mut single);
+            assert_eq!(
+                &batched[r * 6..(r + 1) * 6],
+                single.as_slice(),
+                "packed row {r} must not depend on batch size"
+            );
         }
     }
 

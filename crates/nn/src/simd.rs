@@ -42,6 +42,18 @@
 //! zero-valued contributions (so `0 × inf` drops out) while the SIMD
 //! kernels compute them (`0 × inf → NaN`) — a diverged model with
 //! non-finite weights can therefore NaN on one arm and not the other.
+//!
+//! # Row-count invariance
+//!
+//! The *forward* kernels ([`gemm`], [`gemm_nt`], [`dense_any`]) guarantee
+//! a stronger property on both arms: each output **row** is computed with
+//! an accumulation order that does not depend on how many rows are in the
+//! batch. Row `i` of an `m`-row product is bit-identical to the single
+//! row of the `m == 1` product over the same inputs. This is what lets
+//! the vectorized rollout path (`rlsched-rl`'s `VecEnv`) score every live
+//! environment through one stacked matmul and still produce trajectories
+//! bit-identical to sequential per-env stepping — the batched≡sequential
+//! parity tests lean on it, so treat it as part of the kernel contract.
 
 use std::sync::OnceLock;
 
@@ -118,7 +130,12 @@ pub fn gemm_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut
 /// Register-blocked AVX2/FMA kernel: 4 rows × 8 columns per block, each
 /// weight row loaded once per tile with four independent FMA chains to
 /// hide latency. Column tail (`n % 8`) runs scalar; row tail runs a
-/// 1×8 kernel with four k-interleaved accumulators.
+/// 1×8 kernel with a single k-ascending FMA chain — the *same* per-row
+/// accumulation order as the 4-row block, so every output row is
+/// bit-identical whether it was computed in a full block or as a tail
+/// (the row-count-invariance contract of the module docs). The tail
+/// trades a little FMA-latency hiding for that guarantee; batch shapes
+/// on the hot paths are multiples of 4 rows anyway.
 ///
 /// # Safety
 /// Caller must ensure AVX2+FMA are available and slice lengths cover the
@@ -171,45 +188,18 @@ unsafe fn gemm_avx2(
             }
             i += 4;
         }
-        // Row remainder: 1×8 tiles with four k-interleaved accumulators (a
-        // single FMA chain would be latency-bound on long inputs).
+        // Row remainder: 1×8 tiles with the same single k-ascending FMA
+        // chain per row as the 4-row block above, so a row computes the
+        // same bits regardless of which path handled it (row-count
+        // invariance).
         while i < m {
             let mut j = 0;
             while j < n8 {
-                let mut acc0 = seed(j);
-                let mut acc1 = _mm256_setzero_ps();
-                let mut acc2 = _mm256_setzero_ps();
-                let mut acc3 = _mm256_setzero_ps();
-                let mut kk = 0;
-                while kk + 4 <= k {
-                    let x0 = _mm256_set1_ps(*a.get_unchecked(i * k + kk));
-                    let x1 = _mm256_set1_ps(*a.get_unchecked(i * k + kk + 1));
-                    let x2 = _mm256_set1_ps(*a.get_unchecked(i * k + kk + 2));
-                    let x3 = _mm256_set1_ps(*a.get_unchecked(i * k + kk + 3));
-                    acc0 = _mm256_fmadd_ps(x0, _mm256_loadu_ps(b.as_ptr().add(kk * n + j)), acc0);
-                    acc1 = _mm256_fmadd_ps(
-                        x1,
-                        _mm256_loadu_ps(b.as_ptr().add((kk + 1) * n + j)),
-                        acc1,
-                    );
-                    acc2 = _mm256_fmadd_ps(
-                        x2,
-                        _mm256_loadu_ps(b.as_ptr().add((kk + 2) * n + j)),
-                        acc2,
-                    );
-                    acc3 = _mm256_fmadd_ps(
-                        x3,
-                        _mm256_loadu_ps(b.as_ptr().add((kk + 3) * n + j)),
-                        acc3,
-                    );
-                    kk += 4;
-                }
-                while kk < k {
+                let mut acc = seed(j);
+                for kk in 0..k {
                     let wr = _mm256_loadu_ps(b.as_ptr().add(kk * n + j));
-                    acc0 = _mm256_fmadd_ps(_mm256_set1_ps(*a.get_unchecked(i * k + kk)), wr, acc0);
-                    kk += 1;
+                    acc = _mm256_fmadd_ps(_mm256_set1_ps(*a.get_unchecked(i * k + kk)), wr, acc);
                 }
-                let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
                 _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j), acc);
                 j += 8;
             }
@@ -646,6 +636,51 @@ mod tests {
             gemm_tn_scalar(&a, r, m, &b, n, &mut scalar);
             if gemm_tn(&a, r, m, &b, n, &mut simd) {
                 assert_close(&simd, &scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_kernels_are_row_count_invariant() {
+        // Each output row must be bit-identical whether it is computed
+        // alone (m = 1) or inside a larger batch — on whichever dispatch
+        // arm is active. VecEnv's batched≡sequential rollout parity rests
+        // on this. Shapes cover full 4-row blocks, row tails (m % 4 ≠ 0)
+        // and ragged column tails (n % 8 ≠ 0).
+        for &(m, k, n) in &[(4, 6, 8), (5, 7, 11), (9, 16, 24), (3, 32, 9), (6, 5, 16)] {
+            let a = filled(m * k, |i| (i as f32 * 0.29).sin());
+            let w = filled(k * n, |i| (i as f32 * 0.17).cos());
+            let b = filled(n, |i| i as f32 * 0.03 - 0.1);
+
+            let mut batched = vec![f32::NAN; m * n];
+            dense_any(&a, m, &w, &b, k, n, &mut batched);
+            let mut single = vec![f32::NAN; n];
+            for i in 0..m {
+                dense_any(&a[i * k..(i + 1) * k], 1, &w, &b, k, n, &mut single);
+                assert_eq!(
+                    &batched[i * n..(i + 1) * n],
+                    single.as_slice(),
+                    "dense_any row {i} of ({m},{k},{n}) depends on batch size"
+                );
+            }
+
+            // Same property for the NT (transposed-layout) kernel.
+            let bt = filled(n * k, |i| (i as f32 * 0.23).sin());
+            let mut batched_nt = vec![f32::NAN; m * n];
+            if !gemm_nt(&a, m, k, &bt, n, &mut batched_nt) {
+                gemm_nt_scalar(&a, m, k, &bt, n, &mut batched_nt);
+            }
+            let mut single_nt = vec![f32::NAN; n];
+            for i in 0..m {
+                let row = &a[i * k..(i + 1) * k];
+                if !gemm_nt(row, 1, k, &bt, n, &mut single_nt) {
+                    gemm_nt_scalar(row, 1, k, &bt, n, &mut single_nt);
+                }
+                assert_eq!(
+                    &batched_nt[i * n..(i + 1) * n],
+                    single_nt.as_slice(),
+                    "gemm_nt row {i} of ({m},{k},{n}) depends on batch size"
+                );
             }
         }
     }

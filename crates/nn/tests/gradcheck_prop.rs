@@ -97,18 +97,25 @@ proptest! {
         picks in prop::collection::vec(0usize..3, 4),
     ) {
         // The exact loss PPO builds: masked log-softmax, selected actions,
-        // ratio, clip, min, negated mean.
-        //
+        // ratio, clip, min, negated mean — with the clip boundaries taken
+        // from the real agent configuration, so changing the clip radius
+        // changes this test in lockstep.
+        let eps_clip = rlsched_rl::PpoConfig::default().clip_ratio;
+        let (clip_lo, clip_hi) = (1.0 - eps_clip, 1.0 + eps_clip);
         // clamp/min are piecewise-linear: central differences straddling a
         // kink (a ratio at a clip boundary) disagree with the one-sided
-        // analytic gradient by construction, so such draws are skipped —
-        // the standard gradcheck treatment of non-differentiable points.
+        // analytic gradient by construction, so draws near a boundary are
+        // skipped — the standard gradcheck treatment of non-differentiable
+        // points. The skip band scales with the clip radius (half of it),
+        // which keeps the two bands disjoint for any radius and reproduces
+        // the historical 0.1 band at the default ε = 0.2.
+        let band = 0.5 * eps_clip;
         for (i, &pick) in picks.iter().enumerate() {
             let row: Vec<f32> = (0..3).map(|j| x.at(i, j)).collect();
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let lse = mx + row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln();
             let ratio = (row[pick] - lse - old[i]).exp();
-            if (ratio - 0.8).abs() < 0.1 || (ratio - 1.2).abs() < 0.1 {
+            if (ratio - clip_lo).abs() < band || (ratio - clip_hi).abs() < band {
                 return Ok(());
             }
         }
@@ -122,7 +129,7 @@ proptest! {
                 let ratio = g.exp(diff);
                 let advv = g.input(Tensor::from_vec(adv.clone(), &[4]));
                 let s1 = g.mul(ratio, advv);
-                let clipped = g.clamp(ratio, 0.8, 1.2);
+                let clipped = g.clamp(ratio, clip_lo, clip_hi);
                 let s2 = g.mul(clipped, advv);
                 let obj = g.min_elem(s1, s2);
                 let m = g.mean(obj);

@@ -2,10 +2,14 @@
 //! environment, the SchedGym contract of §IV-D seen from the agent's side.
 //!
 //! Observations and masks flow through *caller-owned* buffers: `reset`
-//! and `step` write into `&mut Vec<f32>`s the rollout worker reuses for
-//! every step of every episode, so steady-state environment stepping
-//! performs no heap allocation (the allocation-regression tests in
-//! `rlsched-bench` pin this down).
+//! and `step` **append** one observation row and one mask row to
+//! `&mut Vec<f32>`s the rollout driver reuses for every step of every
+//! episode, so steady-state environment stepping performs no heap
+//! allocation (the allocation-regression tests in `rlsched-bench` pin
+//! this down). Appending — rather than clear-then-write — is what lets a
+//! `VecEnv` hand every env the *same* stacked matrix to write its row
+//! into directly, with no per-env staging copy; single-env drivers just
+//! clear the buffers before each call.
 
 /// Result of one environment step. The next observation and mask are
 /// written into the buffers passed to [`Env::step`], not returned here.
@@ -23,6 +27,22 @@ pub struct StepOutcome {
 }
 
 /// A masked discrete-action episodic environment.
+///
+/// # Migration note (vectorized rollouts)
+///
+/// Two things changed in the `VecEnv` redesign:
+///
+/// * **Implementations**: `reset`/`step` now *append* their rows to the
+///   caller's buffers instead of clearing them first (and a terminal
+///   `step` appends nothing). Drop the leading `clear()`s; everything
+///   else is unchanged.
+/// * **Drivers**: don't hand-roll `reset`/`step` episode loops — wrap
+///   the envs in a [`crate::vecenv::VecEnv`] (size 1 reproduces the old
+///   behavior exactly) so every live episode's policy forward batches
+///   into one stacked matmul per tick, with each env appending its row
+///   directly into the stacked matrix. `&mut E` implements `Env` too, so
+///   a `VecEnv` can borrow caller-owned environments. Drivers that do
+///   step a single env by hand must clear the buffers between calls.
 pub trait Env {
     /// Observation width (flattened).
     fn obs_dim(&self) -> usize;
@@ -31,15 +51,18 @@ pub trait Env {
     fn n_actions(&self) -> usize;
 
     /// Start a new episode derived from `seed` (the seed selects the job
-    /// sequence; implementations must be reproducible). Writes the first
-    /// observation (`obs_dim` long) and additive mask (`n_actions` long;
-    /// 0 valid, very negative invalid) into the caller's buffers.
+    /// sequence; implementations must be reproducible). **Appends** the
+    /// first observation (exactly `obs_dim` elements) and additive mask
+    /// (exactly `n_actions` elements; 0 valid, very negative invalid) to
+    /// the caller's buffers — existing contents are left untouched, so a
+    /// vectorized driver can stack many envs' rows in one matrix.
     fn reset(&mut self, seed: u64, obs: &mut Vec<f32>, mask: &mut Vec<f32>);
 
-    /// Apply an action, writing the next observation and mask into the
-    /// caller's buffers (their contents are unspecified when the returned
-    /// outcome has `done == true`). Implementations must not allocate at
-    /// steady state.
+    /// Apply an action. When the episode continues, **appends** the next
+    /// observation and mask rows to the caller's buffers (exactly
+    /// `obs_dim` / `n_actions` elements); when the returned outcome has
+    /// `done == true`, appends **nothing**. Implementations must not
+    /// allocate at steady state.
     fn step(&mut self, action: usize, obs: &mut Vec<f32>, mask: &mut Vec<f32>) -> StepOutcome;
 }
 
@@ -71,10 +94,8 @@ pub(crate) mod test_env {
         }
 
         fn write_obs(&self, obs: &mut Vec<f32>, mask: &mut Vec<f32>) {
-            obs.clear();
             obs.push(self.t as f32 / self.episode_len as f32);
             obs.push(1.0);
-            mask.clear();
             mask.extend((0..self.n_actions).map(|i| {
                 if self.masked.contains(&i) {
                     crate::categorical::MASK_OFF

@@ -16,17 +16,23 @@
 //!   estimation and reward-to-go returns.
 //! * [`ppo`] — the clipped-surrogate PPO update with early stopping on
 //!   approximate KL, separate Adam optimizers for policy and value nets.
-//! * [`sampler`] — parallel trajectory collection across environments
-//!   (rayon), the "100 trajectories per epoch" of §V-A.
+//! * [`vecenv`] — vectorized environments ([`VecEnv`]) stepped in
+//!   lockstep, plus the [`BatchPolicy`] batched-scoring trait every
+//!   rollout/eval/serving path shares.
+//! * [`sampler`] — trajectory collection over a [`VecEnv`]: every
+//!   simulator tick scores all live episodes through one stacked policy
+//!   forward (the "100 trajectories per epoch" of §V-A, batched).
 
 pub mod buffer;
 pub mod categorical;
 pub mod env;
 pub mod ppo;
 pub mod sampler;
+pub mod vecenv;
 
 pub use buffer::{Batch, RolloutBuffer};
 pub use categorical::MaskedCategorical;
 pub use env::{Env, StepOutcome};
 pub use ppo::{ActorScratch, PolicyModel, Ppo, PpoConfig, UpdateStats, ValueModel};
-pub use sampler::{collect_rollouts, RolloutStats};
+pub use sampler::{collect_episodes, collect_rollouts, collect_rollouts_vec, RolloutStats};
+pub use vecenv::{greedy_batch, BatchPolicy, SlotOutcome, VecEnv};

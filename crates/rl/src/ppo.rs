@@ -111,6 +111,29 @@ pub trait ValueModel {
         g.value(v).data()[0] as f64
     }
 
+    /// Batched inference fast path: write `rows` state values into `out`
+    /// for stacked observations (`[rows, obs_dim]` row-major), with no
+    /// tape bookkeeping. The default loops over rows through
+    /// [`ValueModel::value_fast`]; critics on the vectorized rollout path
+    /// override it with one stacked forward. Element `i` must be
+    /// bit-identical to `value_fast` on row `i` alone — the lockstep
+    /// sampler's batched≡sequential parity depends on it.
+    fn value_fast_batch(
+        &self,
+        obs: &[f32],
+        rows: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(rows > 0, "batched value forward needs at least one row");
+        assert_eq!(obs.len() % rows, 0, "obs volume must divide into rows");
+        let obs_dim = obs.len() / rows;
+        out.clear();
+        for i in 0..rows {
+            out.push(self.value_fast(&obs[i * obs_dim..(i + 1) * obs_dim], scratch));
+        }
+    }
+
     /// Parameter tensors in bind order.
     fn params(&self) -> Vec<&Tensor>;
 
@@ -125,7 +148,7 @@ pub trait ValueModel {
 pub struct ActorScratch {
     /// Layer scratch for the underlying networks.
     pub nn: Scratch,
-    logp: Vec<f32>,
+    pub(crate) logp: Vec<f32>,
 }
 
 impl ActorScratch {
@@ -314,10 +337,13 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
 
     /// Argmax actions for a whole batch of observations through one
     /// batched forward: `obs` is `[rows, obs_dim]` row-major, `masks`
-    /// `[rows, n_actions]`. Amortizes the policy's weight stream across
-    /// concurrent decisions; allocation-free at steady state when the
-    /// policy overrides [`PolicyModel::log_probs_fast_batch`] (the
-    /// default falls back to a per-row loop with a temporary buffer).
+    /// `[rows, n_actions]`. Delegates to [`crate::vecenv::greedy_batch`]
+    /// over the policy's [`crate::vecenv::BatchPolicy`] impl — the same
+    /// scoring path the vectorized rollout sampler uses. Amortizes the
+    /// policy's weight stream across concurrent decisions;
+    /// allocation-free at steady state when the policy overrides
+    /// [`PolicyModel::log_probs_fast_batch`] (the default falls back to a
+    /// per-row loop with a temporary buffer).
     pub fn greedy_batch_with(
         &self,
         obs: &[f32],
@@ -326,16 +352,7 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
         scratch: &mut ActorScratch,
         actions: &mut Vec<usize>,
     ) {
-        assert!(rows > 0, "batched selection needs at least one row");
-        assert_eq!(obs.len() % rows, 0, "obs volume must divide into rows");
-        assert_eq!(masks.len() % rows, 0, "mask volume must divide into rows");
-        let n_actions = masks.len() / rows;
-        self.policy
-            .log_probs_fast_batch(obs, masks, rows, &mut scratch.nn, &mut scratch.logp);
-        actions.clear();
-        actions.extend((0..rows).map(|i| {
-            MaskedCategorical::new(&scratch.logp[i * n_actions..(i + 1) * n_actions]).argmax()
-        }));
+        crate::vecenv::greedy_batch(&self.policy, obs, masks, rows, scratch, actions);
     }
 
     /// Argmax action through the full tape (benchmark baseline).
@@ -682,9 +699,15 @@ mod tests {
             let (mut obs, mut mask) = (Vec::new(), Vec::new());
             let (mut next_obs, mut next_mask) = (Vec::new(), Vec::new());
             for ep in 0..8 {
+                // Manual single-env driving: clear the append-contract
+                // buffers before each env write.
+                obs.clear();
+                mask.clear();
                 env.reset(ep, &mut obs, &mut mask);
                 loop {
                     let (a, logp, v) = ppo.select(&obs, &mask, &mut rng);
+                    next_obs.clear();
+                    next_mask.clear();
                     let out = env.step(a, &mut next_obs, &mut next_mask);
                     buf.store(&obs, &mask, a, out.reward, v, logp);
                     if out.done {

@@ -1,21 +1,34 @@
-//! Parallel trajectory collection.
+//! Trajectory collection over vectorized environments.
 //!
 //! Each PPO epoch samples many complete episodes (the paper uses 100
-//! trajectories of 256 scheduling decisions, §V-A). Episodes are
-//! independent given the frozen policy, so they parallelize perfectly:
-//! every environment rolls out on its own rayon task with a thread-local
-//! RNG and a per-worker [`crate::ppo::ActorScratch`] (action selection
-//! runs through the allocation-free inference fast path, not the
-//! autodiff tape), and the per-episode buffers merge into one normalized
-//! batch.
+//! trajectories of 256 scheduling decisions, §V-A). Since PR 2 the
+//! per-step work is allocation-free and SIMD-dispatched, so rollout wall
+//! time is dominated by issuing one tiny policy forward per env per
+//! step. The sampler therefore drives a [`VecEnv`] in lockstep: every
+//! simulator tick stacks all live observations into one `[live, obs_dim]`
+//! matrix and scores it through a **single** batched policy forward and a
+//! single batched critic forward ([`crate::vecenv::BatchPolicy`] /
+//! [`ValueModel::value_fast_batch`]), amortizing the networks' weight
+//! stream across every live episode.
+//!
+//! Trajectories are bit-identical to sequential per-env collection (a
+//! `VecEnv` of size 1): per-episode sampling RNGs are derived from the
+//! episode seed alone, and the forward kernels guarantee row-count
+//! invariance. The parity tests in `tests/vecenv_parity.rs` and
+//! `rlscheduler` pin this on both SIMD and forced-scalar dispatch arms.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
 use crate::buffer::{Batch, RolloutBuffer};
+use crate::categorical::MaskedCategorical;
 use crate::env::Env;
-use crate::ppo::{PolicyModel, Ppo, ValueModel};
+use crate::ppo::{ActorScratch, PolicyModel, Ppo, ValueModel};
+use crate::vecenv::{SlotOutcome, VecEnv};
+
+/// Per-episode sampling streams are derived from the episode seed with
+/// this salt (kept from the sequential sampler so seeded runs reproduce).
+const RNG_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Summary of one collection round.
 #[derive(Debug, Clone)]
@@ -27,7 +40,7 @@ pub struct RolloutStats {
     /// Mean episodic reward sum.
     pub mean_return: f64,
     /// Per-episode objective values (e.g. average bounded slowdown),
-    /// as reported by the environments.
+    /// as reported by the environments, in episode (seed) order.
     pub metrics: Vec<f64>,
 }
 
@@ -41,86 +54,153 @@ impl RolloutStats {
     }
 }
 
-/// Roll out one full episode of `env` under the current policy.
-fn run_episode<E, P, V>(
+/// Reusable lockstep buffers: stacked observation/mask double buffers,
+/// batched forward outputs, per-tick action/outcome staging. One per
+/// collection loop; every vector only grows to its high-water mark, so
+/// steady-state ticks allocate nothing.
+#[derive(Debug, Default)]
+struct LockstepScratch {
+    actor: ActorScratch,
+    obs: Vec<f32>,
+    masks: Vec<f32>,
+    next_obs: Vec<f32>,
+    next_masks: Vec<f32>,
+    logps: Vec<f32>,
+    values: Vec<f64>,
+    actions: Vec<usize>,
+    sel_logps: Vec<f32>,
+    outcomes: Vec<SlotOutcome>,
+}
+
+/// Collect one complete episode per seed by stepping `venv` in lockstep,
+/// returning the per-episode buffers in seed order plus round stats.
+///
+/// Envs that finish early auto-reset onto the next unclaimed seed, so a
+/// `VecEnv` narrower than the seed schedule pipelines through all
+/// episodes; each episode's trajectory depends only on its seed (see the
+/// module docs), so the result is independent of `venv.n_envs()`.
+pub fn collect_episodes<E, P, V>(
     ppo: &Ppo<P, V>,
-    env: &mut E,
-    seed: u64,
-) -> (RolloutBuffer, f64, Option<f64>)
+    venv: &mut VecEnv<E>,
+    seeds: &[u64],
+) -> (Vec<RolloutBuffer>, RolloutStats)
 where
     E: Env,
     P: PolicyModel,
     V: ValueModel,
 {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    let mut buf = RolloutBuffer::new(env.obs_dim(), env.n_actions(), ppo.cfg.gamma, ppo.cfg.lam);
-    // One scratch per worker-episode: every action selection inside the
-    // episode runs through the allocation-free inference fast path. The
-    // env writes observations/masks into this double-buffered pair (the
-    // step's outputs land in `next_*` while `obs`/`mask` are still needed
-    // for the store), so steady-state stepping allocates nothing.
-    let mut scratch = crate::ppo::ActorScratch::new();
-    let (mut obs, mut mask) = (Vec::new(), Vec::new());
-    let (mut next_obs, mut next_mask) = (Vec::new(), Vec::new());
-    env.reset(seed, &mut obs, &mut mask);
-    let mut ep_return = 0.0;
-    let metric = loop {
-        let (a, logp, v) = ppo.select_with(&obs, &mask, &mut scratch, &mut rng);
-        let out = env.step(a, &mut next_obs, &mut next_mask);
-        buf.store(&obs, &mask, a, out.reward, v, logp);
-        ep_return += out.reward;
-        if out.done {
-            buf.finish_path(0.0);
-            break out.episode_metric;
+    assert!(!seeds.is_empty(), "need at least one episode seed");
+    let (od, na) = (venv.obs_dim(), venv.n_actions());
+    let mut bufs: Vec<RolloutBuffer> = seeds
+        .iter()
+        .map(|_| RolloutBuffer::new(od, na, ppo.cfg.gamma, ppo.cfg.lam))
+        .collect();
+    let mut returns = vec![0.0f64; seeds.len()];
+    let mut metrics: Vec<Option<f64>> = vec![None; seeds.len()];
+    let mut steps = 0usize;
+
+    let mut s = LockstepScratch::default();
+    // One sampling RNG per slot, re-seeded from the episode seed whenever
+    // the slot (re)spawns — episode streams never depend on slot history.
+    let mut rngs: Vec<StdRng> = (0..venv.n_envs())
+        .map(|_| StdRng::seed_from_u64(0))
+        .collect();
+
+    venv.reset_all(seeds, &mut s.obs, &mut s.masks);
+    for slot in venv.live_slots() {
+        rngs[slot] = StdRng::seed_from_u64(seeds[venv.episode_of(slot)] ^ RNG_SALT);
+    }
+
+    while !venv.is_done() {
+        let rows = venv.live_count();
+        // One stacked forward each for actor and critic: every live
+        // episode's decision this tick shares one weight stream.
+        ppo.policy
+            .log_probs_fast_batch(&s.obs, &s.masks, rows, &mut s.actor.nn, &mut s.logps);
+        ppo.value
+            .value_fast_batch(&s.obs, rows, &mut s.actor.nn, &mut s.values);
+        s.actions.clear();
+        s.sel_logps.clear();
+        for (r, slot) in venv.live_slots().enumerate() {
+            let dist = MaskedCategorical::new(&s.logps[r * na..(r + 1) * na]);
+            let a = dist.sample(&mut rngs[slot]);
+            s.actions.push(a);
+            s.sel_logps.push(dist.log_prob(a));
         }
-        std::mem::swap(&mut obs, &mut next_obs);
-        std::mem::swap(&mut mask, &mut next_mask);
+        venv.step_all(
+            &s.actions,
+            &mut s.next_obs,
+            &mut s.next_masks,
+            &mut s.outcomes,
+        );
+        for (r, out) in s.outcomes.iter().enumerate() {
+            let buf = &mut bufs[out.episode];
+            buf.store(
+                &s.obs[r * od..(r + 1) * od],
+                &s.masks[r * na..(r + 1) * na],
+                s.actions[r],
+                out.reward,
+                s.values[r],
+                s.sel_logps[r],
+            );
+            returns[out.episode] += out.reward;
+            steps += 1;
+            if out.done {
+                buf.finish_path(0.0);
+                metrics[out.episode] = out.episode_metric;
+            }
+            if let Some(ep) = out.next_episode {
+                rngs[out.slot] = StdRng::seed_from_u64(seeds[ep] ^ RNG_SALT);
+            }
+        }
+        std::mem::swap(&mut s.obs, &mut s.next_obs);
+        std::mem::swap(&mut s.masks, &mut s.next_masks);
+    }
+
+    let stats = RolloutStats {
+        episodes: seeds.len(),
+        steps,
+        mean_return: returns.iter().sum::<f64>() / seeds.len() as f64,
+        metrics: metrics.into_iter().flatten().collect(),
     };
-    (buf, ep_return, metric)
+    (bufs, stats)
 }
 
-/// Collect one episode per `(env, seed)` pair, in parallel, and merge into
-/// a training batch.
+/// Collect one episode per seed through `venv` and merge into one
+/// normalized training batch.
+pub fn collect_rollouts_vec<E, P, V>(
+    ppo: &Ppo<P, V>,
+    venv: &mut VecEnv<E>,
+    seeds: &[u64],
+) -> (Batch, RolloutStats)
+where
+    E: Env,
+    P: PolicyModel,
+    V: ValueModel,
+{
+    let (bufs, stats) = collect_episodes(ppo, venv, seeds);
+    (RolloutBuffer::into_batch(bufs), stats)
+}
+
+/// Collect one episode per `(env, seed)` pair and merge into a training
+/// batch — the historical entry point, now driven through a [`VecEnv`]
+/// borrowing the caller's environments so all live episodes score in one
+/// stacked forward per tick. Results are bit-identical to the old
+/// sequential per-env collection (see the module docs on parity).
 pub fn collect_rollouts<E, P, V>(
     ppo: &Ppo<P, V>,
     envs: &mut [E],
     seeds: &[u64],
 ) -> (Batch, RolloutStats)
 where
-    E: Env + Send,
-    P: PolicyModel + Sync,
-    V: ValueModel + Sync,
+    E: Env,
+    P: PolicyModel,
+    V: ValueModel,
 {
     assert_eq!(envs.len(), seeds.len(), "one seed per environment");
     assert!(!envs.is_empty(), "need at least one environment");
-
-    let results: Vec<(RolloutBuffer, f64, Option<f64>)> = envs
-        .par_iter_mut()
-        .zip(seeds.par_iter())
-        .map(|(env, &seed)| run_episode(ppo, env, seed))
-        .collect();
-
-    let episodes = results.len();
-    let mut buffers = Vec::with_capacity(episodes);
-    let mut returns = 0.0;
-    let mut metrics = Vec::new();
-    let mut steps = 0;
-    for (buf, ret, metric) in results {
-        steps += buf.len();
-        returns += ret;
-        if let Some(m) = metric {
-            metrics.push(m);
-        }
-        buffers.push(buf);
-    }
-    let batch = RolloutBuffer::into_batch(buffers);
-    let stats = RolloutStats {
-        episodes,
-        steps,
-        mean_return: returns / episodes as f64,
-        metrics,
-    };
-    (batch, stats)
+    let mut venv: VecEnv<&mut E> = VecEnv::new(envs.iter_mut().collect());
+    collect_rollouts_vec(ppo, &mut venv, seeds)
 }
 
 #[cfg(test)]
@@ -203,6 +283,28 @@ mod tests {
         assert_eq!(b1.actions, b2.actions);
         assert_eq!(b1.logp_old, b2.logp_old);
         assert_eq!(s1.mean_return, s2.mean_return);
+    }
+
+    #[test]
+    fn narrow_vecenv_pipelines_all_episodes_identically() {
+        // 2 slots streaming 6 episodes must produce the exact batch that
+        // 6 slots running one episode each produce: trajectories depend
+        // only on the episode seed.
+        let ppo = make_ppo();
+        let seeds: Vec<u64> = (20..26).collect();
+        let run = |n_slots: usize| {
+            let mut venv =
+                VecEnv::new((0..n_slots).map(|_| BanditEnv::new(3, 5, vec![])).collect());
+            collect_rollouts_vec(&ppo, &mut venv, &seeds)
+        };
+        let (wide, ws) = run(6);
+        let (narrow, ns) = run(2);
+        assert_eq!(wide.actions, narrow.actions);
+        assert_eq!(wide.logp_old, narrow.logp_old);
+        assert_eq!(wide.advantages, narrow.advantages);
+        assert_eq!(wide.obs.data(), narrow.obs.data());
+        assert_eq!(ws.metrics, ns.metrics);
+        assert_eq!(ws.mean_return, ns.mean_return);
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn main() {
         sim: SimConfig::default(),
         filter: FilterMode::two_phase(6, 120),
         seed: 23,
+        n_envs: 8,
     };
     println!("\ntraining with two-phase trajectory filtering:");
     let curve = train(&mut agent, &trace, &train_cfg);

@@ -29,6 +29,7 @@ fn train_for(metric: MetricKind, trace: &rlsched_repro::swf::JobTrace, seed: u64
         sim: SimConfig::with_backfill(),
         filter: FilterMode::Off,
         seed,
+        n_envs: 8,
     };
     train(&mut agent, trace, &train_cfg);
     agent

@@ -3,17 +3,54 @@
 //! job sequences.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart            # ~a minute
+//! cargo run --release --example quickstart -- --tiny  # seconds (CI smoke)
 //! ```
 
 use rlsched_repro::core::prelude::*;
 use rlsched_repro::sched::{HeuristicKind, PriorityScheduler};
 use rlsched_repro::workload::NamedWorkload;
 
+/// Problem sizes for the two run modes: the default "see it learn" scale
+/// and a `--tiny` smoke scale CI uses to prove the binary still drives
+/// the whole train→eval→checkpoint pipeline after API changes.
+struct Scale {
+    jobs: usize,
+    max_obsv: usize,
+    epochs: usize,
+    trajectories: usize,
+    seq_len: usize,
+    eval_windows: usize,
+    eval_len: usize,
+}
+
 fn main() {
-    // 1. A workload: 1 500 jobs from the Lublin-Feitelson model, calibrated
-    //    to the paper's Table II moments (256-processor cluster).
-    let trace = NamedWorkload::Lublin1.generate(1500, 42);
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let scale = if tiny {
+        Scale {
+            jobs: 400,
+            max_obsv: 16,
+            epochs: 2,
+            trajectories: 4,
+            seq_len: 32,
+            eval_windows: 2,
+            eval_len: 64,
+        }
+    } else {
+        Scale {
+            jobs: 1500,
+            max_obsv: 32,
+            epochs: 10,
+            trajectories: 12,
+            seq_len: 128,
+            eval_windows: 5,
+            eval_len: 256,
+        }
+    };
+
+    // 1. A workload: jobs from the Lublin-Feitelson model, calibrated to
+    //    the paper's Table II moments (256-processor cluster).
+    let trace = NamedWorkload::Lublin1.generate(scale.jobs, 42);
     println!(
         "workload: {} jobs on {} processors",
         trace.len(),
@@ -21,9 +58,9 @@ fn main() {
     );
 
     // 2. An agent: the paper's kernel-based policy network, shrunk a little
-    //    (32 observable jobs, 10 epochs) so this example runs in ~a minute.
+    //    so this example runs in ~a minute (or seconds with --tiny).
     let mut cfg = AgentConfig::paper_default();
-    cfg.obs.max_obsv = 32;
+    cfg.obs.max_obsv = scale.max_obsv;
     cfg.ppo.train_pi_iters = 15;
     cfg.ppo.train_v_iters = 15;
     cfg.ppo.minibatch = Some(512);
@@ -33,14 +70,17 @@ fn main() {
         agent.policy_param_count()
     );
 
-    // 3. Train toward minimizing average bounded slowdown.
+    // 3. Train toward minimizing average bounded slowdown. Collection
+    //    steps 8 env slots in lockstep, scoring every live trajectory
+    //    through one stacked policy forward per simulator tick.
     let train_cfg = TrainConfig {
-        epochs: 10,
-        trajectories_per_epoch: 12,
-        seq_len: 128,
+        epochs: scale.epochs,
+        trajectories_per_epoch: scale.trajectories,
+        seq_len: scale.seq_len,
         sim: SimConfig::default(),
         filter: FilterMode::Off,
         seed: 7,
+        n_envs: 8,
     };
     println!("\ntraining ({} epochs)…", train_cfg.epochs);
     let curve = train(&mut agent, &trace, &train_cfg);
@@ -48,10 +88,17 @@ fn main() {
         println!("  epoch {:>2}: mean bsld {:>10.2}", e.epoch, e.mean_metric);
     }
 
-    // 4. Evaluate on five held-out 256-job sequences — the *same* sequences
-    //    for every scheduler, as the paper's protocol requires.
-    let windows = sample_eval_windows(&trace, 5, 256, 99);
-    println!("\nscheduling 5 held-out sequences of 256 jobs (avg bounded slowdown):");
+    // 4. Evaluate on held-out sequences — the *same* sequences for every
+    //    scheduler, as the paper's protocol requires. The RL agent is
+    //    evaluated twice: through the per-decision Policy adapter (like
+    //    any heuristic) and through the lockstep batched evaluator, which
+    //    scores all windows' decision points in one forward per tick.
+    let windows = sample_eval_windows(&trace, scale.eval_windows, scale.eval_len, 99);
+    println!(
+        "\nscheduling {} held-out sequences of {} jobs (avg bounded slowdown):",
+        windows.len(),
+        windows[0].len()
+    );
     for kind in HeuristicKind::table3() {
         let mut sched = PriorityScheduler::new(kind);
         let results = evaluate_policy(&windows, SimConfig::default(), &mut sched);
@@ -66,6 +113,17 @@ fn main() {
         "  {:<10} {:>10.2}",
         "RL",
         mean_metric(&results, MetricKind::BoundedSlowdown)
+    );
+    let batched = evaluate_agent(&agent, &windows, SimConfig::default());
+    println!(
+        "  {:<10} {:>10.2}  (lockstep batched evaluator)",
+        "RL-vec",
+        mean_metric(&batched, MetricKind::BoundedSlowdown)
+    );
+    assert_eq!(
+        mean_metric(&results, MetricKind::BoundedSlowdown),
+        mean_metric(&batched, MetricKind::BoundedSlowdown),
+        "batched greedy evaluation must match the sequential protocol"
     );
 
     // 5. Persist the trained model (Table VII transfer-style usage).

@@ -24,6 +24,7 @@ fn train_cfg(epochs: usize) -> TrainConfig {
         sim: SimConfig::default(),
         filter: FilterMode::Off,
         seed: 31,
+        n_envs: 8,
     }
 }
 
