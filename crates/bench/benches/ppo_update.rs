@@ -47,6 +47,8 @@ fn bench_update(c: &mut Criterion) {
     // graph pools and scratch buffers are at steady state.
     let _ = agent.ppo_mut().update(&batch);
     let update_allocs = count_allocs(|| agent.ppo_mut().update(&batch));
+    let _ = agent.ppo_mut().update_tape(&batch);
+    let tape_update_allocs = count_allocs(|| agent.ppo_mut().update_tape(&batch));
     let rollout_allocs = count_allocs(|| collect_rollouts(agent.ppo(), &mut envs, &seeds));
     let (obs, mask) = {
         let mut env = envs[0].clone();
@@ -59,15 +61,22 @@ fn bench_update(c: &mut Criterion) {
     let fast_allocs = count_allocs(|| agent.ppo().greedy_with(&obs, &mask, &mut scratch));
     let tape_allocs = count_allocs(|| agent.ppo().greedy_tape(&obs, &mask));
     println!("\nallocation profile (heap allocations per call):");
-    println!("  ppo_update (5+5 iters, mb512):   {update_allocs}");
+    println!("  ppo_update fused (5+5, mb512):   {update_allocs}");
+    println!("  ppo_update tape  (5+5, mb512):   {tape_update_allocs}");
     println!("  rollout_8x128:                   {rollout_allocs}");
     println!("  greedy decision, fast path:      {fast_allocs}");
     println!("  greedy decision, tape path:      {tape_allocs}");
 
     let mut group = c.benchmark_group("ppo");
     group.sample_size(10);
+    // The dispatching update (fused tape-free backward for this kernel
+    // agent) vs the pinned tape arm it replaced — the two are
+    // bit-identical in results, so the delta is pure bookkeeping.
     group.bench_function("update_5x5_iters_mb512", |b| {
         b.iter(|| std::hint::black_box(agent.ppo_mut().update(&batch)))
+    });
+    group.bench_function("update_5x5_iters_mb512_tape", |b| {
+        b.iter(|| std::hint::black_box(agent.ppo_mut().update_tape(&batch)))
     });
 
     // Lockstep batched collection (all 8 envs scored through one stacked

@@ -1,0 +1,115 @@
+//! Phase profiler for the PPO update loop (sibling of
+//! `lockstep_profile`): attributes update wall time to minibatch gather /
+//! forward / backward / optimizer on both dispatch arms, so regressions
+//! in any one phase are attributable.
+//!
+//! ```text
+//! cargo run --release -p rlsched-bench --bin update_profile -- [reps]
+//! ```
+//!
+//! Uses the `ppo_update` bench configuration (kernel policy @ 64-job
+//! window, 5+5 iterations, minibatch 512 over an 8×128-step batch) so
+//! the phase sums line up with `BENCH_ppo_update.json`'s
+//! `update_5x5_iters_mb512` median. A committed reference run lives at
+//! `crates/bench/PROFILE_update_phases.txt` — regenerate it alongside
+//! the BENCH_*.json files when the update path changes.
+
+use rlsched_rl::{collect_rollouts, PpoConfig, UpdateProfile};
+use rlsched_sim::{MetricKind, SimConfig};
+use rlsched_workload::NamedWorkload;
+use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind, SchedulingEnv};
+
+fn print_profile(name: &str, p: &UpdateProfile, reps: u32, wall: std::time::Duration) {
+    let total = p.total().as_secs_f64() * 1e3 / reps as f64;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3 / reps as f64;
+    let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / p.total().as_secs_f64();
+    println!("{name} ({:.2} ms/update wall):", ms(wall));
+    println!(
+        "  gather    : {:7.2} ms  ({:4.1}%)",
+        ms(p.gather),
+        pct(p.gather)
+    );
+    println!(
+        "  forward   : {:7.2} ms  ({:4.1}%)",
+        ms(p.forward),
+        pct(p.forward)
+    );
+    println!(
+        "  backward  : {:7.2} ms  ({:4.1}%)",
+        ms(p.backward),
+        pct(p.backward)
+    );
+    println!(
+        "  optimizer : {:7.2} ms  ({:4.1}%)",
+        ms(p.optimizer),
+        pct(p.optimizer)
+    );
+    println!("  attributed: {total:7.2} ms");
+}
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let trace = std::sync::Arc::new(NamedWorkload::Lublin1.generate(1024, 3));
+    let cfg = AgentConfig {
+        policy: PolicyKind::Kernel,
+        obs: ObsConfig {
+            max_obsv: 64,
+            ..ObsConfig::default()
+        },
+        metric: MetricKind::BoundedSlowdown,
+        ppo: PpoConfig {
+            train_pi_iters: 5,
+            train_v_iters: 5,
+            minibatch: Some(512),
+            ..PpoConfig::default()
+        },
+        seed: 5,
+    };
+    let mut agent = Agent::new(cfg);
+    let encoder = *agent.encoder();
+    let objective = agent.objective();
+    let mut envs: Vec<SchedulingEnv> = (0..8)
+        .map(|_| SchedulingEnv::new(trace.clone(), 128, SimConfig::default(), encoder, objective))
+        .collect();
+    let seeds: Vec<u64> = (0..8).collect();
+    let (batch, _stats) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
+    println!(
+        "batch: {} transitions, minibatch 512, 5 pi + 5 v iters, kernel@64, reps {reps}\n",
+        batch.len()
+    );
+
+    // Warm both arms (graph pools, fused scratch, optimizer state).
+    let _ = agent.ppo_mut().update_fused(&batch);
+    let _ = agent.ppo_mut().update_tape(&batch);
+
+    let mut fused = UpdateProfile::default();
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        let _ = agent.ppo_mut().update_fused_profiled(&batch, &mut fused);
+    }
+    let fused_wall = t0.elapsed();
+    print_profile(
+        "fused (tape-free analytic backward)",
+        &fused,
+        reps,
+        fused_wall,
+    );
+    println!();
+
+    let mut tape = UpdateProfile::default();
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        let _ = agent.ppo_mut().update_tape_profiled(&batch, &mut tape);
+    }
+    let tape_wall = t0.elapsed();
+    print_profile("tape (autodiff graph)", &tape, reps, tape_wall);
+    println!(
+        "\nspeedup: {:.2}x wall ({:.2} -> {:.2} ms)",
+        tape_wall.as_secs_f64() / fused_wall.as_secs_f64(),
+        tape_wall.as_secs_f64() * 1e3 / reps as f64,
+        fused_wall.as_secs_f64() * 1e3 / reps as f64,
+    );
+}

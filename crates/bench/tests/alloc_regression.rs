@@ -115,12 +115,32 @@ fn fast_paths_do_not_regress_allocations() {
     let greedy_allocs = count_allocs(|| agent.ppo().greedy_with(&obs, &mask, &mut scratch));
     assert_eq!(greedy_allocs, 0, "greedy fast path must not allocate");
 
-    // ---- PPO update: bounded by the measured baseline ----
+    // ---- PPO update, fused fast path: ZERO allocations at steady
+    // state. The first call warms the minibatch gather buffers, the
+    // per-layer activation stashes and the Adam moment state; every
+    // later update must not touch the heap at all — the whole point of
+    // the tape-free analytic backward. `update_fused` is pinned
+    // directly so the bound holds regardless of the RLSCHED_FORCE_TAPE
+    // dispatch arm CI sets. ----
     let mut envs: Vec<SchedulingEnv> = (0..4).map(|_| env.clone()).collect();
     let seeds: Vec<u64> = (0..4).collect();
     let (batch, _stats) = collect_rollouts(agent.ppo(), &mut envs, &seeds);
-    let _ = agent.ppo_mut().update(&batch); // warm graph pools + optimizer state
-    let update_allocs = count_allocs(|| agent.ppo_mut().update(&batch));
+    let _ = agent
+        .ppo_mut()
+        .update_fused(&batch)
+        .expect("kernel policy is fused-eligible"); // warm-up iteration
+    let fused_allocs = count_allocs(|| {
+        agent.ppo_mut().update_fused(&batch);
+    });
+    assert_eq!(
+        fused_allocs, 0,
+        "fused Ppo::update must not allocate at steady state \
+         ({fused_allocs} allocations after warm-up)"
+    );
+
+    // ---- PPO update, tape fallback: bounded by the measured baseline ----
+    let _ = agent.ppo_mut().update_tape(&batch); // warm graph pools + optimizer state
+    let update_allocs = count_allocs(|| agent.ppo_mut().update_tape(&batch));
     // Measured baseline for this configuration (3+3 iterations,
     // minibatch 256) is ~200 allocations — op metadata (`SelectCols`
     // index vectors) and per-iteration gradient collections. The bound

@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use rlsched_nn::fused::{FusedHead, FusedPolicy};
 use rlsched_nn::infer;
 use rlsched_nn::{
     Activation, Conv2dLayer, Dense, Graph, Mlp, Network, PackedMlp, ParamBinds, Scratch, Tensor,
@@ -199,6 +200,22 @@ impl PolicyModel for KernelPolicy {
     fn params_mut(&mut self) -> Vec<&mut Tensor> {
         self.kernel.params_mut()
     }
+
+    // Fused-update eligibility: the kernel head scores `[n·K, F]` job
+    // rows through the shared MLP — exactly what `log_probs` builds on
+    // the tape (the reshapes are views).
+    fn fused(&self) -> Option<FusedPolicy<'_>> {
+        Some(FusedPolicy {
+            mlp: &self.kernel,
+            head: FusedHead::Kernel {
+                window: self.max_obsv,
+            },
+        })
+    }
+
+    fn fused_mut(&mut self) -> Option<&mut Mlp> {
+        Some(&mut self.kernel)
+    }
 }
 
 /// A flattened-observation MLP policy (MLP v1–v3 of Table IV).
@@ -262,6 +279,17 @@ impl PolicyModel for FlatMlpPolicy {
 
     fn params_mut(&mut self) -> Vec<&mut Tensor> {
         self.net.params_mut()
+    }
+
+    fn fused(&self) -> Option<FusedPolicy<'_>> {
+        Some(FusedPolicy {
+            mlp: &self.net,
+            head: FusedHead::Flat,
+        })
+    }
+
+    fn fused_mut(&mut self) -> Option<&mut Mlp> {
+        Some(&mut self.net)
     }
 }
 
@@ -493,6 +521,25 @@ impl PolicyModel for PolicyNet {
             PolicyNet::LeNet(p) => p.params_mut(),
         }
     }
+
+    // The kernel and flat-MLP architectures train through the fused
+    // tape-free update; the CNN has conv/pool layers the analytic
+    // backward does not cover, so it stays on the tape.
+    fn fused(&self) -> Option<FusedPolicy<'_>> {
+        match self {
+            PolicyNet::Kernel(p) => p.fused(),
+            PolicyNet::Mlp(p) => p.fused(),
+            PolicyNet::LeNet(_) => None,
+        }
+    }
+
+    fn fused_mut(&mut self) -> Option<&mut Mlp> {
+        match self {
+            PolicyNet::Kernel(p) => p.fused_mut(),
+            PolicyNet::Mlp(p) => p.fused_mut(),
+            PolicyNet::LeNet(_) => None,
+        }
+    }
 }
 
 /// A weight-transposed serving scorer: a [`PackedMlp`] snapshot behind
@@ -596,6 +643,14 @@ impl ValueModel for ValueNet {
 
     fn params_mut(&mut self) -> Vec<&mut Tensor> {
         self.net.params_mut()
+    }
+
+    fn fused(&self) -> Option<&Mlp> {
+        Some(&self.net)
+    }
+
+    fn fused_mut(&mut self) -> Option<&mut Mlp> {
+        Some(&mut self.net)
     }
 }
 

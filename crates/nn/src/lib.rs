@@ -15,12 +15,17 @@
 //!   parameter-binding machinery.
 //! * [`simd`] — runtime-dispatched AVX2/FMA dense microkernels shared by
 //!   the tape, its backward passes, and the inference fast path.
-//! * [`optim`] — Adam / SGD / global-norm clipping.
+//! * [`fused`] — hand-written, allocation-free forward+backward for the
+//!   PPO objective over MLP-chain policies (bit-identical to the tape;
+//!   the training-side sibling of [`infer`]).
+//! * [`optim`] — Adam / SGD / global-norm clipping (SIMD-dispatched
+//!   fused m/v/param step).
 //! * [`serialize`] — JSON checkpoints for the Table VII transfer study.
 //!
 //! Gradient correctness is enforced by finite-difference tests on every op
 //! (see `graph::tests` and `tests/gradcheck_prop.rs`).
 
+pub mod fused;
 pub mod graph;
 pub mod infer;
 pub mod layers;

@@ -1,5 +1,14 @@
 //! First-order optimizers: Adam (the paper trains with learning rate 1e-3,
 //! §V-A) and plain SGD, plus global-norm gradient clipping.
+//!
+//! The Adam inner loop is SIMD-dispatched ([`crate::simd::simd_enabled`]
+//! gates an AVX2 kernel): it runs once per update iteration over every
+//! parameter, m/v moment and gradient, so at 80+80 iterations per PPO
+//! epoch it streams the whole optimizer state hundreds of times. The
+//! vector kernel performs the *same* per-element operations in the same
+//! order (multiply/add/sqrt/divide, deliberately no FMA contraction), so
+//! both dispatch arms produce bit-identical parameters — pinned by the
+//! forced-scalar parity test below.
 
 use crate::tensor::Tensor;
 
@@ -43,32 +52,179 @@ impl Adam {
     /// and keep the same shapes across calls.
     pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
         assert_eq!(params.len(), grads.len(), "params/grads must align");
+        self.step_params(params.iter_mut().map(|p| &mut **p), grads);
+    }
+
+    /// [`Adam::step`] over a parameter *iterator* — the allocation-free
+    /// entry point for callers that can walk their parameter tensors in
+    /// place (the fused PPO update iterates MLP layers directly instead
+    /// of collecting a `Vec<&mut Tensor>` per iteration). The iterator
+    /// must yield exactly `grads.len()` tensors in bind order.
+    pub fn step_params<'a>(
+        &mut self,
+        mut params: impl Iterator<Item = &'a mut Tensor>,
+        grads: &[Tensor],
+    ) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.shape())).collect();
+            self.m = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+            self.v = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "parameter set changed size");
+        assert_eq!(self.m.len(), grads.len(), "parameter set changed size");
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        let mut count = 0;
+        // Grads drive the zip so a too-long params iterator is never
+        // pulled past grads.len(): the surplus tensor stays in the
+        // iterator for the trailing exhaustion assert to catch.
+        for ((g, (m, v)), p) in grads
+            .iter()
+            .zip(self.m.iter_mut().zip(&mut self.v))
+            .zip(params.by_ref())
         {
             assert_eq!(p.shape(), g.shape(), "parameter/gradient shape mismatch");
-            for i in 0..p.len() {
-                let gi = g.data()[i];
-                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
-                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
-                let mhat = mi / b1t;
-                let vhat = vi / b2t;
-                p.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            adam_update_slice(
+                p.data_mut(),
+                g.data(),
+                m.data_mut(),
+                v.data_mut(),
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                b1t,
+                b2t,
+            );
+            count += 1;
+        }
+        assert_eq!(count, grads.len(), "params/grads must align");
+        assert!(
+            params.next().is_none(),
+            "params/grads must align (iterator yielded more than {} tensors)",
+            grads.len()
+        );
+    }
+}
+
+/// One fused m/v/param Adam update over a parameter slice, dispatched to
+/// the AVX2 kernel when available (`RLSCHED_FORCE_SCALAR` pins the scalar
+/// arm). Both arms compute identical bits per element.
+#[allow(clippy::too_many_arguments)] // the full Adam state, BLAS-style
+fn adam_update_slice(
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    b1t: f32,
+    b2t: f32,
+) {
+    debug_assert!(g.len() == p.len() && m.len() == p.len() && v.len() == p.len());
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_enabled() {
+        unsafe { adam_update_avx2(p, g, m, v, lr, beta1, beta2, eps, b1t, b2t) };
+        return;
+    }
+    adam_update_scalar(p, g, m, v, lr, beta1, beta2, eps, b1t, b2t);
+}
+
+/// Scalar reference arm: the original per-element Adam loop.
+#[allow(clippy::too_many_arguments)]
+fn adam_update_scalar(
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    b1t: f32,
+    b2t: f32,
+) {
+    for (((p, &gi), m), v) in p.iter_mut().zip(g).zip(m.iter_mut()).zip(v.iter_mut()) {
+        let mi = beta1 * *m + (1.0 - beta1) * gi;
+        let vi = beta2 * *v + (1.0 - beta2) * gi * gi;
+        *m = mi;
+        *v = vi;
+        let mhat = mi / b1t;
+        let vhat = vi / b2t;
+        *p -= lr * mhat / (vhat.sqrt() + eps);
+    }
+}
+
+/// AVX2 arm: 8 lanes per step, using separate multiply/add (no FMA
+/// contraction) plus IEEE-exact sqrt and divide, so every lane computes
+/// the *same bits* as [`adam_update_scalar`] — parameter trajectories are
+/// dispatch-independent. The tail runs the scalar arm.
+///
+/// # Safety
+/// Caller must ensure AVX2 is available and all slices share one length.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn adam_update_avx2(
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    b1t: f32,
+    b2t: f32,
+) {
+    use std::arch::x86_64::*;
+    let n = p.len();
+    assert!(g.len() == n && m.len() == n && v.len() == n);
+    let n8 = n - n % 8;
+    unsafe {
+        let vb1 = _mm256_set1_ps(beta1);
+        let vb1c = _mm256_set1_ps(1.0 - beta1);
+        let vb2 = _mm256_set1_ps(beta2);
+        let vb2c = _mm256_set1_ps(1.0 - beta2);
+        let vb1t = _mm256_set1_ps(b1t);
+        let vb2t = _mm256_set1_ps(b2t);
+        let vlr = _mm256_set1_ps(lr);
+        let veps = _mm256_set1_ps(eps);
+        let mut i = 0;
+        while i < n8 {
+            let gi = _mm256_loadu_ps(g.as_ptr().add(i));
+            let mi = _mm256_add_ps(
+                _mm256_mul_ps(vb1, _mm256_loadu_ps(m.as_ptr().add(i))),
+                _mm256_mul_ps(vb1c, gi),
+            );
+            let vi = _mm256_add_ps(
+                _mm256_mul_ps(vb2, _mm256_loadu_ps(v.as_ptr().add(i))),
+                _mm256_mul_ps(_mm256_mul_ps(vb2c, gi), gi),
+            );
+            _mm256_storeu_ps(m.as_mut_ptr().add(i), mi);
+            _mm256_storeu_ps(v.as_mut_ptr().add(i), vi);
+            let mhat = _mm256_div_ps(mi, vb1t);
+            let vhat = _mm256_div_ps(vi, vb2t);
+            let denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+            let upd = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
+            let pv = _mm256_sub_ps(_mm256_loadu_ps(p.as_ptr().add(i)), upd);
+            _mm256_storeu_ps(p.as_mut_ptr().add(i), pv);
+            i += 8;
         }
     }
+    adam_update_scalar(
+        &mut p[n8..],
+        &g[n8..],
+        &mut m[n8..],
+        &mut v[n8..],
+        lr,
+        beta1,
+        beta2,
+        eps,
+        b1t,
+        b2t,
+    );
 }
 
 /// Plain stochastic gradient descent.
@@ -177,6 +333,29 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "align")]
+    fn step_params_rejects_one_surplus_param() {
+        // Exactly one extra tensor is the subtle case: zip would consume
+        // it before stopping if params drove the zip, silently freezing
+        // the surplus parameter instead of panicking.
+        let mut a = Tensor::zeros(&[2]);
+        let mut b = Tensor::zeros(&[2]);
+        let grads = vec![Tensor::from_vec(vec![1.0, 2.0], &[2])];
+        Adam::new(0.1).step_params([&mut a, &mut b].into_iter(), &grads);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn step_params_rejects_short_params() {
+        let grads = vec![
+            Tensor::from_vec(vec![1.0], &[1]),
+            Tensor::from_vec(vec![2.0], &[1]),
+        ];
+        let mut a = Tensor::zeros(&[1]);
+        Adam::new(0.1).step_params([&mut a].into_iter(), &grads);
+    }
+
+    #[test]
     fn clip_scales_down_only_when_needed() {
         let mut grads = vec![
             Tensor::from_vec(vec![3.0], &[1]),
@@ -197,5 +376,65 @@ mod tests {
         let mut opt = Adam::new(0.1);
         opt.set_lr(0.5);
         assert_eq!(opt.lr(), 0.5);
+    }
+
+    #[test]
+    fn step_params_matches_step() {
+        // The iterator entry point must walk the same update as the
+        // slice-of-refs one (it is the same kernel underneath).
+        let grads: Vec<Tensor> = (0..3)
+            .map(|k| {
+                Tensor::from_vec(
+                    (0..5 + k).map(|i| ((i + k) as f32 * 0.7).sin()).collect(),
+                    &[5 + k],
+                )
+            })
+            .collect();
+        let mut a: Vec<Tensor> = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+        let mut b = a.clone();
+        let mut oa = Adam::new(0.05);
+        let mut ob = Adam::new(0.05);
+        for _ in 0..7 {
+            let mut refs: Vec<&mut Tensor> = a.iter_mut().collect();
+            oa.step(&mut refs, &grads);
+            ob.step_params(b.iter_mut(), &grads);
+        }
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data(), y.data(), "step and step_params diverged");
+        }
+    }
+
+    /// The forced-scalar parity contract of the fused m/v/param kernel:
+    /// the AVX2 arm must produce the *same bits* as the scalar arm (it
+    /// deliberately uses no FMA contraction), so parameter trajectories
+    /// never depend on dispatch.
+    #[test]
+    fn adam_kernel_simd_matches_scalar_bitwise() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !(std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma"))
+            {
+                return; // no SIMD arm on this machine; nothing to compare
+            }
+            for n in [1usize, 7, 8, 9, 64, 129] {
+                let g: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 2.0).collect();
+                let mut ps = vec![0.5f32; n];
+                let mut ms: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos() * 0.1).collect();
+                let mut vs: Vec<f32> = (0..n).map(|i| (i as f32 * 0.05).sin().abs()).collect();
+                let (mut pv, mut mv, mut vv) = (ps.clone(), ms.clone(), vs.clone());
+                adam_update_scalar(
+                    &mut ps, &g, &mut ms, &mut vs, 1e-3, 0.9, 0.999, 1e-8, 0.1, 0.001,
+                );
+                unsafe {
+                    adam_update_avx2(
+                        &mut pv, &g, &mut mv, &mut vv, 1e-3, 0.9, 0.999, 1e-8, 0.1, 0.001,
+                    )
+                };
+                assert_eq!(ps, pv, "params diverged at n={n}");
+                assert_eq!(ms, mv, "first moments diverged at n={n}");
+                assert_eq!(vs, vv, "second moments diverged at n={n}");
+            }
+        }
     }
 }

@@ -127,15 +127,16 @@ pub fn gemm_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut
     }
 }
 
-/// Register-blocked AVX2/FMA kernel: 4 rows × 8 columns per block, each
-/// weight row loaded once per tile with four independent FMA chains to
-/// hide latency. Column tail (`n % 8`) runs scalar; row tail runs a
-/// 1×8 kernel with a single k-ascending FMA chain — the *same* per-row
-/// accumulation order as the 4-row block, so every output row is
-/// bit-identical whether it was computed in a full block or as a tail
-/// (the row-count-invariance contract of the module docs). The tail
-/// trades a little FMA-latency hiding for that guarantee; batch shapes
-/// on the hot paths are multiples of 4 rows anyway.
+/// Register-blocked AVX2/FMA kernel: 4 rows × 16 columns per block (eight
+/// independent FMA chains — enough to cover FMA latency at two issues per
+/// cycle), stepping down to 4×8, then a 1-row remainder (16- and 8-wide),
+/// then a scalar column tail.
+///
+/// Every output element is accumulated by its own k-ascending FMA chain
+/// in its own vector lane, so the tile geometry never changes a value:
+/// each row is bit-identical whether it was computed in a full block or
+/// as a tail (the row-count-invariance contract of the module docs), and
+/// widening the tiles is invisible to every parity test.
 ///
 /// # Safety
 /// Caller must ensure AVX2+FMA are available and slice lengths cover the
@@ -156,6 +157,7 @@ unsafe fn gemm_avx2(
     if let Some(bv) = bias {
         assert!(bv.len() >= n);
     }
+    let n16 = n - n % 16;
     let n8 = n - n % 8;
     unsafe {
         let seed = |j: usize| -> __m256 {
@@ -167,6 +169,43 @@ unsafe fn gemm_avx2(
         let mut i = 0;
         while i + 4 <= m {
             let mut j = 0;
+            while j < n16 {
+                let s0 = seed(j);
+                let s1 = seed(j + 8);
+                let (mut a00, mut a01) = (s0, s1);
+                let (mut a10, mut a11) = (s0, s1);
+                let (mut a20, mut a21) = (s0, s1);
+                let (mut a30, mut a31) = (s0, s1);
+                for kk in 0..k {
+                    let w0 = _mm256_loadu_ps(b.as_ptr().add(kk * n + j));
+                    let w1 = _mm256_loadu_ps(b.as_ptr().add(kk * n + j + 8));
+                    let x0 = _mm256_set1_ps(*a.get_unchecked(i * k + kk));
+                    a00 = _mm256_fmadd_ps(x0, w0, a00);
+                    a01 = _mm256_fmadd_ps(x0, w1, a01);
+                    let x1 = _mm256_set1_ps(*a.get_unchecked((i + 1) * k + kk));
+                    a10 = _mm256_fmadd_ps(x1, w0, a10);
+                    a11 = _mm256_fmadd_ps(x1, w1, a11);
+                    let x2 = _mm256_set1_ps(*a.get_unchecked((i + 2) * k + kk));
+                    a20 = _mm256_fmadd_ps(x2, w0, a20);
+                    a21 = _mm256_fmadd_ps(x2, w1, a21);
+                    let x3 = _mm256_set1_ps(*a.get_unchecked((i + 3) * k + kk));
+                    a30 = _mm256_fmadd_ps(x3, w0, a30);
+                    a31 = _mm256_fmadd_ps(x3, w1, a31);
+                }
+                let o0 = out.as_mut_ptr().add(i * n + j);
+                let o1 = out.as_mut_ptr().add((i + 1) * n + j);
+                let o2 = out.as_mut_ptr().add((i + 2) * n + j);
+                let o3 = out.as_mut_ptr().add((i + 3) * n + j);
+                _mm256_storeu_ps(o0, a00);
+                _mm256_storeu_ps(o0.add(8), a01);
+                _mm256_storeu_ps(o1, a10);
+                _mm256_storeu_ps(o1.add(8), a11);
+                _mm256_storeu_ps(o2, a20);
+                _mm256_storeu_ps(o2.add(8), a21);
+                _mm256_storeu_ps(o3, a30);
+                _mm256_storeu_ps(o3.add(8), a31);
+                j += 16;
+            }
             while j < n8 {
                 let s = seed(j);
                 let (mut a0, mut a1, mut a2, mut a3) = (s, s, s, s);
@@ -188,12 +227,24 @@ unsafe fn gemm_avx2(
             }
             i += 4;
         }
-        // Row remainder: 1×8 tiles with the same single k-ascending FMA
-        // chain per row as the 4-row block above, so a row computes the
-        // same bits regardless of which path handled it (row-count
+        // Row remainder: 16- then 8-wide tiles with the same per-lane
+        // k-ascending FMA chain as the 4-row blocks above (row-count
         // invariance).
         while i < m {
             let mut j = 0;
+            while j < n16 {
+                let mut acc0 = seed(j);
+                let mut acc1 = seed(j + 8);
+                for kk in 0..k {
+                    let x = _mm256_set1_ps(*a.get_unchecked(i * k + kk));
+                    acc0 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b.as_ptr().add(kk * n + j)), acc0);
+                    acc1 =
+                        _mm256_fmadd_ps(x, _mm256_loadu_ps(b.as_ptr().add(kk * n + j + 8)), acc1);
+                }
+                _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j), acc0);
+                _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j + 8), acc1);
+                j += 16;
+            }
             while j < n8 {
                 let mut acc = seed(j);
                 for kk in 0..k {
@@ -380,12 +431,17 @@ pub fn gemm_tn_scalar(a: &[f32], r: usize, m: usize, b: &[f32], n: usize, out: &
     }
 }
 
-/// Outer-product kernel with register-resident accumulators: a 2-row ×
-/// 16-column output tile accumulates across a whole r-chunk before a
-/// single read-modify-write of `out`, so B's column slice streams from
-/// cache and A contributes two broadcasts per r. The r-chunking (512)
-/// keeps the streamed slice L1/L2-resident; 8-wide and scalar tails
-/// handle ragged n, a 1-row variant handles odd m.
+/// Outer-product kernel with register-resident accumulators: a 4-row ×
+/// 16-column output tile (eight independent FMA chains) accumulates
+/// across a whole r-chunk before a single read-modify-write of `out`, so
+/// B's column slice streams from cache and A contributes four broadcasts
+/// per r; 2- and 1-row variants absorb the row remainder, 8-wide and
+/// scalar tails handle ragged n. The r-chunking (512) keeps the streamed
+/// slice L1/L2-resident.
+///
+/// Each output element accumulates in its own lane, r ascending within
+/// every chunk — so the block geometry (4 vs 2 vs 1 rows per tile) never
+/// changes a value.
 ///
 /// # Safety
 /// Caller must ensure AVX2+FMA are available and slice lengths cover the
@@ -398,6 +454,7 @@ unsafe fn gemm_tn_avx2(a: &[f32], r: usize, m: usize, b: &[f32], n: usize, out: 
     const R_CHUNK: usize = 512;
     let n16 = n - n % 16;
     let n8 = n - n % 8;
+    let m4 = m - m % 4;
     let m2 = m - m % 2;
     out[..m * n].fill(0.0);
     unsafe {
@@ -407,6 +464,47 @@ unsafe fn gemm_tn_avx2(a: &[f32], r: usize, m: usize, b: &[f32], n: usize, out: 
             let mut j = 0;
             while j < n16 {
                 let mut i = 0;
+                while i < m4 {
+                    let mut acc00 = _mm256_setzero_ps();
+                    let mut acc01 = _mm256_setzero_ps();
+                    let mut acc10 = _mm256_setzero_ps();
+                    let mut acc11 = _mm256_setzero_ps();
+                    let mut acc20 = _mm256_setzero_ps();
+                    let mut acc21 = _mm256_setzero_ps();
+                    let mut acc30 = _mm256_setzero_ps();
+                    let mut acc31 = _mm256_setzero_ps();
+                    for row in r0..r1 {
+                        let bp = b.as_ptr().add(row * n + j);
+                        let b0 = _mm256_loadu_ps(bp);
+                        let b1 = _mm256_loadu_ps(bp.add(8));
+                        let x0 = _mm256_set1_ps(*a.get_unchecked(row * m + i));
+                        acc00 = _mm256_fmadd_ps(x0, b0, acc00);
+                        acc01 = _mm256_fmadd_ps(x0, b1, acc01);
+                        let x1 = _mm256_set1_ps(*a.get_unchecked(row * m + i + 1));
+                        acc10 = _mm256_fmadd_ps(x1, b0, acc10);
+                        acc11 = _mm256_fmadd_ps(x1, b1, acc11);
+                        let x2 = _mm256_set1_ps(*a.get_unchecked(row * m + i + 2));
+                        acc20 = _mm256_fmadd_ps(x2, b0, acc20);
+                        acc21 = _mm256_fmadd_ps(x2, b1, acc21);
+                        let x3 = _mm256_set1_ps(*a.get_unchecked(row * m + i + 3));
+                        acc30 = _mm256_fmadd_ps(x3, b0, acc30);
+                        acc31 = _mm256_fmadd_ps(x3, b1, acc31);
+                    }
+                    for (di, (lo, hi)) in [
+                        (acc00, acc01),
+                        (acc10, acc11),
+                        (acc20, acc21),
+                        (acc30, acc31),
+                    ]
+                    .into_iter()
+                    .enumerate()
+                    {
+                        let o = out.as_mut_ptr().add((i + di) * n + j);
+                        _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(o), lo));
+                        _mm256_storeu_ps(o.add(8), _mm256_add_ps(_mm256_loadu_ps(o.add(8)), hi));
+                    }
+                    i += 4;
+                }
                 while i < m2 {
                     let mut acc00 = _mm256_setzero_ps();
                     let mut acc01 = _mm256_setzero_ps();
@@ -449,6 +547,28 @@ unsafe fn gemm_tn_avx2(a: &[f32], r: usize, m: usize, b: &[f32], n: usize, out: 
             }
             while j < n8 {
                 let mut i = 0;
+                while i < m4 {
+                    let mut acc0 = _mm256_setzero_ps();
+                    let mut acc1 = _mm256_setzero_ps();
+                    let mut acc2 = _mm256_setzero_ps();
+                    let mut acc3 = _mm256_setzero_ps();
+                    for row in r0..r1 {
+                        let b0 = _mm256_loadu_ps(b.as_ptr().add(row * n + j));
+                        let x0 = _mm256_set1_ps(*a.get_unchecked(row * m + i));
+                        acc0 = _mm256_fmadd_ps(x0, b0, acc0);
+                        let x1 = _mm256_set1_ps(*a.get_unchecked(row * m + i + 1));
+                        acc1 = _mm256_fmadd_ps(x1, b0, acc1);
+                        let x2 = _mm256_set1_ps(*a.get_unchecked(row * m + i + 2));
+                        acc2 = _mm256_fmadd_ps(x2, b0, acc2);
+                        let x3 = _mm256_set1_ps(*a.get_unchecked(row * m + i + 3));
+                        acc3 = _mm256_fmadd_ps(x3, b0, acc3);
+                    }
+                    for (di, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                        let o = out.as_mut_ptr().add((i + di) * n + j);
+                        _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(o), acc));
+                    }
+                    i += 4;
+                }
                 while i < m2 {
                     let mut acc0 = _mm256_setzero_ps();
                     let mut acc1 = _mm256_setzero_ps();

@@ -104,33 +104,19 @@ impl RolloutBuffer {
         let start = self.path_start;
         let end = self.rewards.len();
         assert!(end > start, "finish_path on an empty episode");
-        let n = end - start;
-
-        // GAE-λ: delta_t = r_t + γ V_{t+1} − V_t;
-        // A_t = Σ_k (γλ)^k delta_{t+k}.
-        let mut adv = vec![0.0f64; n];
-        let mut next_adv = 0.0f64;
-        for i in (0..n).rev() {
-            let v = self.values[start + i];
-            let next_v = if i + 1 < n {
-                self.values[start + i + 1]
-            } else {
-                last_value
-            };
-            let delta = self.rewards[start + i] + self.gamma * next_v - v;
-            next_adv = delta + self.gamma * self.lam * next_adv;
-            adv[i] = next_adv;
-        }
-        self.advantages.extend_from_slice(&adv);
-
-        // Reward-to-go returns, bootstrapped with last_value.
-        let mut ret = vec![0.0f64; n];
-        let mut running = last_value;
-        for i in (0..n).rev() {
-            running = self.rewards[start + i] + self.gamma * running;
-            ret[i] = running;
-        }
-        self.returns.extend_from_slice(&ret);
+        self.advantages.resize(end, 0.0);
+        self.returns.resize(end, 0.0);
+        gae_and_returns(
+            end - start,
+            last_value,
+            self.gamma,
+            self.lam,
+            |i| start + i,
+            &self.rewards,
+            &self.values,
+            &mut self.advantages,
+            &mut self.returns,
+        );
         self.path_start = end;
     }
 
@@ -180,18 +166,7 @@ impl RolloutBuffer {
         }
         let n = actions.len();
         assert!(n > 0, "empty batch");
-
-        let mean = advantages.iter().sum::<f64>() / n as f64;
-        let var = advantages
-            .iter()
-            .map(|a| (a - mean) * (a - mean))
-            .sum::<f64>()
-            / n as f64;
-        let std = var.sqrt().max(1e-8);
-        let advantages: Vec<f32> = advantages
-            .iter()
-            .map(|a| ((a - mean) / std) as f32)
-            .collect();
+        let advantages = normalize_advantages(&advantages);
 
         Batch {
             obs: Tensor::from_vec(obs, &[n, obs_dim]),
@@ -201,6 +176,251 @@ impl RolloutBuffer {
             returns,
             logp_old,
         }
+    }
+}
+
+/// GAE-λ advantages and reward-to-go returns for one `n`-step episode,
+/// bootstrapped with `last_value`: `delta_t = r_t + γ V_{t+1} − V_t`,
+/// `A_t = Σ_k (γλ)^k delta_{t+k}`. `row` maps the episode's step index
+/// to its storage row in the reward/value (and output) arrays — the ONE
+/// recurrence shared by the contiguous per-episode [`RolloutBuffer`] and
+/// the interleaved [`ArrivalArena`], so the two can never drift apart.
+#[allow(clippy::too_many_arguments)] // the full GAE term list, both storages
+fn gae_and_returns(
+    n: usize,
+    last_value: f64,
+    gamma: f64,
+    lam: f64,
+    row: impl Fn(usize) -> usize,
+    rewards: &[f64],
+    values: &[f64],
+    advantages: &mut [f64],
+    returns: &mut [f64],
+) {
+    let mut next_adv = 0.0f64;
+    for i in (0..n).rev() {
+        let r = row(i);
+        let v = values[r];
+        let next_v = if i + 1 < n {
+            values[row(i + 1)]
+        } else {
+            last_value
+        };
+        let delta = rewards[r] + gamma * next_v - v;
+        next_adv = delta + gamma * lam * next_adv;
+        advantages[r] = next_adv;
+    }
+    let mut running = last_value;
+    for i in (0..n).rev() {
+        let r = row(i);
+        running = rewards[r] + gamma * running;
+        returns[r] = running;
+    }
+}
+
+/// The Spinning Up "advantage normalization trick": zero mean / unit
+/// variance over the merged batch (1e-8 std floor), shared by both batch
+/// assembly paths so the arithmetic cannot diverge between them.
+fn normalize_advantages(advantages: &[f64]) -> Vec<f32> {
+    let n = advantages.len();
+    let mean = advantages.iter().sum::<f64>() / n as f64;
+    let var = advantages
+        .iter()
+        .map(|a| (a - mean) * (a - mean))
+        .sum::<f64>()
+        / n as f64;
+    let std = var.sqrt().max(1e-8);
+    advantages
+        .iter()
+        .map(|a| ((a - mean) / std) as f32)
+        .collect()
+}
+
+/// Arrival-order rollout arena for the lockstep sampler.
+///
+/// The lockstep loop produces one transition per live episode per tick —
+/// interleaved across episodes. Staging those rows into one
+/// [`RolloutBuffer`] per episode means every tick scatters its stores
+/// across N growing buffers (N distinct cache tails at lockstep width N)
+/// and the final [`RolloutBuffer::into_batch`] re-copies everything
+/// anyway. The arena instead appends every row to **one** contiguous
+/// tail in arrival order, remembers each episode's row indices, and
+/// performs a single episode-ordered gather at the end.
+///
+/// Bit-identity contract: [`ArrivalArena::into_batch`] produces exactly
+/// the [`Batch`] that per-episode buffers merged through
+/// [`RolloutBuffer::into_batch`] would — GAE runs per episode over the
+/// same values in the same order, and the episode-ordered gather feeds
+/// advantage normalization the same merged sequence. The `vecenv_parity`
+/// suites pin this on both kernel dispatch arms.
+#[derive(Debug)]
+pub struct ArrivalArena {
+    obs_dim: usize,
+    n_actions: usize,
+    gamma: f64,
+    lam: f64,
+    obs: Vec<f32>,
+    masks: Vec<f32>,
+    actions: Vec<usize>,
+    rewards: Vec<f64>,
+    values: Vec<f64>,
+    logps: Vec<f32>,
+    advantages: Vec<f64>,
+    returns: Vec<f64>,
+    /// Per-episode arrival row indices, in step order.
+    rows: Vec<Vec<u32>>,
+    /// Per-episode bootstrap value recorded at finish (for replay).
+    finished: Vec<Option<f64>>,
+}
+
+impl ArrivalArena {
+    /// An empty arena for `episodes` episodes of `(obs_dim, n_actions)`
+    /// transitions.
+    pub fn new(obs_dim: usize, n_actions: usize, gamma: f64, lam: f64, episodes: usize) -> Self {
+        ArrivalArena {
+            obs_dim,
+            n_actions,
+            gamma,
+            lam,
+            obs: Vec::new(),
+            masks: Vec::new(),
+            actions: Vec::new(),
+            rewards: Vec::new(),
+            values: Vec::new(),
+            logps: Vec::new(),
+            advantages: Vec::new(),
+            returns: Vec::new(),
+            rows: (0..episodes).map(|_| Vec::new()).collect(),
+            finished: vec![None; episodes],
+        }
+    }
+
+    /// Append one step of `episode` (steps of one episode must arrive in
+    /// order; different episodes may interleave freely).
+    #[allow(clippy::too_many_arguments)] // RolloutBuffer::store's row + the episode key
+    pub fn store(
+        &mut self,
+        episode: usize,
+        obs: &[f32],
+        mask: &[f32],
+        action: usize,
+        reward: f64,
+        value: f64,
+        logp: f32,
+    ) {
+        assert_eq!(obs.len(), self.obs_dim, "observation width");
+        assert_eq!(mask.len(), self.n_actions, "mask width");
+        assert!(action < self.n_actions, "action out of range");
+        assert!(
+            self.finished[episode].is_none(),
+            "store into a finished episode"
+        );
+        let row = self.actions.len() as u32;
+        self.obs.extend_from_slice(obs);
+        self.masks.extend_from_slice(mask);
+        self.actions.push(action);
+        self.rewards.push(reward);
+        self.values.push(value);
+        self.logps.push(logp);
+        self.advantages.push(0.0);
+        self.returns.push(0.0);
+        self.rows[episode].push(row);
+    }
+
+    /// Close `episode`, computing its GAE-λ advantages and reward-to-go
+    /// returns over its rows through the same [`gae_and_returns`]
+    /// recurrence [`RolloutBuffer::finish_path`] runs.
+    pub fn finish_episode(&mut self, episode: usize, last_value: f64) {
+        let rows = &self.rows[episode];
+        assert!(!rows.is_empty(), "finish_episode on an empty episode");
+        assert!(self.finished[episode].is_none(), "episode finished twice");
+        gae_and_returns(
+            rows.len(),
+            last_value,
+            self.gamma,
+            self.lam,
+            |i| rows[i] as usize,
+            &self.rewards,
+            &self.values,
+            &mut self.advantages,
+            &mut self.returns,
+        );
+        self.finished[episode] = Some(last_value);
+    }
+
+    /// One episode-ordered gather into a merged, advantage-normalized
+    /// training batch — bit-identical to staging per-episode
+    /// [`RolloutBuffer`]s and merging them with
+    /// [`RolloutBuffer::into_batch`] in episode order.
+    pub fn into_batch(self) -> Batch {
+        let n = self.actions.len();
+        assert!(n > 0, "empty batch");
+        for (ep, fin) in self.finished.iter().enumerate() {
+            assert!(
+                fin.is_some() || self.rows[ep].is_empty(),
+                "all episodes must be finished before batching"
+            );
+        }
+        let mut obs = Vec::with_capacity(n * self.obs_dim);
+        let mut masks = Vec::with_capacity(n * self.n_actions);
+        let mut actions = Vec::with_capacity(n);
+        let mut advantages: Vec<f64> = Vec::with_capacity(n);
+        let mut returns = Vec::with_capacity(n);
+        let mut logp_old = Vec::with_capacity(n);
+        for rows in &self.rows {
+            for &row in rows {
+                let r = row as usize;
+                obs.extend_from_slice(&self.obs[r * self.obs_dim..(r + 1) * self.obs_dim]);
+                masks.extend_from_slice(&self.masks[r * self.n_actions..(r + 1) * self.n_actions]);
+                actions.push(self.actions[r]);
+                advantages.push(self.advantages[r]);
+                returns.push(self.returns[r] as f32);
+                logp_old.push(self.logps[r]);
+            }
+        }
+
+        // Advantage normalization over the merged episode order — the
+        // same helper `RolloutBuffer::into_batch` runs.
+        let advantages = normalize_advantages(&advantages);
+
+        Batch {
+            obs: Tensor::from_vec(obs, &[n, self.obs_dim]),
+            masks: Tensor::from_vec(masks, &[n, self.n_actions]),
+            actions,
+            advantages,
+            returns,
+            logp_old,
+        }
+    }
+
+    /// Replay the arena into per-episode [`RolloutBuffer`]s (episode
+    /// order) — the compatibility path for callers that want per-episode
+    /// granularity; contents are bit-identical to having staged per
+    /// episode from the start.
+    pub fn into_episode_buffers(self) -> Vec<RolloutBuffer> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(ep, rows)| {
+                let mut buf =
+                    RolloutBuffer::new(self.obs_dim, self.n_actions, self.gamma, self.lam);
+                for &row in rows {
+                    let r = row as usize;
+                    buf.store(
+                        &self.obs[r * self.obs_dim..(r + 1) * self.obs_dim],
+                        &self.masks[r * self.n_actions..(r + 1) * self.n_actions],
+                        self.actions[r],
+                        self.rewards[r],
+                        self.values[r],
+                        self.logps[r],
+                    );
+                }
+                if let Some(last_value) = self.finished[ep] {
+                    buf.finish_path(last_value);
+                }
+                buf
+            })
+            .collect()
     }
 }
 
@@ -313,6 +533,84 @@ mod tests {
     fn store_checks_widths() {
         let mut b = RolloutBuffer::new(2, 2, 1.0, 1.0);
         b.store(&[0.0], &[0.0, 0.0], 0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn arena_matches_per_episode_buffers_bitwise() {
+        // Interleaved arrival across 3 episodes of different lengths must
+        // produce exactly the batch (and the replayed buffers) that
+        // per-episode staging produces.
+        let (gamma, lam) = (0.9, 0.95);
+        let mut arena = ArrivalArena::new(2, 3, gamma, lam, 3);
+        let mut bufs: Vec<RolloutBuffer> = (0..3)
+            .map(|_| RolloutBuffer::new(2, 3, gamma, lam))
+            .collect();
+        // (episode, step) arrival order with episode 1 finishing early.
+        let schedule: &[(usize, usize)] = &[
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (0, 1),
+            (1, 1),
+            (2, 1),
+            (0, 2),
+            (2, 2),
+            (0, 3),
+            (2, 3),
+        ];
+        for &(ep, t) in schedule {
+            let obs = [ep as f32 + t as f32 * 0.1, -(t as f32)];
+            let mask = [0.0, 0.0, 0.0];
+            let a = (ep + t) % 3;
+            let r = (t as f64 + 1.0) * if ep == 1 { -1.0 } else { 0.5 };
+            let v = ep as f64 * 0.3 + t as f64 * 0.01;
+            let lp = -0.5 - t as f32 * 0.1;
+            arena.store(ep, &obs, &mask, a, r, v, lp);
+            bufs[ep].store(&obs, &mask, a, r, v, lp);
+        }
+        for (ep, buf) in bufs.iter_mut().enumerate() {
+            arena.finish_episode(ep, 0.0);
+            buf.finish_path(0.0);
+        }
+        let replayed = {
+            let mut a2 = ArrivalArena::new(2, 3, gamma, lam, 3);
+            for &(ep, t) in schedule {
+                let obs = [ep as f32 + t as f32 * 0.1, -(t as f32)];
+                a2.store(
+                    ep,
+                    &obs,
+                    &[0.0, 0.0, 0.0],
+                    (ep + t) % 3,
+                    (t as f64 + 1.0) * if ep == 1 { -1.0 } else { 0.5 },
+                    ep as f64 * 0.3 + t as f64 * 0.01,
+                    -0.5 - t as f32 * 0.1,
+                );
+            }
+            for ep in 0..3 {
+                a2.finish_episode(ep, 0.0);
+            }
+            a2.into_episode_buffers()
+        };
+        let from_arena = arena.into_batch();
+        let from_bufs = RolloutBuffer::into_batch(bufs);
+        assert_eq!(from_arena.obs.data(), from_bufs.obs.data());
+        assert_eq!(from_arena.masks.data(), from_bufs.masks.data());
+        assert_eq!(from_arena.actions, from_bufs.actions);
+        assert_eq!(from_arena.advantages, from_bufs.advantages);
+        assert_eq!(from_arena.returns, from_bufs.returns);
+        assert_eq!(from_arena.logp_old, from_bufs.logp_old);
+        // And the replay path merges to the same bits.
+        let from_replay = RolloutBuffer::into_batch(replayed);
+        assert_eq!(from_replay.advantages, from_bufs.advantages);
+        assert_eq!(from_replay.obs.data(), from_bufs.obs.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finished")]
+    fn arena_rejects_unfinished_batching() {
+        let mut arena = ArrivalArena::new(1, 2, 1.0, 1.0, 1);
+        arena.store(0, &[0.0], &[0.0, 0.0], 0, 0.0, 0.0, -0.5);
+        let _ = arena.into_batch();
     }
 
     #[test]

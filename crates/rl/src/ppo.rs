@@ -7,12 +7,24 @@
 //! up to 80 policy-gradient iterations (early-stopped on approximate KL)
 //! and 80 value iterations at learning rate 1e-3.
 
+use std::time::{Duration, Instant};
+
 use rand::Rng;
 
-use rlsched_nn::{clip_global_norm, Adam, Graph, ParamBinds, Scratch, Tensor, Var};
+use rlsched_nn::{clip_global_norm, fused, Adam, Graph, Mlp, ParamBinds, Scratch, Tensor, Var};
 
 use crate::buffer::Batch;
 use crate::categorical::MaskedCategorical;
+
+/// True when `RLSCHED_FORCE_TAPE` pins [`Ppo::update`] to the autodiff
+/// tape even for fused-eligible architectures (read once, cached — CI
+/// runs the whole suite once with it set so the fallback stays green).
+fn force_tape() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var_os("RLSCHED_FORCE_TAPE").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
 
 /// The actor: maps observations + additive masks to per-action
 /// log-probabilities.
@@ -91,6 +103,25 @@ pub trait PolicyModel {
     fn param_count(&self) -> usize {
         self.params().iter().map(|t| t.len()).sum()
     }
+
+    /// Describe this policy for the tape-free fused update
+    /// ([`Ppo::update`]'s fast path) when its architecture is an MLP
+    /// chain the analytic backward supports. The default (`None`) keeps
+    /// the policy on the autodiff tape; implementations returning
+    /// `Some` must also override [`PolicyModel::fused_mut`], and the
+    /// described network must compute exactly what
+    /// [`PolicyModel::log_probs`] builds on the tape.
+    fn fused(&self) -> Option<fused::FusedPolicy<'_>> {
+        None
+    }
+
+    /// Mutable access to the trainable MLP behind
+    /// [`PolicyModel::fused`] (the optimizer walks its layers in place,
+    /// keeping the fused update allocation-free). Must be `Some` exactly
+    /// when `fused` is.
+    fn fused_mut(&mut self) -> Option<&mut Mlp> {
+        None
+    }
 }
 
 /// The critic: maps observations to scalar state values.
@@ -139,6 +170,20 @@ pub trait ValueModel {
 
     /// Mutable parameter access in the same order.
     fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// The critic's plain-MLP chain, when it has one, for the tape-free
+    /// fused update (default `None` = tape). Must compute exactly what
+    /// [`ValueModel::values`] builds on the tape, and pair with
+    /// [`ValueModel::fused_mut`].
+    fn fused(&self) -> Option<&Mlp> {
+        None
+    }
+
+    /// Mutable counterpart of [`ValueModel::fused`] for the in-place
+    /// optimizer walk.
+    fn fused_mut(&mut self) -> Option<&mut Mlp> {
+        None
+    }
 }
 
 /// Per-worker reusable buffers for the inference fast path: network
@@ -216,7 +261,7 @@ impl Default for PpoConfig {
 }
 
 /// Diagnostics of one [`Ppo::update`].
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct UpdateStats {
     /// Surrogate loss before the first policy step.
     pub pi_loss_before: f32,
@@ -234,6 +279,31 @@ pub struct UpdateStats {
     pub pi_iters: usize,
 }
 
+/// Wall-clock attribution of one [`Ppo::update`], accumulated across its
+/// policy and value iterations: minibatch gather, network forwards,
+/// backward/gradient work, and the optimizer step. Filled by
+/// [`Ppo::update_profiled`] on either dispatch arm (the phases map 1:1
+/// between the fused and tape paths, so regressions are attributable).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UpdateProfile {
+    /// Minibatch row gather into the reusable staging buffers.
+    pub gather: Duration,
+    /// Actor/critic forward passes (tape: graph build + eager eval).
+    pub forward: Duration,
+    /// Loss tail + backward gradient computation (tape: `backward` +
+    /// gradient extraction).
+    pub backward: Duration,
+    /// Gradient clipping + Adam step.
+    pub optimizer: Duration,
+}
+
+impl UpdateProfile {
+    /// Total attributed time.
+    pub fn total(&self) -> Duration {
+        self.gather + self.forward + self.backward + self.optimizer
+    }
+}
+
 /// The PPO agent: actor, critic, optimizers, config.
 pub struct Ppo<P: PolicyModel, V: ValueModel> {
     /// The actor network.
@@ -245,6 +315,13 @@ pub struct Ppo<P: PolicyModel, V: ValueModel> {
     pi_opt: Adam,
     vf_opt: Adam,
     update_rng: rand::rngs::StdRng,
+    /// Fused-update scratch for the actor (persists across updates so
+    /// the fast path allocates nothing at steady state).
+    pi_fused: fused::FusedScratch,
+    /// Fused-update scratch for the critic.
+    vf_fused: fused::FusedScratch,
+    /// Reusable minibatch gather buffers, shared by both update arms.
+    mb: MiniBuf,
 }
 
 impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
@@ -261,6 +338,9 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             pi_opt,
             vf_opt,
             update_rng,
+            pi_fused: fused::FusedScratch::new(),
+            vf_fused: fused::FusedScratch::new(),
+            mb: MiniBuf::default(),
         }
     }
 
@@ -361,43 +441,61 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
         MaskedCategorical::new(&logp).argmax()
     }
 
-    /// Pick the working set for one update iteration: borrowed slices of
-    /// the whole batch, or a random minibatch refilled into `mb`'s
-    /// reusable buffers when configured and the batch is larger.
-    fn iteration_view<'a>(&mut self, batch: &'a Batch, mb: &'a mut MiniBuf) -> ViewRef<'a> {
-        let n = batch.len();
-        match self.cfg.minibatch {
-            Some(size) if size < n => {
-                use rand::Rng;
-                mb.fill(batch, size, |hi| self.update_rng.gen_range(0..hi));
-                ViewRef {
-                    obs: &mb.obs,
-                    masks: &mb.masks,
-                    actions: &mb.actions,
-                    advantages: &mb.advantages,
-                    returns: &mb.returns,
-                    logp_old: &mb.logp_old,
-                }
-            }
-            _ => ViewRef {
-                obs: batch.obs.data(),
-                masks: batch.masks.data(),
-                actions: &batch.actions,
-                advantages: &batch.advantages,
-                returns: &batch.returns,
-                logp_old: &batch.logp_old,
-            },
-        }
+    /// True when both networks expose fused-eligible architectures, so
+    /// [`Ppo::update`] takes the tape-free fast path (unless
+    /// `RLSCHED_FORCE_TAPE` pins the fallback).
+    pub fn fused_supported(&self) -> bool {
+        self.policy.fused().is_some() && self.value.fused().is_some()
     }
 
     /// One PPO update over a collected batch.
+    ///
+    /// Dispatches to the tape-free fused forward+backward
+    /// ([`rlsched_nn::fused`]) when both networks support it — no graph
+    /// nodes, no buffer-pool bookkeeping, zero heap allocation at steady
+    /// state — and otherwise (or under `RLSCHED_FORCE_TAPE=1`) to the
+    /// reusable-[`Graph`] tape path. The two arms are bit-identical:
+    /// gradients, Adam state, diagnostics and the minibatch RNG stream
+    /// all match exactly, so checkpoints are interchangeable and a
+    /// training run may switch arms mid-stream without perturbing a bit
+    /// (pinned by the fused-parity suites).
+    pub fn update(&mut self, batch: &Batch) -> UpdateStats {
+        self.update_profiled(batch, &mut UpdateProfile::default())
+    }
+
+    /// [`Ppo::update`] with wall-clock phase attribution (gather /
+    /// forward / backward / optimizer) accumulated into `prof`.
+    pub fn update_profiled(&mut self, batch: &Batch, prof: &mut UpdateProfile) -> UpdateStats {
+        if self.fused_supported() && !force_tape() {
+            self.update_fused_profiled(batch, prof)
+                .expect("fused_supported() checked")
+        } else {
+            self.update_tape_profiled(batch, prof)
+        }
+    }
+
+    /// The tape arm of [`Ppo::update`], pinned regardless of
+    /// architecture support or `RLSCHED_FORCE_TAPE` — the parity
+    /// baseline the fused arm is tested and benchmarked against.
+    pub fn update_tape(&mut self, batch: &Batch) -> UpdateStats {
+        self.update_tape_profiled(batch, &mut UpdateProfile::default())
+    }
+
+    /// The fused arm of [`Ppo::update`], pinned regardless of
+    /// `RLSCHED_FORCE_TAPE`; `None` when either network has no fused
+    /// description (e.g. the LeNet CNN baseline).
+    pub fn update_fused(&mut self, batch: &Batch) -> Option<UpdateStats> {
+        self.update_fused_profiled(batch, &mut UpdateProfile::default())
+    }
+
+    /// [`Ppo::update_tape`] with phase attribution.
     ///
     /// One [`Graph`] arena serves every iteration: [`Graph::reset`]
     /// recycles all tape buffers between iterations, minibatch rows are
     /// gathered into reusable buffers, and gradients are moved (not
     /// cloned) out of the tape — at steady state the loop performs no
     /// per-iteration heap allocation beyond the op metadata.
-    pub fn update(&mut self, batch: &Batch) -> UpdateStats {
+    pub fn update_tape_profiled(&mut self, batch: &Batch, prof: &mut UpdateProfile) -> UpdateStats {
         assert!(!batch.is_empty(), "cannot update on an empty batch");
         let obs_dim = batch.obs.cols();
         let n_actions = batch.masks.cols();
@@ -410,17 +508,29 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
 
         let mut g = Graph::new();
         let mut binds = ParamBinds::new();
-        let mut mb = MiniBuf::default();
+        let Ppo {
+            policy,
+            value,
+            cfg,
+            pi_opt,
+            vf_opt,
+            update_rng,
+            mb,
+            ..
+        } = self;
 
-        let eps = self.cfg.clip_ratio;
-        for it in 0..self.cfg.train_pi_iters {
-            let view = self.iteration_view(batch, &mut mb);
+        let eps = cfg.clip_ratio;
+        for it in 0..cfg.train_pi_iters {
+            let t0 = Instant::now();
+            let view = iteration_view(cfg, update_rng, batch, mb);
             let n = view.actions.len();
+            let t1 = Instant::now();
+            prof.gather += t1 - t0;
             g.reset();
             binds.clear();
             let o = g.input_from(view.obs, &[n, obs_dim]);
             let m = g.input_from(view.masks, &[n, n_actions]);
-            let logp_all = self.policy.log_probs(&mut g, o, m, &mut binds);
+            let logp_all = policy.log_probs(&mut g, o, m, &mut binds);
             let logp = g.select_cols(logp_all, view.actions);
 
             // ratio = exp(logp − logp_old)
@@ -435,15 +545,17 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             let mean_obj = g.mean(obj);
             let mut loss = g.scale(mean_obj, -1.0);
 
-            if self.cfg.ent_coef != 0.0 {
+            if cfg.ent_coef != 0.0 {
                 // entropy = −Σ p·logp per row; masked slots contribute 0.
                 let p = g.exp(logp_all);
                 let plogp = g.mul(p, logp_all);
                 let row = g.sum_rows(plogp);
                 let ent = g.mean(row); // = −entropy
-                let weighted = g.scale(ent, self.cfg.ent_coef);
+                let weighted = g.scale(ent, cfg.ent_coef);
                 loss = g.add(loss, weighted);
             }
+            let t2 = Instant::now();
+            prof.forward += t2 - t1;
 
             // Diagnostics before stepping.
             let kl: f64 = view
@@ -456,44 +568,56 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             approx_kl = kl;
             if it == 0 {
                 pi_loss_before = g.value(loss).item();
-                entropy = mean_entropy(g.value(logp_all));
+                let lp = g.value(logp_all);
+                entropy = mean_entropy(lp.data(), lp.cols());
             }
-            if kl > 1.5 * self.cfg.target_kl && it > 0 {
+            if kl > 1.5 * cfg.target_kl && it > 0 {
                 break;
             }
             g.backward(loss);
             pi_loss_after = g.value(loss).item();
             let mut grads = binds.take_grads(&mut g);
-            if let Some(mx) = self.cfg.max_grad_norm {
+            let t3 = Instant::now();
+            prof.backward += t3 - t2;
+            if let Some(mx) = cfg.max_grad_norm {
                 clip_global_norm(&mut grads, mx);
             }
-            self.pi_opt.step(&mut self.policy.params_mut(), &grads);
+            pi_opt.step(&mut policy.params_mut(), &grads);
+            prof.optimizer += t3.elapsed();
             pi_iters = it + 1;
         }
 
         let mut v_loss_before = 0.0;
         let mut v_loss_after = 0.0;
-        for it in 0..self.cfg.train_v_iters {
-            let view = self.iteration_view(batch, &mut mb);
+        for it in 0..cfg.train_v_iters {
+            let t0 = Instant::now();
+            let view = iteration_view(cfg, update_rng, batch, mb);
             let n = view.actions.len();
+            let t1 = Instant::now();
+            prof.gather += t1 - t0;
             g.reset();
             binds.clear();
             let o = g.input_from(view.obs, &[n, obs_dim]);
-            let v = self.value.values(&mut g, o, &mut binds);
+            let v = value.values(&mut g, o, &mut binds);
             let r = g.input_from(view.returns, &[n, 1]);
             let d = g.sub(v, r);
             let sq = g.mul(d, d);
             let loss = g.mean(sq);
+            let t2 = Instant::now();
+            prof.forward += t2 - t1;
             if it == 0 {
                 v_loss_before = g.value(loss).item();
             }
             g.backward(loss);
             v_loss_after = g.value(loss).item();
             let mut grads = binds.take_grads(&mut g);
-            if let Some(mx) = self.cfg.max_grad_norm {
+            let t3 = Instant::now();
+            prof.backward += t3 - t2;
+            if let Some(mx) = cfg.max_grad_norm {
                 clip_global_norm(&mut grads, mx);
             }
-            self.vf_opt.step(&mut self.value.params_mut(), &grads);
+            vf_opt.step(&mut value.params_mut(), &grads);
+            prof.optimizer += t3.elapsed();
         }
 
         UpdateStats {
@@ -505,6 +629,174 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             entropy,
             pi_iters,
         }
+    }
+
+    /// [`Ppo::update_fused`] with phase attribution: the tape-free fast
+    /// path. Forward passes run the same SIMD kernels as the tape but
+    /// stash only the per-layer activations the analytic backward needs;
+    /// the backward is one fused dlogits pass plus the layer walk; the
+    /// optimizer steps the network's layers in place. Zero heap
+    /// allocation at steady state (pinned by `alloc_regression`).
+    pub fn update_fused_profiled(
+        &mut self,
+        batch: &Batch,
+        prof: &mut UpdateProfile,
+    ) -> Option<UpdateStats> {
+        if !self.fused_supported() {
+            return None;
+        }
+        assert!(!batch.is_empty(), "cannot update on an empty batch");
+        let n_actions = batch.masks.cols();
+
+        let mut pi_loss_before = 0.0;
+        let mut pi_loss_after = 0.0;
+        let mut entropy = 0.0;
+        let mut approx_kl = 0.0;
+        let mut pi_iters = 0;
+
+        let Ppo {
+            policy,
+            value,
+            cfg,
+            pi_opt,
+            vf_opt,
+            update_rng,
+            pi_fused,
+            vf_fused,
+            mb,
+        } = self;
+
+        for it in 0..cfg.train_pi_iters {
+            let t0 = Instant::now();
+            let view = iteration_view(cfg, update_rng, batch, mb);
+            let n = view.actions.len();
+            let t1 = Instant::now();
+            prof.gather += t1 - t0;
+            {
+                let fp = policy.fused().expect("fused_supported checked");
+                fused::policy_forward(&fp, view.obs, view.masks, view.actions, n, pi_fused);
+                let t2 = Instant::now();
+                prof.forward += t2 - t1;
+
+                // Diagnostics before committing to a backward pass.
+                let kl: f64 = view
+                    .logp_old
+                    .iter()
+                    .zip(pi_fused.selected_logp())
+                    .map(|(&o, &nw)| (o - nw) as f64)
+                    .sum::<f64>()
+                    / n as f64;
+                approx_kl = kl;
+                if kl > 1.5 * cfg.target_kl && it > 0 {
+                    break;
+                }
+                let loss = fused::policy_loss_and_grads(
+                    &fp,
+                    view.obs,
+                    view.actions,
+                    view.advantages,
+                    view.logp_old,
+                    cfg.clip_ratio,
+                    cfg.ent_coef,
+                    n,
+                    pi_fused,
+                );
+                prof.backward += t2.elapsed();
+                if it == 0 {
+                    pi_loss_before = loss;
+                    entropy = mean_entropy(pi_fused.logp_all(), n_actions);
+                }
+                pi_loss_after = loss;
+            }
+            let t3 = Instant::now();
+            if let Some(mx) = cfg.max_grad_norm {
+                clip_global_norm(pi_fused.grads_mut(), mx);
+            }
+            let mlp = policy.fused_mut().expect("fused_mut must pair with fused");
+            pi_opt.step_params(
+                mlp.layers.iter_mut().flat_map(|l| [&mut l.w, &mut l.b]),
+                pi_fused.grads(),
+            );
+            prof.optimizer += t3.elapsed();
+            pi_iters = it + 1;
+        }
+
+        let mut v_loss_before = 0.0;
+        let mut v_loss_after = 0.0;
+        for it in 0..cfg.train_v_iters {
+            let t0 = Instant::now();
+            let view = iteration_view(cfg, update_rng, batch, mb);
+            let n = view.actions.len();
+            let t1 = Instant::now();
+            prof.gather += t1 - t0;
+            {
+                let vm = value.fused().expect("fused_supported checked");
+                fused::value_forward(vm, view.obs, n, vf_fused);
+                let t2 = Instant::now();
+                prof.forward += t2 - t1;
+                let loss = fused::value_loss_and_grads(vm, view.obs, view.returns, n, vf_fused);
+                prof.backward += t2.elapsed();
+                if it == 0 {
+                    v_loss_before = loss;
+                }
+                v_loss_after = loss;
+            }
+            let t3 = Instant::now();
+            if let Some(mx) = cfg.max_grad_norm {
+                clip_global_norm(vf_fused.grads_mut(), mx);
+            }
+            let mlp = value.fused_mut().expect("fused_mut must pair with fused");
+            vf_opt.step_params(
+                mlp.layers.iter_mut().flat_map(|l| [&mut l.w, &mut l.b]),
+                vf_fused.grads(),
+            );
+            prof.optimizer += t3.elapsed();
+        }
+
+        Some(UpdateStats {
+            pi_loss_before,
+            pi_loss_after,
+            v_loss_before,
+            v_loss_after,
+            approx_kl,
+            entropy,
+            pi_iters,
+        })
+    }
+}
+
+/// Pick the working set for one update iteration: borrowed slices of
+/// the whole batch, or a random minibatch refilled into `mb`'s
+/// reusable buffers when configured and the batch is larger. Free
+/// function so both update arms share it (and the RNG stream) without
+/// borrowing the whole trainer.
+fn iteration_view<'a>(
+    cfg: &PpoConfig,
+    rng: &mut rand::rngs::StdRng,
+    batch: &'a Batch,
+    mb: &'a mut MiniBuf,
+) -> ViewRef<'a> {
+    let n = batch.len();
+    match cfg.minibatch {
+        Some(size) if size < n => {
+            mb.fill(batch, size, |hi| rng.gen_range(0..hi));
+            ViewRef {
+                obs: &mb.obs,
+                masks: &mb.masks,
+                actions: &mb.actions,
+                advantages: &mb.advantages,
+                returns: &mb.returns,
+                logp_old: &mb.logp_old,
+            }
+        }
+        _ => ViewRef {
+            obs: batch.obs.data(),
+            masks: batch.masks.data(),
+            actions: &batch.actions,
+            advantages: &batch.advantages,
+            returns: &batch.returns,
+            logp_old: &batch.logp_old,
+        },
     }
 }
 
@@ -557,11 +849,12 @@ impl MiniBuf {
     }
 }
 
-fn mean_entropy(logp_all: &Tensor) -> f32 {
-    let (m, n) = (logp_all.rows(), logp_all.cols());
+/// Mean per-row entropy of a `[m, n]` row-major log-prob matrix (shared
+/// by both update arms' diagnostics).
+fn mean_entropy(logp_all: &[f32], n: usize) -> f32 {
+    let m = logp_all.len() / n;
     let mut total = 0.0;
-    for i in 0..m {
-        let row = &logp_all.data()[i * n..(i + 1) * n];
+    for row in logp_all.chunks_exact(n) {
         total += MaskedCategorical::new(row).entropy();
     }
     total / m as f32

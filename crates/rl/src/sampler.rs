@@ -20,7 +20,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::buffer::{Batch, RolloutBuffer};
+use crate::buffer::{ArrivalArena, Batch, RolloutBuffer};
 use crate::categorical::MaskedCategorical;
 use crate::env::Env;
 use crate::ppo::{ActorScratch, PolicyModel, Ppo, ValueModel};
@@ -72,18 +72,20 @@ struct LockstepScratch {
     outcomes: Vec<SlotOutcome>,
 }
 
-/// Collect one complete episode per seed by stepping `venv` in lockstep,
-/// returning the per-episode buffers in seed order plus round stats.
+/// Collect one complete episode per seed by stepping `venv` in lockstep
+/// into an arrival-order [`ArrivalArena`] (see its docs: per-tick stores
+/// append to one contiguous tail instead of scattering across per-episode
+/// buffers; episode order is restored by one gather at batch time).
 ///
 /// Envs that finish early auto-reset onto the next unclaimed seed, so a
 /// `VecEnv` narrower than the seed schedule pipelines through all
 /// episodes; each episode's trajectory depends only on its seed (see the
 /// module docs), so the result is independent of `venv.n_envs()`.
-pub fn collect_episodes<E, P, V>(
+fn collect_arena<E, P, V>(
     ppo: &Ppo<P, V>,
     venv: &mut VecEnv<E>,
     seeds: &[u64],
-) -> (Vec<RolloutBuffer>, RolloutStats)
+) -> (ArrivalArena, RolloutStats)
 where
     E: Env,
     P: PolicyModel,
@@ -91,10 +93,7 @@ where
 {
     assert!(!seeds.is_empty(), "need at least one episode seed");
     let (od, na) = (venv.obs_dim(), venv.n_actions());
-    let mut bufs: Vec<RolloutBuffer> = seeds
-        .iter()
-        .map(|_| RolloutBuffer::new(od, na, ppo.cfg.gamma, ppo.cfg.lam))
-        .collect();
+    let mut arena = ArrivalArena::new(od, na, ppo.cfg.gamma, ppo.cfg.lam, seeds.len());
     let mut returns = vec![0.0f64; seeds.len()];
     let mut metrics: Vec<Option<f64>> = vec![None; seeds.len()];
     let mut steps = 0usize;
@@ -134,8 +133,8 @@ where
             &mut s.outcomes,
         );
         for (r, out) in s.outcomes.iter().enumerate() {
-            let buf = &mut bufs[out.episode];
-            buf.store(
+            arena.store(
+                out.episode,
                 &s.obs[r * od..(r + 1) * od],
                 &s.masks[r * na..(r + 1) * na],
                 s.actions[r],
@@ -146,7 +145,7 @@ where
             returns[out.episode] += out.reward;
             steps += 1;
             if out.done {
-                buf.finish_path(0.0);
+                arena.finish_episode(out.episode, 0.0);
                 metrics[out.episode] = out.episode_metric;
             }
             if let Some(ep) = out.next_episode {
@@ -163,11 +162,30 @@ where
         mean_return: returns.iter().sum::<f64>() / seeds.len() as f64,
         metrics: metrics.into_iter().flatten().collect(),
     };
-    (bufs, stats)
+    (arena, stats)
+}
+
+/// Collect one complete episode per seed by stepping `venv` in lockstep,
+/// returning the per-episode buffers in seed order plus round stats.
+/// (Training uses [`collect_rollouts_vec`], which skips the per-episode
+/// split and gathers the arrival arena straight into the batch.)
+pub fn collect_episodes<E, P, V>(
+    ppo: &Ppo<P, V>,
+    venv: &mut VecEnv<E>,
+    seeds: &[u64],
+) -> (Vec<RolloutBuffer>, RolloutStats)
+where
+    E: Env,
+    P: PolicyModel,
+    V: ValueModel,
+{
+    let (arena, stats) = collect_arena(ppo, venv, seeds);
+    (arena.into_episode_buffers(), stats)
 }
 
 /// Collect one episode per seed through `venv` and merge into one
-/// normalized training batch.
+/// normalized training batch: one episode-ordered gather from the
+/// arrival arena, bit-identical to merging per-episode buffers.
 pub fn collect_rollouts_vec<E, P, V>(
     ppo: &Ppo<P, V>,
     venv: &mut VecEnv<E>,
@@ -178,8 +196,8 @@ where
     P: PolicyModel,
     V: ValueModel,
 {
-    let (bufs, stats) = collect_episodes(ppo, venv, seeds);
-    (RolloutBuffer::into_batch(bufs), stats)
+    let (arena, stats) = collect_arena(ppo, venv, seeds);
+    (arena.into_batch(), stats)
 }
 
 /// Collect one episode per `(env, seed)` pair and merge into a training
