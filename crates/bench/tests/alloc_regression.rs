@@ -10,7 +10,8 @@ use rlsched_rl::{
     collect_rollouts, ActorScratch, Env, MaskedCategorical, PolicyModel, PpoConfig, ValueModel,
     VecEnv,
 };
-use rlsched_sim::{MetricKind, SimConfig};
+use rlsched_serve::{ScorerSlot, ShardEngine};
+use rlsched_sim::{MetricKind, QueueView, SimConfig, WaitingJob};
 use rlsched_workload::NamedWorkload;
 use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind, SchedulingEnv};
 
@@ -253,5 +254,68 @@ fn fast_paths_do_not_regress_allocations() {
         tick_allocs, 0,
         "VecEnv::step_all + batched scoring must not allocate at steady \
          state ({tick_allocs} allocations over {ticks} ticks of 8 envs)"
+    );
+
+    // ---- Agent::score_batch convenience path: with the thread-local
+    // scratch, the only steady-state heap traffic is the returned Vec
+    // itself (exactly one allocation per call). ----
+    let jobs: Vec<rlsched_swf::Job> = (0..8)
+        .map(|i| rlsched_swf::Job::new(i + 1, i as f64 * 10.0, 60.0 + i as f64, 1 + (i % 3), 600.0))
+        .collect();
+    let make_view = |lo: usize, hi: usize| QueueView {
+        time: 200.0,
+        free_procs: 3,
+        total_procs: 8,
+        waiting: jobs[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(i, job)| WaitingJob {
+                job,
+                job_index: lo + i,
+                wait: 200.0 - job.submit_time,
+                can_run_now: job.procs() <= 3,
+            })
+            .collect(),
+    };
+    let views = [make_view(0, 3), make_view(2, 7), make_view(4, 8)];
+    let _ = agent.score_batch(&views); // warm the thread-local buffers
+    let batch_allocs = count_allocs(|| {
+        std::hint::black_box(agent.score_batch(&views));
+    });
+    assert_eq!(
+        batch_allocs, 1,
+        "score_batch must only allocate its result Vec at steady state \
+         ({batch_allocs} allocations)"
+    );
+
+    // ---- serving: a ShardEngine push+flush cycle (coalesce, one
+    // batched forward, clamp) is allocation-free at steady state — the
+    // same discipline as the infer/fused fast paths, now holding for
+    // the serve tier's hot loop (hot-swap generation check included).
+    // ----
+    let slot = ScorerSlot::new(agent.scorer_snapshot());
+    let mut engine = ShardEngine::new(slot, 8);
+    let (mut row_obs, mut row_mask) = (Vec::new(), Vec::new());
+    obs.clear();
+    mask.clear();
+    env.reset(5, &mut obs, &mut mask);
+    row_obs.extend_from_slice(&obs);
+    row_mask.extend_from_slice(&mask);
+    for _ in 0..2 {
+        for _ in 0..8 {
+            engine.push_row(&row_obs, &row_mask, 3);
+        }
+        let _ = engine.flush(); // warm the stacked matrices + scratch
+    }
+    let engine_allocs = count_allocs(|| {
+        for _ in 0..8 {
+            engine.push_row(&row_obs, &row_mask, 3);
+        }
+        std::hint::black_box(engine.flush().len());
+    });
+    assert_eq!(
+        engine_allocs, 0,
+        "ShardEngine push+flush must not allocate at steady state \
+         ({engine_allocs} allocations for an 8-row batch)"
     );
 }

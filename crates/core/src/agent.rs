@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use rlsched_rl::{greedy_batch, ActorScratch, PolicyModel, Ppo, PpoConfig};
 use rlsched_sim::{MetricKind, Policy, QueueView};
 
-use crate::nets::{PackedScorer, PolicyKind, PolicyNet, ValueNet};
+use crate::nets::{PackedScorer, PolicyKind, PolicyNet, ScorerSnapshot, ValueNet};
 use crate::obs::{ObsConfig, ObsEncoder};
 use crate::reward::Objective;
 
@@ -176,18 +176,36 @@ impl Agent {
         }
     }
 
-    /// [`Agent::score_batch_with`] with throwaway buffers (allocates per
-    /// call — serving loops should hold the buffers).
+    /// [`Agent::score_batch_with`] through thread-local reusable buffers:
+    /// the convenience API pays the same zero-allocation discipline as
+    /// the explicit-scratch variant — at steady state the only heap
+    /// traffic per call is the returned `Vec` itself (pinned by the
+    /// alloc-regression suite). Loops that can hold buffers should still
+    /// prefer [`Agent::score_batch_with`], which also reuses the output.
     pub fn score_batch(&self, views: &[QueueView<'_>]) -> Vec<usize> {
-        let mut actions = Vec::new();
-        self.score_batch_with(
-            views,
-            &mut Vec::new(),
-            &mut Vec::new(),
-            &mut ActorScratch::new(),
-            &mut actions,
-        );
-        actions
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>, ActorScratch)> =
+                std::cell::RefCell::new((Vec::new(), Vec::new(), ActorScratch::new()));
+        }
+        SCRATCH.with(|cell| {
+            let (obs, mask, scratch) = &mut *cell.borrow_mut();
+            let mut actions = Vec::with_capacity(views.len());
+            self.score_batch_with(views, obs, mask, scratch, &mut actions);
+            actions
+        })
+    }
+
+    /// A frozen, `Arc`-shared scoring replica for serving tiers (see
+    /// [`ScorerSnapshot`]): same per-architecture representation as
+    /// [`Agent::as_policy`], so served decisions reproduce the policy
+    /// adapter's bits exactly. Re-take after training; a live server
+    /// hot-swaps the fresh snapshot in without dropping requests.
+    pub fn scorer_snapshot(&self) -> ScorerSnapshot {
+        ScorerSnapshot::new(
+            &self.ppo.policy,
+            self.encoder.obs_dim(),
+            self.encoder.n_actions(),
+        )
     }
 
     /// Greedy action through the full autodiff tape — the benchmark

@@ -583,6 +583,95 @@ impl BatchPolicy for PackedScorer {
     }
 }
 
+/// A frozen, shareable scoring replica for serving tiers: the policy's
+/// weights behind an [`Arc`](std::sync::Arc), so a sharded server
+/// replicates it per worker thread at pointer cost. Architecture
+/// selection matches [`crate::Agent::as_policy`] exactly — flat MLPs
+/// serve through the weight-transposed [`PackedScorer`], the kernel
+/// policy and the CNN through their unpacked fast paths — so decisions
+/// scored through a snapshot are **bit-identical** to the in-process
+/// policy adapter's, batch by batch, row by row (the forward kernels are
+/// row-count invariant).
+///
+/// Like a [`PackedScorer`] pack, a snapshot does not track later weight
+/// updates: take it from a frozen agent and re-take after training (a
+/// serving tier hot-swaps the new snapshot in).
+#[derive(Debug, Clone)]
+pub struct ScorerSnapshot {
+    repr: std::sync::Arc<ScorerRepr>,
+    obs_dim: usize,
+    n_actions: usize,
+}
+
+// One instance per snapshot, always behind the Arc; boxing buys nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum ScorerRepr {
+    /// Weight-transposed pack (flat MLPs — the weight-streaming case).
+    Packed(PackedScorer),
+    /// Unpacked replica (kernel policy / CNN — L1-resident or conv).
+    Net(PolicyNet),
+}
+
+impl ScorerSnapshot {
+    /// Snapshot a policy network. `obs_dim` is the flattened observation
+    /// width the net was built for (`max_obsv × JOB_FEATURES`).
+    pub fn new(net: &PolicyNet, obs_dim: usize, n_actions: usize) -> Self {
+        let repr = match net.packed_scorer() {
+            Some(p) => ScorerRepr::Packed(p),
+            None => ScorerRepr::Net(net.clone()),
+        };
+        ScorerSnapshot {
+            repr: std::sync::Arc::new(repr),
+            obs_dim,
+            n_actions,
+        }
+    }
+
+    /// Flattened observation width a request row must have.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Action-slot count (= mask width of a request row).
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// True when this snapshot serves through the transposed pack.
+    pub fn is_packed(&self) -> bool {
+        matches!(*self.repr, ScorerRepr::Packed(_))
+    }
+}
+
+impl BatchPolicy for ScorerSnapshot {
+    fn log_probs_batch(
+        &self,
+        obs: &[f32],
+        masks: &[f32],
+        rows: usize,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        match &*self.repr {
+            ScorerRepr::Packed(p) => p.log_probs_batch(obs, masks, rows, scratch, out),
+            ScorerRepr::Net(n) => n.log_probs_fast_batch(obs, masks, rows, scratch, out),
+        }
+    }
+}
+
+// A serving shard owns a snapshot per worker thread; the compiler must
+// never stop guaranteeing those replicas can cross and be shared across
+// threads. (The representation is plain `Vec<f32>` weights end to end —
+// no interior mutability — which these bounds pin at compile time.)
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<ScorerSnapshot>();
+    assert_send_sync::<PackedScorer>();
+    assert_send_sync::<PolicyNet>();
+    assert_send_sync::<ValueNet>();
+};
+
 /// The critic (Fig 6): a 3-hidden-layer MLP over the flat observation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ValueNet {

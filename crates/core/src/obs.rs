@@ -116,6 +116,55 @@ impl ObsEncoder {
         obs: &mut Vec<f32>,
         mask: &mut Vec<f32>,
     ) {
+        self.encode_slots_extend(
+            free_procs,
+            total_procs,
+            queue_len,
+            waiting.map(|w| SnapshotJob {
+                wait: w.wait,
+                time_bound: w.job.time_bound(),
+                procs: w.job.procs(),
+                can_run_now: w.can_run_now,
+            }),
+            obs,
+            mask,
+        );
+    }
+
+    /// Append one [`QueueSnapshot`]'s window — the wire-request sibling of
+    /// [`ObsEncoder::encode_extend`]. Both paths funnel through the same
+    /// per-slot arithmetic, so a snapshot taken from a [`QueueView`]
+    /// encodes **bit-identically** to encoding the view directly; a
+    /// serving tier scoring snapshots therefore reproduces the in-process
+    /// decision bits exactly.
+    pub fn encode_snapshot_extend(
+        &self,
+        snap: &QueueSnapshot,
+        obs: &mut Vec<f32>,
+        mask: &mut Vec<f32>,
+    ) {
+        self.encode_slots_extend(
+            snap.free_procs,
+            snap.total_procs,
+            snap.queue_len(),
+            snap.jobs.iter().copied(),
+            obs,
+            mask,
+        );
+    }
+
+    /// The shared encode loop: every entry point (simulator stream, queue
+    /// view, wire snapshot) maps its jobs to [`SnapshotJob`] slot features
+    /// and lands here, keeping the paths bit-identical by construction.
+    fn encode_slots_extend(
+        &self,
+        free_procs: u32,
+        total_procs: u32,
+        queue_len: usize,
+        waiting: impl Iterator<Item = SnapshotJob>,
+        obs: &mut Vec<f32>,
+        mask: &mut Vec<f32>,
+    ) {
         let k = self.cfg.max_obsv;
         let obs_base = obs.len();
         let mask_base = mask.len();
@@ -128,14 +177,77 @@ impl ObsEncoder {
         for (slot, w) in waiting.take(k).enumerate() {
             let base = slot * JOB_FEATURES;
             obs[base] = (w.wait / self.cfg.max_wait).min(1.0) as f32;
-            obs[base + 1] = (w.job.time_bound() / self.cfg.max_request_time).min(1.0) as f32;
-            obs[base + 2] = (w.job.procs() as f64 / total_procs as f64).min(1.0) as f32;
+            obs[base + 1] = (w.time_bound / self.cfg.max_request_time).min(1.0) as f32;
+            obs[base + 2] = (w.procs as f64 / total_procs as f64).min(1.0) as f32;
             obs[base + 3] = if w.can_run_now { 1.0 } else { 0.0 };
             obs[base + 4] = free_frac;
             obs[base + 5] = pressure;
             obs[base + 6] = 1.0;
             mask[slot] = 0.0;
         }
+    }
+}
+
+/// One waiting job's schedule-time features as a serving request carries
+/// them: exactly the inputs [`ObsEncoder`] reads from a [`WaitingJob`],
+/// decoupled from the borrowed [`rlsched_swf::Job`] record so the view
+/// can cross a process boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotJob {
+    /// Seconds the job has been waiting.
+    pub wait: f64,
+    /// Requested runtime bound (never the actual runtime).
+    pub time_bound: f64,
+    /// Requested processors.
+    pub procs: u32,
+    /// True when the request fits the currently free processors.
+    pub can_run_now: bool,
+}
+
+/// A serializable decision point: the owned, wire-friendly form of
+/// [`QueueView`] that a remote client sends to a policy-serving tier.
+///
+/// `jobs` may be truncated to the encoder window (slots past `max_obsv`
+/// never influence the observation); `queue_len` preserves the *full*
+/// waiting-queue length so the queue-pressure feature and the
+/// action-clamp bound survive the truncation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueSnapshot {
+    /// Idle processors.
+    pub free_procs: u32,
+    /// Cluster size.
+    pub total_procs: u32,
+    /// Total waiting jobs (≥ `jobs.len()` when truncated).
+    pub queue_len: u32,
+    /// The observable window of waiting jobs, FCFS order.
+    pub jobs: Vec<SnapshotJob>,
+}
+
+impl QueueSnapshot {
+    /// Snapshot a [`QueueView`], keeping at most `window` jobs (pass the
+    /// encoder's `max_obsv`; extra jobs cannot affect the observation).
+    pub fn from_view(view: &QueueView<'_>, window: usize) -> Self {
+        QueueSnapshot {
+            free_procs: view.free_procs,
+            total_procs: view.total_procs,
+            queue_len: view.waiting.len() as u32,
+            jobs: view
+                .waiting
+                .iter()
+                .take(window)
+                .map(|w| SnapshotJob {
+                    wait: w.wait,
+                    time_bound: w.job.time_bound(),
+                    procs: w.job.procs(),
+                    can_run_now: w.can_run_now,
+                })
+                .collect(),
+        }
+    }
+
+    /// Full waiting-queue length (the action-clamp bound).
+    pub fn queue_len(&self) -> usize {
+        self.queue_len as usize
     }
 }
 
@@ -247,6 +359,36 @@ mod tests {
         for (f, &v) in obs.iter().enumerate().take(3) {
             assert!(v <= 1.0, "feature {f} = {v}");
         }
+    }
+
+    #[test]
+    fn snapshot_encoding_is_bit_identical_to_view_encoding() {
+        // The wire path (QueueSnapshot) and the in-process path
+        // (QueueView) must produce the same observation bits — that is
+        // what makes remote serving decisions exactly reproducible.
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job::new(i + 1, i as f64 * 3.0, 40.0 + i as f64, 1 + i, 500.0))
+            .collect();
+        let v = view_with(&jobs, 30.0, 5, 16);
+        let e = ObsEncoder::new(ObsConfig {
+            max_obsv: 4,
+            ..ObsConfig::default()
+        });
+        let (obs, mask) = e.encode(&v);
+        let snap = QueueSnapshot::from_view(&v, e.cfg.max_obsv);
+        assert_eq!(snap.queue_len(), 6, "full queue length survives truncation");
+        assert_eq!(snap.jobs.len(), 4, "window truncated to max_obsv");
+        let (mut sobs, mut smask) = (Vec::new(), Vec::new());
+        e.encode_snapshot_extend(&snap, &mut sobs, &mut smask);
+        assert_eq!(obs, sobs, "snapshot observation bits match the view's");
+        assert_eq!(mask, smask, "snapshot mask bits match the view's");
+        // …and the snapshot survives a JSON round trip with the same bits.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: QueueSnapshot = serde_json::from_str(&json).unwrap();
+        let (mut robs, mut rmask) = (Vec::new(), Vec::new());
+        e.encode_snapshot_extend(&back, &mut robs, &mut rmask);
+        assert_eq!(obs, robs, "wire round trip preserves observation bits");
+        assert_eq!(mask, rmask);
     }
 
     #[test]

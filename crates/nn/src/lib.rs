@@ -39,3 +39,19 @@ pub use infer::{PackedMlp, Scratch};
 pub use layers::{Activation, Conv2dLayer, Dense, Mlp, Network, ParamBinds};
 pub use optim::{clip_global_norm, Adam, Sgd};
 pub use tensor::Tensor;
+
+// Serving tiers replicate weight snapshots across shard threads
+// (`Arc<PackedMlp>` / cloned `Mlp`s) and keep one `Scratch` per worker.
+// Everything here is plain owned `Vec<f32>` data — no interior
+// mutability, no thread affinity — and these compile-time bounds keep it
+// that way: adding an `Rc`/`Cell` field anywhere below now fails to
+// build instead of failing at a server's spawn site.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Tensor>();
+    assert_send_sync::<Dense>();
+    assert_send_sync::<Conv2dLayer>();
+    assert_send_sync::<Mlp>();
+    assert_send_sync::<PackedMlp>();
+    assert_send_sync::<Scratch>();
+};

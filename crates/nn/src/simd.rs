@@ -304,8 +304,16 @@ pub fn gemm_nt_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &
     }
 }
 
-/// Dot-product kernel: per output row, 4 B-rows at a time, each dot
-/// vectorized 8 lanes over k with a scalar k-tail.
+/// Dot-product kernel. Each output element is an independent 8-lane
+/// k-ascending FMA chain + horizontal sum + scalar k-tail, so blocking
+/// never changes a result's bits — which frees the loop structure to
+/// chase bandwidth: A-rows are tiled 4 deep (2 B-rows per pass, 8 live
+/// accumulators), so the B matrix streams once per *4* input rows
+/// instead of once per row. For the packed-MLP serving case B is the
+/// weight matrix and A the coalesced request batch: weight traffic per
+/// decision drops ~4× at batch ≥ 4, which is what makes coalesced
+/// serving beat request-at-a-time scoring (`m == 1` keeps the original
+/// single-row path and its exact cost).
 ///
 /// # Safety
 /// Caller must ensure AVX2+FMA are available and slice lengths cover the
@@ -328,7 +336,109 @@ unsafe fn gemm_nt_avx2(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: 
                 _mm_cvtss_f32(s)
             }
         }
-        for i in 0..m {
+        // ---- 4-row A blocks: stream B once per four input rows ----
+        let m4 = m - m % 4;
+        let mut i = 0;
+        while i < m4 {
+            let a0 = a.as_ptr().add(i * k);
+            let a1 = a.as_ptr().add((i + 1) * k);
+            let a2 = a.as_ptr().add((i + 2) * k);
+            let a3 = a.as_ptr().add((i + 3) * k);
+            let mut j = 0;
+            while j + 2 <= n {
+                let b0 = b.as_ptr().add(j * k);
+                let b1 = b.as_ptr().add((j + 1) * k);
+                let mut acc00 = _mm256_setzero_ps();
+                let mut acc01 = _mm256_setzero_ps();
+                let mut acc10 = _mm256_setzero_ps();
+                let mut acc11 = _mm256_setzero_ps();
+                let mut acc20 = _mm256_setzero_ps();
+                let mut acc21 = _mm256_setzero_ps();
+                let mut acc30 = _mm256_setzero_ps();
+                let mut acc31 = _mm256_setzero_ps();
+                let mut kk = 0;
+                while kk < k8 {
+                    let bv0 = _mm256_loadu_ps(b0.add(kk));
+                    let bv1 = _mm256_loadu_ps(b1.add(kk));
+                    let av = _mm256_loadu_ps(a0.add(kk));
+                    acc00 = _mm256_fmadd_ps(av, bv0, acc00);
+                    acc01 = _mm256_fmadd_ps(av, bv1, acc01);
+                    let av = _mm256_loadu_ps(a1.add(kk));
+                    acc10 = _mm256_fmadd_ps(av, bv0, acc10);
+                    acc11 = _mm256_fmadd_ps(av, bv1, acc11);
+                    let av = _mm256_loadu_ps(a2.add(kk));
+                    acc20 = _mm256_fmadd_ps(av, bv0, acc20);
+                    acc21 = _mm256_fmadd_ps(av, bv1, acc21);
+                    let av = _mm256_loadu_ps(a3.add(kk));
+                    acc30 = _mm256_fmadd_ps(av, bv0, acc30);
+                    acc31 = _mm256_fmadd_ps(av, bv1, acc31);
+                    kk += 8;
+                }
+                let (mut s00, mut s01) = (hsum(acc00), hsum(acc01));
+                let (mut s10, mut s11) = (hsum(acc10), hsum(acc11));
+                let (mut s20, mut s21) = (hsum(acc20), hsum(acc21));
+                let (mut s30, mut s31) = (hsum(acc30), hsum(acc31));
+                while kk < k {
+                    let (bv0, bv1) = (*b0.add(kk), *b1.add(kk));
+                    let av = *a0.add(kk);
+                    s00 += av * bv0;
+                    s01 += av * bv1;
+                    let av = *a1.add(kk);
+                    s10 += av * bv0;
+                    s11 += av * bv1;
+                    let av = *a2.add(kk);
+                    s20 += av * bv0;
+                    s21 += av * bv1;
+                    let av = *a3.add(kk);
+                    s30 += av * bv0;
+                    s31 += av * bv1;
+                    kk += 1;
+                }
+                *out.as_mut_ptr().add(i * n + j) = s00;
+                *out.as_mut_ptr().add(i * n + j + 1) = s01;
+                *out.as_mut_ptr().add((i + 1) * n + j) = s10;
+                *out.as_mut_ptr().add((i + 1) * n + j + 1) = s11;
+                *out.as_mut_ptr().add((i + 2) * n + j) = s20;
+                *out.as_mut_ptr().add((i + 2) * n + j + 1) = s21;
+                *out.as_mut_ptr().add((i + 3) * n + j) = s30;
+                *out.as_mut_ptr().add((i + 3) * n + j + 1) = s31;
+                j += 2;
+            }
+            while j < n {
+                let b0 = b.as_ptr().add(j * k);
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                let mut kk = 0;
+                while kk < k8 {
+                    let bv = _mm256_loadu_ps(b0.add(kk));
+                    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a0.add(kk)), bv, acc0);
+                    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a1.add(kk)), bv, acc1);
+                    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a2.add(kk)), bv, acc2);
+                    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a3.add(kk)), bv, acc3);
+                    kk += 8;
+                }
+                let (mut s0, mut s1) = (hsum(acc0), hsum(acc1));
+                let (mut s2, mut s3) = (hsum(acc2), hsum(acc3));
+                while kk < k {
+                    let bv = *b0.add(kk);
+                    s0 += *a0.add(kk) * bv;
+                    s1 += *a1.add(kk) * bv;
+                    s2 += *a2.add(kk) * bv;
+                    s3 += *a3.add(kk) * bv;
+                    kk += 1;
+                }
+                *out.as_mut_ptr().add(i * n + j) = s0;
+                *out.as_mut_ptr().add((i + 1) * n + j) = s1;
+                *out.as_mut_ptr().add((i + 2) * n + j) = s2;
+                *out.as_mut_ptr().add((i + 3) * n + j) = s3;
+                j += 1;
+            }
+            i += 4;
+        }
+        // ---- remainder rows: the original per-row, 4-B-row path ----
+        for i in m4..m {
             let a_row = a.as_ptr().add(i * k);
             let mut j = 0;
             while j + 4 <= n {

@@ -143,6 +143,58 @@ proptest! {
         packed.forward_row(x.data(), &mut scratch, &mut transposed);
         assert_close(&transposed, &standard)?;
     }
+
+    /// Row-count invariance of the packed batch forward, **exactly**:
+    /// row `i` of a stacked `PackedMlp::forward` must reproduce
+    /// `forward_row` on row `i` alone bit for bit, at every batch size —
+    /// the serving tier's coalescing guarantee (batch composition can
+    /// never flip a decision). Exercises the NT kernel's 4-row blocks,
+    /// the row remainder, and the odd-n column remainder.
+    #[test]
+    fn packed_batch_rows_are_bit_identical_to_single_rows(
+        rows in 1usize..11,
+        in_dim in 1usize..34,
+        hidden in 1usize..24,
+        out_dim in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(
+            &[in_dim, hidden, out_dim],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let packed = PackedMlp::pack(&mlp);
+        let x = pseudo(rows, in_dim, seed ^ 0x5eed);
+
+        let mut scratch = Scratch::new();
+        let mut batched = Vec::new();
+        packed.forward(x.data(), rows, &mut scratch, &mut batched);
+        prop_assert_eq!(batched.len(), rows * out_dim);
+
+        let mut single = Vec::new();
+        for r in 0..rows {
+            packed.forward_row(
+                &x.data()[r * in_dim..(r + 1) * in_dim],
+                &mut scratch,
+                &mut single,
+            );
+            for (j, (&b, &s)) in batched[r * out_dim..(r + 1) * out_dim]
+                .iter()
+                .zip(&single)
+                .enumerate()
+            {
+                prop_assert!(
+                    b.to_bits() == s.to_bits(),
+                    "row {} col {}: batched {} != single {}",
+                    r, j, b, s
+                );
+            }
+        }
+    }
 }
 
 /// Deterministic pseudo-random matrix (keeps the strategy space on the

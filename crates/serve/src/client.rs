@@ -1,0 +1,183 @@
+//! A minimal blocking client, plus [`RemotePolicy`]: a
+//! [`rlsched_sim::Policy`] whose every decision goes over the wire —
+//! plug it into `run_episode` and the simulator schedules through the
+//! serving tier exactly as it would through `Agent::as_policy` (the
+//! parity suite pins that the decisions are bit-identical).
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rlsched_sim::{Policy, QueueView};
+use rlscheduler::QueueSnapshot;
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
+
+/// Outcome of one scoring round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreOutcome {
+    /// The chosen queue position.
+    Action(usize),
+    /// The server shed the request (backpressure); fall back locally.
+    Shed,
+}
+
+/// A synchronous, single-in-flight client over one TCP connection.
+///
+/// Request ids increment from `id_base`, so a client's requests route
+/// deterministically (and distinct `id_base`s spread clients across
+/// shards).
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connect to a serving tier.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Start the request-id stream at `base` (shard-routing key).
+    pub fn with_id_base(mut self, base: u64) -> Self {
+        self.next_id = base;
+        self
+    }
+
+    fn round_trip(&mut self, req: Request) -> std::io::Result<Response> {
+        let want = req.id();
+        write_frame(&mut self.writer, &req)?;
+        loop {
+            let resp: Response = read_frame(&mut self.reader)?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
+            })?;
+            // Single in-flight per client: the next frame is ours (id 0
+            // frames are parse-error reports for garbage we never sent).
+            if resp.id() == want {
+                return Ok(resp);
+            }
+        }
+    }
+
+    fn expect_score(resp: Response) -> std::io::Result<ScoreOutcome> {
+        match resp {
+            Response::Action { action, .. } => Ok(ScoreOutcome::Action(action as usize)),
+            Response::Shed { .. } => Ok(ScoreOutcome::Shed),
+            Response::Error { message, .. } => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                message,
+            )),
+            Response::Stats { .. } => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stats response to a score request",
+            )),
+        }
+    }
+
+    /// Score a queue snapshot (the server runs the encoder).
+    pub fn score_snapshot(&mut self, snapshot: &QueueSnapshot) -> std::io::Result<ScoreOutcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let resp = self.round_trip(Request::Score {
+            id,
+            snapshot: snapshot.clone(),
+        })?;
+        Self::expect_score(resp)
+    }
+
+    /// Score a pre-encoded observation row.
+    pub fn score_raw(
+        &mut self,
+        obs: &[f32],
+        mask: &[f32],
+        queue_len: usize,
+    ) -> std::io::Result<ScoreOutcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let resp = self.round_trip(Request::ScoreRaw {
+            id,
+            obs: obs.to_vec(),
+            mask: mask.to_vec(),
+            queue_len: queue_len as u64,
+        })?;
+        Self::expect_score(resp)
+    }
+
+    /// Fetch the server's aggregate statistics.
+    pub fn stats(&mut self) -> std::io::Result<ServeStats> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.round_trip(Request::Stats { id })? {
+            Response::Stats { stats, .. } => Ok(stats),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected response: {other:?}"),
+            )),
+        }
+    }
+}
+
+/// A simulator policy that asks the serving tier for every decision.
+///
+/// When the server sheds a request the policy falls back to FCFS (head
+/// of queue) and counts the event — what a production dispatcher does
+/// when its decision service is saturated. Transport errors panic: a
+/// scheduling loop cannot silently skip decisions.
+pub struct RemotePolicy {
+    client: ServeClient,
+    /// Snapshot truncation window (the encoder's `max_obsv`).
+    window: usize,
+    name: String,
+    sheds: u64,
+}
+
+impl RemotePolicy {
+    /// Wrap a connected client. `window` must equal the serving agent's
+    /// observation window.
+    pub fn new(client: ServeClient, window: usize) -> Self {
+        RemotePolicy {
+            client,
+            window,
+            name: "RL-remote".to_string(),
+            sheds: 0,
+        }
+    }
+
+    /// Decisions answered by FCFS fallback because the server shed.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Recover the client (e.g. to query stats after an episode).
+    pub fn into_client(self) -> ServeClient {
+        self.client
+    }
+}
+
+impl Policy for RemotePolicy {
+    fn select(&mut self, view: &QueueView<'_>) -> usize {
+        let snap = QueueSnapshot::from_view(view, self.window);
+        match self
+            .client
+            .score_snapshot(&snap)
+            .expect("serving tier unreachable mid-episode")
+        {
+            ScoreOutcome::Action(a) => a.min(view.waiting.len().saturating_sub(1)),
+            ScoreOutcome::Shed => {
+                self.sheds += 1;
+                0 // FCFS: schedule the head of the queue
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

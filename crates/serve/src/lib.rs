@@ -1,0 +1,56 @@
+//! # rlsched-serve — the sharded, request-coalescing policy-serving tier
+//!
+//! RLScheduler's pitch is that a trained kernel policy decides fast
+//! enough to sit inside a live batch-job dispatcher (§IV-B1, Table IX).
+//! This crate is that dispatcher-facing tier: it turns the batched
+//! scoring building blocks (`BatchPolicy`, `PackedScorer`,
+//! row-count-invariant forward kernels) into a server that answers
+//! scheduling queries over a socket.
+//!
+//! ## Architecture
+//!
+//! * [`protocol`] — newline-delimited JSON frames ([`Request`] /
+//!   [`Response`]) over TCP; queue snapshots or pre-encoded rows in,
+//!   actions out. `f32` rows cross the wire bit-exactly.
+//! * [`engine`] — [`ShardEngine`], the allocation-free coalescing batch
+//!   scorer, and [`ScorerSlot`], the atomic weight hot-swap point.
+//! * [`server`] — [`Server::spawn`] / [`ServerHandle`]: accept loop,
+//!   per-connection reader/writer threads, N shard worker threads with
+//!   deterministic id→shard routing, bounded inboxes with explicit
+//!   shed responses, and a merged latency histogram (p50/p99/max).
+//! * [`client`] — [`ServeClient`] (blocking, single in-flight) and
+//!   [`RemotePolicy`] (a `rlsched_sim::Policy` that schedules through
+//!   the server — every simulator decision goes over the wire).
+//! * [`histogram`] — the log-linear [`LatencyHistogram`] behind the
+//!   latency accounting.
+//!
+//! ## The parity guarantee
+//!
+//! Serving decisions are **bit-identical** to in-process
+//! `Agent::as_policy` decisions, for every `PolicyKind`, on both SIMD
+//! dispatch arms, regardless of batch composition, coalescing cuts, or
+//! shard count. Three properties compose into that guarantee:
+//!
+//! 1. snapshot encoding and in-process view encoding share one loop
+//!    (`ObsEncoder::encode_snapshot_extend`), and the JSON wire format
+//!    round-trips floats exactly;
+//! 2. a [`rlscheduler::ScorerSnapshot`] picks the same per-architecture
+//!    representation as `as_policy` (packed for flat MLPs, unpacked
+//!    otherwise);
+//! 3. the forward kernels are row-count invariant, so a row's bits do
+//!    not depend on what else was coalesced around it.
+//!
+//! The suite in `tests/serve_parity.rs` pins the whole chain end to
+//! end (TCP included).
+
+pub mod client;
+pub mod engine;
+pub mod histogram;
+pub mod protocol;
+pub mod server;
+
+pub use client::{RemotePolicy, ScoreOutcome, ServeClient};
+pub use engine::{ScorerSlot, ShardEngine};
+pub use histogram::LatencyHistogram;
+pub use protocol::{Request, Response, ServeStats};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,255 @@
+//! The wire protocol: newline-delimited JSON frames (one request or
+//! response object per line, UTF-8, `\n`-terminated) over TCP.
+//!
+//! JSON through the workspace's serde shims keeps the protocol
+//! dependency-free and human-debuggable (`nc` into the server and type a
+//! request), and the shim's shortest-round-trip float formatting means a
+//! pre-encoded `f32` observation row crosses the wire bit-exactly — the
+//! parity guarantee survives serialization.
+//!
+//! Representations are the serde-default externally-tagged enum forms,
+//! e.g. `{"Score":{"id":1,"snapshot":{…}}}` and
+//! `{"Action":{"id":1,"action":3,"shard":0}}`.
+
+use std::io::{BufRead, Write};
+
+use rlscheduler::QueueSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Score a queue snapshot: the server encodes it with the agent's
+    /// observation encoder and answers with the chosen queue position.
+    Score {
+        /// Client-chosen correlation id, echoed in the response. Also
+        /// the shard-routing key: requests with the same id always land
+        /// on the same shard (deterministic routing).
+        id: u64,
+        /// The decision point.
+        snapshot: QueueSnapshot,
+    },
+    /// Score a pre-encoded observation row (the client ran the encoder).
+    ScoreRaw {
+        /// Correlation id / routing key.
+        id: u64,
+        /// `[obs_dim]` observation row.
+        obs: Vec<f32>,
+        /// `[n_actions]` additive mask row.
+        mask: Vec<f32>,
+        /// Full waiting-queue length (action-clamp bound).
+        queue_len: u64,
+    },
+    /// Fetch serving statistics.
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The correlation id of any request variant.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Score { id, .. } | Request::ScoreRaw { id, .. } | Request::Stats { id } => *id,
+        }
+    }
+}
+
+/// Aggregated serving statistics (see [`crate::ServerHandle::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Scoring requests answered with an action.
+    pub served: u64,
+    /// Requests shed by backpressure.
+    pub shed: u64,
+    /// Batched forwards dispatched.
+    pub batches: u64,
+    /// Largest coalesced batch so far.
+    pub max_batch: u64,
+    /// Weight hot-swaps installed.
+    pub swaps: u64,
+    /// Median request latency (enqueue → scored), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Maximum request latency, microseconds.
+    pub max_us: f64,
+}
+
+impl ServeStats {
+    /// Mean rows per coalesced batch (0 when nothing was served).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The scheduling decision for a scoring request.
+    Action {
+        /// Echoed correlation id.
+        id: u64,
+        /// Chosen queue position (`< queue_len`).
+        action: u64,
+        /// The shard that scored it (observability; deterministic per id).
+        shard: u64,
+    },
+    /// The request was shed: the shard's queue was full. The client
+    /// should fall back to a local heuristic or retry after backoff.
+    Shed {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// Serving statistics.
+    Stats {
+        /// Echoed correlation id.
+        id: u64,
+        /// The aggregate counters.
+        stats: ServeStats,
+    },
+    /// The request was malformed (bad widths, empty queue, …).
+    Error {
+        /// Echoed correlation id (0 when the frame didn't parse).
+        id: u64,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The correlation id of any response variant.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Action { id, .. }
+            | Response::Shed { id }
+            | Response::Stats { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+/// Serialize one frame and write it with its terminating newline.
+pub fn write_frame<T: Serialize, W: Write>(w: &mut W, frame: &T) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(frame).map_err(std::io::Error::from)?;
+    line.push('\n');
+    w.write_all(line.as_bytes())
+}
+
+/// Read one newline-terminated frame. `Ok(None)` on clean EOF.
+pub fn read_frame<T: Deserialize, R: BufRead>(r: &mut R) -> std::io::Result<Option<T>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            continue; // tolerate blank keep-alive lines
+        }
+        let parsed = serde_json::from_str(line.trim()).map_err(std::io::Error::from)?;
+        return Ok(Some(parsed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let reqs = vec![
+            Request::Score {
+                id: 7,
+                snapshot: QueueSnapshot {
+                    free_procs: 3,
+                    total_procs: 8,
+                    queue_len: 2,
+                    jobs: vec![rlscheduler::SnapshotJob {
+                        wait: 12.5,
+                        time_bound: 3600.0,
+                        procs: 2,
+                        can_run_now: true,
+                    }],
+                },
+            },
+            Request::ScoreRaw {
+                id: 8,
+                obs: vec![0.25f32, 0.5, 1.0],
+                mask: vec![0.0f32, -1e9],
+                queue_len: 1,
+            },
+            Request::Stats { id: 9 },
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        for want in &reqs {
+            let got: Request = read_frame(&mut reader).unwrap().expect("frame present");
+            assert_eq!(&got, want);
+        }
+        assert!(read_frame::<Request, _>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn f32_rows_survive_the_wire_bit_exactly() {
+        // Awkward floats: subnormal, non-dyadic, huge mask offset, an
+        // off-by-one-ulp neighbor of 0.3.
+        let obs: Vec<f32> = vec![
+            0.1,
+            1.0 / 3.0,
+            f32::MIN_POSITIVE / 2.0,
+            -1e9,
+            f32::from_bits(0.3f32.to_bits() + 1),
+        ];
+        let req = Request::ScoreRaw {
+            id: 1,
+            obs: obs.clone(),
+            mask: vec![-1e9; 2],
+            queue_len: 2,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let back: Request = read_frame(&mut std::io::BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap();
+        let Request::ScoreRaw { obs: got, .. } = back else {
+            panic!("variant changed")
+        };
+        for (a, b) in obs.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Action {
+                id: 1,
+                action: 3,
+                shard: 0,
+            },
+            Response::Shed { id: 2 },
+            Response::Error {
+                id: 3,
+                message: "bad row".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &resps {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        for want in &resps {
+            let got: Response = read_frame(&mut reader).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+    }
+}

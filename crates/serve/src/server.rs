@@ -1,0 +1,523 @@
+//! The front door and shard workers.
+//!
+//! ```text
+//!                    ┌─ connection threads ─┐      ┌─ shard threads ──┐
+//! TcpListener ──────▶│ read frame           │      │ recv (blocking)  │
+//!   (accept loop)    │ validate + encode    │─────▶│ coalesce ≤ window│
+//!                    │ route: fnv(id)%N ────┼──┐   │  or batch cap    │
+//!                    │ full queue? ⇒ Shed   │  └──▶│ one batched fwd  │
+//!                    └──────────┬───────────┘      │ reply per row    │
+//!                               ▼                  └────────┬─────────┘
+//!                      writer thread (per conn) ◀───────────┘
+//! ```
+//!
+//! * **Routing** is deterministic: FNV-1a of the request id modulo the
+//!   shard count, so a given id always lands on the same shard (and a
+//!   client can pin itself to a shard by fixing its id stream).
+//! * **Backpressure**: each shard's inbox is a bounded channel; when it
+//!   is full the connection thread answers [`Response::Shed`]
+//!   immediately instead of queueing unbounded work.
+//! * **Coalescing**: a shard blocks for its first request, then drains
+//!   arrivals until the configured window elapses or the batch cap is
+//!   reached, and scores the whole stack through one forward.
+//! * **Hot swap**: [`ServerHandle::swap_scorer`] installs new weights
+//!   through the shared [`ScorerSlot`]; in-flight batches complete on
+//!   the old weights, later batches use the new ones, nothing is
+//!   dropped.
+//! * **Shutdown**: [`ServerHandle::shutdown`] flips a flag, the accept
+//!   loop notices it, parked connection readers are unblocked by
+//!   shutting their streams down, shards drain and exit when every
+//!   sender is gone, and all threads are joined before the call
+//!   returns.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rlscheduler::{ObsEncoder, ScorerSnapshot};
+
+use crate::engine::{ScorerSlot, ShardEngine};
+use crate::histogram::LatencyHistogram;
+use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
+
+/// Server tuning knobs. The defaults serve a small cluster's decision
+/// traffic; benches and tests override freely.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker shards, each owning a scorer replica and scratch.
+    pub shards: usize,
+    /// Max rows per coalesced batch.
+    pub batch_cap: usize,
+    /// How long a shard holds its first request open for companions.
+    pub coalesce_window: Duration,
+    /// Bounded per-shard inbox depth; arrivals beyond it are shed.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 2,
+            batch_cap: 32,
+            coalesce_window: Duration::from_micros(100),
+            queue_depth: 128,
+        }
+    }
+}
+
+/// One encoded request in flight to a shard.
+struct ShardRequest {
+    id: u64,
+    obs: Vec<f32>,
+    mask: Vec<f32>,
+    queue_len: usize,
+    enqueued: Instant,
+    reply: Sender<Response>,
+}
+
+/// Counters and the merged latency histogram, shared by all threads.
+struct Shared {
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    swaps: AtomicU64,
+    hist: Mutex<LatencyHistogram>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Stream clones for the *live* connections keyed by connection id,
+    /// so shutdown can unblock readers parked in `read_frame` (no read
+    /// timeouts — a timeout mid-frame would drop partial line data).
+    /// Each connection removes its own entry on exit; leaving it there
+    /// would hold the socket's fd open for the server's lifetime.
+    conn_streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServeStats {
+        let hist = self.hist.lock().expect("histogram poisoned");
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            p50_us: hist.quantile_ns(0.5) as f64 / 1e3,
+            p99_us: hist.quantile_ns(0.99) as f64 / 1e3,
+            max_us: hist.max_ns() as f64 / 1e3,
+        }
+    }
+}
+
+/// FNV-1a: the deterministic request→shard routing hash.
+fn route(id: u64, shards: usize) -> usize {
+    let mut h = 0xcbf29ce484222325u64;
+    for byte in id.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// The serving tier. Construct with [`Server::spawn`]; the returned
+/// [`ServerHandle`] is the only way to interact with a running server.
+pub struct Server;
+
+impl Server {
+    /// Start listening and spawn the shard workers. Returns once the
+    /// socket is bound (the port is immediately connectable).
+    pub fn spawn(
+        scorer: ScorerSnapshot,
+        encoder: ObsEncoder,
+        cfg: ServeConfig,
+    ) -> std::io::Result<ServerHandle> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert_eq!(
+            encoder.obs_dim(),
+            scorer.obs_dim(),
+            "encoder window must match the scorer"
+        );
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let slot = ScorerSlot::new(scorer.clone());
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            hist: Mutex::new(LatencyHistogram::new()),
+            conns: Mutex::new(Vec::new()),
+            conn_streams: Mutex::new(std::collections::HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let mut shard_txs = Vec::with_capacity(cfg.shards);
+        let mut shard_threads = Vec::with_capacity(cfg.shards);
+        for shard_id in 0..cfg.shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardRequest>(cfg.queue_depth);
+            let slot = Arc::clone(&slot);
+            let shared = Arc::clone(&shared);
+            let window = cfg.coalesce_window;
+            let cap = cfg.batch_cap;
+            shard_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rlsched-serve-shard-{shard_id}"))
+                    .spawn(move || shard_loop(shard_id, rx, slot, shared, window, cap))?,
+            );
+            shard_txs.push(tx);
+        }
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let shard_txs = shard_txs.clone();
+            std::thread::Builder::new()
+                .name("rlsched-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, encoder, shard_txs, shared))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            slot,
+            shared,
+            obs_dim: encoder.obs_dim(),
+            n_actions: encoder.n_actions(),
+            accept: Some(accept),
+            shard_threads,
+            _shard_txs: shard_txs,
+        })
+    }
+}
+
+/// A running server: address, stats, hot-swap, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    slot: Arc<ScorerSlot>,
+    shared: Arc<Shared>,
+    obs_dim: usize,
+    n_actions: usize,
+    accept: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    /// Keeps the shard inboxes alive until shutdown drops them.
+    _shard_txs: Vec<SyncSender<ShardRequest>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Install new weights without dropping requests. The snapshot must
+    /// come from an agent with the same observation window.
+    pub fn swap_scorer(&self, scorer: ScorerSnapshot) {
+        assert_eq!(scorer.obs_dim(), self.obs_dim, "hot-swap changed obs_dim");
+        assert_eq!(
+            scorer.n_actions(),
+            self.n_actions,
+            "hot-swap changed the action space"
+        );
+        self.slot.swap(scorer);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregate serving statistics so far.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Stop accepting, drain the shards, join every thread. Returns the
+    /// final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Unblock readers parked on idle connections; joined readers'
+        // stream clones just error harmlessly.
+        for s in self
+            .shared
+            .conn_streams
+            .lock()
+            .expect("stream list poisoned")
+            .values()
+        {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn list poisoned"));
+        for c in conns {
+            let _ = c.join();
+        }
+        // Dropping the senders lets each shard drain and exit.
+        self._shard_txs.clear();
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.stats()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    encoder: ObsEncoder,
+    shard_txs: Vec<SyncSender<ShardRequest>>,
+    shared: Arc<Shared>,
+) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shard_txs = shard_txs.clone();
+                let shared_c = Arc::clone(&shared);
+                let conn = std::thread::Builder::new()
+                    .name("rlsched-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, encoder, shard_txs, shared_c));
+                if let Ok(h) = conn {
+                    // Reap finished connection threads while we are here
+                    // so the handle list tracks live connections instead
+                    // of growing with churn.
+                    let mut conns = shared.conns.lock().expect("conn list poisoned");
+                    let mut i = 0;
+                    while i < conns.len() {
+                        if conns[i].is_finished() {
+                            let _ = conns.swap_remove(i).join();
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    conns.push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept failures (ECONNABORTED from a client
+                // resetting mid-handshake, EMFILE until fds free up, …)
+                // must not kill the front door: back off and retry. A
+                // genuinely dead listener just keeps erroring until
+                // shutdown, which this loop survives too.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Per-connection reader: parse frames, validate, encode, route. A
+/// sibling writer thread owns the response stream so shard replies and
+/// front-door replies (shed/error/stats) interleave safely.
+fn connection_loop(
+    stream: TcpStream,
+    encoder: ObsEncoder,
+    shard_txs: Vec<SyncSender<ShardRequest>>,
+    shared: Arc<Shared>,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        shared
+            .conn_streams
+            .lock()
+            .expect("stream list poisoned")
+            .insert(conn_id, clone);
+    }
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    let writer = std::thread::Builder::new()
+        .name("rlsched-serve-write".to_string())
+        .spawn(move || writer_loop(write_half, reply_rx));
+    let mut reader = BufReader::new(stream);
+
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let req: Request = match read_frame(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => break, // clean EOF
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Malformed frame: report and resync at the next line.
+                let _ = reply_tx.send(Response::Error {
+                    id: 0,
+                    message: format!("bad frame: {e}"),
+                });
+                continue;
+            }
+            Err(_) => break,
+        };
+        handle_request(req, &encoder, &shard_txs, &shared, &reply_tx);
+    }
+    drop(reply_tx); // writer drains outstanding replies, then exits
+    if let Ok(w) = writer {
+        let _ = w.join();
+    }
+    // Release this connection's shutdown handle (and its fd).
+    shared
+        .conn_streams
+        .lock()
+        .expect("stream list poisoned")
+        .remove(&conn_id);
+}
+
+fn handle_request(
+    req: Request,
+    encoder: &ObsEncoder,
+    shard_txs: &[SyncSender<ShardRequest>],
+    shared: &Arc<Shared>,
+    reply_tx: &Sender<Response>,
+) {
+    let id = req.id();
+    let (obs, mask, queue_len) = match req {
+        Request::Stats { .. } => {
+            let _ = reply_tx.send(Response::Stats {
+                id,
+                stats: shared.stats(),
+            });
+            return;
+        }
+        Request::Score { snapshot, .. } => {
+            if snapshot.jobs.is_empty() || snapshot.queue_len() < snapshot.jobs.len() {
+                let _ = reply_tx.send(Response::Error {
+                    id,
+                    message: "snapshot needs at least one job and queue_len >= jobs".into(),
+                });
+                return;
+            }
+            let mut obs = Vec::with_capacity(encoder.obs_dim());
+            let mut mask = Vec::with_capacity(encoder.n_actions());
+            encoder.encode_snapshot_extend(&snapshot, &mut obs, &mut mask);
+            (obs, mask, snapshot.queue_len())
+        }
+        Request::ScoreRaw {
+            obs,
+            mask,
+            queue_len,
+            ..
+        } => {
+            if obs.len() != encoder.obs_dim() || mask.len() != encoder.n_actions() || queue_len == 0
+            {
+                let _ = reply_tx.send(Response::Error {
+                    id,
+                    message: format!(
+                        "want obs[{}] mask[{}] queue_len>=1, got obs[{}] mask[{}] queue_len={}",
+                        encoder.obs_dim(),
+                        encoder.n_actions(),
+                        obs.len(),
+                        mask.len(),
+                        queue_len
+                    ),
+                });
+                return;
+            }
+            (obs, mask, queue_len as usize)
+        }
+    };
+    let shard = route(id, shard_txs.len());
+    let req = ShardRequest {
+        id,
+        obs,
+        mask,
+        queue_len,
+        enqueued: Instant::now(),
+        reply: reply_tx.clone(),
+    };
+    match shard_txs[shard].try_send(req) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            // Backpressure: answer immediately, drop the work.
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            let _ = reply_tx.send(Response::Shed { id });
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            let _ = reply_tx.send(Response::Error {
+                id,
+                message: "server shutting down".into(),
+            });
+        }
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<Response>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(resp) = rx.recv() {
+        if write_frame(&mut w, &resp).is_err() {
+            break;
+        }
+        use std::io::Write;
+        if w.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// One shard: block for a request, coalesce companions for up to
+/// `window` (or until `cap` rows), score the stack in one forward,
+/// reply per row, repeat. Exits when every sender is gone and the
+/// queue is drained.
+fn shard_loop(
+    shard_id: usize,
+    rx: Receiver<ShardRequest>,
+    slot: Arc<ScorerSlot>,
+    shared: Arc<Shared>,
+    window: Duration,
+    cap: usize,
+) {
+    let mut engine = ShardEngine::new(slot, cap);
+    // Reply metadata for the rows currently in the engine, push order.
+    let mut pending: Vec<(u64, Instant, Sender<Response>)> = Vec::with_capacity(cap);
+    'serve: loop {
+        let first = match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break 'serve,
+        };
+        let deadline = Instant::now() + window;
+        engine.push_row(&first.obs, &first.mask, first.queue_len);
+        pending.push((first.id, first.enqueued, first.reply));
+        while !engine.is_full() {
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok(r) => {
+                    engine.push_row(&r.obs, &r.mask, r.queue_len);
+                    pending.push((r.id, r.enqueued, r.reply));
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let rows = engine.pending() as u64;
+        let actions = engine.flush();
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.max_batch.fetch_max(rows, Ordering::Relaxed);
+        shared.served.fetch_add(rows, Ordering::Relaxed);
+        {
+            let mut hist = shared.hist.lock().expect("histogram poisoned");
+            for (_, enqueued, _) in &pending {
+                hist.record(enqueued.elapsed());
+            }
+        }
+        for (&action, (id, _, reply)) in actions.iter().zip(pending.drain(..)) {
+            // A dead client's writer is gone; dropping the reply is fine.
+            let _ = reply.send(Response::Action {
+                id,
+                action: action as u64,
+                shard: shard_id as u64,
+            });
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The serving parity suite: decisions scored through the sharded,
+//! request-coalescing server are **bit-identical** to sequential
+//! in-process `Agent::as_policy` decisions — for every `PolicyKind`, at
+//! any shard count, under concurrent traffic that perturbs batch
+//! composition, on both SIMD dispatch arms (CI re-runs this whole file
+//! with `RLSCHED_FORCE_SCALAR=1`).
+//!
+//! The guarantee composes from: shared snapshot/view encoding, exact
+//! float round-trips through the JSON wire format, `ScorerSnapshot`
+//! using `as_policy`'s per-architecture representation, and the forward
+//! kernels' row-count invariance. Equal `EpisodeMetrics` is the
+//! strongest possible check here: a single different decision anywhere
+//! in an episode cascades into different schedules and metrics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rlsched_rl::PpoConfig;
+use rlsched_serve::{RemotePolicy, ScoreOutcome, ServeClient, ServeConfig, Server};
+use rlsched_sim::{run_episode, MetricKind, SimConfig};
+use rlsched_swf::{Job, JobTrace};
+use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind};
+
+/// A toy trace with enough queue contention that policies differ.
+fn toy_trace() -> JobTrace {
+    let jobs = (0..40u32)
+        .map(|i| {
+            Job::new(
+                i + 1,
+                i as f64 * 15.0,
+                60.0 + (i % 5) as f64 * 150.0,
+                1 + (i % 4),
+                900.0 + (i % 3) as f64 * 600.0,
+            )
+        })
+        .collect();
+    JobTrace::new(jobs, 4)
+}
+
+fn agent_for(kind: PolicyKind, seed: u64) -> Agent {
+    // LeNet needs max_obsv % 4 == 0 and >= 64; everyone else runs a
+    // small window for speed.
+    let max_obsv = if kind == PolicyKind::LeNet { 64 } else { 16 };
+    Agent::new(AgentConfig {
+        policy: kind,
+        obs: ObsConfig {
+            max_obsv,
+            ..ObsConfig::default()
+        },
+        metric: MetricKind::BoundedSlowdown,
+        ppo: PpoConfig::default(),
+        seed,
+    })
+}
+
+/// Background clients hammering the server with valid raw requests, so
+/// the foreground episode's decisions land in batches of varying
+/// composition. Returns a stop flag and the join handles.
+fn spawn_noise(
+    addr: std::net::SocketAddr,
+    obs_dim: usize,
+    n_actions: usize,
+    n_threads: usize,
+) -> (Arc<AtomicBool>, Vec<std::thread::JoinHandle<()>>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles = (0..n_threads)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr)
+                    .expect("noise client connects")
+                    .with_id_base(1_000_000 * (t as u64 + 1));
+                // A fixed valid row: 3 live slots, the rest padding.
+                let mut obs = vec![0.0f32; obs_dim];
+                let mut mask = vec![-1e9f32; n_actions];
+                let feats = obs_dim / n_actions;
+                for slot in 0..3 {
+                    for f in 0..feats {
+                        obs[slot * feats + f] = 0.1 + 0.2 * (slot as f32) + 0.01 * f as f32;
+                    }
+                    mask[slot] = 0.0;
+                }
+                while !stop.load(Ordering::Relaxed) {
+                    match client.score_raw(&obs, &mask, 3) {
+                        Ok(ScoreOutcome::Action(a)) => assert!(a < 3, "noise action in range"),
+                        Ok(ScoreOutcome::Shed) => {}
+                        Err(_) => break, // server shut down under us
+                    }
+                }
+            })
+        })
+        .collect();
+    (stop, handles)
+}
+
+/// The tentpole guarantee, end to end over TCP: same trace, same
+/// weights — remote coalesced decisions == in-process sequential
+/// decisions, exactly, for every architecture, while concurrent noise
+/// traffic reshapes every coalesced batch.
+#[test]
+fn served_decisions_are_bit_identical_to_as_policy_all_kinds() {
+    let trace = toy_trace();
+    for kind in PolicyKind::all() {
+        let agent = agent_for(kind, 11);
+        let expected = run_episode(&trace, SimConfig::default(), &mut agent.as_policy()).unwrap();
+
+        let handle = Server::spawn(
+            agent.scorer_snapshot(),
+            *agent.encoder(),
+            ServeConfig {
+                shards: 3,
+                coalesce_window: Duration::from_micros(200),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server spawns");
+        let addr = handle.addr();
+        let (stop, noise) = spawn_noise(
+            addr,
+            agent.encoder().obs_dim(),
+            agent.encoder().n_actions(),
+            2,
+        );
+
+        let client = ServeClient::connect(addr).expect("client connects");
+        let mut policy = RemotePolicy::new(client, agent.encoder().cfg.max_obsv);
+        let remote = run_episode(&trace, SimConfig::default(), &mut policy).unwrap();
+        assert_eq!(
+            policy.sheds(),
+            0,
+            "{}: nothing shed at this load",
+            kind.name()
+        );
+        assert_eq!(
+            expected,
+            remote,
+            "{}: remote episode must match as_policy exactly",
+            kind.name()
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        let stats = handle.shutdown();
+        for h in noise {
+            h.join().expect("noise thread exits cleanly");
+        }
+        assert!(stats.served > 0, "{}: server did work", kind.name());
+        assert!(
+            stats.max_batch >= 1,
+            "{}: batches were dispatched",
+            kind.name()
+        );
+    }
+}
+
+/// Shard count must never change a decision: routing only picks *where*
+/// a row is scored, and every shard's replica computes the same bits.
+#[test]
+fn decisions_are_invariant_across_shard_counts() {
+    let trace = toy_trace();
+    let agent = agent_for(PolicyKind::Kernel, 23);
+    let expected = run_episode(&trace, SimConfig::with_backfill(), &mut agent.as_policy()).unwrap();
+    for shards in [1usize, 4] {
+        let handle = Server::spawn(
+            agent.scorer_snapshot(),
+            *agent.encoder(),
+            ServeConfig {
+                shards,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server spawns");
+        let client = ServeClient::connect(handle.addr())
+            .expect("client connects")
+            // Distinct id streams route to distinct shards.
+            .with_id_base(7919 * shards as u64);
+        let mut policy = RemotePolicy::new(client, agent.encoder().cfg.max_obsv);
+        let remote = run_episode(&trace, SimConfig::with_backfill(), &mut policy).unwrap();
+        assert_eq!(expected, remote, "{shards}-shard episode diverged");
+        handle.shutdown();
+    }
+}
+
+/// Hot swap: in-flight traffic keeps being answered, the swap is
+/// atomic per batch, and post-swap decisions are the new agent's bits.
+#[test]
+fn hot_swap_serves_new_weights_without_dropping_requests() {
+    let trace = toy_trace();
+    let agent_a = agent_for(PolicyKind::MlpV2, 5);
+    let agent_b = agent_for(PolicyKind::MlpV2, 6); // different weights
+    let expect_b = run_episode(&trace, SimConfig::default(), &mut agent_b.as_policy()).unwrap();
+
+    let handle = Server::spawn(
+        agent_a.scorer_snapshot(),
+        *agent_a.encoder(),
+        ServeConfig::default(),
+    )
+    .expect("server spawns");
+    let (stop, noise) = spawn_noise(
+        handle.addr(),
+        agent_a.encoder().obs_dim(),
+        agent_a.encoder().n_actions(),
+        2,
+    );
+    // Let A serve some traffic, then swap under load.
+    std::thread::sleep(Duration::from_millis(20));
+    handle.swap_scorer(agent_b.scorer_snapshot());
+
+    let client = ServeClient::connect(handle.addr()).expect("client connects");
+    let mut policy = RemotePolicy::new(client, agent_b.encoder().cfg.max_obsv);
+    let remote = run_episode(&trace, SimConfig::default(), &mut policy).unwrap();
+    assert_eq!(expect_b, remote, "post-swap decisions are agent B's");
+
+    stop.store(true, Ordering::Relaxed);
+    let stats = handle.shutdown();
+    for h in noise {
+        h.join().expect("noise thread exits");
+    }
+    assert_eq!(stats.swaps, 1);
+    assert!(stats.served > 0);
+}
+
+/// Backpressure: a depth-1 inbox behind a slow coalescing window must
+/// shed — and every request still gets exactly one response.
+#[test]
+fn full_inboxes_shed_and_every_request_is_answered() {
+    use rlsched_serve::protocol::{read_frame, write_frame, Request, Response};
+    use std::io::BufReader;
+
+    let agent = agent_for(PolicyKind::Kernel, 31);
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        ServeConfig {
+            shards: 1,
+            batch_cap: 4,
+            // Drain is throttled to ≤ 4 rows / 5 ms, so a burst of
+            // back-to-back requests must overflow the depth-1 inbox.
+            coalesce_window: Duration::from_millis(5),
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server spawns");
+
+    // Fire-and-forget burst on a raw connection, then drain replies.
+    const N: u64 = 256;
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let obs_dim = agent.encoder().obs_dim();
+    let n_actions = agent.encoder().n_actions();
+    let mut obs = vec![0.0f32; obs_dim];
+    let mut mask = vec![-1e9f32; n_actions];
+    obs[..obs_dim / n_actions].fill(0.5);
+    mask[0] = 0.0;
+    for id in 0..N {
+        write_frame(
+            &mut writer,
+            &Request::ScoreRaw {
+                id,
+                obs: obs.clone(),
+                mask: mask.clone(),
+                queue_len: 1,
+            },
+        )
+        .unwrap();
+    }
+    let mut actions = 0u64;
+    let mut sheds = 0u64;
+    let mut seen = vec![false; N as usize];
+    for _ in 0..N {
+        match read_frame::<Response, _>(&mut reader).unwrap().unwrap() {
+            Response::Action { id, action, .. } => {
+                actions += 1;
+                assert_eq!(action, 0, "single-job queue has one valid action");
+                assert!(!std::mem::replace(&mut seen[id as usize], true));
+            }
+            Response::Shed { id } => {
+                sheds += 1;
+                assert!(!std::mem::replace(&mut seen[id as usize], true));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(actions + sheds, N, "every request answered exactly once");
+    assert!(sheds > 0, "depth-1 inbox under burst load must shed");
+    let stats = handle.shutdown();
+    assert_eq!(stats.served, actions);
+    assert_eq!(stats.shed, sheds);
+    assert!(stats.p99_us >= stats.p50_us);
+    assert!(stats.max_us > 0.0);
+}
+
+/// Protocol robustness: a malformed line gets an error report and the
+/// connection keeps working; an empty snapshot is rejected.
+#[test]
+fn malformed_frames_report_errors_and_resync() {
+    use rlsched_serve::protocol::{read_frame, write_frame, Request, Response};
+    use std::io::{BufReader, Write};
+
+    let agent = agent_for(PolicyKind::Kernel, 41);
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        ServeConfig::default(),
+    )
+    .expect("server spawns");
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    writer.write_all(b"this is not json\n").unwrap();
+    let resp: Response = read_frame(&mut reader).unwrap().unwrap();
+    assert!(
+        matches!(resp, Response::Error { id: 0, .. }),
+        "garbage line reports a parse error: {resp:?}"
+    );
+
+    // Empty snapshot: rejected with the request's id.
+    write_frame(
+        &mut writer,
+        &Request::Score {
+            id: 9,
+            snapshot: rlscheduler::QueueSnapshot {
+                free_procs: 1,
+                total_procs: 4,
+                queue_len: 0,
+                jobs: vec![],
+            },
+        },
+    )
+    .unwrap();
+    let resp: Response = read_frame(&mut reader).unwrap().unwrap();
+    assert!(matches!(resp, Response::Error { id: 9, .. }), "{resp:?}");
+
+    // The connection still scores after both errors.
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let trace = toy_trace();
+    let view_probe = run_episode(&trace, SimConfig::default(), &mut agent.as_policy()).unwrap();
+    drop(view_probe);
+    let mut obs = vec![0.0f32; agent.encoder().obs_dim()];
+    let mut mask = vec![-1e9f32; agent.encoder().n_actions()];
+    obs[..rlscheduler::JOB_FEATURES].fill(0.3);
+    mask[0] = 0.0;
+    let out = client.score_raw(&obs, &mask, 1).unwrap();
+    assert_eq!(out, ScoreOutcome::Action(0));
+    handle.shutdown();
+}
+
+/// The stats round trip over the wire, and the histogram's sanity.
+#[test]
+fn stats_are_queryable_over_the_wire() {
+    let agent = agent_for(PolicyKind::Kernel, 51);
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        ServeConfig::default(),
+    )
+    .expect("server spawns");
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let mut obs = vec![0.0f32; agent.encoder().obs_dim()];
+    let mut mask = vec![-1e9f32; agent.encoder().n_actions()];
+    obs[..rlscheduler::JOB_FEATURES].fill(0.7);
+    mask[0] = 0.0;
+    for _ in 0..10 {
+        client.score_raw(&obs, &mask, 1).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.served, 10);
+    assert_eq!(stats.shed, 0);
+    assert!(stats.batches >= 1 && stats.batches <= 10);
+    assert!(stats.mean_batch() >= 1.0);
+    assert!(stats.p50_us > 0.0 && stats.p50_us <= stats.p99_us);
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.served, 10);
+}

@@ -3,12 +3,19 @@
 //! job sequences.
 //!
 //! ```text
-//! cargo run --release --example quickstart            # ~a minute
-//! cargo run --release --example quickstart -- --tiny  # seconds (CI smoke)
+//! cargo run --release --example quickstart                     # ~a minute
+//! cargo run --release --example quickstart -- --tiny           # seconds (CI smoke)
+//! cargo run --release --example quickstart -- --tiny --serve   # + serving-tier demo
 //! ```
+//!
+//! With `--serve`, the trained agent is additionally stood up behind the
+//! sharded `rlsched-serve` tier and every held-out window is scheduled
+//! by a concurrent remote client — decisions travel over TCP, coalesce
+//! into batches, and must come back bit-identical to in-process scoring.
 
 use rlsched_repro::core::prelude::*;
 use rlsched_repro::sched::{HeuristicKind, PriorityScheduler};
+use rlsched_repro::serve::{RemotePolicy, ServeClient, ServeConfig, Server};
 use rlsched_repro::workload::NamedWorkload;
 
 /// Problem sizes for the two run modes: the default "see it learn" scale
@@ -26,6 +33,7 @@ struct Scale {
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let serve = std::env::args().any(|a| a == "--serve");
     let scale = if tiny {
         Scale {
             jobs: 400,
@@ -136,4 +144,80 @@ fn main() {
         "restored model schedules identically"
     );
     println!("\ncheckpoint round-trip OK ({} bytes of JSON)", json.len());
+
+    // 6. (--serve) Stand the trained agent up behind the sharded,
+    //    request-coalescing serving tier and schedule every held-out
+    //    window through a concurrent remote client. The decisions cross
+    //    TCP as queue snapshots, coalesce into batches on the shards,
+    //    and must match in-process scoring bit for bit.
+    if serve {
+        let handle = Server::spawn(
+            agent.scorer_snapshot(),
+            *agent.encoder(),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("serving tier binds a local port");
+        println!(
+            "\nserving tier up on {} (2 shards, {} held-out windows as concurrent clients)…",
+            handle.addr(),
+            windows.len()
+        );
+        let addr = handle.addr();
+        let window = agent.encoder().cfg.max_obsv;
+        let remote_results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = windows
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    s.spawn(move || {
+                        let client = ServeClient::connect(addr)
+                            .expect("client connects")
+                            .with_id_base(1 + 10_000 * i as u64);
+                        let mut policy = RemotePolicy::new(client, window);
+                        let m = evaluate_policy(
+                            std::slice::from_ref(w),
+                            SimConfig::default(),
+                            &mut policy,
+                        );
+                        assert_eq!(policy.sheds(), 0, "no shedding at demo load");
+                        m.into_iter().next().expect("one window, one result")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("remote scheduling thread"))
+                .collect()
+        });
+        assert_eq!(
+            mean_metric(&results, MetricKind::BoundedSlowdown),
+            mean_metric(&remote_results, MetricKind::BoundedSlowdown),
+            "remote coalesced decisions must match in-process scoring"
+        );
+        // Hot swap under no traffic churn: re-install the (retrained)
+        // weights; the server keeps answering, nothing is dropped.
+        handle.swap_scorer(restored.scorer_snapshot());
+        let mut probe = ServeClient::connect(addr).expect("probe connects");
+        let stats = probe.stats().expect("stats round trip");
+        drop(probe);
+        let final_stats = handle.shutdown();
+        println!(
+            "served {} decisions in {} batches (mean batch {:.1}, max {}), \
+             latency p50 {:.0} µs / p99 {:.0} µs / max {:.0} µs, {} hot-swap",
+            final_stats.served,
+            final_stats.batches,
+            final_stats.mean_batch(),
+            final_stats.max_batch,
+            final_stats.p50_us,
+            final_stats.p99_us,
+            final_stats.max_us,
+            final_stats.swaps,
+        );
+        assert_eq!(stats.shed, 0, "demo load must not shed");
+        assert!(final_stats.served >= stats.served);
+        println!("remote scheduling matches in-process scoring — serving tier OK");
+    }
 }

@@ -7,6 +7,7 @@
 pub use rlsched_nn as nn;
 pub use rlsched_rl as rl;
 pub use rlsched_sched as sched;
+pub use rlsched_serve as serve;
 pub use rlsched_sim as sim;
 pub use rlsched_swf as swf;
 pub use rlsched_workload as workload;
