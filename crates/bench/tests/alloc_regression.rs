@@ -318,4 +318,40 @@ fn fast_paths_do_not_regress_allocations() {
         "ShardEngine push+flush must not allocate at steady state \
          ({engine_allocs} allocations for an 8-row batch)"
     );
+
+    // ---- degraded-mode hot path: when a shard is down, every request
+    // still crosses the heuristic fallback decision and the per-request
+    // health accounting (histogram record). A tier surviving a failure
+    // storm must not trade the model's zero-allocation discipline for a
+    // malloc-per-request fallback. ----
+    use rlsched_sched::{select_parts, HeuristicKind};
+    use rlsched_serve::LatencyHistogram;
+    let parts: Vec<(f64, f64, u32)> = (0..16)
+        .map(|i| {
+            (
+                i as f64 * 37.0,
+                600.0 + (i % 5) as f64 * 120.0,
+                1 + (i as u32 % 4),
+            )
+        })
+        .collect();
+    let mut hist = LatencyHistogram::new(); // new() allocates; record() must not
+    hist.record(std::time::Duration::from_micros(3));
+    let fallback_allocs = count_allocs(|| {
+        for kind in [
+            HeuristicKind::Fcfs,
+            HeuristicKind::Sjf,
+            HeuristicKind::Wfp3,
+            HeuristicKind::Unicep,
+        ] {
+            std::hint::black_box(select_parts(kind, parts.iter().copied()));
+        }
+        hist.record(std::time::Duration::from_micros(7));
+        std::hint::black_box(hist.quantile_ns(0.99));
+    });
+    assert_eq!(
+        fallback_allocs, 0,
+        "fallback scoring + health accounting must not allocate \
+         ({fallback_allocs} allocations)"
+    );
 }

@@ -347,6 +347,22 @@ pub fn pick_index(rng: &mut TestRng, len: usize) -> usize {
     rng.gen_range(0..len)
 }
 
+macro_rules! tuple_strategy {
+    ($($S:ident/$i:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
 /// Choose uniformly among several strategies of the same value type.
 #[macro_export]
 macro_rules! prop_oneof {

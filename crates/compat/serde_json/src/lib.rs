@@ -57,6 +57,8 @@ fn write_escaped(out: &mut String, s: &str) {
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        out.push_str("-0.0"); // `as i64` would drop the sign bit
     } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
         out.push_str(&format!("{}", n as i64));
     } else {

@@ -57,6 +57,7 @@
 //! ```
 
 pub mod agent;
+pub mod canary;
 pub mod env;
 pub mod eval;
 pub mod filter;
@@ -66,6 +67,7 @@ pub mod reward;
 pub mod train;
 
 pub use agent::{Agent, AgentConfig, RlPolicy};
+pub use canary::{CanaryBatch, CanaryError};
 pub use env::SchedulingEnv;
 pub use eval::{evaluate_agent, evaluate_policy, mean_metric, sample_eval_windows};
 pub use filter::TrajectoryFilter;

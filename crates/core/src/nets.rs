@@ -642,6 +642,20 @@ impl ScorerSnapshot {
     pub fn is_packed(&self) -> bool {
         matches!(*self.repr, ScorerRepr::Packed(_))
     }
+
+    /// True when every weight in the snapshot is a finite float. The
+    /// first gate of a serving tier's checkpoint validation: a NaN/Inf
+    /// anywhere in the parameters poisons every logit it touches, so a
+    /// non-finite snapshot must be rejected before it can go live.
+    pub fn all_finite(&self) -> bool {
+        match &*self.repr {
+            ScorerRepr::Packed(p) => p.packed.all_finite(),
+            ScorerRepr::Net(n) => n
+                .params()
+                .iter()
+                .all(|t| t.data().iter().all(|v| v.is_finite())),
+        }
+    }
 }
 
 impl BatchPolicy for ScorerSnapshot {

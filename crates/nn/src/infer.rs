@@ -171,6 +171,15 @@ impl PackedMlp {
         self.layers.last().expect("non-empty").out_dim
     }
 
+    /// True when every packed weight and bias is a finite float — the
+    /// checkpoint-validation guard a serving tier runs before installing
+    /// a pack (a NaN/Inf-poisoned checkpoint must never go live).
+    pub fn all_finite(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| l.wt.iter().chain(&l.b).all(|v| v.is_finite()))
+    }
+
     /// Forward one input row; the final activations land in `out`.
     /// Allocation-free at steady state (scratch and `out` only grow to
     /// their high-water mark).

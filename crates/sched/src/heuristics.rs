@@ -69,6 +69,73 @@ impl HeuristicKind {
             HeuristicKind::SmallestFirst => nt,
         }
     }
+
+    /// The priority score computed from the *wire-visible* schedule-time
+    /// parts of a job — waiting time, requested runtime bound, requested
+    /// processors — with no absolute clock. This is what a serving tier's
+    /// heuristic fallback can evaluate from a `QueueSnapshot`, where jobs
+    /// carry `wait` but not `submit_time`.
+    ///
+    /// Every waiting job in one decision point shares the same current
+    /// time `t`, so `s_t = t - w_t` and ordering by submit time ascending
+    /// is ordering by wait descending: FCFS scores `-w_t` here and picks
+    /// the same job as [`HeuristicKind::score`]. All other kinds except F1
+    /// read only `(w_t, r_t, n_t)` and score identically to
+    /// [`HeuristicKind::score`]. F1 genuinely needs the absolute submit
+    /// time (`870·log10(s_t)` is not shift-invariant) and returns `None` —
+    /// callers must reject it as a fallback kind up front
+    /// ([`HeuristicKind::wire_scorable`]).
+    pub fn score_parts(self, wait: f64, time_bound: f64, procs: u32) -> Option<f64> {
+        let wt = wait.max(0.0);
+        let rt = time_bound;
+        let nt = procs as f64;
+        match self {
+            HeuristicKind::Fcfs => Some(-wt),
+            HeuristicKind::Sjf => Some(rt),
+            HeuristicKind::Wfp3 => Some(-(wt / rt).powi(3) * nt),
+            HeuristicKind::Unicep => Some(-wt / ((nt.max(2.0)).log2() * rt)),
+            HeuristicKind::F1 => None,
+            HeuristicKind::Ljf => Some(-rt),
+            HeuristicKind::SmallestFirst => Some(nt),
+        }
+    }
+
+    /// True when [`HeuristicKind::score_parts`] can evaluate this kind —
+    /// i.e. the kind is usable as a serving-tier fallback heuristic.
+    pub fn wire_scorable(self) -> bool {
+        self != HeuristicKind::F1
+    }
+}
+
+/// Pick the queue slot a [`PriorityScheduler`] of `kind` would schedule,
+/// from wire-visible job parts `(wait, time_bound, procs)` in FCFS queue
+/// order — the serving-tier fallback selector.
+///
+/// Decision-equivalent to [`PriorityScheduler::select`] on the same
+/// queue: scores come from [`HeuristicKind::score_parts`] (identical
+/// orderings, see there), and the tie-break mirrors `select`'s
+/// `(score, submit_time, job_index)` key — within one decision point
+/// submit ascending ⇔ wait descending, and the FCFS queue order makes
+/// the slot index the final `(submit, trace-index)` tie-break.
+///
+/// Returns `None` when the iterator is empty or `kind` is not
+/// wire-scorable (F1). Never allocates.
+pub fn select_parts(
+    kind: HeuristicKind,
+    jobs: impl Iterator<Item = (f64, f64, u32)>,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    // (score asc, wait desc) — smaller key wins; earlier slot wins ties.
+    let mut best_key = (f64::INFINITY, f64::NEG_INFINITY);
+    for (slot, (wait, time_bound, procs)) in jobs.enumerate() {
+        let score = kind.score_parts(wait, time_bound, procs)?;
+        let key = (score, -wait);
+        if best.is_none() || key.0 < best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
+            best_key = key;
+            best = Some(slot);
+        }
+    }
+    best
 }
 
 /// A [`Policy`] that schedules the waiting job with the smallest priority
@@ -269,6 +336,50 @@ mod tests {
         let v = view_of(&jobs, 10.0, 4, 4);
         // Equal SJF scores and submit times: the lower trace index wins.
         assert_eq!(PriorityScheduler::new(HeuristicKind::Sjf).select(&v), 0);
+    }
+
+    #[test]
+    fn select_parts_matches_priority_scheduler_on_views() {
+        // The wire-visible selector must pick the same slot as the full
+        // PriorityScheduler for every wire-scorable kind, including under
+        // score ties (equal runtimes) and wait ties (equal submits).
+        let jobs = vec![
+            Job::new(1, 0.0, 30.0, 4, 120.0),
+            Job::new(2, 5.0, 30.0, 2, 120.0),
+            Job::new(3, 5.0, 30.0, 2, 120.0),
+            Job::new(4, 9.0, 80.0, 1, 90.0),
+            Job::new(5, 12.0, 10.0, 8, 500.0),
+        ];
+        let v = view_of(&jobs, 40.0, 8, 8);
+        for kind in [
+            HeuristicKind::Fcfs,
+            HeuristicKind::Sjf,
+            HeuristicKind::Wfp3,
+            HeuristicKind::Unicep,
+            HeuristicKind::Ljf,
+            HeuristicKind::SmallestFirst,
+        ] {
+            assert!(kind.wire_scorable());
+            let want = PriorityScheduler::new(kind).select(&v);
+            let got = select_parts(
+                kind,
+                v.waiting
+                    .iter()
+                    .map(|w| (w.wait, w.job.time_bound(), w.job.procs())),
+            );
+            assert_eq!(got, Some(want), "{} diverged", kind.name());
+        }
+    }
+
+    #[test]
+    fn select_parts_rejects_f1_and_empty_queues() {
+        assert!(!HeuristicKind::F1.wire_scorable());
+        assert_eq!(HeuristicKind::F1.score_parts(1.0, 2.0, 3), None);
+        assert_eq!(
+            select_parts(HeuristicKind::F1, std::iter::once((1.0, 2.0, 3))),
+            None
+        );
+        assert_eq!(select_parts(HeuristicKind::Sjf, std::iter::empty()), None);
     }
 
     #[test]

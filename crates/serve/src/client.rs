@@ -1,47 +1,159 @@
-//! A minimal blocking client, plus [`RemotePolicy`]: a
+//! The resilient blocking client, plus [`RemotePolicy`]: a
 //! [`rlsched_sim::Policy`] whose every decision goes over the wire —
 //! plug it into `run_episode` and the simulator schedules through the
 //! serving tier exactly as it would through `Agent::as_policy` (the
 //! parity suite pins that the decisions are bit-identical).
+//!
+//! ## Resilience model
+//!
+//! Every call returns `Result<_, `[`ClientError`]`>` — the client never
+//! panics on transport trouble. A broken connection (reset, torn
+//! response frame, server restart) is torn down and re-dialed with
+//! capped exponential backoff and seeded jitter, and the request is
+//! **resent with the same id**: scoring is deterministic and
+//! side-effect-free, and the dead connection can no longer deliver a
+//! duplicate response, so the retry is safe. A configured deadline
+//! bounds the whole attempt train — the budget spans connects, writes,
+//! reads, and backoff sleeps, not each attempt separately.
+//!
+//! Frame-level corruption is never resynced past mid-stream: a frame
+//! that fails to parse means the reader's byte position can no longer
+//! be trusted, so the connection is dropped and the request retried on
+//! a fresh one.
 
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
+use rlsched_sched::{select_parts, HeuristicKind};
 use rlsched_sim::{Policy, QueueView};
 use rlscheduler::QueueSnapshot;
 
-use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
+use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats, ServedBy};
 
-/// Outcome of one scoring round trip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ScoreOutcome {
-    /// The chosen queue position.
-    Action(usize),
-    /// The server shed the request (backpressure); fall back locally.
+/// Why a client call failed. Every request resolves to exactly one of:
+/// a [`Decision`], or one of these.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure that survived the retry budget.
+    Io(std::io::Error),
+    /// The request deadline expired (connects, retries, and backoff
+    /// included).
+    Deadline,
+    /// The server answered, but not with something usable: a protocol
+    /// violation, an unparseable frame, or a [`Response::Error`] report
+    /// (whose message this carries).
+    Protocol(String),
+    /// The server shed the request and no fallback was configured
+    /// server-side. The caller should decide locally.
     Shed,
 }
 
-/// A synchronous, single-in-flight client over one TCP connection.
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed after retries: {e}"),
+            ClientError::Deadline => write!(f, "request deadline expired"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Shed => write!(f, "request shed by the server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One resolved scoring decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The chosen queue position (`< queue_len`).
+    pub action: usize,
+    /// The shard that answered.
+    pub shard: u64,
+    /// Whether the model or the server-side heuristic fallback decided.
+    pub served_by: ServedBy,
+}
+
+/// Client resilience knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Total budget for one logical request, retries and backoff
+    /// included. `None` blocks indefinitely (the pre-resilience
+    /// behavior).
+    pub deadline: Option<Duration>,
+    /// Reconnect-and-resend attempts after the first try fails.
+    pub max_retries: u32,
+    /// Base reconnect backoff; doubles per retry.
+    pub backoff: Duration,
+    /// Upper bound on the backoff (before jitter halves it at random).
+    pub backoff_cap: Duration,
+    /// Jitter seed. Two clients with different seeds won't thunder in
+    /// lockstep; the same seed replays the same jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            deadline: None,
+            max_retries: 3,
+            backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+            seed: 0x5eed,
+        }
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A synchronous, single-in-flight client over one TCP connection,
+/// with transparent reconnect (see the module docs).
 ///
 /// Request ids increment from `id_base`, so a client's requests route
 /// deterministically (and distinct `id_base`s spread clients across
 /// shards).
 pub struct ServeClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    peer: SocketAddr,
+    conn: Option<Conn>,
     next_id: u64,
+    cfg: ClientConfig,
+    jitter: u64,
 }
 
 impl ServeClient {
-    /// Connect to a serving tier.
+    /// Connect to a serving tier (fails fast when it is unreachable;
+    /// later reconnects are automatic).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = addr
+            .to_socket_addrs()?
+            .find_map(|a| TcpStream::connect(a).ok().map(|s| (a, s)));
+        let Some((peer, stream)) = stream else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "no resolvable address accepted the connection",
+            ));
+        };
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
+        let cfg = ClientConfig::default();
         Ok(ServeClient {
-            reader: BufReader::new(stream),
-            writer,
+            peer,
+            conn: Some(Conn {
+                reader: BufReader::new(stream),
+                writer,
+            }),
             next_id: 0,
+            jitter: cfg.seed | 1,
+            cfg,
         })
     }
 
@@ -51,11 +163,50 @@ impl ServeClient {
         self
     }
 
-    fn round_trip(&mut self, req: Request) -> std::io::Result<Response> {
+    /// Replace the resilience knobs.
+    pub fn with_config(mut self, cfg: ClientConfig) -> Self {
+        self.jitter = cfg.seed | 1;
+        self.cfg = cfg;
+        self
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        // xorshift64: deterministic per-client jitter stream.
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        x
+    }
+
+    fn ensure_conn(&mut self, io_deadline: Option<Duration>) -> std::io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.peer)?;
+            stream.set_nodelay(true)?;
+            let writer = stream.try_clone()?;
+            self.conn = Some(Conn {
+                reader: BufReader::new(stream),
+                writer,
+            });
+        }
+        let conn = self.conn.as_mut().expect("just ensured");
+        // Bound each blocking read/write by the remaining budget (None
+        // blocks, matching a deadline-less config).
+        conn.reader.get_ref().set_read_timeout(io_deadline)?;
+        conn.writer.set_write_timeout(io_deadline)?;
+        Ok(conn)
+    }
+
+    /// One write + matching-id read on the current connection. Any
+    /// error leaves the reader's byte position untrustworthy, so the
+    /// caller must tear the connection down before retrying.
+    fn attempt(&mut self, req: &Request, remaining: Option<Duration>) -> std::io::Result<Response> {
         let want = req.id();
-        write_frame(&mut self.writer, &req)?;
+        let conn = self.ensure_conn(remaining)?;
+        write_frame(&mut conn.writer, req)?;
         loop {
-            let resp: Response = read_frame(&mut self.reader)?.ok_or_else(|| {
+            let resp: Response = read_frame(&mut conn.reader)?.ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
             })?;
             // Single in-flight per client: the next frame is ours (id 0
@@ -66,30 +217,101 @@ impl ServeClient {
         }
     }
 
-    fn expect_score(resp: Response) -> std::io::Result<ScoreOutcome> {
+    /// Run one logical request to resolution: attempt, and on transport
+    /// failure reconnect (capped backoff + jitter) and resend **the
+    /// same id** — deterministic scoring makes the replay idempotent,
+    /// and the torn-down connection cannot deliver a duplicate.
+    fn request(&mut self, req: Request) -> Result<Response, ClientError> {
+        let start = Instant::now();
+        let remaining =
+            |start: Instant, cfg: &ClientConfig| -> Result<Option<Duration>, ClientError> {
+                match cfg.deadline {
+                    None => Ok(None),
+                    Some(d) => d
+                        .checked_sub(start.elapsed())
+                        .filter(|r| !r.is_zero())
+                        .map(Some)
+                        .ok_or(ClientError::Deadline),
+                }
+            };
+        let mut retries = 0u32;
+        loop {
+            let budget = remaining(start, &self.cfg)?;
+            match self.attempt(&req, budget) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    // The frame parsed wrong: mid-stream resync is not
+                    // safe, and a replay would hit the same bug. Drop
+                    // the connection and report.
+                    self.conn = None;
+                    return Err(ClientError::Protocol(e.to_string()));
+                }
+                Err(e) => {
+                    self.conn = None;
+                    let timed_out = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    );
+                    if timed_out && self.cfg.deadline.is_some() {
+                        return Err(ClientError::Deadline);
+                    }
+                    if retries >= self.cfg.max_retries {
+                        return Err(ClientError::Io(e));
+                    }
+                    retries += 1;
+                    let shift = (retries - 1).min(16);
+                    let backoff = self
+                        .cfg
+                        .backoff
+                        .saturating_mul(1u32 << shift)
+                        .min(self.cfg.backoff_cap);
+                    // Jitter: uniform in [backoff/2, backoff].
+                    let half = backoff / 2;
+                    let jit_ns = half.as_nanos() as u64;
+                    let jitter = Duration::from_nanos(if jit_ns == 0 {
+                        0
+                    } else {
+                        self.next_jitter() % (jit_ns + 1)
+                    });
+                    let mut sleep = half + jitter;
+                    if let Some(rem) = remaining(start, &self.cfg)? {
+                        sleep = sleep.min(rem);
+                    }
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
+    }
+
+    fn expect_decision(resp: Response) -> Result<Decision, ClientError> {
         match resp {
-            Response::Action { action, .. } => Ok(ScoreOutcome::Action(action as usize)),
-            Response::Shed { .. } => Ok(ScoreOutcome::Shed),
-            Response::Error { message, .. } => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                message,
-            )),
-            Response::Stats { .. } => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "stats response to a score request",
+            Response::Action {
+                action,
+                shard,
+                served_by,
+                ..
+            } => Ok(Decision {
+                action: action as usize,
+                shard,
+                served_by,
+            }),
+            Response::Shed { .. } => Err(ClientError::Shed),
+            Response::Error { message, .. } => Err(ClientError::Protocol(message)),
+            Response::Stats { .. } => Err(ClientError::Protocol(
+                "stats response to a score request".into(),
             )),
         }
     }
 
     /// Score a queue snapshot (the server runs the encoder).
-    pub fn score_snapshot(&mut self, snapshot: &QueueSnapshot) -> std::io::Result<ScoreOutcome> {
+    pub fn score_snapshot(&mut self, snapshot: &QueueSnapshot) -> Result<Decision, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let resp = self.round_trip(Request::Score {
+        let resp = self.request(Request::Score {
             id,
             snapshot: snapshot.clone(),
         })?;
-        Self::expect_score(resp)
+        Self::expect_decision(resp)
     }
 
     /// Score a pre-encoded observation row.
@@ -98,44 +320,49 @@ impl ServeClient {
         obs: &[f32],
         mask: &[f32],
         queue_len: usize,
-    ) -> std::io::Result<ScoreOutcome> {
+    ) -> Result<Decision, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let resp = self.round_trip(Request::ScoreRaw {
+        let resp = self.request(Request::ScoreRaw {
             id,
             obs: obs.to_vec(),
             mask: mask.to_vec(),
             queue_len: queue_len as u64,
         })?;
-        Self::expect_score(resp)
+        Self::expect_decision(resp)
     }
 
     /// Fetch the server's aggregate statistics.
-    pub fn stats(&mut self) -> std::io::Result<ServeStats> {
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        match self.round_trip(Request::Stats { id })? {
+        match self.request(Request::Stats { id })? {
             Response::Stats { stats, .. } => Ok(stats),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unexpected response: {other:?}"),
-            )),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
         }
     }
 }
 
 /// A simulator policy that asks the serving tier for every decision.
 ///
-/// When the server sheds a request the policy falls back to FCFS (head
-/// of queue) and counts the event — what a production dispatcher does
-/// when its decision service is saturated. Transport errors panic: a
+/// With a local fallback configured
+/// ([`RemotePolicy::with_local_fallback`]), a shed or a transport
+/// failure that survived the client's retry budget is answered by the
+/// local heuristic — the same kind-for-kind decision the server-side
+/// fallback arm computes — and counted. Without one, a shed schedules
+/// the head of the queue (FCFS) and a transport failure panics: a
 /// scheduling loop cannot silently skip decisions.
 pub struct RemotePolicy {
     client: ServeClient,
     /// Snapshot truncation window (the encoder's `max_obsv`).
     window: usize,
+    local_fallback: Option<HeuristicKind>,
     name: String,
     sheds: u64,
+    local_decisions: u64,
+    remote_fallbacks: u64,
 }
 
 impl RemotePolicy {
@@ -145,34 +372,81 @@ impl RemotePolicy {
         RemotePolicy {
             client,
             window,
+            local_fallback: None,
             name: "RL-remote".to_string(),
             sheds: 0,
+            local_decisions: 0,
+            remote_fallbacks: 0,
         }
     }
 
-    /// Decisions answered by FCFS fallback because the server shed.
+    /// Answer sheds *and* exhausted-retry transport failures with this
+    /// local heuristic instead of panicking. Must be wire-scorable.
+    pub fn with_local_fallback(mut self, kind: HeuristicKind) -> Self {
+        assert!(
+            kind.wire_scorable(),
+            "{} is not computable from a decision-point view",
+            kind.name()
+        );
+        self.local_fallback = Some(kind);
+        self
+    }
+
+    /// Decisions the server shed (answered locally).
     pub fn sheds(&self) -> u64 {
         self.sheds
+    }
+
+    /// Decisions answered by the local heuristic (sheds + transport
+    /// failures, when a local fallback is configured).
+    pub fn local_decisions(&self) -> u64 {
+        self.local_decisions
+    }
+
+    /// Decisions the *server* answered via its fallback arm.
+    pub fn remote_fallbacks(&self) -> u64 {
+        self.remote_fallbacks
     }
 
     /// Recover the client (e.g. to query stats after an episode).
     pub fn into_client(self) -> ServeClient {
         self.client
     }
+
+    fn decide_locally(&mut self, snap: &QueueSnapshot) -> usize {
+        self.local_decisions += 1;
+        match self.local_fallback {
+            Some(kind) => select_parts(
+                kind,
+                snap.jobs.iter().map(|j| (j.wait, j.time_bound, j.procs)),
+            )
+            .unwrap_or(0),
+            None => 0, // FCFS: schedule the head of the queue
+        }
+    }
 }
 
 impl Policy for RemotePolicy {
     fn select(&mut self, view: &QueueView<'_>) -> usize {
         let snap = QueueSnapshot::from_view(view, self.window);
-        match self
-            .client
-            .score_snapshot(&snap)
-            .expect("serving tier unreachable mid-episode")
-        {
-            ScoreOutcome::Action(a) => a.min(view.waiting.len().saturating_sub(1)),
-            ScoreOutcome::Shed => {
+        let bound = view.waiting.len().saturating_sub(1);
+        match self.client.score_snapshot(&snap) {
+            Ok(d) => {
+                if d.served_by == ServedBy::Fallback {
+                    self.remote_fallbacks += 1;
+                }
+                d.action.min(bound)
+            }
+            Err(ClientError::Shed) => {
                 self.sheds += 1;
-                0 // FCFS: schedule the head of the queue
+                self.decide_locally(&snap).min(bound)
+            }
+            Err(e) => {
+                if self.local_fallback.is_some() {
+                    self.decide_locally(&snap).min(bound)
+                } else {
+                    panic!("serving tier unreachable mid-episode: {e}")
+                }
             }
         }
     }

@@ -36,17 +36,31 @@ use rlsched_rl::{greedy_batch, ActorScratch};
 use rlscheduler::{ObsEncoder, QueueSnapshot, ScorerSnapshot};
 
 /// The swappable weight slot shared by every shard of a server.
+///
+/// Besides the current snapshot the slot remembers the one it replaced,
+/// so a checkpoint that passes validation but regresses the live eval
+/// metric can be rolled back ([`ScorerSlot::rollback`]) without the
+/// trainer re-sending the old weights.
 #[derive(Debug)]
 pub struct ScorerSlot {
-    current: Mutex<ScorerSnapshot>,
+    current: Mutex<SlotState>,
     generation: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    current: ScorerSnapshot,
+    previous: Option<ScorerSnapshot>,
 }
 
 impl ScorerSlot {
     /// A slot serving `snapshot` at generation 0.
     pub fn new(snapshot: ScorerSnapshot) -> Arc<Self> {
         Arc::new(ScorerSlot {
-            current: Mutex::new(snapshot),
+            current: Mutex::new(SlotState {
+                current: snapshot,
+                previous: None,
+            }),
             generation: AtomicU64::new(0),
         })
     }
@@ -54,23 +68,44 @@ impl ScorerSlot {
     /// Install new weights. In-flight batches finish on the snapshot
     /// they started with; every later batch scores through the new one.
     /// The swap is pointer-sized work under the lock — weight matrices
-    /// are shared via `Arc`, never copied.
+    /// are shared via `Arc`, never copied. The displaced snapshot is
+    /// retained for [`ScorerSlot::rollback`].
     pub fn swap(&self, snapshot: ScorerSnapshot) {
-        let mut cur = self.current.lock().expect("scorer slot poisoned");
-        *cur = snapshot;
+        let mut state = self.current.lock().expect("scorer slot poisoned");
+        state.previous = Some(std::mem::replace(&mut state.current, snapshot));
         // The bump publishes while the lock is still held, so an engine
         // that sees the new generation always reads the new snapshot.
         self.generation.fetch_add(1, Ordering::Release);
     }
 
-    /// Current swap generation (0 until the first [`ScorerSlot::swap`]).
+    /// Restore the snapshot the last [`ScorerSlot::swap`] displaced and
+    /// bump the generation (engines must re-read — their current clone
+    /// is the bad one). Returns `false` (and changes nothing) when no
+    /// previous generation is retained; the retained snapshot is
+    /// consumed, so a second rollback without an intervening swap is a
+    /// no-op rather than a ping-pong.
+    pub fn rollback(&self) -> bool {
+        let mut state = self.current.lock().expect("scorer slot poisoned");
+        let Some(prev) = state.previous.take() else {
+            return false;
+        };
+        state.current = prev;
+        self.generation.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// Current swap generation (0 until the first swap or rollback).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
 
     /// Clone the current snapshot (an `Arc` bump, not a weight copy).
     pub fn snapshot(&self) -> ScorerSnapshot {
-        self.current.lock().expect("scorer slot poisoned").clone()
+        self.current
+            .lock()
+            .expect("scorer slot poisoned")
+            .current
+            .clone()
     }
 }
 

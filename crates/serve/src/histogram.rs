@@ -43,7 +43,7 @@ fn bucket_upper(i: usize) -> u64 {
 
 /// A mergeable latency histogram with exact count/max and bucketed
 /// quantiles.
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     count: u64,

@@ -18,11 +18,24 @@
 //!   per-connection reader/writer threads, N shard worker threads with
 //!   deterministic id→shard routing, bounded inboxes with explicit
 //!   shed responses, and a merged latency histogram (p50/p99/max).
-//! * [`client`] — [`ServeClient`] (blocking, single in-flight) and
+//! * [`client`] — [`ServeClient`] (blocking, single in-flight, typed
+//!   [`ClientError`]s, reconnect + deadline + safe retry) and
 //!   [`RemotePolicy`] (a `rlsched_sim::Policy` that schedules through
 //!   the server — every simulator decision goes over the wire).
 //! * [`histogram`] — the log-linear [`LatencyHistogram`] behind the
 //!   latency accounting.
+//! * [`faults`] — [`FaultPlan`], the deterministic fault-injection
+//!   harness behind the chaos suite (`tests/chaos.rs`).
+//!
+//! ## The failure model
+//!
+//! Shard workers are supervised: panics are caught, the in-flight
+//! batch is answered by a deterministic heuristic fallback
+//! (`served_by: Fallback` on the wire), and the worker respawns under
+//! a bounded restart budget — exhaustion parks it on the fallback arm
+//! until a validated weight swap revives it. Checkpoints install
+//! through propose → validate (all-finite walk + canary parity probe)
+//! → commit with generation rollback. See `README.md` § Failure model.
 //!
 //! ## The parity guarantee
 //!
@@ -45,12 +58,14 @@
 
 pub mod client;
 pub mod engine;
+pub mod faults;
 pub mod histogram;
 pub mod protocol;
 pub mod server;
 
-pub use client::{RemotePolicy, ScoreOutcome, ServeClient};
+pub use client::{ClientConfig, ClientError, Decision, RemotePolicy, ServeClient};
 pub use engine::{ScorerSlot, ShardEngine};
+pub use faults::{write_torn_frame, FaultPlan};
 pub use histogram::LatencyHistogram;
-pub use protocol::{Request, Response, ServeStats};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use protocol::{Request, Response, ServeStats, ServedBy, ShardHealth, ShardState};
+pub use server::{ProposeError, ServeConfig, Server, ServerHandle};

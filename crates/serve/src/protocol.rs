@@ -10,6 +10,11 @@
 //! Representations are the serde-default externally-tagged enum forms,
 //! e.g. `{"Score":{"id":1,"snapshot":{…}}}` and
 //! `{"Action":{"id":1,"action":3,"shard":0}}`.
+//!
+//! Correlation ids must stay below 2^53: JSON interoperability (RFC
+//! 8259 §6) only guarantees integer exactness within IEEE-double range,
+//! and ids above it may come back changed. [`crate::ServeClient`]
+//! allocates ids sequentially from 0, far below the limit.
 
 use std::io::{BufRead, Write};
 
@@ -56,25 +61,75 @@ impl Request {
     }
 }
 
-/// Aggregated serving statistics (see [`crate::ServerHandle::stats`]).
+/// Which arm produced a scoring decision.
+///
+/// `Model` answers are bit-identical to in-process `Agent::as_policy`
+/// scoring (the parity invariant); `Fallback` answers come from the
+/// deterministic heuristic arm (shard down, inbox full, or in-queue
+/// deadline expired) and are bit-identical to
+/// `rlsched_sched::PriorityScheduler` with the server's configured kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServedBy {
+    /// Scored by the policy network on a shard.
+    Model,
+    /// Answered by the deterministic heuristic fallback.
+    Fallback,
+}
+
+/// Lifecycle state of one shard worker, as reported in [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardState {
+    /// Scoring normally.
+    Healthy,
+    /// Panicked recently; backing off before the next respawn attempt.
+    Restarting,
+    /// Restart budget exhausted; answering everything via fallback until
+    /// a validated weight swap revives it.
+    Failed,
+}
+
+/// Health snapshot of one shard.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Current lifecycle state.
+    pub state: ShardState,
+    /// Engine respawns after panics (lifetime total).
+    pub restarts: u64,
+    /// Worker panics caught by the supervisor (lifetime total).
+    pub panics: u64,
+}
+
+/// Aggregated serving statistics (see [`crate::ServerHandle::stats`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
-    /// Scoring requests answered with an action.
+    /// Scoring requests answered by the model.
     pub served: u64,
-    /// Requests shed by backpressure.
+    /// Scoring requests answered by the heuristic fallback arm.
+    pub fallbacks: u64,
+    /// Requests shed by backpressure (no fallback configured).
     pub shed: u64,
+    /// Requests whose in-queue deadline expired (answered via fallback).
+    pub deadlines: u64,
     /// Batched forwards dispatched.
     pub batches: u64,
     /// Largest coalesced batch so far.
     pub max_batch: u64,
-    /// Weight hot-swaps installed.
+    /// Weight hot-swaps committed (validated proposals + forced swaps).
     pub swaps: u64,
+    /// Checkpoint proposals rejected or reverted by rollback.
+    pub rollbacks: u64,
+    /// Shard engine respawns after caught panics.
+    pub restarts: u64,
+    /// Accept-loop failures survived with backoff.
+    pub accept_failures: u64,
     /// Median request latency (enqueue → scored), microseconds.
     pub p50_us: f64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: f64,
     /// Maximum request latency, microseconds.
     pub max_us: f64,
+    /// Per-shard health, indexed by shard id.
+    pub shards: Vec<ShardHealth>,
 }
 
 impl ServeStats {
@@ -99,6 +154,8 @@ pub enum Response {
         action: u64,
         /// The shard that scored it (observability; deterministic per id).
         shard: u64,
+        /// Which arm answered: the model or the heuristic fallback.
+        served_by: ServedBy,
     },
     /// The request was shed: the shard's queue was full. The client
     /// should fall back to a local heuristic or retry after backoff.
@@ -142,12 +199,23 @@ pub fn write_frame<T: Serialize, W: Write>(w: &mut W, frame: &T) -> std::io::Res
 }
 
 /// Read one newline-terminated frame. `Ok(None)` on clean EOF.
+///
+/// A non-empty line *without* its terminating newline means the stream
+/// died mid-frame (peer crashed mid-write): that is a transport failure
+/// (`UnexpectedEof`), not a protocol violation — the distinction drives
+/// the client's retry-vs-report decision.
 pub fn read_frame<T: Deserialize, R: BufRead>(r: &mut R) -> std::io::Result<Option<T>> {
     let mut line = String::new();
     loop {
         line.clear();
         if r.read_line(&mut line)? == 0 {
             return Ok(None);
+        }
+        if !line.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "frame truncated mid-line",
+            ));
         }
         if line.trim().is_empty() {
             continue; // tolerate blank keep-alive lines
@@ -235,6 +303,13 @@ mod tests {
                 id: 1,
                 action: 3,
                 shard: 0,
+                served_by: ServedBy::Model,
+            },
+            Response::Action {
+                id: 4,
+                action: 0,
+                shard: 2,
+                served_by: ServedBy::Fallback,
             },
             Response::Shed { id: 2 },
             Response::Error {
@@ -251,5 +326,56 @@ mod tests {
             let got: Response = read_frame(&mut reader).unwrap().unwrap();
             assert_eq!(&got, want);
         }
+    }
+
+    #[test]
+    fn stats_with_shard_health_round_trip() {
+        let stats = ServeStats {
+            served: 10,
+            fallbacks: 3,
+            shed: 1,
+            deadlines: 2,
+            batches: 4,
+            max_batch: 5,
+            swaps: 2,
+            rollbacks: 1,
+            restarts: 6,
+            accept_failures: 7,
+            p50_us: 12.5,
+            p99_us: 99.0,
+            max_us: 120.0,
+            shards: vec![
+                ShardHealth {
+                    state: ShardState::Healthy,
+                    restarts: 0,
+                    panics: 0,
+                },
+                ShardHealth {
+                    state: ShardState::Failed,
+                    restarts: 3,
+                    panics: 4,
+                },
+            ],
+        };
+        let resp = Response::Stats { id: 42, stats };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let back: Response = read_frame(&mut std::io::BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn served_by_tags_are_plain_strings_on_the_wire() {
+        // The tag must stay greppable in logs and `nc` sessions.
+        let line = serde_json::to_string(&Response::Action {
+            id: 1,
+            action: 0,
+            shard: 0,
+            served_by: ServedBy::Fallback,
+        })
+        .unwrap();
+        assert!(line.contains("\"Fallback\""), "{line}");
     }
 }

@@ -1,29 +1,49 @@
-//! The front door and shard workers.
+//! The front door, shard workers, and their supervisor.
 //!
 //! ```text
-//!                    ┌─ connection threads ─┐      ┌─ shard threads ──┐
-//! TcpListener ──────▶│ read frame           │      │ recv (blocking)  │
-//!   (accept loop)    │ validate + encode    │─────▶│ coalesce ≤ window│
-//!                    │ route: fnv(id)%N ────┼──┐   │  or batch cap    │
-//!                    │ full queue? ⇒ Shed   │  └──▶│ one batched fwd  │
-//!                    └──────────┬───────────┘      │ reply per row    │
-//!                               ▼                  └────────┬─────────┘
-//!                      writer thread (per conn) ◀───────────┘
+//!                    ┌─ connection threads ─┐      ┌─ shard threads ─────┐
+//! TcpListener ──────▶│ read frame           │      │ recv (blocking)     │
+//!   (accept loop)    │ validate + encode    │─────▶│ coalesce ≤ window   │
+//!                    │ fallback action      │      │ fault hook          │
+//!                    │ route: fnv(id)%N ────┼──┐   │ one batched fwd ────┼─ panic? ⇒ supervisor:
+//!                    │ full queue? ⇒        │  └──▶│ reply per row       │   fallback-answer the
+//!                    │   fallback (or Shed) │      └──────────┬──────────┘   batch, respawn engine
+//!                    └──────────┬───────────┘                 │              under restart budget
+//!                               ▼                             │
+//!                      writer thread (per conn) ◀─────────────┘
 //! ```
 //!
 //! * **Routing** is deterministic: FNV-1a of the request id modulo the
 //!   shard count, so a given id always lands on the same shard (and a
 //!   client can pin itself to a shard by fixing its id stream).
-//! * **Backpressure**: each shard's inbox is a bounded channel; when it
-//!   is full the connection thread answers [`Response::Shed`]
-//!   immediately instead of queueing unbounded work.
+//! * **Supervision**: each shard's scoring loop runs under
+//!   `catch_unwind`. A panic never loses a request — the in-flight
+//!   batch's reply handles live outside the unwind boundary and are
+//!   answered by the heuristic fallback — and the worker respawns with
+//!   a fresh [`ShardEngine`] built from the current snapshot, under a
+//!   bounded restart budget with deterministic exponential backoff.
+//!   Exhausting the budget parks the shard in `Failed`, where it keeps
+//!   draining its inbox through the fallback until a validated weight
+//!   swap (a new generation) revives it.
+//! * **Graceful degradation**: when a shard's inbox is full, its
+//!   in-queue deadline expires, or the worker is down, the request is
+//!   answered with the deterministic heuristic decision
+//!   ([`rlsched_sched::PriorityScheduler`] semantics, kind from
+//!   [`ServeConfig::fallback`]) tagged `served_by: Fallback` — bare
+//!   [`Response::Shed`] only remains for servers configured without a
+//!   fallback.
+//! * **Checkpoint lifecycle**: [`ServerHandle::propose_scorer`] gates
+//!   every weight install behind validation — an all-finite parameter
+//!   walk plus a [`CanaryBatch`] parity probe — and
+//!   [`ServerHandle::record_eval`] rolls the slot back to the previous
+//!   generation when the live eval metric regresses past tolerance.
+//!   [`ServerHandle::swap_scorer`] remains the unvalidated force path.
+//! * **Backpressure**: each shard's inbox is a bounded channel; the
+//!   connection thread answers immediately (fallback or shed) instead
+//!   of queueing unbounded work.
 //! * **Coalescing**: a shard blocks for its first request, then drains
 //!   arrivals until the configured window elapses or the batch cap is
 //!   reached, and scores the whole stack through one forward.
-//! * **Hot swap**: [`ServerHandle::swap_scorer`] installs new weights
-//!   through the shared [`ScorerSlot`]; in-flight batches complete on
-//!   the old weights, later batches use the new ones, nothing is
-//!   dropped.
 //! * **Shutdown**: [`ServerHandle::shutdown`] flips a flag, the accept
 //!   loop notices it, parked connection readers are unblocked by
 //!   shutting their streams down, shards drain and exit when every
@@ -32,17 +52,22 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rlscheduler::{ObsEncoder, ScorerSnapshot};
+use rlsched_sched::{select_parts, HeuristicKind};
+use rlscheduler::{CanaryBatch, CanaryError, ObsEncoder, ScorerSnapshot};
 
 use crate::engine::{ScorerSlot, ShardEngine};
+use crate::faults::FaultPlan;
 use crate::histogram::LatencyHistogram;
-use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, ServeStats, ServedBy, ShardHealth, ShardState,
+};
 
 /// Server tuning knobs. The defaults serve a small cluster's decision
 /// traffic; benches and tests override freely.
@@ -57,8 +82,30 @@ pub struct ServeConfig {
     pub batch_cap: usize,
     /// How long a shard holds its first request open for companions.
     pub coalesce_window: Duration,
-    /// Bounded per-shard inbox depth; arrivals beyond it are shed.
+    /// Bounded per-shard inbox depth; arrivals beyond it take the
+    /// fallback arm (or are shed when no fallback is configured).
     pub queue_depth: usize,
+    /// Heuristic kind answering for the model when a shard can't
+    /// (panicked batch, full inbox, expired deadline, failed shard).
+    /// Must be wire-scorable ([`HeuristicKind::wire_scorable`]); `None`
+    /// restores pre-fallback semantics (bare [`Response::Shed`]).
+    pub fallback: Option<HeuristicKind>,
+    /// Consecutive shard panics tolerated before the shard parks in
+    /// [`ShardState::Failed`] (serving fallback until a validated swap).
+    pub restart_budget: u32,
+    /// Base respawn delay; doubles per consecutive panic
+    /// (deterministic, no jitter — the *client* owns jitter).
+    pub restart_backoff: Duration,
+    /// Upper bound on the respawn delay.
+    pub restart_backoff_cap: Duration,
+    /// In-queue age past which a request is answered by the fallback
+    /// instead of waiting on a slow shard. `None` disables the check.
+    pub queue_deadline: Option<Duration>,
+    /// Relative eval-metric regression (lower is better) tolerated by
+    /// [`ServerHandle::record_eval`] before it rolls the weights back.
+    pub eval_tolerance: f64,
+    /// Scripted fault injection (tests); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +116,13 @@ impl Default for ServeConfig {
             batch_cap: 32,
             coalesce_window: Duration::from_micros(100),
             queue_depth: 128,
+            fallback: Some(HeuristicKind::Sjf),
+            restart_budget: 3,
+            restart_backoff: Duration::from_millis(10),
+            restart_backoff_cap: Duration::from_millis(500),
+            queue_deadline: None,
+            eval_tolerance: 0.1,
+            faults: None,
         }
     }
 }
@@ -79,18 +133,74 @@ struct ShardRequest {
     obs: Vec<f32>,
     mask: Vec<f32>,
     queue_len: usize,
+    /// The heuristic decision for this request, precomputed at
+    /// admission so a down shard can answer without model state.
+    fallback: Option<u64>,
     enqueued: Instant,
     reply: Sender<Response>,
+}
+
+/// Reply metadata for one row in a shard's current batch. Lives
+/// *outside* the unwind boundary: a panicked forward loses the row
+/// data, never the means to answer it.
+struct PendingRow {
+    id: u64,
+    enqueued: Instant,
+    fallback: Option<u64>,
+    reply: Sender<Response>,
+}
+
+/// Lock-free per-shard health published to [`ServeStats`].
+struct ShardHealthCell {
+    state: AtomicU8,
+    restarts: AtomicU64,
+    panics: AtomicU64,
+}
+
+const STATE_HEALTHY: u8 = 0;
+const STATE_RESTARTING: u8 = 1;
+const STATE_FAILED: u8 = 2;
+
+impl ShardHealthCell {
+    fn new() -> Self {
+        ShardHealthCell {
+            state: AtomicU8::new(STATE_HEALTHY),
+            restarts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    fn set_state(&self, state: u8) {
+        self.state.store(state, Ordering::Release);
+    }
+
+    fn snapshot(&self) -> ShardHealth {
+        ShardHealth {
+            state: match self.state.load(Ordering::Acquire) {
+                STATE_RESTARTING => ShardState::Restarting,
+                STATE_FAILED => ShardState::Failed,
+                _ => ShardState::Healthy,
+            },
+            restarts: self.restarts.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Counters and the merged latency histogram, shared by all threads.
 struct Shared {
     shutdown: AtomicBool,
     served: AtomicU64,
+    fallbacks: AtomicU64,
     shed: AtomicU64,
+    deadlines: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
     swaps: AtomicU64,
+    rollbacks: AtomicU64,
+    restarts: AtomicU64,
+    accept_failures: AtomicU64,
+    shard_health: Vec<ShardHealthCell>,
     hist: Mutex<LatencyHistogram>,
     conns: Mutex<Vec<JoinHandle<()>>>,
     /// Stream clones for the *live* connections keyed by connection id,
@@ -107,13 +217,45 @@ impl Shared {
         let hist = self.hist.lock().expect("histogram poisoned");
         ServeStats {
             served: self.served.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            deadlines: self.deadlines.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            accept_failures: self.accept_failures.load(Ordering::Relaxed),
             p50_us: hist.quantile_ns(0.5) as f64 / 1e3,
             p99_us: hist.quantile_ns(0.99) as f64 / 1e3,
             max_us: hist.max_ns() as f64 / 1e3,
+            shards: self.shard_health.iter().map(|h| h.snapshot()).collect(),
+        }
+    }
+
+    /// Answer one request through the fallback arm (or shed it when the
+    /// server has no fallback configured), updating the right counters.
+    fn resolve_fallback(
+        &self,
+        shard: usize,
+        id: u64,
+        fallback: Option<u64>,
+        reply: &Sender<Response>,
+    ) {
+        match fallback {
+            Some(action) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Response::Action {
+                    id,
+                    action,
+                    shard: shard as u64,
+                    served_by: ServedBy::Fallback,
+                });
+            }
+            None => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Response::Shed { id });
+            }
         }
     }
 }
@@ -127,6 +269,39 @@ fn route(id: u64, shards: usize) -> usize {
     }
     (h % shards as u64) as usize
 }
+
+/// Why [`ServerHandle::propose_scorer`] refused to commit a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProposeError {
+    /// Observation window or action space differs from the serving tier.
+    Dims {
+        /// The tier's `(obs_dim, n_actions)`.
+        want: (usize, usize),
+        /// The proposal's `(obs_dim, n_actions)`.
+        got: (usize, usize),
+    },
+    /// The parameter walk found a NaN/Inf weight.
+    NonFinite,
+    /// The canary parity probe rejected the proposal.
+    Canary(CanaryError),
+}
+
+impl std::fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProposeError::Dims { want, got } => {
+                write!(
+                    f,
+                    "proposal dims {got:?} do not match serving dims {want:?}"
+                )
+            }
+            ProposeError::NonFinite => write!(f, "proposal carries non-finite weights"),
+            ProposeError::Canary(e) => write!(f, "canary probe rejected the proposal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProposeError {}
 
 /// The serving tier. Construct with [`Server::spawn`]; the returned
 /// [`ServerHandle`] is the only way to interact with a running server.
@@ -146,6 +321,14 @@ impl Server {
             scorer.obs_dim(),
             "encoder window must match the scorer"
         );
+        if let Some(kind) = cfg.fallback {
+            assert!(
+                kind.wire_scorable(),
+                "{} needs absolute submit times, which serving requests don't carry; \
+                 pick a wire-scorable fallback kind",
+                kind.name()
+            );
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -153,10 +336,16 @@ impl Server {
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             served: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            deadlines: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            accept_failures: AtomicU64::new(0),
+            shard_health: (0..cfg.shards).map(|_| ShardHealthCell::new()).collect(),
             hist: Mutex::new(LatencyHistogram::new()),
             conns: Mutex::new(Vec::new()),
             conn_streams: Mutex::new(std::collections::HashMap::new()),
@@ -169,12 +358,19 @@ impl Server {
             let (tx, rx) = mpsc::sync_channel::<ShardRequest>(cfg.queue_depth);
             let slot = Arc::clone(&slot);
             let shared = Arc::clone(&shared);
-            let window = cfg.coalesce_window;
-            let cap = cfg.batch_cap;
+            let sup = Supervision {
+                window: cfg.coalesce_window,
+                cap: cfg.batch_cap,
+                restart_budget: cfg.restart_budget,
+                backoff: cfg.restart_backoff,
+                backoff_cap: cfg.restart_backoff_cap,
+                queue_deadline: cfg.queue_deadline,
+                faults: cfg.faults.clone(),
+            };
             shard_threads.push(
                 std::thread::Builder::new()
                     .name(format!("rlsched-serve-shard-{shard_id}"))
-                    .spawn(move || shard_loop(shard_id, rx, slot, shared, window, cap))?,
+                    .spawn(move || shard_supervisor(shard_id, rx, slot, shared, sup))?,
             );
             shard_txs.push(tx);
         }
@@ -182,9 +378,10 @@ impl Server {
         let accept = {
             let shared = Arc::clone(&shared);
             let shard_txs = shard_txs.clone();
+            let fallback = cfg.fallback;
             std::thread::Builder::new()
                 .name("rlsched-serve-accept".to_string())
-                .spawn(move || accept_loop(listener, encoder, shard_txs, shared))?
+                .spawn(move || accept_loop(listener, encoder, fallback, shard_txs, shared))?
         };
 
         Ok(ServerHandle {
@@ -193,6 +390,8 @@ impl Server {
             shared,
             obs_dim: encoder.obs_dim(),
             n_actions: encoder.n_actions(),
+            eval_baseline: Mutex::new(None),
+            eval_tolerance: cfg.eval_tolerance,
             accept: Some(accept),
             shard_threads,
             _shard_txs: shard_txs,
@@ -200,13 +399,15 @@ impl Server {
     }
 }
 
-/// A running server: address, stats, hot-swap, shutdown.
+/// A running server: address, stats, checkpoint lifecycle, shutdown.
 pub struct ServerHandle {
     addr: SocketAddr,
     slot: Arc<ScorerSlot>,
     shared: Arc<Shared>,
     obs_dim: usize,
     n_actions: usize,
+    eval_baseline: Mutex<Option<f64>>,
+    eval_tolerance: f64,
     accept: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
     /// Keeps the shard inboxes alive until shutdown drops them.
@@ -219,8 +420,49 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Install new weights without dropping requests. The snapshot must
-    /// come from an agent with the same observation window.
+    /// Propose → validate → commit: the guarded way to install weights.
+    ///
+    /// The proposal must match the tier's dimensions, pass the
+    /// all-finite parameter walk, and reproduce the canary's expected
+    /// actions exactly ([`CanaryBatch::check`]). Only then is it
+    /// committed through the shared slot — which retains the displaced
+    /// snapshot, so a post-swap [`ServerHandle::record_eval`] regression
+    /// (or an explicit [`ServerHandle::rollback_scorer`]) can restore
+    /// the previous generation. Rejections leave the serving weights
+    /// untouched and count in [`ServeStats::rollbacks`].
+    ///
+    /// Returns the new weight generation on commit. A commit also
+    /// revives any shard parked in [`ShardState::Failed`].
+    pub fn propose_scorer(
+        &self,
+        scorer: ScorerSnapshot,
+        canary: &CanaryBatch,
+    ) -> Result<u64, ProposeError> {
+        let reject = |e: ProposeError| {
+            self.shared.rollbacks.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        };
+        if scorer.obs_dim() != self.obs_dim || scorer.n_actions() != self.n_actions {
+            return reject(ProposeError::Dims {
+                want: (self.obs_dim, self.n_actions),
+                got: (scorer.obs_dim(), scorer.n_actions()),
+            });
+        }
+        if !scorer.all_finite() {
+            return reject(ProposeError::NonFinite);
+        }
+        if let Err(e) = canary.check(&scorer) {
+            return reject(ProposeError::Canary(e));
+        }
+        self.slot.swap(scorer);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(self.slot.generation())
+    }
+
+    /// Install new weights without validation — the force path for
+    /// benches and callers that validated elsewhere. Prefer
+    /// [`ServerHandle::propose_scorer`]. The snapshot must come from an
+    /// agent with the same observation window.
     pub fn swap_scorer(&self, scorer: ScorerSnapshot) {
         assert_eq!(scorer.obs_dim(), self.obs_dim, "hot-swap changed obs_dim");
         assert_eq!(
@@ -230,6 +472,45 @@ impl ServerHandle {
         );
         self.slot.swap(scorer);
         self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Restore the snapshot displaced by the last committed swap and
+    /// bump the generation. Returns `false` when no previous generation
+    /// is retained (never swapped, or already rolled back).
+    pub fn rollback_scorer(&self) -> bool {
+        let rolled = self.slot.rollback();
+        if rolled {
+            self.shared.rollbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        rolled
+    }
+
+    /// Feed one post-deployment eval measurement (lower is better —
+    /// e.g. mean bounded slowdown on a probe workload). The first call
+    /// sets the baseline; later calls compare against it and roll the
+    /// weights back to the previous generation when the metric
+    /// regresses beyond the configured tolerance (or goes non-finite).
+    /// Returns `true` when a rollback was triggered.
+    pub fn record_eval(&self, metric: f64) -> bool {
+        let mut baseline = self.eval_baseline.lock().expect("eval baseline poisoned");
+        let Some(base) = *baseline else {
+            *baseline = Some(metric);
+            return false;
+        };
+        let threshold = base + base.abs() * self.eval_tolerance;
+        if metric.is_finite() && metric <= threshold {
+            *baseline = Some(metric);
+            return false;
+        }
+        if self.slot.rollback() {
+            self.shared.rollbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Current weight generation (bumps on every commit and rollback).
+    pub fn generation(&self) -> u64 {
+        self.slot.generation()
     }
 
     /// Aggregate serving statistics so far.
@@ -271,17 +552,21 @@ impl ServerHandle {
 fn accept_loop(
     listener: TcpListener,
     encoder: ObsEncoder,
+    fallback: Option<HeuristicKind>,
     shard_txs: Vec<SyncSender<ShardRequest>>,
     shared: Arc<Shared>,
 ) {
+    let base_backoff = Duration::from_millis(2);
+    let mut accept_backoff = base_backoff;
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                accept_backoff = base_backoff;
                 let shard_txs = shard_txs.clone();
                 let shared_c = Arc::clone(&shared);
                 let conn = std::thread::Builder::new()
                     .name("rlsched-serve-conn".to_string())
-                    .spawn(move || connection_loop(stream, encoder, shard_txs, shared_c));
+                    .spawn(move || connection_loop(stream, encoder, fallback, shard_txs, shared_c));
                 if let Ok(h) = conn {
                     // Reap finished connection threads while we are here
                     // so the handle list tracks live connections instead
@@ -299,15 +584,18 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                std::thread::sleep(base_backoff);
             }
             Err(_) => {
                 // Transient accept failures (ECONNABORTED from a client
                 // resetting mid-handshake, EMFILE until fds free up, …)
-                // must not kill the front door: back off and retry. A
-                // genuinely dead listener just keeps erroring until
-                // shutdown, which this loop survives too.
-                std::thread::sleep(Duration::from_millis(10));
+                // must not kill the front door: back off exponentially
+                // up to a bound and retry. A genuinely dead listener
+                // keeps erroring until shutdown, which this survives at
+                // the capped cadence instead of a hot spin.
+                shared.accept_failures.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(accept_backoff);
+                accept_backoff = (accept_backoff * 2).min(Duration::from_millis(250));
             }
         }
     }
@@ -319,6 +607,7 @@ fn accept_loop(
 fn connection_loop(
     stream: TcpStream,
     encoder: ObsEncoder,
+    fallback: Option<HeuristicKind>,
     shard_txs: Vec<SyncSender<ShardRequest>>,
     shared: Arc<Shared>,
 ) {
@@ -354,7 +643,7 @@ fn connection_loop(
             }
             Err(_) => break,
         };
-        handle_request(req, &encoder, &shard_txs, &shared, &reply_tx);
+        handle_request(req, &encoder, fallback, &shard_txs, &shared, &reply_tx);
     }
     drop(reply_tx); // writer drains outstanding replies, then exits
     if let Ok(w) = writer {
@@ -368,15 +657,31 @@ fn connection_loop(
         .remove(&conn_id);
 }
 
+/// The deterministic heuristic decision for a raw (pre-encoded) row:
+/// the first unmasked slot. Raw rows carry normalized features, not the
+/// wait/runtime/procs a priority function needs — but the queue behind
+/// a decision point is FCFS-ordered by construction, so "first valid
+/// slot" IS the FCFS decision, exactly. The configured kind applies to
+/// snapshot requests, which carry the raw features.
+fn raw_fallback(mask: &[f32], queue_len: usize) -> u64 {
+    let slot = mask
+        .iter()
+        .take(queue_len)
+        .position(|&m| m > -0.5)
+        .unwrap_or(0);
+    slot as u64
+}
+
 fn handle_request(
     req: Request,
     encoder: &ObsEncoder,
+    fallback: Option<HeuristicKind>,
     shard_txs: &[SyncSender<ShardRequest>],
     shared: &Arc<Shared>,
     reply_tx: &Sender<Response>,
 ) {
     let id = req.id();
-    let (obs, mask, queue_len) = match req {
+    let (obs, mask, queue_len, fallback_action) = match req {
         Request::Stats { .. } => {
             let _ = reply_tx.send(Response::Stats {
                 id,
@@ -392,10 +697,23 @@ fn handle_request(
                 });
                 return;
             }
+            // The heuristic decision is computed at admission, while the
+            // raw job features are still in hand — a shard that later
+            // fails this request answers from this, not from model state.
+            let fb = fallback.and_then(|kind| {
+                select_parts(
+                    kind,
+                    snapshot
+                        .jobs
+                        .iter()
+                        .map(|j| (j.wait, j.time_bound, j.procs)),
+                )
+                .map(|slot| slot as u64)
+            });
             let mut obs = Vec::with_capacity(encoder.obs_dim());
             let mut mask = Vec::with_capacity(encoder.n_actions());
             encoder.encode_snapshot_extend(&snapshot, &mut obs, &mut mask);
-            (obs, mask, snapshot.queue_len())
+            (obs, mask, snapshot.queue_len(), fb)
         }
         Request::ScoreRaw {
             obs,
@@ -418,7 +736,8 @@ fn handle_request(
                 });
                 return;
             }
-            (obs, mask, queue_len as usize)
+            let fb = fallback.map(|_| raw_fallback(&mask, queue_len as usize));
+            (obs, mask, queue_len as usize, fb)
         }
     };
     let shard = route(id, shard_txs.len());
@@ -427,15 +746,16 @@ fn handle_request(
         obs,
         mask,
         queue_len,
+        fallback: fallback_action,
         enqueued: Instant::now(),
         reply: reply_tx.clone(),
     };
     match shard_txs[shard].try_send(req) {
         Ok(()) => {}
-        Err(TrySendError::Full(_)) => {
-            // Backpressure: answer immediately, drop the work.
-            shared.shed.fetch_add(1, Ordering::Relaxed);
-            let _ = reply_tx.send(Response::Shed { id });
+        Err(TrySendError::Full(r)) => {
+            // Backpressure: answer immediately (heuristic if configured,
+            // shed otherwise), drop the work.
+            shared.resolve_fallback(shard, r.id, r.fallback, &r.reply);
         }
         Err(TrySendError::Disconnected(_)) => {
             let _ = reply_tx.send(Response::Error {
@@ -459,46 +779,162 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Response>) {
     }
 }
 
-/// One shard: block for a request, coalesce companions for up to
-/// `window` (or until `cap` rows), score the stack in one forward,
-/// reply per row, repeat. Exits when every sender is gone and the
-/// queue is drained.
-fn shard_loop(
+/// Per-shard supervision parameters (a slice of [`ServeConfig`]).
+struct Supervision {
+    window: Duration,
+    cap: usize,
+    restart_budget: u32,
+    backoff: Duration,
+    backoff_cap: Duration,
+    queue_deadline: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// The shard worker's outer loop: run the scoring loop under
+/// `catch_unwind`; on a panic, answer the in-flight batch through the
+/// fallback, then respawn a fresh engine under the restart budget.
+///
+/// Budget exhaustion parks the shard in [`ShardState::Failed`]: it
+/// keeps draining its inbox through the fallback (nothing queued is
+/// ever stranded) until the weight generation changes — a validated
+/// swap is the recovery signal — and then respawns.
+fn shard_supervisor(
     shard_id: usize,
     rx: Receiver<ShardRequest>,
     slot: Arc<ScorerSlot>,
     shared: Arc<Shared>,
-    window: Duration,
-    cap: usize,
+    sup: Supervision,
 ) {
-    let mut engine = ShardEngine::new(slot, cap);
-    // Reply metadata for the rows currently in the engine, push order.
-    let mut pending: Vec<(u64, Instant, Sender<Response>)> = Vec::with_capacity(cap);
-    'serve: loop {
+    let health = &shared.shard_health[shard_id];
+    let mut consecutive: u32 = 0;
+    let mut batch_counter: u64 = 0;
+    loop {
+        health.set_state(STATE_HEALTHY);
+        // Fresh engine from the *current* snapshot: a panic may have
+        // left the old one mid-batch with stacked rows.
+        let mut engine = ShardEngine::new(Arc::clone(&slot), sup.cap);
+        let mut pending: Vec<PendingRow> = Vec::with_capacity(sup.cap);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            shard_loop(
+                shard_id,
+                &rx,
+                &mut engine,
+                &mut pending,
+                &shared,
+                &sup,
+                &mut batch_counter,
+                &mut consecutive,
+            )
+        }));
+        match run {
+            // Every sender dropped: clean shutdown.
+            Ok(()) => return,
+            Err(_) => {
+                health.panics.fetch_add(1, Ordering::Relaxed);
+                consecutive += 1;
+                // Zero lost requests: the panicked batch's reply handles
+                // are still here — answer each through the fallback arm.
+                for row in pending.drain(..) {
+                    shared.resolve_fallback(shard_id, row.id, row.fallback, &row.reply);
+                }
+                if consecutive > sup.restart_budget {
+                    health.set_state(STATE_FAILED);
+                    let failed_gen = slot.generation();
+                    loop {
+                        if slot.generation() != failed_gen {
+                            break; // validated swap: revive
+                        }
+                        match rx.recv_timeout(Duration::from_millis(25)) {
+                            Ok(r) => shared.resolve_fallback(shard_id, r.id, r.fallback, &r.reply),
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => return,
+                        }
+                    }
+                    consecutive = 0;
+                } else {
+                    health.set_state(STATE_RESTARTING);
+                    // Deterministic exponential backoff: base << (n-1),
+                    // capped. No jitter — shards don't share a herd, and
+                    // reproducibility is worth more here.
+                    let shift = (consecutive - 1).min(16);
+                    let backoff = sup
+                        .backoff
+                        .saturating_mul(1u32 << shift)
+                        .min(sup.backoff_cap);
+                    std::thread::sleep(backoff);
+                }
+                health.restarts.fetch_add(1, Ordering::Relaxed);
+                shared.restarts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One shard's scoring loop: block for a request, coalesce companions
+/// for up to `window` (or until `cap` rows), score the stack in one
+/// forward, reply per row, repeat. Returns when every sender is gone
+/// and the queue is drained; panics propagate to the supervisor.
+#[allow(clippy::too_many_arguments)]
+fn shard_loop(
+    shard_id: usize,
+    rx: &Receiver<ShardRequest>,
+    engine: &mut ShardEngine,
+    pending: &mut Vec<PendingRow>,
+    shared: &Shared,
+    sup: &Supervision,
+    batch_counter: &mut u64,
+    consecutive: &mut u32,
+) {
+    // Admit one request into the current batch — unless its in-queue
+    // deadline already expired, in which case it is answered through
+    // the fallback right now rather than riding a slow shard.
+    let admit = |engine: &mut ShardEngine, pending: &mut Vec<PendingRow>, r: ShardRequest| {
+        if let Some(deadline) = sup.queue_deadline {
+            if r.enqueued.elapsed() > deadline {
+                shared.deadlines.fetch_add(1, Ordering::Relaxed);
+                shared.resolve_fallback(shard_id, r.id, r.fallback, &r.reply);
+                return;
+            }
+        }
+        engine.push_row(&r.obs, &r.mask, r.queue_len);
+        pending.push(PendingRow {
+            id: r.id,
+            enqueued: r.enqueued,
+            fallback: r.fallback,
+            reply: r.reply,
+        });
+    };
+    loop {
         let first = match rx.recv_timeout(Duration::from_millis(25)) {
             Ok(r) => r,
             Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break 'serve,
+            Err(RecvTimeoutError::Disconnected) => return,
         };
-        let deadline = Instant::now() + window;
-        engine.push_row(&first.obs, &first.mask, first.queue_len);
-        pending.push((first.id, first.enqueued, first.reply));
+        let window_closes = Instant::now() + sup.window;
+        admit(engine, pending, first);
         while !engine.is_full() {
             let now = Instant::now();
-            let Some(remaining) = deadline
+            let Some(remaining) = window_closes
                 .checked_duration_since(now)
                 .filter(|d| !d.is_zero())
             else {
                 break;
             };
             match rx.recv_timeout(remaining) {
-                Ok(r) => {
-                    engine.push_row(&r.obs, &r.mask, r.queue_len);
-                    pending.push((r.id, r.enqueued, r.reply));
-                }
+                Ok(r) => admit(engine, pending, r),
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
+        }
+        if pending.is_empty() {
+            continue; // every arrival expired at admission
+        }
+        let batch = *batch_counter;
+        *batch_counter += 1;
+        if let Some(faults) = &sup.faults {
+            // May panic (→ supervisor) or stall (→ queued requests age
+            // past their deadline) exactly as scripted.
+            faults.before_score(shard_id, batch);
         }
         let rows = engine.pending() as u64;
         let actions = engine.flush();
@@ -507,17 +943,21 @@ fn shard_loop(
         shared.served.fetch_add(rows, Ordering::Relaxed);
         {
             let mut hist = shared.hist.lock().expect("histogram poisoned");
-            for (_, enqueued, _) in &pending {
-                hist.record(enqueued.elapsed());
+            for row in pending.iter() {
+                hist.record(row.enqueued.elapsed());
             }
         }
-        for (&action, (id, _, reply)) in actions.iter().zip(pending.drain(..)) {
+        for (&action, row) in actions.iter().zip(pending.drain(..)) {
             // A dead client's writer is gone; dropping the reply is fine.
-            let _ = reply.send(Response::Action {
-                id,
+            let _ = row.reply.send(Response::Action {
+                id: row.id,
                 action: action as u64,
                 shard: shard_id as u64,
+                served_by: ServedBy::Model,
             });
         }
+        // A full batch made it through the forward: the worker is
+        // healthy again, whatever its panic history.
+        *consecutive = 0;
     }
 }

@@ -1,0 +1,591 @@
+//! The chaos suite: scripted faults against a live serving tier.
+//!
+//! Every test drives the production supervision/fallback/validation
+//! machinery through [`FaultPlan`] — a deterministic script, so each
+//! failure sequence replays identically — and asserts the fault-model
+//! invariants end to end over TCP:
+//!
+//! * **Exactly one resolution per request**: a model decision, a
+//!   fallback decision, or a typed client error. Never silence, never
+//!   a duplicate.
+//! * **Model answers stay bit-identical** to in-process scoring even
+//!   while the tier is degrading and recovering around them (canary
+//!   rows carry their expected actions; CI replays this file on both
+//!   SIMD dispatch arms).
+//! * **Fallback answers are the heuristic's bits**: first-valid-slot
+//!   (FCFS) for raw rows, `PriorityScheduler` kind-for-kind for
+//!   snapshot requests — pinned by a whole-episode equality below.
+//! * **The tier returns to healthy** after the script runs dry, and a
+//!   poisoned checkpoint can never take it down: propose → validate →
+//!   commit, with generation rollback.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rlsched_rl::{PolicyModel, PpoConfig};
+use rlsched_sched::{HeuristicKind, PriorityScheduler};
+use rlsched_serve::protocol::{read_frame, write_frame, Request, Response};
+use rlsched_serve::{
+    ClientConfig, ClientError, FaultPlan, ProposeError, RemotePolicy, ServeClient, ServeConfig,
+    ServedBy, Server, ShardState,
+};
+use rlsched_sim::{run_episode, MetricKind, SimConfig};
+use rlsched_swf::{Job, JobTrace};
+use rlscheduler::{
+    Agent, AgentConfig, CanaryBatch, CanaryError, ObsConfig, PolicyKind, PolicyNet, ScorerSnapshot,
+};
+
+fn agent_for(window: usize, seed: u64) -> Agent {
+    Agent::new(AgentConfig {
+        policy: PolicyKind::Kernel,
+        obs: ObsConfig {
+            max_obsv: window,
+            ..ObsConfig::default()
+        },
+        metric: MetricKind::BoundedSlowdown,
+        ppo: PpoConfig::default(),
+        seed,
+    })
+}
+
+/// A toy trace with enough queue contention that policies differ. The
+/// queue never grows past the 64-slot window, so snapshot truncation
+/// cannot blur the fallback-equivalence comparison.
+fn toy_trace() -> JobTrace {
+    let jobs = (0..40u32)
+        .map(|i| {
+            Job::new(
+                i + 1,
+                i as f64 * 15.0,
+                60.0 + (i % 5) as f64 * 150.0,
+                1 + (i % 4),
+                900.0 + (i % 3) as f64 * 600.0,
+            )
+        })
+        .collect();
+    JobTrace::new(jobs, 4)
+}
+
+/// One-shard config tuned for fast, deterministic chaos runs.
+fn chaos_config(faults: Arc<FaultPlan>) -> ServeConfig {
+    ServeConfig {
+        shards: 1,
+        batch_cap: 4,
+        coalesce_window: Duration::from_micros(200),
+        queue_depth: 512,
+        fallback: Some(HeuristicKind::Sjf),
+        restart_budget: 3,
+        restart_backoff: Duration::from_millis(1),
+        restart_backoff_cap: Duration::from_millis(20),
+        queue_deadline: None,
+        faults: Some(faults),
+        ..ServeConfig::default()
+    }
+}
+
+/// Zero lost requests through a mid-burst shard panic: the panicked
+/// batch is answered by the fallback (raw rows ⇒ first valid slot),
+/// the worker respawns, and every later model answer carries the exact
+/// in-process bits — asserted row by row against the canary.
+#[test]
+fn shard_panic_recovers_with_zero_lost_requests() {
+    let agent = agent_for(16, 3);
+    let canary = CanaryBatch::probe(&agent, 8, 17);
+    let faults = Arc::new(FaultPlan::new());
+    faults.panic_at(0, 0, 1); // the first coalesced batch dies
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        chaos_config(faults),
+    )
+    .expect("server spawns");
+
+    const N: u64 = 64;
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    for id in 0..N {
+        let (obs, mask, queue_len, _) = canary.row(id as usize % canary.rows());
+        write_frame(
+            &mut writer,
+            &Request::ScoreRaw {
+                id,
+                obs: obs.to_vec(),
+                mask: mask.to_vec(),
+                queue_len: queue_len as u64,
+            },
+        )
+        .unwrap();
+    }
+    let mut seen = vec![false; N as usize];
+    let mut model = 0u64;
+    let mut fallback = 0u64;
+    for _ in 0..N {
+        match read_frame::<Response, _>(&mut reader).unwrap().unwrap() {
+            Response::Action {
+                id,
+                action,
+                served_by,
+                ..
+            } => {
+                assert!(
+                    !std::mem::replace(&mut seen[id as usize], true),
+                    "duplicate resolution for id {id}"
+                );
+                let (_, _, _, expected) = canary.row(id as usize % canary.rows());
+                match served_by {
+                    ServedBy::Model => {
+                        model += 1;
+                        assert_eq!(
+                            action as usize, expected,
+                            "model answer for id {id} must be the in-process bits"
+                        );
+                    }
+                    ServedBy::Fallback => {
+                        fallback += 1;
+                        // Raw-row fallback: the first valid slot.
+                        assert_eq!(action, 0, "raw fallback is FCFS for id {id}");
+                    }
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "every request resolved");
+    assert!(fallback >= 1, "the panicked batch took the fallback arm");
+    assert!(model >= 1, "the respawned worker served the rest");
+    let stats = handle.shutdown();
+    assert_eq!(stats.served, model);
+    assert_eq!(stats.fallbacks, fallback);
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.shards[0].panics, 1);
+    assert_eq!(stats.shards[0].state, ShardState::Healthy);
+    assert_eq!(stats.shed, 0, "fallback replaces bare sheds");
+}
+
+/// Restart-budget exhaustion parks the shard in `Failed`, where it
+/// answers everything through the fallback — and a *validated* weight
+/// swap (propose → canary → commit) revives it back to model serving.
+#[test]
+fn budget_exhaustion_fails_over_and_validated_swap_revives() {
+    let agent = agent_for(16, 5);
+    let canary = CanaryBatch::probe(&agent, 8, 23);
+    let faults = Arc::new(FaultPlan::new());
+    faults.panic_at(0, 0, 1);
+    let mut cfg = chaos_config(faults);
+    cfg.restart_budget = 0; // one strike and the shard is out
+    let handle =
+        Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+
+    // Every decision while Failed is a fallback decision.
+    for i in 0..8 {
+        let (obs, mask, queue_len, _) = canary.row(i % canary.rows());
+        let d = client.score_raw(obs, mask, queue_len).unwrap();
+        assert_eq!(d.served_by, ServedBy::Fallback, "request {i} while failed");
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.shards[0].state, ShardState::Failed);
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.fallbacks, 8);
+
+    // A validated swap is the revival signal.
+    let gen = handle
+        .propose_scorer(agent.scorer_snapshot(), &canary)
+        .expect("a healthy checkpoint commits");
+    assert_eq!(gen, 1);
+    // The failed shard polls the generation every 25ms; give it a few
+    // polls, then demand model service with exact bits.
+    let mut revived = false;
+    for _ in 0..200 {
+        let (obs, mask, queue_len, expected) = canary.row(0);
+        let d = client.score_raw(obs, mask, queue_len).unwrap();
+        if d.served_by == ServedBy::Model {
+            assert_eq!(d.action, expected, "post-revival bits match in-process");
+            revived = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(revived, "validated swap must revive the failed shard");
+    let stats = handle.shutdown();
+    assert_eq!(stats.shards[0].state, ShardState::Healthy);
+    assert!(stats.restarts >= 1);
+    assert_eq!(stats.swaps, 1);
+}
+
+/// The fallback arm IS `PriorityScheduler`: an episode scheduled
+/// entirely through a failed tier produces exactly the metrics of the
+/// in-process heuristic with the configured kind.
+#[test]
+fn failed_tier_fallback_equals_priority_scheduler_episode() {
+    let trace = toy_trace();
+    let kind = HeuristicKind::Wfp3;
+    let expected = run_episode(
+        &trace,
+        SimConfig::default(),
+        &mut PriorityScheduler::new(kind),
+    )
+    .unwrap();
+
+    let agent = agent_for(64, 7);
+    let faults = Arc::new(FaultPlan::new());
+    faults.panic_at(0, 0, 1);
+    let mut cfg = chaos_config(faults);
+    cfg.restart_budget = 0;
+    cfg.fallback = Some(kind);
+    let handle =
+        Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
+    let client = ServeClient::connect(handle.addr()).unwrap();
+    let mut policy = RemotePolicy::new(client, 64);
+    let remote = run_episode(&trace, SimConfig::default(), &mut policy).unwrap();
+    assert_eq!(
+        expected, remote,
+        "fallback-served episode must equal PriorityScheduler::{kind:?} exactly"
+    );
+    assert!(
+        policy.remote_fallbacks() > 0,
+        "the tier was failed throughout"
+    );
+    assert_eq!(policy.sheds(), 0, "fallback, not shed");
+    handle.shutdown();
+}
+
+/// Checkpoint validation: a NaN-poisoned snapshot and a wrong-agent
+/// snapshot are both rejected without touching the serving weights,
+/// and the tier keeps answering with the incumbent's exact bits.
+#[test]
+fn poisoned_checkpoints_are_rejected_and_bits_unchanged() {
+    let agent = agent_for(16, 3);
+    let canary = CanaryBatch::probe(&agent, 12, 29);
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        chaos_config(Arc::new(FaultPlan::new())),
+    )
+    .expect("server spawns");
+
+    // NaN in the output layer: caught by the all-finite walk.
+    let mut poisoned = PolicyNet::build(PolicyKind::Kernel, 16, 3);
+    for v in poisoned.params_mut().last_mut().unwrap().data_mut() {
+        *v = f32::NAN;
+    }
+    let poisoned = ScorerSnapshot::new(
+        &poisoned,
+        agent.encoder().obs_dim(),
+        agent.encoder().n_actions(),
+    );
+    assert_eq!(
+        handle.propose_scorer(poisoned, &canary),
+        Err(ProposeError::NonFinite)
+    );
+    assert_eq!(handle.generation(), 0, "rejection leaves the weights alone");
+
+    // A checkpoint from the wrong training run: caught by the canary.
+    let impostor = agent_for(16, 4);
+    let err = handle
+        .propose_scorer(impostor.scorer_snapshot(), &canary)
+        .expect_err("wrong weights must trip the canary");
+    assert!(
+        matches!(err, ProposeError::Canary(CanaryError::Mismatch { .. })),
+        "{err}"
+    );
+    assert_eq!(handle.generation(), 0);
+
+    // A wrong-window checkpoint: caught before scoring anything.
+    let narrow = agent_for(8, 3);
+    let err = handle
+        .propose_scorer(narrow.scorer_snapshot(), &canary)
+        .expect_err("dims mismatch must be rejected");
+    assert!(matches!(err, ProposeError::Dims { .. }), "{err}");
+
+    // The tier never served anything but the incumbent's bits.
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    for i in 0..canary.rows() {
+        let (obs, mask, queue_len, expected) = canary.row(i);
+        let d = client.score_raw(obs, mask, queue_len).unwrap();
+        assert_eq!((d.action, d.served_by), (expected, ServedBy::Model));
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.rollbacks, 3, "every rejection is counted");
+    assert_eq!(stats.swaps, 0);
+}
+
+/// The post-deployment guard: a committed checkpoint whose live eval
+/// metric regresses past tolerance is rolled back to the previous
+/// generation, and serving returns to the incumbent's exact bits.
+#[test]
+fn eval_regression_rolls_back_to_the_previous_generation() {
+    let agent_a = agent_for(16, 3);
+    let agent_b = agent_for(16, 4);
+    let canary_a = CanaryBatch::probe(&agent_a, 10, 31);
+    let canary_b = CanaryBatch::probe(&agent_b, 10, 31);
+    let handle = Server::spawn(
+        agent_a.scorer_snapshot(),
+        *agent_a.encoder(),
+        chaos_config(Arc::new(FaultPlan::new())),
+    )
+    .expect("server spawns");
+
+    assert!(!handle.record_eval(1.0), "first eval sets the baseline");
+    assert_eq!(
+        handle.propose_scorer(agent_b.scorer_snapshot(), &canary_b),
+        Ok(1),
+        "B validates against its own canary"
+    );
+    // B's bits serve…
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let (obs, mask, queue_len, expected_b) = canary_b.row(0);
+    let d = client.score_raw(obs, mask, queue_len).unwrap();
+    assert_eq!((d.action, d.served_by), (expected_b, ServedBy::Model));
+
+    // …until the probe metric regresses (lower is better; 2.0 ≫ 1.1).
+    assert!(handle.record_eval(2.0), "regression triggers rollback");
+    assert_eq!(handle.generation(), 2, "rollback is a new generation");
+    // Shards re-read the slot at the next batch: A's bits again.
+    let mut back = false;
+    for _ in 0..200 {
+        let (obs, mask, queue_len, expected_a) = canary_a.row(0);
+        let d = client.score_raw(obs, mask, queue_len).unwrap();
+        assert_eq!(d.served_by, ServedBy::Model);
+        if d.action == expected_a {
+            back = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        back,
+        "serving must return to the previous generation's bits"
+    );
+    for i in 0..canary_a.rows() {
+        let (obs, mask, queue_len, expected_a) = canary_a.row(i);
+        let d = client.score_raw(obs, mask, queue_len).unwrap();
+        assert_eq!(d.action, expected_a, "row {i} is A's bits after rollback");
+    }
+    assert!(
+        !handle.rollback_scorer(),
+        "the retained generation was consumed"
+    );
+    let stats = handle.shutdown();
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.rollbacks, 1);
+}
+
+/// A stalled shard must not stall its queue: requests that age past
+/// the in-queue deadline are answered by the fallback immediately at
+/// admission, and the tier is healthy again once the stall passes.
+#[test]
+fn slow_shard_stall_expires_deadlines_into_fallback() {
+    let agent = agent_for(16, 3);
+    let canary = CanaryBatch::probe(&agent, 8, 37);
+    let faults = Arc::new(FaultPlan::new());
+    faults.stall_at(0, 0, Duration::from_millis(300));
+    let mut cfg = chaos_config(faults);
+    cfg.queue_deadline = Some(Duration::from_millis(50));
+    let handle =
+        Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
+
+    const N: u64 = 32;
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    for id in 0..N {
+        let (obs, mask, queue_len, _) = canary.row(id as usize % canary.rows());
+        write_frame(
+            &mut writer,
+            &Request::ScoreRaw {
+                id,
+                obs: obs.to_vec(),
+                mask: mask.to_vec(),
+                queue_len: queue_len as u64,
+            },
+        )
+        .unwrap();
+    }
+    let mut seen = vec![false; N as usize];
+    let (mut model, mut fallback) = (0u64, 0u64);
+    for _ in 0..N {
+        match read_frame::<Response, _>(&mut reader).unwrap().unwrap() {
+            Response::Action { id, served_by, .. } => {
+                assert!(!std::mem::replace(&mut seen[id as usize], true));
+                match served_by {
+                    ServedBy::Model => model += 1,
+                    ServedBy::Fallback => fallback += 1,
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(model + fallback, N, "every request resolved exactly once");
+    assert!(model >= 1, "the stalled batch itself still scores");
+    assert!(
+        fallback >= 1,
+        "requests aged past the deadline take the fallback arm"
+    );
+    // The stall script is spent: the tier serves models again.
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let (obs, mask, queue_len, expected) = canary.row(1);
+    let d = client.score_raw(obs, mask, queue_len).unwrap();
+    assert_eq!((d.action, d.served_by), (expected, ServedBy::Model));
+    let stats = handle.shutdown();
+    assert!(stats.deadlines >= 1);
+    assert_eq!(stats.deadlines, fallback);
+    assert_eq!(stats.shards[0].panics, 0);
+}
+
+/// Client resilience: a connection dropped mid-response (torn frame,
+/// then reset) is retried on a fresh connection with the same id —
+/// and resolves to a decision, not a panic.
+#[test]
+fn client_reconnects_through_a_connection_drop_mid_response() {
+    use rlsched_serve::write_torn_frame;
+    // A scripted fake server: connection 1 tears the response frame
+    // and drops; connection 2 answers properly.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (conn1, _) = listener.accept().unwrap();
+        let mut reader = std::io::BufReader::new(conn1.try_clone().unwrap());
+        let req: Request = read_frame(&mut reader).unwrap().unwrap();
+        let mut w = conn1.try_clone().unwrap();
+        write_torn_frame(
+            &mut w,
+            &Response::Action {
+                id: req.id(),
+                action: 0,
+                shard: 0,
+                served_by: ServedBy::Model,
+            },
+            9, // half a frame, no newline
+        )
+        .unwrap();
+        drop((reader, w, conn1)); // mid-response drop
+
+        let (conn2, _) = listener.accept().unwrap();
+        let mut reader = std::io::BufReader::new(conn2.try_clone().unwrap());
+        let req: Request = read_frame(&mut reader).unwrap().unwrap();
+        let mut w = conn2.try_clone().unwrap();
+        write_frame(
+            &mut w,
+            &Response::Action {
+                id: req.id(),
+                action: 2,
+                shard: 0,
+                served_by: ServedBy::Model,
+            },
+        )
+        .unwrap();
+        req.id()
+    });
+
+    let mut client = ServeClient::connect(addr)
+        .unwrap()
+        .with_config(ClientConfig {
+            deadline: Some(Duration::from_secs(5)),
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            seed: 7,
+        });
+    let obs = vec![0.25f32; 4];
+    let mask = vec![0.0f32, 0.0, -1e9, -1e9];
+    let d = client.score_raw(&obs, &mask, 3).expect("retry resolves");
+    assert_eq!(d.action, 2, "the answer came from the second connection");
+    let replay_id = fake.join().unwrap();
+    assert_eq!(replay_id, 0, "the retry resent the SAME request id");
+}
+
+/// A configured deadline turns an unresponsive tier into a typed
+/// error, not a hang — and the tier finishes its stall and recovers.
+#[test]
+fn client_deadline_is_a_typed_error_not_a_hang() {
+    let agent = agent_for(16, 3);
+    let canary = CanaryBatch::probe(&agent, 4, 41);
+    let faults = Arc::new(FaultPlan::new());
+    faults.stall_at(0, 0, Duration::from_millis(400));
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        chaos_config(faults),
+    )
+    .expect("server spawns");
+
+    let mut impatient = ServeClient::connect(handle.addr())
+        .unwrap()
+        .with_config(ClientConfig {
+            deadline: Some(Duration::from_millis(80)),
+            max_retries: 0,
+            ..ClientConfig::default()
+        });
+    let (obs, mask, queue_len, _) = canary.row(0);
+    let started = std::time::Instant::now();
+    let err = impatient
+        .score_raw(obs, mask, queue_len)
+        .expect_err("the stalled tier cannot answer in 80ms");
+    assert!(matches!(err, ClientError::Deadline), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_millis(350),
+        "the deadline bounded the wait"
+    );
+
+    // Patience pays: the stall is spent, model service resumes.
+    let mut patient = ServeClient::connect(handle.addr()).unwrap();
+    let (obs, mask, queue_len, expected) = canary.row(1);
+    let d = patient.score_raw(obs, mask, queue_len).unwrap();
+    assert_eq!((d.action, d.served_by), (expected, ServedBy::Model));
+    handle.shutdown();
+}
+
+/// Torn *request* frames: a client dying mid-write closes its
+/// connection cleanly (no error storm, no stuck reader) and the tier
+/// keeps serving everyone else.
+#[test]
+fn torn_request_frames_leave_the_server_serving() {
+    use rlsched_serve::write_torn_frame;
+    let agent = agent_for(16, 3);
+    let canary = CanaryBatch::probe(&agent, 4, 43);
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        chaos_config(Arc::new(FaultPlan::new())),
+    )
+    .expect("server spawns");
+
+    // Die mid-frame: the server sees a truncated line and EOF.
+    let (obs, mask, queue_len, _) = canary.row(0);
+    let mut torn = std::net::TcpStream::connect(handle.addr()).unwrap();
+    write_torn_frame(
+        &mut torn,
+        &Request::ScoreRaw {
+            id: 1,
+            obs: obs.to_vec(),
+            mask: mask.to_vec(),
+            queue_len: queue_len as u64,
+        },
+        20,
+    )
+    .unwrap();
+    drop(torn);
+
+    // Garbage with a newline: the server reports and resyncs.
+    let mut noisy = std::net::TcpStream::connect(handle.addr()).unwrap();
+    use std::io::Write;
+    noisy.write_all(b"{\"Score\":{\"id\":oops\n").unwrap();
+    let mut reader = std::io::BufReader::new(noisy.try_clone().unwrap());
+    let resp: Response = read_frame(&mut reader).unwrap().unwrap();
+    assert!(matches!(resp, Response::Error { id: 0, .. }), "{resp:?}");
+
+    // Bystanders are unaffected, bits intact.
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    for i in 0..canary.rows() {
+        let (obs, mask, queue_len, expected) = canary.row(i);
+        let d = client.score_raw(obs, mask, queue_len).unwrap();
+        assert_eq!((d.action, d.served_by), (expected, ServedBy::Model));
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.served, canary.rows() as u64);
+    assert_eq!(stats.shards[0].panics, 0, "torn frames never reach a shard");
+}

@@ -1,0 +1,269 @@
+//! Property tests for the wire protocol and the latency accounting.
+//!
+//! The chaos suite exercises specific scripted failures; these
+//! properties pin the frame layer for *all* payloads: every request and
+//! response variant — `served_by` tags, fallback actions, error
+//! messages with hostile characters — survives a write/read round trip
+//! bit-exactly, frames never collide across a stream, and the
+//! shard-histogram merge is associative and commutative (so the stats
+//! endpoint's fold order can never change a reported quantile).
+
+use std::time::Duration;
+
+use proptest::pick_index;
+use proptest::prelude::*;
+use rlsched_serve::protocol::{read_frame, write_frame};
+use rlsched_serve::{
+    LatencyHistogram, Request, Response, ServeStats, ServedBy, ShardHealth, ShardState,
+};
+use rlscheduler::{QueueSnapshot, SnapshotJob};
+
+/// Awkward-but-finite floats: subnormals, ulp neighbors, huge mask
+/// offsets — the values most likely to shake out a formatting bug.
+fn any_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(f32::MIN_POSITIVE / 2.0),
+        Just(-1.0e9f32),
+        Just(f32::from_bits(0.3f32.to_bits() + 1)),
+        Just(f32::MAX),
+        (-1.0e9f32..1.0e9).boxed(),
+    ]
+}
+
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0f64), Just(1.0 / 3.0), (0.0f64..1.0e12).boxed()]
+}
+
+/// Error messages with characters that must be escaped on the wire —
+/// an unescaped newline would tear the framing itself.
+fn any_message() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("bad row".to_string()),
+        Just("quote \" backslash \\ done".to_string()),
+        Just("line\nbreak\ttab".to_string()),
+        Just("unicode: μs → ∞".to_string()),
+        Just("{\"Action\":{\"id\":0}}".to_string()), // a frame *inside* a message
+    ]
+}
+
+/// Correlation ids: the protocol bounds them to the JSON-exact integer
+/// range (< 2^53, RFC 8259 §6) — ids above it do not survive IEEE-double
+/// interop, which this strategy's bound documents as a *rule*, not an
+/// accident.
+fn any_id() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), Just((1u64 << 53) - 1), (0u64..1 << 53).boxed(),]
+}
+
+fn any_served_by() -> impl Strategy<Value = ServedBy> {
+    prop_oneof![Just(ServedBy::Model), Just(ServedBy::Fallback)]
+}
+
+fn any_shard_state() -> impl Strategy<Value = ShardState> {
+    prop_oneof![
+        Just(ShardState::Healthy),
+        Just(ShardState::Restarting),
+        Just(ShardState::Failed),
+    ]
+}
+
+fn any_snapshot() -> impl Strategy<Value = QueueSnapshot> {
+    FnStrategy(|rng: &mut TestRng| {
+        let depth = pick_index(rng, 6);
+        let jobs = (0..depth)
+            .map(|i| SnapshotJob {
+                wait: i as f64 * 7.5,
+                time_bound: 60.0 + i as f64,
+                procs: 1 + (i as u32 % 8),
+                can_run_now: i % 2 == 0,
+            })
+            .collect();
+        QueueSnapshot {
+            free_procs: pick_index(rng, 64) as u32,
+            total_procs: 64,
+            queue_len: depth as u32,
+            jobs,
+        }
+    })
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    let raw = (
+        any_id(),
+        prop::collection::vec(any_f32(), 0..24),
+        prop::collection::vec(any_f32(), 0..8),
+        0u64..1000,
+    )
+        .prop_map(|(id, obs, mask, queue_len)| Request::ScoreRaw {
+            id,
+            obs,
+            mask,
+            queue_len,
+        });
+    let score =
+        (any_id(), any_snapshot()).prop_map(|(id, snapshot)| Request::Score { id, snapshot });
+    let stats = any_id().prop_map(|id| Request::Stats { id });
+    prop_oneof![raw.boxed(), score.boxed(), stats.boxed()]
+}
+
+fn any_health() -> impl Strategy<Value = ShardHealth> {
+    (any_shard_state(), any::<u32>(), any::<u32>()).prop_map(|(state, r, p)| ShardHealth {
+        state,
+        restarts: r as u64,
+        panics: p as u64,
+    })
+}
+
+fn any_stats() -> impl Strategy<Value = ServeStats> {
+    (
+        prop::collection::vec(any::<u32>(), 10),
+        (any_f64(), any_f64(), any_f64()),
+        prop::collection::vec(any_health(), 0..5),
+    )
+        .prop_map(|(c, (p50_us, p99_us, max_us), shards)| ServeStats {
+            served: c[0] as u64,
+            fallbacks: c[1] as u64,
+            shed: c[2] as u64,
+            deadlines: c[3] as u64,
+            batches: c[4] as u64,
+            max_batch: c[5] as u64,
+            swaps: c[6] as u64,
+            rollbacks: c[7] as u64,
+            restarts: c[8] as u64,
+            accept_failures: c[9] as u64,
+            p50_us,
+            p99_us,
+            max_us,
+            shards,
+        })
+}
+
+fn any_response() -> impl Strategy<Value = Response> {
+    let action = (any_id(), 0u64..256, 0u64..16, any_served_by()).prop_map(
+        |(id, action, shard, served_by)| Response::Action {
+            id,
+            action,
+            shard,
+            served_by,
+        },
+    );
+    let shed = any_id().prop_map(|id| Response::Shed { id });
+    let stats = (any_id(), any_stats()).prop_map(|(id, stats)| Response::Stats { id, stats });
+    let error = (any_id(), any_message()).prop_map(|(id, message)| Response::Error { id, message });
+    prop_oneof![action.boxed(), shed.boxed(), stats.boxed(), error.boxed()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request variant survives the wire bit-exactly, and `f32`
+    /// payload rows compare by bits, not by value (−0.0 vs 0.0, ulp
+    /// neighbors).
+    #[test]
+    fn requests_round_trip_bit_exactly(reqs in prop::collection::vec(any_request(), 1..8)) {
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        for want in &reqs {
+            let got: Request = read_frame(&mut reader).unwrap().expect("frame present");
+            prop_assert_eq!(&got, want);
+            if let (
+                Request::ScoreRaw { obs: a, mask: ma, .. },
+                Request::ScoreRaw { obs: b, mask: mb, .. },
+            ) = (&got, want) {
+                for (x, y) in a.iter().zip(b).chain(ma.iter().zip(mb)) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+                }
+            }
+        }
+        prop_assert!(read_frame::<Request, _>(&mut reader).unwrap().is_none());
+    }
+
+    /// Every response variant — `served_by` tags, shard health states,
+    /// hostile error messages — round-trips exactly, and a message
+    /// containing newlines or embedded frames never corrupts framing
+    /// for the frames that follow it.
+    #[test]
+    fn responses_round_trip_and_framing_survives(resps in prop::collection::vec(any_response(), 1..8)) {
+        let mut buf = Vec::new();
+        for r in &resps {
+            write_frame(&mut buf, r).unwrap();
+        }
+        // One frame per line: framing is intact regardless of payload.
+        let text = std::str::from_utf8(&buf).unwrap();
+        prop_assert_eq!(text.lines().count(), resps.len());
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        for want in &resps {
+            let got: Response = read_frame(&mut reader).unwrap().expect("frame present");
+            prop_assert_eq!(&got, want);
+        }
+    }
+
+    /// Truncating any frame anywhere strictly inside it yields the
+    /// transport error (`UnexpectedEof`), never a protocol error and
+    /// never a silently wrong frame — the distinction the client's
+    /// retry logic rides on.
+    #[test]
+    fn torn_frames_are_transport_errors(resp in any_response(), cut in any::<prop::sample::Index>()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        // Cut strictly inside the line: keep at least 1 byte, lose at
+        // least the newline.
+        let keep = 1 + cut.index(buf.len() - 1);
+        let torn = &buf[..keep];
+        let err = read_frame::<Response, _>(&mut std::io::BufReader::new(torn))
+            .expect_err("a torn frame must not parse");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Histogram merge is associative and commutative: however the
+    /// server folds its per-shard histograms, every quantile, count,
+    /// and max comes out identical.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in prop::collection::vec(1u64..2_000_000, 0..64),
+        ys in prop::collection::vec(1u64..2_000_000, 0..64),
+        zs in prop::collection::vec(1u64..2_000_000, 0..64),
+    ) {
+        let fill = |ns: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in ns {
+                h.record(Duration::from_nanos(v));
+            }
+            h
+        };
+        let (a, b, c) = (fill(&xs), fill(&ys), fill(&zs));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // c ⊕ b ⊕ a: commutes too.
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+        prop_assert_eq!(&left, &rev);
+
+        // And the merged quantiles equal one histogram fed everything.
+        let mut all = Vec::new();
+        all.extend_from_slice(&xs);
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        let whole = fill(&all);
+        prop_assert_eq!(&left, &whole);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile_ns(q), whole.quantile_ns(q));
+        }
+    }
+}

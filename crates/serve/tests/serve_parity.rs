@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rlsched_rl::PpoConfig;
-use rlsched_serve::{RemotePolicy, ScoreOutcome, ServeClient, ServeConfig, Server};
+use rlsched_serve::{ClientError, RemotePolicy, ServeClient, ServeConfig, ServedBy, Server};
 use rlsched_sim::{run_episode, MetricKind, SimConfig};
 use rlsched_swf::{Job, JobTrace};
 use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind};
@@ -83,8 +83,8 @@ fn spawn_noise(
                 }
                 while !stop.load(Ordering::Relaxed) {
                     match client.score_raw(&obs, &mask, 3) {
-                        Ok(ScoreOutcome::Action(a)) => assert!(a < 3, "noise action in range"),
-                        Ok(ScoreOutcome::Shed) => {}
+                        Ok(d) => assert!(d.action < 3, "noise action in range"),
+                        Err(ClientError::Shed) => {}
                         Err(_) => break, // server shut down under us
                     }
                 }
@@ -130,6 +130,12 @@ fn served_decisions_are_bit_identical_to_as_policy_all_kinds() {
             policy.sheds(),
             0,
             "{}: nothing shed at this load",
+            kind.name()
+        );
+        assert_eq!(
+            policy.remote_fallbacks(),
+            0,
+            "{}: every decision came from the model arm",
             kind.name()
         );
         assert_eq!(
@@ -238,6 +244,8 @@ fn full_inboxes_shed_and_every_request_is_answered() {
             // back-to-back requests must overflow the depth-1 inbox.
             coalesce_window: Duration::from_millis(5),
             queue_depth: 1,
+            // No fallback: this test pins the bare-shed semantics.
+            fallback: None,
             ..ServeConfig::default()
         },
     )
@@ -345,7 +353,8 @@ fn malformed_frames_report_errors_and_resync() {
     obs[..rlscheduler::JOB_FEATURES].fill(0.3);
     mask[0] = 0.0;
     let out = client.score_raw(&obs, &mask, 1).unwrap();
-    assert_eq!(out, ScoreOutcome::Action(0));
+    assert_eq!(out.action, 0);
+    assert_eq!(out.served_by, ServedBy::Model);
     handle.shutdown();
 }
 

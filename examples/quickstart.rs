@@ -14,6 +14,7 @@
 //! into batches, and must come back bit-identical to in-process scoring.
 
 use rlsched_repro::core::prelude::*;
+use rlsched_repro::core::{CanaryBatch, PolicyNet, ScorerSnapshot};
 use rlsched_repro::sched::{HeuristicKind, PriorityScheduler};
 use rlsched_repro::serve::{RemotePolicy, ServeClient, ServeConfig, Server};
 use rlsched_repro::workload::NamedWorkload;
@@ -197,9 +198,33 @@ fn main() {
             mean_metric(&remote_results, MetricKind::BoundedSlowdown),
             "remote coalesced decisions must match in-process scoring"
         );
-        // Hot swap under no traffic churn: re-install the (retrained)
-        // weights; the server keeps answering, nothing is dropped.
-        handle.swap_scorer(restored.scorer_snapshot());
+        // Checkpoint lifecycle: propose → validate → commit. The canary
+        // probe carries expected decisions from in-process scoring, so
+        // the restored weights must reproduce them bit for bit before
+        // they are allowed to serve — and a poisoned checkpoint is
+        // rejected without ever touching the serving weights.
+        let canary = CanaryBatch::probe(&agent, 8, 42);
+        let generation = handle
+            .propose_scorer(restored.scorer_snapshot(), &canary)
+            .expect("the restored checkpoint passes validation");
+        println!("validated checkpoint committed (generation {generation})");
+        let poisoned = {
+            use rlsched_repro::rl::PolicyModel;
+            let mut net = PolicyNet::build(PolicyKind::Kernel, scale.max_obsv, 99);
+            for v in net
+                .params_mut()
+                .last_mut()
+                .expect("net has params")
+                .data_mut()
+            {
+                *v = f32::NAN;
+            }
+            ScorerSnapshot::new(&net, agent.encoder().obs_dim(), agent.encoder().n_actions())
+        };
+        assert!(
+            handle.propose_scorer(poisoned, &canary).is_err(),
+            "a NaN-poisoned checkpoint must be rejected"
+        );
         let mut probe = ServeClient::connect(addr).expect("probe connects");
         let stats = probe.stats().expect("stats round trip");
         drop(probe);
