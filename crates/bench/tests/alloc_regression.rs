@@ -139,6 +139,25 @@ fn fast_paths_do_not_regress_allocations() {
          ({fused_allocs} allocations after warm-up)"
     );
 
+    // ---- PPO update, sharded multi-core arm: ZERO allocations at
+    // steady state on the inline (1-worker) path — per-chunk scratches,
+    // the stitched diagnostics and the tree-merge all reuse persistent
+    // buffers. Worker spawns allocate per fan-out by design, so the pin
+    // runs under `with_threads(1)`: the bound isolates the sharded
+    // arm's own buffer discipline from thread bring-up. ----
+    let _ = rayon::with_threads(1, || agent.ppo_mut().update_fused_sharded(&batch))
+        .expect("kernel policy is fused-eligible"); // warm-up iteration
+    let sharded_allocs = count_allocs(|| {
+        rayon::with_threads(1, || {
+            agent.ppo_mut().update_fused_sharded(&batch);
+        });
+    });
+    assert_eq!(
+        sharded_allocs, 0,
+        "sharded Ppo::update must not allocate at steady state on the \
+         inline path ({sharded_allocs} allocations after warm-up)"
+    );
+
     // ---- PPO update, tape fallback: bounded by the measured baseline ----
     let _ = agent.ppo_mut().update_tape(&batch); // warm graph pools + optimizer state
     let update_allocs = count_allocs(|| agent.ppo_mut().update_tape(&batch));

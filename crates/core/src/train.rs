@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use rlsched_rl::{collect_rollouts_vec, UpdateStats, VecEnv};
+use rlsched_rl::{collect_rollouts_par, collect_rollouts_vec, UpdateStats, VecEnv};
 use rlsched_sim::SimConfig;
 use rlsched_swf::JobTrace;
 
@@ -71,6 +71,18 @@ pub struct TrainConfig {
     /// collected bit — is independent of this knob; it only trades
     /// per-tick batch size against env-slot memory.
     pub n_envs: usize,
+    /// Worker threads for rollout collection and the PPO update. `0`/`1`
+    /// run the exact single-core paths; `>= 2` partitions each epoch's
+    /// seed schedule across per-worker `VecEnv`s
+    /// ([`collect_rollouts_par`]) and shards the fused backward. The
+    /// parallel arms are deterministic at *any* worker count — rerunning
+    /// with a different `n_threads >= 2` reproduces the curve bit for
+    /// bit — but the sharded update is a different deterministic
+    /// trajectory from `n_threads <= 1` for minibatches over
+    /// `fused::SHARD_ROWS` rows (chunked f32 gradient reductions), so
+    /// pick the arm per run, not mid-stream. `RLSCHED_THREADS` caps the
+    /// actual worker pool.
+    pub n_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -83,6 +95,7 @@ impl Default for TrainConfig {
             filter: FilterMode::Off,
             seed: 0,
             n_envs: 16,
+            n_threads: 1,
         }
     }
 }
@@ -138,9 +151,17 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
     // auto-reset onto the next trajectory seed as episodes finish, and
     // every tick scores all live slots through one stacked forward.
     let n_slots = cfg.n_envs.max(1).min(cfg.trajectories_per_epoch);
-    let mut envs: Vec<SchedulingEnv> = (0..n_slots)
-        .map(|_| SchedulingEnv::new(trace.clone(), cfg.seq_len, cfg.sim, encoder, objective))
-        .collect();
+    let parallel = cfg.n_threads >= 2;
+    let mut envs: Vec<SchedulingEnv> = if parallel {
+        Vec::new() // the parallel sampler builds per-worker slots instead
+    } else {
+        (0..n_slots)
+            .map(|_| SchedulingEnv::new(trace.clone(), cfg.seq_len, cfg.sim, encoder, objective))
+            .collect()
+    };
+    if parallel {
+        agent.ppo_mut().set_update_threads(cfg.n_threads);
+    }
 
     let mut curve = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
@@ -158,12 +179,28 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
                 cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9) ^ i.wrapping_mul(0x85EB_CA6B)
             })
             .collect();
-        let mut venv: VecEnv<&mut SchedulingEnv> = VecEnv::new(envs.iter_mut().collect());
-        let (batch, stats) = collect_rollouts_vec(agent.ppo(), &mut venv, &seeds);
-        drop(venv);
-        // Safety: collect_rollouts borrows the agent immutably; the update
-        // needs it mutably. The borrow ends before this line.
-        let update = agent.ppo_mut().update(&batch);
+        let (stats, update) = if parallel {
+            // Partitioned seed schedule over per-worker VecEnvs, then the
+            // sharded fused update — all under the configured worker
+            // pool. Identical bits at any n_threads >= 2.
+            rayon::with_threads(cfg.n_threads, || {
+                let make_env = || {
+                    let mut e =
+                        SchedulingEnv::new(trace.clone(), cfg.seq_len, cfg.sim, encoder, objective);
+                    e.set_filter(epoch_filter.clone());
+                    e
+                };
+                let (batch, stats) = collect_rollouts_par(agent.ppo(), make_env, n_slots, &seeds);
+                (stats, agent.ppo_mut().update(&batch))
+            })
+        } else {
+            let mut venv: VecEnv<&mut SchedulingEnv> = VecEnv::new(envs.iter_mut().collect());
+            let (batch, stats) = collect_rollouts_vec(agent.ppo(), &mut venv, &seeds);
+            drop(venv);
+            // Safety: collect_rollouts borrows the agent immutably; the
+            // update needs it mutably. The borrow ends before this line.
+            (stats, agent.ppo_mut().update(&batch))
+        };
 
         curve.push(EpochStats {
             epoch,
@@ -235,6 +272,7 @@ mod tests {
             filter: FilterMode::Off,
             seed: 11,
             n_envs: 8,
+            n_threads: 1,
         };
         let curve = train(&mut agent, &trace, &cfg);
         assert_eq!(curve.len(), 12);
@@ -261,6 +299,7 @@ mod tests {
             filter: FilterMode::Off,
             seed: 5,
             n_envs: 8,
+            n_threads: 1,
         };
         let mut a1 = tiny_agent(9);
         let c1 = train(&mut a1, &trace, &cfg);
@@ -284,6 +323,7 @@ mod tests {
             filter: FilterMode::two_phase(2, 20),
             seed: 2,
             n_envs: 8,
+            n_threads: 1,
         };
         let curve = train(&mut agent, &trace, &cfg);
         assert!(curve[0].filtered && curve[1].filtered);
@@ -302,6 +342,7 @@ mod tests {
             filter: FilterMode::Off,
             seed: 3,
             n_envs: 8,
+            n_threads: 1,
         };
         let curve = train(&mut agent, &trace, &cfg);
         let u = &curve[0].update;

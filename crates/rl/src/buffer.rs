@@ -353,29 +353,47 @@ impl ArrivalArena {
     /// [`RolloutBuffer`]s and merging them with
     /// [`RolloutBuffer::into_batch`] in episode order.
     pub fn into_batch(self) -> Batch {
-        let n = self.actions.len();
+        Self::merge_into_batch(vec![self])
+    }
+
+    /// Merge several arenas into one batch: episodes are gathered in
+    /// arena order, then episode order within each arena, and advantage
+    /// normalization runs ONCE over the merged sequence. Because each
+    /// row's GAE depends only on its own episode, the result is
+    /// bit-identical to one arena having collected the same episodes in
+    /// the same overall order — this is the parallel rollout's seed-order
+    /// merge of per-worker arenas.
+    pub fn merge_into_batch(arenas: Vec<ArrivalArena>) -> Batch {
+        assert!(!arenas.is_empty(), "merge of zero arenas");
+        let obs_dim = arenas[0].obs_dim;
+        let n_actions = arenas[0].n_actions;
+        let n: usize = arenas.iter().map(|a| a.actions.len()).sum();
         assert!(n > 0, "empty batch");
-        for (ep, fin) in self.finished.iter().enumerate() {
-            assert!(
-                fin.is_some() || self.rows[ep].is_empty(),
-                "all episodes must be finished before batching"
-            );
-        }
-        let mut obs = Vec::with_capacity(n * self.obs_dim);
-        let mut masks = Vec::with_capacity(n * self.n_actions);
+        let mut obs = Vec::with_capacity(n * obs_dim);
+        let mut masks = Vec::with_capacity(n * n_actions);
         let mut actions = Vec::with_capacity(n);
         let mut advantages: Vec<f64> = Vec::with_capacity(n);
         let mut returns = Vec::with_capacity(n);
         let mut logp_old = Vec::with_capacity(n);
-        for rows in &self.rows {
-            for &row in rows {
-                let r = row as usize;
-                obs.extend_from_slice(&self.obs[r * self.obs_dim..(r + 1) * self.obs_dim]);
-                masks.extend_from_slice(&self.masks[r * self.n_actions..(r + 1) * self.n_actions]);
-                actions.push(self.actions[r]);
-                advantages.push(self.advantages[r]);
-                returns.push(self.returns[r] as f32);
-                logp_old.push(self.logps[r]);
+        for a in &arenas {
+            assert_eq!(a.obs_dim, obs_dim);
+            assert_eq!(a.n_actions, n_actions);
+            for (ep, fin) in a.finished.iter().enumerate() {
+                assert!(
+                    fin.is_some() || a.rows[ep].is_empty(),
+                    "all episodes must be finished before batching"
+                );
+            }
+            for rows in &a.rows {
+                for &row in rows {
+                    let r = row as usize;
+                    obs.extend_from_slice(&a.obs[r * obs_dim..(r + 1) * obs_dim]);
+                    masks.extend_from_slice(&a.masks[r * n_actions..(r + 1) * n_actions]);
+                    actions.push(a.actions[r]);
+                    advantages.push(a.advantages[r]);
+                    returns.push(a.returns[r] as f32);
+                    logp_old.push(a.logps[r]);
+                }
             }
         }
 
@@ -384,8 +402,8 @@ impl ArrivalArena {
         let advantages = normalize_advantages(&advantages);
 
         Batch {
-            obs: Tensor::from_vec(obs, &[n, self.obs_dim]),
-            masks: Tensor::from_vec(masks, &[n, self.n_actions]),
+            obs: Tensor::from_vec(obs, &[n, obs_dim]),
+            masks: Tensor::from_vec(masks, &[n, n_actions]),
             actions,
             advantages,
             returns,
@@ -603,6 +621,51 @@ mod tests {
         let from_replay = RolloutBuffer::into_batch(replayed);
         assert_eq!(from_replay.advantages, from_bufs.advantages);
         assert_eq!(from_replay.obs.data(), from_bufs.obs.data());
+    }
+
+    #[test]
+    fn split_arenas_merge_bit_identically() {
+        // The same 3 episodes collected into one arena vs split across
+        // two arenas ({0,1} and {2}) must merge to the same bits — the
+        // invariant the parallel rollout's seed-order merge rests on.
+        let (gamma, lam) = (0.97, 0.9);
+        let step = |ep: usize, t: usize| {
+            (
+                [ep as f32 * 2.0 + t as f32, t as f32 * 0.5],
+                [0.0f32, 0.0, 0.0],
+                (ep * 2 + t) % 3,
+                -((ep + 1) as f64) * (t as f64 + 0.5),
+                ep as f64 * 0.1 - t as f64 * 0.2,
+                -0.3 - ep as f32 * 0.07,
+            )
+        };
+        let lens = [4usize, 2, 3];
+        let mut whole = ArrivalArena::new(2, 3, gamma, lam, 3);
+        let mut first = ArrivalArena::new(2, 3, gamma, lam, 2);
+        let mut second = ArrivalArena::new(2, 3, gamma, lam, 1);
+        for (ep, &len) in lens.iter().enumerate() {
+            for t in 0..len {
+                let (obs, mask, a, r, v, lp) = step(ep, t);
+                whole.store(ep, &obs, &mask, a, r, v, lp);
+                if ep < 2 {
+                    first.store(ep, &obs, &mask, a, r, v, lp);
+                } else {
+                    second.store(0, &obs, &mask, a, r, v, lp);
+                }
+            }
+            whole.finish_episode(ep, 0.0);
+        }
+        first.finish_episode(0, 0.0);
+        first.finish_episode(1, 0.0);
+        second.finish_episode(0, 0.0);
+        let merged = ArrivalArena::merge_into_batch(vec![first, second]);
+        let single = whole.into_batch();
+        assert_eq!(merged.obs.data(), single.obs.data());
+        assert_eq!(merged.masks.data(), single.masks.data());
+        assert_eq!(merged.actions, single.actions);
+        assert_eq!(merged.advantages, single.advantages);
+        assert_eq!(merged.returns, single.returns);
+        assert_eq!(merged.logp_old, single.logp_old);
     }
 
     #[test]

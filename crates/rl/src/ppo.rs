@@ -320,6 +320,14 @@ pub struct Ppo<P: PolicyModel, V: ValueModel> {
     pi_fused: fused::FusedScratch,
     /// Fused-update scratch for the critic.
     vf_fused: fused::FusedScratch,
+    /// Sharded-update scratch for the actor (the multi-core arm).
+    pi_shard: fused::ShardedScratch,
+    /// Sharded-update scratch for the critic.
+    vf_shard: fused::ShardedScratch,
+    /// Worker-count hint for [`Ppo::update`]: `>= 2` routes the fused
+    /// update through the sharded arm. Not serialized — a runtime knob,
+    /// not part of the agent's state.
+    update_threads: usize,
     /// Reusable minibatch gather buffers, shared by both update arms.
     mb: MiniBuf,
 }
@@ -340,8 +348,23 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             update_rng,
             pi_fused: fused::FusedScratch::new(),
             vf_fused: fused::FusedScratch::new(),
+            pi_shard: fused::ShardedScratch::new(),
+            vf_shard: fused::ShardedScratch::new(),
+            update_threads: 0,
             mb: MiniBuf::default(),
         }
+    }
+
+    /// Route [`Ppo::update`] through the sharded multi-core fused arm
+    /// when `n >= 2` (and the architecture is fused-eligible); `0` or
+    /// `1` keeps the monolithic dispatch byte-for-byte unchanged. The
+    /// sharded arm is deterministic at any worker count (see
+    /// [`rlsched_nn::fused::ShardedScratch`] for the contract) but is a
+    /// *different* deterministic arm from the monolithic one for batches
+    /// over [`fused::SHARD_ROWS`] rows — toggle it per training run, not
+    /// mid-stream.
+    pub fn set_update_threads(&mut self, n: usize) {
+        self.update_threads = n;
     }
 
     /// Forward the policy on a single observation via the inference fast
@@ -467,8 +490,13 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
     /// forward / backward / optimizer) accumulated into `prof`.
     pub fn update_profiled(&mut self, batch: &Batch, prof: &mut UpdateProfile) -> UpdateStats {
         if self.fused_supported() && !force_tape() {
-            self.update_fused_profiled(batch, prof)
-                .expect("fused_supported() checked")
+            if self.update_threads >= 2 {
+                self.update_fused_sharded_profiled(batch, prof)
+                    .expect("fused_supported() checked")
+            } else {
+                self.update_fused_profiled(batch, prof)
+                    .expect("fused_supported() checked")
+            }
         } else {
             self.update_tape_profiled(batch, prof)
         }
@@ -664,6 +692,7 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             pi_fused,
             vf_fused,
             mb,
+            ..
         } = self;
 
         for it in 0..cfg.train_pi_iters {
@@ -749,6 +778,154 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
             vf_opt.step_params(
                 mlp.layers.iter_mut().flat_map(|l| [&mut l.w, &mut l.b]),
                 vf_fused.grads(),
+            );
+            prof.optimizer += t3.elapsed();
+        }
+
+        Some(UpdateStats {
+            pi_loss_before,
+            pi_loss_after,
+            v_loss_before,
+            v_loss_after,
+            approx_kl,
+            entropy,
+            pi_iters,
+        })
+    }
+
+    /// The sharded multi-core arm of the fused update, pinned regardless
+    /// of the [`Ppo::set_update_threads`] knob; `None` when either
+    /// network has no fused description.
+    pub fn update_fused_sharded(&mut self, batch: &Batch) -> Option<UpdateStats> {
+        self.update_fused_sharded_profiled(batch, &mut UpdateProfile::default())
+    }
+
+    /// [`Ppo::update_fused_sharded`] with phase attribution: the fused
+    /// update with forward/backward split over fixed
+    /// [`fused::SHARD_ROWS`]-row chunks running on the rayon shim's
+    /// workers. Bit-identical at any worker count (chunk boundaries and
+    /// the gradient-merge order depend only on the minibatch size — see
+    /// [`rlsched_nn::fused::ShardedScratch`]); per-row forward
+    /// diagnostics (KL, entropy) are bit-equal to the monolithic arm,
+    /// and single-chunk batches reproduce it exactly. Gather, clipping,
+    /// Adam steps and the minibatch RNG stream are shared with the other
+    /// arms unchanged.
+    pub fn update_fused_sharded_profiled(
+        &mut self,
+        batch: &Batch,
+        prof: &mut UpdateProfile,
+    ) -> Option<UpdateStats> {
+        if !self.fused_supported() {
+            return None;
+        }
+        assert!(!batch.is_empty(), "cannot update on an empty batch");
+        let n_actions = batch.masks.cols();
+
+        let mut pi_loss_before = 0.0;
+        let mut pi_loss_after = 0.0;
+        let mut entropy = 0.0;
+        let mut approx_kl = 0.0;
+        let mut pi_iters = 0;
+
+        let Ppo {
+            policy,
+            value,
+            cfg,
+            pi_opt,
+            vf_opt,
+            update_rng,
+            pi_shard,
+            vf_shard,
+            mb,
+            ..
+        } = self;
+
+        for it in 0..cfg.train_pi_iters {
+            let t0 = Instant::now();
+            let view = iteration_view(cfg, update_rng, batch, mb);
+            let n = view.actions.len();
+            let t1 = Instant::now();
+            prof.gather += t1 - t0;
+            {
+                let fp = policy.fused().expect("fused_supported checked");
+                fused::policy_forward_sharded(&fp, view.obs, view.masks, view.actions, n, pi_shard);
+                let t2 = Instant::now();
+                prof.forward += t2 - t1;
+
+                // Diagnostics before committing to a backward pass — the
+                // stitched per-row outputs are bit-equal to the
+                // monolithic forward, so this fold matches it exactly.
+                let kl: f64 = view
+                    .logp_old
+                    .iter()
+                    .zip(pi_shard.selected_logp())
+                    .map(|(&o, &nw)| (o - nw) as f64)
+                    .sum::<f64>()
+                    / n as f64;
+                approx_kl = kl;
+                if kl > 1.5 * cfg.target_kl && it > 0 {
+                    break;
+                }
+                let loss = fused::policy_loss_and_grads_sharded(
+                    &fp,
+                    view.obs,
+                    view.actions,
+                    view.advantages,
+                    view.logp_old,
+                    cfg.clip_ratio,
+                    cfg.ent_coef,
+                    n,
+                    pi_shard,
+                );
+                prof.backward += t2.elapsed();
+                if it == 0 {
+                    pi_loss_before = loss;
+                    entropy = mean_entropy(pi_shard.logp_all(), n_actions);
+                }
+                pi_loss_after = loss;
+            }
+            let t3 = Instant::now();
+            if let Some(mx) = cfg.max_grad_norm {
+                clip_global_norm(pi_shard.grads_mut(), mx);
+            }
+            let mlp = policy.fused_mut().expect("fused_mut must pair with fused");
+            pi_opt.step_params(
+                mlp.layers.iter_mut().flat_map(|l| [&mut l.w, &mut l.b]),
+                pi_shard.grads(),
+            );
+            prof.optimizer += t3.elapsed();
+            pi_iters = it + 1;
+        }
+
+        let mut v_loss_before = 0.0;
+        let mut v_loss_after = 0.0;
+        for it in 0..cfg.train_v_iters {
+            let t0 = Instant::now();
+            let view = iteration_view(cfg, update_rng, batch, mb);
+            let n = view.actions.len();
+            let t1 = Instant::now();
+            prof.gather += t1 - t0;
+            {
+                let vm = value.fused().expect("fused_supported checked");
+                fused::value_forward_sharded(vm, view.obs, n, vf_shard);
+                let t2 = Instant::now();
+                prof.forward += t2 - t1;
+                let loss =
+                    fused::value_loss_and_grads_sharded(vm, view.obs, view.returns, n, vf_shard);
+                prof.backward += t2.elapsed();
+                if it == 0 {
+                    v_loss_before = loss;
+                }
+                v_loss_after = loss;
+            }
+            let t3 = Instant::now();
+            if let Some(mx) = cfg.max_grad_norm {
+                clip_global_norm(vf_shard.grads_mut(), mx);
+            }
+            let mlp = value.fused_mut().expect("fused_mut must pair with fused");
+            vf_opt.step_params(
+                mlp.layers.iter_mut().flat_map(|l| [&mut l.w, &mut l.b]),
+                vf_shard.grads(),
             );
             prof.optimizer += t3.elapsed();
         }

@@ -72,6 +72,31 @@ struct LockstepScratch {
     outcomes: Vec<SlotOutcome>,
 }
 
+/// Per-episode accumulators before the final fold into [`RolloutStats`].
+/// Kept raw (seed-ordered vectors, not folded scalars) so the parallel
+/// sampler can concatenate its workers' episodes in seed order and fold
+/// ONCE — the same f64 summation order as the sequential fold, hence the
+/// same bits.
+#[derive(Debug)]
+struct RawStats {
+    steps: usize,
+    /// Per-episode reward sums, in seed order.
+    returns: Vec<f64>,
+    /// Per-episode objective values, in seed order.
+    metrics: Vec<Option<f64>>,
+}
+
+impl RawStats {
+    fn finalize(self) -> RolloutStats {
+        RolloutStats {
+            episodes: self.returns.len(),
+            steps: self.steps,
+            mean_return: self.returns.iter().sum::<f64>() / self.returns.len() as f64,
+            metrics: self.metrics.into_iter().flatten().collect(),
+        }
+    }
+}
+
 /// Collect one complete episode per seed by stepping `venv` in lockstep
 /// into an arrival-order [`ArrivalArena`] (see its docs: per-tick stores
 /// append to one contiguous tail instead of scattering across per-episode
@@ -81,11 +106,11 @@ struct LockstepScratch {
 /// `VecEnv` narrower than the seed schedule pipelines through all
 /// episodes; each episode's trajectory depends only on its seed (see the
 /// module docs), so the result is independent of `venv.n_envs()`.
-fn collect_arena<E, P, V>(
+fn collect_arena_raw<E, P, V>(
     ppo: &Ppo<P, V>,
     venv: &mut VecEnv<E>,
     seeds: &[u64],
-) -> (ArrivalArena, RolloutStats)
+) -> (ArrivalArena, RawStats)
 where
     E: Env,
     P: PolicyModel,
@@ -156,13 +181,27 @@ where
         std::mem::swap(&mut s.masks, &mut s.next_masks);
     }
 
-    let stats = RolloutStats {
-        episodes: seeds.len(),
+    let raw = RawStats {
         steps,
-        mean_return: returns.iter().sum::<f64>() / seeds.len() as f64,
-        metrics: metrics.into_iter().flatten().collect(),
+        returns,
+        metrics,
     };
-    (arena, stats)
+    (arena, raw)
+}
+
+/// [`collect_arena_raw`] with the stats folded for presentation.
+fn collect_arena<E, P, V>(
+    ppo: &Ppo<P, V>,
+    venv: &mut VecEnv<E>,
+    seeds: &[u64],
+) -> (ArrivalArena, RolloutStats)
+where
+    E: Env,
+    P: PolicyModel,
+    V: ValueModel,
+{
+    let (arena, raw) = collect_arena_raw(ppo, venv, seeds);
+    (arena, raw.finalize())
 }
 
 /// Collect one complete episode per seed by stepping `venv` in lockstep,
@@ -219,6 +258,59 @@ where
     assert!(!envs.is_empty(), "need at least one environment");
     let mut venv: VecEnv<&mut E> = VecEnv::new(envs.iter_mut().collect());
     collect_rollouts_vec(ppo, &mut venv, seeds)
+}
+
+/// Parallel rollout: partition the seed schedule into the rayon shim's
+/// **fixed** contiguous ranges (a function of `seeds.len()` alone, never
+/// the worker count), run one private [`VecEnv`] per range — envs built
+/// on the worker by `make_env` — and merge the per-range arenas in seed
+/// order.
+///
+/// Bit-identity contract: each episode's trajectory depends only on its
+/// seed (module docs) and the merge gathers episodes in seed order with
+/// ONE advantage normalization over the merged sequence
+/// ([`ArrivalArena::merge_into_batch`]), so the assembled batch is
+/// byte-equal to [`collect_rollouts_vec`] over the same seeds at ANY
+/// thread count (including 1), on both SIMD dispatch arms. Stats fold
+/// the same per-episode sums in the same seed order. Pinned by this
+/// module's tests and `rlscheduler`'s `parallel_parity` suite.
+///
+/// `n_envs` caps each range's lockstep width (the per-worker analogue of
+/// `TrainConfig::n_envs`); the worker-thread budget comes from the shim
+/// (`rayon::with_threads` override, else `RLSCHED_THREADS`, else
+/// `available_parallelism`).
+pub fn collect_rollouts_par<E, P, V, F>(
+    ppo: &Ppo<P, V>,
+    make_env: F,
+    n_envs: usize,
+    seeds: &[u64],
+) -> (Batch, RolloutStats)
+where
+    E: Env,
+    P: PolicyModel + Sync,
+    V: ValueModel + Sync,
+    F: Fn() -> E + Sync,
+{
+    assert!(!seeds.is_empty(), "need at least one episode seed");
+    assert!(n_envs > 0, "need at least one env slot per worker");
+    let parts = rayon::fan_out(seeds.len(), |range| {
+        let width = n_envs.min(range.len());
+        let mut venv = VecEnv::new((0..width).map(|_| make_env()).collect());
+        collect_arena_raw(ppo, &mut venv, &seeds[range])
+    });
+    let mut arenas = Vec::with_capacity(parts.len());
+    let mut raw = RawStats {
+        steps: 0,
+        returns: Vec::with_capacity(seeds.len()),
+        metrics: Vec::with_capacity(seeds.len()),
+    };
+    for (arena, r) in parts {
+        arenas.push(arena);
+        raw.steps += r.steps;
+        raw.returns.extend(r.returns);
+        raw.metrics.extend(r.metrics);
+    }
+    (ArrivalArena::merge_into_batch(arenas), raw.finalize())
 }
 
 #[cfg(test)]
@@ -323,6 +415,37 @@ mod tests {
         assert_eq!(wide.obs.data(), narrow.obs.data());
         assert_eq!(ws.metrics, ns.metrics);
         assert_eq!(ws.mean_return, ns.mean_return);
+    }
+
+    #[test]
+    fn parallel_collection_matches_sequential_at_any_thread_count() {
+        // 13 seeds split unevenly across the shim's fixed ranges, workers
+        // narrower than their seed share (width 3 pipelines episodes):
+        // the merged batch and the stats must be byte-equal to the
+        // sequential lockstep collection at every thread count.
+        let ppo = make_ppo();
+        let seeds: Vec<u64> = (40..53).collect();
+        let mut venv = VecEnv::new((0..4).map(|_| BanditEnv::new(3, 5, vec![])).collect());
+        let (base, bs) = collect_rollouts_vec(&ppo, &mut venv, &seeds);
+        for k in [1usize, 2, 3, 7] {
+            let (b, s) = rayon::with_threads(k, || {
+                collect_rollouts_par(&ppo, || BanditEnv::new(3, 5, vec![]), 3, &seeds)
+            });
+            assert_eq!(b.obs.data(), base.obs.data(), "obs, threads={k}");
+            assert_eq!(b.masks.data(), base.masks.data(), "masks, threads={k}");
+            assert_eq!(b.actions, base.actions, "actions, threads={k}");
+            assert_eq!(b.advantages, base.advantages, "advantages, threads={k}");
+            assert_eq!(b.returns, base.returns, "returns, threads={k}");
+            assert_eq!(b.logp_old, base.logp_old, "logp_old, threads={k}");
+            assert_eq!(s.episodes, bs.episodes, "episodes, threads={k}");
+            assert_eq!(s.steps, bs.steps, "steps, threads={k}");
+            assert_eq!(
+                s.mean_return.to_bits(),
+                bs.mean_return.to_bits(),
+                "mean_return, threads={k}"
+            );
+            assert_eq!(s.metrics, bs.metrics, "metrics, threads={k}");
+        }
     }
 
     #[test]

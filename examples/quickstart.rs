@@ -6,7 +6,15 @@
 //! cargo run --release --example quickstart                     # ~a minute
 //! cargo run --release --example quickstart -- --tiny           # seconds (CI smoke)
 //! cargo run --release --example quickstart -- --tiny --serve   # + serving-tier demo
+//! cargo run --release --example quickstart -- --threads 4      # multi-core training
 //! ```
+//!
+//! `--threads N` (N ≥ 2) trains multi-core: rollout collection fans the
+//! epoch's seed schedule out over per-worker env groups and the PPO
+//! update shards its backward into fixed chunks. Results are
+//! deterministic at *any* N — rerunning with a different `--threads`
+//! value reproduces the same curve bit for bit (`RLSCHED_THREADS` caps
+//! the pool; see crates/compat/README.md for the threading model).
 //!
 //! With `--serve`, the trained agent is additionally stood up behind the
 //! sharded `rlsched-serve` tier and every held-out window is scheduled
@@ -35,6 +43,13 @@ struct Scale {
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
     let serve = std::env::args().any(|a| a == "--serve");
+    let threads = {
+        let mut args = std::env::args();
+        args.find(|a| a == "--threads")
+            .and_then(|_| args.next())
+            .map(|v| v.parse().expect("--threads takes a worker count"))
+            .unwrap_or(1)
+    };
     let scale = if tiny {
         Scale {
             jobs: 400,
@@ -90,8 +105,17 @@ fn main() {
         filter: FilterMode::Off,
         seed: 7,
         n_envs: 8,
+        n_threads: threads,
     };
-    println!("\ntraining ({} epochs)…", train_cfg.epochs);
+    println!(
+        "\ntraining ({} epochs{})…",
+        train_cfg.epochs,
+        if threads >= 2 {
+            format!(", {threads} worker threads")
+        } else {
+            String::new()
+        }
+    );
     let curve = train(&mut agent, &trace, &train_cfg);
     for e in &curve {
         println!("  epoch {:>2}: mean bsld {:>10.2}", e.epoch, e.mean_metric);

@@ -25,6 +25,7 @@ fn train_cfg(epochs: usize) -> TrainConfig {
         filter: FilterMode::Off,
         seed: 31,
         n_envs: 8,
+        n_threads: 1,
     }
 }
 
