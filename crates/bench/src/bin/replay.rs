@@ -1,0 +1,327 @@
+//! `replay` — trace-scale streaming replay benchmark.
+//!
+//! Generates a deterministic synthetic SWF trace (Lublin model) on disk,
+//! streams it back through the one-pass [`rlsched_replay::ReplayEngine`],
+//! and reports per-policy decision throughput (sim-ticks/sec), decision
+//! latency quantiles (p50/p99), and the peak queue depth that bounds the
+//! replay's resident memory.
+//!
+//! ```text
+//! replay                         # full run: 1,000,000 jobs, FCFS + SJF (+ agent at 1/20 scale)
+//! replay --jobs 200000 --seed 7  # custom scale
+//! replay --smoke                 # small trace, all three heads: heuristic + agent + served
+//! replay --serve-load            # fire replayed decision points at a live server (open loop)
+//! replay --stretch 1.0           # raw calibrated arrivals (long runs back up under FCFS)
+//! ```
+//!
+//! The calibrated Lublin model is slightly *overloaded* on long horizons
+//! (offered load ≈ 1), so a raw multi-hundred-thousand-job FCFS replay
+//! grows its queue linearly with trace length and the pass goes quadratic.
+//! `--stretch F` multiplies every submit time by `F` when the trace is
+//! written, keeping queue depth stationary so the bench measures engine
+//! throughput, not backlog pathology. The default 1.5 puts offered load
+//! ≈ 0.65 — comfortably under EASY-FCFS's effective capacity, which
+//! fragmentation holds well below 1 (at 1.25 / offered ≈ 0.8, FCFS still
+//! sits at its critical point and the queue random-walks upward over
+//! million-job horizons). `--stretch 1.0` reproduces the raw model.
+//!
+//! Results are appended to `BENCH_replay.json` (in `$BENCH_OUT_DIR` or
+//! the working directory) in the same `{"id": {"median_ns": …,
+//! "iters_per_sample": …}}` shape the criterion shim emits, so the CI
+//! `BENCH_*` scan picks them up unchanged: `median_ns` is the mean
+//! nanoseconds per scheduling decision, `iters_per_sample` the decision
+//! count it was averaged over.
+
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use rlsched_replay::{
+    collect_timed_requests, open_swf, RemoteDecider, ReplayEngine, ReplayPolicy, ReplayReport,
+};
+use rlsched_sched::HeuristicKind;
+use rlsched_serve::{LoadGen, LoadGenConfig, ServeClient, ServeConfig, Server};
+use rlsched_sim::{MetricKind, SimConfig};
+use rlsched_workload::{LublinModel, LublinParams};
+use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind};
+
+struct Args {
+    jobs: usize,
+    seed: u64,
+    stretch: f64,
+    smoke: bool,
+    serve_load: bool,
+    backfill: bool,
+}
+
+const USAGE: &str =
+    "usage: replay [--jobs N] [--seed N] [--stretch F] [--smoke] [--serve-load] [--no-backfill]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: 1_000_000,
+        seed: 1,
+        stretch: 1.5,
+        smoke: false,
+        serve_load: false,
+        backfill: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--jobs" => {
+                args.jobs = next("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--seed" => {
+                args.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--stretch" => {
+                args.stretch = next("--stretch")?
+                    .parse()
+                    .map_err(|e| format!("--stretch: {e}"))?;
+                if !(args.stretch.is_finite() && args.stretch > 0.0) {
+                    return Err("--stretch must be a positive finite factor".into());
+                }
+            }
+            "--smoke" => args.smoke = true,
+            "--serve-load" => args.serve_load = true,
+            "--no-backfill" => args.backfill = false,
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    if args.smoke {
+        args.jobs = args.jobs.min(2_000);
+    }
+    Ok(args)
+}
+
+/// Write the trace once, streaming straight to disk — the generator side
+/// never materializes it either. `stretch` dilates submit times by a
+/// constant factor (1.0 = the raw calibrated model) so long replays run
+/// at stationary rather than critically-loaded utilization.
+fn write_trace(jobs: usize, seed: u64, stretch: f64) -> std::io::Result<std::path::PathBuf> {
+    let path = std::env::temp_dir().join(format!(
+        "rlsched_replay_{jobs}_{seed}_x{}.swf",
+        stretch.to_bits()
+    ));
+    let params = LublinParams::lublin1();
+    let cluster = params.cluster_size;
+    let model = LublinModel::new(params);
+    let file = std::fs::File::create(&path)?;
+    let mut header = rlsched_swf::SwfHeader::default();
+    header
+        .fields
+        .insert("MaxProcs".to_string(), cluster.to_string());
+    let jobs_iter = model.stream(jobs, seed).map(|mut j| {
+        j.submit_time *= stretch;
+        j
+    });
+    rlsched_swf::write_jobs(&header, cluster, jobs_iter, BufWriter::new(file))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    Ok(path)
+}
+
+fn replay_arm(
+    path: &std::path::Path,
+    cfg: SimConfig,
+    policy: &mut ReplayPolicy<'_>,
+) -> Result<ReplayReport, String> {
+    let src = open_swf(path).map_err(|e| e.to_string())?;
+    let mut engine = ReplayEngine::new(src.jobs, src.max_procs, cfg).map_err(|e| e.to_string())?;
+    let report = engine.run(policy).map_err(|e| e.to_string())?;
+    if let Some(e) = src.errors.take() {
+        return Err(format!("trace cut short: {e}"));
+    }
+    Ok(report)
+}
+
+fn print_report(label: &str, r: &ReplayReport) {
+    println!(
+        "{label:>10}: {:>9} jobs, {:>8} decisions, {:>10.0} ticks/s, \
+         p50 {:>7} ns, p99 {:>8} ns, peak queue {:>6}, peak running {:>5}, \
+         bsld {:.3}, util {:.3}",
+        r.metrics.count(),
+        r.decisions,
+        r.decisions_per_sec(),
+        r.p50_ns(),
+        r.p99_ns(),
+        r.peak_queue,
+        r.peak_running,
+        r.metrics.avg_bounded_slowdown(),
+        r.metrics.utilization(),
+    );
+}
+
+fn small_agent(seed: u64) -> Agent {
+    Agent::new(AgentConfig {
+        policy: PolicyKind::Kernel,
+        obs: ObsConfig {
+            max_obsv: 16,
+            ..ObsConfig::default()
+        },
+        metric: MetricKind::BoundedSlowdown,
+        ppo: Default::default(),
+        seed,
+    })
+}
+
+/// Append results in the criterion shim's report shape.
+fn write_bench_json(entries: &[(String, f64, u64)]) {
+    let out_dir = std::env::var_os("BENCH_OUT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let mut body = String::from("{\n");
+    for (i, (id, median_ns, iters)) in entries.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "  \"{id}\": {{\"median_ns\": {median_ns:.1}, \"iters_per_sample\": {iters}}}"
+        ));
+    }
+    body.push_str("\n}\n");
+    let path = out_dir.join("BENCH_replay.json");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("[bench report saved to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let cfg = if args.backfill {
+        SimConfig::with_backfill()
+    } else {
+        SimConfig::no_backfill()
+    };
+    println!(
+        "generating {} Lublin jobs (seed {}, arrival stretch ×{}) to a temporary SWF…",
+        args.jobs, args.seed, args.stretch
+    );
+    let path = write_trace(args.jobs, args.seed, args.stretch).map_err(|e| e.to_string())?;
+    let mut entries: Vec<(String, f64, u64)> = Vec::new();
+    let mut record = |tag: &str, r: &ReplayReport| {
+        let per_decision = if r.decisions == 0 {
+            0.0
+        } else {
+            r.elapsed.as_nanos() as f64 / r.decisions as f64
+        };
+        entries.push((
+            format!("replay/{tag}/ns_per_decision"),
+            per_decision,
+            r.decisions,
+        ));
+        entries.push((
+            format!("replay/{tag}/decision_p99"),
+            r.p99_ns() as f64,
+            r.decisions,
+        ));
+    };
+
+    // Heuristic arms: the full trace, one pass each.
+    for kind in [HeuristicKind::Fcfs, HeuristicKind::Sjf] {
+        let r = replay_arm(&path, cfg, &mut ReplayPolicy::Heuristic(kind))?;
+        print_report(kind.name(), &r);
+        record(&kind.name().to_lowercase(), &r);
+    }
+
+    // Agent arm: in-process RL decisions. Scoring cost grows with queue
+    // depth, so the full-scale run uses a 1/20 slice to keep the bench
+    // minutes-scale; smoke replays the whole (tiny) trace.
+    let agent_jobs = if args.smoke {
+        args.jobs
+    } else {
+        (args.jobs / 20).max(1_000)
+    };
+    let agent_path = if agent_jobs == args.jobs {
+        path.clone()
+    } else {
+        write_trace(agent_jobs, args.seed, args.stretch).map_err(|e| e.to_string())?
+    };
+    let agent = small_agent(args.seed);
+    let r = replay_arm(
+        &agent_path,
+        cfg,
+        &mut ReplayPolicy::Agent(agent.stream_decider()),
+    )?;
+    print_report("RL-agent", &r);
+    record("agent", &r);
+
+    // Served arm (smoke / serve-load): decisions cross TCP to a live
+    // sharded server built from the same weights.
+    if args.smoke || args.serve_load {
+        let handle = Server::spawn(
+            agent.scorer_snapshot(),
+            *agent.encoder(),
+            ServeConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let client = ServeClient::connect(handle.addr()).map_err(|e| e.to_string())?;
+        let mut policy = ReplayPolicy::Remote(
+            RemoteDecider::new(client, 16).with_local_fallback(HeuristicKind::Sjf),
+        );
+        let r = replay_arm(&agent_path, cfg, &mut policy)?;
+        print_report("RL-served", &r);
+        record("served", &r);
+
+        if args.serve_load {
+            // Open-loop load generation on the trace's own (compressed)
+            // inter-arrival gaps.
+            let src = open_swf(&agent_path).map_err(|e| e.to_string())?;
+            let requests =
+                collect_timed_requests(src.jobs, src.max_procs, cfg, HeuristicKind::Fcfs, 16)
+                    .map_err(|e| e.to_string())?;
+            let gen = LoadGen::new(
+                handle.addr(),
+                LoadGenConfig {
+                    workers: 4,
+                    time_scale: 1e-9,
+                    ..Default::default()
+                },
+            );
+            let lr = gen.run(&requests).map_err(|e| e.to_string())?;
+            println!(
+                "{:>10}: {} requests in {:?} ({} ok, {} sheds, {} fallbacks, {} errors), \
+                 p50 {} ns, p99 {} ns",
+                "loadgen",
+                lr.sent(),
+                lr.elapsed,
+                lr.ok,
+                lr.sheds,
+                lr.fallbacks,
+                lr.errors,
+                lr.hist.quantile_ns(0.5),
+                lr.hist.quantile_ns(0.99),
+            );
+            entries.push((
+                "replay/loadgen/request_p50".into(),
+                lr.hist.quantile_ns(0.5) as f64,
+                lr.ok,
+            ));
+        }
+        handle.shutdown();
+    }
+
+    write_bench_json(&entries);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

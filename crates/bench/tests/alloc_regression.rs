@@ -107,6 +107,57 @@ fn fast_paths_do_not_regress_allocations() {
     let (_, bf_allocs) = steady_state_step_allocs(&mut bf_env, &mut obs, &mut mask);
     assert_eq!(bf_allocs, 0, "backfilling env.step must not allocate");
 
+    // ---- streaming replay tick: 0 heap allocations at steady state.
+    // The one-pass StreamSession exists to make multi-million-job
+    // replays cheap, so its hot loop (streaming heuristic selection +
+    // step: admission, indexed-calendar ops, backfill, metric folding)
+    // must not touch the heap once the slab, calendar, running heap and
+    // per-user table have warmed to their high-water marks. The job
+    // source is a formula (no per-job state), arrivals are paced just
+    // under the cluster's capacity so the queue depth is stationary. ----
+    {
+        use rlsched_sched::select_streaming;
+        use rlsched_sim::StreamSession;
+        let source = (0..10_000u32).map(|i| {
+            rlsched_swf::Job::new(
+                i + 1,
+                i as f64 * 5.0,
+                10.0 + (i as f64 * 37.0) % 100.0,
+                1 + (i % 4),
+                20.0 + (i as f64 * 53.0) % 150.0,
+            )
+            .with_user(i % 8)
+        });
+        let mut s = StreamSession::new(source, 32, SimConfig::with_backfill())
+            .expect("synthetic stream is schedulable");
+        // Warm: most of the episode, growing every buffer to its
+        // high-water mark.
+        while !s.done() && s.started_count() < 9_000 {
+            let pos = select_streaming(rlsched_sched::HeuristicKind::Sjf, s.waiting())
+                .expect("decision point has waiting jobs");
+            s.step(pos).expect("synthetic stream replays cleanly");
+        }
+        let mut replay_ticks = 0u64;
+        let mut replay_allocs = 0u64;
+        while !s.done() && replay_ticks < 400 {
+            replay_allocs += count_allocs(|| {
+                let pos = select_streaming(rlsched_sched::HeuristicKind::Sjf, s.waiting())
+                    .expect("decision point has waiting jobs");
+                s.step(pos).expect("synthetic stream replays cleanly");
+            });
+            replay_ticks += 1;
+        }
+        assert!(
+            replay_ticks >= 100,
+            "enough replay ticks to be a real measurement ({replay_ticks})"
+        );
+        assert_eq!(
+            replay_allocs, 0,
+            "streaming replay tick must not allocate at steady state \
+             ({replay_allocs} allocations over {replay_ticks} ticks)"
+        );
+    }
+
     // ---- greedy decision fast path: 0 allocations ----
     obs.clear();
     mask.clear();

@@ -5,7 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 use rlsched_rl::{greedy_batch, ActorScratch, PolicyModel, Ppo, PpoConfig};
-use rlsched_sim::{MetricKind, Policy, QueueView};
+use rlsched_sim::{MetricKind, Policy, QueueView, WaitingJob};
 
 use crate::nets::{PackedScorer, PolicyKind, PolicyNet, ScorerSnapshot, ValueNet};
 use crate::obs::{ObsConfig, ObsEncoder};
@@ -234,6 +234,24 @@ impl Agent {
         }
     }
 
+    /// Borrow the agent as a *streaming* decision head: the same frozen
+    /// weights, packed-scorer fast path, and owned buffers as
+    /// [`Agent::as_policy`], but fed straight from a waiting-job iterator
+    /// (no [`QueueView`] is ever materialized) — what a one-pass
+    /// trace-scale replay drives. Decisions are bit-identical to
+    /// [`RlPolicy::select`] on the equivalent view: both funnel through
+    /// the same encode loop and scoring kernels.
+    pub fn stream_decider(&self) -> StreamDecider<'_> {
+        StreamDecider {
+            agent: self,
+            scratch: ActorScratch::new(),
+            obs: Vec::new(),
+            mask: Vec::new(),
+            packed: self.ppo.policy.packed_scorer(),
+            actions: Vec::new(),
+        }
+    }
+
     /// Serialize configuration and weights to JSON.
     pub fn save_json(&self) -> String {
         let ckpt = Checkpoint {
@@ -308,6 +326,64 @@ impl Policy for RlPolicy<'_> {
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// A trained agent's decision head for streaming replay: encodes a
+/// decision point directly from a waiting-job iterator and scores it
+/// greedily, reusing owned buffers so steady-state decisions are
+/// allocation-free. Mirrors [`RlPolicy::select`] bit for bit (same
+/// encoder loop, same packed/unpacked scoring split, same clamp).
+pub struct StreamDecider<'a> {
+    agent: &'a Agent,
+    scratch: ActorScratch,
+    obs: Vec<f32>,
+    mask: Vec<f32>,
+    packed: Option<PackedScorer>,
+    actions: Vec<usize>,
+}
+
+impl StreamDecider<'_> {
+    /// Pick a queue rank for one decision point. `queue_len` must be the
+    /// number of jobs `waiting` yields (FCFS order, as the simulator
+    /// streams them).
+    pub fn decide<'j>(
+        &mut self,
+        free_procs: u32,
+        total_procs: u32,
+        queue_len: usize,
+        waiting: impl Iterator<Item = WaitingJob<'j>>,
+    ) -> usize {
+        self.obs.clear();
+        self.mask.clear();
+        self.agent.encoder.encode_jobs_extend(
+            free_procs,
+            total_procs,
+            queue_len,
+            waiting,
+            &mut self.obs,
+            &mut self.mask,
+        );
+        let action = match &self.packed {
+            Some(packed) => {
+                greedy_batch(
+                    packed,
+                    &self.obs,
+                    &self.mask,
+                    1,
+                    &mut self.scratch,
+                    &mut self.actions,
+                );
+                self.actions[0]
+            }
+            None => self.agent.score(&self.obs, &self.mask, &mut self.scratch),
+        };
+        action.min(queue_len.saturating_sub(1))
+    }
+
+    /// Name tag matching the policy adapter's.
+    pub fn metric_name(&self) -> &'static str {
+        self.agent.cfg.metric.name()
     }
 }
 
@@ -398,5 +474,54 @@ mod tests {
     #[test]
     fn load_rejects_garbage() {
         assert!(Agent::load_json("{}").is_err());
+    }
+
+    #[test]
+    fn stream_decider_matches_policy_adapter() {
+        // Every architecture, including the packed flat-MLP path: the
+        // streaming decision head must pick the same slot as RlPolicy on
+        // the equivalent materialized view, for a full replayed episode.
+        use rlsched_sim::{SchedSession, StreamSession};
+        for kind in PolicyKind::all() {
+            let mut cfg = AgentConfig {
+                policy: kind,
+                ..small_cfg()
+            };
+            if kind == PolicyKind::LeNet {
+                // The CNN needs the full-size observation window.
+                cfg.obs.max_obsv = 64;
+            }
+            let agent = Agent::new(cfg);
+            let t = toy_trace();
+            let mut sess = SchedSession::new(&t, SimConfig::with_backfill()).unwrap();
+            let mut policy = agent.as_policy();
+            let mut stream = StreamSession::new(
+                t.jobs().iter().cloned(),
+                t.max_procs(),
+                SimConfig::with_backfill(),
+            )
+            .unwrap()
+            .with_outcome_log();
+            let mut decider = agent.stream_decider();
+            while !sess.done() {
+                let view = sess.view();
+                let a = policy.select(&view);
+                let b = decider.decide(
+                    stream.free_procs(),
+                    stream.total_procs(),
+                    stream.queue_len(),
+                    stream.waiting(),
+                );
+                assert_eq!(a, b, "{kind:?} diverged at t={}", sess.time());
+                sess.step(a).unwrap();
+                stream.step(b).unwrap();
+            }
+            assert!(stream.done());
+            assert_eq!(
+                sess.metrics().unwrap(),
+                stream.log_metrics().unwrap(),
+                "{kind:?} episode metrics diverged"
+            );
+        }
     }
 }

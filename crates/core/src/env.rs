@@ -116,7 +116,7 @@ impl SchedulingEnv {
         self.encoder.encode_jobs_extend(
             session.free_procs(),
             session.total_procs(),
-            session.queue().len(),
+            session.queue_len(),
             session.waiting_jobs(),
             obs,
             mask,

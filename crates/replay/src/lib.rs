@@ -1,0 +1,524 @@
+//! # rlsched-replay — trace-scale streaming replay
+//!
+//! One uninterrupted pass over a multi-million-job SWF trace through
+//! any scheduling policy, with resident memory bounded by the peak
+//! waiting/running depth rather than the trace length.
+//!
+//! The crate glues together the streaming substrates grown elsewhere:
+//!
+//! * [`rlsched_swf::StreamReader`] — jobs off disk one line at a time
+//!   (wrapped here by [`open_swf`] / [`SwfJobs`]);
+//! * [`rlsched_sim::StreamSession`] — the one-pass mirror of the
+//!   materialized `SchedSession` event loop (indexed-calendar queue,
+//!   EASY backfilling, metrics folded at start time);
+//! * the three decision heads a replay can drive, unified by
+//!   [`ReplayPolicy`]:
+//!   [`Heuristic`](ReplayPolicy::Heuristic) (Table III priority
+//!   functions via `rlsched_sched::select_streaming`),
+//!   [`Agent`](ReplayPolicy::Agent) (an in-process
+//!   [`rlscheduler::StreamDecider`]), and
+//!   [`Remote`](ReplayPolicy::Remote) (every decision over the wire to
+//!   a live `rlsched-serve` tier, mirroring
+//!   `rlsched_serve::RemotePolicy`'s shed/fallback semantics).
+//!
+//! [`ReplayEngine::run`] drives the episode to completion and returns a
+//! [`ReplayReport`]: decision throughput, per-decision latency
+//! quantiles (the serving tier's [`LatencyHistogram`]), peak queue
+//! depth, and the folded [`StreamMetrics`].
+//!
+//! Decisions are **bit-identical** to the materialized path: heuristic
+//! replays match `PriorityScheduler` episodes and agent replays match
+//! `Agent::as_policy` episodes outcome-for-outcome (pinned by
+//! `tests/replay_parity.rs`).
+
+use std::cell::Cell;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use rlsched_sched::{select_parts, select_streaming, HeuristicKind};
+use rlsched_serve::{ClientError, LatencyHistogram, ServeClient, ServedBy, TimedRequest};
+use rlsched_sim::{EpisodeMetrics, SimConfig, SimError, StreamMetrics, StreamSession};
+use rlsched_swf::{Job, StreamReader, SwfError};
+use rlscheduler::{QueueSnapshot, SnapshotJob, StreamDecider};
+
+/// Why a replay stopped short of the end of the trace.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The simulator rejected the trace or a step (for example a
+    /// non-monotone arrival in the stream).
+    Sim(SimError),
+    /// A remote decision failed past the client's retry budget and no
+    /// local fallback was configured.
+    Client(ClientError),
+    /// The SWF source produced a malformed record mid-stream.
+    Swf(SwfError),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Sim(e) => write!(f, "simulation error: {e}"),
+            ReplayError::Client(e) => write!(f, "serving tier unreachable: {e}"),
+            ReplayError::Swf(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<SimError> for ReplayError {
+    fn from(e: SimError) -> Self {
+        ReplayError::Sim(e)
+    }
+}
+
+impl From<SwfError> for ReplayError {
+    fn from(e: SwfError) -> Self {
+        ReplayError::Swf(e)
+    }
+}
+
+/// A shared slot that [`SwfJobs`] parks a mid-stream parse error in.
+///
+/// The job iterator is consumed by the engine, so the caller keeps this
+/// handle and checks it after the replay: a `Some` means the trace was
+/// cut short at the recorded error, not exhausted.
+#[derive(Clone, Default)]
+pub struct SwfErrorSlot(Rc<Cell<Option<SwfError>>>);
+
+impl std::fmt::Debug for SwfErrorSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Cell contents cannot be borrowed for display; report occupancy.
+        f.write_str("SwfErrorSlot")
+    }
+}
+
+impl SwfErrorSlot {
+    /// Take the parked error, if the stream hit one.
+    pub fn take(&self) -> Option<SwfError> {
+        self.0.take()
+    }
+}
+
+/// An `Iterator<Item = Job>` over an SWF file that parks parse errors
+/// in its [`SwfErrorSlot`] and fuses, instead of panicking mid-replay.
+#[derive(Debug)]
+pub struct SwfJobs {
+    first: Option<Job>,
+    reader: StreamReader<BufReader<File>>,
+    errors: SwfErrorSlot,
+}
+
+impl Iterator for SwfJobs {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        if let Some(j) = self.first.take() {
+            return Some(j);
+        }
+        match self.reader.next() {
+            Some(Ok(j)) => Some(j),
+            Some(Err(e)) => {
+                self.errors.0.set(Some(e));
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+/// An opened SWF trace, ready to stream: the cluster size, the job
+/// iterator, and the mid-stream error slot.
+#[derive(Debug)]
+pub struct SwfSource {
+    /// Cluster size: the header's `MaxProcs`/`MaxNodes`, or the first
+    /// job's request when the header carries none.
+    pub max_procs: u32,
+    /// The jobs, one at a time off disk.
+    pub jobs: SwfJobs,
+    /// Check after the replay: a parked error means a truncated pass.
+    pub errors: SwfErrorSlot,
+}
+
+/// Open an SWF file for streaming replay. Reads up to the first job
+/// record (so the conventional header-then-records layout has settled
+/// `MaxProcs`) and returns the source; errors on an unreadable file or
+/// a malformed first record.
+pub fn open_swf(path: impl AsRef<Path>) -> Result<SwfSource, SwfError> {
+    let file = File::open(path).map_err(SwfError::Io)?;
+    let mut reader = StreamReader::new(BufReader::new(file));
+    let first = match reader.next() {
+        None => None,
+        Some(Ok(j)) => Some(j),
+        Some(Err(e)) => return Err(e),
+    };
+    let errors = SwfErrorSlot::default();
+    Ok(SwfSource {
+        max_procs: reader.max_procs(),
+        jobs: SwfJobs {
+            first,
+            reader,
+            errors: errors.clone(),
+        },
+        errors,
+    })
+}
+
+/// A decision head for replay over a live `rlsched-serve` tier: builds
+/// a [`QueueSnapshot`] straight from the streaming wait queue (into
+/// reused buffers) and asks the server to score it. Shed/failure
+/// semantics mirror `rlsched_serve::RemotePolicy`: a shed is answered
+/// by the local fallback heuristic (or FCFS without one); a transport
+/// failure past the retry budget is answered locally too when a
+/// fallback is configured, and surfaces as
+/// [`ReplayError::Client`] otherwise.
+pub struct RemoteDecider {
+    client: ServeClient,
+    /// Snapshot truncation window (the serving agent's `max_obsv`).
+    window: usize,
+    fallback: Option<HeuristicKind>,
+    /// Reused decision-point buffer.
+    snap: QueueSnapshot,
+    sheds: u64,
+    local_decisions: u64,
+    remote_fallbacks: u64,
+}
+
+impl RemoteDecider {
+    /// Wrap a connected client. `window` must equal the serving agent's
+    /// observation window.
+    pub fn new(client: ServeClient, window: usize) -> Self {
+        RemoteDecider {
+            client,
+            window,
+            fallback: None,
+            snap: QueueSnapshot {
+                free_procs: 0,
+                total_procs: 0,
+                queue_len: 0,
+                jobs: Vec::with_capacity(window),
+            },
+            sheds: 0,
+            local_decisions: 0,
+            remote_fallbacks: 0,
+        }
+    }
+
+    /// Answer sheds *and* exhausted-retry transport failures with this
+    /// local heuristic instead of erroring. Must be wire-scorable.
+    pub fn with_local_fallback(mut self, kind: HeuristicKind) -> Self {
+        assert!(
+            kind.wire_scorable(),
+            "{} is not computable from a decision-point view",
+            kind.name()
+        );
+        self.fallback = Some(kind);
+        self
+    }
+
+    /// Decisions the server shed (answered locally).
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Decisions answered by the local heuristic.
+    pub fn local_decisions(&self) -> u64 {
+        self.local_decisions
+    }
+
+    /// Decisions the *server* answered via its fallback arm.
+    pub fn remote_fallbacks(&self) -> u64 {
+        self.remote_fallbacks
+    }
+
+    /// Recover the client (e.g. to query stats after a replay).
+    pub fn into_client(self) -> ServeClient {
+        self.client
+    }
+
+    fn decide_locally(&mut self) -> usize {
+        self.local_decisions += 1;
+        match self.fallback {
+            Some(kind) => select_parts(
+                kind,
+                self.snap
+                    .jobs
+                    .iter()
+                    .map(|j| (j.wait, j.time_bound, j.procs)),
+            )
+            .unwrap_or(0),
+            None => 0, // FCFS: schedule the head of the queue
+        }
+    }
+
+    fn decide<'j>(
+        &mut self,
+        free_procs: u32,
+        total_procs: u32,
+        queue_len: usize,
+        waiting: impl Iterator<Item = rlsched_sim::WaitingJob<'j>>,
+    ) -> Result<usize, ReplayError> {
+        self.snap.free_procs = free_procs;
+        self.snap.total_procs = total_procs;
+        self.snap.queue_len = queue_len as u32;
+        self.snap.jobs.clear();
+        self.snap
+            .jobs
+            .extend(waiting.take(self.window).map(|w| SnapshotJob {
+                wait: w.wait,
+                time_bound: w.job.time_bound(),
+                procs: w.job.procs(),
+                can_run_now: w.can_run_now,
+            }));
+        let bound = queue_len.saturating_sub(1);
+        match self.client.score_snapshot(&self.snap) {
+            Ok(d) => {
+                if d.served_by == ServedBy::Fallback {
+                    self.remote_fallbacks += 1;
+                }
+                Ok(d.action.min(bound))
+            }
+            Err(ClientError::Shed) => {
+                self.sheds += 1;
+                Ok(self.decide_locally().min(bound))
+            }
+            Err(e) => {
+                if self.fallback.is_some() {
+                    Ok(self.decide_locally().min(bound))
+                } else {
+                    Err(ReplayError::Client(e))
+                }
+            }
+        }
+    }
+}
+
+/// The decision head a [`ReplayEngine`] drives — one variant per way
+/// the paper's policies can answer "which waiting job starts next".
+pub enum ReplayPolicy<'a> {
+    /// A Table III priority function, evaluated on the fly
+    /// (`select_streaming`; bit-identical to `PriorityScheduler`).
+    Heuristic(HeuristicKind),
+    /// A trained agent in-process (bit-identical to `Agent::as_policy`).
+    Agent(StreamDecider<'a>),
+    /// Every decision over the wire to a live serving tier.
+    Remote(RemoteDecider),
+}
+
+impl ReplayPolicy<'_> {
+    /// Display tag for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplayPolicy::Heuristic(kind) => kind.name(),
+            ReplayPolicy::Agent(_) => "RL-agent",
+            ReplayPolicy::Remote(_) => "RL-remote",
+        }
+    }
+
+    fn decide<I: Iterator<Item = Job>>(
+        &mut self,
+        s: &StreamSession<I>,
+    ) -> Result<usize, ReplayError> {
+        match self {
+            ReplayPolicy::Heuristic(kind) => Ok(select_streaming(*kind, s.waiting())
+                .expect("decision points always have waiting jobs")),
+            ReplayPolicy::Agent(dec) => {
+                Ok(dec.decide(s.free_procs(), s.total_procs(), s.queue_len(), s.waiting()))
+            }
+            ReplayPolicy::Remote(dec) => {
+                dec.decide(s.free_procs(), s.total_procs(), s.queue_len(), s.waiting())
+            }
+        }
+    }
+}
+
+/// What one completed replay measured.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Scheduling decisions made (== jobs started).
+    pub decisions: u64,
+    /// Wall-clock duration of the pass.
+    pub elapsed: Duration,
+    /// Per-decision latency (policy evaluation only, not event
+    /// processing).
+    pub hist: LatencyHistogram,
+    /// Deepest the wait queue ever was — the memory bound.
+    pub peak_queue: usize,
+    /// Most jobs ever running at once.
+    pub peak_running: usize,
+    /// The paper's metrics, folded over the whole trace.
+    pub metrics: StreamMetrics,
+}
+
+impl ReplayReport {
+    /// Decision throughput (sim-ticks per wall-clock second).
+    pub fn decisions_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.decisions as f64 / secs
+    }
+
+    /// Median per-decision latency in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.hist.quantile_ns(0.5)
+    }
+
+    /// Tail per-decision latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.hist.quantile_ns(0.99)
+    }
+}
+
+/// One uninterrupted pass over a job stream through one policy.
+pub struct ReplayEngine<I: Iterator<Item = Job>> {
+    session: StreamSession<I>,
+    decisions: u64,
+    hist: LatencyHistogram,
+}
+
+impl<I: Iterator<Item = Job>> ReplayEngine<I> {
+    /// Build an engine over `source` (must be submit-sorted) on a
+    /// cluster of `total_procs` processors.
+    pub fn new(source: I, total_procs: u32, cfg: SimConfig) -> Result<Self, SimError> {
+        Ok(ReplayEngine {
+            session: StreamSession::new(source, total_procs, cfg)?,
+            decisions: 0,
+            hist: LatencyHistogram::new(),
+        })
+    }
+
+    /// Keep a per-job outcome log (unbounded memory — parity tests
+    /// only).
+    pub fn with_outcome_log(mut self) -> Self {
+        self.session = self.session.with_outcome_log();
+        self
+    }
+
+    /// The underlying streaming session.
+    pub fn session(&self) -> &StreamSession<I> {
+        &self.session
+    }
+
+    /// Rebuild an [`EpisodeMetrics`] from the outcome log, for bit-exact
+    /// parity against a materialized session. `None` unless
+    /// [`ReplayEngine::with_outcome_log`] was enabled.
+    pub fn log_metrics(&self) -> Option<EpisodeMetrics> {
+        self.session.log_metrics()
+    }
+
+    /// Drive the replay to completion under `policy` and report.
+    pub fn run(&mut self, policy: &mut ReplayPolicy<'_>) -> Result<ReplayReport, ReplayError> {
+        let start = Instant::now();
+        while !self.session.done() {
+            let t0 = Instant::now();
+            let pos = policy.decide(&self.session)?;
+            self.hist.record(t0.elapsed());
+            self.decisions += 1;
+            self.session.step(pos)?;
+        }
+        Ok(ReplayReport {
+            decisions: self.decisions,
+            elapsed: start.elapsed(),
+            hist: self.hist.clone(),
+            peak_queue: self.session.peak_queue_depth(),
+            peak_running: self.session.peak_running(),
+            metrics: self.session.metrics().clone(),
+        })
+    }
+}
+
+/// Replay `source` under a heuristic, capturing every decision point as
+/// a [`TimedRequest`] whose fire offset is the decision's virtual time
+/// relative to the episode start — the input a
+/// [`rlsched_serve::LoadGen`] fires at a live server on the trace's own
+/// arrival process (scaled by its `time_scale`).
+///
+/// Memory here is bounded by the *decision count*, not the trace
+/// length: each request holds one truncated snapshot.
+pub fn collect_timed_requests<I: Iterator<Item = Job>>(
+    source: I,
+    total_procs: u32,
+    cfg: SimConfig,
+    kind: HeuristicKind,
+    window: usize,
+) -> Result<Vec<TimedRequest>, ReplayError> {
+    let mut session = StreamSession::new(source, total_procs, cfg)?;
+    let t0 = session.time();
+    let mut requests = Vec::new();
+    while !session.done() {
+        let snapshot = QueueSnapshot {
+            free_procs: session.free_procs(),
+            total_procs: session.total_procs(),
+            queue_len: session.queue_len() as u32,
+            jobs: session
+                .waiting()
+                .take(window)
+                .map(|w| SnapshotJob {
+                    wait: w.wait,
+                    time_bound: w.job.time_bound(),
+                    procs: w.job.procs(),
+                    can_run_now: w.can_run_now,
+                })
+                .collect(),
+        };
+        requests.push(TimedRequest {
+            offset: session.time() - t0,
+            snapshot,
+        });
+        let pos = select_streaming(kind, session.waiting())
+            .expect("decision points always have waiting jobs");
+        session.step(pos)?;
+    }
+    Ok(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn open_swf_reads_header_and_streams_jobs() {
+        let dir = std::env::temp_dir().join("rlsched-replay-test-open");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.swf");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "; MaxProcs: 64").unwrap();
+        writeln!(f, "1 0 5 100 4 -1 -1 4 120 -1 1 3 2 7 1 0 -1 -1").unwrap();
+        writeln!(f, "2 10 1 50 2 -1 -1 2 60 -1 1 4 2 7 1 0 -1 -1").unwrap();
+        drop(f);
+        let src = open_swf(&path).unwrap();
+        assert_eq!(src.max_procs, 64);
+        let jobs: Vec<Job> = src.jobs.collect();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, 1);
+        assert!(src.errors.take().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_stream_error_parks_in_the_slot() {
+        let dir = std::env::temp_dir().join("rlsched-replay-test-err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.swf");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "1 0 5 100 4 -1 -1 4 120 -1 1 3 2 7 1 0 -1 -1").unwrap();
+        writeln!(f, "garbage line").unwrap();
+        drop(f);
+        let src = open_swf(&path).unwrap();
+        let jobs: Vec<Job> = src.jobs.collect();
+        assert_eq!(jobs.len(), 1, "stream fuses at the bad line");
+        assert!(src.errors.take().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_swf_rejects_missing_file() {
+        assert!(open_swf("/nonexistent/definitely/not.swf").is_err());
+    }
+}

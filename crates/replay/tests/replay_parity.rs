@@ -1,0 +1,151 @@
+//! The replay engine's decisions are bit-identical to the materialized
+//! path, head for head: heuristic replays match `PriorityScheduler`
+//! episodes, agent replays match `Agent::as_policy` episodes, and
+//! served replays match the in-process agent (the serving tier's own
+//! parity guarantee composes).
+
+use rlsched_replay::{collect_timed_requests, RemoteDecider, ReplayEngine, ReplayPolicy};
+use rlsched_sched::{HeuristicKind, PriorityScheduler};
+use rlsched_serve::{LoadGen, LoadGenConfig, ServeClient, ServeConfig, Server};
+use rlsched_sim::{run_episode, MetricKind, SimConfig};
+use rlsched_workload::{LublinModel, LublinParams};
+use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind};
+
+fn lublin() -> LublinModel {
+    LublinModel::new(LublinParams::lublin1())
+}
+
+fn small_agent(seed: u64) -> Agent {
+    Agent::new(AgentConfig {
+        policy: PolicyKind::Kernel,
+        obs: ObsConfig {
+            max_obsv: 16,
+            ..ObsConfig::default()
+        },
+        metric: MetricKind::BoundedSlowdown,
+        ppo: Default::default(),
+        seed,
+    })
+}
+
+#[test]
+fn heuristic_replay_matches_materialized_episode() {
+    let model = lublin();
+    let trace = model.generate(400, 11);
+    for cfg in [SimConfig::no_backfill(), SimConfig::with_backfill()] {
+        for kind in HeuristicKind::table3() {
+            let want = run_episode(&trace, cfg, &mut PriorityScheduler::new(kind)).unwrap();
+            let mut engine = ReplayEngine::new(model.stream(400, 11), trace.max_procs(), cfg)
+                .unwrap()
+                .with_outcome_log();
+            let report = engine.run(&mut ReplayPolicy::Heuristic(kind)).unwrap();
+            assert_eq!(
+                engine.log_metrics().unwrap(),
+                want,
+                "{} diverged under {cfg:?}",
+                kind.name()
+            );
+            // Backfill starts jobs without consulting the policy, so
+            // decisions ≤ jobs; every job must still start and finish.
+            assert_eq!(report.metrics.count(), trace.len() as u64);
+            assert!(report.decisions <= trace.len() as u64);
+            assert_eq!(report.hist.count(), report.decisions);
+            assert!(report.peak_queue < trace.len());
+        }
+    }
+}
+
+#[test]
+fn agent_replay_matches_as_policy_episode() {
+    let model = lublin();
+    let trace = model.generate(250, 5);
+    let agent = small_agent(5);
+    let cfg = SimConfig::with_backfill();
+    let want = run_episode(&trace, cfg, &mut agent.as_policy()).unwrap();
+    let mut engine = ReplayEngine::new(model.stream(250, 5), trace.max_procs(), cfg)
+        .unwrap()
+        .with_outcome_log();
+    let report = engine
+        .run(&mut ReplayPolicy::Agent(agent.stream_decider()))
+        .unwrap();
+    assert_eq!(engine.log_metrics().unwrap(), want);
+    assert_eq!(report.metrics.count(), trace.len() as u64);
+}
+
+#[test]
+fn served_replay_matches_in_process_agent() {
+    let model = lublin();
+    let trace = model.generate(150, 23);
+    let agent = small_agent(23);
+    let cfg = SimConfig::with_backfill();
+    let window = 16;
+
+    // In-process arm.
+    let mut local = ReplayEngine::new(model.stream(150, 23), trace.max_procs(), cfg)
+        .unwrap()
+        .with_outcome_log();
+    local
+        .run(&mut ReplayPolicy::Agent(agent.stream_decider()))
+        .unwrap();
+
+    // Over-the-wire arm against a live server with the same weights.
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let client = ServeClient::connect(handle.addr()).unwrap();
+    let mut remote = ReplayEngine::new(model.stream(150, 23), trace.max_procs(), cfg)
+        .unwrap()
+        .with_outcome_log();
+    let mut policy = ReplayPolicy::Remote(
+        RemoteDecider::new(client, window).with_local_fallback(HeuristicKind::Sjf),
+    );
+    let report = remote.run(&mut policy).unwrap();
+    handle.shutdown();
+
+    assert_eq!(remote.log_metrics().unwrap(), local.log_metrics().unwrap());
+    let ReplayPolicy::Remote(dec) = policy else {
+        unreachable!()
+    };
+    assert_eq!(dec.local_decisions(), 0, "no decision fell back locally");
+    assert_eq!(dec.remote_fallbacks(), 0);
+    assert_eq!(report.metrics.count(), trace.len() as u64);
+}
+
+#[test]
+fn replayed_arrivals_drive_the_load_generator() {
+    let model = lublin();
+    let trace = model.generate(60, 7);
+    let requests = collect_timed_requests(
+        model.stream(60, 7),
+        trace.max_procs(),
+        SimConfig::with_backfill(),
+        HeuristicKind::Fcfs,
+        16,
+    )
+    .unwrap();
+    assert!(!requests.is_empty() && requests.len() <= 60);
+    assert!(requests.windows(2).all(|w| w[0].offset <= w[1].offset));
+
+    let agent = small_agent(7);
+    let handle = Server::spawn(
+        agent.scorer_snapshot(),
+        *agent.encoder(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let gen = LoadGen::new(
+        handle.addr(),
+        LoadGenConfig {
+            workers: 2,
+            time_scale: 1e-9,
+            ..Default::default()
+        },
+    );
+    let report = gen.run(&requests).unwrap();
+    handle.shutdown();
+    assert_eq!(report.sent(), requests.len() as u64);
+    assert_eq!(report.errors, 0);
+}

@@ -138,6 +138,32 @@ pub fn select_parts(
     best
 }
 
+/// Select the best queue rank from a *stream* of waiting jobs, using the
+/// exact `(score, submit_time, job_index)` key (and strict-less tie
+/// chain) of [`PriorityScheduler::select`] — one-pass replay engines walk
+/// the wait queue without materializing a [`QueueView`], and this keeps
+/// their decisions bit-identical to the materialized path. Never
+/// allocates. Returns `None` on an empty queue.
+pub fn select_streaming<'a>(
+    kind: HeuristicKind,
+    jobs: impl Iterator<Item = WaitingJob<'a>>,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    let mut best_key = (f64::INFINITY, f64::INFINITY, usize::MAX);
+    for (rank, w) in jobs.enumerate() {
+        let key = (kind.score(&w), w.job.submit_time, w.job_index);
+        if best.is_none()
+            || key.0 < best_key.0
+            || (key.0 == best_key.0
+                && (key.1 < best_key.1 || (key.1 == best_key.1 && key.2 < best_key.2)))
+        {
+            best_key = key;
+            best = Some(rank);
+        }
+    }
+    best
+}
+
 /// A [`Policy`] that schedules the waiting job with the smallest priority
 /// score, breaking ties by submit time then trace index (deterministic).
 #[derive(Debug, Clone, Copy)]
@@ -369,6 +395,29 @@ mod tests {
             );
             assert_eq!(got, Some(want), "{} diverged", kind.name());
         }
+    }
+
+    #[test]
+    fn select_streaming_matches_priority_scheduler() {
+        // The streaming selector must agree with the materialized one for
+        // every Table III kind, including under score and submit ties.
+        let jobs = vec![
+            Job::new(1, 0.0, 30.0, 4, 120.0),
+            Job::new(2, 5.0, 30.0, 2, 120.0),
+            Job::new(3, 5.0, 30.0, 2, 120.0),
+            Job::new(4, 9.0, 80.0, 1, 90.0),
+            Job::new(5, 12.0, 10.0, 8, 500.0),
+        ];
+        let v = view_of(&jobs, 40.0, 8, 8);
+        for kind in HeuristicKind::table3() {
+            let want = PriorityScheduler::new(kind).select(&v);
+            let got = select_streaming(kind, v.waiting.iter().copied());
+            assert_eq!(got, Some(want), "{} diverged", kind.name());
+        }
+        assert_eq!(
+            select_streaming(HeuristicKind::Sjf, std::iter::empty()),
+            None
+        );
     }
 
     #[test]

@@ -26,5 +26,5 @@
 pub mod heuristics;
 pub mod random;
 
-pub use heuristics::{select_parts, HeuristicKind, PriorityScheduler};
+pub use heuristics::{select_parts, select_streaming, HeuristicKind, PriorityScheduler};
 pub use random::RandomPolicy;

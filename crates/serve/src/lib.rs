@@ -60,6 +60,7 @@ pub mod client;
 pub mod engine;
 pub mod faults;
 pub mod histogram;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
@@ -67,5 +68,6 @@ pub use client::{ClientConfig, ClientError, Decision, RemotePolicy, ServeClient}
 pub use engine::{ScorerSlot, ShardEngine};
 pub use faults::{write_torn_frame, FaultPlan};
 pub use histogram::LatencyHistogram;
+pub use loadgen::{LoadGen, LoadGenConfig, LoadGenReport, TimedRequest};
 pub use protocol::{Request, Response, ServeStats, ServedBy, ShardHealth, ShardState};
 pub use server::{ProposeError, ServeConfig, Server, ServerHandle};

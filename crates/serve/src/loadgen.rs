@@ -1,0 +1,255 @@
+//! Open-loop load generation against a live serving tier.
+//!
+//! Replay benchmarks want to know how the server behaves under the
+//! *trace's* arrival process, not a synthetic constant rate: bursts of
+//! submissions are exactly where shedding and coalescing earn their
+//! keep. A [`LoadGen`] takes decision points with fire offsets (replayed
+//! job inter-arrival times, optionally compressed), stripes them across
+//! worker threads, and fires each request at its scheduled instant
+//! regardless of how earlier requests fared — open-loop, so a slow
+//! server faces mounting concurrency instead of a conveniently
+//! self-throttling client.
+//!
+//! Each worker owns one [`ServeClient`] (single in-flight, its own id
+//! stream, so routing stays deterministic) and a private
+//! [`LatencyHistogram`]; per-worker tallies merge into one
+//! [`LoadGenReport`] at the end.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use rlscheduler::QueueSnapshot;
+
+use crate::client::{ClientError, ServeClient};
+use crate::histogram::LatencyHistogram;
+use crate::protocol::ServedBy;
+
+/// One scheduled request: fire `offset` after the run starts, asking the
+/// server to score `snapshot`.
+#[derive(Debug, Clone)]
+pub struct TimedRequest {
+    /// Seconds after run start at which to fire (already scaled).
+    pub offset: f64,
+    /// The decision point to score.
+    pub snapshot: QueueSnapshot,
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Concurrent worker threads (each with its own connection).
+    pub workers: usize,
+    /// Multiplier applied to request offsets: `1.0` replays the trace's
+    /// own gaps in real time; `1e-6` compresses hours into
+    /// microseconds-scale back-to-back fire times.
+    pub time_scale: f64,
+    /// Id-stream stride between workers, so their request ids (and hence
+    /// shard routing) never collide.
+    pub id_stride: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            workers: 4,
+            time_scale: 1.0,
+            id_stride: 1 << 32,
+        }
+    }
+}
+
+/// Merged outcome of one load-generation run.
+#[derive(Debug)]
+pub struct LoadGenReport {
+    /// Requests that resolved to a decision.
+    pub ok: u64,
+    /// Requests the server shed.
+    pub sheds: u64,
+    /// Decisions answered by the server's heuristic fallback arm.
+    pub fallbacks: u64,
+    /// Requests that failed (transport/protocol/deadline).
+    pub errors: u64,
+    /// Request latencies (send → decision), successful requests only.
+    pub hist: LatencyHistogram,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadGenReport {
+    /// Requests fired (resolved one way or another).
+    pub fn sent(&self) -> u64 {
+        self.ok + self.sheds + self.errors
+    }
+}
+
+/// Open-loop load generator; see the module docs.
+#[derive(Debug)]
+pub struct LoadGen {
+    addr: SocketAddr,
+    cfg: LoadGenConfig,
+}
+
+impl LoadGen {
+    /// A generator aimed at `addr`.
+    pub fn new(addr: SocketAddr, cfg: LoadGenConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(
+            cfg.time_scale.is_finite() && cfg.time_scale >= 0.0,
+            "time_scale must be finite and non-negative"
+        );
+        LoadGen { addr, cfg }
+    }
+
+    /// Fire every request at its scheduled offset and collect the merged
+    /// report. Requests are striped over workers by index, so each
+    /// worker's sub-sequence preserves the arrival order; a request
+    /// whose fire time has already passed (its worker was busy) fires
+    /// immediately — open-loop lateness is part of the measurement.
+    ///
+    /// Errors only when a worker fails to *connect*; per-request
+    /// failures are counted in the report instead.
+    pub fn run(&self, requests: &[TimedRequest]) -> std::io::Result<LoadGenReport> {
+        let start = Instant::now();
+        let workers = self.cfg.workers.min(requests.len()).max(1);
+        // Connect up front so a dead server fails fast, before the clock
+        // matters.
+        let mut clients = Vec::with_capacity(workers);
+        for w in 0..workers {
+            clients
+                .push(ServeClient::connect(self.addr)?.with_id_base(w as u64 * self.cfg.id_stride));
+        }
+        let scale = self.cfg.time_scale;
+        let reports: Vec<(u64, u64, u64, u64, LatencyHistogram)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = clients
+                .into_iter()
+                .enumerate()
+                .map(|(w, mut client)| {
+                    scope.spawn(move || {
+                        let mut hist = LatencyHistogram::new();
+                        let (mut ok, mut sheds, mut fallbacks, mut errors) = (0, 0, 0, 0);
+                        for req in requests.iter().skip(w).step_by(workers) {
+                            let fire = Duration::from_secs_f64((req.offset * scale).max(0.0));
+                            if let Some(wait) = fire.checked_sub(start.elapsed()) {
+                                std::thread::sleep(wait);
+                            }
+                            let t0 = Instant::now();
+                            match client.score_snapshot(&req.snapshot) {
+                                Ok(d) => {
+                                    hist.record(t0.elapsed());
+                                    ok += 1;
+                                    if d.served_by == ServedBy::Fallback {
+                                        fallbacks += 1;
+                                    }
+                                }
+                                Err(ClientError::Shed) => sheds += 1,
+                                Err(_) => errors += 1,
+                            }
+                        }
+                        (ok, sheds, fallbacks, errors, hist)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen worker panicked"))
+                .collect()
+        });
+        let mut report = LoadGenReport {
+            ok: 0,
+            sheds: 0,
+            fallbacks: 0,
+            errors: 0,
+            hist: LatencyHistogram::new(),
+            elapsed: start.elapsed(),
+        };
+        for (ok, sheds, fallbacks, errors, hist) in &reports {
+            report.ok += ok;
+            report.sheds += sheds;
+            report.fallbacks += fallbacks;
+            report.errors += errors;
+            report.hist.merge(hist);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server};
+    use rlsched_sim::MetricKind;
+    use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind, SnapshotJob};
+
+    fn tiny_agent() -> Agent {
+        Agent::new(AgentConfig {
+            policy: PolicyKind::Kernel,
+            obs: ObsConfig {
+                max_obsv: 8,
+                ..ObsConfig::default()
+            },
+            metric: MetricKind::BoundedSlowdown,
+            ppo: Default::default(),
+            seed: 3,
+        })
+    }
+
+    fn snapshot(n: usize) -> QueueSnapshot {
+        QueueSnapshot {
+            free_procs: 4,
+            total_procs: 8,
+            queue_len: n as u32,
+            jobs: (0..n)
+                .map(|i| SnapshotJob {
+                    wait: i as f64 * 3.0,
+                    time_bound: 60.0 + i as f64,
+                    procs: 1 + (i as u32 % 4),
+                    can_run_now: i % 2 == 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn open_loop_replay_hits_a_live_server() {
+        let agent = tiny_agent();
+        let handle = Server::spawn(
+            agent.scorer_snapshot(),
+            *agent.encoder(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let requests: Vec<TimedRequest> = (0..40)
+            .map(|i| TimedRequest {
+                // Replayed gaps of "hours", compressed by time_scale.
+                offset: i as f64 * 3600.0,
+                snapshot: snapshot(1 + i % 6),
+            })
+            .collect();
+        let gen = LoadGen::new(
+            handle.addr(),
+            LoadGenConfig {
+                workers: 3,
+                time_scale: 1e-7,
+                ..Default::default()
+            },
+        );
+        let report = gen.run(&requests).unwrap();
+        assert_eq!(report.sent(), 40);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.hist.count(), report.ok);
+        assert!(report.hist.quantile_ns(0.5) > 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connect_failure_is_an_error_not_a_panic() {
+        // A port nothing listens on: 127.0.0.1:1 is reserved.
+        let gen = LoadGen::new("127.0.0.1:1".parse().unwrap(), LoadGenConfig::default());
+        assert!(gen
+            .run(&[TimedRequest {
+                offset: 0.0,
+                snapshot: snapshot(2),
+            }])
+            .is_err());
+    }
+}

@@ -33,6 +33,13 @@ pub enum SimError {
     },
     /// The episode trace has no jobs.
     EmptyTrace,
+    /// A streaming trace yielded a job whose submit time precedes its
+    /// predecessor's. One-pass replay relies on arrival order; sort the
+    /// trace (SWF archives are sorted) or materialize it first.
+    NonMonotoneArrival {
+        /// Admission-order index (0-based) of the offending job.
+        seq: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +65,10 @@ impl fmt::Display for SimError {
                 "episode not finished: {scheduled}/{total} jobs scheduled"
             ),
             SimError::EmptyTrace => write!(f, "cannot simulate an empty trace"),
+            SimError::NonMonotoneArrival { seq } => write!(
+                f,
+                "streaming job #{seq} submitted before its predecessor; one-pass replay needs submit-sorted traces"
+            ),
         }
     }
 }

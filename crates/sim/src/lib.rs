@@ -21,14 +21,18 @@
 //! events inside the simulator only, mirroring §IV-D ("the accurate runtime
 //! will not be available to the schedulers").
 
+pub mod calendar;
 pub mod episode;
 pub mod error;
 pub mod metrics;
 pub mod policy;
 pub mod session;
+pub mod stream;
 
+pub use calendar::{IndexedQueue, LinearQueue, QueueBackend};
 pub use episode::run_episode;
 pub use error::SimError;
 pub use metrics::{EpisodeMetrics, JobOutcome, MetricKind, BSLD_THRESHOLD};
 pub use policy::{Policy, QueueView, WaitingJob};
-pub use session::{BackfillMode, SchedSession, SimConfig};
+pub use session::{BackfillMode, LinearSession, SchedSession, SimConfig};
+pub use stream::{StreamMetrics, StreamSession};

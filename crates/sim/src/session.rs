@@ -20,6 +20,7 @@ use std::collections::BinaryHeap;
 
 use rlsched_swf::{Job, JobTrace};
 
+use crate::calendar::{IndexedQueue, LinearQueue, QueueBackend};
 use crate::error::SimError;
 use crate::metrics::{EpisodeMetrics, JobOutcome};
 use crate::policy::{QueueView, WaitingJob};
@@ -62,14 +63,15 @@ impl SimConfig {
 }
 
 /// A running job, ordered by its *actual* completion time (simulator-private
-/// knowledge).
+/// knowledge). Shared with the streaming session, whose event loop must
+/// order completions identically.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct RunningJob {
-    end_time: f64,
+pub(crate) struct RunningJob {
+    pub(crate) end_time: f64,
     /// Estimated completion per the user's request — what EASY uses.
-    est_end_time: f64,
-    job_index: usize,
-    procs: u32,
+    pub(crate) est_end_time: f64,
+    pub(crate) job_index: usize,
+    pub(crate) procs: u32,
 }
 
 impl Eq for RunningJob {}
@@ -93,8 +95,13 @@ impl PartialOrd for RunningJob {
 }
 
 /// One scheduling episode over a job sequence.
+///
+/// Generic over the wait-queue backend: the default [`IndexedQueue`] keeps
+/// rank addressing O(log n) at trace-scale queue depths, while
+/// [`LinearSession`] pins the seed `Vec` behavior for parity tests. Both
+/// produce bit-identical trajectories.
 #[derive(Debug, Clone)]
-pub struct SchedSession {
+pub struct SchedSession<Q: QueueBackend = IndexedQueue> {
     jobs: Vec<Job>,
     total_procs: u32,
     cfg: SimConfig,
@@ -103,20 +110,31 @@ pub struct SchedSession {
     free_procs: u32,
     next_arrival: usize,
     /// Wait queue in arrival (FCFS) order, as indices into `jobs`.
-    queue: Vec<usize>,
+    queue: Q,
     running: BinaryHeap<RunningJob>,
     /// `start[i]` is `Some(t)` once job `i` has started.
     start_times: Vec<Option<f64>>,
     scheduled: usize,
-    /// Reused scratch for [`SchedSession::estimated_start`]'s release
-    /// schedule, so blocked-reservation steps stay allocation-free.
+    /// Reused scratch for `estimated_start`'s release schedule, so
+    /// blocked-reservation steps stay allocation-free.
     release_buf: Vec<(f64, u32)>,
 }
 
+/// A session on the seed `Vec` wait queue — the calendar-parity reference.
+pub type LinearSession = SchedSession<LinearQueue>;
+
 impl SchedSession {
-    /// Start an episode over `trace`. The trace is sanitized and clamped to
-    /// the cluster size so every job is schedulable.
+    /// Start an episode over `trace` with the default indexed wait queue.
+    /// The trace is sanitized and clamped to the cluster size so every job
+    /// is schedulable.
     pub fn new(trace: &JobTrace, cfg: SimConfig) -> Result<Self, SimError> {
+        Self::with_queue(trace, cfg)
+    }
+}
+
+impl<Q: QueueBackend> SchedSession<Q> {
+    /// Start an episode over `trace` on an explicit queue backend.
+    pub fn with_queue(trace: &JobTrace, cfg: SimConfig) -> Result<Self, SimError> {
         let trace = trace.sanitized().clamp_to_cluster();
         if trace.is_empty() {
             return Err(SimError::EmptyTrace);
@@ -141,7 +159,7 @@ impl SchedSession {
             time: first_arrival,
             free_procs: total_procs,
             next_arrival: 0,
-            queue: Vec::with_capacity(n.min(1024)),
+            queue: Q::with_capacity(n.min(1024)),
             running: BinaryHeap::with_capacity(64),
             start_times: vec![None; n],
             scheduled: 0,
@@ -184,9 +202,9 @@ impl SchedSession {
         self.scheduled == self.jobs.len()
     }
 
-    /// The wait queue as indices into the episode's job list, FCFS order.
-    pub fn queue(&self) -> &[usize] {
-        &self.queue
+    /// Number of jobs currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Access a job record by its trace index.
@@ -199,7 +217,7 @@ impl SchedSession {
     /// walk the queue each decision (observation encoders stream this
     /// straight into their buffers).
     pub fn waiting_jobs(&self) -> impl Iterator<Item = WaitingJob<'_>> + '_ {
-        self.queue.iter().map(move |&i| {
+        self.queue.iter().map(move |i| {
             let job = &self.jobs[i];
             WaitingJob {
                 job,
@@ -227,7 +245,7 @@ impl SchedSession {
         while self.next_arrival < self.jobs.len()
             && self.jobs[self.next_arrival].submit_time <= self.time
         {
-            self.queue.push(self.next_arrival);
+            self.queue.push_back(self.next_arrival);
             self.next_arrival += 1;
         }
     }
@@ -336,19 +354,19 @@ impl SchedSession {
     fn backfill_pass(&mut self, shadow_start: f64) {
         loop {
             let mut started_any = false;
-            let mut qi = 0;
-            while qi < self.queue.len() {
-                let job_index = self.queue[qi];
+            let mut rank = 0;
+            while rank < self.queue.len() {
+                let job_index = self.queue.get(rank).expect("rank < len");
                 let job = &self.jobs[job_index];
                 let fits = job.procs() <= self.free_procs;
                 let finishes_in_hole = self.time + job.time_bound() <= shadow_start;
                 if fits && finishes_in_hole {
-                    self.queue.remove(qi);
+                    self.queue.remove_at(rank);
                     self.start_job(job_index);
                     started_any = true;
-                    // restart the scan: freed ordering stays FCFS
+                    // continue at the same rank: the tail shifted into it
                 } else {
-                    qi += 1;
+                    rank += 1;
                 }
             }
             if !started_any {
@@ -372,7 +390,7 @@ impl SchedSession {
                 queue_len: self.queue.len(),
             });
         }
-        let job_index = self.queue.remove(pos);
+        let job_index = self.queue.remove_at(pos);
 
         if self.jobs[job_index].procs() <= self.free_procs {
             self.start_job(job_index);
@@ -663,7 +681,7 @@ mod tests {
         let mut s = SchedSession::new(&t, SimConfig::with_backfill()).unwrap();
         s.step(0).unwrap(); // A starts
         s.step(0).unwrap(); // B reserved; during wait, C arrives & backfills
-        assert!(s.done() || s.queue().is_empty() || !s.done());
+        assert!(s.done() || s.queue_len() == 0 || !s.done());
         while !s.done() {
             s.step(0).unwrap();
         }
@@ -693,7 +711,7 @@ mod tests {
             for cfg in [SimConfig::no_backfill(), SimConfig::with_backfill()] {
                 let mut s = SchedSession::new(&t, cfg).unwrap();
                 while !s.done() {
-                    let pos = rng.gen_range(0..s.queue().len());
+                    let pos = rng.gen_range(0..s.queue_len());
                     s.step(pos).unwrap();
                     assert!(s.free_procs() <= s.total_procs());
                 }

@@ -1,0 +1,759 @@
+//! One-pass streaming simulation for trace-scale replays.
+//!
+//! [`crate::SchedSession`] materializes the whole trace up front — the
+//! right shape for the paper's 256/1024-job training windows, but fatal
+//! for replaying a multi-year archive of millions of jobs. A
+//! [`StreamSession`] instead *pulls* jobs from any `Iterator<Item = Job>`
+//! as virtual time passes their submit times, so resident memory is
+//! bounded by the peak number of waiting jobs (plus the running set), not
+//! the trace length.
+//!
+//! The event loop is a line-for-line mirror of [`crate::SchedSession`]:
+//! per-job sanitation and cluster clamping happen at admission (the
+//! streaming equivalents of `JobTrace::sanitized().clamp_to_cluster()`),
+//! completions at an instant are processed before same-instant arrivals,
+//! EASY backfilling uses the same shadow-time rule, and the wait queue is
+//! the same [`IndexedQueue`] calendar. A job's outcome is fully
+//! determined the moment it starts (start, end, submit, procs, user are
+//! all known), so outcomes fold into the [`StreamMetrics`] accumulators
+//! at start time and the job's record is dropped — nothing grows with
+//! trace length.
+//!
+//! The one semantic difference: the source must be sorted by submit time
+//! (SWF archives are). A regression yields
+//! [`SimError::NonMonotoneArrival`] instead of silently reordering.
+//!
+//! Averages accumulated here sum in *start* order while
+//! [`crate::EpisodeMetrics`] sums in trace order, so the two agree only
+//! to floating-point tolerance. For bit-exact parity checks, enable
+//! [`StreamSession::with_outcome_log`] and rebuild an `EpisodeMetrics`
+//! from the logged outcomes via [`StreamSession::log_metrics`].
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use rlsched_swf::Job;
+
+use crate::calendar::{IndexedQueue, QueueBackend};
+use crate::error::SimError;
+use crate::metrics::{EpisodeMetrics, JobOutcome, MetricKind};
+use crate::policy::WaitingJob;
+use crate::session::RunningJob;
+use crate::session::{BackfillMode, SimConfig};
+
+/// Streaming admission: filters unschedulable records, sanitizes and
+/// clamps the rest, and hands out admission sequence numbers — exactly
+/// what `JobTrace::sanitized().clamp_to_cluster()` does up front, applied
+/// one job at a time. The sequence number equals the job's index in that
+/// materialized trace, which is what makes stream-vs-session parity
+/// checks possible.
+#[derive(Debug)]
+struct Admission<I: Iterator<Item = Job>> {
+    inner: I,
+    total_procs: u32,
+    /// Next admissible job, already sanitized and clamped.
+    pending: Option<Job>,
+    next_seq: usize,
+    exhausted: bool,
+}
+
+impl<I: Iterator<Item = Job>> Admission<I> {
+    fn new(inner: I, total_procs: u32) -> Self {
+        Admission {
+            inner,
+            total_procs,
+            pending: None,
+            next_seq: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Pull from the source until an admissible job is buffered.
+    fn fill(&mut self) {
+        while self.pending.is_none() && !self.exhausted {
+            match self.inner.next() {
+                None => self.exhausted = true,
+                Some(raw) => {
+                    if !raw.is_schedulable() {
+                        continue;
+                    }
+                    let mut j = raw.sanitized();
+                    if j.procs() > self.total_procs {
+                        j.requested_procs = self.total_procs as i64;
+                    }
+                    self.pending = Some(j);
+                }
+            }
+        }
+    }
+
+    /// Submit time of the next admissible job, if any.
+    fn peek_submit(&mut self) -> Option<f64> {
+        self.fill();
+        self.pending.as_ref().map(|j| j.submit_time)
+    }
+
+    /// Admit the buffered job, assigning its sequence number.
+    fn take(&mut self) -> Option<(usize, Job)> {
+        self.fill();
+        self.pending.take().map(|j| {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            (seq, j)
+        })
+    }
+
+    /// True once the source is drained and nothing is buffered.
+    fn is_empty(&mut self) -> bool {
+        self.fill();
+        self.pending.is_none()
+    }
+}
+
+/// Running aggregates of the paper's metrics (§II-A3), folded one
+/// [`JobOutcome`] at a time so no per-job state survives the episode.
+#[derive(Debug, Clone, Default)]
+pub struct StreamMetrics {
+    total_procs: u32,
+    n: u64,
+    sum_wait: f64,
+    sum_turnaround: f64,
+    sum_slowdown: f64,
+    sum_bounded: f64,
+    /// Busy processor-seconds, for the utilization integral.
+    busy: f64,
+    first_submit: f64,
+    last_end: f64,
+    /// Per-user (sum of bounded slowdowns, job count) for the fairness
+    /// aggregator. Bounded by the number of distinct users, not jobs.
+    per_user: HashMap<i64, (f64, u64)>,
+}
+
+impl StreamMetrics {
+    fn new(total_procs: u32) -> Self {
+        StreamMetrics {
+            total_procs,
+            first_submit: f64::INFINITY,
+            last_end: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    /// Fold one finished-by-construction outcome into the aggregates.
+    fn record(&mut self, o: &JobOutcome) {
+        self.n += 1;
+        self.sum_wait += o.wait();
+        self.sum_turnaround += o.turnaround();
+        self.sum_slowdown += o.slowdown();
+        self.sum_bounded += o.bounded_slowdown();
+        self.busy += o.exec() * o.procs as f64;
+        self.first_submit = self.first_submit.min(o.submit);
+        self.last_end = self.last_end.max(o.end);
+        let e = self.per_user.entry(o.user).or_insert((0.0, 0));
+        e.0 += o.bounded_slowdown();
+        e.1 += 1;
+    }
+
+    /// Jobs folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn avg(&self, sum: f64) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            sum / self.n as f64
+        }
+    }
+
+    /// Average waiting time.
+    pub fn avg_waiting_time(&self) -> f64 {
+        self.avg(self.sum_wait)
+    }
+
+    /// Average turnaround (response) time.
+    pub fn avg_turnaround(&self) -> f64 {
+        self.avg(self.sum_turnaround)
+    }
+
+    /// Average raw slowdown.
+    pub fn avg_slowdown(&self) -> f64 {
+        self.avg(self.sum_slowdown)
+    }
+
+    /// Average bounded slowdown — the paper's headline metric.
+    pub fn avg_bounded_slowdown(&self) -> f64 {
+        self.avg(self.sum_bounded)
+    }
+
+    /// Makespan: last completion minus first submission.
+    pub fn makespan(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.last_end - self.first_submit
+        }
+    }
+
+    /// Resource utilization over the episode span.
+    pub fn utilization(&self) -> f64 {
+        let span = self.makespan();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.busy / (span * self.total_procs as f64)
+    }
+
+    /// The worst per-user average bounded slowdown (§V-F `Maximal`).
+    pub fn max_user_bounded_slowdown(&self) -> f64 {
+        self.per_user
+            .values()
+            .map(|&(s, c)| s / c as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Evaluate a named metric, mirroring [`EpisodeMetrics::metric`].
+    pub fn metric(&self, kind: MetricKind) -> f64 {
+        match kind {
+            MetricKind::WaitTime => self.avg_waiting_time(),
+            MetricKind::Turnaround => self.avg_turnaround(),
+            MetricKind::Slowdown => self.avg_slowdown(),
+            MetricKind::BoundedSlowdown => self.avg_bounded_slowdown(),
+            MetricKind::Utilization => self.utilization(),
+            MetricKind::FairMaxBoundedSlowdown => self.max_user_bounded_slowdown(),
+        }
+    }
+}
+
+/// A one-pass scheduling episode over a job stream.
+///
+/// Same decision protocol as [`crate::SchedSession`] — whenever at least
+/// one job waits, the caller picks a queue rank via
+/// [`StreamSession::step`] — but the trace flows through: arrivals are
+/// pulled on demand and a started job's record is dropped immediately.
+#[derive(Debug)]
+pub struct StreamSession<I: Iterator<Item = Job>> {
+    source: Admission<I>,
+    total_procs: u32,
+    cfg: SimConfig,
+
+    time: f64,
+    free_procs: u32,
+    /// Waiting jobs, keyed by slab slot; `None` slots are on the free list.
+    slab: Vec<Option<(usize, Job)>>,
+    free_slots: Vec<usize>,
+    /// Wait queue of slab keys in FCFS order.
+    queue: IndexedQueue,
+    running: BinaryHeap<RunningJob>,
+    started: u64,
+    metrics: StreamMetrics,
+    /// Optional per-job log for parity tests; unbounded, so off by default.
+    outcome_log: Option<Vec<JobOutcome>>,
+    /// Submit time of the last admitted job, for the monotonicity check.
+    last_submit: f64,
+    peak_queue: usize,
+    peak_running: usize,
+    /// Reused scratch for the EASY shadow-time computation.
+    release_buf: Vec<(f64, u32)>,
+}
+
+impl<I: Iterator<Item = Job>> StreamSession<I> {
+    /// Start a streaming episode over `source` (must be submit-sorted) on
+    /// a cluster of `total_procs` processors. Errors with
+    /// [`SimError::EmptyTrace`] when the stream holds no schedulable job.
+    pub fn new(source: I, total_procs: u32, cfg: SimConfig) -> Result<Self, SimError> {
+        let total_procs = total_procs.max(1);
+        let mut s = StreamSession {
+            source: Admission::new(source, total_procs),
+            total_procs,
+            cfg,
+            time: 0.0,
+            free_procs: total_procs,
+            slab: Vec::with_capacity(1024),
+            free_slots: Vec::with_capacity(1024),
+            queue: IndexedQueue::with_capacity(1024),
+            running: BinaryHeap::with_capacity(64),
+            started: 0,
+            metrics: StreamMetrics::new(total_procs),
+            outcome_log: None,
+            last_submit: f64::NEG_INFINITY,
+            peak_queue: 0,
+            peak_running: 0,
+            release_buf: Vec::with_capacity(64),
+        };
+        match s.source.peek_submit() {
+            None => return Err(SimError::EmptyTrace),
+            Some(t0) => s.time = t0,
+        }
+        s.absorb_arrivals()?;
+        s.advance_to_decision()?;
+        Ok(s)
+    }
+
+    /// Keep a per-job outcome log (unbounded memory — parity tests only).
+    pub fn with_outcome_log(mut self) -> Self {
+        self.outcome_log = Some(Vec::new());
+        self
+    }
+
+    /// Current virtual time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Processors currently idle.
+    pub fn free_procs(&self) -> u32 {
+        self.free_procs
+    }
+
+    /// Total processors in the cluster.
+    pub fn total_procs(&self) -> u32 {
+        self.total_procs
+    }
+
+    /// Jobs started so far.
+    pub fn started_count(&self) -> u64 {
+        self.started
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Deepest the wait queue has been.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// Most jobs that were ever running at once.
+    pub fn peak_running(&self) -> usize {
+        self.peak_running
+    }
+
+    /// True once no decision is pending and no future arrival can create
+    /// one: the episode is over (running jobs finish unattended).
+    pub fn done(&self) -> bool {
+        self.queue.is_empty() && self.source.pending.is_none() && self.source.exhausted
+    }
+
+    /// The metric aggregates folded so far (complete once [`done`]).
+    ///
+    /// [`done`]: StreamSession::done
+    pub fn metrics(&self) -> &StreamMetrics {
+        &self.metrics
+    }
+
+    /// Rebuild an [`EpisodeMetrics`] from the outcome log (sorted into
+    /// trace order), for bit-exact comparison against a materialized
+    /// session. Returns `None` unless [`StreamSession::with_outcome_log`]
+    /// was enabled.
+    pub fn log_metrics(&self) -> Option<EpisodeMetrics> {
+        let log = self.outcome_log.as_ref()?;
+        let mut outcomes = log.clone();
+        outcomes.sort_unstable_by_key(|o| o.job_index);
+        Some(EpisodeMetrics::new(outcomes, self.total_procs))
+    }
+
+    /// The waiting jobs as a policy sees them, FCFS order. `job_index` is
+    /// the admission sequence number (== the trace index a materialized
+    /// session would report).
+    pub fn waiting(&self) -> impl Iterator<Item = WaitingJob<'_>> + '_ {
+        self.queue.iter().map(move |key| {
+            let (seq, job) = self.slab[key].as_ref().expect("queued slab slot is live");
+            WaitingJob {
+                job,
+                job_index: *seq,
+                wait: self.time - job.submit_time,
+                can_run_now: job.procs() <= self.free_procs,
+            }
+        })
+    }
+
+    /// Admit one job into the slab and wait queue.
+    fn admit(&mut self, seq: usize, job: Job) -> Result<(), SimError> {
+        if job.submit_time < self.last_submit {
+            return Err(SimError::NonMonotoneArrival { seq });
+        }
+        self.last_submit = job.submit_time;
+        let key = match self.free_slots.pop() {
+            Some(k) => {
+                self.slab[k] = Some((seq, job));
+                k
+            }
+            None => {
+                self.slab.push(Some((seq, job)));
+                self.slab.len() - 1
+            }
+        };
+        self.queue.push_back(key);
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Pull every arrival with `submit_time <= self.time` into the queue.
+    fn absorb_arrivals(&mut self) -> Result<(), SimError> {
+        while let Some(submit) = self.source.peek_submit() {
+            if submit > self.time {
+                break;
+            }
+            let (seq, job) = self.source.take().expect("peeked arrival exists");
+            self.admit(seq, job)?;
+        }
+        Ok(())
+    }
+
+    /// Start the job in slab slot `key` at the current time, folding its
+    /// (now fully determined) outcome into the aggregates and freeing the
+    /// slot.
+    fn start_job(&mut self, key: usize) {
+        let (seq, job) = self.slab[key].take().expect("starting a live slab slot");
+        self.free_slots.push(key);
+        let procs = job.procs();
+        debug_assert!(
+            procs <= self.free_procs,
+            "start_job must only run when the job fits"
+        );
+        self.free_procs -= procs;
+        let start = self.time;
+        let end = start + job.actual_runtime();
+        self.running.push(RunningJob {
+            end_time: end,
+            est_end_time: start + job.time_bound(),
+            job_index: seq,
+            procs,
+        });
+        self.peak_running = self.peak_running.max(self.running.len());
+        let outcome = JobOutcome {
+            job_index: seq,
+            submit: job.submit_time,
+            start,
+            end,
+            procs,
+            user: job.user_id,
+        };
+        self.metrics.record(&outcome);
+        if let Some(log) = &mut self.outcome_log {
+            log.push(outcome);
+        }
+        self.started += 1;
+        debug_assert!(self.free_procs <= self.total_procs);
+    }
+
+    /// Advance to the next event (earliest of next completion and next
+    /// arrival); completions first, as in `SchedSession`. Returns `false`
+    /// when no event remains.
+    fn advance_one_event(&mut self) -> Result<bool, SimError> {
+        let next_completion = self.running.peek().map(|r| r.end_time);
+        let next_arrival = self.source.peek_submit();
+        let t = match (next_completion, next_arrival) {
+            (Some(c), Some(a)) => c.min(a),
+            (Some(c), None) => c,
+            (None, Some(a)) => a,
+            (None, None) => return Ok(false),
+        };
+        self.time = self.time.max(t);
+        while let Some(r) = self.running.peek() {
+            if r.end_time <= self.time {
+                let r = self.running.pop().expect("peeked entry exists");
+                self.free_procs += r.procs;
+                debug_assert!(self.free_procs <= self.total_procs);
+            } else {
+                break;
+            }
+        }
+        self.absorb_arrivals()?;
+        Ok(true)
+    }
+
+    /// Advance through events until a decision is pending or the stream is
+    /// exhausted.
+    fn advance_to_decision(&mut self) -> Result<(), SimError> {
+        while self.queue.is_empty() && !self.source.is_empty() {
+            let advanced = self.advance_one_event()?;
+            debug_assert!(advanced, "pending arrivals imply a next event");
+            if !advanced {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// EASY shadow time for a blocked job needing `needed` processors:
+    /// earliest time enough processors free up by *requested* completions.
+    fn estimated_start(&mut self, needed: u32) -> f64 {
+        if needed <= self.free_procs {
+            return self.time;
+        }
+        let mut releases = std::mem::take(&mut self.release_buf);
+        releases.clear();
+        releases.extend(self.running.iter().map(|r| (r.est_end_time, r.procs)));
+        releases.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite estimates"));
+        let mut free = self.free_procs;
+        let mut shadow = None;
+        for &(t, p) in &releases {
+            free += p;
+            if free >= needed {
+                shadow = Some(t);
+                break;
+            }
+        }
+        self.release_buf = releases;
+        shadow.unwrap_or_else(|| {
+            self.running
+                .iter()
+                .map(|r| r.est_end_time)
+                .fold(self.time, f64::max)
+        })
+    }
+
+    /// EASY backfilling pass, identical to the materialized session's.
+    fn backfill_pass(&mut self, shadow_start: f64) {
+        loop {
+            let mut started_any = false;
+            let mut rank = 0;
+            while rank < self.queue.len() {
+                let key = self.queue.get(rank).expect("rank < len");
+                let (_, job) = self.slab[key].as_ref().expect("queued slab slot is live");
+                let fits = job.procs() <= self.free_procs;
+                let finishes_in_hole = self.time + job.time_bound() <= shadow_start;
+                if fits && finishes_in_hole {
+                    self.queue.remove_at(rank);
+                    self.start_job(key);
+                    started_any = true;
+                } else {
+                    rank += 1;
+                }
+            }
+            if !started_any {
+                break;
+            }
+        }
+    }
+
+    /// Schedule the waiting job at queue rank `pos` (FCFS order), exactly
+    /// as [`crate::SchedSession::step`] would.
+    pub fn step(&mut self, pos: usize) -> Result<(), SimError> {
+        if self.queue.is_empty() {
+            return Err(SimError::EmptyQueue);
+        }
+        if pos >= self.queue.len() {
+            return Err(SimError::BadQueuePosition {
+                pos,
+                queue_len: self.queue.len(),
+            });
+        }
+        let key = self.queue.remove_at(pos);
+        let needed = self.slab[key]
+            .as_ref()
+            .expect("selected slot live")
+            .1
+            .procs();
+
+        if needed <= self.free_procs {
+            self.start_job(key);
+        } else {
+            let shadow = self.estimated_start(needed);
+            while needed > self.free_procs {
+                if self.cfg.backfill == BackfillMode::Easy {
+                    self.backfill_pass(shadow);
+                }
+                if needed <= self.free_procs {
+                    break;
+                }
+                let advanced = self.advance_one_event()?;
+                debug_assert!(
+                    advanced || needed <= self.free_procs,
+                    "reserved job must eventually fit: events exhausted while blocked"
+                );
+                if !advanced {
+                    break;
+                }
+            }
+            self.start_job(key);
+        }
+
+        self.advance_to_decision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SchedSession;
+    use rand::prelude::*;
+    use rlsched_swf::JobTrace;
+
+    fn random_jobs(seed: u64, n: usize) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        (0..n)
+            .map(|i| {
+                t += rng.gen_range(0.0..30.0);
+                Job::new(
+                    i as u32 + 1,
+                    t,
+                    rng.gen_range(1.0..200.0),
+                    rng.gen_range(1..=8),
+                    rng.gen_range(1.0..250.0),
+                )
+                .with_user(rng.gen_range(0..5))
+            })
+            .collect()
+    }
+
+    fn run_both_fcfs(
+        jobs: Vec<Job>,
+        procs: u32,
+        cfg: SimConfig,
+    ) -> (EpisodeMetrics, EpisodeMetrics, StreamMetrics) {
+        let trace = JobTrace::new(jobs.clone(), procs);
+        let mut sess = SchedSession::new(&trace, cfg).unwrap();
+        while !sess.done() {
+            sess.step(0).unwrap();
+        }
+        let mut stream = StreamSession::new(jobs.into_iter(), procs, cfg)
+            .unwrap()
+            .with_outcome_log();
+        while !stream.done() {
+            stream.step(0).unwrap();
+        }
+        (
+            sess.metrics().unwrap(),
+            stream.log_metrics().unwrap(),
+            stream.metrics().clone(),
+        )
+    }
+
+    #[test]
+    fn matches_materialized_session_bit_for_bit() {
+        for seed in 0..4 {
+            for cfg in [SimConfig::no_backfill(), SimConfig::with_backfill()] {
+                let jobs = random_jobs(seed, 300);
+                let (sess_m, stream_m, acc) = run_both_fcfs(jobs, 8, cfg);
+                assert_eq!(sess_m, stream_m, "seed {seed}, cfg {cfg:?}");
+                // The accumulators fold in start order, so only to tolerance.
+                let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1.0);
+                assert!(rel(acc.avg_bounded_slowdown(), sess_m.avg_bounded_slowdown()) < 1e-9);
+                assert!(rel(acc.avg_waiting_time(), sess_m.avg_waiting_time()) < 1e-9);
+                assert!(rel(acc.utilization(), sess_m.utilization()) < 1e-9);
+                assert!(
+                    rel(
+                        acc.max_user_bounded_slowdown(),
+                        sess_m.max_user_bounded_slowdown()
+                    ) < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_queue_depth() {
+        // 5000 jobs trickling through a fast cluster: the slab must stay
+        // near the peak queue depth, far below the trace length.
+        let jobs = random_jobs(9, 5000);
+        let mut s = StreamSession::new(jobs.into_iter(), 64, SimConfig::with_backfill()).unwrap();
+        while !s.done() {
+            s.step(0).unwrap();
+        }
+        assert_eq!(s.started_count(), 5000);
+        assert!(
+            s.slab.len() <= s.peak_queue_depth() + 1,
+            "slab {} vs peak queue {}",
+            s.slab.len(),
+            s.peak_queue_depth()
+        );
+        assert!(s.peak_queue_depth() < 5000);
+    }
+
+    #[test]
+    fn unsorted_stream_is_rejected() {
+        // The regression is two jobs in: absorbed at the same decision
+        // point, so the error surfaces at construction.
+        let jobs = vec![
+            Job::new(1, 100.0, 10.0, 1, 10.0),
+            Job::new(2, 5.0, 10.0, 1, 10.0),
+        ];
+        assert_eq!(
+            StreamSession::new(jobs.into_iter(), 4, SimConfig::default()).unwrap_err(),
+            SimError::NonMonotoneArrival { seq: 1 }
+        );
+        // A later regression surfaces from step() while replaying.
+        let jobs = vec![
+            Job::new(1, 0.0, 500.0, 4, 500.0),
+            Job::new(2, 100.0, 10.0, 1, 10.0),
+            Job::new(3, 50.0, 10.0, 1, 10.0),
+        ];
+        let mut s = StreamSession::new(jobs.into_iter(), 4, SimConfig::default()).unwrap();
+        let err = loop {
+            match s.step(0) {
+                Ok(()) => assert!(!s.done(), "regression went unnoticed"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, SimError::NonMonotoneArrival { seq: 2 });
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        assert_eq!(
+            StreamSession::new(std::iter::empty(), 4, SimConfig::default()).unwrap_err(),
+            SimError::EmptyTrace
+        );
+    }
+
+    #[test]
+    fn unschedulable_records_are_skipped() {
+        let mut bad = Job::new(1, 0.0, -1.0, 1, 1.0);
+        bad.run_time = -1.0;
+        bad.requested_procs = -1;
+        bad.used_procs = -1;
+        let ok = Job::new(2, 1.0, 5.0, 1, 5.0);
+        let mut s = StreamSession::new(vec![bad, ok].into_iter(), 4, SimConfig::default()).unwrap();
+        s.step(0).unwrap();
+        assert!(s.done());
+        assert_eq!(s.started_count(), 1);
+        assert_eq!(s.metrics().count(), 1);
+    }
+
+    #[test]
+    fn step_errors_match_session() {
+        let jobs = vec![Job::new(1, 0.0, 10.0, 1, 10.0)];
+        let mut s = StreamSession::new(jobs.into_iter(), 4, SimConfig::default()).unwrap();
+        assert!(matches!(
+            s.step(3),
+            Err(SimError::BadQueuePosition {
+                pos: 3,
+                queue_len: 1
+            })
+        ));
+        s.step(0).unwrap();
+        assert_eq!(s.step(0).unwrap_err(), SimError::EmptyQueue);
+    }
+
+    #[test]
+    fn out_of_order_selection_matches_session() {
+        // Random (seeded) selections instead of FCFS, both backfill modes.
+        for cfg in [SimConfig::no_backfill(), SimConfig::with_backfill()] {
+            let jobs = random_jobs(17, 200);
+            let trace = JobTrace::new(jobs.clone(), 8);
+            let mut sess = SchedSession::new(&trace, cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut picks = Vec::new();
+            while !sess.done() {
+                let p = rng.gen_range(0..sess.queue_len());
+                picks.push(p);
+                sess.step(p).unwrap();
+            }
+            let mut stream = StreamSession::new(jobs.into_iter(), 8, cfg)
+                .unwrap()
+                .with_outcome_log();
+            for &p in &picks {
+                stream.step(p).unwrap();
+            }
+            assert!(stream.done());
+            assert_eq!(sess.metrics().unwrap(), stream.log_metrics().unwrap());
+        }
+    }
+}

@@ -36,7 +36,7 @@ fn run_with_picks(
     let mut s = SchedSession::new(trace, cfg).unwrap();
     let mut i = 0;
     while !s.done() {
-        let pos = picks[i % picks.len()] % s.queue().len();
+        let pos = picks[i % picks.len()] % s.queue_len();
         i += 1;
         s.step(pos).unwrap();
         assert!(s.free_procs() <= s.total_procs());

@@ -20,6 +20,7 @@ pub mod error;
 pub mod job;
 pub mod parse;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod write;
 
@@ -27,5 +28,6 @@ pub use error::SwfError;
 pub use job::{Job, JobStatus};
 pub use parse::{parse_reader, parse_str, SwfHeader};
 pub use stats::TraceStats;
+pub use stream::StreamReader;
 pub use trace::{JobTrace, SequenceSampler};
-pub use write::{write_string, write_writer};
+pub use write::{write_jobs, write_string, write_writer};

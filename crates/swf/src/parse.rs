@@ -58,13 +58,22 @@ fn parse_field_i64(tok: &str, line: usize, field: usize) -> Result<i64, SwfError
         })
 }
 
-/// Parse one SWF data line (18 fields) into a [`Job`].
+/// Parse one SWF data line (18 fields) into a [`Job`]. Allocation-free on
+/// the success path (tokens land in a fixed array), so a streaming reader
+/// can parse millions of lines without touching the heap.
 pub fn parse_line(line: &str, lineno: usize) -> Result<Job, SwfError> {
-    let toks: Vec<&str> = line.split_whitespace().collect();
-    if toks.len() != 18 {
+    let mut toks = [""; 18];
+    let mut found = 0usize;
+    for tok in line.split_whitespace() {
+        if found < 18 {
+            toks[found] = tok;
+        }
+        found += 1;
+    }
+    if found != 18 {
         return Err(SwfError::FieldCount {
             line: lineno,
-            found: toks.len(),
+            found,
         });
     }
     Ok(Job {
@@ -89,7 +98,7 @@ pub fn parse_line(line: &str, lineno: usize) -> Result<Job, SwfError> {
     })
 }
 
-fn parse_header_line(line: &str, header: &mut SwfHeader) {
+pub(crate) fn parse_header_line(line: &str, header: &mut SwfHeader) {
     let body = line.trim_start_matches(';').trim();
     if let Some((key, value)) = body.split_once(':') {
         let key = key.trim();

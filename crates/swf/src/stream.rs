@@ -1,0 +1,192 @@
+//! Streaming SWF reader: an iterator of [`Job`]s over any [`BufRead`]
+//! source that never materializes the trace.
+//!
+//! [`crate::parse_reader`] builds one big `Vec<Job>` — fine for the
+//! paper's sampled windows, fatal for replaying multi-year archives with
+//! millions of records. [`StreamReader`] reads one line at a time into a
+//! reused buffer and yields each job as it is parsed: memory stays
+//! constant in the trace length, and a well-formed line allocates
+//! nothing beyond the (warm) line buffer.
+//!
+//! The two readers agree exactly: header directives and prose comments
+//! are folded into the same [`SwfHeader`], blank lines are skipped, and
+//! a malformed line produces the same [`SwfError`] at the same 1-based
+//! line number (pinned by the stream-parity suite).
+
+use std::io::BufRead;
+
+use crate::error::SwfError;
+use crate::job::Job;
+use crate::parse::{parse_header_line, parse_line, SwfHeader};
+
+/// An iterator of `Result<Job, SwfError>` over an SWF byte stream.
+///
+/// Header `;` lines may appear anywhere (archives occasionally interleave
+/// comments with records); they accumulate into [`StreamReader::header`]
+/// as the stream advances. The cluster size is therefore best read after
+/// the header block has been consumed — [`StreamReader::max_procs`]
+/// falls back to the largest processor request *seen so far* when no
+/// `MaxProcs`/`MaxNodes` directive has appeared, mirroring
+/// [`crate::parse_reader`]'s whole-trace fallback.
+#[derive(Debug)]
+pub struct StreamReader<R: BufRead> {
+    reader: R,
+    header: SwfHeader,
+    /// Reused line buffer; its capacity warms to the longest line.
+    line: String,
+    /// 1-based number of the last line read.
+    lineno: usize,
+    /// Largest `Job::procs()` among the jobs yielded so far.
+    observed_procs: u32,
+    /// Set once an error has been yielded or the stream ended; the
+    /// iterator then stays fused.
+    done: bool,
+}
+
+impl<R: BufRead> StreamReader<R> {
+    /// Wrap a buffered reader positioned at the start of an SWF document.
+    pub fn new(reader: R) -> Self {
+        StreamReader {
+            reader,
+            header: SwfHeader::default(),
+            line: String::new(),
+            lineno: 0,
+            observed_procs: 0,
+            done: false,
+        }
+    }
+
+    /// Header metadata accumulated so far (complete once the first job
+    /// has been yielded, for the conventional header-then-records layout).
+    pub fn header(&self) -> &SwfHeader {
+        &self.header
+    }
+
+    /// 1-based number of the last line read (0 before the first read).
+    pub fn line_number(&self) -> usize {
+        self.lineno
+    }
+
+    /// The cluster size: the header's `MaxProcs`/`MaxNodes` directive, or
+    /// the largest processor request seen so far (minimum 1) when the
+    /// header carries none — the same fallback [`crate::parse_reader`]
+    /// applies over the whole trace.
+    pub fn max_procs(&self) -> u32 {
+        self.header
+            .max_procs()
+            .unwrap_or(self.observed_procs.max(1))
+    }
+}
+
+impl<R: BufRead> Iterator for StreamReader<R> {
+    type Item = Result<Job, SwfError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(SwfError::Io(e)));
+                }
+            }
+            self.lineno += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.starts_with(';') {
+                parse_header_line(trimmed, &mut self.header);
+                continue;
+            }
+            return match parse_line(trimmed, self.lineno) {
+                Ok(job) => {
+                    self.observed_procs = self.observed_procs.max(job.procs());
+                    Some(Ok(job))
+                }
+                Err(e) => {
+                    self.done = true;
+                    Some(Err(e))
+                }
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_reader;
+    use crate::trace::JobTrace;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; MaxProcs: 128
+; a prose comment
+
+1 0 5 100 4 -1 -1 4 120 -1 1 3 2 7 1 0 -1 -1
+
+2 10 -1 50 -1 -1 -1 8 60 -1 0 4 2 7 1 0 -1 -1
+";
+
+    #[test]
+    fn stream_matches_parse_reader() {
+        let jobs: Vec<Job> = StreamReader::new(SAMPLE.as_bytes())
+            .map(|j| j.unwrap())
+            .collect();
+        let materialized = parse_reader(SAMPLE.as_bytes()).unwrap();
+        let mut s = StreamReader::new(SAMPLE.as_bytes());
+        s.by_ref().for_each(drop);
+        let streamed = JobTrace::with_header(jobs, s.max_procs(), s.header().clone());
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn header_complete_after_first_job() {
+        let mut s = StreamReader::new(SAMPLE.as_bytes());
+        let first = s.next().unwrap().unwrap();
+        assert_eq!(first.id, 1);
+        assert_eq!(s.header().fields.get("Version").unwrap(), "2.2");
+        assert_eq!(s.header().comments, vec!["a prose comment"]);
+        assert_eq!(s.max_procs(), 128);
+    }
+
+    #[test]
+    fn error_carries_stream_line_number() {
+        let src = "; MaxProcs: 4\n1 0 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\nbad line\n";
+        let mut s = StreamReader::new(src.as_bytes());
+        assert!(s.next().unwrap().is_ok());
+        match s.next().unwrap().unwrap_err() {
+            SwfError::FieldCount { line, found } => {
+                assert_eq!(line, 3);
+                assert_eq!(found, 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(s.next().is_none(), "iterator fuses after an error");
+    }
+
+    #[test]
+    fn max_procs_falls_back_to_observed() {
+        let src = "1 0 0 10 16 -1 -1 16 10 -1 1 1 1 1 1 1 -1 -1\n";
+        let mut s = StreamReader::new(src.as_bytes());
+        assert_eq!(s.max_procs(), 1, "no jobs seen yet");
+        s.next().unwrap().unwrap();
+        assert_eq!(s.max_procs(), 16);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        let mut s = StreamReader::new("".as_bytes());
+        assert!(s.next().is_none());
+        assert_eq!(s.max_procs(), 1);
+    }
+}

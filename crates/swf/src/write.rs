@@ -1,8 +1,11 @@
 //! SWF writer: emits traces in a form [`crate::parse`] reads back losslessly.
 
+use std::fmt::Write as FmtWrite;
 use std::io::Write;
 
 use crate::error::SwfError;
+use crate::job::Job;
+use crate::parse::SwfHeader;
 use crate::trace::JobTrace;
 
 fn fmt_time(v: f64) -> String {
@@ -15,40 +18,52 @@ fn fmt_time(v: f64) -> String {
     }
 }
 
+/// Append one 18-field SWF record line (with trailing newline) to `out`.
+/// Every writer funnels through this, so the record format cannot drift
+/// between the materialized and streaming paths.
+pub fn push_job_line(out: &mut String, j: &Job) {
+    let _ = writeln!(
+        out,
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        j.id,
+        fmt_time(j.submit_time),
+        fmt_time(j.trace_wait_time),
+        fmt_time(j.run_time),
+        j.used_procs,
+        fmt_time(j.avg_cpu_time),
+        fmt_time(j.used_memory),
+        j.requested_procs,
+        fmt_time(j.requested_time),
+        fmt_time(j.requested_memory),
+        j.status.to_swf(),
+        j.user_id,
+        j.group_id,
+        j.executable_id,
+        j.queue_id,
+        j.partition_id,
+        j.preceding_job,
+        fmt_time(j.think_time),
+    );
+}
+
+fn push_header(out: &mut String, header: &SwfHeader, max_procs: u32) {
+    for (k, v) in &header.fields {
+        let _ = writeln!(out, "; {k}: {v}");
+    }
+    if !header.fields.contains_key("MaxProcs") {
+        let _ = writeln!(out, "; MaxProcs: {max_procs}");
+    }
+    for c in &header.comments {
+        let _ = writeln!(out, "; {c}");
+    }
+}
+
 /// Serialize a trace to SWF text.
 pub fn write_string(trace: &JobTrace) -> String {
     let mut out = String::new();
-    for (k, v) in &trace.header().fields {
-        out.push_str(&format!("; {k}: {v}\n"));
-    }
-    if !trace.header().fields.contains_key("MaxProcs") {
-        out.push_str(&format!("; MaxProcs: {}\n", trace.max_procs()));
-    }
-    for c in &trace.header().comments {
-        out.push_str(&format!("; {c}\n"));
-    }
+    push_header(&mut out, trace.header(), trace.max_procs());
     for j in trace.jobs() {
-        out.push_str(&format!(
-            "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
-            j.id,
-            fmt_time(j.submit_time),
-            fmt_time(j.trace_wait_time),
-            fmt_time(j.run_time),
-            j.used_procs,
-            fmt_time(j.avg_cpu_time),
-            fmt_time(j.used_memory),
-            j.requested_procs,
-            fmt_time(j.requested_time),
-            fmt_time(j.requested_memory),
-            j.status.to_swf(),
-            j.user_id,
-            j.group_id,
-            j.executable_id,
-            j.queue_id,
-            j.partition_id,
-            j.preceding_job,
-            fmt_time(j.think_time),
-        ));
+        push_job_line(&mut out, j);
     }
     out
 }
@@ -56,6 +71,28 @@ pub fn write_string(trace: &JobTrace) -> String {
 /// Serialize a trace to any [`Write`] sink.
 pub fn write_writer<W: Write>(trace: &JobTrace, mut w: W) -> Result<(), SwfError> {
     w.write_all(write_string(trace).as_bytes())?;
+    Ok(())
+}
+
+/// Stream an SWF document to a sink from an iterator of jobs, without
+/// ever holding the trace in memory: the header goes out first, then one
+/// record line per job through a reused buffer. The byte output for a
+/// given header + job sequence is identical to [`write_string`] on the
+/// equivalent materialized [`JobTrace`] (same `push_job_line` core).
+pub fn write_jobs<W: Write>(
+    header: &SwfHeader,
+    max_procs: u32,
+    jobs: impl Iterator<Item = Job>,
+    mut w: W,
+) -> Result<(), SwfError> {
+    let mut buf = String::with_capacity(256);
+    push_header(&mut buf, header, max_procs);
+    w.write_all(buf.as_bytes())?;
+    for j in jobs {
+        buf.clear();
+        push_job_line(&mut buf, &j);
+        w.write_all(buf.as_bytes())?;
+    }
     Ok(())
 }
 
@@ -99,6 +136,18 @@ mod tests {
         let t = JobTrace::new(vec![Job::new(1, 0.0, 1.0, 1, 1.0)], 4);
         let mut buf = Vec::new();
         write_writer(&t, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), write_string(&t));
+    }
+
+    #[test]
+    fn streaming_writer_matches_write_string() {
+        let jobs = vec![
+            Job::new(1, 0.0, 100.0, 4, 120.0).with_user(3),
+            Job::new(2, 10.5, 50.0, 8, 60.0).with_user(4),
+        ];
+        let t = JobTrace::new(jobs.clone(), 128);
+        let mut buf = Vec::new();
+        write_jobs(t.header(), t.max_procs(), jobs.into_iter(), &mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), write_string(&t));
     }
 }

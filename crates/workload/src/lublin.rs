@@ -185,22 +185,81 @@ impl LublinModel {
 
     /// Generate a trace of `n` jobs, reproducibly from `seed`.
     pub fn generate(&self, n: usize, seed: u64) -> JobTrace {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut jobs = Vec::with_capacity(n);
-        // Start mid-morning so the daily cycle is exercised from a busy
-        // region, as archive traces do.
-        let mut t = 9.0 * 3600.0;
-        for i in 0..n {
-            t += self.sample_gap(t, &mut rng);
-            let size = self.sample_size(&mut rng);
-            let runtime = self.sample_runtime(size, &mut rng);
-            let user = self.users.sample(&mut rng);
-            // The Lublin model generates runtimes, not user estimates; as in
-            // the reference setup, requested time equals the actual runtime.
-            let job = Job::new(i as u32 + 1, t, runtime, size, runtime).with_user(user);
-            jobs.push(job);
-        }
+        let jobs: Vec<Job> = self.stream(n, seed).collect();
         JobTrace::new(jobs, self.params.cluster_size)
+    }
+
+    /// Stream `n` jobs one at a time, reproducibly from `seed`, without
+    /// materializing the trace: the iterator drives the same sequential
+    /// RNG walk as [`LublinModel::generate`] (which is now implemented on
+    /// top of it), so the yielded jobs are bit-identical to the generated
+    /// trace's — and already in submit order, since arrival times are a
+    /// running sum of positive gaps.
+    pub fn stream(&self, n: usize, seed: u64) -> LublinStream<'_> {
+        LublinStream {
+            model: self,
+            rng: StdRng::seed_from_u64(seed),
+            // Start mid-morning so the daily cycle is exercised from a
+            // busy region, as archive traces do.
+            t: 9.0 * 3600.0,
+            next: 0,
+            n,
+        }
+    }
+
+    /// Write a seeded `n`-job synthetic trace straight to an SWF sink in
+    /// one streaming pass (constant memory): the trace-scale replay
+    /// fixture generator for the offline build environment, where no
+    /// archive traces exist. The emitted document parses back (via
+    /// either SWF reader) to exactly the jobs of
+    /// [`LublinModel::generate`] with the model's cluster size.
+    pub fn write_swf<W: std::io::Write>(
+        &self,
+        n: usize,
+        seed: u64,
+        w: W,
+    ) -> Result<(), rlsched_swf::SwfError> {
+        let mut header = rlsched_swf::SwfHeader::default();
+        header
+            .fields
+            .insert("MaxProcs".to_string(), self.params.cluster_size.to_string());
+        rlsched_swf::write_jobs(&header, self.params.cluster_size, self.stream(n, seed), w)
+    }
+}
+
+/// The streaming counterpart of [`LublinModel::generate`]: yields the
+/// exact same job sequence, one record at a time.
+#[derive(Debug)]
+pub struct LublinStream<'a> {
+    model: &'a LublinModel,
+    rng: StdRng,
+    t: f64,
+    next: usize,
+    n: usize,
+}
+
+impl Iterator for LublinStream<'_> {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        if self.next >= self.n {
+            return None;
+        }
+        let m = self.model;
+        self.t += m.sample_gap(self.t, &mut self.rng);
+        let size = m.sample_size(&mut self.rng);
+        let runtime = m.sample_runtime(size, &mut self.rng);
+        let user = m.users.sample(&mut self.rng);
+        let i = self.next;
+        self.next += 1;
+        // The Lublin model generates runtimes, not user estimates; as in
+        // the reference setup, requested time equals the actual runtime.
+        Some(Job::new(i as u32 + 1, self.t, runtime, size, runtime).with_user(user))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.n - self.next;
+        (left, Some(left))
     }
 }
 
@@ -316,5 +375,32 @@ mod tests {
             night_mean > 1.5 * peak_mean,
             "night {night_mean} vs peak {peak_mean}"
         );
+    }
+
+    #[test]
+    fn stream_matches_generate_bit_for_bit() {
+        let m = LublinModel::new(LublinParams::lublin1());
+        let streamed: Vec<_> = m.stream(300, 17).collect();
+        let generated = m.generate(300, 17);
+        assert_eq!(streamed.as_slice(), generated.jobs());
+        // Arrivals are monotone, so streaming order IS trace order.
+        for w in streamed.windows(2) {
+            assert!(w[0].submit_time <= w[1].submit_time);
+        }
+    }
+
+    #[test]
+    fn write_swf_round_trips_through_both_readers() {
+        let m = LublinModel::new(LublinParams::lublin2());
+        let mut buf = Vec::new();
+        m.write_swf(150, 3, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = rlsched_swf::parse_str(&text).unwrap();
+        assert_eq!(parsed.max_procs(), m.params().cluster_size);
+        assert_eq!(parsed.jobs(), m.generate(150, 3).jobs());
+        let streamed: Vec<_> = rlsched_swf::StreamReader::new(text.as_bytes())
+            .map(|j| j.unwrap())
+            .collect();
+        assert_eq!(streamed.as_slice(), parsed.jobs());
     }
 }

@@ -1,0 +1,51 @@
+//! Calendar parity at the policy level: episodes scheduled by every
+//! `PolicyKind` produce bit-identical metrics whether the session's wait
+//! queue is the Fenwick-indexed calendar (`IndexedQueue`, the default)
+//! or the historical linear scan (`LinearQueue`). The sim-level
+//! `calendar_parity` suite pins the backends' op-for-op equivalence;
+//! this pins the full RL decision loop on top (and runs on both SIMD
+//! dispatch arms in CI, since the policies score through the kernels).
+
+use rlsched_repro::core::{Agent, AgentConfig, ObsConfig, PolicyKind};
+use rlsched_repro::sim::{run_episode, LinearQueue, MetricKind, Policy, SchedSession, SimConfig};
+use rlsched_repro::workload::NamedWorkload;
+
+#[test]
+fn every_policy_kind_is_backend_invariant() {
+    let trace = NamedWorkload::Lublin1.generate(200, 13);
+    for kind in PolicyKind::all() {
+        let mut cfg = AgentConfig {
+            policy: kind,
+            obs: ObsConfig {
+                max_obsv: 16,
+                ..ObsConfig::default()
+            },
+            metric: MetricKind::BoundedSlowdown,
+            ppo: Default::default(),
+            seed: 9,
+        };
+        if kind == PolicyKind::LeNet {
+            cfg.obs.max_obsv = 64;
+        }
+        let agent = Agent::new(cfg);
+        for sim in [SimConfig::no_backfill(), SimConfig::with_backfill()] {
+            // Indexed calendar: the default session, via the stock runner.
+            let indexed = run_episode(&trace, sim, &mut agent.as_policy()).unwrap();
+
+            // Linear scan: the same episode on the historical backend.
+            let mut policy = agent.as_policy();
+            let mut session = SchedSession::<LinearQueue>::with_queue(&trace, sim).unwrap();
+            while !session.done() {
+                let view = session.view();
+                let pos = policy.select(&view);
+                session.step(pos).unwrap();
+            }
+            let linear = session.metrics().unwrap();
+
+            assert_eq!(
+                indexed, linear,
+                "{kind:?} diverged across queue backends under {sim:?}"
+            );
+        }
+    }
+}
