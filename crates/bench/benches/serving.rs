@@ -10,12 +10,13 @@
 //! batch instead of once per request), while the kernel policy's
 //! weights are L1-resident so its win is dispatch amortization only.
 //! The criterion shim emits `BENCH_serving.json` (the file is named
-//! after this bench target; ids stay under `serving_throughput/`).
+//! after this bench target; engine ids live under
+//! `serving_throughput/`, end-to-end wire arms under `serving_wire/`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use rlsched_rl::{greedy_batch, ActorScratch, PpoConfig};
-use rlsched_serve::{ScorerSlot, ShardEngine};
+use rlsched_serve::{ListenAddr, ScorerSlot, ServeConfig, Server, ShardEngine, WireProtocol};
 use rlsched_sim::MetricKind;
 use rlscheduler::{
     Agent, AgentConfig, ObsConfig, PolicyKind, QueueSnapshot, SnapshotJob, JOB_FEATURES,
@@ -118,11 +119,64 @@ fn bench_serving_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wire-protocol cost in isolation: a synchronous score_raw round trip
+/// against a live 1-shard server with a tiny coalesce window, for every
+/// {JSON, binary} × {TCP, UDS} cell. The scoring work is identical in
+/// every cell (same kernel scorer, same row), so the spread between
+/// arms is encode + transport + decode — the thing the binary format
+/// and the UDS front door exist to shrink.
+type ListenerArm = (&'static str, fn() -> ListenAddr);
+
+fn bench_serving_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_wire");
+    let agent = agent(PolicyKind::Kernel);
+    let rows = request_rows(&agent, 4);
+    let row = &rows[2]; // a mid-depth queue, not degenerate
+    let listeners: Vec<ListenerArm> = vec![
+        ("tcp", || ListenAddr::Tcp("127.0.0.1:0".into())),
+        #[cfg(unix)]
+        ("uds", || ListenAddr::unix_temp("serving-bench")),
+    ];
+    for (transport, listen) in listeners {
+        for proto in [WireProtocol::Json, WireProtocol::Binary] {
+            let handle = Server::spawn(
+                agent.scorer_snapshot(),
+                *agent.encoder(),
+                ServeConfig {
+                    shards: 1,
+                    // A near-zero window: a lone synchronous client's
+                    // latency is wire + one rows=1 forward, not waiting
+                    // for batch-mates that never come.
+                    coalesce_window: std::time::Duration::from_micros(5),
+                    addr: listen(),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("server spawns");
+            let mut client = handle
+                .connect()
+                .expect("client connects")
+                .with_protocol(proto);
+            group.bench_function(format!("{}_{transport}", proto.name()), |b| {
+                b.iter(|| {
+                    let d = client
+                        .score_raw(&row.obs, &row.mask, row.queue_len)
+                        .expect("round trip");
+                    criterion::black_box(d.action)
+                })
+            });
+            drop(client);
+            handle.shutdown();
+        }
+    }
+    group.finish();
+}
+
 fn short_config() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group! {name = benches; config = short_config(); targets = bench_serving_throughput}
+criterion_group! {name = benches; config = short_config(); targets = bench_serving_throughput, bench_serving_wire}
 criterion_main!(benches);

@@ -10,7 +10,9 @@
 //! replay                         # full run: 1,000,000 jobs, FCFS + SJF (+ agent at 1/20 scale)
 //! replay --jobs 200000 --seed 7  # custom scale
 //! replay --smoke                 # small trace, all three heads: heuristic + agent + served
-//! replay --serve-load            # fire replayed decision points at a live server (open loop)
+//! replay --serve-load            # fire replayed decision points at live servers, one
+//!                                # open-loop run per {JSON, binary} × {TCP, UDS} cell
+//! replay --mmap                  # read the trace through the memory-mapped SWF reader
 //! replay --stretch 1.0           # raw calibrated arrivals (long runs back up under FCFS)
 //! ```
 //!
@@ -36,10 +38,13 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 
 use rlsched_replay::{
-    collect_timed_requests, open_swf, RemoteDecider, ReplayEngine, ReplayPolicy, ReplayReport,
+    collect_timed_requests, open_swf, open_swf_mmap, RemoteDecider, ReplayEngine, ReplayPolicy,
+    ReplayReport, SwfSource,
 };
 use rlsched_sched::HeuristicKind;
-use rlsched_serve::{LoadGen, LoadGenConfig, ServeClient, ServeConfig, Server};
+use rlsched_serve::{
+    ListenAddr, LoadGen, LoadGenConfig, ServeConfig, Server, Transport, WireProtocol,
+};
 use rlsched_sim::{MetricKind, SimConfig};
 use rlsched_workload::{LublinModel, LublinParams};
 use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind};
@@ -51,10 +56,11 @@ struct Args {
     smoke: bool,
     serve_load: bool,
     backfill: bool,
+    mmap: bool,
 }
 
-const USAGE: &str =
-    "usage: replay [--jobs N] [--seed N] [--stretch F] [--smoke] [--serve-load] [--no-backfill]";
+const USAGE: &str = "usage: replay [--jobs N] [--seed N] [--stretch F] [--smoke] [--serve-load] \
+     [--no-backfill] [--mmap]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -64,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         serve_load: false,
         backfill: true,
+        mmap: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -90,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--serve-load" => args.serve_load = true,
             "--no-backfill" => args.backfill = false,
+            "--mmap" => args.mmap = true,
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
@@ -125,18 +133,32 @@ fn write_trace(jobs: usize, seed: u64, stretch: f64) -> std::io::Result<std::pat
     Ok(path)
 }
 
-fn replay_arm(
-    path: &std::path::Path,
+fn run_source<R: std::io::BufRead, S: Transport>(
+    src: SwfSource<R>,
     cfg: SimConfig,
-    policy: &mut ReplayPolicy<'_>,
+    policy: &mut ReplayPolicy<'_, S>,
 ) -> Result<ReplayReport, String> {
-    let src = open_swf(path).map_err(|e| e.to_string())?;
     let mut engine = ReplayEngine::new(src.jobs, src.max_procs, cfg).map_err(|e| e.to_string())?;
     let report = engine.run(policy).map_err(|e| e.to_string())?;
     if let Some(e) = src.errors.take() {
         return Err(format!("trace cut short: {e}"));
     }
     Ok(report)
+}
+
+fn replay_arm<S: Transport>(
+    path: &std::path::Path,
+    cfg: SimConfig,
+    mmap: bool,
+    policy: &mut ReplayPolicy<'_, S>,
+) -> Result<ReplayReport, String> {
+    if mmap {
+        let src = open_swf_mmap(path).map_err(|e| e.to_string())?;
+        run_source(src, cfg, policy)
+    } else {
+        let src = open_swf(path).map_err(|e| e.to_string())?;
+        run_source(src, cfg, policy)
+    }
 }
 
 fn print_report(label: &str, r: &ReplayReport) {
@@ -221,9 +243,14 @@ fn run(args: Args) -> Result<(), String> {
         ));
     };
 
+    if args.mmap {
+        println!("[reading the trace through the memory-mapped SWF reader]");
+    }
+
     // Heuristic arms: the full trace, one pass each.
     for kind in [HeuristicKind::Fcfs, HeuristicKind::Sjf] {
-        let r = replay_arm(&path, cfg, &mut ReplayPolicy::Heuristic(kind))?;
+        let mut policy: ReplayPolicy = ReplayPolicy::Heuristic(kind);
+        let r = replay_arm(&path, cfg, args.mmap, &mut policy)?;
         print_report(kind.name(), &r);
         record(&kind.name().to_lowercase(), &r);
     }
@@ -242,16 +269,14 @@ fn run(args: Args) -> Result<(), String> {
         write_trace(agent_jobs, args.seed, args.stretch).map_err(|e| e.to_string())?
     };
     let agent = small_agent(args.seed);
-    let r = replay_arm(
-        &agent_path,
-        cfg,
-        &mut ReplayPolicy::Agent(agent.stream_decider()),
-    )?;
+    let mut agent_policy: ReplayPolicy = ReplayPolicy::Agent(agent.stream_decider());
+    let r = replay_arm(&agent_path, cfg, args.mmap, &mut agent_policy)?;
     print_report("RL-agent", &r);
     record("agent", &r);
 
-    // Served arm (smoke / serve-load): decisions cross TCP to a live
-    // sharded server built from the same weights.
+    // Served arm (smoke / serve-load): decisions cross the wire to a
+    // live sharded server built from the same weights. Transport and
+    // format follow `RLSCHED_WIRE` (TCP + JSON by default).
     if args.smoke || args.serve_load {
         let handle = Server::spawn(
             agent.scorer_snapshot(),
@@ -259,50 +284,80 @@ fn run(args: Args) -> Result<(), String> {
             ServeConfig::default(),
         )
         .map_err(|e| e.to_string())?;
-        let client = ServeClient::connect(handle.addr()).map_err(|e| e.to_string())?;
+        let client = handle.connect().map_err(|e| e.to_string())?;
         let mut policy = ReplayPolicy::Remote(
             RemoteDecider::new(client, 16).with_local_fallback(HeuristicKind::Sjf),
         );
-        let r = replay_arm(&agent_path, cfg, &mut policy)?;
+        let r = replay_arm(&agent_path, cfg, args.mmap, &mut policy)?;
         print_report("RL-served", &r);
         record("served", &r);
+        handle.shutdown();
 
         if args.serve_load {
             // Open-loop load generation on the trace's own (compressed)
-            // inter-arrival gaps.
+            // inter-arrival gaps — one run per {format} × {transport}
+            // cell, each against a dedicated server, so the recorded
+            // request quantiles compare wire stacks under identical
+            // offered load.
             let src = open_swf(&agent_path).map_err(|e| e.to_string())?;
             let requests =
                 collect_timed_requests(src.jobs, src.max_procs, cfg, HeuristicKind::Fcfs, 16)
                     .map_err(|e| e.to_string())?;
-            let gen = LoadGen::new(
-                handle.addr(),
-                LoadGenConfig {
-                    workers: 4,
-                    time_scale: 1e-9,
-                    ..Default::default()
-                },
-            );
-            let lr = gen.run(&requests).map_err(|e| e.to_string())?;
-            println!(
-                "{:>10}: {} requests in {:?} ({} ok, {} sheds, {} fallbacks, {} errors), \
-                 p50 {} ns, p99 {} ns",
-                "loadgen",
-                lr.sent(),
-                lr.elapsed,
-                lr.ok,
-                lr.sheds,
-                lr.fallbacks,
-                lr.errors,
-                lr.hist.quantile_ns(0.5),
-                lr.hist.quantile_ns(0.99),
-            );
-            entries.push((
-                "replay/loadgen/request_p50".into(),
-                lr.hist.quantile_ns(0.5) as f64,
-                lr.ok,
-            ));
+            type ListenerArm = (&'static str, fn() -> ListenAddr);
+            let listeners: Vec<ListenerArm> = vec![
+                ("tcp", || ListenAddr::Tcp("127.0.0.1:0".into())),
+                #[cfg(unix)]
+                ("uds", || ListenAddr::unix_temp("replay-loadgen")),
+            ];
+            for (transport, listen) in listeners {
+                let handle = Server::spawn(
+                    agent.scorer_snapshot(),
+                    *agent.encoder(),
+                    ServeConfig {
+                        addr: listen(),
+                        ..ServeConfig::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                for proto in [WireProtocol::Json, WireProtocol::Binary] {
+                    let gen = LoadGen::to(
+                        handle.server_addr(),
+                        LoadGenConfig {
+                            workers: 4,
+                            time_scale: 1e-9,
+                            ..Default::default()
+                        },
+                    )
+                    .with_protocol(proto);
+                    let lr = gen.run(&requests).map_err(|e| e.to_string())?;
+                    let cell = format!("{}_{transport}", proto.name());
+                    println!(
+                        "{:>18}: {} requests in {:?} ({} ok, {} sheds, {} fallbacks, \
+                         {} errors), p50 {} ns, p99 {} ns",
+                        format!("loadgen {cell}"),
+                        lr.sent(),
+                        lr.elapsed,
+                        lr.ok,
+                        lr.sheds,
+                        lr.fallbacks,
+                        lr.errors,
+                        lr.hist.quantile_ns(0.5),
+                        lr.hist.quantile_ns(0.99),
+                    );
+                    entries.push((
+                        format!("replay/loadgen_{cell}/request_p50"),
+                        lr.hist.quantile_ns(0.5) as f64,
+                        lr.ok,
+                    ));
+                    entries.push((
+                        format!("replay/loadgen_{cell}/request_p99"),
+                        lr.hist.quantile_ns(0.99) as f64,
+                        lr.ok,
+                    ));
+                }
+                handle.shutdown();
+            }
         }
-        handle.shutdown();
     }
 
     write_bench_json(&entries);

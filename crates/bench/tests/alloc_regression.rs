@@ -389,6 +389,60 @@ fn fast_paths_do_not_regress_allocations() {
          ({engine_allocs} allocations for an 8-row batch)"
     );
 
+    // ---- binary wire codec: a ScoreRaw encode + decode round trip is
+    // allocation-free at steady state. The client encodes straight from
+    // its borrowed observation slices into a reused wire buffer; the
+    // reader decodes into a reused frame buffer and a reused Request
+    // whose vectors have warmed to the row size. This is the whole
+    // point of the binary format — no intermediate String, no
+    // serde_json Value, no per-float parse — so pin it to exactly 0.
+    // (Pure codec: no sockets or threads inside the counted window.)
+    // ----
+    {
+        use rlsched_serve::protocol::{encode_score_raw_frame, read_frame_any_into};
+        use rlsched_serve::{Request, WireFrame};
+        let row_f32: Vec<f32> = obs.clone();
+        let mask_f32: Vec<f32> = mask.clone();
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        let mut text_line = String::new();
+        let mut decoded = Request::scratch();
+        let cycle = |wire: &mut Vec<u8>,
+                     payload: &mut Vec<u8>,
+                     text_line: &mut String,
+                     decoded: &mut Request| {
+            encode_score_raw_frame(wire, 7, &row_f32, &mask_f32, 3);
+            let mut reader = &wire[..];
+            read_frame_any_into(&mut reader, payload, text_line, decoded)
+                .expect("well-formed frame")
+                .expect("frame present");
+        };
+        // Warm: grows the wire buffer, the payload buffer and the
+        // decoded request's obs/mask vectors to this row shape.
+        cycle(&mut wire, &mut payload, &mut text_line, &mut decoded);
+        let codec_allocs = count_allocs(|| {
+            for _ in 0..16 {
+                cycle(&mut wire, &mut payload, &mut text_line, &mut decoded);
+            }
+        });
+        assert_eq!(
+            codec_allocs, 0,
+            "binary ScoreRaw encode+decode must not allocate at steady \
+             state ({codec_allocs} allocations over 16 round trips)"
+        );
+        match &decoded {
+            Request::ScoreRaw {
+                obs: got_obs,
+                mask: got_mask,
+                ..
+            } => {
+                assert_eq!(got_obs.len(), row_f32.len());
+                assert_eq!(got_mask.len(), mask_f32.len());
+            }
+            other => panic!("wrong variant decoded: {other:?}"),
+        }
+    }
+
     // ---- degraded-mode hot path: when a shard is down, every request
     // still crosses the heuristic fallback decision and the per-request
     // health accounting (histogram record). A tier surviving a failure

@@ -33,15 +33,18 @@
 
 use std::cell::Cell;
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, Cursor};
+use std::net::TcpStream;
 use std::path::Path;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use rlsched_sched::{select_parts, select_streaming, HeuristicKind};
-use rlsched_serve::{ClientError, LatencyHistogram, ServeClient, ServedBy, TimedRequest};
+use rlsched_serve::{
+    ClientError, LatencyHistogram, ServeClient, ServedBy, TimedRequest, Transport,
+};
 use rlsched_sim::{EpisodeMetrics, SimConfig, SimError, StreamMetrics, StreamSession};
-use rlsched_swf::{Job, StreamReader, SwfError};
+use rlsched_swf::{Job, MmapFile, StreamReader, SwfError};
 use rlscheduler::{QueueSnapshot, SnapshotJob, StreamDecider};
 
 /// Why a replay stopped short of the end of the trace.
@@ -103,16 +106,18 @@ impl SwfErrorSlot {
     }
 }
 
-/// An `Iterator<Item = Job>` over an SWF file that parks parse errors
-/// in its [`SwfErrorSlot`] and fuses, instead of panicking mid-replay.
+/// An `Iterator<Item = Job>` over an SWF byte source that parks parse
+/// errors in its [`SwfErrorSlot`] and fuses, instead of panicking
+/// mid-replay. Generic over the underlying reader: a buffered file by
+/// default, a memory map via [`open_swf_mmap`].
 #[derive(Debug)]
-pub struct SwfJobs {
+pub struct SwfJobs<R: BufRead = BufReader<File>> {
     first: Option<Job>,
-    reader: StreamReader<BufReader<File>>,
+    reader: StreamReader<R>,
     errors: SwfErrorSlot,
 }
 
-impl Iterator for SwfJobs {
+impl<R: BufRead> Iterator for SwfJobs<R> {
     type Item = Job;
 
     fn next(&mut self) -> Option<Job> {
@@ -133,23 +138,20 @@ impl Iterator for SwfJobs {
 /// An opened SWF trace, ready to stream: the cluster size, the job
 /// iterator, and the mid-stream error slot.
 #[derive(Debug)]
-pub struct SwfSource {
+pub struct SwfSource<R: BufRead = BufReader<File>> {
     /// Cluster size: the header's `MaxProcs`/`MaxNodes`, or the first
     /// job's request when the header carries none.
     pub max_procs: u32,
-    /// The jobs, one at a time off disk.
-    pub jobs: SwfJobs,
+    /// The jobs, one at a time off the source.
+    pub jobs: SwfJobs<R>,
     /// Check after the replay: a parked error means a truncated pass.
     pub errors: SwfErrorSlot,
 }
 
-/// Open an SWF file for streaming replay. Reads up to the first job
-/// record (so the conventional header-then-records layout has settled
-/// `MaxProcs`) and returns the source; errors on an unreadable file or
-/// a malformed first record.
-pub fn open_swf(path: impl AsRef<Path>) -> Result<SwfSource, SwfError> {
-    let file = File::open(path).map_err(SwfError::Io)?;
-    let mut reader = StreamReader::new(BufReader::new(file));
+/// Reader-generic tail of [`open_swf`] / [`open_swf_mmap`]: read up to
+/// the first job record (so the conventional header-then-records
+/// layout has settled `MaxProcs`) and wrap the stream.
+fn source_from_reader<R: BufRead>(mut reader: StreamReader<R>) -> Result<SwfSource<R>, SwfError> {
     let first = match reader.next() {
         None => None,
         Some(Ok(j)) => Some(j),
@@ -167,6 +169,22 @@ pub fn open_swf(path: impl AsRef<Path>) -> Result<SwfSource, SwfError> {
     })
 }
 
+/// Open an SWF file for streaming replay through a buffered reader.
+/// Errors on an unreadable file or a malformed first record.
+pub fn open_swf(path: impl AsRef<Path>) -> Result<SwfSource, SwfError> {
+    let file = File::open(path).map_err(SwfError::Io)?;
+    source_from_reader(StreamReader::new(BufReader::new(file)))
+}
+
+/// Open an SWF file for streaming replay over a memory map: the parser
+/// walks the page cache directly, with no read syscalls or buffer
+/// copies on the replay's hot path. Parity with [`open_swf`] (jobs,
+/// cluster size, error line numbers) is pinned by the tests.
+pub fn open_swf_mmap(path: impl AsRef<Path>) -> Result<SwfSource<Cursor<MmapFile>>, SwfError> {
+    let mapped = MmapFile::open(path).map_err(SwfError::Io)?;
+    source_from_reader(StreamReader::new(Cursor::new(mapped)))
+}
+
 /// A decision head for replay over a live `rlsched-serve` tier: builds
 /// a [`QueueSnapshot`] straight from the streaming wait queue (into
 /// reused buffers) and asks the server to score it. Shed/failure
@@ -175,8 +193,8 @@ pub fn open_swf(path: impl AsRef<Path>) -> Result<SwfSource, SwfError> {
 /// failure past the retry budget is answered locally too when a
 /// fallback is configured, and surfaces as
 /// [`ReplayError::Client`] otherwise.
-pub struct RemoteDecider {
-    client: ServeClient,
+pub struct RemoteDecider<S: Transport = TcpStream> {
+    client: ServeClient<S>,
     /// Snapshot truncation window (the serving agent's `max_obsv`).
     window: usize,
     fallback: Option<HeuristicKind>,
@@ -187,10 +205,10 @@ pub struct RemoteDecider {
     remote_fallbacks: u64,
 }
 
-impl RemoteDecider {
+impl<S: Transport> RemoteDecider<S> {
     /// Wrap a connected client. `window` must equal the serving agent's
     /// observation window.
-    pub fn new(client: ServeClient, window: usize) -> Self {
+    pub fn new(client: ServeClient<S>, window: usize) -> Self {
         RemoteDecider {
             client,
             window,
@@ -235,7 +253,7 @@ impl RemoteDecider {
     }
 
     /// Recover the client (e.g. to query stats after a replay).
-    pub fn into_client(self) -> ServeClient {
+    pub fn into_client(self) -> ServeClient<S> {
         self.client
     }
 
@@ -298,17 +316,17 @@ impl RemoteDecider {
 
 /// The decision head a [`ReplayEngine`] drives — one variant per way
 /// the paper's policies can answer "which waiting job starts next".
-pub enum ReplayPolicy<'a> {
+pub enum ReplayPolicy<'a, S: Transport = TcpStream> {
     /// A Table III priority function, evaluated on the fly
     /// (`select_streaming`; bit-identical to `PriorityScheduler`).
     Heuristic(HeuristicKind),
     /// A trained agent in-process (bit-identical to `Agent::as_policy`).
     Agent(StreamDecider<'a>),
     /// Every decision over the wire to a live serving tier.
-    Remote(RemoteDecider),
+    Remote(RemoteDecider<S>),
 }
 
-impl ReplayPolicy<'_> {
+impl<S: Transport> ReplayPolicy<'_, S> {
     /// Display tag for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -412,7 +430,10 @@ impl<I: Iterator<Item = Job>> ReplayEngine<I> {
     }
 
     /// Drive the replay to completion under `policy` and report.
-    pub fn run(&mut self, policy: &mut ReplayPolicy<'_>) -> Result<ReplayReport, ReplayError> {
+    pub fn run<S: Transport>(
+        &mut self,
+        policy: &mut ReplayPolicy<'_, S>,
+    ) -> Result<ReplayReport, ReplayError> {
         let start = Instant::now();
         while !self.session.done() {
             let t0 = Instant::now();
@@ -520,5 +541,48 @@ mod tests {
     #[test]
     fn open_swf_rejects_missing_file() {
         assert!(open_swf("/nonexistent/definitely/not.swf").is_err());
+    }
+
+    #[test]
+    fn mmap_source_matches_buffered_source() {
+        let dir = std::env::temp_dir().join("rlsched-replay-test-mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pair.swf");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "; MaxProcs: 64").unwrap();
+        writeln!(f, "1 0 5 100 4 -1 -1 4 120 -1 1 3 2 7 1 0 -1 -1").unwrap();
+        writeln!(f, "2 10 1 50 2 -1 -1 2 60 -1 1 4 2 7 1 0 -1 -1").unwrap();
+        drop(f);
+        let buffered = open_swf(&path).unwrap();
+        let mapped = open_swf_mmap(&path).unwrap();
+        assert_eq!(buffered.max_procs, mapped.max_procs);
+        let a: Vec<Job> = buffered.jobs.collect();
+        let b: Vec<Job> = mapped.jobs.collect();
+        assert_eq!(a, b);
+        assert!(buffered.errors.take().is_none());
+        assert!(mapped.errors.take().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_source_parks_mid_stream_errors_identically() {
+        let dir = std::env::temp_dir().join("rlsched-replay-test-mmap-err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.swf");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "1 0 5 100 4 -1 -1 4 120 -1 1 3 2 7 1 0 -1 -1").unwrap();
+        writeln!(f, "garbage line").unwrap();
+        drop(f);
+        let describe = |src_err: Option<SwfError>| format!("{:?}", src_err);
+        let buffered = open_swf(&path).unwrap();
+        assert_eq!(buffered.jobs.count(), 1);
+        let mapped = open_swf_mmap(&path).unwrap();
+        assert_eq!(mapped.jobs.count(), 1);
+        assert_eq!(
+            describe(buffered.errors.take()),
+            describe(mapped.errors.take()),
+            "same error at the same line from both sources"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

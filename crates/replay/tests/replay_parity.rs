@@ -6,7 +6,7 @@
 
 use rlsched_replay::{collect_timed_requests, RemoteDecider, ReplayEngine, ReplayPolicy};
 use rlsched_sched::{HeuristicKind, PriorityScheduler};
-use rlsched_serve::{LoadGen, LoadGenConfig, ServeClient, ServeConfig, Server};
+use rlsched_serve::{LoadGen, LoadGenConfig, ServeConfig, Server};
 use rlsched_sim::{run_episode, MetricKind, SimConfig};
 use rlsched_workload::{LublinModel, LublinParams};
 use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind};
@@ -38,7 +38,8 @@ fn heuristic_replay_matches_materialized_episode() {
             let mut engine = ReplayEngine::new(model.stream(400, 11), trace.max_procs(), cfg)
                 .unwrap()
                 .with_outcome_log();
-            let report = engine.run(&mut ReplayPolicy::Heuristic(kind)).unwrap();
+            let mut policy: ReplayPolicy = ReplayPolicy::Heuristic(kind);
+            let report = engine.run(&mut policy).unwrap();
             assert_eq!(
                 engine.log_metrics().unwrap(),
                 want,
@@ -65,9 +66,8 @@ fn agent_replay_matches_as_policy_episode() {
     let mut engine = ReplayEngine::new(model.stream(250, 5), trace.max_procs(), cfg)
         .unwrap()
         .with_outcome_log();
-    let report = engine
-        .run(&mut ReplayPolicy::Agent(agent.stream_decider()))
-        .unwrap();
+    let mut policy: ReplayPolicy = ReplayPolicy::Agent(agent.stream_decider());
+    let report = engine.run(&mut policy).unwrap();
     assert_eq!(engine.log_metrics().unwrap(), want);
     assert_eq!(report.metrics.count(), trace.len() as u64);
 }
@@ -84,9 +84,8 @@ fn served_replay_matches_in_process_agent() {
     let mut local = ReplayEngine::new(model.stream(150, 23), trace.max_procs(), cfg)
         .unwrap()
         .with_outcome_log();
-    local
-        .run(&mut ReplayPolicy::Agent(agent.stream_decider()))
-        .unwrap();
+    let mut local_policy: ReplayPolicy = ReplayPolicy::Agent(agent.stream_decider());
+    local.run(&mut local_policy).unwrap();
 
     // Over-the-wire arm against a live server with the same weights.
     let handle = Server::spawn(
@@ -95,7 +94,7 @@ fn served_replay_matches_in_process_agent() {
         ServeConfig::default(),
     )
     .unwrap();
-    let client = ServeClient::connect(handle.addr()).unwrap();
+    let client = handle.connect().unwrap();
     let mut remote = ReplayEngine::new(model.stream(150, 23), trace.max_procs(), cfg)
         .unwrap()
         .with_outcome_log();
@@ -136,8 +135,8 @@ fn replayed_arrivals_drive_the_load_generator() {
         ServeConfig::default(),
     )
     .unwrap();
-    let gen = LoadGen::new(
-        handle.addr(),
+    let gen = LoadGen::to(
+        handle.server_addr(),
         LoadGenConfig {
             workers: 2,
             time_scale: 1e-9,

@@ -4,6 +4,14 @@
 //! serving tier exactly as it would through `Agent::as_policy` (the
 //! parity suite pins that the decisions are bit-identical).
 //!
+//! The client is generic over the [`Transport`] (TCP by default, Unix
+//! domain sockets via [`ServeClient::connect_uds`]) and speaks either
+//! wire format ([`WireProtocol`]); the format is chosen per client —
+//! the server sniffs it per frame, so no handshake exists. All frame
+//! buffers (outgoing bytes, incoming payload/line, the decoded
+//! response) are owned by the client and reused across requests, so a
+//! binary `score_raw` round trip is allocation-free at steady state.
+//!
 //! ## Resilience model
 //!
 //! Every call returns `Result<_, `[`ClientError`]`>` — the client never
@@ -22,14 +30,20 @@
 //! a fresh one.
 
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
 use std::time::{Duration, Instant};
 
 use rlsched_sched::{select_parts, HeuristicKind};
 use rlsched_sim::{Policy, QueueView};
 use rlscheduler::QueueSnapshot;
 
-use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats, ServedBy};
+use crate::protocol::{
+    encode_binary_frame, encode_json_frame, encode_score_raw_frame, read_frame_any_into, Request,
+    Response, ServeStats, ServedBy, WireFrame, WireProtocol,
+};
+use crate::transport::{wire_env, AnyStream, ServerAddr, Transport};
 
 /// Why a client call failed. Every request resolves to exactly one of:
 /// a [`Decision`], or one of these.
@@ -110,28 +124,38 @@ impl Default for ClientConfig {
     }
 }
 
-struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+struct Conn<S: Transport> {
+    reader: BufReader<S>,
+    writer: S,
 }
 
-/// A synchronous, single-in-flight client over one TCP connection,
-/// with transparent reconnect (see the module docs).
+/// A synchronous, single-in-flight client over one connection, with
+/// transparent reconnect (see the module docs). Generic over the
+/// stream type; `ServeClient` with no type argument is the TCP client.
 ///
 /// Request ids increment from `id_base`, so a client's requests route
 /// deterministically (and distinct `id_base`s spread clients across
 /// shards).
-pub struct ServeClient {
-    peer: SocketAddr,
-    conn: Option<Conn>,
+pub struct ServeClient<S: Transport = TcpStream> {
+    peer: S::Addr,
+    conn: Option<Conn<S>>,
     next_id: u64,
     cfg: ClientConfig,
     jitter: u64,
+    proto: WireProtocol,
+    /// Encoded outgoing frame, reused across requests.
+    wire: Vec<u8>,
+    /// Incoming binary payload scratch.
+    payload: Vec<u8>,
+    /// Incoming JSON line scratch.
+    line: String,
+    /// The last decoded response; decode-into reuses its buffers.
+    resp: Response,
 }
 
-impl ServeClient {
-    /// Connect to a serving tier (fails fast when it is unreachable;
-    /// later reconnects are automatic).
+impl ServeClient<TcpStream> {
+    /// Connect to a serving tier over TCP (fails fast when it is
+    /// unreachable; later reconnects are automatic).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = addr
             .to_socket_addrs()?
@@ -142,7 +166,38 @@ impl ServeClient {
                 "no resolvable address accepted the connection",
             ));
         };
-        stream.set_nodelay(true)?;
+        Self::from_parts(peer, stream)
+    }
+}
+
+#[cfg(unix)]
+impl ServeClient<UnixStream> {
+    /// Connect over a Unix domain socket.
+    pub fn connect_uds(path: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let peer: std::path::PathBuf = path.into();
+        let stream = UnixStream::connect(&peer)?;
+        Self::from_parts(peer, stream)
+    }
+}
+
+impl ServeClient<AnyStream> {
+    /// Connect to whichever transport the server bound (see
+    /// `ServerHandle::server_addr`).
+    pub fn connect_any(addr: &ServerAddr) -> std::io::Result<Self> {
+        let stream = AnyStream::dial(addr)?;
+        Self::from_parts(addr.clone(), stream)
+    }
+}
+
+impl<S: Transport> ServeClient<S> {
+    /// Dial a transport-typed peer address directly.
+    pub fn dial(peer: S::Addr) -> std::io::Result<Self> {
+        let stream = S::dial(&peer)?;
+        Self::from_parts(peer, stream)
+    }
+
+    fn from_parts(peer: S::Addr, stream: S) -> std::io::Result<Self> {
+        stream.tune();
         let writer = stream.try_clone()?;
         let cfg = ClientConfig::default();
         Ok(ServeClient {
@@ -154,6 +209,11 @@ impl ServeClient {
             next_id: 0,
             jitter: cfg.seed | 1,
             cfg,
+            proto: wire_env().protocol,
+            wire: Vec::new(),
+            payload: Vec::new(),
+            line: String::new(),
+            resp: Response::scratch(),
         })
     }
 
@@ -170,6 +230,18 @@ impl ServeClient {
         self
     }
 
+    /// Speak this wire format (default: `RLSCHED_WIRE` env pin, else
+    /// JSON). No handshake — the server sniffs every frame.
+    pub fn with_protocol(mut self, proto: WireProtocol) -> Self {
+        self.proto = proto;
+        self
+    }
+
+    /// The wire format this client writes.
+    pub fn protocol(&self) -> WireProtocol {
+        self.proto
+    }
+
     fn next_jitter(&mut self) -> u64 {
         // xorshift64: deterministic per-client jitter stream.
         let mut x = self.jitter;
@@ -180,10 +252,14 @@ impl ServeClient {
         x
     }
 
-    fn ensure_conn(&mut self, io_deadline: Option<Duration>) -> std::io::Result<&mut Conn> {
+    /// Write `self.wire` + read the matching-id response into
+    /// `self.resp` on the current connection. Any error leaves the
+    /// reader's byte position untrustworthy, so the caller must tear
+    /// the connection down before retrying.
+    fn attempt(&mut self, want: u64, io_deadline: Option<Duration>) -> std::io::Result<()> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(self.peer)?;
-            stream.set_nodelay(true)?;
+            let stream = S::dial(&self.peer)?;
+            stream.tune();
             let writer = stream.try_clone()?;
             self.conn = Some(Conn {
                 reader: BufReader::new(stream),
@@ -195,33 +271,34 @@ impl ServeClient {
         // blocks, matching a deadline-less config).
         conn.reader.get_ref().set_read_timeout(io_deadline)?;
         conn.writer.set_write_timeout(io_deadline)?;
-        Ok(conn)
-    }
-
-    /// One write + matching-id read on the current connection. Any
-    /// error leaves the reader's byte position untrustworthy, so the
-    /// caller must tear the connection down before retrying.
-    fn attempt(&mut self, req: &Request, remaining: Option<Duration>) -> std::io::Result<Response> {
-        let want = req.id();
-        let conn = self.ensure_conn(remaining)?;
-        write_frame(&mut conn.writer, req)?;
+        conn.writer.write_all(&self.wire)?;
         loop {
-            let resp: Response = read_frame(&mut conn.reader)?.ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
-            })?;
+            let got = read_frame_any_into(
+                &mut conn.reader,
+                &mut self.payload,
+                &mut self.line,
+                &mut self.resp,
+            )?;
+            if got.is_none() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed",
+                ));
+            }
             // Single in-flight per client: the next frame is ours (id 0
             // frames are parse-error reports for garbage we never sent).
-            if resp.id() == want {
-                return Ok(resp);
+            if self.resp.id() == want {
+                return Ok(());
             }
         }
     }
 
-    /// Run one logical request to resolution: attempt, and on transport
-    /// failure reconnect (capped backoff + jitter) and resend **the
-    /// same id** — deterministic scoring makes the replay idempotent,
-    /// and the torn-down connection cannot deliver a duplicate.
-    fn request(&mut self, req: Request) -> Result<Response, ClientError> {
+    /// Run the already-encoded request in `self.wire` to resolution:
+    /// attempt, and on transport failure reconnect (capped backoff +
+    /// jitter) and resend **the same id** — deterministic scoring makes
+    /// the replay idempotent, and the torn-down connection cannot
+    /// deliver a duplicate. On success the response is in `self.resp`.
+    fn roundtrip(&mut self, want: u64) -> Result<(), ClientError> {
         let start = Instant::now();
         let remaining =
             |start: Instant, cfg: &ClientConfig| -> Result<Option<Duration>, ClientError> {
@@ -237,8 +314,8 @@ impl ServeClient {
         let mut retries = 0u32;
         loop {
             let budget = remaining(start, &self.cfg)?;
-            match self.attempt(&req, budget) {
-                Ok(resp) => return Ok(resp),
+            match self.attempt(want, budget) {
+                Ok(()) => return Ok(()),
                 Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                     // The frame parsed wrong: mid-stream resync is not
                     // safe, and a replay would hit the same bug. Drop
@@ -283,20 +360,32 @@ impl ServeClient {
         }
     }
 
-    fn expect_decision(resp: Response) -> Result<Decision, ClientError> {
-        match resp {
+    /// Encode `req` into `self.wire` in the configured format.
+    fn encode_request(&mut self, req: &Request) -> Result<(), ClientError> {
+        match self.proto {
+            WireProtocol::Json => encode_json_frame(req, &mut self.wire)
+                .map_err(|e| ClientError::Protocol(e.to_string())),
+            WireProtocol::Binary => {
+                encode_binary_frame(req, &mut self.wire);
+                Ok(())
+            }
+        }
+    }
+
+    fn decision(&self) -> Result<Decision, ClientError> {
+        match &self.resp {
             Response::Action {
                 action,
                 shard,
                 served_by,
                 ..
             } => Ok(Decision {
-                action: action as usize,
-                shard,
-                served_by,
+                action: *action as usize,
+                shard: *shard,
+                served_by: *served_by,
             }),
             Response::Shed { .. } => Err(ClientError::Shed),
-            Response::Error { message, .. } => Err(ClientError::Protocol(message)),
+            Response::Error { message, .. } => Err(ClientError::Protocol(message.clone())),
             Response::Stats { .. } => Err(ClientError::Protocol(
                 "stats response to a score request".into(),
             )),
@@ -307,14 +396,19 @@ impl ServeClient {
     pub fn score_snapshot(&mut self, snapshot: &QueueSnapshot) -> Result<Decision, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let resp = self.request(Request::Score {
+        let req = Request::Score {
             id,
             snapshot: snapshot.clone(),
-        })?;
-        Self::expect_decision(resp)
+        };
+        self.encode_request(&req)?;
+        self.roundtrip(id)?;
+        self.decision()
     }
 
-    /// Score a pre-encoded observation row.
+    /// Score a pre-encoded observation row. On the binary protocol the
+    /// rows go onto the wire as contiguous byte slices straight from
+    /// the borrowed arguments — no intermediate `Request`, no clones,
+    /// no allocation once the frame buffer is warm.
     pub fn score_raw(
         &mut self,
         obs: &[f32],
@@ -323,21 +417,32 @@ impl ServeClient {
     ) -> Result<Decision, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let resp = self.request(Request::ScoreRaw {
-            id,
-            obs: obs.to_vec(),
-            mask: mask.to_vec(),
-            queue_len: queue_len as u64,
-        })?;
-        Self::expect_decision(resp)
+        match self.proto {
+            WireProtocol::Binary => {
+                encode_score_raw_frame(&mut self.wire, id, obs, mask, queue_len as u64);
+            }
+            WireProtocol::Json => {
+                let req = Request::ScoreRaw {
+                    id,
+                    obs: obs.to_vec(),
+                    mask: mask.to_vec(),
+                    queue_len: queue_len as u64,
+                };
+                self.encode_request(&req)?;
+            }
+        }
+        self.roundtrip(id)?;
+        self.decision()
     }
 
     /// Fetch the server's aggregate statistics.
     pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        match self.request(Request::Stats { id })? {
-            Response::Stats { stats, .. } => Ok(stats),
+        self.encode_request(&Request::Stats { id })?;
+        self.roundtrip(id)?;
+        match &self.resp {
+            Response::Stats { stats, .. } => Ok(stats.clone()),
             other => Err(ClientError::Protocol(format!(
                 "unexpected response: {other:?}"
             ))),
@@ -354,8 +459,8 @@ impl ServeClient {
 /// fallback arm computes — and counted. Without one, a shed schedules
 /// the head of the queue (FCFS) and a transport failure panics: a
 /// scheduling loop cannot silently skip decisions.
-pub struct RemotePolicy {
-    client: ServeClient,
+pub struct RemotePolicy<S: Transport = TcpStream> {
+    client: ServeClient<S>,
     /// Snapshot truncation window (the encoder's `max_obsv`).
     window: usize,
     local_fallback: Option<HeuristicKind>,
@@ -365,10 +470,10 @@ pub struct RemotePolicy {
     remote_fallbacks: u64,
 }
 
-impl RemotePolicy {
+impl<S: Transport> RemotePolicy<S> {
     /// Wrap a connected client. `window` must equal the serving agent's
     /// observation window.
-    pub fn new(client: ServeClient, window: usize) -> Self {
+    pub fn new(client: ServeClient<S>, window: usize) -> Self {
         RemotePolicy {
             client,
             window,
@@ -409,7 +514,7 @@ impl RemotePolicy {
     }
 
     /// Recover the client (e.g. to query stats after an episode).
-    pub fn into_client(self) -> ServeClient {
+    pub fn into_client(self) -> ServeClient<S> {
         self.client
     }
 
@@ -426,7 +531,7 @@ impl RemotePolicy {
     }
 }
 
-impl Policy for RemotePolicy {
+impl<S: Transport> Policy for RemotePolicy<S> {
     fn select(&mut self, view: &QueueView<'_>) -> usize {
         let snap = QueueSnapshot::from_view(view, self.window);
         let bound = view.waiting.len().saturating_sub(1);

@@ -9,9 +9,16 @@
 //!
 //! ## Architecture
 //!
-//! * [`protocol`] — newline-delimited JSON frames ([`Request`] /
-//!   [`Response`]) over TCP; queue snapshots or pre-encoded rows in,
-//!   actions out. `f32` rows cross the wire bit-exactly.
+//! * [`protocol`] — two frame formats for [`Request`] / [`Response`]:
+//!   newline-delimited JSON (debuggable with `nc`) and length-prefixed
+//!   little-endian binary frames with zero-copy `f32` rows. The server
+//!   sniffs the first byte of every frame, so both coexist with no
+//!   handshake; queue snapshots or pre-encoded rows in, actions out.
+//!   `f32` rows cross either wire bit-exactly.
+//! * [`transport`] — the [`Transport`] abstraction over TCP and Unix
+//!   domain sockets: [`ListenAddr`] (server side), [`ServerAddr`]
+//!   (bound address), [`AnyStream`] (runtime-chosen client stream),
+//!   and the `RLSCHED_WIRE` env pin ([`wire_env`]).
 //! * [`engine`] — [`ShardEngine`], the allocation-free coalescing batch
 //!   scorer, and [`ScorerSlot`], the atomic weight hot-swap point.
 //! * [`server`] — [`Server::spawn`] / [`ServerHandle`]: accept loop,
@@ -45,8 +52,9 @@
 //! shard count. Three properties compose into that guarantee:
 //!
 //! 1. snapshot encoding and in-process view encoding share one loop
-//!    (`ObsEncoder::encode_snapshot_extend`), and the JSON wire format
-//!    round-trips floats exactly;
+//!    (`ObsEncoder::encode_snapshot_extend`), and both wire formats
+//!    round-trip floats exactly (JSON via shortest-round-trip
+//!    formatting, binary via `to_le_bytes` verbatim);
 //! 2. a [`rlscheduler::ScorerSnapshot`] picks the same per-architecture
 //!    representation as `as_policy` (packed for flat MLPs, unpacked
 //!    otherwise);
@@ -54,7 +62,7 @@
 //!    not depend on what else was coalesced around it.
 //!
 //! The suite in `tests/serve_parity.rs` pins the whole chain end to
-//! end (TCP included).
+//! end, across {JSON, binary} × {TCP, UDS} × shard counts.
 
 pub mod client;
 pub mod engine;
@@ -63,11 +71,15 @@ pub mod histogram;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod transport;
 
 pub use client::{ClientConfig, ClientError, Decision, RemotePolicy, ServeClient};
 pub use engine::{ScorerSlot, ShardEngine};
 pub use faults::{write_torn_frame, FaultPlan};
 pub use histogram::LatencyHistogram;
 pub use loadgen::{LoadGen, LoadGenConfig, LoadGenReport, TimedRequest};
-pub use protocol::{Request, Response, ServeStats, ServedBy, ShardHealth, ShardState};
+pub use protocol::{
+    Request, Response, ServeStats, ServedBy, ShardHealth, ShardState, WireFrame, WireProtocol,
+};
 pub use server::{ProposeError, ServeConfig, Server, ServerHandle};
+pub use transport::{wire_env, AnyStream, Listen, ListenAddr, ServerAddr, Transport};

@@ -15,14 +15,15 @@
 //! [`LatencyHistogram`]; per-worker tallies merge into one
 //! [`LoadGenReport`] at the end.
 
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use rlscheduler::QueueSnapshot;
 
 use crate::client::{ClientError, ServeClient};
 use crate::histogram::LatencyHistogram;
-use crate::protocol::ServedBy;
+use crate::protocol::{ServedBy, WireProtocol};
+use crate::transport::{wire_env, AnyStream, ServerAddr, Transport};
 
 /// One scheduled request: fire `offset` after the run starts, asking the
 /// server to score `snapshot`.
@@ -82,22 +83,61 @@ impl LoadGenReport {
     }
 }
 
-/// Open-loop load generator; see the module docs.
-#[derive(Debug)]
-pub struct LoadGen {
-    addr: SocketAddr,
+/// Open-loop load generator; see the module docs. Generic over the
+/// transport (TCP by default; [`LoadGen::to`] reaches whichever
+/// transport a server bound) and the wire format
+/// ([`LoadGen::with_protocol`]).
+pub struct LoadGen<S: Transport = TcpStream> {
+    addr: S::Addr,
     cfg: LoadGenConfig,
+    proto: WireProtocol,
 }
 
-impl LoadGen {
-    /// A generator aimed at `addr`.
+impl<S: Transport> std::fmt::Debug for LoadGen<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadGen")
+            .field("addr", &self.addr)
+            .field("cfg", &self.cfg)
+            .field("proto", &self.proto)
+            .finish()
+    }
+}
+
+impl LoadGen<TcpStream> {
+    /// A generator aimed at a TCP server.
     pub fn new(addr: SocketAddr, cfg: LoadGenConfig) -> Self {
+        Self::dial(addr, cfg)
+    }
+}
+
+impl LoadGen<AnyStream> {
+    /// A generator aimed at whichever transport a server bound (see
+    /// `ServerHandle::server_addr`).
+    pub fn to(addr: &ServerAddr, cfg: LoadGenConfig) -> Self {
+        Self::dial(addr.clone(), cfg)
+    }
+}
+
+impl<S: Transport> LoadGen<S> {
+    /// A generator aimed at a transport-typed address.
+    pub fn dial(addr: S::Addr, cfg: LoadGenConfig) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(
             cfg.time_scale.is_finite() && cfg.time_scale >= 0.0,
             "time_scale must be finite and non-negative"
         );
-        LoadGen { addr, cfg }
+        LoadGen {
+            addr,
+            cfg,
+            proto: wire_env().protocol,
+        }
+    }
+
+    /// Make every worker speak this wire format (default: the
+    /// `RLSCHED_WIRE` env pin, else JSON).
+    pub fn with_protocol(mut self, proto: WireProtocol) -> Self {
+        self.proto = proto;
+        self
     }
 
     /// Fire every request at its scheduled offset and collect the merged
@@ -115,8 +155,11 @@ impl LoadGen {
         // matters.
         let mut clients = Vec::with_capacity(workers);
         for w in 0..workers {
-            clients
-                .push(ServeClient::connect(self.addr)?.with_id_base(w as u64 * self.cfg.id_stride));
+            clients.push(
+                ServeClient::<S>::dial(self.addr.clone())?
+                    .with_protocol(self.proto)
+                    .with_id_base(w as u64 * self.cfg.id_stride),
+            );
         }
         let scale = self.cfg.time_scale;
         let reports: Vec<(u64, u64, u64, u64, LatencyHistogram)> = std::thread::scope(|scope| {
@@ -215,7 +258,10 @@ mod tests {
         let handle = Server::spawn(
             agent.scorer_snapshot(),
             *agent.encoder(),
-            ServeConfig::default(),
+            ServeConfig {
+                addr: crate::transport::ListenAddr::Tcp("127.0.0.1:0".into()),
+                ..ServeConfig::default()
+            },
         )
         .unwrap();
         let requests: Vec<TimedRequest> = (0..40)
@@ -238,6 +284,41 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert_eq!(report.hist.count(), report.ok);
         assert!(report.hist.quantile_ns(0.5) > 0);
+        handle.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn binary_over_uds_drives_the_same_load() {
+        let agent = tiny_agent();
+        let handle = Server::spawn(
+            agent.scorer_snapshot(),
+            *agent.encoder(),
+            ServeConfig {
+                addr: crate::transport::ListenAddr::unix_temp("loadgen-test"),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let requests: Vec<TimedRequest> = (0..24)
+            .map(|i| TimedRequest {
+                offset: i as f64 * 3600.0,
+                snapshot: snapshot(1 + i % 6),
+            })
+            .collect();
+        let gen = LoadGen::to(
+            handle.server_addr(),
+            LoadGenConfig {
+                workers: 2,
+                time_scale: 1e-7,
+                ..Default::default()
+            },
+        )
+        .with_protocol(WireProtocol::Binary);
+        let report = gen.run(&requests).unwrap();
+        assert_eq!(report.sent(), 24);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.sheds, 0);
         handle.shutdown();
     }
 

@@ -1,15 +1,40 @@
-//! The wire protocol: newline-delimited JSON frames (one request or
-//! response object per line, UTF-8, `\n`-terminated) over TCP.
+//! The wire protocol: two self-describing frame formats over one
+//! stream, distinguished per frame by their first byte.
 //!
-//! JSON through the workspace's serde shims keeps the protocol
-//! dependency-free and human-debuggable (`nc` into the server and type a
-//! request), and the shim's shortest-round-trip float formatting means a
-//! pre-encoded `f32` observation row crosses the wire bit-exactly — the
-//! parity guarantee survives serialization.
-//!
-//! Representations are the serde-default externally-tagged enum forms,
-//! e.g. `{"Score":{"id":1,"snapshot":{…}}}` and
+//! **JSON frames** are newline-delimited objects (one request or
+//! response per line, UTF-8, `\n`-terminated). JSON through the
+//! workspace's serde shims keeps the protocol dependency-free and
+//! human-debuggable (`nc` into the server and type a request), and the
+//! shim's shortest-round-trip float formatting means a pre-encoded
+//! `f32` observation row crosses the wire bit-exactly — the parity
+//! guarantee survives serialization. Representations are the
+//! serde-default externally-tagged enum forms, e.g.
+//! `{"Score":{"id":1,"snapshot":{…}}}` and
 //! `{"Action":{"id":1,"action":3,"shard":0}}`.
+//!
+//! **Binary frames** are length-prefixed little-endian records:
+//! `[0xB1][version=1][payload_len: u32 LE][payload]`, payload =
+//! `[variant tag: u8][fields…]`. All integers are fixed-width LE;
+//! floats are IEEE-754 `to_le_bytes`; strings and vectors carry a
+//! `u32` count. `ScoreRaw` observation/mask rows travel as one
+//! contiguous `f32` byte slice — no text formatting, no per-float
+//! parse, and (with reused buffers) no allocation at steady state.
+//! Float exactness is structural here.
+//!
+//! **Negotiation** is a first-byte sniff, per frame: `0xB1` cannot
+//! start a JSON line (it is a UTF-8 continuation byte), so
+//! [`read_frame_any`] dispatches on it with no handshake. A connection
+//! may mix formats; the server answers each request in the format it
+//! arrived in (latched per connection), so JSON clients and `nc`
+//! sessions keep working against a binary-capable server unchanged.
+//!
+//! **Error taxonomy** (drives the client's retry-vs-report decision,
+//! both formats): a frame cut short by a dying peer — a JSON line
+//! missing its `\n`, a binary header or payload shorter than declared
+//! — is a *transport* error (`UnexpectedEof`, safe to retry on a fresh
+//! connection). A frame that arrived whole but decoded wrong — garbage
+//! JSON, an unknown tag, a payload that contradicts its own length —
+//! is a *protocol* error (`InvalidData`, never retried).
 //!
 //! Correlation ids must stay below 2^53: JSON interoperability (RFC
 //! 8259 §6) only guarantees integer exactness within IEEE-double range,
@@ -18,7 +43,7 @@
 
 use std::io::{BufRead, Write};
 
-use rlscheduler::QueueSnapshot;
+use rlscheduler::{QueueSnapshot, SnapshotJob};
 use serde::{Deserialize, Serialize};
 
 /// One client request.
@@ -225,6 +250,598 @@ pub fn read_frame<T: Deserialize, R: BufRead>(r: &mut R) -> std::io::Result<Opti
     }
 }
 
+// ---------------------------------------------------------------------------
+// Binary wire format (see the module docs for the layout).
+// ---------------------------------------------------------------------------
+
+/// Which frame format a peer is speaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireProtocol {
+    /// Newline-delimited JSON objects.
+    Json,
+    /// Length-prefixed little-endian binary frames.
+    Binary,
+}
+
+impl WireProtocol {
+    /// Short display tag (`json` / `binary`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireProtocol::Json => "json",
+            WireProtocol::Binary => "binary",
+        }
+    }
+}
+
+/// First byte of every binary frame. A UTF-8 continuation byte, so it
+/// can never begin a JSON line — the whole negotiation.
+pub const BINARY_MAGIC: u8 = 0xB1;
+/// Binary framing version; bumped on layout changes.
+pub const BINARY_VERSION: u8 = 1;
+/// Frame header: magic, version, payload length.
+const HEADER_LEN: usize = 6;
+/// Upper bound on a declared payload length — a corrupt length prefix
+/// must not become a giant allocation.
+const MAX_FRAME_LEN: usize = 64 << 20;
+
+const TAG_REQ_SCORE: u8 = 1;
+const TAG_REQ_SCORE_RAW: u8 = 2;
+const TAG_REQ_STATS: u8 = 3;
+
+const TAG_RESP_ACTION: u8 = 1;
+const TAG_RESP_SHED: u8 = 2;
+const TAG_RESP_STATS: u8 = 3;
+const TAG_RESP_ERROR: u8 = 4;
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// `u32` count + the rows as one contiguous little-endian byte slice.
+/// On little-endian targets the slice is appended with a single
+/// `memcpy` of the `f32` storage — the zero-copy write path.
+fn put_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    put_u32(out, xs.len() as u32);
+    #[cfg(target_endian = "little")]
+    // SAFETY: `f32` has no padding and alignment 4 ≥ 1; viewing the
+    // slice's storage as bytes is always valid, and LE storage order
+    // is exactly the wire order.
+    out.extend_from_slice(unsafe {
+        std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), std::mem::size_of_val(xs))
+    });
+    #[cfg(not(target_endian = "little"))]
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Little-endian cursor over one binary payload. Running out of bytes
+/// is `InvalidData`: the full frame already arrived (the length prefix
+/// said so), so a short payload is malformed content, not a torn read.
+struct Rd<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> std::io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(bad("binary payload shorter than its fields"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> std::io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> std::io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> std::io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> std::io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> std::io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(bad("bool field is not 0/1")),
+        }
+    }
+
+    /// Count-prefixed contiguous `f32` rows, decoded into a reused
+    /// vector. On little-endian targets this is one `memcpy` into the
+    /// vector's (warm) storage — the zero-copy read path.
+    fn f32s_into(&mut self, out: &mut Vec<f32>) -> std::io::Result<()> {
+        let n = self.u32()? as usize;
+        let nb = n.checked_mul(4).ok_or_else(|| bad("f32 count overflow"))?;
+        let bytes = self.take(nb)?;
+        out.clear();
+        out.reserve(n);
+        #[cfg(target_endian = "little")]
+        // SAFETY: `reserve(n)` guarantees capacity; the source holds
+        // exactly `n * 4` bytes, copied into the vector's storage
+        // (u8 alignment 1 into f32 storage via raw pointers is fine,
+        // and every bit pattern is a valid f32).
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), nb);
+            out.set_len(n);
+        }
+        #[cfg(not(target_endian = "little"))]
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        Ok(())
+    }
+
+    fn str_into(&mut self, out: &mut String) -> std::io::Result<()> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| bad("string field is not UTF-8"))?;
+        out.clear();
+        out.push_str(s);
+        Ok(())
+    }
+
+    fn finish(&self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(bad("binary payload has trailing bytes"))
+        }
+    }
+}
+
+/// A frame type that exists in both wire representations.
+///
+/// The `*_into` decode reuses the heap buffers of the value it decodes
+/// into whenever the incoming variant matches — the mechanism behind
+/// the 0-allocation steady state pinned in `alloc_regression`.
+pub trait WireFrame: Serialize + Deserialize {
+    /// Append this frame's binary payload (tag byte + fields) to `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Decode a binary payload over `into`, reusing its buffers.
+    fn decode_payload_into(bytes: &[u8], into: &mut Self) -> std::io::Result<()>;
+
+    /// A cheap throwaway value for owned decodes.
+    fn scratch() -> Self;
+}
+
+/// Decode one binary payload into an owned frame.
+pub fn decode_payload<T: WireFrame>(bytes: &[u8]) -> std::io::Result<T> {
+    let mut v = T::scratch();
+    T::decode_payload_into(bytes, &mut v)?;
+    Ok(v)
+}
+
+/// Encode a complete binary frame (header + payload) into `out`,
+/// clearing it first. Allocation-free once `out`'s capacity is warm.
+pub fn encode_binary_frame<T: WireFrame>(frame: &T, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(BINARY_MAGIC);
+    out.push(BINARY_VERSION);
+    out.extend_from_slice(&[0u8; 4]);
+    frame.encode_payload(out);
+    let len = (out.len() - HEADER_LEN) as u32;
+    out[2..HEADER_LEN].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Encode into `scratch` and write the frame. The reused `scratch`
+/// keeps steady-state writes allocation-free.
+pub fn write_binary_frame<T: WireFrame, W: Write>(
+    w: &mut W,
+    frame: &T,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    encode_binary_frame(frame, scratch);
+    w.write_all(scratch)
+}
+
+/// Serialize one JSON frame (object + `\n`) into a reusable byte
+/// buffer, clearing it first.
+pub fn encode_json_frame<T: Serialize>(frame: &T, out: &mut Vec<u8>) -> std::io::Result<()> {
+    out.clear();
+    let line = serde_json::to_string(frame).map_err(std::io::Error::from)?;
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+    Ok(())
+}
+
+/// Directly encode a binary `ScoreRaw` request frame from borrowed
+/// rows — the client's zero-copy send path (no `Request` value, no
+/// `Vec<f32>` clones; allocation-free once `out` is warm).
+pub fn encode_score_raw_frame(
+    out: &mut Vec<u8>,
+    id: u64,
+    obs: &[f32],
+    mask: &[f32],
+    queue_len: u64,
+) {
+    out.clear();
+    out.push(BINARY_MAGIC);
+    out.push(BINARY_VERSION);
+    out.extend_from_slice(&[0u8; 4]);
+    put_score_raw(out, id, obs, mask, queue_len);
+    let len = (out.len() - HEADER_LEN) as u32;
+    out[2..HEADER_LEN].copy_from_slice(&len.to_le_bytes());
+}
+
+fn put_score_raw(out: &mut Vec<u8>, id: u64, obs: &[f32], mask: &[f32], queue_len: u64) {
+    out.push(TAG_REQ_SCORE_RAW);
+    put_u64(out, id);
+    put_u64(out, queue_len);
+    put_f32s(out, obs);
+    put_f32s(out, mask);
+}
+
+impl WireFrame for Request {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Score { id, snapshot } => {
+                out.push(TAG_REQ_SCORE);
+                put_u64(out, *id);
+                put_u32(out, snapshot.free_procs);
+                put_u32(out, snapshot.total_procs);
+                put_u32(out, snapshot.queue_len);
+                put_u32(out, snapshot.jobs.len() as u32);
+                for j in &snapshot.jobs {
+                    put_f64(out, j.wait);
+                    put_f64(out, j.time_bound);
+                    put_u32(out, j.procs);
+                    out.push(j.can_run_now as u8);
+                }
+            }
+            Request::ScoreRaw {
+                id,
+                obs,
+                mask,
+                queue_len,
+            } => put_score_raw(out, *id, obs, mask, *queue_len),
+            Request::Stats { id } => {
+                out.push(TAG_REQ_STATS);
+                put_u64(out, *id);
+            }
+        }
+    }
+
+    fn decode_payload_into(bytes: &[u8], into: &mut Self) -> std::io::Result<()> {
+        let mut rd = Rd { buf: bytes };
+        match rd.u8()? {
+            TAG_REQ_SCORE => {
+                let id = rd.u64()?;
+                let free_procs = rd.u32()?;
+                let total_procs = rd.u32()?;
+                let queue_len = rd.u32()?;
+                let n = rd.u32()? as usize;
+                // 21 bytes per job (two f64, one u32, one bool): reject
+                // counts the payload cannot hold before reserving.
+                if n > rd.buf.len() / 21 {
+                    return Err(bad("snapshot job count exceeds payload"));
+                }
+                let mut jobs = match std::mem::replace(into, Request::Stats { id: 0 }) {
+                    Request::Score { snapshot, .. } => snapshot.jobs,
+                    _ => Vec::new(),
+                };
+                jobs.clear();
+                jobs.reserve(n);
+                for _ in 0..n {
+                    jobs.push(SnapshotJob {
+                        wait: rd.f64()?,
+                        time_bound: rd.f64()?,
+                        procs: rd.u32()?,
+                        can_run_now: rd.bool()?,
+                    });
+                }
+                rd.finish()?;
+                *into = Request::Score {
+                    id,
+                    snapshot: QueueSnapshot {
+                        free_procs,
+                        total_procs,
+                        queue_len,
+                        jobs,
+                    },
+                };
+                Ok(())
+            }
+            TAG_REQ_SCORE_RAW => {
+                let id = rd.u64()?;
+                let queue_len = rd.u64()?;
+                let (mut obs, mut mask) = match std::mem::replace(into, Request::Stats { id: 0 }) {
+                    Request::ScoreRaw { obs, mask, .. } => (obs, mask),
+                    _ => (Vec::new(), Vec::new()),
+                };
+                rd.f32s_into(&mut obs)?;
+                rd.f32s_into(&mut mask)?;
+                rd.finish()?;
+                *into = Request::ScoreRaw {
+                    id,
+                    obs,
+                    mask,
+                    queue_len,
+                };
+                Ok(())
+            }
+            TAG_REQ_STATS => {
+                let id = rd.u64()?;
+                rd.finish()?;
+                *into = Request::Stats { id };
+                Ok(())
+            }
+            _ => Err(bad("unknown request tag")),
+        }
+    }
+
+    fn scratch() -> Self {
+        Request::Stats { id: 0 }
+    }
+}
+
+impl WireFrame for Response {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Action {
+                id,
+                action,
+                shard,
+                served_by,
+            } => {
+                out.push(TAG_RESP_ACTION);
+                put_u64(out, *id);
+                put_u64(out, *action);
+                put_u64(out, *shard);
+                out.push(match served_by {
+                    ServedBy::Model => 0,
+                    ServedBy::Fallback => 1,
+                });
+            }
+            Response::Shed { id } => {
+                out.push(TAG_RESP_SHED);
+                put_u64(out, *id);
+            }
+            Response::Stats { id, stats } => {
+                out.push(TAG_RESP_STATS);
+                put_u64(out, *id);
+                for c in [
+                    stats.served,
+                    stats.fallbacks,
+                    stats.shed,
+                    stats.deadlines,
+                    stats.batches,
+                    stats.max_batch,
+                    stats.swaps,
+                    stats.rollbacks,
+                    stats.restarts,
+                    stats.accept_failures,
+                ] {
+                    put_u64(out, c);
+                }
+                put_f64(out, stats.p50_us);
+                put_f64(out, stats.p99_us);
+                put_f64(out, stats.max_us);
+                put_u32(out, stats.shards.len() as u32);
+                for s in &stats.shards {
+                    out.push(match s.state {
+                        ShardState::Healthy => 0,
+                        ShardState::Restarting => 1,
+                        ShardState::Failed => 2,
+                    });
+                    put_u64(out, s.restarts);
+                    put_u64(out, s.panics);
+                }
+            }
+            Response::Error { id, message } => {
+                out.push(TAG_RESP_ERROR);
+                put_u64(out, *id);
+                put_str(out, message);
+            }
+        }
+    }
+
+    fn decode_payload_into(bytes: &[u8], into: &mut Self) -> std::io::Result<()> {
+        let mut rd = Rd { buf: bytes };
+        match rd.u8()? {
+            TAG_RESP_ACTION => {
+                let id = rd.u64()?;
+                let action = rd.u64()?;
+                let shard = rd.u64()?;
+                let served_by = match rd.u8()? {
+                    0 => ServedBy::Model,
+                    1 => ServedBy::Fallback,
+                    _ => return Err(bad("unknown served_by tag")),
+                };
+                rd.finish()?;
+                *into = Response::Action {
+                    id,
+                    action,
+                    shard,
+                    served_by,
+                };
+                Ok(())
+            }
+            TAG_RESP_SHED => {
+                let id = rd.u64()?;
+                rd.finish()?;
+                *into = Response::Shed { id };
+                Ok(())
+            }
+            TAG_RESP_STATS => {
+                let id = rd.u64()?;
+                let mut counters = [0u64; 10];
+                for c in &mut counters {
+                    *c = rd.u64()?;
+                }
+                let p50_us = rd.f64()?;
+                let p99_us = rd.f64()?;
+                let max_us = rd.f64()?;
+                let n = rd.u32()? as usize;
+                // 17 bytes per shard record.
+                if n > rd.buf.len() / 17 {
+                    return Err(bad("shard count exceeds payload"));
+                }
+                let mut shards = match std::mem::replace(into, Response::Shed { id: 0 }) {
+                    Response::Stats { stats, .. } => stats.shards,
+                    _ => Vec::new(),
+                };
+                shards.clear();
+                shards.reserve(n);
+                for _ in 0..n {
+                    shards.push(ShardHealth {
+                        state: match rd.u8()? {
+                            0 => ShardState::Healthy,
+                            1 => ShardState::Restarting,
+                            2 => ShardState::Failed,
+                            _ => return Err(bad("unknown shard state tag")),
+                        },
+                        restarts: rd.u64()?,
+                        panics: rd.u64()?,
+                    });
+                }
+                rd.finish()?;
+                *into = Response::Stats {
+                    id,
+                    stats: ServeStats {
+                        served: counters[0],
+                        fallbacks: counters[1],
+                        shed: counters[2],
+                        deadlines: counters[3],
+                        batches: counters[4],
+                        max_batch: counters[5],
+                        swaps: counters[6],
+                        rollbacks: counters[7],
+                        restarts: counters[8],
+                        accept_failures: counters[9],
+                        p50_us,
+                        p99_us,
+                        max_us,
+                        shards,
+                    },
+                };
+                Ok(())
+            }
+            TAG_RESP_ERROR => {
+                let id = rd.u64()?;
+                let mut message = match std::mem::replace(into, Response::Shed { id: 0 }) {
+                    Response::Error { message, .. } => message,
+                    _ => String::new(),
+                };
+                rd.str_into(&mut message)?;
+                rd.finish()?;
+                *into = Response::Error { id, message };
+                Ok(())
+            }
+            _ => Err(bad("unknown response tag")),
+        }
+    }
+
+    fn scratch() -> Self {
+        Response::Shed { id: 0 }
+    }
+}
+
+/// Read one frame in whichever format arrives, sniffing the first
+/// byte; see [`read_frame_any_into`] for semantics. `Ok(None)` on
+/// clean EOF.
+pub fn read_frame_any<T: WireFrame, R: BufRead>(
+    r: &mut R,
+    payload: &mut Vec<u8>,
+    line: &mut String,
+) -> std::io::Result<Option<(T, WireProtocol)>> {
+    let mut v = T::scratch();
+    Ok(read_frame_any_into(r, payload, line, &mut v)?.map(|proto| (v, proto)))
+}
+
+/// Read one frame in whichever format arrives, decoding over `into`
+/// (buffers reused — the shard reader's allocation-free path).
+/// `payload` and `line` are the per-connection scratch buffers for the
+/// binary and JSON arms respectively. Returns the format the frame
+/// arrived in, or `Ok(None)` on clean EOF at a frame boundary.
+///
+/// Torn frames (EOF mid-header, mid-payload, or mid-line) surface as
+/// `UnexpectedEof`; whole-but-malformed frames as `InvalidData`. A
+/// malformed *binary* frame leaves the stream positioned at the next
+/// frame boundary (its declared length was consumed), so a server can
+/// report and resync, exactly like the JSON line path.
+pub fn read_frame_any_into<T: WireFrame, R: BufRead>(
+    r: &mut R,
+    payload: &mut Vec<u8>,
+    line: &mut String,
+    into: &mut T,
+) -> std::io::Result<Option<WireProtocol>> {
+    loop {
+        let first = {
+            let buf = r.fill_buf()?;
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            buf[0]
+        };
+        if first == BINARY_MAGIC {
+            let mut header = [0u8; HEADER_LEN];
+            r.read_exact(&mut header)?; // torn header ⇒ UnexpectedEof
+            let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+            if len > MAX_FRAME_LEN {
+                return Err(bad("binary frame length exceeds the cap"));
+            }
+            payload.clear();
+            payload.resize(len, 0);
+            r.read_exact(payload)?; // torn payload ⇒ UnexpectedEof
+                                    // Validate the version only after consuming the declared
+                                    // payload, so even a version-mismatched frame leaves the
+                                    // stream frame-aligned.
+            if header[1] != BINARY_VERSION {
+                return Err(bad("unsupported binary wire version"));
+            }
+            T::decode_payload_into(payload, into)?;
+            return Ok(Some(WireProtocol::Binary));
+        }
+        line.clear();
+        if r.read_line(line)? == 0 {
+            return Ok(None);
+        }
+        if !line.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "frame truncated mid-line",
+            ));
+        }
+        if line.trim().is_empty() {
+            continue; // tolerate blank keep-alive lines
+        }
+        *into = serde_json::from_str(line.trim()).map_err(std::io::Error::from)?;
+        return Ok(Some(WireProtocol::Json));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,5 +994,312 @@ mod tests {
         })
         .unwrap();
         assert!(line.contains("\"Fallback\""), "{line}");
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Score {
+                id: 7,
+                snapshot: QueueSnapshot {
+                    free_procs: 3,
+                    total_procs: 8,
+                    queue_len: 2,
+                    jobs: vec![
+                        SnapshotJob {
+                            wait: 12.5,
+                            time_bound: 3600.0,
+                            procs: 2,
+                            can_run_now: true,
+                        },
+                        SnapshotJob {
+                            wait: 0.1,
+                            time_bound: 60.0,
+                            procs: 1,
+                            can_run_now: false,
+                        },
+                    ],
+                },
+            },
+            Request::ScoreRaw {
+                id: 8,
+                obs: vec![0.25f32, 1.0 / 3.0, f32::MIN_POSITIVE / 2.0, -1e9],
+                mask: vec![0.0f32, -1e9],
+                queue_len: 1,
+            },
+            Request::Stats { id: 9 },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Action {
+                id: 1,
+                action: 3,
+                shard: 0,
+                served_by: ServedBy::Model,
+            },
+            Response::Action {
+                id: 4,
+                action: 0,
+                shard: 2,
+                served_by: ServedBy::Fallback,
+            },
+            Response::Shed { id: 2 },
+            Response::Error {
+                id: 3,
+                message: "bad row".into(),
+            },
+            Response::Stats {
+                id: 42,
+                stats: ServeStats {
+                    served: 10,
+                    fallbacks: 3,
+                    shed: 1,
+                    deadlines: 2,
+                    batches: 4,
+                    max_batch: 5,
+                    swaps: 2,
+                    rollbacks: 1,
+                    restarts: 6,
+                    accept_failures: 7,
+                    p50_us: 12.5,
+                    p99_us: 99.0,
+                    max_us: 120.0,
+                    shards: vec![
+                        ShardHealth {
+                            state: ShardState::Healthy,
+                            restarts: 0,
+                            panics: 0,
+                        },
+                        ShardHealth {
+                            state: ShardState::Failed,
+                            restarts: 3,
+                            panics: 4,
+                        },
+                    ],
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn binary_requests_round_trip() {
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        let mut line = String::new();
+        for want in sample_requests() {
+            encode_binary_frame(&want, &mut wire);
+            assert_eq!(wire[0], BINARY_MAGIC);
+            assert_eq!(wire[1], BINARY_VERSION);
+            let mut reader = std::io::BufReader::new(&wire[..]);
+            let (got, proto) = read_frame_any::<Request, _>(&mut reader, &mut payload, &mut line)
+                .unwrap()
+                .expect("frame present");
+            assert_eq!(proto, WireProtocol::Binary);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn binary_responses_round_trip() {
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        let mut line = String::new();
+        for want in sample_responses() {
+            encode_binary_frame(&want, &mut wire);
+            let mut reader = std::io::BufReader::new(&wire[..]);
+            let (got, proto) = read_frame_any::<Response, _>(&mut reader, &mut payload, &mut line)
+                .unwrap()
+                .expect("frame present");
+            assert_eq!(proto, WireProtocol::Binary);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn binary_f32_rows_survive_bit_exactly() {
+        let obs: Vec<f32> = vec![
+            0.1,
+            1.0 / 3.0,
+            f32::MIN_POSITIVE / 2.0,
+            -1e9,
+            f32::from_bits(0.3f32.to_bits() + 1),
+        ];
+        let mut wire = Vec::new();
+        encode_score_raw_frame(&mut wire, 5, &obs, &[-1e9; 2], 2);
+        let got: Request = decode_payload(&wire[HEADER_LEN..]).unwrap();
+        let Request::ScoreRaw {
+            id,
+            obs: back,
+            mask,
+            queue_len,
+        } = got
+        else {
+            panic!("wrong variant")
+        };
+        assert_eq!((id, queue_len), (5, 2));
+        assert_eq!(mask.len(), 2);
+        for (a, b) in obs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn score_raw_frame_helper_matches_request_encoding() {
+        let req = Request::ScoreRaw {
+            id: 11,
+            obs: vec![1.5f32, -2.25],
+            mask: vec![0.0f32],
+            queue_len: 3,
+        };
+        let mut via_request = Vec::new();
+        encode_binary_frame(&req, &mut via_request);
+        let mut via_helper = Vec::new();
+        encode_score_raw_frame(&mut via_helper, 11, &[1.5f32, -2.25], &[0.0f32], 3);
+        assert_eq!(via_request, via_helper);
+    }
+
+    #[test]
+    fn mixed_format_streams_sniff_per_frame() {
+        // JSON, then binary, then JSON again on one connection.
+        let a = Request::Stats { id: 1 };
+        let b = Request::ScoreRaw {
+            id: 2,
+            obs: vec![0.5f32],
+            mask: vec![0.0f32],
+            queue_len: 1,
+        };
+        let c = Request::Stats { id: 3 };
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        encode_json_frame(&a, &mut scratch).unwrap();
+        wire.extend_from_slice(&scratch);
+        encode_binary_frame(&b, &mut scratch);
+        wire.extend_from_slice(&scratch);
+        encode_json_frame(&c, &mut scratch).unwrap();
+        wire.extend_from_slice(&scratch);
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        let mut payload = Vec::new();
+        let mut line = String::new();
+        let mut read = || read_frame_any::<Request, _>(&mut reader, &mut payload, &mut line);
+        assert_eq!(read().unwrap().unwrap(), (a, WireProtocol::Json));
+        assert_eq!(read().unwrap().unwrap(), (b, WireProtocol::Binary));
+        assert_eq!(read().unwrap().unwrap(), (c, WireProtocol::Json));
+        assert!(read().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_binary_frames_are_unexpected_eof() {
+        let mut wire = Vec::new();
+        encode_score_raw_frame(&mut wire, 1, &[0.5f32, 0.25], &[0.0f32], 1);
+        let mut payload = Vec::new();
+        let mut line = String::new();
+        // Every proper prefix — mid-header and mid-payload — is torn.
+        for cut in 1..wire.len() {
+            let mut reader = std::io::BufReader::new(&wire[..cut]);
+            let err = read_frame_any::<Request, _>(&mut reader, &mut payload, &mut line)
+                .expect_err("truncated frame must error");
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_binary_frames_are_invalid_data() {
+        let mut payload = Vec::new();
+        let mut line = String::new();
+        let mut read_one = |wire: &[u8]| {
+            let mut reader = std::io::BufReader::new(wire);
+            read_frame_any::<Request, _>(&mut reader, &mut payload, &mut line)
+        };
+        // Unknown tag.
+        let mut unknown_tag = Vec::new();
+        encode_binary_frame(&Request::Stats { id: 1 }, &mut unknown_tag);
+        unknown_tag[HEADER_LEN] = 0xEE;
+        // Payload shorter than its fields claims (length prefix says 1).
+        let short = vec![BINARY_MAGIC, BINARY_VERSION, 1, 0, 0, 0, TAG_REQ_STATS];
+        // Trailing bytes after a complete Stats payload.
+        let mut trailing = Vec::new();
+        encode_binary_frame(&Request::Stats { id: 1 }, &mut trailing);
+        let plen = (trailing.len() - HEADER_LEN + 1) as u32;
+        trailing[2..HEADER_LEN].copy_from_slice(&plen.to_le_bytes());
+        trailing.push(0xAB);
+        for (name, wire) in [
+            ("unknown tag", unknown_tag),
+            ("short payload", short),
+            ("trailing bytes", trailing),
+        ] {
+            let err = read_one(&wire).expect_err(name);
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_leaves_the_stream_frame_aligned() {
+        let good = Request::Stats { id: 2 };
+        let mut bad = Vec::new();
+        encode_binary_frame(&Request::Stats { id: 1 }, &mut bad);
+        bad[1] = BINARY_VERSION + 1;
+        let mut wire = bad;
+        let mut scratch = Vec::new();
+        encode_binary_frame(&good, &mut scratch);
+        wire.extend_from_slice(&scratch);
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        let mut payload = Vec::new();
+        let mut line = String::new();
+        let err = read_frame_any::<Request, _>(&mut reader, &mut payload, &mut line)
+            .expect_err("bad version must error");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The mismatched frame's declared payload was consumed, so the
+        // next read starts exactly at the following frame.
+        let (got, _) = read_frame_any::<Request, _>(&mut reader, &mut payload, &mut line)
+            .unwrap()
+            .expect("next frame intact");
+        assert_eq!(got, good);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut wire = vec![BINARY_MAGIC, BINARY_VERSION];
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        let err = read_frame_any::<Request, _>(&mut reader, &mut Vec::new(), &mut String::new())
+            .expect_err("cap must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decode_into_reuses_matching_variant_buffers() {
+        let mut wire = Vec::new();
+        encode_score_raw_frame(&mut wire, 1, &[0.5f32, 0.25], &[0.0f32, -1e9], 2);
+        let mut into = Request::ScoreRaw {
+            id: 0,
+            obs: Vec::with_capacity(8),
+            mask: Vec::with_capacity(8),
+            queue_len: 0,
+        };
+        let (obs_ptr, mask_ptr) = match &into {
+            Request::ScoreRaw { obs, mask, .. } => (obs.as_ptr(), mask.as_ptr()),
+            _ => unreachable!(),
+        };
+        Request::decode_payload_into(&wire[HEADER_LEN..], &mut into).unwrap();
+        match &into {
+            Request::ScoreRaw {
+                id,
+                obs,
+                mask,
+                queue_len,
+            } => {
+                assert_eq!((*id, *queue_len), (1, 2));
+                assert_eq!(obs.as_ptr(), obs_ptr, "obs buffer was reused");
+                assert_eq!(mask.as_ptr(), mask_ptr, "mask buffer was reused");
+                assert_eq!(obs, &[0.5f32, 0.25]);
+                assert_eq!(mask, &[0.0f32, -1e9]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

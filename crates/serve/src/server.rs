@@ -51,7 +51,9 @@
 //!   returns.
 
 use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
@@ -62,20 +64,24 @@ use std::time::{Duration, Instant};
 use rlsched_sched::{select_parts, HeuristicKind};
 use rlscheduler::{CanaryBatch, CanaryError, ObsEncoder, ScorerSnapshot};
 
+use crate::client::ServeClient;
 use crate::engine::{ScorerSlot, ShardEngine};
 use crate::faults::FaultPlan;
 use crate::histogram::LatencyHistogram;
 use crate::protocol::{
-    read_frame, write_frame, Request, Response, ServeStats, ServedBy, ShardHealth, ShardState,
+    read_frame_any, write_binary_frame, write_frame, Request, Response, ServeStats, ServedBy,
+    ShardHealth, ShardState, WireProtocol,
 };
+use crate::transport::{AnyStream, Listen, ListenAddr, ServerAddr, Transport};
 
 /// Server tuning knobs. The defaults serve a small cluster's decision
 /// traffic; benches and tests override freely.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Bind address; port 0 picks a free port (see
-    /// [`ServerHandle::addr`]).
-    pub addr: String,
+    /// Where to listen: TCP (port 0 picks a free port — see
+    /// [`ServerHandle::addr`]) or a Unix domain socket. The default
+    /// honors the `RLSCHED_WIRE` env pin ([`ListenAddr::env_default`]).
+    pub addr: ListenAddr,
     /// Worker shards, each owning a scorer replica and scratch.
     pub shards: usize,
     /// Max rows per coalesced batch.
@@ -111,7 +117,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            addr: "127.0.0.1:0".to_string(),
+            addr: ListenAddr::env_default(),
             shards: 2,
             batch_cap: 32,
             coalesce_window: Duration::from_micros(100),
@@ -203,12 +209,13 @@ struct Shared {
     shard_health: Vec<ShardHealthCell>,
     hist: Mutex<LatencyHistogram>,
     conns: Mutex<Vec<JoinHandle<()>>>,
-    /// Stream clones for the *live* connections keyed by connection id,
-    /// so shutdown can unblock readers parked in `read_frame` (no read
-    /// timeouts — a timeout mid-frame would drop partial line data).
+    /// Shutdown hooks for the *live* connections keyed by connection
+    /// id (each holds a stream clone and shuts it down when called),
+    /// so shutdown can unblock readers parked mid-frame (no read
+    /// timeouts — a timeout mid-frame would drop partial frame data).
     /// Each connection removes its own entry on exit; leaving it there
     /// would hold the socket's fd open for the server's lifetime.
-    conn_streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    conn_shutdowns: Mutex<std::collections::HashMap<u64, Box<dyn Fn() + Send>>>,
     next_conn_id: AtomicU64,
 }
 
@@ -309,7 +316,7 @@ pub struct Server;
 
 impl Server {
     /// Start listening and spawn the shard workers. Returns once the
-    /// socket is bound (the port is immediately connectable).
+    /// socket is bound (the address is immediately connectable).
     pub fn spawn(
         scorer: ScorerSnapshot,
         encoder: ObsEncoder,
@@ -329,9 +336,37 @@ impl Server {
                 kind.name()
             );
         }
-        let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
+        match cfg.addr.clone() {
+            ListenAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(&spec)?;
+                listener.set_nonblocking(true)?;
+                let bound = ServerAddr::Tcp(listener.local_addr()?);
+                finish_spawn(listener, bound, scorer, encoder, cfg)
+            }
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => {
+                // A stale socket file from a crashed predecessor makes
+                // bind fail with AddrInUse; remove it first (connects to
+                // a dead socket fail, so this races with nothing live).
+                let _ = std::fs::remove_file(&path);
+                let listener = UnixListener::bind(&path)?;
+                listener.set_nonblocking(true)?;
+                let bound = ServerAddr::Unix(path);
+                finish_spawn(listener, bound, scorer, encoder, cfg)
+            }
+        }
+    }
+}
+
+/// Listener-generic tail of [`Server::spawn`].
+fn finish_spawn<L: Listen>(
+    listener: L,
+    bound: ServerAddr,
+    scorer: ScorerSnapshot,
+    encoder: ObsEncoder,
+    cfg: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    {
         let slot = ScorerSlot::new(scorer.clone());
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
@@ -348,7 +383,7 @@ impl Server {
             shard_health: (0..cfg.shards).map(|_| ShardHealthCell::new()).collect(),
             hist: Mutex::new(LatencyHistogram::new()),
             conns: Mutex::new(Vec::new()),
-            conn_streams: Mutex::new(std::collections::HashMap::new()),
+            conn_shutdowns: Mutex::new(std::collections::HashMap::new()),
             next_conn_id: AtomicU64::new(0),
         });
 
@@ -385,7 +420,7 @@ impl Server {
         };
 
         Ok(ServerHandle {
-            addr,
+            bound,
             slot,
             shared,
             obs_dim: encoder.obs_dim(),
@@ -401,7 +436,7 @@ impl Server {
 
 /// A running server: address, stats, checkpoint lifecycle, shutdown.
 pub struct ServerHandle {
-    addr: SocketAddr,
+    bound: ServerAddr,
     slot: Arc<ScorerSlot>,
     shared: Arc<Shared>,
     obs_dim: usize,
@@ -415,9 +450,28 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// The bound address (resolves port 0).
+    /// The bound TCP address (resolves port 0). Panics when the server
+    /// listens on a Unix socket — use [`ServerHandle::server_addr`] or
+    /// [`ServerHandle::connect`] for transport-agnostic access.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        match &self.bound {
+            ServerAddr::Tcp(a) => *a,
+            other => panic!(
+                "server is bound to {other}, not TCP; \
+                 use server_addr() or connect() instead of addr()"
+            ),
+        }
+    }
+
+    /// The bound address, whichever transport it is.
+    pub fn server_addr(&self) -> &ServerAddr {
+        &self.bound
+    }
+
+    /// Open a client to this server over whichever transport it bound,
+    /// speaking the env-default wire format (`RLSCHED_WIRE`).
+    pub fn connect(&self) -> std::io::Result<ServeClient<AnyStream>> {
+        ServeClient::connect_any(&self.bound)
     }
 
     /// Propose → validate → commit: the guarded way to install weights.
@@ -527,14 +581,14 @@ impl ServerHandle {
         }
         // Unblock readers parked on idle connections; joined readers'
         // stream clones just error harmlessly.
-        for s in self
+        for hook in self
             .shared
-            .conn_streams
+            .conn_shutdowns
             .lock()
-            .expect("stream list poisoned")
+            .expect("shutdown hook list poisoned")
             .values()
         {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+            hook();
         }
         let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn list poisoned"));
         for c in conns {
@@ -545,12 +599,17 @@ impl ServerHandle {
         for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
+        // A Unix socket outlives its listener as a filesystem entry;
+        // remove it so the path can be rebound.
+        if let ServerAddr::Unix(path) = &self.bound {
+            let _ = std::fs::remove_file(path);
+        }
         self.shared.stats()
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
+fn accept_loop<L: Listen>(
+    listener: L,
     encoder: ObsEncoder,
     fallback: Option<HeuristicKind>,
     shard_txs: Vec<SyncSender<ShardRequest>>,
@@ -559,8 +618,8 @@ fn accept_loop(
     let base_backoff = Duration::from_millis(2);
     let mut accept_backoff = base_backoff;
     while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
+        match listener.accept_stream() {
+            Ok(stream) => {
                 accept_backoff = base_backoff;
                 let shard_txs = shard_txs.clone();
                 let shared_c = Arc::clone(&shared);
@@ -601,40 +660,70 @@ fn accept_loop(
     }
 }
 
+/// Wire-format latch values shared between a connection's reader and
+/// writer: the reader records the format of the last request frame,
+/// and the writer answers in kind (a JSON client never sees binary
+/// bytes and vice versa, even on a connection that switches formats).
+const PROTO_JSON: u8 = 0;
+const PROTO_BINARY: u8 = 1;
+
 /// Per-connection reader: parse frames, validate, encode, route. A
 /// sibling writer thread owns the response stream so shard replies and
 /// front-door replies (shed/error/stats) interleave safely.
-fn connection_loop(
-    stream: TcpStream,
+fn connection_loop<S: Transport>(
+    stream: S,
     encoder: ObsEncoder,
     fallback: Option<HeuristicKind>,
     shard_txs: Vec<SyncSender<ShardRequest>>,
     shared: Arc<Shared>,
 ) {
-    let _ = stream.set_nodelay(true);
+    stream.tune();
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
     if let Ok(clone) = stream.try_clone() {
         shared
-            .conn_streams
+            .conn_shutdowns
             .lock()
-            .expect("stream list poisoned")
-            .insert(conn_id, clone);
+            .expect("shutdown hook list poisoned")
+            .insert(conn_id, Box::new(move || clone.shutdown_both()));
     }
+    // Relaxed is enough: the reply channel's send/recv orders the
+    // latch store before the writer's load for that request.
+    let proto = Arc::new(AtomicU8::new(PROTO_JSON));
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
-    let writer = std::thread::Builder::new()
-        .name("rlsched-serve-write".to_string())
-        .spawn(move || writer_loop(write_half, reply_rx));
+    let writer = {
+        let proto = Arc::clone(&proto);
+        std::thread::Builder::new()
+            .name("rlsched-serve-write".to_string())
+            .spawn(move || writer_loop(write_half, reply_rx, proto))
+    };
     let mut reader = BufReader::new(stream);
+    // Per-connection frame scratch, reused across frames: the binary
+    // payload buffer and the JSON line buffer. (The decoded request's
+    // row vectors move on to a shard, so those are owned per request.)
+    let mut payload = Vec::new();
+    let mut line = String::new();
 
     while !shared.shutdown.load(Ordering::Acquire) {
-        let req: Request = match read_frame(&mut reader) {
-            Ok(Some(r)) => r,
+        let req: Request = match read_frame_any(&mut reader, &mut payload, &mut line) {
+            Ok(Some((r, got))) => {
+                proto.store(
+                    match got {
+                        WireProtocol::Json => PROTO_JSON,
+                        WireProtocol::Binary => PROTO_BINARY,
+                    },
+                    Ordering::Relaxed,
+                );
+                r
+            }
             Ok(None) => break, // clean EOF
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                // Malformed frame: report and resync at the next line.
+                // Malformed frame: report and resync at the next frame
+                // boundary (the next line, or — since a binary frame's
+                // declared length is consumed before its payload is
+                // judged — the next binary header).
                 let _ = reply_tx.send(Response::Error {
                     id: 0,
                     message: format!("bad frame: {e}"),
@@ -649,11 +738,11 @@ fn connection_loop(
     if let Ok(w) = writer {
         let _ = w.join();
     }
-    // Release this connection's shutdown handle (and its fd).
+    // Release this connection's shutdown hook (and its fd).
     shared
-        .conn_streams
+        .conn_shutdowns
         .lock()
-        .expect("stream list poisoned")
+        .expect("shutdown hook list poisoned")
         .remove(&conn_id);
 }
 
@@ -766,10 +855,17 @@ fn handle_request(
     }
 }
 
-fn writer_loop(stream: TcpStream, rx: Receiver<Response>) {
+fn writer_loop<S: Transport>(stream: S, rx: Receiver<Response>, proto: Arc<AtomicU8>) {
     let mut w = BufWriter::new(stream);
+    // Reused binary frame scratch: steady-state binary replies don't
+    // allocate for framing.
+    let mut scratch = Vec::new();
     while let Ok(resp) = rx.recv() {
-        if write_frame(&mut w, &resp).is_err() {
+        let wrote = match proto.load(Ordering::Relaxed) {
+            PROTO_BINARY => write_binary_frame(&mut w, &resp, &mut scratch),
+            _ => write_frame(&mut w, &resp),
+        };
+        if wrote.is_err() {
             break;
         }
         use std::io::Write;

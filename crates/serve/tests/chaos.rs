@@ -3,7 +3,12 @@
 //! Every test drives the production supervision/fallback/validation
 //! machinery through [`FaultPlan`] — a deterministic script, so each
 //! failure sequence replays identically — and asserts the fault-model
-//! invariants end to end over TCP:
+//! invariants end to end over a live listener. Clients connect through
+//! `ServerHandle::connect`, so the suite follows the `RLSCHED_WIRE`
+//! pin (CI replays it with `RLSCHED_WIRE=binary-uds`); tests that need
+//! a raw `TcpStream` pin TCP explicitly.
+//!
+//! The invariants:
 //!
 //! * **Exactly one resolution per request**: a model decision, a
 //!   fallback decision, or a typed client error. Never silence, never
@@ -26,8 +31,8 @@ use rlsched_rl::{PolicyModel, PpoConfig};
 use rlsched_sched::{HeuristicKind, PriorityScheduler};
 use rlsched_serve::protocol::{read_frame, write_frame, Request, Response};
 use rlsched_serve::{
-    ClientConfig, ClientError, FaultPlan, ProposeError, RemotePolicy, ServeClient, ServeConfig,
-    ServedBy, Server, ShardState,
+    ClientConfig, ClientError, FaultPlan, ListenAddr, ProposeError, RemotePolicy, ServeClient,
+    ServeConfig, ServedBy, Server, ShardState,
 };
 use rlsched_sim::{run_episode, MetricKind, SimConfig};
 use rlsched_swf::{Job, JobTrace};
@@ -93,12 +98,11 @@ fn shard_panic_recovers_with_zero_lost_requests() {
     let canary = CanaryBatch::probe(&agent, 8, 17);
     let faults = Arc::new(FaultPlan::new());
     faults.panic_at(0, 0, 1); // the first coalesced batch dies
-    let handle = Server::spawn(
-        agent.scorer_snapshot(),
-        *agent.encoder(),
-        chaos_config(faults),
-    )
-    .expect("server spawns");
+    let mut cfg = chaos_config(faults);
+    // Raw TcpStream below: pin TCP regardless of RLSCHED_WIRE.
+    cfg.addr = ListenAddr::Tcp("127.0.0.1:0".into());
+    let handle =
+        Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
 
     const N: u64 = 64;
     let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
@@ -177,7 +181,7 @@ fn budget_exhaustion_fails_over_and_validated_swap_revives() {
     cfg.restart_budget = 0; // one strike and the shard is out
     let handle =
         Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let mut client = handle.connect().unwrap();
 
     // Every decision while Failed is a fallback decision.
     for i in 0..8 {
@@ -237,7 +241,7 @@ fn failed_tier_fallback_equals_priority_scheduler_episode() {
     cfg.fallback = Some(kind);
     let handle =
         Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
-    let client = ServeClient::connect(handle.addr()).unwrap();
+    let client = handle.connect().unwrap();
     let mut policy = RemotePolicy::new(client, 64);
     let remote = run_episode(&trace, SimConfig::default(), &mut policy).unwrap();
     assert_eq!(
@@ -301,7 +305,7 @@ fn poisoned_checkpoints_are_rejected_and_bits_unchanged() {
     assert!(matches!(err, ProposeError::Dims { .. }), "{err}");
 
     // The tier never served anything but the incumbent's bits.
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let mut client = handle.connect().unwrap();
     for i in 0..canary.rows() {
         let (obs, mask, queue_len, expected) = canary.row(i);
         let d = client.score_raw(obs, mask, queue_len).unwrap();
@@ -335,7 +339,7 @@ fn eval_regression_rolls_back_to_the_previous_generation() {
         "B validates against its own canary"
     );
     // B's bits serve…
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let mut client = handle.connect().unwrap();
     let (obs, mask, queue_len, expected_b) = canary_b.row(0);
     let d = client.score_raw(obs, mask, queue_len).unwrap();
     assert_eq!((d.action, d.served_by), (expected_b, ServedBy::Model));
@@ -384,6 +388,8 @@ fn slow_shard_stall_expires_deadlines_into_fallback() {
     faults.stall_at(0, 0, Duration::from_millis(300));
     let mut cfg = chaos_config(faults);
     cfg.queue_deadline = Some(Duration::from_millis(50));
+    // Raw TcpStream below: pin TCP regardless of RLSCHED_WIRE.
+    cfg.addr = ListenAddr::Tcp("127.0.0.1:0".into());
     let handle =
         Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
 
@@ -426,7 +432,7 @@ fn slow_shard_stall_expires_deadlines_into_fallback() {
         "requests aged past the deadline take the fallback arm"
     );
     // The stall script is spent: the tier serves models again.
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let mut client = handle.connect().unwrap();
     let (obs, mask, queue_len, expected) = canary.row(1);
     let d = client.score_raw(obs, mask, queue_len).unwrap();
     assert_eq!((d.action, d.served_by), (expected, ServedBy::Model));
@@ -481,8 +487,11 @@ fn client_reconnects_through_a_connection_drop_mid_response() {
         req.id()
     });
 
+    // The scripted fake above speaks newline-JSON: pin the protocol so
+    // the test is identical under an RLSCHED_WIRE=binary pin.
     let mut client = ServeClient::connect(addr)
         .unwrap()
+        .with_protocol(rlsched_serve::WireProtocol::Json)
         .with_config(ClientConfig {
             deadline: Some(Duration::from_secs(5)),
             max_retries: 3,
@@ -513,13 +522,11 @@ fn client_deadline_is_a_typed_error_not_a_hang() {
     )
     .expect("server spawns");
 
-    let mut impatient = ServeClient::connect(handle.addr())
-        .unwrap()
-        .with_config(ClientConfig {
-            deadline: Some(Duration::from_millis(80)),
-            max_retries: 0,
-            ..ClientConfig::default()
-        });
+    let mut impatient = handle.connect().unwrap().with_config(ClientConfig {
+        deadline: Some(Duration::from_millis(80)),
+        max_retries: 0,
+        ..ClientConfig::default()
+    });
     let (obs, mask, queue_len, _) = canary.row(0);
     let started = std::time::Instant::now();
     let err = impatient
@@ -532,7 +539,7 @@ fn client_deadline_is_a_typed_error_not_a_hang() {
     );
 
     // Patience pays: the stall is spent, model service resumes.
-    let mut patient = ServeClient::connect(handle.addr()).unwrap();
+    let mut patient = handle.connect().unwrap();
     let (obs, mask, queue_len, expected) = canary.row(1);
     let d = patient.score_raw(obs, mask, queue_len).unwrap();
     assert_eq!((d.action, d.served_by), (expected, ServedBy::Model));
@@ -547,12 +554,11 @@ fn torn_request_frames_leave_the_server_serving() {
     use rlsched_serve::write_torn_frame;
     let agent = agent_for(16, 3);
     let canary = CanaryBatch::probe(&agent, 4, 43);
-    let handle = Server::spawn(
-        agent.scorer_snapshot(),
-        *agent.encoder(),
-        chaos_config(Arc::new(FaultPlan::new())),
-    )
-    .expect("server spawns");
+    let mut cfg = chaos_config(Arc::new(FaultPlan::new()));
+    // Raw TcpStream below: pin TCP regardless of RLSCHED_WIRE.
+    cfg.addr = ListenAddr::Tcp("127.0.0.1:0".into());
+    let handle =
+        Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
 
     // Die mid-frame: the server sees a truncated line and EOF.
     let (obs, mask, queue_len, _) = canary.row(0);
@@ -579,7 +585,7 @@ fn torn_request_frames_leave_the_server_serving() {
     assert!(matches!(resp, Response::Error { id: 0, .. }), "{resp:?}");
 
     // Bystanders are unaffected, bits intact.
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let mut client = handle.connect().unwrap();
     for i in 0..canary.rows() {
         let (obs, mask, queue_len, expected) = canary.row(i);
         let d = client.score_raw(obs, mask, queue_len).unwrap();

@@ -12,9 +12,13 @@ use std::time::Duration;
 
 use proptest::pick_index;
 use proptest::prelude::*;
-use rlsched_serve::protocol::{read_frame, write_frame};
+use rlsched_serve::protocol::{
+    encode_binary_frame, encode_json_frame, read_frame, read_frame_any, read_frame_any_into,
+    write_frame,
+};
 use rlsched_serve::{
-    LatencyHistogram, Request, Response, ServeStats, ServedBy, ShardHealth, ShardState,
+    LatencyHistogram, Request, Response, ServeStats, ServedBy, ShardHealth, ShardState, WireFrame,
+    WireProtocol,
 };
 use rlscheduler::{QueueSnapshot, SnapshotJob};
 
@@ -217,6 +221,130 @@ proptest! {
         let torn = &buf[..keep];
         let err = read_frame::<Response, _>(&mut std::io::BufReader::new(torn))
             .expect_err("a torn frame must not parse");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Every request variant survives the *binary* wire bit-exactly —
+    /// same payload space as the JSON property, decoded through the
+    /// format-sniffing reader.
+    #[test]
+    fn binary_requests_round_trip_bit_exactly(reqs in prop::collection::vec(any_request(), 1..8)) {
+        let mut buf = Vec::new();
+        let mut frame = Vec::new();
+        for r in &reqs {
+            encode_binary_frame(r, &mut frame);
+            buf.extend_from_slice(&frame);
+        }
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        let (mut payload, mut line) = (Vec::new(), String::new());
+        for want in &reqs {
+            let (got, proto): (Request, _) =
+                read_frame_any(&mut reader, &mut payload, &mut line)
+                    .unwrap()
+                    .expect("frame present");
+            prop_assert_eq!(proto, WireProtocol::Binary);
+            prop_assert_eq!(&got, want);
+            if let (
+                Request::ScoreRaw { obs: a, mask: ma, .. },
+                Request::ScoreRaw { obs: b, mask: mb, .. },
+            ) = (&got, want) {
+                for (x, y) in a.iter().zip(b).chain(ma.iter().zip(mb)) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+                }
+            }
+        }
+        prop_assert!(
+            read_frame_any::<Request, _>(&mut reader, &mut payload, &mut line)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    /// Every response variant round-trips through the binary format,
+    /// and decoding *into* a reused scratch value yields exactly the
+    /// owned-decode result — the server/client buffer-reuse path can
+    /// never diverge from the simple path.
+    #[test]
+    fn binary_responses_round_trip_and_decode_into_matches(
+        resps in prop::collection::vec(any_response(), 1..8),
+    ) {
+        let mut frame = Vec::new();
+        let mut scratch = Response::scratch();
+        for want in &resps {
+            encode_binary_frame(want, &mut frame);
+            let mut reader = std::io::BufReader::new(&frame[..]);
+            let (mut payload, mut line) = (Vec::new(), String::new());
+            let (owned, proto): (Response, _) =
+                read_frame_any(&mut reader, &mut payload, &mut line)
+                    .unwrap()
+                    .expect("frame present");
+            prop_assert_eq!(proto, WireProtocol::Binary);
+            prop_assert_eq!(&owned, want);
+            // decode_into against a scratch carrying the *previous*
+            // iteration's value: stale state must be fully overwritten.
+            let mut reader = std::io::BufReader::new(&frame[..]);
+            read_frame_any_into(&mut reader, &mut payload, &mut line, &mut scratch)
+                .unwrap()
+                .expect("frame present");
+            prop_assert_eq!(&scratch, want);
+        }
+    }
+
+    /// JSON and binary encodings of the same value decode to the same
+    /// value, and a stream interleaving the two formats sniffs each
+    /// frame correctly — the per-connection negotiation is per *frame*,
+    /// so a client may switch formats mid-connection.
+    #[test]
+    fn json_and_binary_cross_decode_equivalently(
+        reqs in prop::collection::vec(any_request(), 1..6),
+        flips in prop::collection::vec(any::<bool>(), 6),
+    ) {
+        let mut buf = Vec::new();
+        let mut frame = Vec::new();
+        let protos: Vec<WireProtocol> = reqs
+            .iter()
+            .zip(&flips)
+            .map(|(r, &binary)| {
+                if binary {
+                    encode_binary_frame(r, &mut frame);
+                } else {
+                    encode_json_frame(r, &mut frame).unwrap();
+                }
+                buf.extend_from_slice(&frame);
+                if binary { WireProtocol::Binary } else { WireProtocol::Json }
+            })
+            .collect();
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        let (mut payload, mut line) = (Vec::new(), String::new());
+        for (want, want_proto) in reqs.iter().zip(&protos) {
+            let (got, proto): (Request, _) =
+                read_frame_any(&mut reader, &mut payload, &mut line)
+                    .unwrap()
+                    .expect("frame present");
+            prop_assert_eq!(proto, *want_proto);
+            prop_assert_eq!(&got, want);
+        }
+    }
+
+    /// Truncating a binary frame anywhere strictly inside it yields the
+    /// transport error (`UnexpectedEof`), never `InvalidData` — torn
+    /// binary frames must stay retryable exactly like torn JSON lines.
+    #[test]
+    fn torn_binary_frames_are_transport_errors(
+        resp in any_response(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut buf = Vec::new();
+        encode_binary_frame(&resp, &mut buf);
+        let keep = 1 + cut.index(buf.len() - 1);
+        let torn = &buf[..keep];
+        let (mut payload, mut line) = (Vec::new(), String::new());
+        let err = read_frame_any::<Response, _>(
+            &mut std::io::BufReader::new(torn),
+            &mut payload,
+            &mut line,
+        )
+        .expect_err("a torn frame must not parse");
         prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 

@@ -6,18 +6,29 @@
 //! with `RLSCHED_FORCE_SCALAR=1`).
 //!
 //! The guarantee composes from: shared snapshot/view encoding, exact
-//! float round-trips through the JSON wire format, `ScorerSnapshot`
-//! using `as_policy`'s per-architecture representation, and the forward
-//! kernels' row-count invariance. Equal `EpisodeMetrics` is the
-//! strongest possible check here: a single different decision anywhere
-//! in an episode cascades into different schedules and metrics.
+//! float round-trips through both wire formats (JSON via
+//! shortest-round-trip formatting, binary via `to_le_bytes` verbatim),
+//! `ScorerSnapshot` using `as_policy`'s per-architecture
+//! representation, and the forward kernels' row-count invariance. Equal
+//! `EpisodeMetrics` is the strongest possible check here: a single
+//! different decision anywhere in an episode cascades into different
+//! schedules and metrics.
+//!
+//! Most tests connect through `ServerHandle::connect`, so the whole
+//! file follows the `RLSCHED_WIRE` pin (CI re-runs it with
+//! `RLSCHED_WIRE=binary-uds` next to the `RLSCHED_FORCE_SCALAR` arm);
+//! the matrix test below additionally pins every
+//! {JSON, binary} × {TCP, UDS} combination explicitly.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use rlsched_rl::PpoConfig;
-use rlsched_serve::{ClientError, RemotePolicy, ServeClient, ServeConfig, ServedBy, Server};
+use rlsched_serve::{
+    ClientError, ListenAddr, RemotePolicy, ServeClient, ServeConfig, ServedBy, Server, ServerAddr,
+    WireProtocol,
+};
 use rlsched_sim::{run_episode, MetricKind, SimConfig};
 use rlsched_swf::{Job, JobTrace};
 use rlscheduler::{Agent, AgentConfig, ObsConfig, PolicyKind};
@@ -58,7 +69,7 @@ fn agent_for(kind: PolicyKind, seed: u64) -> Agent {
 /// the foreground episode's decisions land in batches of varying
 /// composition. Returns a stop flag and the join handles.
 fn spawn_noise(
-    addr: std::net::SocketAddr,
+    addr: ServerAddr,
     obs_dim: usize,
     n_actions: usize,
     n_threads: usize,
@@ -67,8 +78,9 @@ fn spawn_noise(
     let handles = (0..n_threads)
         .map(|t| {
             let stop = Arc::clone(&stop);
+            let addr = addr.clone();
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(addr)
+                let mut client = ServeClient::connect_any(&addr)
                     .expect("noise client connects")
                     .with_id_base(1_000_000 * (t as u64 + 1));
                 // A fixed valid row: 3 live slots, the rest padding.
@@ -115,15 +127,14 @@ fn served_decisions_are_bit_identical_to_as_policy_all_kinds() {
             },
         )
         .expect("server spawns");
-        let addr = handle.addr();
         let (stop, noise) = spawn_noise(
-            addr,
+            handle.server_addr().clone(),
             agent.encoder().obs_dim(),
             agent.encoder().n_actions(),
             2,
         );
 
-        let client = ServeClient::connect(addr).expect("client connects");
+        let client = handle.connect().expect("client connects");
         let mut policy = RemotePolicy::new(client, agent.encoder().cfg.max_obsv);
         let remote = run_episode(&trace, SimConfig::default(), &mut policy).unwrap();
         assert_eq!(
@@ -176,7 +187,8 @@ fn decisions_are_invariant_across_shard_counts() {
             },
         )
         .expect("server spawns");
-        let client = ServeClient::connect(handle.addr())
+        let client = handle
+            .connect()
             .expect("client connects")
             // Distinct id streams route to distinct shards.
             .with_id_base(7919 * shards as u64);
@@ -203,7 +215,7 @@ fn hot_swap_serves_new_weights_without_dropping_requests() {
     )
     .expect("server spawns");
     let (stop, noise) = spawn_noise(
-        handle.addr(),
+        handle.server_addr().clone(),
         agent_a.encoder().obs_dim(),
         agent_a.encoder().n_actions(),
         2,
@@ -212,7 +224,7 @@ fn hot_swap_serves_new_weights_without_dropping_requests() {
     std::thread::sleep(Duration::from_millis(20));
     handle.swap_scorer(agent_b.scorer_snapshot());
 
-    let client = ServeClient::connect(handle.addr()).expect("client connects");
+    let client = handle.connect().expect("client connects");
     let mut policy = RemotePolicy::new(client, agent_b.encoder().cfg.max_obsv);
     let remote = run_episode(&trace, SimConfig::default(), &mut policy).unwrap();
     assert_eq!(expect_b, remote, "post-swap decisions are agent B's");
@@ -246,6 +258,8 @@ fn full_inboxes_shed_and_every_request_is_answered() {
             queue_depth: 1,
             // No fallback: this test pins the bare-shed semantics.
             fallback: None,
+            // Raw TcpStream below: pin TCP regardless of RLSCHED_WIRE.
+            addr: ListenAddr::Tcp("127.0.0.1:0".into()),
             ..ServeConfig::default()
         },
     )
@@ -312,7 +326,11 @@ fn malformed_frames_report_errors_and_resync() {
     let handle = Server::spawn(
         agent.scorer_snapshot(),
         *agent.encoder(),
-        ServeConfig::default(),
+        ServeConfig {
+            // Raw TcpStream below: pin TCP regardless of RLSCHED_WIRE.
+            addr: ListenAddr::Tcp("127.0.0.1:0".into()),
+            ..ServeConfig::default()
+        },
     )
     .expect("server spawns");
     let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
@@ -344,7 +362,7 @@ fn malformed_frames_report_errors_and_resync() {
     assert!(matches!(resp, Response::Error { id: 9, .. }), "{resp:?}");
 
     // The connection still scores after both errors.
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let mut client = handle.connect().unwrap();
     let trace = toy_trace();
     let view_probe = run_episode(&trace, SimConfig::default(), &mut agent.as_policy()).unwrap();
     drop(view_probe);
@@ -368,7 +386,7 @@ fn stats_are_queryable_over_the_wire() {
         ServeConfig::default(),
     )
     .expect("server spawns");
-    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let mut client = handle.connect().unwrap();
     let mut obs = vec![0.0f32; agent.encoder().obs_dim()];
     let mut mask = vec![-1e9f32; agent.encoder().n_actions()];
     obs[..rlscheduler::JOB_FEATURES].fill(0.7);
@@ -384,4 +402,56 @@ fn stats_are_queryable_over_the_wire() {
     assert!(stats.p50_us > 0.0 && stats.p50_us <= stats.p99_us);
     let final_stats = handle.shutdown();
     assert_eq!(final_stats.served, 10);
+}
+
+/// The headline invariant of the wire-format work: served decisions are
+/// bit-identical across {JSON, binary} × {TCP, UDS} × shard count. The
+/// transport moves bytes and the format arranges them; neither may
+/// change a single decision. Every cell replays the same episode and
+/// must equal the in-process `as_policy` metrics exactly.
+#[test]
+fn decisions_are_identical_across_protocols_and_transports() {
+    let trace = toy_trace();
+    let agent = agent_for(PolicyKind::Kernel, 61);
+    let expected = run_episode(&trace, SimConfig::with_backfill(), &mut agent.as_policy()).unwrap();
+
+    type ListenerArm = (&'static str, fn() -> ListenAddr);
+    let listeners: Vec<ListenerArm> = vec![
+        ("tcp", || ListenAddr::Tcp("127.0.0.1:0".into())),
+        #[cfg(unix)]
+        ("uds", || ListenAddr::unix_temp("parity-matrix")),
+    ];
+    for (transport, listen) in listeners {
+        for shards in [1usize, 3] {
+            let handle = Server::spawn(
+                agent.scorer_snapshot(),
+                *agent.encoder(),
+                ServeConfig {
+                    shards,
+                    addr: listen(),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("server spawns");
+            for proto in [WireProtocol::Json, WireProtocol::Binary] {
+                let client = handle
+                    .connect()
+                    .expect("client connects")
+                    .with_protocol(proto)
+                    // Distinct id streams per cell perturb shard routing.
+                    .with_id_base(1000 * shards as u64);
+                let mut policy = RemotePolicy::new(client, agent.encoder().cfg.max_obsv);
+                let remote = run_episode(&trace, SimConfig::with_backfill(), &mut policy).unwrap();
+                assert_eq!(
+                    expected,
+                    remote,
+                    "{}/{transport}/{shards}-shard episode diverged",
+                    proto.name()
+                );
+                assert_eq!(policy.remote_fallbacks(), 0);
+                assert_eq!(policy.sheds(), 0);
+            }
+            handle.shutdown();
+        }
+    }
 }

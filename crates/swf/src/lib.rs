@@ -18,6 +18,7 @@
 
 pub mod error;
 pub mod job;
+pub mod mmap;
 pub mod parse;
 pub mod stats;
 pub mod stream;
@@ -26,6 +27,7 @@ pub mod write;
 
 pub use error::SwfError;
 pub use job::{Job, JobStatus};
+pub use mmap::{stream_mmap, MmapFile, MmapReader};
 pub use parse::{parse_reader, parse_str, SwfHeader};
 pub use stats::TraceStats;
 pub use stream::StreamReader;

@@ -1,0 +1,256 @@
+//! Memory-mapped SWF source: a [`StreamReader`]-compatible reader over
+//! an `mmap`ed file.
+//!
+//! A replay-scale load generator reads the trace front to back exactly
+//! once; going through `read(2)` copies every byte into a userspace
+//! buffer first. Mapping the file instead hands the parser the page
+//! cache directly — no read syscalls, no copy — and since
+//! [`std::io::Cursor`] over any `AsRef<[u8]>` implements `BufRead`,
+//! the existing [`StreamReader`] runs on top unchanged. Parity with
+//! the `BufReader<File>` path (jobs, headers, *and* error line
+//! numbers) is pinned by the tests below and the stream-parity suite.
+//!
+//! On unix the mapping is a direct `mmap(PROT_READ, MAP_PRIVATE)`
+//! declared by hand (no libc crate dependency); elsewhere the type
+//! degrades to reading the file into a `Vec<u8>` — same interface,
+//! same parity, just not zero-copy.
+
+use std::io::Cursor;
+use std::path::Path;
+
+use crate::stream::StreamReader;
+
+/// A read-only byte view of a whole file, `mmap`ed on unix.
+///
+/// Dereferences to `&[u8]`; drop unmaps.
+pub struct MmapFile {
+    #[cfg(unix)]
+    ptr: *mut std::ffi::c_void,
+    #[cfg(unix)]
+    len: usize,
+    #[cfg(not(unix))]
+    bytes: Vec<u8>,
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+impl MmapFile {
+    /// Map `path` read-only.
+    #[cfg(unix)]
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            // mmap(len = 0) is EINVAL; an empty file maps to an empty view.
+            return Ok(MmapFile {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: a fresh read-only private mapping of a file we hold
+        // open; the fd can be closed after mmap returns (the mapping
+        // keeps its own reference).
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(MmapFile { ptr, len })
+    }
+
+    /// Read `path` into memory (the non-unix fallback; same interface).
+    #[cfg(not(unix))]
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(MmapFile {
+            bytes: std::fs::read(path)?,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly
+            // `len` bytes, valid until `Drop` unmaps it.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+        #[cfg(not(unix))]
+        &self.bytes
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, private) for its whole
+// lifetime, so shared references from any thread are fine.
+#[cfg(unix)]
+unsafe impl Send for MmapFile {}
+#[cfg(unix)]
+unsafe impl Sync for MmapFile {}
+
+impl AsRef<[u8]> for MmapFile {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for MmapFile {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for MmapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapFile")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A [`StreamReader`] over a memory-mapped SWF file.
+pub type MmapReader = StreamReader<Cursor<MmapFile>>;
+
+/// Open `path` as a streaming SWF reader backed by a memory map.
+pub fn stream_mmap(path: impl AsRef<Path>) -> std::io::Result<MmapReader> {
+    Ok(StreamReader::new(Cursor::new(MmapFile::open(path)?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SwfError;
+    use crate::job::Job;
+    use std::io::BufReader;
+    use std::io::Write;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; MaxProcs: 128
+; a prose comment
+
+1 0 5 100 4 -1 -1 4 120 -1 1 3 2 7 1 0 -1 -1
+
+2 10 -1 50 -1 -1 -1 8 60 -1 0 4 2 7 1 0 -1 -1
+";
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("rlsched_mmap_{name}_{}", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn mmap_parity_with_buffered_reader() {
+        let path = write_temp("parity", SAMPLE);
+        let mut mapped = stream_mmap(&path).unwrap();
+        let mut buffered = StreamReader::new(BufReader::new(std::fs::File::open(&path).unwrap()));
+        let a: Vec<Job> = mapped.by_ref().map(|j| j.unwrap()).collect();
+        let b: Vec<Job> = buffered.by_ref().map(|j| j.unwrap()).collect();
+        assert_eq!(a, b);
+        assert_eq!(mapped.header(), buffered.header());
+        assert_eq!(mapped.max_procs(), buffered.max_procs());
+        assert_eq!(mapped.line_number(), buffered.line_number());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mmap_errors_carry_the_same_line_numbers() {
+        let src = "; MaxProcs: 4\n1 0 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\nbad line\n";
+        let path = write_temp("err", src);
+        let check = |err: SwfError| match err {
+            SwfError::FieldCount { line, found } => {
+                assert_eq!(line, 3);
+                assert_eq!(found, 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        };
+        let mut mapped = stream_mmap(&path).unwrap();
+        assert!(mapped.next().unwrap().is_ok());
+        check(mapped.next().unwrap().unwrap_err());
+        assert!(mapped.next().is_none(), "fused after the error");
+        let mut buffered = StreamReader::new(BufReader::new(std::fs::File::open(&path).unwrap()));
+        assert!(buffered.next().unwrap().is_ok());
+        check(buffered.next().unwrap().unwrap_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_to_an_empty_stream() {
+        let path = write_temp("empty", "");
+        let mut mapped = stream_mmap(&path).unwrap();
+        assert!(mapped.next().is_none());
+        assert_eq!(mapped.max_procs(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(stream_mmap("/nonexistent/definitely-not-here.swf").is_err());
+    }
+}

@@ -18,13 +18,17 @@
 //!
 //! With `--serve`, the trained agent is additionally stood up behind the
 //! sharded `rlsched-serve` tier and every held-out window is scheduled
-//! by a concurrent remote client — decisions travel over TCP, coalesce
-//! into batches, and must come back bit-identical to in-process scoring.
+//! by a concurrent remote client — first as newline-JSON over TCP, then
+//! again as binary frames over a unix domain socket. Decisions coalesce
+//! into batches on the shards and must come back bit-identical to
+//! in-process scoring on both wire stacks.
 
 use rlsched_repro::core::prelude::*;
 use rlsched_repro::core::{CanaryBatch, PolicyNet, ScorerSnapshot};
 use rlsched_repro::sched::{HeuristicKind, PriorityScheduler};
-use rlsched_repro::serve::{RemotePolicy, ServeClient, ServeConfig, Server};
+use rlsched_repro::serve::{
+    ListenAddr, RemotePolicy, ServeClient, ServeConfig, Server, ServerAddr, WireProtocol,
+};
 use rlsched_repro::workload::NamedWorkload;
 
 /// Problem sizes for the two run modes: the default "see it learn" scale
@@ -172,21 +176,25 @@ fn main() {
 
     // 6. (--serve) Stand the trained agent up behind the sharded,
     //    request-coalescing serving tier and schedule every held-out
-    //    window through a concurrent remote client. The decisions cross
-    //    TCP as queue snapshots, coalesce into batches on the shards,
-    //    and must match in-process scoring bit for bit.
+    //    window through a concurrent remote client — once per wire
+    //    stack. The decisions cross the wire as queue snapshots,
+    //    coalesce into batches on the shards, and must match in-process
+    //    scoring bit for bit on both stacks.
     if serve {
+        // JSON over TCP: the `nc`-able, greppable stack.
         let handle = Server::spawn(
             agent.scorer_snapshot(),
             *agent.encoder(),
             ServeConfig {
                 shards: 2,
+                addr: ListenAddr::Tcp("127.0.0.1:0".into()),
                 ..ServeConfig::default()
             },
         )
         .expect("serving tier binds a local port");
         println!(
-            "\nserving tier up on {} (2 shards, {} held-out windows as concurrent clients)…",
+            "\nserving tier up on tcp:{} (JSON frames, 2 shards, {} held-out windows as \
+             concurrent clients)…",
             handle.addr(),
             windows.len()
         );
@@ -200,6 +208,7 @@ fn main() {
                     s.spawn(move || {
                         let client = ServeClient::connect(addr)
                             .expect("client connects")
+                            .with_protocol(WireProtocol::Json)
                             .with_id_base(1 + 10_000 * i as u64);
                         let mut policy = RemotePolicy::new(client, window);
                         let m = evaluate_policy(
@@ -222,6 +231,64 @@ fn main() {
             mean_metric(&remote_results, MetricKind::BoundedSlowdown),
             "remote coalesced decisions must match in-process scoring"
         );
+
+        // Binary frames over a unix domain socket: the zero-copy stack
+        // the load benches prefer. Same weights, same coalescing tier —
+        // the decisions (and therefore the metrics) must be identical.
+        #[cfg(unix)]
+        {
+            let uds = Server::spawn(
+                agent.scorer_snapshot(),
+                *agent.encoder(),
+                ServeConfig {
+                    shards: 2,
+                    addr: ListenAddr::unix_temp("quickstart"),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("serving tier binds a unix socket");
+            let ServerAddr::Unix(path) = uds.server_addr().clone() else {
+                unreachable!("a unix listener binds a unix address")
+            };
+            println!(
+                "serving tier up on unix:{} (binary frames)…",
+                path.display()
+            );
+            let uds_results: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = windows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        let path = path.clone();
+                        s.spawn(move || {
+                            let client = ServeClient::connect_uds(&path)
+                                .expect("client connects over UDS")
+                                .with_protocol(WireProtocol::Binary)
+                                .with_id_base(1 + 10_000 * i as u64);
+                            let mut policy = RemotePolicy::new(client, window);
+                            let m = evaluate_policy(
+                                std::slice::from_ref(w),
+                                SimConfig::default(),
+                                &mut policy,
+                            );
+                            assert_eq!(policy.sheds(), 0, "no shedding at demo load");
+                            m.into_iter().next().expect("one window, one result")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("remote scheduling thread"))
+                    .collect()
+            });
+            uds.shutdown();
+            assert_eq!(
+                mean_metric(&results, MetricKind::BoundedSlowdown),
+                mean_metric(&uds_results, MetricKind::BoundedSlowdown),
+                "binary-over-UDS decisions must match in-process scoring"
+            );
+            println!("binary-UDS remote scheduling matches in-process scoring too");
+        }
         // Checkpoint lifecycle: propose → validate → commit. The canary
         // probe carries expected decisions from in-process scoring, so
         // the restored weights must reproduce them bit for bit before
