@@ -13,6 +13,9 @@
 //! replay --serve-load            # fire replayed decision points at live servers, one
 //!                                # open-loop run per {JSON, binary} × {TCP, UDS} cell
 //! replay --mmap                  # read the trace through the memory-mapped SWF reader
+//! replay --smoke --metrics-dump  # also print both telemetry registries: the serve tier's
+//!                                # (scraped over the wire via Request::Metrics) and the
+//!                                # process-global replay registry, in exposition text format
 //! replay --stretch 1.0           # raw calibrated arrivals (long runs back up under FCFS)
 //! ```
 //!
@@ -38,8 +41,8 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 
 use rlsched_replay::{
-    collect_timed_requests, open_swf, open_swf_mmap, RemoteDecider, ReplayEngine, ReplayPolicy,
-    ReplayReport, SwfSource,
+    collect_timed_requests, open_swf, open_swf_mmap, RemoteDecider, ReplayEngine, ReplayMetrics,
+    ReplayPolicy, ReplayReport, SwfSource,
 };
 use rlsched_sched::HeuristicKind;
 use rlsched_serve::{
@@ -57,10 +60,11 @@ struct Args {
     serve_load: bool,
     backfill: bool,
     mmap: bool,
+    metrics_dump: bool,
 }
 
 const USAGE: &str = "usage: replay [--jobs N] [--seed N] [--stretch F] [--smoke] [--serve-load] \
-     [--no-backfill] [--mmap]";
+     [--no-backfill] [--mmap] [--metrics-dump]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -71,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         serve_load: false,
         backfill: true,
         mmap: false,
+        metrics_dump: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -98,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
             "--serve-load" => args.serve_load = true,
             "--no-backfill" => args.backfill = false,
             "--mmap" => args.mmap = true,
+            "--metrics-dump" => args.metrics_dump = true,
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
@@ -136,9 +142,11 @@ fn write_trace(jobs: usize, seed: u64, stretch: f64) -> std::io::Result<std::pat
 fn run_source<R: std::io::BufRead, S: Transport>(
     src: SwfSource<R>,
     cfg: SimConfig,
+    head: &str,
     policy: &mut ReplayPolicy<'_, S>,
 ) -> Result<ReplayReport, String> {
     let mut engine = ReplayEngine::new(src.jobs, src.max_procs, cfg).map_err(|e| e.to_string())?;
+    engine.instrument(ReplayMetrics::register(rlsched_obs::global(), head));
     let report = engine.run(policy).map_err(|e| e.to_string())?;
     if let Some(e) = src.errors.take() {
         return Err(format!("trace cut short: {e}"));
@@ -150,14 +158,15 @@ fn replay_arm<S: Transport>(
     path: &std::path::Path,
     cfg: SimConfig,
     mmap: bool,
+    head: &str,
     policy: &mut ReplayPolicy<'_, S>,
 ) -> Result<ReplayReport, String> {
     if mmap {
         let src = open_swf_mmap(path).map_err(|e| e.to_string())?;
-        run_source(src, cfg, policy)
+        run_source(src, cfg, head, policy)
     } else {
         let src = open_swf(path).map_err(|e| e.to_string())?;
-        run_source(src, cfg, policy)
+        run_source(src, cfg, head, policy)
     }
 }
 
@@ -250,7 +259,7 @@ fn run(args: Args) -> Result<(), String> {
     // Heuristic arms: the full trace, one pass each.
     for kind in [HeuristicKind::Fcfs, HeuristicKind::Sjf] {
         let mut policy: ReplayPolicy = ReplayPolicy::Heuristic(kind);
-        let r = replay_arm(&path, cfg, args.mmap, &mut policy)?;
+        let r = replay_arm(&path, cfg, args.mmap, kind.name(), &mut policy)?;
         print_report(kind.name(), &r);
         record(&kind.name().to_lowercase(), &r);
     }
@@ -270,7 +279,7 @@ fn run(args: Args) -> Result<(), String> {
     };
     let agent = small_agent(args.seed);
     let mut agent_policy: ReplayPolicy = ReplayPolicy::Agent(agent.stream_decider());
-    let r = replay_arm(&agent_path, cfg, args.mmap, &mut agent_policy)?;
+    let r = replay_arm(&agent_path, cfg, args.mmap, "RL-agent", &mut agent_policy)?;
     print_report("RL-agent", &r);
     record("agent", &r);
 
@@ -288,9 +297,17 @@ fn run(args: Args) -> Result<(), String> {
         let mut policy = ReplayPolicy::Remote(
             RemoteDecider::new(client, 16).with_local_fallback(HeuristicKind::Sjf),
         );
-        let r = replay_arm(&agent_path, cfg, args.mmap, &mut policy)?;
+        let r = replay_arm(&agent_path, cfg, args.mmap, "RL-served", &mut policy)?;
         print_report("RL-served", &r);
         record("served", &r);
+        if args.metrics_dump {
+            // Scrape the server's own registry over the wire before it
+            // goes down — the shard/latency counters for the run above.
+            let mut probe = handle.connect().map_err(|e| e.to_string())?;
+            let scrape = probe.metrics().map_err(|e| e.to_string())?;
+            println!("--- serve registry (Request::Metrics) ---");
+            print!("{}", rlsched_obs::encode_text(&scrape));
+        }
         handle.shutdown();
 
         if args.serve_load {
@@ -361,6 +378,15 @@ fn run(args: Args) -> Result<(), String> {
     }
 
     write_bench_json(&entries);
+    if args.metrics_dump {
+        // The process-global registry: per-head replay ticks, decision
+        // latency, throughput and peak-queue gauges.
+        println!("--- replay registry ---");
+        print!(
+            "{}",
+            rlsched_obs::encode_text(&rlsched_obs::global().snapshot())
+        );
+    }
     Ok(())
 }
 
@@ -372,11 +398,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(args) {
+    let code = match run(args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("replay failed: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    // Spans buffer in-process; emit them on the way out (no-op unless
+    // RLSCHED_TRACE is set).
+    let _ = rlsched_obs::trace::flush();
+    code
 }

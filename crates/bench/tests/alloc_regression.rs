@@ -389,6 +389,75 @@ fn fast_paths_do_not_regress_allocations() {
          ({engine_allocs} allocations for an 8-row batch)"
     );
 
+    // ---- telemetry recording: the whole point of rlsched-obs is that
+    // instrumentation rides the hot paths for free, so every recording
+    // primitive — counter inc, gauge set/set_max, striped histogram
+    // record, and a *disabled* span guard — is pinned to exactly 0
+    // allocations, and an *instrumented* ShardEngine keeps the
+    // zero-allocation cycle pinned above. Registration allocates
+    // (registry map entry); that happens once, outside the window. ----
+    {
+        use rlsched_obs::Registry;
+        use rlsched_serve::EngineMetrics;
+        let reg = Registry::new();
+        let counter = reg.counter("alloc_pin_total", &[("k", "v")]);
+        let gauge = reg.gauge("alloc_pin_depth", &[]);
+        let ohist = reg.histogram("alloc_pin_ns", &[]);
+        // Warm: first record on this thread claims its histogram
+        // stripe, and the first span performs the process-wide one-time
+        // init (the cached RLSCHED_TRACE read; plus, when tracing is
+        // enabled, the preallocated trace ring). After that a span is
+        // allocation-free on BOTH arms: disabled it never touches the
+        // ring, enabled it writes a fixed-size record into preallocated
+        // slots — so the 0-alloc pin below holds under RLSCHED_TRACE=1
+        // too (CI runs that arm).
+        counter.inc();
+        gauge.set(1.0);
+        ohist.record_value(500);
+        {
+            rlsched_obs::span!("alloc.warm");
+        }
+        let record_allocs = count_allocs(|| {
+            for i in 0..64u64 {
+                counter.inc();
+                counter.add(3);
+                gauge.set(i as f64);
+                gauge.set_max(i as f64 * 2.0);
+                ohist.record_value(1 + i * 997);
+                rlsched_obs::span!("alloc.pin");
+            }
+        });
+        assert_eq!(
+            record_allocs, 0,
+            "obs recording primitives must not allocate \
+             ({record_allocs} allocations over 64 rounds)"
+        );
+
+        // Instrumented engine: same cycle as the pin above, now with
+        // registry handles attached — still allocation-free.
+        engine.instrument(EngineMetrics {
+            rows: reg.counter("alloc_pin_rows_total", &[]),
+            batches: reg.counter("alloc_pin_batches_total", &[]),
+            batch_rows: reg.histogram("alloc_pin_batch_rows", &[]),
+            batch_max: reg.gauge("alloc_pin_batch_max", &[]),
+        });
+        for _ in 0..8 {
+            engine.push_row(&row_obs, &row_mask, 3);
+        }
+        let _ = engine.flush(); // warm the metric handles
+        let inst_allocs = count_allocs(|| {
+            for _ in 0..8 {
+                engine.push_row(&row_obs, &row_mask, 3);
+            }
+            std::hint::black_box(engine.flush().len());
+        });
+        assert_eq!(
+            inst_allocs, 0,
+            "instrumented ShardEngine push+flush must not allocate at \
+             steady state ({inst_allocs} allocations for an 8-row batch)"
+        );
+    }
+
     // ---- binary wire codec: a ScoreRaw encode + decode round trip is
     // allocation-free at steady state. The client encodes straight from
     // its borrowed observation slices into a reused wire buffer; the

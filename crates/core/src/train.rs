@@ -8,7 +8,8 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use rlsched_rl::{collect_rollouts_par, collect_rollouts_vec, UpdateStats, VecEnv};
+use rlsched_obs::{Counter, Gauge, Histogram, Registry};
+use rlsched_rl::{collect_rollouts_par, collect_rollouts_vec, UpdateProfile, UpdateStats, VecEnv};
 use rlsched_sim::SimConfig;
 use rlsched_swf::JobTrace;
 
@@ -119,6 +120,69 @@ pub struct EpochStats {
 /// A whole training run's curve.
 pub type TrainingCurve = Vec<EpochStats>;
 
+/// Registry handles the training loop records into once per epoch
+/// (plus one phase-attributed time counter per PPO phase). Handles
+/// resolve against the process-global registry
+/// ([`rlsched_obs::global`]) so `rlsched-serve`'s scrape endpoint — or
+/// a `--metrics-dump` at exit — sees training progress without the
+/// loop threading a registry through its API. Registration happens
+/// once, before the epoch loop; the hot loop only touches atomics.
+struct TrainMetrics {
+    epochs: Counter,
+    episodes: Counter,
+    steps: Counter,
+    update_phase_ns: [Counter; 4],
+    update_ns: Histogram,
+    mean_return: Gauge,
+    mean_metric: Gauge,
+    approx_kl: Gauge,
+    entropy: Gauge,
+}
+
+impl TrainMetrics {
+    const PHASES: [&'static str; 4] = ["gather", "forward", "backward", "optimizer"];
+
+    fn register(reg: &Registry) -> Self {
+        let phase = |p: &str| reg.counter("rlsched_train_update_ns_total", &[("phase", p)]);
+        TrainMetrics {
+            epochs: reg.counter("rlsched_train_epochs_total", &[]),
+            episodes: reg.counter("rlsched_train_episodes_total", &[]),
+            steps: reg.counter("rlsched_train_steps_total", &[]),
+            update_phase_ns: [
+                phase(Self::PHASES[0]),
+                phase(Self::PHASES[1]),
+                phase(Self::PHASES[2]),
+                phase(Self::PHASES[3]),
+            ],
+            update_ns: reg.histogram("rlsched_train_update_ns", &[]),
+            mean_return: reg.gauge("rlsched_train_mean_return", &[]),
+            mean_metric: reg.gauge("rlsched_train_mean_metric", &[]),
+            approx_kl: reg.gauge("rlsched_train_approx_kl", &[]),
+            entropy: reg.gauge("rlsched_train_entropy", &[]),
+        }
+    }
+
+    fn record_epoch(
+        &self,
+        stats: &rlsched_rl::RolloutStats,
+        update: &UpdateStats,
+        prof: &UpdateProfile,
+    ) {
+        self.epochs.inc();
+        self.episodes.add(stats.episodes as u64);
+        self.steps.add(stats.steps as u64);
+        let phases = [prof.gather, prof.forward, prof.backward, prof.optimizer];
+        for (c, d) in self.update_phase_ns.iter().zip(phases) {
+            c.add(d.as_nanos() as u64);
+        }
+        self.update_ns.record(prof.total());
+        self.mean_return.set(stats.mean_return);
+        self.mean_metric.set(stats.mean_metric());
+        self.approx_kl.set(update.approx_kl);
+        self.entropy.set(update.entropy as f64);
+    }
+}
+
 /// Train `agent` on `trace`. Returns the per-epoch curve; the agent is
 /// updated in place.
 pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> TrainingCurve {
@@ -163,8 +227,10 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
         agent.ppo_mut().set_update_threads(cfg.n_threads);
     }
 
+    let metrics = TrainMetrics::register(rlsched_obs::global());
     let mut curve = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        rlsched_obs::span!("train.epoch");
         let filtered = match cfg.filter {
             FilterMode::Off => false,
             FilterMode::TwoPhase { phase1_epochs, .. } => epoch < phase1_epochs,
@@ -179,6 +245,7 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
                 cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9) ^ i.wrapping_mul(0x85EB_CA6B)
             })
             .collect();
+        let mut prof = UpdateProfile::default();
         let (stats, update) = if parallel {
             // Partitioned seed schedule over per-worker VecEnvs, then the
             // sharded fused update — all under the configured worker
@@ -190,17 +257,24 @@ pub fn train(agent: &mut Agent, trace: &JobTrace, cfg: &TrainConfig) -> Training
                     e.set_filter(epoch_filter.clone());
                     e
                 };
-                let (batch, stats) = collect_rollouts_par(agent.ppo(), make_env, n_slots, &seeds);
-                (stats, agent.ppo_mut().update(&batch))
+                let (batch, stats) = {
+                    rlsched_obs::span!("train.rollout");
+                    collect_rollouts_par(agent.ppo(), make_env, n_slots, &seeds)
+                };
+                (stats, agent.ppo_mut().update_profiled(&batch, &mut prof))
             })
         } else {
             let mut venv: VecEnv<&mut SchedulingEnv> = VecEnv::new(envs.iter_mut().collect());
-            let (batch, stats) = collect_rollouts_vec(agent.ppo(), &mut venv, &seeds);
+            let (batch, stats) = {
+                rlsched_obs::span!("train.rollout");
+                collect_rollouts_vec(agent.ppo(), &mut venv, &seeds)
+            };
             drop(venv);
             // Safety: collect_rollouts borrows the agent immutably; the
             // update needs it mutably. The borrow ends before this line.
-            (stats, agent.ppo_mut().update(&batch))
+            (stats, agent.ppo_mut().update_profiled(&batch, &mut prof))
         };
+        metrics.record_epoch(&stats, &update, &prof);
 
         curve.push(EpochStats {
             epoch,

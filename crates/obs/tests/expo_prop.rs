@@ -1,0 +1,223 @@
+//! Property tests for the Prometheus-style text exposition.
+//!
+//! `encode_text` is the scrape boundary: whatever a registry holds
+//! must come back out of the text losslessly, or dashboards silently
+//! lie. The properties here build arbitrary registries — counter /
+//! gauge / histogram mixes, label values that need every escape rule —
+//! encode them, re-parse the text with an independent mini-parser, and
+//! assert:
+//!
+//! * every snapshot sample appears in the text exactly once, with its
+//!   name, unescaped labels, and exact value (gauges compare by bits);
+//! * histogram `_bucket` lines are cumulative and monotone with
+//!   strictly increasing `le` bounds, the `+Inf` bucket equals
+//!   `_count`, and the per-bucket deltas recover the snapshot's sparse
+//!   buckets exactly — i.e. bucket counts sum to the total.
+
+use proptest::prelude::*;
+use rlsched_obs::{bucket_upper, encode_text, MetricValue, Registry};
+
+/// Name pool with a fixed kind per name (0 = counter, 1 = gauge,
+/// 2 = histogram) — a name's kind is a registry invariant, so the
+/// strategy must not mix kinds under one name.
+const NAMES: &[(&str, u8)] = &[
+    ("rlsched_test_served_total", 0),
+    ("ops_total", 0),
+    ("ns:scoped_total", 0),
+    ("rlsched_test_depth", 1),
+    ("queue_hwm", 1),
+    ("rlsched_test_latency_ns", 2),
+    ("batch_rows", 2),
+];
+
+/// Label values that exercise every escape rule (`\\`, `\"`, `\n`)
+/// plus the characters a naive parser trips on (`,`, `{`, `}`).
+const LABEL_VALUES: &[&str] = &[
+    "0",
+    "shard-7",
+    "",
+    "quote \" inside",
+    "back\\slash",
+    "line\nbreak",
+    "μs → ∞",
+    "a,b}c{d",
+];
+
+/// Undo the exposition escaping: `\n` → newline, `\X` → X.
+fn unescape(s: &str) -> String {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parse one sample line: `name value` or `name{k="v",...} value`.
+/// Independent of the encoder's internals on purpose.
+fn parse_sample(line: &str) -> (String, Vec<(String, String)>, f64) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() && chars[i] != '{' && chars[i] != ' ' {
+        i += 1;
+    }
+    let name: String = chars[..i].iter().collect();
+    let mut labels = Vec::new();
+    if i < chars.len() && chars[i] == '{' {
+        i += 1;
+        while chars[i] != '}' {
+            let mut key = String::new();
+            while chars[i] != '=' {
+                key.push(chars[i]);
+                i += 1;
+            }
+            i += 1; // '='
+            assert_eq!(chars[i], '"', "label value must be quoted: {line}");
+            i += 1;
+            let mut raw = String::new();
+            while chars[i] != '"' {
+                if chars[i] == '\\' {
+                    raw.push('\\');
+                    i += 1;
+                }
+                raw.push(chars[i]);
+                i += 1;
+            }
+            i += 1; // closing quote
+            labels.push((key, unescape(&raw)));
+            if chars[i] == ',' {
+                i += 1;
+            }
+        }
+        i += 1; // '}'
+    }
+    while i < chars.len() && chars[i] == ' ' {
+        i += 1;
+    }
+    let value: String = chars[i..].iter().collect();
+    (
+        name,
+        labels,
+        value.parse::<f64>().expect("sample value parses"),
+    )
+}
+
+type Sample = (String, Vec<(String, String)>, f64);
+
+fn samples_for<'a>(
+    samples: &'a [Sample],
+    name: &str,
+    labels: &[(String, String)],
+) -> Vec<&'a Sample> {
+    samples
+        .iter()
+        .filter(|(n, ls, _)| n == name && ls == labels)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Registry → text → parse is lossless for every sample, and
+    /// histogram bucket lines reconstruct the snapshot exactly.
+    #[test]
+    fn exposition_round_trips_names_labels_and_buckets(
+        specs in prop::collection::vec(
+            (0usize..NAMES.len(), 0usize..LABEL_VALUES.len(), 0u64..1000),
+            1..20,
+        ),
+    ) {
+        let reg = Registry::new();
+        for &(ni, li, amt) in &specs {
+            let (name, kind) = NAMES[ni];
+            let labels: &[(&str, &str)] = &[("tag", LABEL_VALUES[li])];
+            match kind {
+                0 => reg.counter(name, labels).add(amt),
+                1 => reg.gauge(name, labels).set(amt as f64 * 0.5 - 3.0),
+                _ => {
+                    let h = reg.histogram(name, labels);
+                    h.record_value(amt + 1);
+                    h.record_value((amt + 1) * 1000);
+                }
+            }
+        }
+        let snap = reg.snapshot();
+        let text = encode_text(&snap);
+        let samples: Vec<Sample> = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(parse_sample)
+            .collect();
+
+        let mut accounted = 0usize;
+        for m in &snap.metrics {
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let got = samples_for(&samples, &m.name, &m.labels);
+                    prop_assert_eq!(got.len(), 1, "{} sampled once", &m.name);
+                    prop_assert_eq!(got[0].2 as u64, *v);
+                    accounted += 1;
+                }
+                MetricValue::Gauge(v) => {
+                    let got = samples_for(&samples, &m.name, &m.labels);
+                    prop_assert_eq!(got.len(), 1, "{} sampled once", &m.name);
+                    // `{v:?}` is shortest-round-trip: bits survive.
+                    prop_assert_eq!(got[0].2.to_bits(), v.to_bits());
+                    accounted += 1;
+                }
+                MetricValue::Histogram(h) => {
+                    let count = samples_for(&samples, &format!("{}_count", m.name), &m.labels);
+                    prop_assert_eq!(count.len(), 1);
+                    prop_assert_eq!(count[0].2 as u64, h.count);
+                    let max = samples_for(&samples, &format!("{}_max", m.name), &m.labels);
+                    prop_assert_eq!(max.len(), 1);
+                    prop_assert_eq!(max[0].2 as u64, h.max_ns);
+
+                    // Bucket lines for this sample: same labels plus `le`.
+                    let bname = format!("{}_bucket", m.name);
+                    let bl: Vec<(f64, f64)> = samples
+                        .iter()
+                        .filter(|(n, ls, _)| {
+                            *n == bname
+                                && ls.iter().filter(|(k, _)| k != "le").count() == m.labels.len()
+                                && m.labels.iter().all(|l| ls.contains(l))
+                        })
+                        .map(|(_, ls, v)| {
+                            let le = ls.iter().find(|(k, _)| k == "le").expect("le label");
+                            (le.1.parse::<f64>().expect("le parses"), *v)
+                        })
+                        .collect();
+                    // One line per non-empty bucket, plus +Inf; `le`
+                    // strictly increasing, counts cumulative.
+                    prop_assert_eq!(bl.len(), h.buckets.len() + 1);
+                    let mut cum = 0u64;
+                    let mut prev_le = -1.0f64;
+                    for (&(le, v), &(idx, c)) in bl.iter().zip(&h.buckets) {
+                        prop_assert!(le > prev_le, "le bounds must increase");
+                        prev_le = le;
+                        prop_assert_eq!(le as u64, bucket_upper(idx as usize));
+                        cum += c;
+                        prop_assert_eq!(v as u64, cum, "buckets are cumulative");
+                    }
+                    let (inf_le, inf_v) = bl[bl.len() - 1];
+                    prop_assert!(inf_le.is_infinite() && inf_le > 0.0);
+                    prop_assert_eq!(
+                        inf_v as u64, h.count,
+                        "bucket counts must sum to the total"
+                    );
+                    accounted += bl.len() + 2;
+                }
+            }
+        }
+        // Nothing in the text beyond what the snapshot explains.
+        prop_assert_eq!(accounted, samples.len());
+    }
+}

@@ -39,6 +39,7 @@ use std::path::Path;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
+use rlsched_obs::{Counter, Gauge, Histogram, Registry};
 use rlsched_sched::{select_parts, select_streaming, HeuristicKind};
 use rlsched_serve::{
     ClientError, LatencyHistogram, ServeClient, ServedBy, TimedRequest, Transport,
@@ -392,11 +393,39 @@ impl ReplayReport {
     }
 }
 
+/// Registry handles an instrumented [`ReplayEngine`] records into,
+/// labeled by decision head (`{head="sjf"}`, `{head="RL-agent"}`, …)
+/// so multi-head sweeps land side by side in one scrape. The local
+/// [`LatencyHistogram`] in the report stays authoritative — the
+/// registry copy is the same samples, just reachable by `encode_text`
+/// / `--metrics-dump`.
+#[derive(Debug, Clone)]
+pub struct ReplayMetrics {
+    ticks: Counter,
+    latency: Histogram,
+    ticks_per_sec: Gauge,
+    peak_queue: Gauge,
+}
+
+impl ReplayMetrics {
+    /// Register the replay metric family for one decision head.
+    pub fn register(reg: &Registry, head: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("head", head)];
+        ReplayMetrics {
+            ticks: reg.counter("rlsched_replay_ticks_total", labels),
+            latency: reg.histogram("rlsched_replay_decision_ns", labels),
+            ticks_per_sec: reg.gauge("rlsched_replay_ticks_per_sec", labels),
+            peak_queue: reg.gauge("rlsched_replay_peak_queue", labels),
+        }
+    }
+}
+
 /// One uninterrupted pass over a job stream through one policy.
 pub struct ReplayEngine<I: Iterator<Item = Job>> {
     session: StreamSession<I>,
     decisions: u64,
     hist: LatencyHistogram,
+    metrics: Option<ReplayMetrics>,
 }
 
 impl<I: Iterator<Item = Job>> ReplayEngine<I> {
@@ -407,7 +436,15 @@ impl<I: Iterator<Item = Job>> ReplayEngine<I> {
             session: StreamSession::new(source, total_procs, cfg)?,
             decisions: 0,
             hist: LatencyHistogram::new(),
+            metrics: None,
         })
+    }
+
+    /// Mirror every tick into registry handles (and the end-of-run
+    /// throughput/peak-queue gauges). Decisions and the report are
+    /// unchanged — telemetry never steers.
+    pub fn instrument(&mut self, metrics: ReplayMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Keep a per-job outcome log (unbounded memory — parity tests
@@ -438,18 +475,28 @@ impl<I: Iterator<Item = Job>> ReplayEngine<I> {
         while !self.session.done() {
             let t0 = Instant::now();
             let pos = policy.decide(&self.session)?;
-            self.hist.record(t0.elapsed());
+            let spent = t0.elapsed();
+            self.hist.record(spent);
+            if let Some(m) = &self.metrics {
+                m.ticks.inc();
+                m.latency.record(spent);
+            }
             self.decisions += 1;
             self.session.step(pos)?;
         }
-        Ok(ReplayReport {
+        let report = ReplayReport {
             decisions: self.decisions,
             elapsed: start.elapsed(),
             hist: self.hist.clone(),
             peak_queue: self.session.peak_queue_depth(),
             peak_running: self.session.peak_running(),
             metrics: self.session.metrics().clone(),
-        })
+        };
+        if let Some(m) = &self.metrics {
+            m.ticks_per_sec.set(report.decisions_per_sec());
+            m.peak_queue.set_max(report.peak_queue as f64);
+        }
+        Ok(report)
     }
 }
 

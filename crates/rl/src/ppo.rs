@@ -489,6 +489,7 @@ impl<P: PolicyModel, V: ValueModel> Ppo<P, V> {
     /// [`Ppo::update`] with wall-clock phase attribution (gather /
     /// forward / backward / optimizer) accumulated into `prof`.
     pub fn update_profiled(&mut self, batch: &Batch, prof: &mut UpdateProfile) -> UpdateStats {
+        rlsched_obs::span!("ppo.update");
         if self.fused_supported() && !force_tape() {
             if self.update_threads >= 2 {
                 self.update_fused_sharded_profiled(batch, prof)

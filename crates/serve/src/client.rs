@@ -35,6 +35,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::time::{Duration, Instant};
 
+use rlsched_obs::RegistrySnapshot;
 use rlsched_sched::{select_parts, HeuristicKind};
 use rlsched_sim::{Policy, QueueView};
 use rlscheduler::QueueSnapshot;
@@ -386,8 +387,8 @@ impl<S: Transport> ServeClient<S> {
             }),
             Response::Shed { .. } => Err(ClientError::Shed),
             Response::Error { message, .. } => Err(ClientError::Protocol(message.clone())),
-            Response::Stats { .. } => Err(ClientError::Protocol(
-                "stats response to a score request".into(),
+            Response::Stats { .. } | Response::Metrics { .. } => Err(ClientError::Protocol(
+                "stats/metrics response to a score request".into(),
             )),
         }
     }
@@ -448,6 +449,22 @@ impl<S: Transport> ServeClient<S> {
             ))),
         }
     }
+
+    /// Scrape the server's full metrics registry (every counter, gauge,
+    /// and histogram — see `rlsched-obs` for the naming scheme). The
+    /// returned snapshot renders as text via `rlsched_obs::encode_text`.
+    pub fn metrics(&mut self) -> Result<RegistrySnapshot, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.encode_request(&Request::Metrics { id })?;
+        self.roundtrip(id)?;
+        match &self.resp {
+            Response::Metrics { metrics, .. } => Ok(metrics.clone()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
 }
 
 /// A simulator policy that asks the serving tier for every decision.
@@ -467,6 +484,7 @@ pub struct RemotePolicy<S: Transport = TcpStream> {
     name: String,
     sheds: u64,
     local_decisions: u64,
+    remote_decisions: u64,
     remote_fallbacks: u64,
 }
 
@@ -481,6 +499,7 @@ impl<S: Transport> RemotePolicy<S> {
             name: "RL-remote".to_string(),
             sheds: 0,
             local_decisions: 0,
+            remote_decisions: 0,
             remote_fallbacks: 0,
         }
     }
@@ -506,6 +525,13 @@ impl<S: Transport> RemotePolicy<S> {
     /// failures, when a local fallback is configured).
     pub fn local_decisions(&self) -> u64 {
         self.local_decisions
+    }
+
+    /// Decisions the server answered (model or fallback arm) — the
+    /// client-side count the server's `rlsched_serve_served_total` /
+    /// `…_fallbacks_total` registry counters must add up to.
+    pub fn remote_decisions(&self) -> u64 {
+        self.remote_decisions
     }
 
     /// Decisions the *server* answered via its fallback arm.
@@ -537,6 +563,7 @@ impl<S: Transport> Policy for RemotePolicy<S> {
         let bound = view.waiting.len().saturating_sub(1);
         match self.client.score_snapshot(&snap) {
             Ok(d) => {
+                self.remote_decisions += 1;
                 if d.served_by == ServedBy::Fallback {
                     self.remote_fallbacks += 1;
                 }

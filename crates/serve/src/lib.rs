@@ -24,13 +24,16 @@
 //! * [`server`] — [`Server::spawn`] / [`ServerHandle`]: accept loop,
 //!   per-connection reader/writer threads, N shard worker threads with
 //!   deterministic id→shard routing, bounded inboxes with explicit
-//!   shed responses, and a merged latency histogram (p50/p99/max).
+//!   shed responses, and a per-server `rlsched_obs::Registry` of
+//!   counters / gauges / latency histograms scrapeable over the wire
+//!   via `Request::Metrics` (and summarised by `Request::Stats`).
 //! * [`client`] — [`ServeClient`] (blocking, single in-flight, typed
 //!   [`ClientError`]s, reconnect + deadline + safe retry) and
 //!   [`RemotePolicy`] (a `rlsched_sim::Policy` that schedules through
 //!   the server — every simulator decision goes over the wire).
-//! * [`histogram`] — the log-linear [`LatencyHistogram`] behind the
-//!   latency accounting.
+//! * [`histogram`] — re-export shim for the log-linear
+//!   [`LatencyHistogram`], which now lives in `rlsched-obs` so every
+//!   subsystem shares one latency bucketing scheme.
 //! * [`faults`] — [`FaultPlan`], the deterministic fault-injection
 //!   harness behind the chaos suite (`tests/chaos.rs`).
 //!
@@ -74,7 +77,7 @@ pub mod server;
 pub mod transport;
 
 pub use client::{ClientConfig, ClientError, Decision, RemotePolicy, ServeClient};
-pub use engine::{ScorerSlot, ShardEngine};
+pub use engine::{EngineMetrics, ScorerSlot, ShardEngine};
 pub use faults::{write_torn_frame, FaultPlan};
 pub use histogram::LatencyHistogram;
 pub use loadgen::{LoadGen, LoadGenConfig, LoadGenReport, TimedRequest};

@@ -43,6 +43,7 @@
 
 use std::io::{BufRead, Write};
 
+use rlsched_obs::{HistogramSnapshot, MetricSnapshot, MetricValue, RegistrySnapshot};
 use rlscheduler::{QueueSnapshot, SnapshotJob};
 use serde::{Deserialize, Serialize};
 
@@ -75,13 +76,22 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// Scrape the server's full metrics registry (every counter, gauge,
+    /// and histogram the tier records — see `rlsched-obs`).
+    Metrics {
+        /// Correlation id.
+        id: u64,
+    },
 }
 
 impl Request {
     /// The correlation id of any request variant.
     pub fn id(&self) -> u64 {
         match self {
-            Request::Score { id, .. } | Request::ScoreRaw { id, .. } | Request::Stats { id } => *id,
+            Request::Score { id, .. }
+            | Request::ScoreRaw { id, .. }
+            | Request::Stats { id }
+            | Request::Metrics { id } => *id,
         }
     }
 }
@@ -195,6 +205,13 @@ pub enum Response {
         /// The aggregate counters.
         stats: ServeStats,
     },
+    /// The full metrics registry at scrape time.
+    Metrics {
+        /// Echoed correlation id.
+        id: u64,
+        /// A consistent read of every registered metric.
+        metrics: RegistrySnapshot,
+    },
     /// The request was malformed (bad widths, empty queue, …).
     Error {
         /// Echoed correlation id (0 when the frame didn't parse).
@@ -211,6 +228,7 @@ impl Response {
             Response::Action { id, .. }
             | Response::Shed { id }
             | Response::Stats { id, .. }
+            | Response::Metrics { id, .. }
             | Response::Error { id, .. } => *id,
         }
     }
@@ -232,15 +250,8 @@ pub fn write_frame<T: Serialize, W: Write>(w: &mut W, frame: &T) -> std::io::Res
 pub fn read_frame<T: Deserialize, R: BufRead>(r: &mut R) -> std::io::Result<Option<T>> {
     let mut line = String::new();
     loop {
-        line.clear();
-        if r.read_line(&mut line)? == 0 {
+        if read_frame_line(r, &mut line)? == 0 {
             return Ok(None);
-        }
-        if !line.ends_with('\n') {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "frame truncated mid-line",
-            ));
         }
         if line.trim().is_empty() {
             continue; // tolerate blank keep-alive lines
@@ -248,6 +259,28 @@ pub fn read_frame<T: Deserialize, R: BufRead>(r: &mut R) -> std::io::Result<Opti
         let parsed = serde_json::from_str(line.trim()).map_err(std::io::Error::from)?;
         return Ok(Some(parsed));
     }
+}
+
+/// Read one raw line into `line`, reusing its allocation. Returns the
+/// byte count (0 on clean EOF).
+///
+/// Reads *bytes* and validates UTF-8 only on newline-complete lines:
+/// a stream that dies inside a multi-byte character is a torn frame
+/// (`UnexpectedEof`, retryable), not a protocol violation —
+/// `BufRead::read_line` checks UTF-8 first and would misreport that
+/// tear as `InvalidData`, defeating the client's retry.
+fn read_frame_line<R: BufRead>(r: &mut R, line: &mut String) -> std::io::Result<usize> {
+    let mut buf = std::mem::take(line).into_bytes();
+    buf.clear();
+    let n = r.read_until(b'\n', &mut buf)?;
+    if n > 0 && buf.last() != Some(&b'\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "frame truncated mid-line",
+        ));
+    }
+    *line = String::from_utf8(buf).map_err(|_| bad("frame is not valid UTF-8"))?;
+    Ok(n)
 }
 
 // ---------------------------------------------------------------------------
@@ -287,11 +320,17 @@ const MAX_FRAME_LEN: usize = 64 << 20;
 const TAG_REQ_SCORE: u8 = 1;
 const TAG_REQ_SCORE_RAW: u8 = 2;
 const TAG_REQ_STATS: u8 = 3;
+const TAG_REQ_METRICS: u8 = 4;
 
 const TAG_RESP_ACTION: u8 = 1;
 const TAG_RESP_SHED: u8 = 2;
 const TAG_RESP_STATS: u8 = 3;
 const TAG_RESP_ERROR: u8 = 4;
+const TAG_RESP_METRICS: u8 = 5;
+
+const METRIC_KIND_COUNTER: u8 = 0;
+const METRIC_KIND_GAUGE: u8 = 1;
+const METRIC_KIND_HISTOGRAM: u8 = 2;
 
 fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
@@ -503,6 +542,96 @@ fn put_score_raw(out: &mut Vec<u8>, id: u64, obs: &[f32], mask: &[f32], queue_le
     put_f32s(out, mask);
 }
 
+fn put_registry_snapshot(out: &mut Vec<u8>, snap: &RegistrySnapshot) {
+    put_u32(out, snap.metrics.len() as u32);
+    for m in &snap.metrics {
+        put_str(out, &m.name);
+        put_u32(out, m.labels.len() as u32);
+        for (k, v) in &m.labels {
+            put_str(out, k);
+            put_str(out, v);
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push(METRIC_KIND_COUNTER);
+                put_u64(out, *v);
+            }
+            MetricValue::Gauge(v) => {
+                out.push(METRIC_KIND_GAUGE);
+                put_f64(out, *v);
+            }
+            MetricValue::Histogram(h) => {
+                out.push(METRIC_KIND_HISTOGRAM);
+                put_u64(out, h.count);
+                put_u64(out, h.max_ns);
+                put_u32(out, h.buckets.len() as u32);
+                for &(i, c) in &h.buckets {
+                    put_u32(out, i);
+                    put_u64(out, c);
+                }
+            }
+        }
+    }
+}
+
+fn read_registry_snapshot(rd: &mut Rd) -> std::io::Result<RegistrySnapshot> {
+    let n = rd.u32()? as usize;
+    // A metric is at least 17 bytes (empty name, no labels, counter):
+    // reject counts the payload cannot hold before reserving.
+    if n > rd.buf.len() / 17 {
+        return Err(bad("metric count exceeds payload"));
+    }
+    let mut metrics = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut name = String::new();
+        rd.str_into(&mut name)?;
+        let n_labels = rd.u32()? as usize;
+        // A label is at least two empty length-prefixed strings.
+        if n_labels > rd.buf.len() / 8 {
+            return Err(bad("label count exceeds payload"));
+        }
+        let mut labels = Vec::with_capacity(n_labels);
+        for _ in 0..n_labels {
+            let mut k = String::new();
+            let mut v = String::new();
+            rd.str_into(&mut k)?;
+            rd.str_into(&mut v)?;
+            labels.push((k, v));
+        }
+        let value = match rd.u8()? {
+            METRIC_KIND_COUNTER => MetricValue::Counter(rd.u64()?),
+            METRIC_KIND_GAUGE => MetricValue::Gauge(rd.f64()?),
+            METRIC_KIND_HISTOGRAM => {
+                let count = rd.u64()?;
+                let max_ns = rd.u64()?;
+                let n_buckets = rd.u32()? as usize;
+                // 12 bytes per (index, count) pair.
+                if n_buckets > rd.buf.len() / 12 {
+                    return Err(bad("bucket count exceeds payload"));
+                }
+                let mut buckets = Vec::with_capacity(n_buckets);
+                for _ in 0..n_buckets {
+                    let i = rd.u32()?;
+                    let c = rd.u64()?;
+                    buckets.push((i, c));
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    count,
+                    max_ns,
+                    buckets,
+                })
+            }
+            _ => return Err(bad("unknown metric kind tag")),
+        };
+        metrics.push(MetricSnapshot {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(RegistrySnapshot { metrics })
+}
+
 impl WireFrame for Request {
     fn encode_payload(&self, out: &mut Vec<u8>) {
         match self {
@@ -528,6 +657,10 @@ impl WireFrame for Request {
             } => put_score_raw(out, *id, obs, mask, *queue_len),
             Request::Stats { id } => {
                 out.push(TAG_REQ_STATS);
+                put_u64(out, *id);
+            }
+            Request::Metrics { id } => {
+                out.push(TAG_REQ_METRICS);
                 put_u64(out, *id);
             }
         }
@@ -597,6 +730,12 @@ impl WireFrame for Request {
                 *into = Request::Stats { id };
                 Ok(())
             }
+            TAG_REQ_METRICS => {
+                let id = rd.u64()?;
+                rd.finish()?;
+                *into = Request::Metrics { id };
+                Ok(())
+            }
             _ => Err(bad("unknown request tag")),
         }
     }
@@ -658,6 +797,11 @@ impl WireFrame for Response {
                     put_u64(out, s.restarts);
                     put_u64(out, s.panics);
                 }
+            }
+            Response::Metrics { id, metrics } => {
+                out.push(TAG_RESP_METRICS);
+                put_u64(out, *id);
+                put_registry_snapshot(out, metrics);
             }
             Response::Error { id, message } => {
                 out.push(TAG_RESP_ERROR);
@@ -748,6 +892,16 @@ impl WireFrame for Response {
                 };
                 Ok(())
             }
+            TAG_RESP_METRICS => {
+                let id = rd.u64()?;
+                // Scrapes are rare (no steady-state path decodes them),
+                // so this decode builds fresh vectors instead of
+                // threading buffer reuse through the nested metrics.
+                let metrics = read_registry_snapshot(&mut rd)?;
+                rd.finish()?;
+                *into = Response::Metrics { id, metrics };
+                Ok(())
+            }
             TAG_RESP_ERROR => {
                 let id = rd.u64()?;
                 let mut message = match std::mem::replace(into, Response::Shed { id: 0 }) {
@@ -824,15 +978,8 @@ pub fn read_frame_any_into<T: WireFrame, R: BufRead>(
             T::decode_payload_into(payload, into)?;
             return Ok(Some(WireProtocol::Binary));
         }
-        line.clear();
-        if r.read_line(line)? == 0 {
+        if read_frame_line(r, line)? == 0 {
             return Ok(None);
-        }
-        if !line.ends_with('\n') {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "frame truncated mid-line",
-            ));
         }
         if line.trim().is_empty() {
             continue; // tolerate blank keep-alive lines
@@ -1301,5 +1448,77 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    fn sample_registry_snapshot() -> RegistrySnapshot {
+        RegistrySnapshot {
+            metrics: vec![
+                MetricSnapshot {
+                    name: "rlsched_serve_inbox_depth".into(),
+                    labels: vec![("shard".into(), "0".into())],
+                    value: MetricValue::Gauge(2.5),
+                },
+                MetricSnapshot {
+                    name: "rlsched_serve_latency_ns".into(),
+                    labels: vec![("shard".into(), "0".into())],
+                    value: MetricValue::Histogram(HistogramSnapshot {
+                        count: 3,
+                        max_ns: 1_000,
+                        buckets: vec![(3, 1), (2, 1), (205, 1)],
+                    }),
+                },
+                MetricSnapshot {
+                    name: "rlsched_serve_served_total".into(),
+                    labels: vec![],
+                    value: MetricValue::Counter(42),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn metrics_frames_round_trip_json_and_binary() {
+        let req = Request::Metrics { id: 11 };
+        let resp = Response::Metrics {
+            id: 11,
+            metrics: sample_registry_snapshot(),
+        };
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        write_frame(&mut buf, &resp).unwrap();
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        let got_req: Request = read_frame(&mut reader).unwrap().unwrap();
+        let got_resp: Response = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(got_req, req);
+        assert_eq!(got_resp, resp);
+
+        let mut wire = Vec::new();
+        encode_binary_frame(&req, &mut wire);
+        assert_eq!(decode_payload::<Request>(&wire[HEADER_LEN..]).unwrap(), req);
+        encode_binary_frame(&resp, &mut wire);
+        assert_eq!(
+            decode_payload::<Response>(&wire[HEADER_LEN..]).unwrap(),
+            resp
+        );
+    }
+
+    #[test]
+    fn hostile_metrics_counts_are_rejected() {
+        // A declared metric/bucket count far beyond what the payload
+        // holds must fail as InvalidData before any giant reserve.
+        let mut wire = Vec::new();
+        encode_binary_frame(
+            &Response::Metrics {
+                id: 1,
+                metrics: sample_registry_snapshot(),
+            },
+            &mut wire,
+        );
+        // Overwrite the metric count (right after tag + id) with u32::MAX.
+        let off = HEADER_LEN + 1 + 8;
+        wire[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_payload::<Response>(&wire[HEADER_LEN..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -61,13 +61,13 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use rlsched_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use rlsched_sched::{select_parts, HeuristicKind};
 use rlscheduler::{CanaryBatch, CanaryError, ObsEncoder, ScorerSnapshot};
 
 use crate::client::ServeClient;
-use crate::engine::{ScorerSlot, ShardEngine};
+use crate::engine::{EngineMetrics, ScorerSlot, ShardEngine};
 use crate::faults::FaultPlan;
-use crate::histogram::LatencyHistogram;
 use crate::protocol::{
     read_frame_any, write_binary_frame, write_frame, Request, Response, ServeStats, ServedBy,
     ShardHealth, ShardState, WireProtocol,
@@ -156,11 +156,10 @@ struct PendingRow {
     reply: Sender<Response>,
 }
 
-/// Lock-free per-shard health published to [`ServeStats`].
+/// Lock-free per-shard lifecycle state published to [`ServeStats`]
+/// (the counters live in the metrics registry).
 struct ShardHealthCell {
     state: AtomicU8,
-    restarts: AtomicU64,
-    panics: AtomicU64,
 }
 
 const STATE_HEALTHY: u8 = 0;
@@ -171,8 +170,6 @@ impl ShardHealthCell {
     fn new() -> Self {
         ShardHealthCell {
             state: AtomicU8::new(STATE_HEALTHY),
-            restarts: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
         }
     }
 
@@ -180,34 +177,92 @@ impl ShardHealthCell {
         self.state.store(state, Ordering::Release);
     }
 
-    fn snapshot(&self) -> ShardHealth {
-        ShardHealth {
-            state: match self.state.load(Ordering::Acquire) {
-                STATE_RESTARTING => ShardState::Restarting,
-                STATE_FAILED => ShardState::Failed,
-                _ => ShardState::Healthy,
-            },
-            restarts: self.restarts.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
+    fn state(&self) -> ShardState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_RESTARTING => ShardState::Restarting,
+            STATE_FAILED => ShardState::Failed,
+            _ => ShardState::Healthy,
         }
     }
 }
 
-/// Counters and the merged latency histogram, shared by all threads.
+/// One shard's registry handles, wired once at spawn. Supervisor
+/// respawns re-clone these (same storage), so every counter is
+/// monotone across panic/respawn — the property the chaos suite pins.
+#[derive(Clone)]
+struct ShardMetrics {
+    served: Counter,
+    fallbacks: Counter,
+    shed: Counter,
+    deadlines: Counter,
+    batches: Counter,
+    batch_max: Gauge,
+    batch_rows: Histogram,
+    restarts: Counter,
+    panics: Counter,
+    inbox_depth: Gauge,
+    latency: Histogram,
+}
+
+impl ShardMetrics {
+    fn register(reg: &Registry, shard: usize) -> Self {
+        let s = shard.to_string();
+        let l: &[(&str, &str)] = &[("shard", &s)];
+        ShardMetrics {
+            served: reg.counter("rlsched_serve_served_total", l),
+            fallbacks: reg.counter("rlsched_serve_fallbacks_total", l),
+            shed: reg.counter("rlsched_serve_shed_total", l),
+            deadlines: reg.counter("rlsched_serve_deadlines_total", l),
+            batches: reg.counter("rlsched_serve_batches_total", l),
+            batch_max: reg.gauge("rlsched_serve_batch_max_rows", l),
+            batch_rows: reg.histogram("rlsched_serve_batch_rows", l),
+            restarts: reg.counter("rlsched_serve_restarts_total", l),
+            panics: reg.counter("rlsched_serve_panics_total", l),
+            inbox_depth: reg.gauge("rlsched_serve_inbox_depth", l),
+            latency: reg.histogram("rlsched_serve_latency_ns", l),
+        }
+    }
+
+    fn engine_metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            rows: self.served.clone(),
+            batches: self.batches.clone(),
+            batch_rows: self.batch_rows.clone(),
+            batch_max: self.batch_max.clone(),
+        }
+    }
+}
+
+/// Server-scoped (not per-shard) registry handles.
+struct ServerMetrics {
+    swaps: Counter,
+    rollbacks: Counter,
+    accept_failures: Counter,
+    shards: Vec<ShardMetrics>,
+}
+
+impl ServerMetrics {
+    fn register(reg: &Registry, shards: usize) -> Self {
+        ServerMetrics {
+            swaps: reg.counter("rlsched_serve_swaps_total", &[]),
+            rollbacks: reg.counter("rlsched_serve_rollbacks_total", &[]),
+            accept_failures: reg.counter("rlsched_serve_accept_failures_total", &[]),
+            shards: (0..shards)
+                .map(|s| ShardMetrics::register(reg, s))
+                .collect(),
+        }
+    }
+}
+
+/// Shutdown flag, the metrics registry and its wired handles, per-shard
+/// lifecycle state, and connection bookkeeping — shared by all threads.
 struct Shared {
     shutdown: AtomicBool,
-    served: AtomicU64,
-    fallbacks: AtomicU64,
-    shed: AtomicU64,
-    deadlines: AtomicU64,
-    batches: AtomicU64,
-    max_batch: AtomicU64,
-    swaps: AtomicU64,
-    rollbacks: AtomicU64,
-    restarts: AtomicU64,
-    accept_failures: AtomicU64,
+    /// Every counter/gauge/histogram the tier records, scrapeable as
+    /// one consistent snapshot via [`Request::Metrics`].
+    registry: Arc<Registry>,
+    metrics: ServerMetrics,
     shard_health: Vec<ShardHealthCell>,
-    hist: Mutex<LatencyHistogram>,
     conns: Mutex<Vec<JoinHandle<()>>>,
     /// Shutdown hooks for the *live* connections keyed by connection
     /// id (each holds a stream clone and shuts it down when called),
@@ -220,24 +275,49 @@ struct Shared {
 }
 
 impl Shared {
+    /// Assemble [`ServeStats`] as a *consistent* registry view: every
+    /// per-shard counter is read exactly once, and the aggregate totals
+    /// are sums over those same reads — so a scrape racing a shard
+    /// respawn can never report a total that disagrees with its
+    /// per-shard parts (the torn-totals gap the ad-hoc counters had).
     fn stats(&self) -> ServeStats {
-        let hist = self.hist.lock().expect("histogram poisoned");
-        ServeStats {
-            served: self.served.load(Ordering::Relaxed),
-            fallbacks: self.fallbacks.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            deadlines: self.deadlines.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            swaps: self.swaps.load(Ordering::Relaxed),
-            rollbacks: self.rollbacks.load(Ordering::Relaxed),
-            restarts: self.restarts.load(Ordering::Relaxed),
-            accept_failures: self.accept_failures.load(Ordering::Relaxed),
-            p50_us: hist.quantile_ns(0.5) as f64 / 1e3,
-            p99_us: hist.quantile_ns(0.99) as f64 / 1e3,
-            max_us: hist.max_ns() as f64 / 1e3,
-            shards: self.shard_health.iter().map(|h| h.snapshot()).collect(),
+        let mut stats = ServeStats {
+            served: 0,
+            fallbacks: 0,
+            shed: 0,
+            deadlines: 0,
+            batches: 0,
+            max_batch: 0,
+            swaps: self.metrics.swaps.get(),
+            rollbacks: self.metrics.rollbacks.get(),
+            restarts: 0,
+            accept_failures: self.metrics.accept_failures.get(),
+            p50_us: 0.0,
+            p99_us: 0.0,
+            max_us: 0.0,
+            shards: Vec::with_capacity(self.metrics.shards.len()),
+        };
+        let mut hist = HistogramSnapshot::default();
+        for (sm, health) in self.metrics.shards.iter().zip(&self.shard_health) {
+            let restarts = sm.restarts.get();
+            stats.served += sm.served.get();
+            stats.fallbacks += sm.fallbacks.get();
+            stats.shed += sm.shed.get();
+            stats.deadlines += sm.deadlines.get();
+            stats.batches += sm.batches.get();
+            stats.max_batch = stats.max_batch.max(sm.batch_max.get() as u64);
+            stats.restarts += restarts;
+            hist.merge(&sm.latency.snapshot());
+            stats.shards.push(ShardHealth {
+                state: health.state(),
+                restarts,
+                panics: sm.panics.get(),
+            });
         }
+        stats.p50_us = hist.quantile_ns(0.5) as f64 / 1e3;
+        stats.p99_us = hist.quantile_ns(0.99) as f64 / 1e3;
+        stats.max_us = hist.max_ns as f64 / 1e3;
+        stats
     }
 
     /// Answer one request through the fallback arm (or shed it when the
@@ -251,7 +331,7 @@ impl Shared {
     ) {
         match fallback {
             Some(action) => {
-                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.metrics.shards[shard].fallbacks.inc();
                 let _ = reply.send(Response::Action {
                     id,
                     action,
@@ -260,10 +340,16 @@ impl Shared {
                 });
             }
             None => {
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.shards[shard].shed.inc();
                 let _ = reply.send(Response::Shed { id });
             }
         }
+    }
+
+    /// One request left shard `shard`'s inbox (scored, expired, or
+    /// drained by a failed shard's fallback loop).
+    fn inbox_pop(&self, shard: usize) {
+        self.metrics.shards[shard].inbox_depth.add(-1.0);
     }
 }
 
@@ -368,20 +454,16 @@ fn finish_spawn<L: Listen>(
 ) -> std::io::Result<ServerHandle> {
     {
         let slot = ScorerSlot::new(scorer.clone());
+        // Each server owns its registry: tests spawning several servers
+        // in one process see isolated counters, and a scrape of this
+        // front door reports exactly this tier.
+        let registry = Arc::new(Registry::new());
+        let metrics = ServerMetrics::register(&registry, cfg.shards);
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
-            served: AtomicU64::new(0),
-            fallbacks: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            deadlines: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            max_batch: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
-            rollbacks: AtomicU64::new(0),
-            restarts: AtomicU64::new(0),
-            accept_failures: AtomicU64::new(0),
+            registry,
+            metrics,
             shard_health: (0..cfg.shards).map(|_| ShardHealthCell::new()).collect(),
-            hist: Mutex::new(LatencyHistogram::new()),
             conns: Mutex::new(Vec::new()),
             conn_shutdowns: Mutex::new(std::collections::HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -493,7 +575,7 @@ impl ServerHandle {
         canary: &CanaryBatch,
     ) -> Result<u64, ProposeError> {
         let reject = |e: ProposeError| {
-            self.shared.rollbacks.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.rollbacks.inc();
             Err(e)
         };
         if scorer.obs_dim() != self.obs_dim || scorer.n_actions() != self.n_actions {
@@ -509,7 +591,7 @@ impl ServerHandle {
             return reject(ProposeError::Canary(e));
         }
         self.slot.swap(scorer);
-        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.swaps.inc();
         Ok(self.slot.generation())
     }
 
@@ -525,7 +607,7 @@ impl ServerHandle {
             "hot-swap changed the action space"
         );
         self.slot.swap(scorer);
-        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.swaps.inc();
     }
 
     /// Restore the snapshot displaced by the last committed swap and
@@ -534,7 +616,7 @@ impl ServerHandle {
     pub fn rollback_scorer(&self) -> bool {
         let rolled = self.slot.rollback();
         if rolled {
-            self.shared.rollbacks.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.rollbacks.inc();
         }
         rolled
     }
@@ -557,7 +639,7 @@ impl ServerHandle {
             return false;
         }
         if self.slot.rollback() {
-            self.shared.rollbacks.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.rollbacks.inc();
         }
         true
     }
@@ -570,6 +652,13 @@ impl ServerHandle {
     /// Aggregate serving statistics so far.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
+    }
+
+    /// The server's metrics registry — the same one a
+    /// [`Request::Metrics`] scrape snapshots over the wire. In-process
+    /// consumers (autoscalers, tests) can watch it without a socket.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
     }
 
     /// Stop accepting, drain the shards, join every thread. Returns the
@@ -652,7 +741,7 @@ fn accept_loop<L: Listen>(
                 // up to a bound and retry. A genuinely dead listener
                 // keeps erroring until shutdown, which this survives at
                 // the capped cadence instead of a hot spin.
-                shared.accept_failures.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accept_failures.inc();
                 std::thread::sleep(accept_backoff);
                 accept_backoff = (accept_backoff * 2).min(Duration::from_millis(250));
             }
@@ -778,6 +867,14 @@ fn handle_request(
             });
             return;
         }
+        Request::Metrics { .. } => {
+            rlsched_obs::span!("serve.metrics_scrape");
+            let _ = reply_tx.send(Response::Metrics {
+                id,
+                metrics: shared.registry.snapshot(),
+            });
+            return;
+        }
         Request::Score { snapshot, .. } => {
             if snapshot.jobs.is_empty() || snapshot.queue_len() < snapshot.jobs.len() {
                 let _ = reply_tx.send(Response::Error {
@@ -840,7 +937,7 @@ fn handle_request(
         reply: reply_tx.clone(),
     };
     match shard_txs[shard].try_send(req) {
-        Ok(()) => {}
+        Ok(()) => shared.metrics.shards[shard].inbox_depth.add(1.0),
         Err(TrySendError::Full(r)) => {
             // Backpressure: answer immediately (heuristic if configured,
             // shed otherwise), drop the work.
@@ -907,8 +1004,11 @@ fn shard_supervisor(
     loop {
         health.set_state(STATE_HEALTHY);
         // Fresh engine from the *current* snapshot: a panic may have
-        // left the old one mid-batch with stacked rows.
+        // left the old one mid-batch with stacked rows. It records into
+        // the same registry handles as its predecessor, so counters
+        // stay monotone across respawns.
         let mut engine = ShardEngine::new(Arc::clone(&slot), sup.cap);
+        engine.instrument(shared.metrics.shards[shard_id].engine_metrics());
         let mut pending: Vec<PendingRow> = Vec::with_capacity(sup.cap);
         let run = catch_unwind(AssertUnwindSafe(|| {
             shard_loop(
@@ -926,7 +1026,7 @@ fn shard_supervisor(
             // Every sender dropped: clean shutdown.
             Ok(()) => return,
             Err(_) => {
-                health.panics.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.shards[shard_id].panics.inc();
                 consecutive += 1;
                 // Zero lost requests: the panicked batch's reply handles
                 // are still here — answer each through the fallback arm.
@@ -941,7 +1041,10 @@ fn shard_supervisor(
                             break; // validated swap: revive
                         }
                         match rx.recv_timeout(Duration::from_millis(25)) {
-                            Ok(r) => shared.resolve_fallback(shard_id, r.id, r.fallback, &r.reply),
+                            Ok(r) => {
+                                shared.inbox_pop(shard_id);
+                                shared.resolve_fallback(shard_id, r.id, r.fallback, &r.reply);
+                            }
                             Err(RecvTimeoutError::Timeout) => {}
                             Err(RecvTimeoutError::Disconnected) => return,
                         }
@@ -959,8 +1062,7 @@ fn shard_supervisor(
                         .min(sup.backoff_cap);
                     std::thread::sleep(backoff);
                 }
-                health.restarts.fetch_add(1, Ordering::Relaxed);
-                shared.restarts.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.shards[shard_id].restarts.inc();
             }
         }
     }
@@ -985,9 +1087,10 @@ fn shard_loop(
     // deadline already expired, in which case it is answered through
     // the fallback right now rather than riding a slow shard.
     let admit = |engine: &mut ShardEngine, pending: &mut Vec<PendingRow>, r: ShardRequest| {
+        shared.inbox_pop(shard_id);
         if let Some(deadline) = sup.queue_deadline {
             if r.enqueued.elapsed() > deadline {
-                shared.deadlines.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.shards[shard_id].deadlines.inc();
                 shared.resolve_fallback(shard_id, r.id, r.fallback, &r.reply);
                 return;
             }
@@ -1032,16 +1135,14 @@ fn shard_loop(
             // past their deadline) exactly as scripted.
             faults.before_score(shard_id, batch);
         }
-        let rows = engine.pending() as u64;
+        rlsched_obs::span!("serve.batch");
+        // The engine's instrumentation records batches/rows/batch-size;
+        // the shard records per-row latency (lock-free striped
+        // histogram — the old version serialized shards on a mutex).
         let actions = engine.flush();
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        shared.max_batch.fetch_max(rows, Ordering::Relaxed);
-        shared.served.fetch_add(rows, Ordering::Relaxed);
-        {
-            let mut hist = shared.hist.lock().expect("histogram poisoned");
-            for row in pending.iter() {
-                hist.record(row.enqueued.elapsed());
-            }
+        let latency = &shared.metrics.shards[shard_id].latency;
+        for row in pending.iter() {
+            latency.record(row.enqueued.elapsed());
         }
         for (&action, row) in actions.iter().zip(pending.drain(..)) {
             // A dead client's writer is gone; dropping the reply is fine.

@@ -595,3 +595,107 @@ fn torn_request_frames_leave_the_server_serving() {
     assert_eq!(stats.served, canary.rows() as u64);
     assert_eq!(stats.shards[0].panics, 0, "torn frames never reach a shard");
 }
+
+/// Telemetry survives the failure model. The registry handles share
+/// storage with the server, not with any one worker incarnation, so a
+/// shard panic + respawn keeps every counter monotone; the wire scrape
+/// (`Request::Metrics`) is internally consistent mid-traffic (each
+/// histogram's bucket counts sum to its `count`); and the `Stats`
+/// summary is assembled from single reads of the same counters, so its
+/// totals equal the sum of the per-shard registry parts exactly — no
+/// torn totals.
+#[test]
+fn metrics_survive_panics_with_monotone_counters() {
+    use rlsched_obs::MetricValue;
+
+    let agent = agent_for(16, 11);
+    let canary = CanaryBatch::probe(&agent, 8, 31);
+    let faults = Arc::new(FaultPlan::new());
+    faults.panic_at(0, 0, 1); // shard 0 dies mid-run and respawns
+    let mut cfg = chaos_config(faults);
+    cfg.shards = 2;
+    let handle =
+        Server::spawn(agent.scorer_snapshot(), *agent.encoder(), cfg).expect("server spawns");
+    let mut client = handle.connect().unwrap();
+    let mut scraper = handle.connect().unwrap();
+
+    const N: usize = 48;
+    let mut mid = None;
+    for i in 0..N {
+        let (obs, mask, queue_len, _) = canary.row(i % canary.rows());
+        client.score_raw(obs, mask, queue_len).unwrap();
+        if i == N / 2 {
+            mid = Some(scraper.metrics().unwrap());
+        }
+    }
+    let mid = mid.unwrap();
+    let end = scraper.metrics().unwrap();
+
+    // Every counter present at the mid scrape is monotone through the
+    // panic/respawn window (idempotent registration = shared storage).
+    let mut checked = 0;
+    for m in &mid.metrics {
+        if let MetricValue::Counter(v) = m.value {
+            let labels: Vec<(&str, &str)> = m
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let after = end
+                .counter(&m.name, &labels)
+                .unwrap_or_else(|| panic!("{} vanished between scrapes", m.name));
+            assert!(after >= v, "{} went backwards: {v} -> {after}", m.name);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "expected a real counter population");
+
+    // The scrape is internally consistent even while shards are
+    // recording into it: sparse bucket counts always sum to `count`.
+    for m in &end.metrics {
+        if let MetricValue::Histogram(h) = &m.value {
+            let sum: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+            assert_eq!(sum, h.count, "{}: torn histogram read", m.name);
+        }
+    }
+
+    // The respawn left its marks, on shard 0 only.
+    assert_eq!(
+        end.counter("rlsched_serve_panics_total", &[("shard", "0")]),
+        Some(1)
+    );
+    assert_eq!(
+        end.counter("rlsched_serve_restarts_total", &[("shard", "0")]),
+        Some(1)
+    );
+    assert_eq!(
+        end.counter("rlsched_serve_panics_total", &[("shard", "1")]),
+        Some(0)
+    );
+
+    // Exactly one resolution per request, split between the arms; the
+    // model-served rows are the ones with a latency sample.
+    let served = end.counter_sum("rlsched_serve_served_total");
+    let fallbacks = end.counter_sum("rlsched_serve_fallbacks_total");
+    assert_eq!(served + fallbacks, N as u64);
+    assert!(fallbacks >= 1, "the panicked batch fell back");
+    let latency = end.histogram_merged("rlsched_serve_latency_ns");
+    assert_eq!(latency.count, served);
+
+    // Stats is a view over the same registry: totals equal the sum of
+    // the per-shard parts it reports, and both match the scrape.
+    let stats = handle.shutdown();
+    assert_eq!(stats.served, served);
+    assert_eq!(stats.fallbacks, fallbacks);
+    assert_eq!(
+        stats.restarts,
+        stats.shards.iter().map(|s| s.restarts).sum::<u64>(),
+        "totals must be the sum of the per-shard parts they shipped with"
+    );
+    assert_eq!(
+        end.counter_sum("rlsched_serve_panics_total"),
+        stats.shards.iter().map(|s| s.panics).sum::<u64>()
+    );
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.shed, 0);
+}

@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use proptest::pick_index;
 use proptest::prelude::*;
+use rlsched_obs::{HistogramSnapshot, MetricSnapshot, MetricValue, RegistrySnapshot};
 use rlsched_serve::protocol::{
     encode_binary_frame, encode_json_frame, read_frame, read_frame_any, read_frame_any_into,
     write_frame,
@@ -109,7 +110,8 @@ fn any_request() -> impl Strategy<Value = Request> {
     let score =
         (any_id(), any_snapshot()).prop_map(|(id, snapshot)| Request::Score { id, snapshot });
     let stats = any_id().prop_map(|id| Request::Stats { id });
-    prop_oneof![raw.boxed(), score.boxed(), stats.boxed()]
+    let metrics = any_id().prop_map(|id| Request::Metrics { id });
+    prop_oneof![raw.boxed(), score.boxed(), stats.boxed(), metrics.boxed()]
 }
 
 fn any_health() -> impl Strategy<Value = ShardHealth> {
@@ -144,6 +146,71 @@ fn any_stats() -> impl Strategy<Value = ServeStats> {
         })
 }
 
+/// Gauge values must be finite: the JSON leg serializes non-finite
+/// floats as `null` (RFC 8259 has no NaN/∞), so a NaN gauge cannot
+/// round-trip and the registry never produces one on the serve paths.
+fn any_gauge_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(1.0 / 3.0),
+        Just(-4096.0f64),
+        (-1.0e12f64..1.0e12).boxed(),
+    ]
+}
+
+fn any_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        any_id(),
+        any_id(),
+        prop::collection::vec((0u32..1920, 0u64..1 << 40), 0..12),
+    )
+        .prop_map(|(count, max_ns, buckets)| HistogramSnapshot {
+            count,
+            max_ns,
+            buckets,
+        })
+}
+
+/// Metric names and label values as the wire sees them — the codec
+/// must carry any string, including ones the registry would reject and
+/// ones the text exposition would need to escape.
+fn any_label_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("shard".to_string()),
+        Just("0".to_string()),
+        Just("rlsched_serve_served_total".to_string()),
+        Just("quote \" slash \\ nl\n".to_string()),
+        Just("μ-metrics".to_string()),
+    ]
+}
+
+fn any_metric_snapshot() -> impl Strategy<Value = MetricSnapshot> {
+    let value = prop_oneof![
+        any_id().prop_map(MetricValue::Counter).boxed(),
+        any_gauge_value().prop_map(MetricValue::Gauge).boxed(),
+        any_histogram_snapshot()
+            .prop_map(MetricValue::Histogram)
+            .boxed(),
+    ];
+    (
+        any_label_string(),
+        prop::collection::vec((any_label_string(), any_label_string()), 0..3),
+        value,
+    )
+        .prop_map(|(name, labels, value)| MetricSnapshot {
+            name,
+            labels,
+            value,
+        })
+}
+
+fn any_registry_snapshot() -> impl Strategy<Value = RegistrySnapshot> {
+    prop::collection::vec(any_metric_snapshot(), 0..6)
+        .prop_map(|metrics| RegistrySnapshot { metrics })
+}
+
 fn any_response() -> impl Strategy<Value = Response> {
     let action = (any_id(), 0u64..256, 0u64..16, any_served_by()).prop_map(
         |(id, action, shard, served_by)| Response::Action {
@@ -156,7 +223,15 @@ fn any_response() -> impl Strategy<Value = Response> {
     let shed = any_id().prop_map(|id| Response::Shed { id });
     let stats = (any_id(), any_stats()).prop_map(|(id, stats)| Response::Stats { id, stats });
     let error = (any_id(), any_message()).prop_map(|(id, message)| Response::Error { id, message });
-    prop_oneof![action.boxed(), shed.boxed(), stats.boxed(), error.boxed()]
+    let metrics = (any_id(), any_registry_snapshot())
+        .prop_map(|(id, metrics)| Response::Metrics { id, metrics });
+    prop_oneof![
+        action.boxed(),
+        shed.boxed(),
+        stats.boxed(),
+        error.boxed(),
+        metrics.boxed(),
+    ]
 }
 
 proptest! {

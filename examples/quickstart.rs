@@ -200,7 +200,7 @@ fn main() {
         );
         let addr = handle.addr();
         let window = agent.encoder().cfg.max_obsv;
-        let remote_results: Vec<_> = std::thread::scope(|s| {
+        let (remote_results, client_decisions): (Vec<_>, Vec<u64>) = std::thread::scope(|s| {
             let handles: Vec<_> = windows
                 .iter()
                 .enumerate()
@@ -217,19 +217,60 @@ fn main() {
                             &mut policy,
                         );
                         assert_eq!(policy.sheds(), 0, "no shedding at demo load");
-                        m.into_iter().next().expect("one window, one result")
+                        (
+                            m.into_iter().next().expect("one window, one result"),
+                            policy.remote_decisions(),
+                        )
                     })
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("remote scheduling thread"))
-                .collect()
+                .unzip()
         });
         assert_eq!(
             mean_metric(&results, MetricKind::BoundedSlowdown),
             mean_metric(&remote_results, MetricKind::BoundedSlowdown),
             "remote coalesced decisions must match in-process scoring"
+        );
+
+        // Scrape the tier's telemetry registry over the wire
+        // (`Request::Metrics`) and reconcile it against what the clients
+        // counted themselves: the server's decision counters must equal
+        // the requests the clients know they sent — telemetry that
+        // can't survive that cross-check isn't telemetry.
+        let sent: u64 = client_decisions.iter().sum();
+        let mut probe = ServeClient::connect(addr).expect("metrics probe connects");
+        let scrape = probe.metrics().expect("metrics round trip");
+        drop(probe);
+        let served = scrape.counter_sum("rlsched_serve_served_total");
+        let fallbacks = scrape.counter_sum("rlsched_serve_fallbacks_total");
+        let latency = scrape.histogram_merged("rlsched_serve_latency_ns");
+        println!(
+            "registry scrape: {} metrics — served {} (+{} fallback) across {} batches \
+             (largest {}), decision p50 {:.0} µs / p99 {:.0} µs",
+            scrape.metrics.len(),
+            served,
+            fallbacks,
+            scrape.counter_sum("rlsched_serve_batches_total"),
+            scrape.histogram_merged("rlsched_serve_batch_rows").max_ns,
+            latency.quantile_ns(0.5) as f64 / 1e3,
+            latency.quantile_ns(0.99) as f64 / 1e3,
+        );
+        assert_eq!(
+            served + fallbacks,
+            sent,
+            "server decision counters must equal the client-side request count"
+        );
+        assert_eq!(
+            scrape.counter_sum("rlsched_serve_shed_total"),
+            0,
+            "demo load must not shed"
+        );
+        assert_eq!(
+            latency.count, served,
+            "every model-served decision carries one latency sample"
         );
 
         // Binary frames over a unix domain socket: the zero-copy stack
@@ -336,4 +377,7 @@ fn main() {
         assert!(final_stats.served >= stats.served);
         println!("remote scheduling matches in-process scoring — serving tier OK");
     }
+
+    // Emit any buffered trace spans (no-op unless RLSCHED_TRACE is set).
+    let _ = rlsched_repro::obs::trace::flush();
 }

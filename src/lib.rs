@@ -5,6 +5,7 @@
 //! `tests/` can reach the whole system through one dependency.
 
 pub use rlsched_nn as nn;
+pub use rlsched_obs as obs;
 pub use rlsched_replay as replay;
 pub use rlsched_rl as rl;
 pub use rlsched_sched as sched;
